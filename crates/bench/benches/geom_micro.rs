@@ -1,0 +1,128 @@
+//! Geometry-engine micro-benchmarks: the refinement primitives whose cost
+//! the paper's §II.C attributes the GEOS/JTS gap to.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjc_geom::algorithms::{linestrings_intersect, point_in_polygon};
+use sjc_geom::predicates::segments_intersect;
+use sjc_geom::wkt::{parse_wkt, to_wkt};
+use sjc_geom::{Geometry, LineString, Point, Polygon};
+
+fn ring(n: usize, radius: f64) -> Polygon {
+    let pts = (0..n)
+        .map(|i| {
+            let theta = i as f64 / n as f64 * std::f64::consts::TAU;
+            Point::new(radius * theta.cos(), radius * theta.sin())
+        })
+        .collect();
+    Polygon::new(pts)
+}
+
+fn walk(rng: &mut StdRng, n: usize) -> LineString {
+    let mut x = rng.gen::<f64>() * 100.0;
+    let mut y = rng.gen::<f64>() * 100.0;
+    let pts = (0..n)
+        .map(|_| {
+            x += rng.gen::<f64>() * 2.0 - 1.0;
+            y += rng.gen::<f64>() * 2.0 - 1.0;
+            Point::new(x, y)
+        })
+        .collect();
+    LineString::new(pts)
+}
+
+fn bench_point_in_polygon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_in_polygon");
+    for &n in &[4usize, 16, 64, 256] {
+        let poly = ring(n, 10.0);
+        let probes: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 16) as f64 - 8.0, (i / 16) as f64 - 8.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0;
+                for p in &probes {
+                    if point_in_polygon(black_box(&poly), black_box(p)) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_intersection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let segs: Vec<(Point, Point)> = (0..256)
+        .map(|_| {
+            let a = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let b = Point::new(a.x + rng.gen::<f64>() * 5.0, a.y + rng.gen::<f64>() * 5.0);
+            (a, b)
+        })
+        .collect();
+    c.bench_function("segment_intersection_256x256", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for (p1, p2) in &segs {
+                for (q1, q2) in &segs {
+                    if segments_intersect(p1, p2, q1, q2) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_polyline_intersect(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let roads: Vec<LineString> = (0..64).map(|_| walk(&mut rng, 8)).collect();
+    let rivers: Vec<LineString> = (0..64).map(|_| walk(&mut rng, 35)).collect();
+    c.bench_function("polyline_intersect_64x64", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for r in &roads {
+                for w in &rivers {
+                    if linestrings_intersect(black_box(r), black_box(w)) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_wkt_round_trip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let geoms: Vec<Geometry> = (0..100)
+        .map(|i| match i % 3 {
+            0 => Geometry::Point(Point::new(rng.gen(), rng.gen())),
+            1 => Geometry::LineString(walk(&mut rng, 10)),
+            _ => Geometry::Polygon(ring(12, 5.0)),
+        })
+        .collect();
+    let texts: Vec<String> = geoms.iter().map(to_wkt).collect();
+    c.bench_function("wkt_write_100", |b| {
+        b.iter(|| geoms.iter().map(|g| to_wkt(black_box(g)).len()).sum::<usize>())
+    });
+    c.bench_function("wkt_parse_100", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| parse_wkt(black_box(t)).unwrap().num_vertices())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_point_in_polygon, bench_segment_intersection, bench_polyline_intersect, bench_wkt_round_trip
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Index and partitioner micro-benchmarks: R-tree construction modes (STR
+//! bulk vs dynamic insertion — the SpatialHadoop/SpatialSpark vs
+//! libspatialindex contrast), window queries, and partitioner builds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjc_geom::{Mbr, Point};
+use sjc_index::entry::IndexEntry;
+use sjc_index::grid::GridIndex;
+use sjc_index::partition::{BspPartitioner, FixedGridPartitioner, SpatialPartitioner, StrTilePartitioner};
+use sjc_index::RTree;
+
+fn entries(n: usize, seed: u64) -> Vec<IndexEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 1000.0;
+            let y = rng.gen::<f64>() * 1000.0;
+            IndexEntry::new(i as u64, Mbr::new(x, y, x + rng.gen::<f64>() * 5.0, y + rng.gen::<f64>() * 5.0))
+        })
+        .collect()
+}
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
+        .collect()
+}
+
+fn bench_rtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let es = entries(n, 7);
+        group.bench_with_input(BenchmarkId::new("str_bulk", n), &es, |b, es| {
+            b.iter(|| RTree::bulk_load_str(black_box(es.clone())).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert_bulk", n), &es, |b, es| {
+            b.iter(|| RTree::bulk_load_hilbert(black_box(es.clone())).num_nodes())
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("dynamic_insert", n), &es, |b, es| {
+                b.iter(|| {
+                    let mut t = RTree::new_dynamic();
+                    for e in es {
+                        t.insert(*e);
+                    }
+                    t.num_nodes()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_rtree_query(c: &mut Criterion) {
+    let tree = RTree::bulk_load_str(entries(100_000, 9));
+    let windows: Vec<Mbr> = points(100, 11)
+        .into_iter()
+        .map(|p| Mbr::new(p.x, p.y, p.x + 10.0, p.y + 10.0))
+        .collect();
+    let mut buf = Vec::new();
+    c.bench_function("rtree_query_100k_x100", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &windows {
+                tree.query_into(black_box(w), &mut buf);
+                total += buf.len();
+            }
+            total
+        })
+    });
+
+    let grid = GridIndex::build(Mbr::new(0.0, 0.0, 1005.0, 1005.0), &entries(100_000, 9), 16);
+    c.bench_function("grid_query_100k_x100", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &windows {
+                total += grid.query(black_box(w)).len();
+            }
+            total
+        })
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let extent = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+    let sample = points(10_000, 13);
+    let mut group = c.benchmark_group("partitioner_build_10k_sample");
+    group.bench_function("fixed_grid", |b| {
+        b.iter(|| FixedGridPartitioner::with_target_cells(extent, 128).cells().len())
+    });
+    group.bench_function("str_tiles", |b| {
+        b.iter(|| StrTilePartitioner::from_sample(extent, sample.clone(), 128).cells().len())
+    });
+    group.bench_function("bsp", |b| {
+        b.iter(|| BspPartitioner::from_sample(extent, sample.clone(), 128).cells().len())
+    });
+    group.finish();
+
+    let partitioner = StrTilePartitioner::from_sample(extent, sample, 128);
+    let probes = entries(10_000, 17);
+    c.bench_function("partition_assign_10k", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|e| partitioner.assign(black_box(&e.mbr)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let tree = RTree::bulk_load_str(entries(100_000, 23));
+    let probes = points(100, 29);
+    c.bench_function("rtree_knn10_100k_x100", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| tree.nearest_neighbors(black_box(p), 10).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_rtree_build, bench_rtree_query, bench_partitioners, bench_knn
+}
+criterion_main!(benches);

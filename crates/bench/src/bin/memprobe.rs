@@ -1,0 +1,33 @@
+fn main() {
+    use sjc_core::experiment::Workload;
+    use sjc_core::framework::{JoinPredicate, DistributedSpatialJoin};
+    use sjc_cluster::{Cluster, ClusterConfig};
+    use sjc_core::spatialspark::SpatialSpark;
+    use sjc_core::spatialhadoop::SpatialHadoop;
+    use sjc_core::report::fig1_string;
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+    let verbose = args.iter().any(|a| a == "-v");
+    for w in [Workload::taxi_nycb(), Workload::edge_linearwater()] {
+        let (l, r) = w.prepare(scale, 20150701);
+        for cfg in ClusterConfig::paper_configs() {
+            let cluster = Cluster::new(cfg.clone());
+            for sys in ["SS", "SH"] {
+                let res = if sys == "SS" {
+                    SpatialSpark::default().run(&cluster, &l, &r, JoinPredicate::Intersects)
+                } else {
+                    SpatialHadoop::default().run(&cluster, &l, &r, JoinPredicate::Intersects)
+                };
+                match res {
+                    Ok(o) => {
+                        println!("{} {} {}: OK {:.0}s", w.name, cfg.name, sys, o.trace.total_seconds());
+                        if verbose && (cfg.name == "WS" || cfg.name == "EC2-10") {
+                            print!("{}", fig1_string(&[o.trace]));
+                        }
+                    }
+                    Err(e) => println!("{} {} {}: {}", w.name, cfg.name, sys, e),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! `reproduce` — regenerates the paper's tables and figure.
+//!
+//! ```text
+//! reproduce [all|table1|table2|table3|fig1|speedups|scalability|extension|ablations] [--scale S] [--seed N] [--json PATH]
+//! ```
+//!
+//! Everything is deterministic for a fixed `--scale`/`--seed`.
+
+use std::io::Write as _;
+
+use sjc_bench::{fig1_traces, run_tables};
+use sjc_core::report;
+
+struct Args {
+    what: String,
+    scale: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        what: "all".to_string(),
+        scale: 1e-3,
+        seed: 20150701,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--json" => {
+                args.json = Some(it.next().expect("--json needs a path"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce — regenerate the tables and figure of 'Spatial Join Query \
+                     Processing in Cloud' (ICPP 2015)\n\n\
+                     USAGE: reproduce [WHAT] [--scale S] [--seed N] [--json PATH]\n\n\
+                     WHAT: all (default) | table1 | table2 | table3 | fig1 | speedups |\n      \
+                     scalability | extension | ablations\n\
+                     --scale S   generation scale (domain-area fraction; default 1e-3)\n\
+                     --seed N    RNG seed (default 20150701)\n\
+                     --json P    also dump machine-readable results to P"
+                );
+                std::process::exit(0);
+            }
+            w if !w.starts_with('-') => args.what = w.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "# Reproduction of 'Spatial Join Query Processing in Cloud' (ICPP 2015)\n\
+         # generation scale {:.0e}, seed {}\n",
+        args.scale, args.seed
+    );
+
+    let want = |w: &str| args.what == "all" || args.what == w;
+
+    if want("table1") {
+        println!("{}", report::table1_string(args.scale, args.seed));
+    }
+
+    let need_tables = want("table2") || want("table3") || want("speedups");
+    let (t2, t3) = if need_tables {
+        run_tables(args.scale, args.seed)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    if want("table2") {
+        println!("{}", report::table2_string(&t2));
+    }
+    if want("table3") {
+        println!("{}", report::table3_string(&t3));
+    }
+    if want("speedups") {
+        println!("{}", report::speedups_string(&t2, &t3));
+    }
+    if want("fig1") {
+        let traces = fig1_traces(args.scale, args.seed);
+        println!("{}", report::fig1_string(&traces));
+    }
+    if want("scalability") {
+        println!("{}", report::scalability_string(args.scale, args.seed));
+    }
+    if want("extension") {
+        println!("{}", report::extension_string(args.scale, args.seed));
+    }
+    if want("ablations") {
+        use sjc_core::ablation;
+        let s = (args.scale / 2.0).max(1e-4);
+        println!("Ablations (design choices isolated on shared substrates; simulated seconds)\n");
+        println!("{}", ablation::format_rows("geometry engine (same system, JTS vs GEOS)", &ablation::geometry_engine(s, args.seed)));
+        println!("{}", ablation::format_rows("data access model (same engine, streaming vs native)", &ablation::access_model(s, args.seed)));
+        println!("{}", ablation::format_rows("local join algorithm (SpatialHadoop)", &ablation::local_join_algo(s, args.seed)));
+        println!("{}", ablation::format_rows("broadcast vs partition join (SpatialSpark)", &ablation::broadcast_join(s, args.seed)));
+        println!("{}", ablation::format_rows("partition-count sweep (SpatialSpark, EC2-10)", &ablation::partition_sweep(s, args.seed)));
+        println!("{}", ablation::format_rows("partitioner family (SpatialHadoop)", &ablation::partitioner_kind(s, args.seed)));
+        println!("{}", ablation::format_rows("re-partitioning vs compatible grids (SpatialHadoop)", &ablation::repartitioning(s, args.seed)));
+    }
+
+    if let Some(path) = args.json {
+        let payload = serde_json::json!({
+            "scale": args.scale,
+            "seed": args.seed,
+            "table2": t2,
+            "table3": t3,
+        });
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(serde_json::to_string_pretty(&payload).unwrap().as_bytes())
+            .expect("write json output");
+        println!("wrote {path}");
+    }
+}

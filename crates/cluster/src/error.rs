@@ -1,0 +1,97 @@
+//! Simulated failure modes — the "-" cells of the paper's Table 2/3.
+
+use std::fmt;
+
+/// An error raised by a simulated run. The paper's experiments failed in two
+/// distinct ways, both reproduced mechanically (never hard-coded per cell):
+///
+/// * HadoopGIS: "broken pipeline, which is typical in Hadoop Streaming when
+///   the data that pipes through multiple processors is too big";
+/// * SpatialSpark: "out of memory and Spark is not able to spill data to
+///   external storage".
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A streaming task attempted to pipe more bytes through an external
+    /// process than the node can sustain.
+    BrokenPipe {
+        stage: String,
+        payload_bytes: u64,
+        limit_bytes: u64,
+    },
+    /// A Spark executor's modeled resident set exceeded its usable memory.
+    OutOfMemory {
+        stage: String,
+        needed_bytes: u64,
+        usable_bytes: u64,
+    },
+    /// A named input file does not exist in the simulated HDFS.
+    FileNotFound(String),
+    /// Generic configuration error.
+    Config(String),
+}
+
+impl SimError {
+    /// Short label matching the paper's failure vocabulary.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::BrokenPipe { .. } => "broken pipe",
+            SimError::OutOfMemory { .. } => "out of memory",
+            SimError::FileNotFound(_) => "file not found",
+            SimError::Config(_) => "config",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BrokenPipe {
+                stage,
+                payload_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "broken pipe in stage {stage:?}: streaming task piped {payload_bytes} bytes \
+                 (node limit {limit_bytes})"
+            ),
+            SimError::OutOfMemory {
+                stage,
+                needed_bytes,
+                usable_bytes,
+            } => write!(
+                f,
+                "out of memory in stage {stage:?}: executor needs {needed_bytes} bytes \
+                 (usable {usable_bytes}); Spark cannot spill"
+            ),
+            SimError::FileNotFound(name) => write!(f, "HDFS file not found: {name:?}"),
+            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BrokenPipe {
+            stage: "DJ".into(),
+            payload_bytes: 100,
+            limit_bytes: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("broken pipe") && s.contains("100") && s.contains("50"));
+        assert_eq!(e.kind(), "broken pipe");
+
+        let o = SimError::OutOfMemory {
+            stage: "groupByKey".into(),
+            needed_bytes: 10,
+            usable_bytes: 5,
+        };
+        assert!(o.to_string().contains("cannot spill"));
+        assert_eq!(o.kind(), "out of memory");
+    }
+}

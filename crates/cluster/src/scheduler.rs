@@ -1,0 +1,107 @@
+//! Task scheduling: turning per-task simulated durations into a makespan.
+//!
+//! Both Hadoop and Spark schedule ready tasks greedily onto free slots. We
+//! model this with Longest-Processing-Time (LPT) list scheduling, which is
+//! deterministic and within 4/3 of optimal — more than accurate enough for
+//! the end-to-end comparisons the paper makes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimNs;
+
+/// LPT makespan of `tasks` on `slots` parallel slots.
+pub fn lpt_makespan(tasks: &[SimNs], slots: usize) -> SimNs {
+    assert!(slots > 0, "at least one slot required");
+    if tasks.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<SimNs> = tasks.to_vec();
+    sorted.sort_unstable_by_key(|&t| Reverse(t));
+
+    // Min-heap of slot finish times.
+    let mut heap: BinaryHeap<Reverse<SimNs>> = (0..slots).map(|_| Reverse(0)).collect();
+    for t in sorted {
+        let Reverse(earliest) = heap.pop().expect("heap holds `slots` entries");
+        heap.push(Reverse(earliest + t));
+    }
+    heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
+}
+
+/// Analytic makespan for the *same multiset of tasks replicated
+/// `multiplier` times* — how full-scale runs are extrapolated from
+/// scale-factor runs. With many replicas LPT converges to the area bound,
+/// `max(total_work × multiplier / slots, longest_task)`.
+pub fn replicated_makespan(tasks: &[SimNs], slots: usize, multiplier: f64) -> SimNs {
+    assert!(slots > 0, "at least one slot required");
+    assert!(multiplier >= 1.0, "multiplier extrapolates upward");
+    if tasks.is_empty() {
+        return 0;
+    }
+    if multiplier == 1.0 {
+        return lpt_makespan(tasks, slots);
+    }
+    let total: f64 = tasks.iter().map(|&t| t as f64).sum();
+    let longest = *tasks.iter().max().expect("non-empty") as f64;
+    (longest.max(total * multiplier / slots as f64)) as SimNs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_serializes() {
+        assert_eq!(lpt_makespan(&[5, 3, 2], 1), 10);
+    }
+
+    #[test]
+    fn perfect_parallelism() {
+        assert_eq!(lpt_makespan(&[7, 7, 7, 7], 4), 7);
+    }
+
+    #[test]
+    fn longest_task_dominates() {
+        assert_eq!(lpt_makespan(&[100, 1, 1, 1], 4), 100);
+    }
+
+    #[test]
+    fn lpt_balances_unequal_tasks() {
+        // 6,5,4,3,2,1 on 2 slots: LPT gives {6,3,2}=11 vs {5,4,1}=10 → 11.
+        assert_eq!(lpt_makespan(&[1, 2, 3, 4, 5, 6], 2), 11);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        assert_eq!(lpt_makespan(&[], 8), 0);
+        assert_eq!(replicated_makespan(&[], 8, 100.0), 0);
+    }
+
+    #[test]
+    fn replicated_matches_lpt_at_multiplier_one() {
+        let tasks = [9, 8, 1, 4, 4];
+        assert_eq!(replicated_makespan(&tasks, 3, 1.0), lpt_makespan(&tasks, 3));
+    }
+
+    #[test]
+    fn replicated_converges_to_area_bound() {
+        let tasks = [10u64, 10, 10, 10];
+        // 100 copies of 4×10 work on 4 slots → 100 waves of 10.
+        assert_eq!(replicated_makespan(&tasks, 4, 100.0), 1000);
+    }
+
+    #[test]
+    fn replicated_respects_longest_task() {
+        // A single giant task bounds the makespan from below even when the
+        // area bound is small.
+        let tasks = [1_000u64, 1, 1];
+        let m = replicated_makespan(&tasks, 1000, 2.0);
+        assert!(m >= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = lpt_makespan(&[1], 0);
+    }
+}

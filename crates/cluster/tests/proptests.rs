@@ -1,0 +1,83 @@
+//! Property-based tests for the cluster simulator.
+
+use proptest::prelude::*;
+use sjc_cluster::scheduler::{lpt_makespan, replicated_makespan};
+use sjc_cluster::{ClusterConfig, CostModel, SimHdfs};
+
+proptest! {
+    #[test]
+    fn lpt_within_classic_bounds(
+        tasks in proptest::collection::vec(1u64..1_000_000, 1..200),
+        slots in 1usize..64
+    ) {
+        let total: u64 = tasks.iter().sum();
+        let longest = *tasks.iter().max().unwrap();
+        let makespan = lpt_makespan(&tasks, slots);
+        // Lower bounds: area bound and longest task.
+        prop_assert!(makespan >= total / slots as u64);
+        prop_assert!(makespan >= longest);
+        // Upper bound: Graham's list-scheduling bound, which holds against
+        // these directly computable quantities (unlike the 4/3 factor,
+        // which is relative to the unknown OPT): makespan <= total/m + max.
+        prop_assert!(
+            (makespan as f64) <= total as f64 / slots as f64 + longest as f64 + 1.0
+        );
+    }
+
+    #[test]
+    fn more_slots_never_hurt(
+        tasks in proptest::collection::vec(1u64..100_000, 1..100),
+        slots in 1usize..32
+    ) {
+        prop_assert!(lpt_makespan(&tasks, slots + 1) <= lpt_makespan(&tasks, slots));
+    }
+
+    #[test]
+    fn replication_extrapolation_is_monotone(
+        tasks in proptest::collection::vec(1u64..100_000, 1..50),
+        m1 in 1.0f64..100.0,
+        extra in 0.0f64..100.0
+    ) {
+        let a = replicated_makespan(&tasks, 8, m1);
+        let b = replicated_makespan(&tasks, 8, m1 + extra);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn io_cost_additivity(bytes_a in 0u64..1u64<<32, bytes_b in 0u64..1u64<<32) {
+        let m = CostModel::default();
+        let bw = 100.0 * (1 << 20) as f64;
+        let together = m.io_ns(bytes_a + bytes_b, bw);
+        let split = m.io_ns(bytes_a, bw) + m.io_ns(bytes_b, bw);
+        // Integer truncation may lose at most 1 ns per call.
+        prop_assert!(together.abs_diff(split) <= 2);
+    }
+
+    #[test]
+    fn hdfs_blocks_cover_file_exactly(bytes in 0u64..10u64<<30, nodes in 1u32..20) {
+        let mut fs = SimHdfs::new(nodes);
+        let f = fs.write_file("f", bytes, 1).clone();
+        let total: u64 = f.blocks.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(total, bytes);
+        for b in &f.blocks {
+            prop_assert!(b.bytes <= fs.block_size());
+            prop_assert!(b.primary_node < nodes);
+        }
+    }
+
+    #[test]
+    fn ec2_presets_scale_linearly(n in 1u32..32) {
+        let cfg = ClusterConfig::ec2(n);
+        prop_assert_eq!(cfg.nodes, n);
+        prop_assert!((cfg.aggregate_disk_read_bw() - n as f64 * cfg.node.disk_read_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn footprint_monotone_in_inputs(
+        r1 in 0u64..1_000_000, v1 in 0u64..1_000_000, dr in 0u64..1_000_000
+    ) {
+        let m = CostModel::default();
+        prop_assert!(m.spark_footprint_bytes(r1 + dr, v1) >= m.spark_footprint_bytes(r1, v1));
+        prop_assert!(m.spark_footprint_bytes(r1, v1 + dr) >= m.spark_footprint_bytes(r1, v1));
+    }
+}

@@ -1,0 +1,287 @@
+//! Machinery shared by the three system implementations.
+
+use sjc_geom::{GeometryEngine, Mbr};
+use sjc_index::entry::IndexEntry;
+use sjc_index::join::{indexed_nested_loop, plane_sweep, sync_rtree, CandidatePairs};
+
+use crate::framework::{GeoRecord, JoinPredicate};
+
+/// Which local (per-partition) join algorithm a system runs — §II.C of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalJoinAlgo {
+    /// Build an R-tree on one side, probe with the other (SpatialSpark).
+    IndexedNestedLoop,
+    /// Sort by min-x and sweep (SpatialHadoop's default).
+    PlaneSweep,
+    /// Synchronized traversal of two R-trees (SpatialHadoop's alternative).
+    SyncRTree,
+}
+
+/// Cost ledger of one local join execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalJoinCost {
+    /// Simulated ns spent in the MBR filter (index traversal + comparisons).
+    pub filter_ns: u64,
+    /// Simulated ns spent in exact-geometry refinement.
+    pub refine_ns: u64,
+    /// Candidate pairs produced by the filter.
+    pub candidates: u64,
+    /// Result pairs surviving refinement (before de-dup suppression).
+    pub results: u64,
+}
+
+/// Runs the filter + refinement of one partition pair.
+///
+/// `left`/`right` are the partition's records; `keep` is the
+/// de-duplication predicate deciding whether *this* partition reports a
+/// given MBR pair (reference-point rule — pass `|_, _| true` when the
+/// caller guarantees no duplication). Returns `(left_id, right_id)` pairs
+/// using the records' dataset-global ids.
+pub fn local_join(
+    engine: &GeometryEngine,
+    predicate: JoinPredicate,
+    algo: LocalJoinAlgo,
+    left: &[&GeoRecord],
+    right: &[&GeoRecord],
+    keep: impl Fn(&Mbr, &Mbr) -> bool + Sync,
+) -> (Vec<(u64, u64)>, LocalJoinCost) {
+    let mut cost = LocalJoinCost::default();
+    if left.is_empty() || right.is_empty() {
+        return (Vec::new(), cost);
+    }
+
+    // Filter: local ids are positions into the slices; within-distance
+    // joins widen the left MBRs so the filter stays conservative.
+    let l_entries: Vec<IndexEntry> = left
+        .iter()
+        .enumerate()
+        .map(|(i, r)| IndexEntry::new(i as u64, predicate.filter_mbr(&r.mbr)))
+        .collect();
+    let r_entries: Vec<IndexEntry> = right
+        .iter()
+        .enumerate()
+        .map(|(i, r)| IndexEntry::new(i as u64, r.mbr))
+        .collect();
+
+    let CandidatePairs { pairs, stats } = match algo {
+        LocalJoinAlgo::IndexedNestedLoop => indexed_nested_loop(&l_entries, &r_entries),
+        LocalJoinAlgo::PlaneSweep => plane_sweep(&l_entries, &r_entries),
+        LocalJoinAlgo::SyncRTree => sync_rtree(&l_entries, &r_entries),
+    };
+    cost.candidates = pairs.len() as u64;
+    cost.filter_ns = stats.filter_tests * engine.filter_cost_ns()
+        + stats.index_nodes_visited * engine.filter_cost_ns();
+
+    // Refinement with exact geometry; de-dup decides which partition
+    // reports the pair. Above a threshold the candidate list is refined in
+    // parallel with rayon — per-pair work is pure, order is preserved by
+    // the indexed collect, and the summed costs are exact integer adds, so
+    // results and simulated time stay bit-identical to the serial path.
+    const PAR_THRESHOLD: usize = 4096;
+    // (refine ns, hit count, kept pair)
+    type Refined = (u64, u64, Option<(u64, u64)>);
+    let refine_one = |&(li, ri): &(u64, u64)| -> Refined {
+        let l = left[li as usize];
+        let r = right[ri as usize];
+        let (hit, ns) = predicate.evaluate(engine, &l.geom, &r.geom);
+        if hit {
+            let kept = keep(&l.mbr, &r.mbr).then_some((l.id, r.id));
+            (ns, 1, kept)
+        } else {
+            (ns, 0, None)
+        }
+    };
+    let refined: Vec<Refined> = if pairs.len() >= PAR_THRESHOLD {
+        use rayon::prelude::*;
+        pairs.par_iter().map(refine_one).collect()
+    } else {
+        pairs.iter().map(refine_one).collect()
+    };
+    let mut out = Vec::new();
+    for (ns, hits, kept) in refined {
+        cost.refine_ns += ns;
+        cost.results += hits;
+        if let Some(pair) = kept {
+            out.push(pair);
+        }
+    }
+    (out, cost)
+}
+
+/// Reference quadratic join over whole inputs (tests / tiny data).
+pub fn direct_join(
+    engine: &GeometryEngine,
+    predicate: JoinPredicate,
+    left: &[GeoRecord],
+    right: &[GeoRecord],
+) -> Vec<(u64, u64)> {
+    let l: Vec<&GeoRecord> = left.iter().collect();
+    let r: Vec<&GeoRecord> = right.iter().collect();
+    local_join(engine, predicate, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| true).0
+}
+
+/// Which spatial partitioner family a system derives from its sample —
+/// the SATO-style design choice the `ablation_partitioner` bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// Sample-free uniform grid (SpatialHadoop's original GRID).
+    FixedGrid,
+    /// Sort-Tile-Recursive tiles from sample points.
+    StrTiles,
+    /// Recursive median splits from sample points.
+    Bsp,
+}
+
+impl PartitionerKind {
+    /// Builds the partitioner over `domain` from `sample` centers.
+    pub fn build(
+        &self,
+        domain: sjc_geom::Mbr,
+        sample: Vec<sjc_geom::Point>,
+        target_cells: usize,
+    ) -> Box<dyn sjc_index::partition::SpatialPartitioner + Send + Sync> {
+        use sjc_index::partition::{BspPartitioner, FixedGridPartitioner, StrTilePartitioner};
+        match self {
+            PartitionerKind::FixedGrid => {
+                Box::new(FixedGridPartitioner::with_target_cells(domain, target_cells))
+            }
+            PartitionerKind::StrTiles => {
+                Box::new(StrTilePartitioner::from_sample(domain, sample, target_cells))
+            }
+            PartitionerKind::Bsp => {
+                Box::new(BspPartitioner::from_sample(domain, sample, target_cells))
+            }
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::FixedGrid => "fixed-grid",
+            PartitionerKind::StrTiles => "STR tiles",
+            PartitionerKind::Bsp => "BSP",
+        }
+    }
+}
+
+/// Number of spatial partitions a sample-driven system targets.
+///
+/// Fixed by configuration (sample rate and desired partition size), *not*
+/// by dataset volume — which is exactly why per-partition payloads grow
+/// with the data and eventually break HadoopGIS's pipes (§III.B).
+pub fn default_partition_count() -> usize {
+    64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_geom::{Geometry, LineString, Point};
+
+    fn rec(id: u64, x: f64, y: f64) -> GeoRecord {
+        GeoRecord::new(id, Geometry::Point(Point::new(x, y)))
+    }
+
+    fn line(id: u64, pts: &[(f64, f64)]) -> GeoRecord {
+        GeoRecord::new(
+            id,
+            Geometry::LineString(LineString::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())),
+        )
+    }
+
+    #[test]
+    fn all_algorithms_refine_identically() {
+        let engine = GeometryEngine::jts();
+        let left: Vec<GeoRecord> = (0..30).map(|i| line(i, &[(i as f64, 0.0), (i as f64 + 5.0, 5.0)])).collect();
+        let right: Vec<GeoRecord> = (0..30).map(|i| line(i, &[(i as f64 + 5.0, 0.0), (i as f64, 5.0)])).collect();
+        let l: Vec<&GeoRecord> = left.iter().collect();
+        let r: Vec<&GeoRecord> = right.iter().collect();
+        let mut results: Vec<Vec<(u64, u64)>> = [
+            LocalJoinAlgo::IndexedNestedLoop,
+            LocalJoinAlgo::PlaneSweep,
+            LocalJoinAlgo::SyncRTree,
+        ]
+        .iter()
+        .map(|&algo| {
+            let (mut pairs, _) = local_join(&engine, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
+            pairs.sort_unstable();
+            pairs
+        })
+        .collect();
+        let first = results.remove(0);
+        assert!(!first.is_empty());
+        for other in results {
+            assert_eq!(other, first);
+        }
+    }
+
+    #[test]
+    fn refinement_removes_mbr_false_positives() {
+        let engine = GeometryEngine::jts();
+        // Two diagonal lines whose MBRs overlap but geometries don't touch.
+        let left = [line(0, &[(0.0, 0.0), (10.0, 10.0)])];
+        let right = [line(0, &[(0.0, 9.0), (0.5, 10.0)])];
+        let l: Vec<&GeoRecord> = left.iter().collect();
+        let r: Vec<&GeoRecord> = right.iter().collect();
+        let (pairs, cost) = local_join(&engine, JoinPredicate::Intersects, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| true);
+        assert_eq!(cost.candidates, 1, "filter produces the false positive");
+        assert!(pairs.is_empty(), "refinement removes it");
+        assert!(cost.refine_ns > 0);
+    }
+
+    #[test]
+    fn within_distance_widens_filter() {
+        let engine = GeometryEngine::jts();
+        let left = [rec(0, 0.0, 0.0)];
+        let right = [rec(0, 3.0, 4.0)]; // distance 5
+        let l: Vec<&GeoRecord> = left.iter().collect();
+        let r: Vec<&GeoRecord> = right.iter().collect();
+        let (hits, _) = local_join(&engine, JoinPredicate::WithinDistance(5.0), LocalJoinAlgo::IndexedNestedLoop, &l, &r, |_, _| true);
+        assert_eq!(hits, vec![(0, 0)]);
+        let (misses, _) = local_join(&engine, JoinPredicate::WithinDistance(4.9), LocalJoinAlgo::IndexedNestedLoop, &l, &r, |_, _| true);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn partitioner_kinds_build_total_partitioners() {
+        use sjc_geom::{Mbr, Point};
+        let domain = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sample: Vec<Point> = (0..200)
+            .map(|i| Point::new((i * 37 % 101) as f64, (i * 53 % 97) as f64))
+            .collect();
+        for kind in [PartitionerKind::FixedGrid, PartitionerKind::StrTiles, PartitionerKind::Bsp] {
+            let p = kind.build(domain, sample.clone(), 16);
+            assert!(!p.cells().is_empty(), "{}", kind.name());
+            // Total assignment: every probe gets at least one cell and a
+            // valid owner.
+            for i in 0..50 {
+                let probe = Point::new((i * 7 % 100) as f64, (i * 11 % 100) as f64);
+                assert!(!p.assign(&probe.mbr()).is_empty());
+                let o = p.owner(&probe);
+                assert!((o as usize) < p.cells().len());
+            }
+        }
+        assert_eq!(PartitionerKind::FixedGrid.name(), "fixed-grid");
+    }
+
+    #[test]
+    fn dedup_predicate_suppresses_pairs() {
+        let engine = GeometryEngine::jts();
+        let left = [rec(7, 1.0, 1.0)];
+        let right = [line(9, &[(0.0, 0.0), (2.0, 2.0)])];
+        let l: Vec<&GeoRecord> = left.iter().collect();
+        let r: Vec<&GeoRecord> = right.iter().collect();
+        let (kept, cost) = local_join(&engine, JoinPredicate::Intersects, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| false);
+        assert!(kept.is_empty());
+        assert_eq!(cost.results, 1, "the refinement hit is still counted");
+    }
+
+    #[test]
+    fn direct_join_uses_global_ids() {
+        let engine = GeometryEngine::jts();
+        let left = vec![rec(100, 1.0, 1.0), rec(200, 50.0, 50.0)];
+        let right = vec![line(300, &[(0.0, 0.0), (2.0, 2.0)])];
+        let pairs = direct_join(&engine, JoinPredicate::Intersects, &left, &right);
+        assert_eq!(pairs, vec![(100, 300)]);
+    }
+}

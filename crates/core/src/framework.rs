@@ -1,0 +1,208 @@
+//! The generalized framework: shared vocabulary of all three systems.
+
+use sjc_cluster::{Cluster, RunTrace, SimError};
+use sjc_data::ScaledDataset;
+use sjc_geom::{EngineKind, Geometry, GeometryEngine, Mbr};
+
+/// The spatial predicate refined in the local join stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinPredicate {
+    /// Exact geometric intersection — covers both of the paper's
+    /// experiments (point-in-polygon is point∩polygon; polyline-with-
+    /// polyline is polyline∩polyline).
+    Intersects,
+    /// Left geometry contained in right geometry.
+    Within,
+    /// Geometries within distance `d` (the taxi-to-road-segment motivating
+    /// example of the paper's introduction).
+    WithinDistance(f64),
+}
+
+impl JoinPredicate {
+    /// Evaluates the predicate with `engine`, returning the boolean result
+    /// and the charged simulated cost.
+    pub fn evaluate(&self, engine: &GeometryEngine, left: &Geometry, right: &Geometry) -> (bool, u64) {
+        match self {
+            JoinPredicate::Intersects => engine.intersects(left, right),
+            JoinPredicate::Within => engine.contains(right, left),
+            JoinPredicate::WithinDistance(d) => engine.within_distance(left, right, *d),
+        }
+    }
+
+    /// Widens an MBR for the filter step (only within-distance joins need
+    /// a buffer).
+    pub fn filter_mbr(&self, mbr: &Mbr) -> Mbr {
+        match self {
+            JoinPredicate::WithinDistance(d) => mbr.buffered(*d),
+            _ => *mbr,
+        }
+    }
+}
+
+/// One spatial record flowing through a system: a dataset-local id, the
+/// geometry, and its precomputed MBR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoRecord {
+    pub id: u64,
+    pub geom: Geometry,
+    pub mbr: Mbr,
+}
+
+impl GeoRecord {
+    pub fn new(id: u64, geom: Geometry) -> Self {
+        let mbr = geom.mbr();
+        GeoRecord { id, geom, mbr }
+    }
+}
+
+/// One side of a distributed spatial join.
+#[derive(Debug, Clone)]
+pub struct JoinInput {
+    pub name: String,
+    pub records: Vec<GeoRecord>,
+    /// Serialized size of the generated slice (Table-1 bytes/record).
+    pub sim_bytes: u64,
+    /// Full-scale records ÷ generated records.
+    pub multiplier: f64,
+    /// The spatial domain both join sides share.
+    pub domain: Mbr,
+}
+
+impl JoinInput {
+    /// Wraps a generated dataset as a join input.
+    pub fn from_dataset(ds: &ScaledDataset) -> JoinInput {
+        JoinInput {
+            name: ds.spec.name.to_string(),
+            records: ds
+                .geoms
+                .iter()
+                .enumerate()
+                .map(|(i, g)| GeoRecord::new(i as u64, g.clone()))
+                .collect(),
+            sim_bytes: ds.sim_bytes(),
+            multiplier: ds.multiplier(),
+            domain: ds.domain,
+        }
+    }
+
+    /// Average serialized bytes per record.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.sim_bytes as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Total geometry vertices (generation scale).
+    pub fn total_vertices(&self) -> u64 {
+        self.records.iter().map(|r| r.geom.num_vertices() as u64).sum()
+    }
+}
+
+/// The result of a distributed spatial join run.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    /// Refined result pairs `(left id, right id)`, exactly once each.
+    pub pairs: Vec<(u64, u64)>,
+    /// The per-stage simulated execution ledger.
+    pub trace: RunTrace,
+}
+
+impl JoinOutput {
+    /// Pairs sorted for set comparison.
+    pub fn sorted_pairs(mut self) -> Vec<(u64, u64)> {
+        self.pairs.sort_unstable();
+        self.pairs
+    }
+}
+
+/// A complete distributed spatial join system (the trait the three
+/// reproduced systems implement).
+///
+/// ```
+/// use sjc_cluster::{Cluster, ClusterConfig};
+/// use sjc_core::framework::{DistributedSpatialJoin, JoinInput, JoinPredicate};
+/// use sjc_core::spatialspark::SpatialSpark;
+/// use sjc_data::{DatasetId, ScaledDataset};
+///
+/// // A small taxi ⋈ census-blocks workload on a simulated 10-node cluster.
+/// let taxi = ScaledDataset::generate(DatasetId::Taxi1m, 1e-4, 42);
+/// let nycb = ScaledDataset::generate(DatasetId::Nycb, 1e-4, 42);
+/// let cluster = Cluster::new(ClusterConfig::ec2(10));
+///
+/// let out = SpatialSpark::default()
+///     .run(
+///         &cluster,
+///         &JoinInput::from_dataset(&taxi),
+///         &JoinInput::from_dataset(&nycb),
+///         JoinPredicate::Intersects,
+///     )
+///     .expect("fits in memory at this scale");
+/// assert!(!out.pairs.is_empty());
+/// assert!(out.trace.total_seconds() > 0.0);
+/// ```
+pub trait DistributedSpatialJoin {
+    /// System name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The geometry library the system links against.
+    fn engine(&self) -> EngineKind;
+
+    /// Runs the end-to-end join (preprocessing + global join + local join)
+    /// of `left ⋈ right` under `predicate` on `cluster`.
+    fn run(
+        &self,
+        cluster: &Cluster,
+        left: &JoinInput,
+        right: &JoinInput,
+        predicate: JoinPredicate,
+    ) -> Result<JoinOutput, SimError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_geom::{LineString, Point, Polygon};
+
+    fn poly() -> Geometry {
+        Geometry::Polygon(Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]))
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let jts = GeometryEngine::jts();
+        let p_in = Geometry::Point(Point::new(1.0, 1.0));
+        let p_out = Geometry::Point(Point::new(5.0, 5.0));
+        assert!(JoinPredicate::Intersects.evaluate(&jts, &p_in, &poly()).0);
+        assert!(!JoinPredicate::Intersects.evaluate(&jts, &p_out, &poly()).0);
+        assert!(JoinPredicate::Within.evaluate(&jts, &p_in, &poly()).0);
+        let road = Geometry::LineString(LineString::new(vec![Point::new(0.0, 5.0), Point::new(10.0, 5.0)]));
+        assert!(JoinPredicate::WithinDistance(3.1).evaluate(&jts, &p_out, &road).0);
+        assert!(!JoinPredicate::WithinDistance(0.5).evaluate(&jts, &p_in, &road).0);
+    }
+
+    #[test]
+    fn within_distance_buffers_the_filter_mbr() {
+        let m = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(JoinPredicate::Intersects.filter_mbr(&m), m);
+        let buffered = JoinPredicate::WithinDistance(2.0).filter_mbr(&m);
+        assert_eq!(buffered, Mbr::new(-2.0, -2.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn join_input_from_dataset() {
+        let ds = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Nycb, 0.01, 1);
+        let input = JoinInput::from_dataset(&ds);
+        assert_eq!(input.records.len(), ds.len());
+        assert!(input.multiplier > 50.0);
+        assert!(input.bytes_per_record() > 100.0);
+        // Ids are dense 0..n.
+        assert_eq!(input.records.last().unwrap().id as usize, input.records.len() - 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! SpatialHadoop reproduction: native Hadoop + JTS (Fig. 1(b) of the paper).
+//!
+//! Pipeline (§II.A–C):
+//!
+//! 1. **Preprocessing, per dataset** — two MR jobs:
+//!    * *sample job*: scan the input, draw a systematic sample, derive
+//!      partition MBRs from it on the master, store them as a `_master`
+//!      HDFS file;
+//!    * *partition job*: map assigns every record the cell(s) it
+//!      intersects; the shuffle groups records by cell id; reducers write
+//!      one indexed block file per cell (the intra-block R-tree is "built
+//!      virtually for free" next to the dominating disk I/O, but the write
+//!      — with 3× replication — is exactly the indexing cost Table 3 shows
+//!      exploding on EC2).
+//! 2. **Global join** — *not* a distributed step: the job's `getSplits`
+//!    override runs a serial plane-sweep over the two `_master` MBR lists
+//!    on the master node and emits one input split per intersecting cell
+//!    pair.
+//! 3. **Local join** — a *map-only* job: each task random-accesses the two
+//!    indexed block files of its cell pair and runs a plane-sweep (or
+//!    synchronized R-tree) join plus JTS refinement. No shuffle, no
+//!    reducers — the design the paper credits for SpatialHadoop's
+//!    robustness.
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::{Cluster, RunTrace, SimError, SimHdfs, StageKind, StageTrace};
+use sjc_geom::{EngineKind, GeometryEngine, Point};
+use sjc_index::entry::IndexEntry;
+use sjc_index::join::plane_sweep;
+use sjc_index::partition::SpatialPartitioner;
+use sjc_index::RTree;
+use sjc_mapreduce::{block_splits, JobConfig, MapReduceJob, MapTask};
+use sjc_mapreduce::job::ScaleMode;
+
+use crate::common::{local_join, LocalJoinAlgo, PartitionerKind};
+use crate::framework::{DistributedSpatialJoin, JoinInput, JoinOutput, JoinPredicate};
+
+/// The SpatialHadoop system.
+#[derive(Debug, Clone)]
+pub struct SpatialHadoop {
+    /// Local join algorithm (§II.C offers plane sweep and synchronized
+    /// R-tree traversal; plane sweep is the default).
+    pub local_algo: LocalJoinAlgo,
+    /// Systematic sample rate for partition derivation.
+    pub sample_rate: f64,
+    /// Target spatial partition count per dataset.
+    pub partitions: usize,
+    /// Spatial partitioner family (SpatialHadoop supports GRID and
+    /// STR-style indexes; the ablation benches sweep this).
+    pub partitioner: PartitionerKind,
+    /// Geometry library cost profile (JTS for the real system; the
+    /// `ablation_geometry_engine` bench swaps in GEOS).
+    pub engine: EngineKind,
+    /// Index the right dataset with the *left* dataset's grid. §II.B: when
+    /// "the underlying grid configurations are not compatible ...
+    /// re-partition is required. On the other hand ... SpatialHadoop can run
+    /// faster when re-partitioning can be skipped" — compatible grids drop
+    /// the right side's sample job and turn the global join into identity
+    /// cell pairing.
+    pub reuse_partitions: bool,
+}
+
+impl Default for SpatialHadoop {
+    fn default() -> Self {
+        SpatialHadoop {
+            local_algo: LocalJoinAlgo::PlaneSweep,
+            sample_rate: 0.01,
+            // SpatialHadoop sizes partitions toward HDFS blocks; 128 cells
+            // approximates the block count of the full datasets.
+            partitions: 128,
+            partitioner: PartitionerKind::StrTiles,
+            engine: EngineKind::Jts,
+            reuse_partitions: false,
+        }
+    }
+}
+
+/// A fixed cell list adopted from another dataset's index (compatible-grid
+/// mode): the generic trait machinery provides assignment and ownership.
+struct SharedCells {
+    cells: Vec<sjc_geom::Mbr>,
+}
+
+impl SpatialPartitioner for SharedCells {
+    fn cells(&self) -> &[sjc_geom::Mbr] {
+        &self.cells
+    }
+}
+
+/// A dataset after preprocessing: its partitioner, per-cell record indices
+/// and per-cell serialized bytes.
+struct Indexed {
+    partitioner: Box<dyn SpatialPartitioner + Send + Sync>,
+    cells: Vec<Vec<u64>>,
+    cell_bytes: Vec<u64>,
+}
+
+impl SpatialHadoop {
+    /// The two preprocessing MR jobs for one dataset.
+    fn index_dataset(
+        &self,
+        cluster: &Cluster,
+        hdfs: &mut SimHdfs,
+        input: &JoinInput,
+        phase: Phase,
+        widen: Option<JoinPredicate>,
+        shared_cells: Option<Vec<sjc_geom::Mbr>>,
+    ) -> (Indexed, Vec<StageTrace>) {
+        let mut traces = Vec::new();
+        let mut engine = MapReduceJob::new(cluster, hdfs);
+        let bpr = input.bytes_per_record();
+        let block = engine.hdfs.block_size();
+
+        let partitioner: Box<dyn SpatialPartitioner + Send + Sync> = match shared_cells {
+            // Compatible-grid mode: adopt the other dataset's cells and skip
+            // the sample job entirely.
+            Some(cells) => Box::new(SharedCells { cells }),
+            None => {
+                // --- MR job 1: sample + derive partitions on the master ---
+                let stride = (1.0 / self.sample_rate).round().max(1.0) as u64;
+                let ids: Vec<u64> = (0..input.records.len() as u64).collect();
+                let cfg1 =
+                    JobConfig::new(format!("{}: sample", input.name), phase, input.multiplier)
+                        .write_output(false);
+                let sample_out =
+                    engine.map_only(&cfg1, block_splits(&ids, bpr, block), |&i, em| {
+                        if i % stride == 0 {
+                            em.emit(i, 16);
+                        }
+                    });
+                traces.push(sample_out.trace);
+
+                let sample_points: Vec<Point> = sample_out
+                    .output
+                    .iter()
+                    .map(|&i| input.records[i as usize].mbr.center())
+                    .collect();
+                self.partitioner.build(input.domain, sample_points, self.partitions)
+            }
+        };
+        let ids: Vec<u64> = (0..input.records.len() as u64).collect();
+        // `_master` file: one MBR row per cell.
+        let master_bytes = partitioner.cells().len() as u64 * 72;
+        engine
+            .hdfs
+            .write_file(&format!("{}_master", input.name), master_bytes, partitioner.cells().len() as u64);
+
+        // --- MR job 2: assign partitions, shuffle, write indexed blocks ---
+        let cell_rtree = RTree::bulk_load_str(
+            partitioner
+                .cells()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| IndexEntry::new(i as u64, *c))
+                .collect(),
+        );
+        let jts = GeometryEngine::new(self.engine());
+        let cfg2 = JobConfig::new(format!("{}: partition+index", input.name), phase, input.multiplier);
+        let outcome = engine.map_reduce(
+            &cfg2,
+            block_splits(&ids, bpr, block),
+            |&i, em| {
+                let rec = &input.records[i as usize];
+                let mbr = match widen {
+                    Some(p) => p.filter_mbr(&rec.mbr),
+                    None => rec.mbr,
+                };
+                let mut hits = Vec::new();
+                let visited = cell_rtree.query_counting(&mbr, &mut hits);
+                em.charge(visited as u64 * jts.filter_cost_ns());
+                if hits.is_empty() {
+                    hits.push(partitioner.nearest_cell(&mbr.center()) as u64);
+                }
+                for cell in hits {
+                    em.emit(cell as u32, i, bpr as u64);
+                }
+            },
+            |cell, ids, em| {
+                // Build the intra-block index (an STR sort) and write the
+                // block: the write dominates, as the paper notes.
+                em.charge(cluster.cost.sort_ns(ids.len() as u64));
+                em.emit((*cell, ids.to_vec()), (ids.len() as f64 * bpr) as u64);
+            },
+        );
+        traces.push(outcome.trace);
+
+        let mut cells: Vec<Vec<u64>> = vec![Vec::new(); partitioner.cells().len()];
+        let mut cell_bytes: Vec<u64> = vec![0; partitioner.cells().len()];
+        for (cell, ids) in outcome.output {
+            cell_bytes[cell as usize] = (ids.len() as f64 * bpr) as u64;
+            cells[cell as usize] = ids;
+        }
+        (
+            Indexed {
+                partitioner,
+                cells,
+                cell_bytes,
+            },
+            traces,
+        )
+    }
+}
+
+impl DistributedSpatialJoin for SpatialHadoop {
+    fn name(&self) -> &'static str {
+        "SpatialHadoop"
+    }
+
+    fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    fn run(
+        &self,
+        cluster: &Cluster,
+        left: &JoinInput,
+        right: &JoinInput,
+        predicate: JoinPredicate,
+    ) -> Result<JoinOutput, SimError> {
+        let mut hdfs = SimHdfs::new(cluster.config.nodes);
+        let mut trace = RunTrace::new(self.name());
+        let jts = GeometryEngine::new(self.engine());
+
+        // Preprocessing: index both datasets (IA, IB).
+        let (ia, t) = self.index_dataset(cluster, &mut hdfs, left, Phase::IndexA, Some(predicate), None);
+        trace.stages.extend(t);
+        let shared = if self.reuse_partitions {
+            Some(ia.partitioner.cells().to_vec())
+        } else {
+            None
+        };
+        let (ib, t) = self.index_dataset(cluster, &mut hdfs, right, Phase::IndexB, None, shared);
+        trace.stages.extend(t);
+
+        // Global join on the master: serial plane-sweep over the two
+        // `_master` cell-MBR lists (the getSplits override).
+        let a_entries: Vec<IndexEntry> = ia
+            .partitioner
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| IndexEntry::new(i as u64, *c))
+            .collect();
+        let b_entries: Vec<IndexEntry> = ib
+            .partitioner
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| IndexEntry::new(i as u64, *c))
+            .collect();
+        let cand = if self.reuse_partitions {
+            // Compatible grids: cell i pairs with cell i — no serial sweep.
+            sjc_index::join::CandidatePairs {
+                pairs: (0..ia.partitioner.cells().len() as u64).map(|i| (i, i)).collect(),
+                stats: Default::default(),
+            }
+        } else {
+            plane_sweep(&a_entries, &b_entries)
+        };
+        let mut gstage = StageTrace::new("getSplits: pair partitions", StageKind::LocalSerial, Phase::DistributedJoin);
+        gstage.sim_ns = cand.stats.filter_tests * jts.filter_cost_ns()
+            + cluster.cost.io_ns(
+                (a_entries.len() + b_entries.len()) as u64 * 72,
+                cluster.config.node.disk_read_bw,
+            );
+        gstage.hdfs_bytes_read = (a_entries.len() + b_entries.len()) as u64 * 72;
+        trace.push(gstage);
+
+        // Local join: map-only job, one task per intersecting cell pair.
+        let mut engine = MapReduceJob::new(cluster, &mut hdfs);
+        let tasks: Vec<MapTask<(u64, u64)>> = cand
+            .pairs
+            .iter()
+            .map(|&(ca, cb)| {
+                MapTask::new(
+                    vec![(ca, cb)],
+                    ia.cell_bytes[ca as usize] + ib.cell_bytes[cb as usize],
+                )
+            })
+            .collect();
+        let mult = left.multiplier.max(right.multiplier);
+        let cfg = JobConfig::new("distributed join (map-only)", Phase::DistributedJoin, mult)
+            .map_scale(ScaleMode::BiggerTasks)
+            .parse_input(false); // indexed binary blocks, no text parse
+        let outcome = engine.map_only(&cfg, tasks, |&(ca, cb), em| {
+            let lrecs: Vec<&crate::framework::GeoRecord> = ia.cells[ca as usize]
+                .iter()
+                .map(|&i| &left.records[i as usize])
+                .collect();
+            let rrecs: Vec<&crate::framework::GeoRecord> = ib.cells[cb as usize]
+                .iter()
+                .map(|&i| &right.records[i as usize])
+                .collect();
+            let (pairs, cost) = local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {
+                match predicate.filter_mbr(am).reference_point(bm) {
+                    Some(rp) => {
+                        ia.partitioner.owner(&rp) == ca as u32 && ib.partitioner.owner(&rp) == cb as u32
+                    }
+                    None => false,
+                }
+            });
+            // Deserializing the two block files' records into JVM objects is
+            // the task's real per-record cost; the geometry work rides on top.
+            em.charge(cluster.cost.hadoop_records_ns((lrecs.len() + rrecs.len()) as u64));
+            em.charge(cost.filter_ns + cost.refine_ns);
+            for p in pairs {
+                em.emit(p, 24);
+            }
+        });
+        trace.stages.extend(std::iter::once(outcome.trace));
+
+        Ok(JoinOutput {
+            pairs: outcome.output,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::direct_join;
+    use sjc_cluster::ClusterConfig;
+    use sjc_data::{DatasetId, ScaledDataset};
+
+    fn tiny_inputs() -> (JoinInput, JoinInput) {
+        let taxi = ScaledDataset::generate(DatasetId::Taxi, 2e-5, 7);
+        let nycb = ScaledDataset::generate(DatasetId::Nycb, 2e-5, 7);
+        (JoinInput::from_dataset(&taxi), JoinInput::from_dataset(&nycb))
+    }
+
+    #[test]
+    fn matches_direct_join() {
+        let (left, right) = tiny_inputs();
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let sys = SpatialHadoop::default();
+        let out = sys
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
+        let mut expected = direct_join(
+            &GeometryEngine::jts(),
+            JoinPredicate::Intersects,
+            &left.records,
+            &right.records,
+        );
+        expected.sort_unstable();
+        assert!(!expected.is_empty(), "workload must have hits");
+        assert_eq!(out.sorted_pairs(), expected);
+    }
+
+    #[test]
+    fn emits_the_papers_stage_structure() {
+        let (left, right) = tiny_inputs();
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let out = SpatialHadoop::default()
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
+        // 2 jobs per dataset + getSplits + map-only join = 6 stages.
+        assert_eq!(out.trace.stages.len(), 6);
+        assert!(out.trace.phase_ns(Phase::IndexA) > 0);
+        assert!(out.trace.phase_ns(Phase::IndexB) > 0);
+        assert!(out.trace.phase_ns(Phase::DistributedJoin) > 0);
+        // The join job is map-only.
+        let join_stage = out.trace.stages.last().unwrap();
+        assert_eq!(join_stage.kind, StageKind::MapOnlyJob);
+        assert_eq!(join_stage.shuffle_bytes, 0, "no shuffle in the join job");
+    }
+
+    #[test]
+    fn sync_rtree_variant_agrees() {
+        let (left, right) = tiny_inputs();
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let sweep = SpatialHadoop::default()
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
+        let sync = SpatialHadoop {
+            local_algo: LocalJoinAlgo::SyncRTree,
+            ..SpatialHadoop::default()
+        }
+        .run(&cluster, &left, &right, JoinPredicate::Intersects)
+        .unwrap();
+        assert_eq!(sweep.sorted_pairs(), sync.sorted_pairs());
+    }
+
+    #[test]
+    fn compatible_grids_skip_work_without_changing_results() {
+        // §II.B: when the grids are compatible, re-partitioning is skipped
+        // and SpatialHadoop runs faster. Same results, fewer stages, less
+        // simulated time.
+        let (left, right) = tiny_inputs();
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let default_run = SpatialHadoop::default()
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
+        let reuse_run = SpatialHadoop {
+            reuse_partitions: true,
+            ..SpatialHadoop::default()
+        }
+        .run(&cluster, &left, &right, JoinPredicate::Intersects)
+        .unwrap();
+        assert_eq!(
+            reuse_run.pairs.len(),
+            default_run.pairs.len(),
+        );
+        let mut a = default_run.pairs.clone();
+        let mut b = reuse_run.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "identity pairing is exact under a shared grid");
+        assert_eq!(
+            reuse_run.trace.stages.len(),
+            default_run.trace.stages.len() - 1,
+            "the right side's sample job disappears"
+        );
+        assert!(
+            reuse_run.trace.phase_ns(Phase::IndexB) < default_run.trace.phase_ns(Phase::IndexB),
+            "IB gets cheaper"
+        );
+    }
+
+    #[test]
+    fn never_fails_by_design() {
+        // SpatialHadoop is the paper's robustness winner: huge multipliers
+        // (full datasets) never error.
+        let (left, right) = tiny_inputs();
+        for cfg in ClusterConfig::paper_configs() {
+            let cluster = Cluster::new(cfg);
+            assert!(SpatialHadoop::default()
+                .run(&cluster, &left, &right, JoinPredicate::Intersects)
+                .is_ok());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Dataset profiling: the spatial statistics that drive design choices.
+//!
+//! The paper's analysis turns on data characteristics — skew (taxi
+//! hotspots), record size (points vs long polylines), selectivity — without
+//! quantifying them. This module computes those statistics for any
+//! dataset, so the synthetic data's character can be audited against the
+//! real datasets' published descriptions (and so users can profile their
+//! own data before choosing a system).
+
+use sjc_geom::{Geometry, Mbr};
+
+/// Spatial statistics of one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    pub records: usize,
+    pub total_vertices: u64,
+    pub avg_vertices: f64,
+    /// Tight bounds of all geometry.
+    pub extent: Mbr,
+    /// Average serialized (WKT) bytes per record.
+    pub avg_wkt_bytes: f64,
+    /// Grid-cell occupancy skew: max cell count / mean non-empty cell count
+    /// over a `grid × grid` histogram. 1.0 = perfectly uniform.
+    pub occupancy_skew: f64,
+    /// Fraction of grid cells with zero records.
+    pub empty_cell_fraction: f64,
+    /// Average MBR area relative to the extent (how "spread" records are —
+    /// drives multi-assignment duplication under partitioning).
+    pub relative_mbr_area: f64,
+}
+
+impl DatasetProfile {
+    /// Profiles `geoms` with a `grid × grid` occupancy histogram.
+    pub fn compute(geoms: &[Geometry], grid: usize) -> DatasetProfile {
+        assert!(grid > 0, "grid must be nonzero");
+        let mut extent = Mbr::empty();
+        let mut total_vertices = 0u64;
+        let mut wkt_bytes = 0u64;
+        for g in geoms {
+            extent.expand(&g.mbr());
+            total_vertices += g.num_vertices() as u64;
+            wkt_bytes += g.wkt_size_estimate();
+        }
+        let mut hist = vec![0u64; grid * grid];
+        let mut rel_area = 0.0f64;
+        if !extent.is_empty() && extent.area() > 0.0 {
+            let w = extent.width() / grid as f64;
+            let h = extent.height() / grid as f64;
+            for g in geoms {
+                let c = g.mbr().center();
+                let cx = (((c.x - extent.min_x) / w) as usize).min(grid - 1);
+                let cy = (((c.y - extent.min_y) / h) as usize).min(grid - 1);
+                hist[cy * grid + cx] += 1;
+                rel_area += g.mbr().area() / extent.area();
+            }
+        }
+        let non_empty: Vec<u64> = hist.iter().copied().filter(|&c| c > 0).collect();
+        let mean = if non_empty.is_empty() {
+            0.0
+        } else {
+            non_empty.iter().sum::<u64>() as f64 / non_empty.len() as f64
+        };
+        let max = hist.iter().copied().max().unwrap_or(0) as f64;
+        DatasetProfile {
+            records: geoms.len(),
+            total_vertices,
+            avg_vertices: if geoms.is_empty() {
+                0.0
+            } else {
+                total_vertices as f64 / geoms.len() as f64
+            },
+            extent,
+            avg_wkt_bytes: if geoms.is_empty() {
+                0.0
+            } else {
+                wkt_bytes as f64 / geoms.len() as f64
+            },
+            occupancy_skew: if mean > 0.0 { max / mean } else { 0.0 },
+            empty_cell_fraction: hist.iter().filter(|&&c| c == 0).count() as f64
+                / hist.len() as f64,
+            relative_mbr_area: if geoms.is_empty() {
+                0.0
+            } else {
+                rel_area / geoms.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetId, ScaledDataset};
+    use sjc_geom::Point;
+
+    #[test]
+    fn uniform_points_have_low_skew() {
+        let geoms: Vec<Geometry> = (0..1600)
+            .map(|i| Geometry::Point(Point::new((i % 40) as f64, (i / 40) as f64)))
+            .collect();
+        let p = DatasetProfile::compute(&geoms, 8);
+        assert_eq!(p.records, 1600);
+        assert!(p.occupancy_skew < 1.5, "uniform grid, got skew {}", p.occupancy_skew);
+        assert_eq!(p.avg_vertices, 1.0);
+    }
+
+    #[test]
+    fn taxi_data_is_visibly_skewed() {
+        let taxi = ScaledDataset::generate(DatasetId::Taxi, 1e-4, 3);
+        let p = DatasetProfile::compute(&taxi.geoms, 16);
+        assert!(
+            p.occupancy_skew > 3.0,
+            "hotspots must dominate: skew {}",
+            p.occupancy_skew
+        );
+    }
+
+    #[test]
+    fn polylines_report_vertex_and_byte_sizes() {
+        let water = ScaledDataset::generate(DatasetId::Linearwater01, 1e-3, 3);
+        let p = DatasetProfile::compute(&water.geoms, 8);
+        assert!(p.avg_vertices > 19.0 && p.avg_vertices < 51.0);
+        assert!(p.avg_wkt_bytes > 500.0, "long polylines serialize big");
+        assert!(p.relative_mbr_area > 0.0);
+    }
+
+    #[test]
+    fn linearwater_spreads_more_than_points() {
+        let water = ScaledDataset::generate(DatasetId::Linearwater01, 1e-3, 3);
+        let taxi = ScaledDataset::generate(DatasetId::Taxi1m, 1e-3, 3);
+        let pw = DatasetProfile::compute(&water.geoms, 8);
+        let pt = DatasetProfile::compute(&taxi.geoms, 8);
+        assert!(
+            pw.relative_mbr_area > 10.0 * pt.relative_mbr_area.max(1e-12),
+            "meanders span far more area than points"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_profile() {
+        let p = DatasetProfile::compute(&[], 4);
+        assert_eq!(p.records, 0);
+        assert_eq!(p.occupancy_skew, 0.0);
+        assert_eq!(p.empty_cell_fraction, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Taxi pickup point generator: a hotspot mixture.
+//!
+//! NYC taxi pickups are famously skewed — most trips start in a small dense
+//! core (Manhattan) with a long uniform-ish tail across the boroughs. We
+//! reproduce that with a mixture model: several Gaussian hotspots carrying
+//! most of the mass over a uniform background. The skew is what stresses
+//! partition balance (and, through oversized partitions, triggers
+//! HadoopGIS's streaming-pipe failures at full scale).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+use sjc_geom::{Geometry, Mbr, Point};
+
+/// Fraction of points drawn from hotspots (vs uniform background).
+const HOTSPOT_MASS: f64 = 0.75;
+
+/// Relative hotspot layout: (center_x, center_y, sigma) in domain fractions.
+/// One dominant downtown core plus two secondary centers.
+const HOTSPOTS: [(f64, f64, f64); 3] = [
+    (0.35, 0.55, 0.055), // "Manhattan" core: dense and dominant
+    (0.55, 0.40, 0.075), // secondary center
+    (0.70, 0.65, 0.095), // airport-ish cluster
+];
+/// Relative mass of each hotspot within the hotspot fraction.
+const HOTSPOT_WEIGHTS: [f64; 3] = [0.55, 0.27, 0.18];
+
+/// Generates `n` pickup points inside `domain`.
+pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
+    let w = domain.width();
+    let h = domain.height();
+    (0..n)
+        .map(|_| {
+            let p = if rng.gen::<f64>() < HOTSPOT_MASS {
+                // Pick a hotspot by weight.
+                let mut pick = rng.gen::<f64>();
+                let mut idx = 0;
+                for (i, &wt) in HOTSPOT_WEIGHTS.iter().enumerate() {
+                    if pick < wt {
+                        idx = i;
+                        break;
+                    }
+                    pick -= wt;
+                    idx = i;
+                }
+                let (cx, cy, sigma) = HOTSPOTS[idx];
+                let x = domain.min_x + (cx + sample_normal(rng) * sigma) * w;
+                let y = domain.min_y + (cy + sample_normal(rng) * sigma) * h;
+                Point::new(
+                    x.clamp(domain.min_x, domain.max_x),
+                    y.clamp(domain.min_y, domain.max_y),
+                )
+            } else {
+                Point::new(
+                    domain.min_x + rng.gen::<f64>() * w,
+                    domain.min_y + rng.gen::<f64>() * h,
+                )
+            };
+            Geometry::Point(p)
+        })
+        .collect()
+}
+
+/// Minimal Box–Muller standard normal sampler (keeps the dependency surface
+/// at plain `rand`).
+mod rand_distr_normal {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub fn sample_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_points(n: usize) -> (Mbr, Vec<Point>) {
+        let domain = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = generate(&mut rng, domain, n)
+            .into_iter()
+            .map(|g| match g {
+                Geometry::Point(p) => p,
+                other => panic!("taxi generator must emit points, got {}", other.kind()),
+            })
+            .collect();
+        (domain, pts)
+    }
+
+    #[test]
+    fn emits_requested_count_inside_domain() {
+        let (domain, pts) = gen_points(5000);
+        assert_eq!(pts.len(), 5000);
+        assert!(pts.iter().all(|p| domain.contains_point(p)));
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let (domain, pts) = gen_points(20_000);
+        // Count points in the hotspot core cell (10% x 10% of the domain
+        // around the primary hotspot) vs an equally-sized far corner.
+        let core = Mbr::new(0.30 * 1000.0, 0.50 * 1000.0, 0.40 * 1000.0, 0.60 * 1000.0);
+        let corner = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(core.area(), corner.area());
+        let in_core = pts.iter().filter(|p| core.contains_point(p)).count();
+        let in_corner = pts.iter().filter(|p| corner.contains_point(p)).count();
+        assert!(
+            in_core > 10 * in_corner.max(1),
+            "hotspot skew missing: core={in_core} corner={in_corner}"
+        );
+        let _ = domain;
+    }
+
+    #[test]
+    fn background_covers_whole_domain() {
+        let (_, pts) = gen_points(20_000);
+        // Every quadrant receives some points (uniform background).
+        for (qx, qy) in [(0.0, 0.0), (500.0, 0.0), (0.0, 500.0), (500.0, 500.0)] {
+            let quad = Mbr::new(qx, qy, qx + 500.0, qy + 500.0);
+            assert!(pts.iter().any(|p| quad.contains_point(p)), "empty quadrant at {qx},{qy}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! TSV + WKT text serialization.
+//!
+//! All three systems ingest tab-separated text whose last field is WKT.
+//! HadoopGIS additionally *re-serializes* records between every streaming
+//! stage — `to_tsv_lines`/`parse_tsv_line` are exactly the operations its
+//! pipes pay for, and what the cost model's parse/serialize constants meter.
+
+use sjc_geom::wkt::{parse_wkt, to_wkt, WktError};
+use sjc_geom::Geometry;
+
+/// Serializes `(id, geometry)` records into `id \t WKT` lines.
+pub fn to_tsv_lines<'a, I>(records: I) -> Vec<String>
+where
+    I: IntoIterator<Item = (u64, &'a Geometry)>,
+{
+    records
+        .into_iter()
+        .map(|(id, g)| format!("{id}\t{}", to_wkt(g)))
+        .collect()
+}
+
+/// Parse error for a TSV record line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsvError {
+    MissingField(&'static str),
+    BadId(String),
+    BadWkt(WktError),
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::MissingField(name) => write!(f, "missing TSV field: {name}"),
+            TsvError::BadId(s) => write!(f, "invalid record id: {s:?}"),
+            TsvError::BadWkt(e) => write!(f, "invalid WKT: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+/// Parses an `id \t WKT` line back into a record.
+pub fn parse_tsv_line(line: &str) -> Result<(u64, Geometry), TsvError> {
+    let mut fields = line.splitn(2, '\t');
+    let id_str = fields.next().ok_or(TsvError::MissingField("id"))?;
+    let wkt = fields.next().ok_or(TsvError::MissingField("wkt"))?;
+    let id = id_str
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| TsvError::BadId(id_str.to_string()))?;
+    let geom = parse_wkt(wkt).map_err(TsvError::BadWkt)?;
+    Ok((id, geom))
+}
+
+/// Total byte size of a batch of lines (newline included) — the exact
+/// volume a streaming stage pipes.
+pub fn lines_bytes(lines: &[String]) -> u64 {
+    lines.iter().map(|l| l.len() as u64 + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_geom::{LineString, Point};
+
+    #[test]
+    fn round_trip() {
+        let geoms = [Geometry::Point(Point::new(1.0, 2.0)),
+            Geometry::LineString(LineString::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]))];
+        let lines = to_tsv_lines(geoms.iter().enumerate().map(|(i, g)| (i as u64, g)));
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let (id, g) = parse_tsv_line(line).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&g, &geoms[i]);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse_tsv_line(""), Err(TsvError::MissingField(_))));
+        assert!(matches!(parse_tsv_line("abc\tPOINT (1 2)"), Err(TsvError::BadId(_))));
+        assert!(matches!(parse_tsv_line("1\tnot wkt"), Err(TsvError::BadWkt(_))));
+        assert!(matches!(parse_tsv_line("17"), Err(TsvError::MissingField("wkt"))));
+    }
+
+    #[test]
+    fn byte_accounting_includes_newlines() {
+        let lines = vec!["ab".to_string(), "c".to_string()];
+        assert_eq!(lines_bytes(&lines), 2 + 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Clipping geometry to a rectangle (Liang–Barsky / Sutherland–Hodgman).
+//!
+//! Partitioned spatial systems sometimes *clip* geometry at partition
+//! boundaries instead of duplicating whole records (SpatialHadoop supports
+//! both). Clipping is also what the duplicate-avoidance literature calls
+//! "fragment" replication. Provided here for completeness and used by the
+//! data-profiling tools to measure how much volume clipping would save.
+
+use crate::linestring::LineString;
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Clips the segment `a..b` to `rect` (Liang–Barsky). Returns the clipped
+/// endpoints, or `None` when the segment misses the rectangle entirely.
+pub fn clip_segment(a: &Point, b: &Point, rect: &Mbr) -> Option<(Point, Point)> {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    // p = direction component against each boundary, q = distance inside.
+    let checks = [
+        (-dx, a.x - rect.min_x),
+        (dx, rect.max_x - a.x),
+        (-dy, a.y - rect.min_y),
+        (dy, rect.max_y - a.y),
+    ];
+    for (p, q) in checks {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                if r > t0 {
+                    t0 = r;
+                }
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                if r < t1 {
+                    t1 = r;
+                }
+            }
+        }
+    }
+    Some((
+        Point::new(a.x + t0 * dx, a.y + t0 * dy),
+        Point::new(a.x + t1 * dx, a.y + t1 * dy),
+    ))
+}
+
+/// Clips a polyline to a rectangle, returning the surviving pieces (a
+/// polyline crossing in and out of the window yields several fragments).
+pub fn clip_linestring(line: &LineString, rect: &Mbr) -> Vec<LineString> {
+    let mut out: Vec<LineString> = Vec::new();
+    let mut current: Vec<Point> = Vec::new();
+    for (a, b) in line.segments() {
+        match clip_segment(a, b, rect) {
+            Some((ca, cb)) => {
+                if ca.distance(&cb) == 0.0 {
+                    continue; // grazing contact, no extent
+                }
+                match current.last() {
+                    Some(last) if last.distance(&ca) < 1e-12 => current.push(cb),
+                    _ => {
+                        if current.len() >= 2 {
+                            out.push(LineString::new(std::mem::take(&mut current)));
+                        }
+                        current.clear();
+                        current.push(ca);
+                        current.push(cb);
+                    }
+                }
+            }
+            None => {
+                if current.len() >= 2 {
+                    out.push(LineString::new(std::mem::take(&mut current)));
+                }
+                current.clear();
+            }
+        }
+    }
+    if current.len() >= 2 {
+        out.push(LineString::new(current));
+    }
+    out
+}
+
+/// Clips a polygon's shell to a rectangle (Sutherland–Hodgman). Holes are
+/// dropped — partition-fragment use-cases only need the outer coverage.
+/// Returns `None` when the intersection is empty or degenerate.
+pub fn clip_polygon(poly: &Polygon, rect: &Mbr) -> Option<Polygon> {
+    let mut ring: Vec<Point> = poly.shell().to_vec();
+    // Clip successively against each half-plane of the rectangle.
+    for side in 0..4 {
+        if ring.len() < 3 {
+            return None;
+        }
+        let inside = |p: &Point| match side {
+            0 => p.x >= rect.min_x,
+            1 => p.x <= rect.max_x,
+            2 => p.y >= rect.min_y,
+            _ => p.y <= rect.max_y,
+        };
+        let intersect = |a: &Point, b: &Point| -> Point {
+            match side {
+                0 => lerp_x(a, b, rect.min_x),
+                1 => lerp_x(a, b, rect.max_x),
+                2 => lerp_y(a, b, rect.min_y),
+                _ => lerp_y(a, b, rect.max_y),
+            }
+        };
+        let mut next = Vec::with_capacity(ring.len() + 4);
+        for i in 0..ring.len() {
+            let cur = ring[i];
+            let prev = ring[(i + ring.len() - 1) % ring.len()];
+            match (inside(&prev), inside(&cur)) {
+                (true, true) => next.push(cur),
+                (true, false) => next.push(intersect(&prev, &cur)),
+                (false, true) => {
+                    next.push(intersect(&prev, &cur));
+                    next.push(cur);
+                }
+                (false, false) => {}
+            }
+        }
+        ring = next;
+        ring.dedup_by(|a, b| a.distance(b) < 1e-12);
+    }
+    if ring.len() < 3 {
+        return None;
+    }
+    let poly = Polygon::try_with_holes(ring, Vec::new())?;
+    if poly.area() <= 0.0 {
+        None
+    } else {
+        Some(poly)
+    }
+}
+
+fn lerp_x(a: &Point, b: &Point, x: f64) -> Point {
+    let t = (x - a.x) / (b.x - a.x);
+    Point::new(x, a.y + t * (b.y - a.y))
+}
+
+fn lerp_y(a: &Point, b: &Point, y: f64) -> Point {
+    let t = (y - a.y) / (b.y - a.y);
+    Point::new(a.x + t * (b.x - a.x), y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn unit() -> Mbr {
+        Mbr::new(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn segment_fully_inside_is_unchanged() {
+        let (a, b) = clip_segment(&p(1.0, 1.0), &p(9.0, 9.0), &unit()).unwrap();
+        assert_eq!(a, p(1.0, 1.0));
+        assert_eq!(b, p(9.0, 9.0));
+    }
+
+    #[test]
+    fn segment_crossing_is_trimmed() {
+        let (a, b) = clip_segment(&p(-5.0, 5.0), &p(15.0, 5.0), &unit()).unwrap();
+        assert_eq!(a, p(0.0, 5.0));
+        assert_eq!(b, p(10.0, 5.0));
+    }
+
+    #[test]
+    fn segment_outside_is_rejected() {
+        assert!(clip_segment(&p(-5.0, -5.0), &p(-1.0, -1.0), &unit()).is_none());
+        assert!(clip_segment(&p(20.0, 0.0), &p(20.0, 10.0), &unit()).is_none());
+    }
+
+    #[test]
+    fn diagonal_corner_cut() {
+        let (a, b) = clip_segment(&p(-5.0, 5.0), &p(5.0, -5.0), &unit()).unwrap();
+        assert!((a.x - 0.0).abs() < 1e-9 && (a.y - 0.0).abs() < 1e-9 || (b.x - 0.0).abs() < 1e-9);
+        assert!(unit().contains_point(&a) && unit().contains_point(&b));
+    }
+
+    #[test]
+    fn polyline_splits_into_fragments() {
+        // Enters, exits, re-enters: two fragments.
+        let line = LineString::new(vec![p(-5.0, 5.0), p(5.0, 5.0), p(15.0, 5.0), p(15.0, 2.0), p(5.0, 2.0)]);
+        let frags = clip_linestring(&line, &unit());
+        assert_eq!(frags.len(), 2);
+        for f in &frags {
+            assert!(unit().contains(&f.mbr()));
+        }
+    }
+
+    #[test]
+    fn polyline_outside_yields_nothing() {
+        let line = LineString::new(vec![p(20.0, 20.0), p(30.0, 30.0)]);
+        assert!(clip_linestring(&line, &unit()).is_empty());
+    }
+
+    #[test]
+    fn polygon_clip_halves_a_square() {
+        let sq = Polygon::new(vec![p(-5.0, 0.0), p(5.0, 0.0), p(5.0, 10.0), p(-5.0, 10.0)]);
+        let clipped = clip_polygon(&sq, &unit()).unwrap();
+        assert!((clipped.area() - 50.0).abs() < 1e-9);
+        assert!(unit().contains(&clipped.mbr()));
+    }
+
+    #[test]
+    fn polygon_inside_is_unchanged_in_area() {
+        let sq = Polygon::new(vec![p(2.0, 2.0), p(4.0, 2.0), p(4.0, 4.0), p(2.0, 4.0)]);
+        let clipped = clip_polygon(&sq, &unit()).unwrap();
+        assert!((clipped.area() - sq.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_outside_is_none() {
+        let sq = Polygon::new(vec![p(20.0, 20.0), p(24.0, 20.0), p(24.0, 24.0), p(20.0, 24.0)]);
+        assert!(clip_polygon(&sq, &unit()).is_none());
+    }
+
+    #[test]
+    fn polygon_corner_overlap() {
+        // Square overlapping only the window's corner: clipped area is the
+        // overlap rectangle.
+        let sq = Polygon::new(vec![p(8.0, 8.0), p(14.0, 8.0), p(14.0, 14.0), p(8.0, 14.0)]);
+        let clipped = clip_polygon(&sq, &unit()).unwrap();
+        assert!((clipped.area() - 4.0).abs() < 1e-9);
+    }
+}

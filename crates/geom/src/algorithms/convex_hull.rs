@@ -1,0 +1,113 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! Used by data-profiling tooling (hull-based extent estimates) and
+//! available to downstream users of the geometry engine; JTS exposes the
+//! same operation.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::predicates::cross;
+
+/// Computes the convex hull of a point set as a counter-clockwise ring.
+///
+/// Returns `None` for fewer than 3 non-collinear points. Duplicates are
+/// tolerated.
+pub fn convex_hull(points: &[Point]) -> Option<Polygon> {
+    let ring = convex_hull_ring(points)?;
+    Some(Polygon::new(ring))
+}
+
+/// The hull ring itself (counter-clockwise, no repeated closing vertex).
+pub fn convex_hull_ring(points: &[Point]) -> Option<Vec<Point>> {
+    if points.len() < 3 {
+        return None;
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
+    });
+    pts.dedup();
+    if pts.len() < 3 {
+        return None;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    if hull.len() < 3 {
+        return None; // all collinear
+    }
+    Some(hull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::point_in_polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0), // interior
+            p(1.0, 3.0), // interior
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.shell().len(), 4, "interior points dropped");
+        assert_eq!(hull.area(), 16.0);
+        assert!(hull.signed_area() > 0.0, "counter-clockwise");
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| p((i * 37 % 23) as f64, (i * 53 % 19) as f64))
+            .collect();
+        let hull = convex_hull(&pts).unwrap();
+        for q in &pts {
+            assert!(point_in_polygon(&hull, q), "{q:?} escaped the hull");
+        }
+    }
+
+    #[test]
+    fn collinear_points_have_no_hull() {
+        let pts: Vec<Point> = (0..10).map(|i| p(i as f64, i as f64 * 2.0)).collect();
+        assert!(convex_hull(&pts).is_none());
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(convex_hull(&[p(0.0, 0.0), p(1.0, 1.0)]).is_none());
+        assert!(convex_hull(&[]).is_none());
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let pts = vec![p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.shell().len(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Distance computation: point–segment and point–polyline.
+//!
+//! The paper's motivating example ("matching taxi pickup/drop-off locations
+//! with road segments through point-to-nearest-polyline distance
+//! computation") is a within-distance join whose refinement predicate is
+//! implemented here.
+
+use crate::linestring::LineString;
+use crate::point::Point;
+
+/// Euclidean distance from `p` to the closed segment `a..=b`.
+pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    point_segment_distance_sq(p, a, b).sqrt()
+}
+
+/// Squared distance from `p` to segment `a..=b` (for comparisons).
+pub fn point_segment_distance_sq(p: &Point, a: &Point, b: &Point) -> f64 {
+    let ab = (b.x - a.x, b.y - a.y);
+    let len_sq = ab.0 * ab.0 + ab.1 * ab.1;
+    if len_sq == 0.0 {
+        return p.distance_sq(a); // degenerate segment
+    }
+    // Projection parameter clamped to the segment extent.
+    let t = (((p.x - a.x) * ab.0 + (p.y - a.y) * ab.1) / len_sq).clamp(0.0, 1.0);
+    let proj = Point::new(a.x + t * ab.0, a.y + t * ab.1);
+    p.distance_sq(&proj)
+}
+
+/// Distance from `p` to the nearest point of `line`.
+pub fn point_to_linestring_distance(p: &Point, line: &LineString) -> f64 {
+    line.segments()
+        .map(|(a, b)| point_segment_distance_sq(p, a, b))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+/// Whether `p` lies within `d` of `line` (the within-distance predicate).
+pub fn point_within_distance(p: &Point, line: &LineString, d: f64) -> bool {
+    let d_sq = d * d;
+    line.segments()
+        .any(|(a, b)| point_segment_distance_sq(p, a, b) <= d_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn perpendicular_foot_inside_segment() {
+        let d = point_segment_distance(&Point::new(1.0, 1.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn foot_beyond_endpoint_clamps() {
+        let d = point_segment_distance(&Point::new(5.0, 0.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        assert_eq!(d, 3.0);
+        let d2 = point_segment_distance(&Point::new(-3.0, 4.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        assert_eq!(d2, 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_is_point_distance() {
+        let a = Point::new(1.0, 1.0);
+        assert_eq!(point_segment_distance(&Point::new(4.0, 5.0), &a, &a), 5.0);
+    }
+
+    #[test]
+    fn point_on_segment_distance_zero() {
+        let d = point_segment_distance(&Point::new(1.0, 0.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn polyline_distance_takes_minimum() {
+        let l = ls(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        let d = point_to_linestring_distance(&Point::new(11.0, 5.0), &l);
+        assert_eq!(d, 1.0, "nearest is the vertical leg");
+    }
+
+    #[test]
+    fn within_distance_predicate() {
+        let road = ls(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert!(point_within_distance(&Point::new(5.0, 0.5), &road, 0.5));
+        assert!(!point_within_distance(&Point::new(5.0, 0.51), &road, 0.5));
+    }
+
+    #[test]
+    fn distance_matches_explicit_minimum() {
+        let l = ls(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0)]);
+        let p = Point::new(2.0, 2.0);
+        let explicit = l
+            .segments()
+            .map(|(a, b)| point_segment_distance(&p, a, b))
+            .fold(f64::INFINITY, f64::min);
+        assert!((point_to_linestring_distance(&p, &l) - explicit).abs() < 1e-12);
+    }
+}

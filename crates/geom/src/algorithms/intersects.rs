@@ -1,0 +1,201 @@
+//! Exact intersection tests between composite geometries.
+//!
+//! These implement the refinement step of intersection-predicate joins.
+//! The polyline–polyline test is the hot path of the paper's
+//! `edges × linearwater` experiment: each candidate pair that survives the
+//! MBR filter runs a segment-level sweep here.
+
+use crate::algorithms::point_in_polygon::point_in_polygon;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::predicates::segments_intersect;
+
+/// Exact polyline–polyline intersection.
+///
+/// Uses a short-circuiting double loop over segments with per-segment MBR
+/// rejection — effectively the "indexed nested loop at the segment level"
+/// that JTS performs for small geometries. For the synthetic TIGER-like
+/// data, polylines have tens of vertices, so an O(n·m) scan with MBR
+/// pre-checks is the right tool (building a per-geometry index would cost
+/// more than it saves, which is also why JTS only switches strategies for
+/// very large geometries).
+pub fn linestrings_intersect(a: &LineString, b: &LineString) -> bool {
+    if !a.mbr().intersects(&b.mbr()) {
+        return false;
+    }
+    for (p1, p2) in a.segments() {
+        // Per-segment bounding box against b's envelope first.
+        let (sx0, sx1) = (p1.x.min(p2.x), p1.x.max(p2.x));
+        let (sy0, sy1) = (p1.y.min(p2.y), p1.y.max(p2.y));
+        let bm = b.mbr();
+        if sx1 < bm.min_x || sx0 > bm.max_x || sy1 < bm.min_y || sy0 > bm.max_y {
+            continue;
+        }
+        for (q1, q2) in b.segments() {
+            if sx1 < q1.x.min(q2.x) || sx0 > q1.x.max(q2.x) || sy1 < q1.y.min(q2.y) || sy0 > q1.y.max(q2.y) {
+                continue;
+            }
+            if segments_intersect(p1, p2, q1, q2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Exact polygon–polyline intersection: true when any edge pair crosses or
+/// the polyline lies entirely inside the polygon.
+pub fn polygon_intersects_linestring(poly: &Polygon, line: &LineString) -> bool {
+    if !poly.mbr().intersects(&line.mbr()) {
+        return false;
+    }
+    for ring in poly.all_rings() {
+        let n = ring.len();
+        for i in 0..n {
+            let (a, b) = (&ring[i], &ring[(i + 1) % n]);
+            for (q1, q2) in line.segments() {
+                if segments_intersect(a, b, q1, q2) {
+                    return true;
+                }
+            }
+        }
+    }
+    // No boundary crossing: the polyline is entirely inside or entirely
+    // outside; one vertex decides which.
+    point_in_polygon(poly, &line.points()[0])
+}
+
+/// Exact polygon–polygon intersection: boundary crossing or containment of
+/// either polygon in the other.
+pub fn polygons_intersect(a: &Polygon, b: &Polygon) -> bool {
+    if !a.mbr().intersects(&b.mbr()) {
+        return false;
+    }
+    for ring_a in a.all_rings() {
+        let na = ring_a.len();
+        for i in 0..na {
+            let (p1, p2) = (&ring_a[i], &ring_a[(i + 1) % na]);
+            for ring_b in b.all_rings() {
+                let nb = ring_b.len();
+                for j in 0..nb {
+                    let (q1, q2) = (&ring_b[j], &ring_b[(j + 1) % nb]);
+                    if segments_intersect(p1, p2, q1, q2) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    // No boundary crossing: either disjoint, or one contains the other.
+    point_in_polygon(a, &b.shell()[0]) || point_in_polygon(b, &a.shell()[0])
+}
+
+/// Exact point–polyline intersection (the point lies on the polyline).
+pub fn point_on_linestring(line: &LineString, p: &Point) -> bool {
+    use crate::predicates::{on_segment, orientation, Orientation};
+    line.segments()
+        .any(|(a, b)| orientation(a, b, p) == Orientation::Collinear && on_segment(a, b, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn ls(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(pts(coords))
+    }
+
+    #[test]
+    fn crossing_polylines() {
+        let a = ls(&[(0.0, 0.0), (2.0, 2.0)]);
+        let b = ls(&[(0.0, 2.0), (2.0, 0.0)]);
+        assert!(linestrings_intersect(&a, &b));
+        assert!(linestrings_intersect(&b, &a), "symmetric");
+    }
+
+    #[test]
+    fn parallel_polylines_disjoint() {
+        let a = ls(&[(0.0, 0.0), (2.0, 0.0)]);
+        let b = ls(&[(0.0, 1.0), (2.0, 1.0)]);
+        assert!(!linestrings_intersect(&a, &b));
+    }
+
+    #[test]
+    fn mbr_overlap_but_no_exact_intersection() {
+        // The classic false positive that refinement must remove: MBRs
+        // overlap, geometries do not touch.
+        let a = ls(&[(0.0, 0.0), (1.0, 1.0)]);
+        let b = ls(&[(0.0, 0.9), (0.05, 1.0)]);
+        assert!(a.mbr().intersects(&b.mbr()));
+        assert!(!linestrings_intersect(&a, &b));
+    }
+
+    #[test]
+    fn touching_endpoints_intersect() {
+        let a = ls(&[(0.0, 0.0), (1.0, 1.0)]);
+        let b = ls(&[(1.0, 1.0), (2.0, 0.0)]);
+        assert!(linestrings_intersect(&a, &b));
+    }
+
+    #[test]
+    fn multi_segment_crossing_mid_way() {
+        let road = ls(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let river = ls(&[(2.5, -1.0), (2.5, 1.0)]);
+        assert!(linestrings_intersect(&road, &river));
+    }
+
+    #[test]
+    fn polygon_crossed_by_linestring() {
+        let sq = Polygon::new(pts(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]));
+        assert!(polygon_intersects_linestring(&sq, &ls(&[(-1.0, 1.0), (3.0, 1.0)])));
+    }
+
+    #[test]
+    fn polygon_containing_linestring() {
+        let sq = Polygon::new(pts(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]));
+        assert!(polygon_intersects_linestring(&sq, &ls(&[(1.0, 1.0), (2.0, 2.0)])));
+    }
+
+    #[test]
+    fn polygon_disjoint_linestring() {
+        let sq = Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]));
+        assert!(!polygon_intersects_linestring(&sq, &ls(&[(2.0, 2.0), (3.0, 3.0)])));
+    }
+
+    #[test]
+    fn overlapping_polygons() {
+        let a = Polygon::new(pts(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]));
+        let b = Polygon::new(pts(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]));
+        assert!(polygons_intersect(&a, &b));
+        assert!(polygons_intersect(&b, &a));
+    }
+
+    #[test]
+    fn nested_polygons_intersect() {
+        let outer = Polygon::new(pts(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]));
+        let inner = Polygon::new(pts(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]));
+        assert!(polygons_intersect(&outer, &inner));
+        assert!(polygons_intersect(&inner, &outer));
+    }
+
+    #[test]
+    fn disjoint_polygons() {
+        let a = Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]));
+        let b = Polygon::new(pts(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]));
+        assert!(!polygons_intersect(&a, &b));
+    }
+
+    #[test]
+    fn point_on_linestring_detection() {
+        let l = ls(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)]);
+        assert!(point_on_linestring(&l, &Point::new(1.0, 0.0)));
+        assert!(point_on_linestring(&l, &Point::new(2.0, 1.0)));
+        assert!(point_on_linestring(&l, &Point::new(2.0, 2.0)), "endpoint");
+        assert!(!point_on_linestring(&l, &Point::new(1.0, 1.0)));
+    }
+}

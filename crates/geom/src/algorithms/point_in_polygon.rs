@@ -1,0 +1,145 @@
+//! Point-in-polygon test (ray casting with boundary handling).
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::predicates::{on_segment, orientation, Orientation};
+
+/// Where a point lies relative to a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RingSide {
+    Inside,
+    Outside,
+    OnBoundary,
+}
+
+/// Crossing-number test of `p` against an unclosed ring.
+fn point_in_ring(ring: &[Point], p: &Point) -> RingSide {
+    let n = ring.len();
+    let mut inside = false;
+    for i in 0..n {
+        let a = &ring[i];
+        let b = &ring[(i + 1) % n];
+        // Boundary check first: collinear with and within the edge's extent.
+        if orientation(a, b, p) == Orientation::Collinear && on_segment(a, b, p) {
+            return RingSide::OnBoundary;
+        }
+        // Standard ray-casting parity rule: count edges crossing the
+        // horizontal ray to +infinity. The half-open test (one endpoint
+        // strictly above, the other not) handles vertices without double
+        // counting.
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if x_cross > p.x {
+                inside = !inside;
+            }
+        }
+    }
+    if inside {
+        RingSide::Inside
+    } else {
+        RingSide::Outside
+    }
+}
+
+/// Whether `p` lies inside `poly` (boundary counts as inside, holes count
+/// as outside, hole boundaries count as inside).
+///
+/// This is the refinement predicate of the paper's first experiment:
+/// assigning each taxi pickup to the census block containing it.
+pub fn point_in_polygon(poly: &Polygon, p: &Point) -> bool {
+    match point_in_ring(poly.shell(), p) {
+        RingSide::Outside => false,
+        RingSide::OnBoundary => true,
+        RingSide::Inside => {
+            for hole in poly.holes() {
+                match point_in_ring(hole, p) {
+                    RingSide::Inside => return false,
+                    RingSide::OnBoundary => return true,
+                    RingSide::Outside => {}
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn unit_square() -> Polygon {
+        Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]))
+    }
+
+    #[test]
+    fn center_is_inside() {
+        assert!(point_in_polygon(&unit_square(), &Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn far_point_is_outside() {
+        assert!(!point_in_polygon(&unit_square(), &Point::new(5.0, 5.0)));
+        assert!(!point_in_polygon(&unit_square(), &Point::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn boundary_counts_as_inside() {
+        let sq = unit_square();
+        assert!(point_in_polygon(&sq, &Point::new(0.0, 0.5)), "edge");
+        assert!(point_in_polygon(&sq, &Point::new(1.0, 1.0)), "vertex");
+        assert!(point_in_polygon(&sq, &Point::new(0.5, 0.0)), "bottom edge");
+    }
+
+    #[test]
+    fn point_level_with_vertex_is_not_double_counted() {
+        // Triangle with an apex: a horizontal ray through the apex's y must
+        // not flip parity twice.
+        let tri = Polygon::new(pts(&[(0.0, 0.0), (4.0, 0.0), (2.0, 2.0)]));
+        assert!(!point_in_polygon(&tri, &Point::new(5.0, 2.0)), "right of apex, level with it");
+        assert!(point_in_polygon(&tri, &Point::new(2.0, 1.0)));
+    }
+
+    #[test]
+    fn hole_excludes_interior() {
+        let donut = Polygon::with_holes(
+            pts(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]),
+            vec![pts(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)])],
+        );
+        assert!(!point_in_polygon(&donut, &Point::new(2.0, 2.0)), "inside hole");
+        assert!(point_in_polygon(&donut, &Point::new(0.5, 0.5)), "between shell and hole");
+        assert!(point_in_polygon(&donut, &Point::new(1.0, 2.0)), "on hole boundary");
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // A "U" shape: the notch is outside.
+        let u = Polygon::new(pts(&[
+            (0.0, 0.0),
+            (5.0, 0.0),
+            (5.0, 5.0),
+            (4.0, 5.0),
+            (4.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 5.0),
+            (0.0, 5.0),
+        ]));
+        assert!(!point_in_polygon(&u, &Point::new(2.5, 3.0)), "inside the notch");
+        assert!(point_in_polygon(&u, &Point::new(0.5, 3.0)), "left arm");
+        assert!(point_in_polygon(&u, &Point::new(4.5, 3.0)), "right arm");
+        assert!(point_in_polygon(&u, &Point::new(2.5, 0.5)), "base");
+    }
+
+    #[test]
+    fn clockwise_ring_gives_same_answer() {
+        let ccw = unit_square();
+        let cw = Polygon::new(pts(&[(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)]));
+        for &(x, y) in &[(0.5, 0.5), (2.0, 0.5), (0.0, 0.0), (-1.0, -1.0)] {
+            let p = Point::new(x, y);
+            assert_eq!(point_in_polygon(&ccw, &p), point_in_polygon(&cw, &p));
+        }
+    }
+}

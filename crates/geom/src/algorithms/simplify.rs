@@ -1,0 +1,118 @@
+//! Polyline simplification (Ramer–Douglas–Peucker).
+//!
+//! Spatial pipelines routinely simplify dense geometry before distribution
+//! to cut serialized volume; the `sjc-data` profiling tools use this to
+//! report how compressible the synthetic TIGER polylines are.
+
+use crate::algorithms::distance::point_segment_distance;
+use crate::linestring::LineString;
+use crate::point::Point;
+
+/// Ramer–Douglas–Peucker simplification with distance tolerance `epsilon`.
+///
+/// Endpoints are always kept; the result is a valid [`LineString`] with at
+/// least two vertices.
+pub fn simplify(line: &LineString, epsilon: f64) -> LineString {
+    assert!(epsilon >= 0.0, "tolerance must be non-negative");
+    let pts = line.points();
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    rdp(pts, 0, pts.len() - 1, epsilon, &mut keep);
+    let kept: Vec<Point> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    LineString::new(kept)
+}
+
+fn rdp(pts: &[Point], first: usize, last: usize, epsilon: f64, keep: &mut [bool]) {
+    if last <= first + 1 {
+        return;
+    }
+    let (mut max_d, mut max_i) = (0.0f64, first);
+    for i in (first + 1)..last {
+        let d = point_segment_distance(&pts[i], &pts[first], &pts[last]);
+        if d > max_d {
+            max_d = d;
+            max_i = i;
+        }
+    }
+    if max_d > epsilon {
+        keep[max_i] = true;
+        rdp(pts, first, max_i, epsilon, keep);
+        rdp(pts, max_i, last, epsilon, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let l = ls(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)]);
+        let s = simplify(&l, 0.01);
+        assert_eq!(s.num_points(), 2);
+        assert_eq!(s.points()[0], Point::new(0.0, 0.0));
+        assert_eq!(s.points()[1], Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn significant_corners_survive() {
+        let l = ls(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (4.0, 2.0)]);
+        let s = simplify(&l, 0.1);
+        assert_eq!(s.num_points(), 4, "right angles are not noise");
+    }
+
+    #[test]
+    fn tolerance_controls_aggressiveness() {
+        // Zig-zag with amplitude 0.5.
+        let l = ls(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.0), (3.0, 0.5), (4.0, 0.0)]);
+        let loose = simplify(&l, 1.0);
+        let tight = simplify(&l, 0.1);
+        assert_eq!(loose.num_points(), 2, "amplitude below tolerance vanishes");
+        assert_eq!(tight.num_points(), 5, "amplitude above tolerance survives");
+    }
+
+    #[test]
+    fn endpoints_always_kept() {
+        let l = ls(&[(0.0, 0.0), (5.0, 5.0)]);
+        let s = simplify(&l, 100.0);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn simplified_stays_within_tolerance() {
+        // Every dropped vertex must lie within epsilon of the simplified line.
+        let l = ls(&[
+            (0.0, 0.0),
+            (1.0, 0.2),
+            (2.0, -0.1),
+            (3.0, 0.15),
+            (4.0, 0.0),
+            (5.0, 3.0),
+            (6.0, 3.1),
+            (7.0, 3.0),
+        ]);
+        let eps = 0.25;
+        let s = simplify(&l, eps);
+        for p in l.points() {
+            let d = crate::algorithms::distance::point_to_linestring_distance(p, &s);
+            assert!(d <= eps + 1e-9, "vertex {p:?} strayed {d} from the simplification");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        let l = ls(&[(0.0, 0.0), (1.0, 1.0)]);
+        let _ = simplify(&l, -1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Well-Known Binary (WKB) serialization.
+//!
+//! SpatialHadoop's indexed HDFS blocks store geometry in binary form — the
+//! reason its jobs skip the text re-parsing HadoopGIS pays on every stage.
+//! This is a standard little-endian WKB codec for the supported kinds
+//! (geometry type codes 1–6), used by the simulated block format and by
+//! anyone exchanging data with PostGIS-style tooling.
+
+use crate::{Geometry, LineString, Point, Polygon};
+
+/// WKB decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WkbError {
+    /// Input ended prematurely.
+    Truncated,
+    /// Big-endian payloads are not produced by this writer and not accepted.
+    UnsupportedByteOrder(u8),
+    /// Unknown geometry type code.
+    UnknownType(u32),
+    /// Structural violation (ring too short, unclosed ring, etc.).
+    Malformed(&'static str),
+    /// Trailing bytes after the geometry.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WkbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WkbError::Truncated => write!(f, "WKB input truncated"),
+            WkbError::UnsupportedByteOrder(b) => write!(f, "unsupported WKB byte order {b}"),
+            WkbError::UnknownType(t) => write!(f, "unknown WKB geometry type {t}"),
+            WkbError::Malformed(m) => write!(f, "malformed WKB: {m}"),
+            WkbError::TrailingBytes(n) => write!(f, "{n} trailing bytes after WKB geometry"),
+        }
+    }
+}
+
+impl std::error::Error for WkbError {}
+
+const LITTLE_ENDIAN: u8 = 1;
+
+/// Serializes a geometry to little-endian WKB.
+pub fn to_wkb(g: &Geometry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + g.num_vertices() * 16);
+    write_geometry(&mut out, g);
+    out
+}
+
+/// Parses one WKB geometry; the whole input must be consumed.
+pub fn parse_wkb(bytes: &[u8]) -> Result<Geometry, WkbError> {
+    let mut cur = Reader { bytes, pos: 0 };
+    let g = read_geometry(&mut cur)?;
+    if cur.pos != bytes.len() {
+        return Err(WkbError::TrailingBytes(bytes.len() - cur.pos));
+    }
+    Ok(g)
+}
+
+fn type_code(g: &Geometry) -> u32 {
+    match g {
+        Geometry::Point(_) => 1,
+        Geometry::LineString(_) => 2,
+        Geometry::Polygon(_) => 3,
+        Geometry::MultiPoint(_) => 4,
+        Geometry::MultiLineString(_) => 5,
+        Geometry::MultiPolygon(_) => 6,
+    }
+}
+
+fn write_geometry(out: &mut Vec<u8>, g: &Geometry) {
+    out.push(LITTLE_ENDIAN);
+    out.extend_from_slice(&type_code(g).to_le_bytes());
+    match g {
+        Geometry::Point(p) => write_point(out, p),
+        Geometry::LineString(l) => write_points(out, l.points()),
+        Geometry::Polygon(poly) => write_polygon_body(out, poly),
+        Geometry::MultiPoint(ps) => {
+            out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+            for p in ps {
+                write_geometry(out, &Geometry::Point(*p));
+            }
+        }
+        Geometry::MultiLineString(ls) => {
+            out.extend_from_slice(&(ls.len() as u32).to_le_bytes());
+            for l in ls {
+                write_geometry(out, &Geometry::LineString(l.clone()));
+            }
+        }
+        Geometry::MultiPolygon(ps) => {
+            out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+            for p in ps {
+                write_geometry(out, &Geometry::Polygon(p.clone()));
+            }
+        }
+    }
+}
+
+fn write_point(out: &mut Vec<u8>, p: &Point) {
+    out.extend_from_slice(&p.x.to_le_bytes());
+    out.extend_from_slice(&p.y.to_le_bytes());
+}
+
+fn write_points(out: &mut Vec<u8>, pts: &[Point]) {
+    out.extend_from_slice(&(pts.len() as u32).to_le_bytes());
+    for p in pts {
+        write_point(out, p);
+    }
+}
+
+/// Rings are written explicitly closed, per the WKB convention.
+fn write_ring(out: &mut Vec<u8>, ring: &[Point]) {
+    out.extend_from_slice(&((ring.len() + 1) as u32).to_le_bytes());
+    for p in ring {
+        write_point(out, p);
+    }
+    write_point(out, &ring[0]);
+}
+
+fn write_polygon_body(out: &mut Vec<u8>, poly: &Polygon) {
+    out.extend_from_slice(&((1 + poly.holes().len()) as u32).to_le_bytes());
+    write_ring(out, poly.shell());
+    for hole in poly.holes() {
+        write_ring(out, hole);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WkbError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WkbError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WkbError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WkbError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WkbError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn point(&mut self) -> Result<Point, WkbError> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+
+    fn points(&mut self) -> Result<Vec<Point>, WkbError> {
+        let n = self.u32()? as usize;
+        // Defensive cap: a count can't exceed the remaining byte budget.
+        if n > (self.bytes.len() - self.pos) / 16 {
+            return Err(WkbError::Truncated);
+        }
+        (0..n).map(|_| self.point()).collect()
+    }
+}
+
+fn read_geometry(cur: &mut Reader<'_>) -> Result<Geometry, WkbError> {
+    let order = cur.u8()?;
+    if order != LITTLE_ENDIAN {
+        return Err(WkbError::UnsupportedByteOrder(order));
+    }
+    match cur.u32()? {
+        1 => Ok(Geometry::Point(cur.point()?)),
+        2 => {
+            let pts = cur.points()?;
+            LineString::try_new(pts)
+                .map(Geometry::LineString)
+                .ok_or(WkbError::Malformed("linestring needs >= 2 points"))
+        }
+        3 => Ok(Geometry::Polygon(read_polygon_body(cur)?)),
+        4 => {
+            let n = cur.u32()? as usize;
+            let mut ps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                match read_geometry(cur)? {
+                    Geometry::Point(p) => ps.push(p),
+                    _ => return Err(WkbError::Malformed("multipoint member must be a point")),
+                }
+            }
+            if ps.is_empty() {
+                return Err(WkbError::Malformed("empty multipoint"));
+            }
+            Ok(Geometry::MultiPoint(ps))
+        }
+        5 => {
+            let n = cur.u32()? as usize;
+            let mut ls = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                match read_geometry(cur)? {
+                    Geometry::LineString(l) => ls.push(l),
+                    _ => return Err(WkbError::Malformed("multilinestring member must be a linestring")),
+                }
+            }
+            if ls.is_empty() {
+                return Err(WkbError::Malformed("empty multilinestring"));
+            }
+            Ok(Geometry::MultiLineString(ls))
+        }
+        6 => {
+            let n = cur.u32()? as usize;
+            let mut ps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                match read_geometry(cur)? {
+                    Geometry::Polygon(p) => ps.push(p),
+                    _ => return Err(WkbError::Malformed("multipolygon member must be a polygon")),
+                }
+            }
+            if ps.is_empty() {
+                return Err(WkbError::Malformed("empty multipolygon"));
+            }
+            Ok(Geometry::MultiPolygon(ps))
+        }
+        other => Err(WkbError::UnknownType(other)),
+    }
+}
+
+fn read_polygon_body(cur: &mut Reader<'_>) -> Result<Polygon, WkbError> {
+    let rings = cur.u32()? as usize;
+    if rings == 0 {
+        return Err(WkbError::Malformed("polygon needs >= 1 ring"));
+    }
+    let mut all = Vec::with_capacity(rings.min(64));
+    for _ in 0..rings {
+        let ring = cur.points()?;
+        if ring.len() < 4 || ring.first() != ring.last() {
+            return Err(WkbError::Malformed("ring must be closed with >= 4 points"));
+        }
+        all.push(ring);
+    }
+    let shell = all.remove(0);
+    Polygon::try_with_holes(shell, all).ok_or(WkbError::Malformed("degenerate ring"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn samples() -> Vec<Geometry> {
+        vec![
+            Geometry::Point(Point::new(1.5, -2.25)),
+            Geometry::LineString(LineString::new(pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]))),
+            Geometry::Polygon(Polygon::with_holes(
+                pts(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]),
+                vec![pts(&[(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)])],
+            )),
+            Geometry::MultiPoint(pts(&[(1.0, 2.0), (3.0, 4.0)])),
+            Geometry::MultiLineString(vec![
+                LineString::new(pts(&[(0.0, 0.0), (1.0, 0.0)])),
+                LineString::new(pts(&[(5.0, 5.0), (6.0, 6.0), (7.0, 5.0)])),
+            ]),
+            Geometry::MultiPolygon(vec![
+                Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)])),
+                Polygon::new(pts(&[(10.0, 10.0), (11.0, 10.0), (10.5, 11.0)])),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_kind() {
+        for g in samples() {
+            let bytes = to_wkb(&g);
+            let back = parse_wkb(&bytes).unwrap_or_else(|e| panic!("{}: {e}", g.kind()));
+            assert_eq!(back, g, "{} round trip", g.kind());
+        }
+    }
+
+    #[test]
+    fn wkb_point_layout_is_standard() {
+        // 1 (LE) + type 1 + x + y = 21 bytes; x=1.0 little-endian.
+        let bytes = to_wkb(&Geometry::Point(Point::new(1.0, 2.0)));
+        assert_eq!(bytes.len(), 21);
+        assert_eq!(bytes[0], 1);
+        assert_eq!(&bytes[1..5], &[1, 0, 0, 0]);
+        assert_eq!(&bytes[5..13], &1.0f64.to_le_bytes());
+    }
+
+    #[test]
+    fn wkb_is_smaller_than_wkt_for_dense_polylines() {
+        let l = Geometry::LineString(LineString::new(
+            (0..100).map(|i| Point::new(i as f64 * 1.234567, i as f64 * 7.654321)).collect(),
+        ));
+        let wkb = to_wkb(&l).len();
+        let wkt = crate::wkt::to_wkt(&l).len();
+        assert!(wkb < wkt, "wkb {wkb} vs wkt {wkt}");
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected() {
+        let bytes = to_wkb(&samples()[2]);
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(parse_wkb(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_wkb(&samples()[0]);
+        bytes.push(0);
+        assert!(matches!(parse_wkb(&bytes), Err(WkbError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn big_endian_and_unknown_types_are_rejected() {
+        let mut bytes = to_wkb(&samples()[0]);
+        bytes[0] = 0; // big-endian marker
+        assert!(matches!(parse_wkb(&bytes), Err(WkbError::UnsupportedByteOrder(0))));
+
+        let mut bytes = to_wkb(&samples()[0]);
+        bytes[1] = 99;
+        assert!(matches!(parse_wkb(&bytes), Err(WkbError::UnknownType(99))));
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // Type 2 (linestring) with a count of u32::MAX but no payload.
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(parse_wkb(&bytes), Err(WkbError::Truncated)));
+    }
+
+    #[test]
+    fn unclosed_ring_is_rejected() {
+        // Hand-build a polygon whose ring does not repeat its first point.
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one ring
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // four points
+        for (x, y) in [(0.0f64, 0.0f64), (1.0, 0.0), (1.0, 1.0), (0.5, 0.5)] {
+            bytes.extend_from_slice(&x.to_le_bytes());
+            bytes.extend_from_slice(&y.to_le_bytes());
+        }
+        assert!(matches!(parse_wkb(&bytes), Err(WkbError::Malformed(_))));
+    }
+}

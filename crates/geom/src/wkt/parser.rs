@@ -1,0 +1,239 @@
+//! Recursive-descent WKT parser.
+
+use std::fmt;
+
+use crate::{Geometry, LineString, Point, Polygon};
+
+/// Errors produced while parsing WKT text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WktError {
+    /// Input ended before the geometry was complete.
+    UnexpectedEnd,
+    /// An unknown geometry tag (only POINT/LINESTRING/POLYGON are supported).
+    UnknownTag(String),
+    /// A coordinate failed to parse as `f64`.
+    BadNumber(String),
+    /// Structural problem (missing parenthesis, wrong arity, trailing text).
+    Malformed(String),
+    /// `EMPTY` geometries carry no coordinates and are rejected: the
+    /// evaluated datasets never contain them and every downstream algorithm
+    /// requires an MBR.
+    Empty,
+}
+
+impl fmt::Display for WktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WktError::UnexpectedEnd => write!(f, "unexpected end of WKT input"),
+            WktError::UnknownTag(t) => write!(f, "unknown WKT geometry tag: {t:?}"),
+            WktError::BadNumber(s) => write!(f, "invalid coordinate literal: {s:?}"),
+            WktError::Malformed(m) => write!(f, "malformed WKT: {m}"),
+            WktError::Empty => write!(f, "EMPTY geometries are not supported"),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor { rest: s }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eof(&mut self) -> bool {
+        self.skip_ws();
+        self.rest.is_empty()
+    }
+
+    /// Consumes an ASCII identifier (geometry tag or EMPTY keyword).
+    fn ident(&mut self) -> Result<String, WktError> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_alphabetic())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(if self.rest.is_empty() {
+                WktError::UnexpectedEnd
+            } else {
+                WktError::Malformed(format!("expected identifier at {:?}", head(self.rest)))
+            });
+        }
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(tok.to_ascii_uppercase())
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), WktError> {
+        self.skip_ws();
+        let mut chars = self.rest.chars();
+        match chars.next() {
+            Some(found) if found == c => {
+                self.rest = chars.as_str();
+                Ok(())
+            }
+            Some(_) => Err(WktError::Malformed(format!(
+                "expected {c:?} at {:?}",
+                head(self.rest)
+            ))),
+            None => Err(WktError::UnexpectedEnd),
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest.chars().next()
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(if self.rest.is_empty() {
+                WktError::UnexpectedEnd
+            } else {
+                WktError::BadNumber(head(self.rest).to_string())
+            });
+        }
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        tok.parse::<f64>().map_err(|_| WktError::BadNumber(tok.to_string()))
+    }
+
+    /// `x y` coordinate pair.
+    fn coord(&mut self) -> Result<Point, WktError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    /// `( x y, x y, ... )`
+    fn coord_list(&mut self) -> Result<Vec<Point>, WktError> {
+        self.expect('(')?;
+        let mut out = vec![self.coord()?];
+        while self.peek() == Some(',') {
+            self.expect(',')?;
+            out.push(self.coord()?);
+        }
+        self.expect(')')?;
+        Ok(out)
+    }
+
+    /// `( (ring), (ring), ... )`
+    fn ring_list(&mut self) -> Result<Vec<Vec<Point>>, WktError> {
+        self.expect('(')?;
+        let mut out = vec![self.coord_list()?];
+        while self.peek() == Some(',') {
+            self.expect(',')?;
+            out.push(self.coord_list()?);
+        }
+        self.expect(')')?;
+        Ok(out)
+    }
+}
+
+fn head(s: &str) -> &str {
+    &s[..s.len().min(16)]
+}
+
+fn polygon_from_rings(mut rings: Vec<Vec<Point>>) -> Result<Polygon, WktError> {
+    if rings.is_empty() {
+        return Err(WktError::Malformed("POLYGON needs >= 1 ring".into()));
+    }
+    let shell = rings.remove(0);
+    Polygon::try_with_holes(shell, rings)
+        .ok_or_else(|| WktError::Malformed("POLYGON ring needs >= 3 vertices".into()))
+}
+
+/// Parses one WKT geometry from `input`. Trailing non-whitespace is an error.
+pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
+    let mut cur = Cursor::new(input);
+    let tag = cur.ident()?;
+    cur.skip_ws();
+    if cur.rest.to_ascii_uppercase().starts_with("EMPTY") {
+        return Err(WktError::Empty);
+    }
+    let geom = match tag.as_str() {
+        "POINT" => {
+            cur.expect('(')?;
+            let p = cur.coord()?;
+            cur.expect(')')?;
+            Geometry::Point(p)
+        }
+        "LINESTRING" => {
+            let pts = cur.coord_list()?;
+            let ls = LineString::try_new(pts)
+                .ok_or_else(|| WktError::Malformed("LINESTRING needs >= 2 vertices".into()))?;
+            Geometry::LineString(ls)
+        }
+        "POLYGON" => {
+            let rings = cur.ring_list()?;
+            Geometry::Polygon(polygon_from_rings(rings)?)
+        }
+        "MULTIPOINT" => {
+            cur.expect('(')?;
+            let mut pts = Vec::new();
+            loop {
+                // Both `(1 2)` and legacy bare `1 2` member syntax.
+                if cur.peek() == Some('(') {
+                    cur.expect('(')?;
+                    pts.push(cur.coord()?);
+                    cur.expect(')')?;
+                } else {
+                    pts.push(cur.coord()?);
+                }
+                if cur.peek() == Some(',') {
+                    cur.expect(',')?;
+                } else {
+                    break;
+                }
+            }
+            cur.expect(')')?;
+            Geometry::MultiPoint(pts)
+        }
+        "MULTILINESTRING" => {
+            let lists = cur.ring_list()?;
+            let mut lines = Vec::with_capacity(lists.len());
+            for pts in lists {
+                lines.push(LineString::try_new(pts).ok_or_else(|| {
+                    WktError::Malformed("MULTILINESTRING member needs >= 2 vertices".into())
+                })?);
+            }
+            Geometry::MultiLineString(lines)
+        }
+        "MULTIPOLYGON" => {
+            cur.expect('(')?;
+            let mut polys = Vec::new();
+            loop {
+                let rings = cur.ring_list()?;
+                polys.push(polygon_from_rings(rings)?);
+                if cur.peek() == Some(',') {
+                    cur.expect(',')?;
+                } else {
+                    break;
+                }
+            }
+            cur.expect(')')?;
+            Geometry::MultiPolygon(polys)
+        }
+        other => return Err(WktError::UnknownTag(other.to_string())),
+    };
+    if !cur.eof() {
+        return Err(WktError::Malformed(format!(
+            "trailing input: {:?}",
+            head(cur.rest)
+        )));
+    }
+    Ok(geom)
+}

@@ -1,0 +1,96 @@
+//! WKT serialization.
+
+use std::fmt::Write as _;
+
+use crate::point::Point;
+use crate::Geometry;
+
+/// Serializes a geometry to WKT. Coordinates print with Rust's shortest
+/// round-trippable `f64` formatting, so `parse_wkt(to_wkt(g)) == g` exactly.
+pub fn to_wkt(g: &Geometry) -> String {
+    let mut out = String::with_capacity(g.wkt_size_estimate() as usize);
+    match g {
+        Geometry::Point(p) => {
+            out.push_str("POINT (");
+            write_coord(&mut out, p);
+            out.push(')');
+        }
+        Geometry::LineString(l) => {
+            out.push_str("LINESTRING ");
+            write_coord_list(&mut out, l.points(), false);
+        }
+        Geometry::Polygon(poly) => {
+            out.push_str("POLYGON ");
+            write_polygon_body(&mut out, poly);
+        }
+        Geometry::MultiPoint(ps) => {
+            out.push_str("MULTIPOINT (");
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                write_coord(&mut out, p);
+                out.push(')');
+            }
+            out.push(')');
+        }
+        Geometry::MultiLineString(ls) => {
+            out.push_str("MULTILINESTRING (");
+            for (i, l) in ls.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_coord_list(&mut out, l.points(), false);
+            }
+            out.push(')');
+        }
+        Geometry::MultiPolygon(ps) => {
+            out.push_str("MULTIPOLYGON (");
+            for (i, poly) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_polygon_body(&mut out, poly);
+            }
+            out.push(')');
+        }
+    }
+    out
+}
+
+/// Writes `((shell), (hole), ...)` — the parenthesized ring list shared by
+/// POLYGON and each member of MULTIPOLYGON.
+fn write_polygon_body(out: &mut String, poly: &crate::Polygon) {
+    out.push('(');
+    write_coord_list(out, poly.shell(), true);
+    for hole in poly.holes() {
+        out.push_str(", ");
+        write_coord_list(out, hole, true);
+    }
+    out.push(')');
+}
+
+fn write_coord(out: &mut String, p: &Point) {
+    // `{}` on f64 is the shortest representation that round-trips.
+    let _ = write!(out, "{} {}", p.x, p.y);
+}
+
+/// Writes `(x y, x y, ...)`; when `close` is set, repeats the first vertex
+/// at the end (WKT rings are explicitly closed).
+fn write_coord_list(out: &mut String, pts: &[Point], close: bool) {
+    out.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_coord(out, p);
+    }
+    if close {
+        if let Some(first) = pts.first() {
+            out.push_str(", ");
+            write_coord(out, first);
+        }
+    }
+    out.push(')');
+}

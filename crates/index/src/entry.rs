@@ -1,0 +1,33 @@
+//! The common index entry: an opaque record id plus its MBR.
+//!
+//! Indexes never own geometry — the distributed substrates keep geometry in
+//! dataset partitions and hand the index only `(id, mbr)` pairs, exactly as
+//! SpatialHadoop's block-local R-trees and SpatialSpark's broadcast index do.
+
+use serde::{Deserialize, Serialize};
+use sjc_geom::Mbr;
+
+/// One indexed record: a caller-defined id and the record's MBR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    pub id: u64,
+    pub mbr: Mbr,
+}
+
+impl IndexEntry {
+    pub fn new(id: u64, mbr: Mbr) -> Self {
+        IndexEntry { id, mbr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let e = IndexEntry::new(7, Mbr::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(e.id, 7);
+        assert!(e.mbr.contains_point(&sjc_geom::Point::new(0.5, 0.5)));
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform grid index.
+//!
+//! A flat `nx × ny` bucket grid over a fixed extent. Objects are registered
+//! in every cell their MBR touches; queries gather candidates from touched
+//! cells and de-duplicate. Grids are what SpatialHadoop's original `GRID`
+//! partitioning uses and serve as a cheap local-index alternative.
+
+use sjc_geom::{Mbr, Point};
+
+use crate::entry::IndexEntry;
+
+/// A uniform grid over `extent` with `nx × ny` cells.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    extent: Mbr,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<IndexEntry>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty grid. `nx`/`ny` must be nonzero and the extent
+    /// non-empty.
+    pub fn new(extent: Mbr, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be nonzero");
+        assert!(!extent.is_empty(), "grid extent must be non-empty");
+        GridIndex {
+            extent,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+            len: 0,
+        }
+    }
+
+    /// Builds a grid sized so the average cell holds ~`target_per_cell`
+    /// entries, then inserts them all.
+    pub fn build(extent: Mbr, entries: &[IndexEntry], target_per_cell: usize) -> Self {
+        let cells_wanted = (entries.len() / target_per_cell.max(1)).max(1);
+        let side = (cells_wanted as f64).sqrt().ceil() as usize;
+        let mut g = GridIndex::new(extent, side.max(1), side.max(1));
+        for e in entries {
+            g.insert(*e);
+        }
+        g
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Column range of cells touched by `[min_x, max_x]` (clamped).
+    fn col_range(&self, min_x: f64, max_x: f64) -> std::ops::RangeInclusive<usize> {
+        let w = self.extent.width() / self.nx as f64;
+        let lo = (((min_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
+        let hi = (((max_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
+        (lo as usize)..=(hi as usize)
+    }
+
+    fn row_range(&self, min_y: f64, max_y: f64) -> std::ops::RangeInclusive<usize> {
+        let h = self.extent.height() / self.ny as f64;
+        let lo = (((min_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
+        let hi = (((max_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
+        (lo as usize)..=(hi as usize)
+    }
+
+    /// Inserts an entry into every cell its MBR touches.
+    pub fn insert(&mut self, e: IndexEntry) {
+        debug_assert!(!e.mbr.is_empty());
+        self.len += 1;
+        for r in self.row_range(e.mbr.min_y, e.mbr.max_y) {
+            for c in self.col_range(e.mbr.min_x, e.mbr.max_x) {
+                self.cells[r * self.nx + c].push(e);
+            }
+        }
+    }
+
+    /// Ids of entries whose MBR intersects `window` (deduplicated, sorted).
+    pub fn query(&self, window: &Mbr) -> Vec<u64> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for r in self.row_range(window.min_y, window.max_y) {
+            for c in self.col_range(window.min_x, window.max_x) {
+                for e in &self.cells[r * self.nx + c] {
+                    if e.mbr.intersects(window) {
+                        out.push(e.id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of entries whose MBR contains `p`.
+    pub fn query_point(&self, p: &Point) -> Vec<u64> {
+        self.query(&p.mbr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<IndexEntry> {
+        (0..100)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                IndexEntry::new(i as u64, Mbr::new(x, y, x + 0.8, y + 0.8))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let es = entries();
+        let g = GridIndex::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &es, 4);
+        for window in [
+            Mbr::new(0.0, 0.0, 2.0, 2.0),
+            Mbr::new(4.4, 3.3, 6.6, 9.9),
+            Mbr::new(-5.0, -5.0, -1.0, -1.0),
+            Mbr::new(0.0, 0.0, 20.0, 20.0),
+        ] {
+            let got = g.query(&window);
+            let mut expected: Vec<u64> = es
+                .iter()
+                .filter(|e| e.mbr.intersects(&window))
+                .map(|e| e.id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn spanning_object_found_from_any_cell() {
+        let mut g = GridIndex::new(Mbr::new(0.0, 0.0, 10.0, 10.0), 5, 5);
+        g.insert(IndexEntry::new(1, Mbr::new(1.0, 1.0, 9.0, 1.5))); // spans many columns
+        assert_eq!(g.query(&Mbr::new(8.0, 0.9, 8.5, 1.2)), vec![1]);
+        assert_eq!(g.query(&Mbr::new(1.0, 0.9, 1.5, 1.2)), vec![1]);
+        // Deduplicated despite living in several cells.
+        assert_eq!(g.query(&Mbr::new(0.0, 0.0, 10.0, 10.0)), vec![1]);
+    }
+
+    #[test]
+    fn objects_outside_extent_are_clamped_not_lost() {
+        let mut g = GridIndex::new(Mbr::new(0.0, 0.0, 10.0, 10.0), 4, 4);
+        g.insert(IndexEntry::new(42, Mbr::new(11.0, 11.0, 12.0, 12.0)));
+        assert_eq!(g.query(&Mbr::new(9.0, 9.0, 20.0, 20.0)), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        let _ = GridIndex::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 0, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Plane-sweep MBR join (Brinkhoff-style forward sweep).
+
+use super::{CandidatePairs, JoinStats};
+use crate::entry::IndexEntry;
+
+/// Sorts both inputs by `min_x` and sweeps a vertical line left to right.
+/// When the sweep reaches an entry, it scans forward in the *other* list
+/// over every entry whose x-interval overlaps, testing y-intervals.
+///
+/// This is SpatialHadoop's default local join (§II.C): no index structure,
+/// `O(n log n + k)`-ish behaviour on realistic data.
+pub fn plane_sweep(left: &[IndexEntry], right: &[IndexEntry]) -> CandidatePairs {
+    if left.is_empty() || right.is_empty() {
+        return CandidatePairs::default();
+    }
+    let mut l: Vec<IndexEntry> = left.to_vec();
+    let mut r: Vec<IndexEntry> = right.to_vec();
+    l.sort_by(|a, b| a.mbr.min_x.partial_cmp(&b.mbr.min_x).expect("finite coordinates"));
+    r.sort_by(|a, b| a.mbr.min_x.partial_cmp(&b.mbr.min_x).expect("finite coordinates"));
+
+    let mut pairs = Vec::new();
+    let mut stats = JoinStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        if l[i].mbr.min_x <= r[j].mbr.min_x {
+            // l[i] is the sweep anchor: scan right entries starting within
+            // its x-extent.
+            let anchor = &l[i];
+            let mut k = j;
+            while k < r.len() && r[k].mbr.min_x <= anchor.mbr.max_x {
+                stats.filter_tests += 1;
+                if anchor.mbr.min_y <= r[k].mbr.max_y && r[k].mbr.min_y <= anchor.mbr.max_y {
+                    pairs.push((anchor.id, r[k].id));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let anchor = &r[j];
+            let mut k = i;
+            while k < l.len() && l[k].mbr.min_x <= anchor.mbr.max_x {
+                stats.filter_tests += 1;
+                if anchor.mbr.min_y <= l[k].mbr.max_y && l[k].mbr.min_y <= anchor.mbr.max_y {
+                    pairs.push((l[k].id, anchor.id));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    CandidatePairs { pairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_geom::Mbr;
+
+    #[test]
+    fn anchors_from_both_sides_are_handled() {
+        // Interleaved x-order so both branches of the sweep run.
+        let left = vec![
+            IndexEntry::new(0, Mbr::new(0.0, 0.0, 2.0, 2.0)),
+            IndexEntry::new(1, Mbr::new(5.0, 0.0, 7.0, 2.0)),
+        ];
+        let right = vec![
+            IndexEntry::new(10, Mbr::new(1.0, 1.0, 3.0, 3.0)),
+            IndexEntry::new(11, Mbr::new(6.0, 1.0, 8.0, 3.0)),
+            IndexEntry::new(12, Mbr::new(100.0, 100.0, 101.0, 101.0)),
+        ];
+        let mut got = plane_sweep(&left, &right).pairs;
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn identical_min_x_values() {
+        let left = vec![
+            IndexEntry::new(0, Mbr::new(1.0, 0.0, 2.0, 1.0)),
+            IndexEntry::new(1, Mbr::new(1.0, 5.0, 2.0, 6.0)),
+        ];
+        let right = vec![
+            IndexEntry::new(10, Mbr::new(1.0, 0.5, 2.0, 5.5)),
+        ];
+        let mut got = plane_sweep(&left, &right).pairs;
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 10), (1, 10)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Synchronized R-tree traversal join (dual-tree join).
+
+use super::CandidatePairs;
+use crate::entry::IndexEntry;
+use crate::rtree::{Node, RTree};
+
+/// Bulk-loads an R-tree on each side and descends both trees in lockstep,
+/// recursing only into child pairs whose MBRs intersect.
+///
+/// SpatialHadoop provides this as its second local-join implementation
+/// (§II.C, citing Jacox & Samet's survey).
+pub fn sync_rtree(left: &[IndexEntry], right: &[IndexEntry]) -> CandidatePairs {
+    if left.is_empty() || right.is_empty() {
+        return CandidatePairs::default();
+    }
+    let lt = RTree::bulk_load_str(left.to_vec());
+    let rt = RTree::bulk_load_str(right.to_vec());
+
+    let mut out = CandidatePairs::default();
+    let mut stack = vec![(lt_root(&lt), rt_root(&rt))];
+    while let Some((ln, rn)) = stack.pop() {
+        out.stats.index_nodes_visited += 2;
+        match (lt.node_ref(ln), rt.node_ref(rn)) {
+            (Node::Leaf { entries: le, .. }, Node::Leaf { entries: re, .. }) => {
+                for a in le {
+                    for b in re {
+                        out.stats.filter_tests += 1;
+                        if a.mbr.intersects(&b.mbr) {
+                            out.pairs.push((a.id, b.id));
+                        }
+                    }
+                }
+            }
+            (Node::Inner { children, .. }, Node::Leaf { mbr: rm, .. }) => {
+                for &c in children {
+                    out.stats.filter_tests += 1;
+                    if lt.node_ref(c).mbr().intersects(rm) {
+                        stack.push((c, rn));
+                    }
+                }
+            }
+            (Node::Leaf { mbr: lm, .. }, Node::Inner { children, .. }) => {
+                for &c in children {
+                    out.stats.filter_tests += 1;
+                    if rt.node_ref(c).mbr().intersects(lm) {
+                        stack.push((ln, c));
+                    }
+                }
+            }
+            (Node::Inner { children: lc, .. }, Node::Inner { children: rc, .. }) => {
+                for &a in lc {
+                    let am = lt.node_ref(a).mbr();
+                    for &b in rc {
+                        out.stats.filter_tests += 1;
+                        if am.intersects(&rt.node_ref(b).mbr()) {
+                            stack.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// Small private accessors: the join needs raw node access that the public
+// query API doesn't expose.
+use crate::rtree::NodeId;
+
+fn lt_root(t: &RTree) -> NodeId {
+    t.root_id()
+}
+
+fn rt_root(t: &RTree) -> NodeId {
+    t.root_id()
+}

@@ -1,0 +1,276 @@
+//! Point-region quadtree.
+//!
+//! Used by the sampling-based partitioners (the SATO family discussed in the
+//! paper's preprocessing analysis): a quadtree built over *sample points*
+//! yields leaf cells whose occupancy is balanced, and those leaves become
+//! partition boundaries for the full dataset.
+
+use sjc_geom::{Mbr, Point};
+
+/// A point-region quadtree over a square-ish extent.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    extent: Mbr,
+    capacity: usize,
+    max_depth: usize,
+    root: QtNode,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum QtNode {
+    Leaf { points: Vec<Point> },
+    Inner { children: Box<[QtNode; 4]> },
+}
+
+impl QuadTree {
+    /// Creates an empty quadtree. `capacity` is the split threshold;
+    /// `max_depth` bounds pathological point clusters.
+    pub fn new(extent: Mbr, capacity: usize, max_depth: usize) -> Self {
+        assert!(!extent.is_empty(), "quadtree extent must be non-empty");
+        assert!(capacity > 0, "capacity must be nonzero");
+        QuadTree {
+            extent,
+            capacity,
+            max_depth,
+            root: QtNode::Leaf { points: Vec::new() },
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point (points outside the extent are clamped to it, so the
+    /// tree remains total over arbitrary data).
+    pub fn insert(&mut self, p: Point) {
+        let clamped = Point::new(
+            p.x.clamp(self.extent.min_x, self.extent.max_x),
+            p.y.clamp(self.extent.min_y, self.extent.max_y),
+        );
+        Self::insert_rec(
+            &mut self.root,
+            self.extent,
+            clamped,
+            self.capacity,
+            self.max_depth,
+        );
+        self.len += 1;
+    }
+
+    fn quadrant_extents(extent: &Mbr) -> [Mbr; 4] {
+        let c = extent.center();
+        [
+            Mbr::new(extent.min_x, extent.min_y, c.x, c.y), // SW
+            Mbr::new(c.x, extent.min_y, extent.max_x, c.y), // SE
+            Mbr::new(extent.min_x, c.y, c.x, extent.max_y), // NW
+            Mbr::new(c.x, c.y, extent.max_x, extent.max_y), // NE
+        ]
+    }
+
+    fn quadrant_of(extent: &Mbr, p: &Point) -> usize {
+        let c = extent.center();
+        // Half-open assignment: points exactly on the split line go east/north.
+        let east = p.x >= c.x;
+        let north = p.y >= c.y;
+        match (north, east) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    fn insert_rec(node: &mut QtNode, extent: Mbr, p: Point, capacity: usize, depth_left: usize) {
+        match node {
+            QtNode::Leaf { points } => {
+                points.push(p);
+                if points.len() > capacity && depth_left > 0 {
+                    // Split: redistribute into four children.
+                    let pts = std::mem::take(points);
+                    let mut children = Box::new([
+                        QtNode::Leaf { points: Vec::new() },
+                        QtNode::Leaf { points: Vec::new() },
+                        QtNode::Leaf { points: Vec::new() },
+                        QtNode::Leaf { points: Vec::new() },
+                    ]);
+                    let quads = Self::quadrant_extents(&extent);
+                    for q in pts {
+                        let i = Self::quadrant_of(&extent, &q);
+                        Self::insert_rec(&mut children[i], quads[i], q, capacity, depth_left - 1);
+                    }
+                    *node = QtNode::Inner { children };
+                }
+            }
+            QtNode::Inner { children } => {
+                let i = Self::quadrant_of(&extent, &p);
+                let quads = Self::quadrant_extents(&extent);
+                Self::insert_rec(&mut children[i], quads[i], p, capacity, depth_left - 1);
+            }
+        }
+    }
+
+    /// Points lying inside `window` (inclusive bounds), gathered by pruning
+    /// quadrants that cannot intersect it.
+    pub fn query(&self, window: &Mbr) -> Vec<Point> {
+        let mut out = Vec::new();
+        Self::query_rec(&self.root, self.extent, window, &mut out);
+        out
+    }
+
+    fn query_rec(node: &QtNode, extent: Mbr, window: &Mbr, out: &mut Vec<Point>) {
+        if !extent.intersects(window) {
+            return;
+        }
+        match node {
+            QtNode::Leaf { points } => {
+                out.extend(points.iter().filter(|p| window.contains_point(p)));
+            }
+            QtNode::Inner { children } => {
+                let quads = Self::quadrant_extents(&extent);
+                for (child, q) in children.iter().zip(quads) {
+                    Self::query_rec(child, q, window, out);
+                }
+            }
+        }
+    }
+
+    /// The leaf cell rectangles — a complete, non-overlapping tiling of the
+    /// extent. These become spatial partitions.
+    pub fn leaf_cells(&self) -> Vec<Mbr> {
+        let mut out = Vec::new();
+        Self::leaves_rec(&self.root, self.extent, &mut out);
+        out
+    }
+
+    /// Leaf rectangles together with their occupancy (for balance metrics).
+    pub fn leaf_cells_with_counts(&self) -> Vec<(Mbr, usize)> {
+        let mut out = Vec::new();
+        Self::leaves_counts_rec(&self.root, self.extent, &mut out);
+        out
+    }
+
+    fn leaves_rec(node: &QtNode, extent: Mbr, out: &mut Vec<Mbr>) {
+        match node {
+            QtNode::Leaf { .. } => out.push(extent),
+            QtNode::Inner { children } => {
+                let quads = Self::quadrant_extents(&extent);
+                for (child, q) in children.iter().zip(quads) {
+                    Self::leaves_rec(child, q, out);
+                }
+            }
+        }
+    }
+
+    fn leaves_counts_rec(node: &QtNode, extent: Mbr, out: &mut Vec<(Mbr, usize)>) {
+        match node {
+            QtNode::Leaf { points } => out.push((extent, points.len())),
+            QtNode::Inner { children } => {
+                let quads = Self::quadrant_extents(&extent);
+                for (child, q) in children.iter().zip(quads) {
+                    Self::leaves_counts_rec(child, q, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_when_capacity_exceeded() {
+        let mut qt = QuadTree::new(Mbr::new(0.0, 0.0, 100.0, 100.0), 4, 8);
+        for i in 0..20 {
+            qt.insert(Point::new(i as f64 * 5.0 + 0.5, i as f64 * 5.0 + 0.5));
+        }
+        assert_eq!(qt.len(), 20);
+        assert!(qt.leaf_cells().len() > 1, "tree must have split");
+    }
+
+    #[test]
+    fn leaves_tile_the_extent() {
+        let extent = Mbr::new(0.0, 0.0, 64.0, 64.0);
+        let mut qt = QuadTree::new(extent, 2, 6);
+        for i in 0..50 {
+            qt.insert(Point::new((i * 7 % 64) as f64, (i * 13 % 64) as f64));
+        }
+        let leaves = qt.leaf_cells();
+        let total_area: f64 = leaves.iter().map(Mbr::area).sum();
+        assert!((total_area - extent.area()).abs() < 1e-6, "leaves cover the extent exactly");
+        // Leaves are interior-disjoint: pairwise intersection has zero area.
+        for (i, a) in leaves.iter().enumerate() {
+            for b in leaves.iter().skip(i + 1) {
+                assert!(a.intersection(b).area() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_counts_sum_to_len() {
+        let mut qt = QuadTree::new(Mbr::new(0.0, 0.0, 10.0, 10.0), 3, 5);
+        for i in 0..37 {
+            qt.insert(Point::new((i % 10) as f64, (i / 10) as f64));
+        }
+        let total: usize = qt.leaf_cells_with_counts().iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let mut qt = QuadTree::new(extent, 4, 8);
+        let pts: Vec<Point> = (0..300)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        for p in &pts {
+            qt.insert(*p);
+        }
+        for window in [
+            Mbr::new(10.0, 10.0, 30.0, 30.0),
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+            Mbr::new(95.0, 95.0, 99.0, 99.0),
+            Mbr::new(200.0, 200.0, 300.0, 300.0),
+        ] {
+            let mut got: Vec<(u64, u64)> = qt
+                .query(&window)
+                .iter()
+                .map(|p| (p.x as u64, p.y as u64))
+                .collect();
+            got.sort_unstable();
+            let mut expected: Vec<(u64, u64)> = pts
+                .iter()
+                .filter(|p| window.contains_point(p))
+                .map(|p| (p.x as u64, p.y as u64))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn max_depth_bounds_degenerate_clusters() {
+        // All points identical: without the depth bound this would recurse forever.
+        let mut qt = QuadTree::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 2, 4);
+        for _ in 0..100 {
+            qt.insert(Point::new(0.3, 0.3));
+        }
+        assert_eq!(qt.len(), 100);
+        assert!(qt.leaf_cells().len() <= 4usize.pow(4));
+    }
+
+    #[test]
+    fn out_of_extent_points_are_clamped() {
+        let mut qt = QuadTree::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 8, 4);
+        qt.insert(Point::new(50.0, -3.0));
+        assert_eq!(qt.len(), 1);
+        let (_, counts): (Vec<Mbr>, Vec<usize>) = qt.leaf_cells_with_counts().into_iter().unzip();
+        assert_eq!(counts.iter().sum::<usize>(), 1);
+    }
+}

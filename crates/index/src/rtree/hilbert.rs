@@ -1,0 +1,203 @@
+//! Hilbert-curve bulk loading — the classic alternative to STR packing.
+//!
+//! Sorting entries by the Hilbert value of their MBR center before packing
+//! gives leaves with excellent locality; SpatialHadoop's later versions
+//! offer exactly this index family. Provided as an alternative loader plus
+//! the public [`hilbert_d`] encoding (also used by data-profiling tools for
+//! locality measurements).
+
+use sjc_geom::Mbr;
+
+use super::{Node, NodeId, RTree, MAX_ENTRIES};
+use crate::entry::IndexEntry;
+
+/// Hilbert curve order used for sorting (2^16 cells per axis — ample for
+/// partition-sized entry sets).
+const ORDER: u32 = 16;
+
+/// Maps integer grid coordinates `(x, y)` in `[0, 2^order)` to the distance
+/// along the Hilbert curve of the given order.
+pub fn hilbert_d(order: u32, mut x: u32, mut y: u32) -> u64 {
+    let n = 1u32 << order;
+    debug_assert!(x < n && y < n, "coordinates must fit the curve order");
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (n - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (n - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+impl RTree {
+    /// Bulk loads entries by Hilbert-sorting their MBR centers and packing
+    /// consecutive runs into full leaves.
+    pub fn bulk_load_hilbert(entries: Vec<IndexEntry>) -> RTree {
+        let len = entries.len();
+        if entries.is_empty() {
+            return RTree::bulk_load_str(entries);
+        }
+
+        // Normalize centers into the Hilbert grid.
+        let mut domain = Mbr::empty();
+        for e in &entries {
+            domain.expand(&e.mbr);
+        }
+        let n = (1u32 << ORDER) as f64;
+        let w = domain.width().max(f64::MIN_POSITIVE);
+        let h = domain.height().max(f64::MIN_POSITIVE);
+        let mut keyed: Vec<(u64, IndexEntry)> = entries
+            .into_iter()
+            .map(|e| {
+                let c = e.mbr.center();
+                let gx = (((c.x - domain.min_x) / w * (n - 1.0)) as u32).min((1 << ORDER) - 1);
+                let gy = (((c.y - domain.min_y) / h * (n - 1.0)) as u32).min((1 << ORDER) - 1);
+                (hilbert_d(ORDER, gx, gy), e)
+            })
+            .collect();
+        keyed.sort_by_key(|&(d, _)| d);
+
+        // Pack sorted runs into leaves, then build upper levels like STR.
+        let mut nodes = Vec::new();
+        let mut level: Vec<NodeId> = keyed
+            .chunks(MAX_ENTRIES)
+            .map(|chunk| {
+                let mut mbr = Mbr::empty();
+                let es: Vec<IndexEntry> = chunk
+                    .iter()
+                    .map(|&(_, e)| {
+                        mbr.expand(&e.mbr);
+                        e
+                    })
+                    .collect();
+                nodes.push(Node::Leaf { mbr, entries: es });
+                NodeId(nodes.len() - 1)
+            })
+            .collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(MAX_ENTRIES)
+                .map(|chunk| {
+                    let mut mbr = Mbr::empty();
+                    let children: Vec<NodeId> = chunk
+                        .iter()
+                        .map(|&id| {
+                            mbr.expand(&nodes[id.0].mbr());
+                            id
+                        })
+                        .collect();
+                    nodes.push(Node::Inner { mbr, children });
+                    NodeId(nodes.len() - 1)
+                })
+                .collect();
+        }
+        RTree {
+            root: level[0],
+            nodes,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_first_order_quadrants() {
+        // Order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(hilbert_d(1, 0, 0), 0);
+        assert_eq!(hilbert_d(1, 0, 1), 1);
+        assert_eq!(hilbert_d(1, 1, 1), 2);
+        assert_eq!(hilbert_d(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_at_order_3() {
+        let n = 1u32 << 3;
+        let mut seen = vec![false; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                let d = hilbert_d(3, x, y) as usize;
+                assert!(!seen[d], "duplicate distance {d}");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_adjacent_cells() {
+        // Consecutive curve positions differ by exactly one grid step.
+        let n = 1u32 << 4;
+        let mut by_d: Vec<(u32, u32)> = vec![(0, 0); (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                by_d[hilbert_d(4, x, y) as usize] = (x, y);
+            }
+        }
+        for w in by_d.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let step = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(step, 1, "curve jumped from {:?} to {:?}", w[0], w[1]);
+        }
+    }
+
+    fn grid_entries(n: usize) -> Vec<IndexEntry> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 31) as f64 * 3.3;
+                let y = (i / 31) as f64 * 2.7;
+                IndexEntry::new(i as u64, Mbr::new(x, y, x + 1.0, y + 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hilbert_tree_answers_like_str_tree() {
+        let es = grid_entries(700);
+        let hilbert = RTree::bulk_load_hilbert(es.clone());
+        let str_tree = RTree::bulk_load_str(es);
+        hilbert.check_invariants().unwrap();
+        for window in [
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+            Mbr::new(30.0, 20.0, 60.0, 45.0),
+            Mbr::new(-5.0, -5.0, 200.0, 200.0),
+        ] {
+            let mut a = hilbert.query(&window);
+            let mut b = str_tree.query(&window);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn hilbert_leaves_are_full() {
+        let es = grid_entries(512);
+        let t = RTree::bulk_load_hilbert(es);
+        assert_eq!(t.len(), 512);
+        // 512 / 16 = 32 full leaves + 3 inner nodes (32 -> 2 -> 1).
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = RTree::bulk_load_hilbert(Vec::new());
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+}

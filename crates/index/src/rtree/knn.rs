@@ -1,0 +1,168 @@
+//! k-nearest-neighbour queries (best-first MinDist traversal).
+//!
+//! Supports the paper's motivating "match pickup locations with the
+//! *nearest* road segment" use-case: after a within-distance join, ties are
+//! broken by actual distance — or the assignment is done directly as a kNN
+//! probe against an R-tree of road MBRs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sjc_geom::Point;
+
+use super::{Node, NodeId, RTree};
+
+/// Heap entry ordered by ascending MinDist (min-heap via reversed Ord).
+struct HeapItem {
+    dist: f64,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Node(NodeId),
+    Entry(u64),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+    }
+}
+
+impl RTree {
+    /// Returns the ids of the `k` entries with smallest MBR distance to
+    /// `q`, ascending. MBR distance equals exact distance for point data;
+    /// for extended geometry it is the standard lower bound, so callers
+    /// refine the short candidate list with exact geometry.
+    pub fn nearest_neighbors(&self, q: &Point, k: usize) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let qm = q.mbr();
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: self.node(self.root).mbr().min_distance(&qm),
+            kind: ItemKind::Node(self.root),
+        });
+        while let Some(item) = heap.pop() {
+            match item.kind {
+                ItemKind::Entry(id) => {
+                    out.push((id, item.dist));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                ItemKind::Node(id) => match self.node(id) {
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: e.mbr.min_distance(&qm),
+                                kind: ItemKind::Entry(e.id),
+                            });
+                        }
+                    }
+                    Node::Inner { children, .. } => {
+                        for &c in children {
+                            heap.push(HeapItem {
+                                dist: self.node(c).mbr().min_distance(&qm),
+                                kind: ItemKind::Node(c),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::IndexEntry;
+    use sjc_geom::Mbr;
+
+    fn point_tree(n: usize) -> RTree {
+        // Points on a 2-D grid with known distances.
+        let entries: Vec<IndexEntry> = (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                IndexEntry::new(i as u64, Mbr::new(x, y, x, y))
+            })
+            .collect();
+        RTree::bulk_load_str(entries)
+    }
+
+    #[test]
+    fn nearest_is_exact_for_points() {
+        let t = point_tree(400);
+        let q = Point::new(5.2, 7.1);
+        let nn = t.nearest_neighbors(&q, 1);
+        assert_eq!(nn.len(), 1);
+        // Grid point (5, 7) = id 7*20+5 = 145.
+        assert_eq!(nn[0].0, 145);
+        assert!((nn[0].1 - (0.04f64 + 0.01).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let t = point_tree(400);
+        let q = Point::new(9.4, 3.3);
+        let k = 10;
+        let got = t.nearest_neighbors(&q, k);
+        let mut expected: Vec<(u64, f64)> = (0..400u64)
+            .map(|i| {
+                let p = Point::new((i % 20) as f64, (i / 20) as f64);
+                (i, p.distance(&q))
+            })
+            .collect();
+        expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        expected.truncate(k);
+        let got_dists: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+        let exp_dists: Vec<f64> = expected.iter().map(|&(_, d)| d).collect();
+        for (g, e) in got_dists.iter().zip(&exp_dists) {
+            assert!((g - e).abs() < 1e-9, "{got_dists:?} vs {exp_dists:?}");
+        }
+    }
+
+    #[test]
+    fn results_ascend_by_distance() {
+        let t = point_tree(400);
+        let nn = t.nearest_neighbors(&Point::new(0.0, 0.0), 25);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let t = point_tree(5);
+        let nn = t.nearest_neighbors(&Point::new(0.0, 0.0), 100);
+        assert_eq!(nn.len(), 5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = point_tree(100);
+        assert!(t.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
+        let empty = RTree::bulk_load_str(Vec::new());
+        assert!(empty.nearest_neighbors(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Packed R-tree with STR bulk loading and dynamic insertion.
+//!
+//! Two construction modes mirror the two libraries in the paper:
+//!
+//! * [`RTree::bulk_load_str`] — Sort-Tile-Recursive packing, the bulk loader
+//!   SpatialHadoop uses when writing indexed HDFS blocks and SpatialSpark
+//!   uses for its broadcast partition index;
+//! * [`RTree::new_dynamic`] + [`RTree::insert`] — one-at-a-time insertion
+//!   with quadratic split, approximating libspatialindex (HadoopGIS).
+//!
+//! Nodes live in a flat arena (`Vec<Node>`), children referenced by index —
+//! cache-friendly and trivially serializable for the simulated block files.
+
+mod hilbert;
+mod knn;
+mod node;
+mod query;
+mod split;
+mod str_bulk;
+
+pub use hilbert::hilbert_d;
+
+pub use node::{Node, NodeId};
+
+use sjc_geom::Mbr;
+
+use crate::entry::IndexEntry;
+
+/// Maximum entries per node (fan-out). 16 is a typical disk-page-free
+/// in-memory choice; SpatialHadoop uses degree ~25 for 64MB blocks, but the
+/// structure is insensitive to the exact constant.
+pub const MAX_ENTRIES: usize = 16;
+/// Minimum fill after a split (40% of max, the classic Guttman setting).
+pub const MIN_ENTRIES: usize = 6;
+
+/// A packed R-tree over `(id, mbr)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    pub(crate) len: usize,
+}
+
+impl RTree {
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// MBR of the whole tree (empty MBR for an empty tree).
+    pub fn mbr(&self) -> Mbr {
+        self.nodes[self.root.0].mbr()
+    }
+
+    /// Height of the tree: 1 for a single leaf.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.nodes[self.root.0];
+        while let Node::Inner { children, .. } = node {
+            h += 1;
+            node = &self.nodes[children[0].0];
+        }
+        h
+    }
+
+    /// Total node count (diagnostics / cost accounting: one simulated page
+    /// access per visited node).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Root node id — exposed for synchronized dual-tree traversal.
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// Raw node access — exposed for synchronized dual-tree traversal.
+    pub fn node_ref(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Validates structural invariants; used by tests.
+    ///
+    /// * every inner node's MBR equals the union of its children's MBRs;
+    /// * every leaf's MBR equals the union of its entries' MBRs;
+    /// * all leaves are at the same depth;
+    /// * node occupancy is within `[1, MAX_ENTRIES]`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, 0, &mut leaf_depths)?;
+        let first = leaf_depths[0];
+        if leaf_depths.iter().any(|&d| d != first) {
+            return Err(format!("leaves at mixed depths: {leaf_depths:?}"));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) -> Result<(), String> {
+        match self.node(id) {
+            Node::Leaf { mbr, entries } => {
+                if entries.is_empty() || entries.len() > MAX_ENTRIES {
+                    return Err(format!("leaf occupancy {} out of range", entries.len()));
+                }
+                let mut union = Mbr::empty();
+                for e in entries {
+                    union.expand(&e.mbr);
+                }
+                if union != *mbr {
+                    return Err("leaf MBR is not the union of entry MBRs".into());
+                }
+                leaf_depths.push(depth);
+            }
+            Node::Inner { mbr, children } => {
+                if children.is_empty() || children.len() > MAX_ENTRIES {
+                    return Err(format!("inner occupancy {} out of range", children.len()));
+                }
+                let mut union = Mbr::empty();
+                for &c in children {
+                    union.expand(&self.node(c).mbr());
+                    self.check_node(c, depth + 1, leaf_depths)?;
+                }
+                if union != *mbr {
+                    return Err("inner MBR is not the union of child MBRs".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All entries, in arbitrary order (test helper).
+    pub fn entries(&self) -> Vec<IndexEntry> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Leaf { entries, .. } => out.extend(entries.iter().copied()),
+                Node::Inner { children, .. } => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_geom::Point;
+
+    fn grid_entries(n: usize) -> Vec<IndexEntry> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                IndexEntry::new(i as u64, Mbr::new(x, y, x + 0.5, y + 0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_invariants_hold() {
+        for n in [0, 1, 5, 16, 17, 100, 1000] {
+            let t = RTree::bulk_load_str(grid_entries(n));
+            assert_eq!(t.len(), n);
+            t.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_invariants_hold() {
+        let mut t = RTree::new_dynamic();
+        for e in grid_entries(300) {
+            t.insert(e);
+        }
+        assert_eq!(t.len(), 300);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_and_dynamic_answer_identically() {
+        let entries = grid_entries(200);
+        let bulk = RTree::bulk_load_str(entries.clone());
+        let mut dynamic = RTree::new_dynamic();
+        for e in entries {
+            dynamic.insert(e);
+        }
+        let q = Mbr::new(2.3, 3.1, 6.7, 8.2);
+        let mut a = bulk.query(&q);
+        let mut b = dynamic.query(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let small = RTree::bulk_load_str(grid_entries(10));
+        let large = RTree::bulk_load_str(grid_entries(1000));
+        assert_eq!(small.height(), 1);
+        assert!(large.height() >= 2);
+        assert!(large.height() <= 4, "1000 entries at fanout 16 needs <= 4 levels");
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = RTree::bulk_load_str(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.mbr().is_empty());
+        assert!(t.query(&Mbr::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_point_matches_query_box() {
+        let t = RTree::bulk_load_str(grid_entries(100));
+        let p = Point::new(3.25, 4.25);
+        let via_point = t.query_point(&p);
+        let via_box = t.query(&p.mbr());
+        assert_eq!(via_point, via_box);
+        assert!(!via_point.is_empty());
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let input = grid_entries(77);
+        let t = RTree::bulk_load_str(input.clone());
+        let mut ids: Vec<u64> = t.entries().iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..77).collect::<Vec<u64>>());
+    }
+}

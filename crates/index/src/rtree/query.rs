@@ -1,0 +1,147 @@
+//! R-tree window and point queries.
+
+use sjc_geom::{Mbr, Point};
+
+use super::{Node, RTree};
+
+impl RTree {
+    /// Returns the ids of all entries whose MBR intersects `window`.
+    pub fn query(&self, window: &Mbr) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query_into(window, &mut out);
+        out
+    }
+
+    /// Window query into a reusable buffer (avoids per-probe allocation in
+    /// the hot local-join loop).
+    pub fn query_into(&self, window: &Mbr, out: &mut Vec<u64>) {
+        out.clear();
+        if window.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Leaf { mbr, entries } => {
+                    if mbr.intersects(window) {
+                        for e in entries {
+                            if e.mbr.intersects(window) {
+                                out.push(e.id);
+                            }
+                        }
+                    }
+                }
+                Node::Inner { mbr, children } => {
+                    if mbr.intersects(window) {
+                        stack.extend(children.iter().copied());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Window query that also counts visited nodes — the per-probe traversal
+    /// cost the simulator charges (HadoopGIS pays this per *record* against
+    /// its sample R-tree; the paper calls this out as memory intensive).
+    pub fn query_counting(&self, window: &Mbr, out: &mut Vec<u64>) -> usize {
+        out.clear();
+        let mut visited = 0usize;
+        if window.is_empty() {
+            return 0;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            match self.node(id) {
+                Node::Leaf { mbr, entries } => {
+                    if mbr.intersects(window) {
+                        for e in entries {
+                            if e.mbr.intersects(window) {
+                                out.push(e.id);
+                            }
+                        }
+                    }
+                }
+                Node::Inner { mbr, children } => {
+                    if mbr.intersects(window) {
+                        stack.extend(children.iter().copied());
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Ids of all entries whose MBR contains the point.
+    pub fn query_point(&self, p: &Point) -> Vec<u64> {
+        self.query(&p.mbr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::IndexEntry;
+
+    fn tree() -> RTree {
+        let entries: Vec<IndexEntry> = (0..400)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                IndexEntry::new(i as u64, Mbr::new(x, y, x + 0.9, y + 0.9))
+            })
+            .collect();
+        RTree::bulk_load_str(entries)
+    }
+
+    fn brute_force(window: &Mbr) -> Vec<u64> {
+        (0..400u64)
+            .filter(|&i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                Mbr::new(x, y, x + 0.9, y + 0.9).intersects(window)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let t = tree();
+        for window in [
+            Mbr::new(0.0, 0.0, 1.0, 1.0),
+            Mbr::new(5.5, 5.5, 9.2, 7.1),
+            Mbr::new(-10.0, -10.0, -1.0, -1.0),
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+            Mbr::new(19.95, 19.95, 25.0, 25.0),
+        ] {
+            let mut got = t.query(&window);
+            got.sort_unstable();
+            let mut expected = brute_force(&window);
+            expected.sort_unstable();
+            assert_eq!(got, expected, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        assert!(tree().query(&Mbr::empty()).is_empty());
+    }
+
+    #[test]
+    fn counting_query_visits_fewer_nodes_for_small_windows() {
+        let t = tree();
+        let mut buf = Vec::new();
+        let small = t.query_counting(&Mbr::new(0.0, 0.0, 1.0, 1.0), &mut buf);
+        let large = t.query_counting(&Mbr::new(0.0, 0.0, 100.0, 100.0), &mut buf);
+        assert!(small < large);
+        assert!(large <= t.num_nodes());
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let t = tree();
+        let mut buf = vec![999; 8];
+        t.query_into(&Mbr::new(0.0, 0.0, 0.5, 0.5), &mut buf);
+        assert!(!buf.contains(&999), "buffer must be cleared first");
+    }
+}

@@ -1,0 +1,260 @@
+//! Dynamic insertion with Guttman's quadratic split.
+//!
+//! This is the construction mode of libspatialindex, the R-tree HadoopGIS
+//! builds in every map task from the broadcast sample-partition file.
+
+use sjc_geom::Mbr;
+
+use super::{Node, NodeId, RTree, MAX_ENTRIES, MIN_ENTRIES};
+use crate::entry::IndexEntry;
+
+impl RTree {
+    /// Creates an empty tree for one-at-a-time insertion.
+    pub fn new_dynamic() -> RTree {
+        RTree {
+            nodes: vec![Node::Leaf {
+                mbr: Mbr::empty(),
+                entries: Vec::new(),
+            }],
+            root: NodeId(0),
+            len: 0,
+        }
+    }
+
+    /// Inserts one entry (Guttman: choose-leaf by least enlargement,
+    /// quadratic split on overflow, splits propagate to the root).
+    pub fn insert(&mut self, entry: IndexEntry) {
+        self.len += 1;
+
+        // Descend to a leaf, recording the path for upward adjustment.
+        let mut path = Vec::new();
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur.0] {
+                Node::Leaf { .. } => break,
+                Node::Inner { children, .. } => {
+                    let chosen = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ma = self.nodes[a.0].mbr();
+                            let mb = self.nodes[b.0].mbr();
+                            let ea = ma.enlargement(&entry.mbr);
+                            let eb = mb.enlargement(&entry.mbr);
+                            ea.partial_cmp(&eb)
+                                .unwrap()
+                                .then_with(|| ma.area().partial_cmp(&mb.area()).unwrap())
+                        })
+                        .expect("inner nodes are never empty");
+                    path.push(cur);
+                    cur = chosen;
+                }
+            }
+        }
+
+        // Add the entry to the leaf.
+        match &mut self.nodes[cur.0] {
+            Node::Leaf { mbr, entries } => {
+                entries.push(entry);
+                mbr.expand(&entry.mbr);
+            }
+            Node::Inner { .. } => unreachable!("descent ends at a leaf"),
+        }
+
+        // Walk back up: split overflowing nodes, refresh ancestor MBRs.
+        let mut maybe_split = self.split_if_overflowing(cur);
+        for &parent in path.iter().rev() {
+            if let Some(new_sibling) = maybe_split {
+                match &mut self.nodes[parent.0] {
+                    Node::Inner { children, .. } => children.push(new_sibling),
+                    Node::Leaf { .. } => unreachable!("path contains only inner nodes"),
+                }
+            }
+            self.refresh_mbr(parent);
+            maybe_split = self.split_if_overflowing(parent);
+        }
+
+        // Root split: grow the tree by one level.
+        if let Some(sibling) = maybe_split {
+            let old_root = self.root;
+            let mbr = self.nodes[old_root.0].mbr().union(&self.nodes[sibling.0].mbr());
+            self.nodes.push(Node::Inner {
+                mbr,
+                children: vec![old_root, sibling],
+            });
+            self.root = NodeId(self.nodes.len() - 1);
+        }
+    }
+
+    fn refresh_mbr(&mut self, id: NodeId) {
+        let new_mbr = match &self.nodes[id.0] {
+            Node::Leaf { entries, .. } => {
+                let mut m = Mbr::empty();
+                for e in entries {
+                    m.expand(&e.mbr);
+                }
+                m
+            }
+            Node::Inner { children, .. } => {
+                let mut m = Mbr::empty();
+                for &c in children {
+                    m.expand(&self.nodes[c.0].mbr());
+                }
+                m
+            }
+        };
+        match &mut self.nodes[id.0] {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => *mbr = new_mbr,
+        }
+    }
+
+    /// Splits `id` if it overflows; returns the id of the new sibling.
+    fn split_if_overflowing(&mut self, id: NodeId) -> Option<NodeId> {
+        if self.nodes[id.0].len() <= MAX_ENTRIES {
+            return None;
+        }
+        match self.nodes[id.0].clone() {
+            Node::Leaf { entries, .. } => {
+                let (g1, g2) = quadratic_split(entries, |e| e.mbr);
+                let m1 = mbr_union(g1.iter().map(|e| e.mbr));
+                let m2 = mbr_union(g2.iter().map(|e| e.mbr));
+                self.nodes[id.0] = Node::Leaf { mbr: m1, entries: g1 };
+                self.nodes.push(Node::Leaf { mbr: m2, entries: g2 });
+            }
+            Node::Inner { children, .. } => {
+                let with_mbrs: Vec<(NodeId, Mbr)> =
+                    children.iter().map(|&c| (c, self.nodes[c.0].mbr())).collect();
+                let (g1, g2) = quadratic_split(with_mbrs, |(_, m)| *m);
+                let m1 = mbr_union(g1.iter().map(|(_, m)| *m));
+                let m2 = mbr_union(g2.iter().map(|(_, m)| *m));
+                self.nodes[id.0] = Node::Inner {
+                    mbr: m1,
+                    children: g1.into_iter().map(|(c, _)| c).collect(),
+                };
+                self.nodes.push(Node::Inner {
+                    mbr: m2,
+                    children: g2.into_iter().map(|(c, _)| c).collect(),
+                });
+            }
+        }
+        Some(NodeId(self.nodes.len() - 1))
+    }
+}
+
+fn mbr_union(mbrs: impl Iterator<Item = Mbr>) -> Mbr {
+    let mut m = Mbr::empty();
+    for x in mbrs {
+        m.expand(&x);
+    }
+    m
+}
+
+/// Guttman's quadratic split: pick the pair of seeds wasting the most area
+/// if grouped together, then distribute remaining items by least
+/// enlargement, honouring the minimum fill.
+fn quadratic_split<T: Clone, F: Fn(&T) -> Mbr>(items: Vec<T>, mbr_of: F) -> (Vec<T>, Vec<T>) {
+    debug_assert!(items.len() > MAX_ENTRIES);
+
+    // Seed selection.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let mi = mbr_of(&items[i]);
+            let mj = mbr_of(&items[j]);
+            let waste = mi.union(&mj).area() - mi.area() - mj.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+
+    let mut g1 = vec![items[s1].clone()];
+    let mut g2 = vec![items[s2].clone()];
+    let mut m1 = mbr_of(&items[s1]);
+    let mut m2 = mbr_of(&items[s2]);
+
+    let rest: Vec<T> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != s1 && *i != s2)
+        .map(|(_, t)| t)
+        .collect();
+
+    let total = rest.len() + 2;
+    for (k, item) in rest.into_iter().enumerate() {
+        let remaining = total - 2 - k;
+        // Force assignment when a group must take all remaining items to
+        // reach minimum fill.
+        if g1.len() + remaining <= MIN_ENTRIES {
+            m1.expand(&mbr_of(&item));
+            g1.push(item);
+            continue;
+        }
+        if g2.len() + remaining <= MIN_ENTRIES {
+            m2.expand(&mbr_of(&item));
+            g2.push(item);
+            continue;
+        }
+        let m = mbr_of(&item);
+        let (e1, e2) = (m1.enlargement(&m), m2.enlargement(&m));
+        let to_first = e1 < e2 || (e1 == e2 && m1.area() <= m2.area());
+        if to_first {
+            m1.expand(&m);
+            g1.push(item);
+        } else {
+            m2.expand(&m);
+            g2.push(item);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_split_balances_minimum_fill() {
+        let items: Vec<IndexEntry> = (0..(MAX_ENTRIES + 1))
+            .map(|i| IndexEntry::new(i as u64, Mbr::new(i as f64, 0.0, i as f64 + 1.0, 1.0)))
+            .collect();
+        let (g1, g2) = quadratic_split(items, |e| e.mbr);
+        assert_eq!(g1.len() + g2.len(), MAX_ENTRIES + 1);
+        assert!(g1.len() >= MIN_ENTRIES.min(g1.len() + g2.len() - MIN_ENTRIES));
+        assert!(!g1.is_empty() && !g2.is_empty());
+    }
+
+    #[test]
+    fn split_separates_distant_clusters() {
+        // Two far-apart clusters should end up in different groups.
+        let mut items = Vec::new();
+        for i in 0..MAX_ENTRIES.div_ceil(2) {
+            items.push(IndexEntry::new(i as u64, Mbr::new(0.0, i as f64, 1.0, i as f64 + 1.0)));
+        }
+        for i in 0..((MAX_ENTRIES + 1).div_ceil(2)) {
+            items.push(IndexEntry::new(
+                100 + i as u64,
+                Mbr::new(1000.0, i as f64, 1001.0, i as f64 + 1.0),
+            ));
+        }
+        let (g1, g2) = quadratic_split(items, |e| e.mbr);
+        let left_in_g1 = g1.iter().filter(|e| e.mbr.min_x < 500.0).count();
+        let left_in_g2 = g2.iter().filter(|e| e.mbr.min_x < 500.0).count();
+        // One group should be (almost) all-left, the other (almost) all-right.
+        assert!(left_in_g1 == g1.len() || left_in_g2 == g2.len());
+    }
+
+    #[test]
+    fn repeated_inserts_preserve_invariants_with_duplicates() {
+        let mut t = RTree::new_dynamic();
+        for i in 0..100 {
+            // Many identical MBRs stress tie-breaking.
+            t.insert(IndexEntry::new(i, Mbr::new(0.0, 0.0, 1.0, 1.0)));
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+        assert_eq!(t.query(&Mbr::new(0.5, 0.5, 0.6, 0.6)).len(), 100);
+    }
+}

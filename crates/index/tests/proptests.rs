@@ -1,0 +1,139 @@
+//! Property-based tests for indexes, partitioners and local joins.
+
+use proptest::prelude::*;
+use sjc_geom::{Mbr, Point};
+use sjc_index::entry::IndexEntry;
+use sjc_index::join::{brute_force, indexed_nested_loop, plane_sweep, sync_rtree};
+use sjc_index::partition::{
+    dedup_owner_cell, BspPartitioner, FixedGridPartitioner, SpatialPartitioner, StrTilePartitioner,
+};
+use sjc_index::RTree;
+
+fn mbr_strategy(extent: f64, max_side: f64) -> impl Strategy<Value = Mbr> {
+    (0.0f64..extent, 0.0f64..extent, 0.0f64..max_side, 0.0f64..max_side)
+        .prop_map(|(x, y, w, h)| Mbr::new(x, y, x + w, y + h))
+}
+
+fn entries(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<IndexEntry>> {
+    proptest::collection::vec(mbr_strategy(100.0, 10.0), n).prop_map(|mbrs| {
+        mbrs.into_iter()
+            .enumerate()
+            .map(|(i, m)| IndexEntry::new(i as u64, m))
+            .collect()
+    })
+}
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n)
+        .prop_map(|ps| ps.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn rtree_query_equals_linear_scan(es in entries(0..200), q in mbr_strategy(120.0, 30.0)) {
+        let tree = RTree::bulk_load_str(es.clone());
+        tree.check_invariants().unwrap();
+        let mut got = tree.query(&q);
+        got.sort_unstable();
+        let mut expected: Vec<u64> = es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dynamic_rtree_query_equals_linear_scan(es in entries(1..120), q in mbr_strategy(120.0, 30.0)) {
+        let mut tree = RTree::new_dynamic();
+        for e in &es {
+            tree.insert(*e);
+        }
+        tree.check_invariants().unwrap();
+        let mut got = tree.query(&q);
+        got.sort_unstable();
+        let mut expected: Vec<u64> = es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_algorithms_produce_identical_pairs(l in entries(0..80), r in entries(0..80)) {
+        let expected = brute_force(&l, &r).sorted_pairs();
+        prop_assert_eq!(indexed_nested_loop(&l, &r).sorted_pairs(), expected.clone());
+        prop_assert_eq!(plane_sweep(&l, &r).sorted_pairs(), expected.clone());
+        prop_assert_eq!(sync_rtree(&l, &r).sorted_pairs(), expected);
+    }
+
+    #[test]
+    fn partitioners_assign_every_mbr(sample in points(0..200), m in mbr_strategy(100.0, 20.0)) {
+        let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let parts: Vec<Box<dyn SpatialPartitioner>> = vec![
+            Box::new(FixedGridPartitioner::new(extent, 4, 4)),
+            Box::new(StrTilePartitioner::from_sample(extent, sample.clone(), 9)),
+            Box::new(BspPartitioner::from_sample(extent, sample, 9)),
+        ];
+        for p in &parts {
+            let cells = p.assign(&m);
+            prop_assert!(!cells.is_empty(), "assignment must be total");
+            for &c in &cells {
+                prop_assert!((c as usize) < p.cells().len());
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_contained(sample in points(1..200), px in 0.0f64..100.0, py in 0.0f64..100.0) {
+        let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let p = Point::new(px, py);
+        let parts: Vec<Box<dyn SpatialPartitioner>> = vec![
+            Box::new(FixedGridPartitioner::new(extent, 5, 5)),
+            Box::new(StrTilePartitioner::from_sample(extent, sample.clone(), 8)),
+            Box::new(BspPartitioner::from_sample(extent, sample, 8)),
+        ];
+        for part in &parts {
+            let o1 = part.owner(&p);
+            let o2 = part.owner(&p);
+            prop_assert_eq!(o1, o2);
+            // Points inside the extent are owned by a containing cell.
+            prop_assert!(part.cells()[o1 as usize].contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn partitioned_join_with_dedup_equals_direct_join(
+        l in entries(0..60), r in entries(0..60), sample in points(0..100)
+    ) {
+        // End-to-end exactly-once property: multi-assign both sides to
+        // cells, join within each cell with dedup, compare with the direct
+        // join of the full inputs.
+        let extent = Mbr::new(0.0, 0.0, 110.0, 110.0);
+        let partitioner = StrTilePartitioner::from_sample(extent, sample, 6);
+
+        let mut by_cell_l: Vec<Vec<IndexEntry>> = vec![Vec::new(); partitioner.cells().len()];
+        let mut by_cell_r: Vec<Vec<IndexEntry>> = vec![Vec::new(); partitioner.cells().len()];
+        for e in &l {
+            for c in partitioner.assign(&e.mbr) {
+                by_cell_l[c as usize].push(*e);
+            }
+        }
+        for e in &r {
+            for c in partitioner.assign(&e.mbr) {
+                by_cell_r[c as usize].push(*e);
+            }
+        }
+
+        let mut result: Vec<(u64, u64)> = Vec::new();
+        for cell in 0..partitioner.cells().len() {
+            let local = plane_sweep(&by_cell_l[cell], &by_cell_r[cell]);
+            for (a, b) in local.pairs {
+                let am = l[a as usize].mbr;
+                let bm = r[b as usize].mbr;
+                if dedup_owner_cell(&partitioner, cell as u32, &am, &bm) {
+                    result.push((a, b));
+                }
+            }
+        }
+        result.sort_unstable();
+
+        let expected = brute_force(&l, &r).sorted_pairs();
+        prop_assert_eq!(result, expected);
+    }
+}

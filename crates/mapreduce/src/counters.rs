@@ -1,0 +1,108 @@
+//! Named job counters — Hadoop's ubiquitous diagnostics channel.
+//!
+//! Real Hadoop jobs report `Map input records`, `Spilled Records`,
+//! `HDFS_BYTES_WRITTEN` and user-defined counters; operators read them to
+//! find skew and waste. The simulated engine exposes the same idea: cheap
+//! named accumulators that map/reduce closures bump and callers inspect.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotone counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` to `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.values.entry(name.to_string()).or_default() += delta;
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value (0 when never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another counter set into this one (used when aggregating
+    /// per-task counters into job totals).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    /// Iterates counters in deterministic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Renders the counters as Hadoop's job-completion report does.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in self.iter() {
+            let _ = writeln!(out, "\t{k}={v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_incr_get() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("x"), 0);
+        c.incr("x");
+        c.add("x", 41);
+        assert_eq!(c.get("x"), 42);
+        assert_eq!(c.get("never"), 0);
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = Counters::new();
+        a.add("records", 10);
+        a.add("spills", 1);
+        let mut b = Counters::new();
+        b.add("records", 5);
+        b.add("bytes", 100);
+        a.merge(&b);
+        assert_eq!(a.get("records"), 15);
+        assert_eq!(a.get("spills"), 1);
+        assert_eq!(a.get("bytes"), 100);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn report_formats_lines() {
+        let mut c = Counters::new();
+        c.add("Map input records", 1000);
+        assert_eq!(c.report(), "\tMap input records=1000\n");
+        assert!(Counters::new().report().is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Input splitting: how records become map tasks.
+//!
+//! Hadoop derives one map task per HDFS block by default; SpatialHadoop
+//! overrides `getSplits` to build one task per *pair of spatially joined
+//! partitions*. Both patterns reduce to the caller handing the engine a list
+//! of [`MapTask`]s.
+
+/// One map task: its records plus the input bytes it reads.
+#[derive(Debug, Clone)]
+pub struct MapTask<T> {
+    pub records: Vec<T>,
+    pub input_bytes: u64,
+}
+
+impl<T> MapTask<T> {
+    pub fn new(records: Vec<T>, input_bytes: u64) -> Self {
+        MapTask { records, input_bytes }
+    }
+}
+
+/// Splits a record list into block-sized map tasks, byte-weighted: each task
+/// covers about `block_size` bytes at `bytes_per_record` average record
+/// size (the Hadoop default `FileInputFormat` behaviour).
+pub fn block_splits<T: Clone>(records: &[T], bytes_per_record: f64, block_size: u64) -> Vec<MapTask<T>> {
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let per_task = ((block_size as f64 / bytes_per_record).floor() as usize).max(1);
+    records
+        .chunks(per_task)
+        .map(|chunk| MapTask::new(chunk.to_vec(), (chunk.len() as f64 * bytes_per_record) as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cover_all_records_once() {
+        let records: Vec<u32> = (0..1000).collect();
+        let tasks = block_splits(&records, 100.0, 10_000); // 100 records per task
+        assert_eq!(tasks.len(), 10);
+        let total: usize = tasks.iter().map(|t| t.records.len()).sum();
+        assert_eq!(total, 1000);
+        let flattened: Vec<u32> = tasks.iter().flat_map(|t| t.records.iter().copied()).collect();
+        assert_eq!(flattened, records);
+    }
+
+    #[test]
+    fn bytes_accounted_per_task() {
+        let records: Vec<u32> = (0..250).collect();
+        let tasks = block_splits(&records, 40.0, 4000);
+        assert_eq!(tasks[0].input_bytes, 4000);
+        let total_bytes: u64 = tasks.iter().map(|t| t.input_bytes).sum();
+        assert_eq!(total_bytes, 10_000);
+    }
+
+    #[test]
+    fn tiny_inputs_get_one_task() {
+        let tasks = block_splits(&[1u8, 2, 3], 10.0, 1 << 20);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].input_bytes, 30);
+    }
+
+    #[test]
+    fn huge_records_one_per_task() {
+        let tasks = block_splits(&[1u8, 2], 1e9, 64 << 20);
+        assert_eq!(tasks.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_no_tasks() {
+        let tasks: Vec<MapTask<u8>> = block_splits(&[], 10.0, 100);
+        assert!(tasks.is_empty());
+    }
+}

@@ -1,0 +1,607 @@
+//! The native (typed) MapReduce engine.
+
+use std::collections::BTreeMap;
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::scheduler::{lpt_makespan, replicated_makespan};
+use sjc_cluster::{Cluster, SimHdfs, SimNs, StageKind, StageTrace};
+
+use crate::input_format::MapTask;
+
+/// How a job's work grows from generation scale to full scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleMode {
+    /// Scans: the full run has `multiplier ×` as many block-sized map tasks
+    /// of the same size (Hadoop's one-task-per-block).
+    MoreTasks,
+    /// Partition-bound tasks: the task count is fixed by configuration and
+    /// each task's data grows by `multiplier` (reduce groups, and
+    /// SpatialHadoop's partition-pair map tasks).
+    BiggerTasks,
+}
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    pub name: String,
+    pub phase: Phase,
+    /// Full-scale records ÷ generated records.
+    pub multiplier: f64,
+    /// Charge text-parse CPU for the input bytes (TSV/WKT ingestion).
+    pub parse_input_text: bool,
+    /// Charge an HDFS write (with replication) for the job output.
+    pub write_output_to_hdfs: bool,
+    /// How map-task work extrapolates (reduce is always [`ScaleMode::BiggerTasks`]).
+    pub map_scale: ScaleMode,
+    /// Charge the interpreted-script per-record cost in streaming reducers
+    /// (see `CostModel::streaming_script_record_ns`).
+    pub script_reducer: bool,
+    /// Multiplier on the script per-record cost (the geometry-library share
+    /// of the script's work scales with the engine's refinement factor).
+    pub script_cost_factor: f64,
+}
+
+impl JobConfig {
+    pub fn new(name: impl Into<String>, phase: Phase, multiplier: f64) -> Self {
+        JobConfig {
+            name: name.into(),
+            phase,
+            multiplier: multiplier.max(1.0),
+            parse_input_text: true,
+            write_output_to_hdfs: true,
+            map_scale: ScaleMode::MoreTasks,
+            script_reducer: false,
+            script_cost_factor: 1.0,
+        }
+    }
+
+    pub fn script_reducer(mut self, yes: bool) -> Self {
+        self.script_reducer = yes;
+        self
+    }
+
+    pub fn script_cost_factor(mut self, factor: f64) -> Self {
+        self.script_cost_factor = factor;
+        self
+    }
+
+    pub fn map_scale(mut self, mode: ScaleMode) -> Self {
+        self.map_scale = mode;
+        self
+    }
+
+    pub fn parse_input(mut self, yes: bool) -> Self {
+        self.parse_input_text = yes;
+        self
+    }
+
+    pub fn write_output(mut self, yes: bool) -> Self {
+        self.write_output_to_hdfs = yes;
+        self
+    }
+}
+
+/// Collector passed to map functions.
+#[derive(Debug)]
+pub struct MapEmitter<K, V> {
+    pairs: Vec<(K, V)>,
+    bytes: u64,
+    extra_cpu_ns: SimNs,
+}
+
+impl<K, V> MapEmitter<K, V> {
+    fn new() -> Self {
+        MapEmitter {
+            pairs: Vec::new(),
+            bytes: 0,
+            extra_cpu_ns: 0,
+        }
+    }
+
+    /// Emits an intermediate pair; `bytes` is its serialized size (drives
+    /// shuffle volume).
+    pub fn emit(&mut self, key: K, value: V, bytes: u64) {
+        self.pairs.push((key, value));
+        self.bytes += bytes;
+    }
+
+    /// Charges extra simulated CPU to the current task (e.g. R-tree probe
+    /// costs computed by the spatial layer).
+    pub fn charge(&mut self, ns: SimNs) {
+        self.extra_cpu_ns += ns;
+    }
+}
+
+/// Collector passed to reduce functions (and map-only map functions).
+#[derive(Debug)]
+pub struct ReduceEmitter<O> {
+    out: Vec<O>,
+    bytes: u64,
+    extra_cpu_ns: SimNs,
+}
+
+impl<O> ReduceEmitter<O> {
+    fn new() -> Self {
+        ReduceEmitter {
+            out: Vec::new(),
+            bytes: 0,
+            extra_cpu_ns: 0,
+        }
+    }
+
+    /// Emits an output record of `bytes` serialized size.
+    pub fn emit(&mut self, value: O, bytes: u64) {
+        self.out.push(value);
+        self.bytes += bytes;
+    }
+
+    /// Charges extra simulated CPU to the current task.
+    pub fn charge(&mut self, ns: SimNs) {
+        self.extra_cpu_ns += ns;
+    }
+}
+
+/// Aggregate statistics of a finished job (generation-scale volumes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobStats {
+    pub map_tasks: u64,
+    pub reduce_tasks: u64,
+    pub input_bytes: u64,
+    pub shuffle_bytes: u64,
+    pub output_bytes: u64,
+    pub records_in: u64,
+    pub records_out: u64,
+}
+
+/// Output of a map-reduce run: reduce outputs, per-group shuffled byte
+/// sizes (for failure checks and diagnostics), stats and the stage trace.
+pub struct JobOutcome<O> {
+    pub output: Vec<O>,
+    /// (group count, shuffled bytes) per reduce group, generation scale.
+    pub group_bytes: Vec<u64>,
+    pub stats: JobStats,
+    pub trace: StageTrace,
+}
+
+/// The engine: borrows the cluster (cost context) and HDFS (byte ledger).
+pub struct MapReduceJob<'a> {
+    pub cluster: &'a Cluster,
+    pub hdfs: &'a mut SimHdfs,
+}
+
+impl<'a> MapReduceJob<'a> {
+    pub fn new(cluster: &'a Cluster, hdfs: &'a mut SimHdfs) -> Self {
+        MapReduceJob { cluster, hdfs }
+    }
+
+    /// Effective per-slot HDFS write bandwidth: on a multi-node cluster the
+    /// replication pipeline streams two remote copies through the NIC, so a
+    /// writer is capped by `min(disk, net / 2)` — on 1 Gbit/s EC2 networks
+    /// this, not the SSD, bounds SpatialHadoop's index writes.
+    fn hdfs_write_bw(&self) -> f64 {
+        let node = &self.cluster.config.node;
+        if self.cluster.config.nodes > 1 {
+            node.slot_disk_write_bw().min(node.slot_net_bw() / 2.0)
+        } else {
+            node.slot_disk_write_bw()
+        }
+    }
+
+    fn map_task_duration<T>(&self, cfg: &JobConfig, task: &MapTask<T>, emitted_bytes: u64, extra_cpu: SimNs) -> SimNs {
+        let c = &self.cluster.cost;
+        let node = &self.cluster.config.node;
+        // I/O at the slot's share of the node disk; CPU scaled by the
+        // node's per-core speed.
+        let mut io = c.io_ns(task.input_bytes, node.slot_disk_read_bw());
+        let mut cpu = 0u64;
+        if cfg.parse_input_text {
+            cpu += c.parse_ns(task.input_bytes);
+        }
+        cpu += c.hadoop_records_ns(task.records.len() as u64);
+        cpu += extra_cpu;
+        // Spill the map output to local disk (Hadoop always materializes).
+        cpu += c.serialize_ns(emitted_bytes);
+        io += c.io_ns(emitted_bytes, node.slot_disk_write_bw());
+        io + (cpu as f64 * node.cpu_scale) as SimNs
+    }
+
+    /// Runs a map-only job (no shuffle; output written to HDFS if configured).
+    pub fn map_only<T, O>(
+        &mut self,
+        cfg: &JobConfig,
+        tasks: Vec<MapTask<T>>,
+        mut map: impl FnMut(&T, &mut ReduceEmitter<O>),
+    ) -> JobOutcome<O> {
+        let c = self.cluster.cost.clone();
+        let node = self.cluster.config.node;
+        let slots = self.cluster.total_slots();
+
+        let mut output = Vec::new();
+        let mut durations: Vec<SimNs> = Vec::with_capacity(tasks.len());
+        let mut stats = JobStats {
+            map_tasks: tasks.len() as u64,
+            ..JobStats::default()
+        };
+
+        for task in &tasks {
+            let mut em = ReduceEmitter::new();
+            for rec in &task.records {
+                map(rec, &mut em);
+            }
+            stats.records_in += task.records.len() as u64;
+            stats.records_out += em.out.len() as u64;
+            stats.input_bytes += task.input_bytes;
+            stats.output_bytes += em.bytes;
+
+            let io = c.io_ns(task.input_bytes, node.slot_disk_read_bw());
+            let mut cpu = 0u64;
+            if cfg.parse_input_text {
+                cpu += c.parse_ns(task.input_bytes);
+            }
+            cpu += c.hadoop_records_ns(task.records.len() as u64);
+            cpu += em.extra_cpu_ns;
+            let mut ns = io + (cpu as f64 * node.cpu_scale) as SimNs;
+            if cfg.write_output_to_hdfs {
+                ns += (c.serialize_ns(em.bytes) as f64 * node.cpu_scale) as SimNs
+                    + c.hdfs_write_ns(em.bytes, self.hdfs_write_bw());
+            }
+            durations.push(ns);
+            output.extend(em.out);
+        }
+
+        let makespan = match cfg.map_scale {
+            ScaleMode::MoreTasks => {
+                let with_overhead: Vec<SimNs> = durations
+                    .iter()
+                    .map(|d| d + c.hadoop_task_overhead_ns)
+                    .collect();
+                replicated_makespan(&with_overhead, slots, cfg.multiplier)
+            }
+            ScaleMode::BiggerTasks => {
+                let scaled: Vec<SimNs> = durations
+                    .iter()
+                    .map(|d| c.hadoop_task_overhead_ns + (*d as f64 * cfg.multiplier) as SimNs)
+                    .collect();
+                lpt_makespan(&scaled, slots)
+            }
+        };
+
+        let mut trace = StageTrace::new(cfg.name.clone(), StageKind::MapOnlyJob, cfg.phase);
+        trace.sim_ns = c.hadoop_job_startup_ns + makespan;
+        trace.hdfs_bytes_read = (stats.input_bytes as f64 * cfg.multiplier) as u64;
+        if cfg.write_output_to_hdfs {
+            trace.hdfs_bytes_written = (stats.output_bytes as f64 * cfg.multiplier) as u64;
+            self.hdfs.total_bytes_written += trace.hdfs_bytes_written;
+        }
+        self.hdfs.total_bytes_read += trace.hdfs_bytes_read;
+        trace.tasks = (stats.map_tasks as f64 * cfg.multiplier) as u64;
+
+        JobOutcome {
+            output,
+            group_bytes: Vec::new(),
+            stats,
+            trace,
+        }
+    }
+
+    /// Runs a full map → shuffle → reduce job with a map-side **combiner**:
+    /// per map task, same-key values are pre-aggregated before the shuffle,
+    /// cutting shuffle volume — the classic Hadoop optimization for
+    /// aggregation-shaped jobs. `combine` folds one task's values for one
+    /// key into fewer `(value, serialized_bytes)` pairs.
+    pub fn map_combine_reduce<T, K, V, O>(
+        &mut self,
+        cfg: &JobConfig,
+        tasks: Vec<MapTask<T>>,
+        mut map: impl FnMut(&T, &mut MapEmitter<K, V>),
+        mut combine: impl FnMut(&K, Vec<V>) -> Vec<(V, u64)>,
+        mut reduce: impl FnMut(&K, &[V], &mut ReduceEmitter<O>),
+    ) -> JobOutcome<O>
+    where
+        K: Ord + Clone,
+    {
+        let cost = self.cluster.cost.clone();
+        let mut combiner = |em: MapEmitter<K, V>| -> MapEmitter<K, V> {
+            let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            let n = em.pairs.len() as u64;
+            for (k, v) in em.pairs {
+                grouped.entry(k).or_default().push(v);
+            }
+            let mut out = MapEmitter::new();
+            // The combine pass sorts the task's output; charge it.
+            out.extra_cpu_ns = em.extra_cpu_ns + cost.sort_ns(n);
+            for (k, vs) in grouped {
+                for (v, bytes) in combine(&k, vs) {
+                    out.emit(k.clone(), v, bytes);
+                }
+            }
+            out
+        };
+        self.map_reduce_inner(cfg, tasks, &mut map, Some(&mut combiner), &mut reduce)
+    }
+
+    /// Runs a full map → shuffle → reduce job. Keys are grouped with a
+    /// deterministic sort order.
+    pub fn map_reduce<T, K, V, O>(
+        &mut self,
+        cfg: &JobConfig,
+        tasks: Vec<MapTask<T>>,
+        mut map: impl FnMut(&T, &mut MapEmitter<K, V>),
+        mut reduce: impl FnMut(&K, &[V], &mut ReduceEmitter<O>),
+    ) -> JobOutcome<O>
+    where
+        K: Ord + Clone,
+    {
+        self.map_reduce_inner(cfg, tasks, &mut map, None, &mut reduce)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn map_reduce_inner<T, K, V, O>(
+        &mut self,
+        cfg: &JobConfig,
+        tasks: Vec<MapTask<T>>,
+        map: &mut dyn FnMut(&T, &mut MapEmitter<K, V>),
+        mut combiner: Option<&mut dyn FnMut(MapEmitter<K, V>) -> MapEmitter<K, V>>,
+        reduce: &mut dyn FnMut(&K, &[V], &mut ReduceEmitter<O>),
+    ) -> JobOutcome<O>
+    where
+        K: Ord + Clone,
+    {
+        let c = self.cluster.cost.clone();
+        let node = self.cluster.config.node;
+        let nodes = self.cluster.config.nodes;
+        let slots = self.cluster.total_slots();
+
+        // ---- map phase (real execution + per-task cost) ----
+        let mut stats = JobStats {
+            map_tasks: tasks.len() as u64,
+            ..JobStats::default()
+        };
+        let mut map_durations = Vec::with_capacity(tasks.len());
+        // Group by key with byte accounting: BTreeMap gives deterministic
+        // group order (Hadoop's shuffle sorts keys).
+        let mut groups: BTreeMap<K, (Vec<V>, u64)> = BTreeMap::new();
+        for task in &tasks {
+            let mut em = MapEmitter::new();
+            for rec in &task.records {
+                map(rec, &mut em);
+            }
+            if let Some(comb) = combiner.as_deref_mut() {
+                em = comb(em);
+            }
+            stats.records_in += task.records.len() as u64;
+            stats.input_bytes += task.input_bytes;
+            stats.shuffle_bytes += em.bytes;
+            let dur = self.map_task_duration(cfg, task, em.bytes, em.extra_cpu_ns);
+            map_durations.push(dur + c.hadoop_task_overhead_ns);
+            let n_pairs = em.pairs.len().max(1) as u64;
+            let bytes_per_pair = em.bytes / n_pairs;
+            for (k, v) in em.pairs {
+                let e = groups.entry(k).or_insert_with(|| (Vec::new(), 0));
+                e.0.push(v);
+                e.1 += bytes_per_pair;
+            }
+        }
+        let map_makespan = match cfg.map_scale {
+            ScaleMode::MoreTasks => replicated_makespan(&map_durations, slots, cfg.multiplier),
+            ScaleMode::BiggerTasks => {
+                let scaled: Vec<SimNs> = map_durations
+                    .iter()
+                    .map(|d| (*d as f64 * cfg.multiplier) as SimNs)
+                    .collect();
+                lpt_makespan(&scaled, slots)
+            }
+        };
+
+        // ---- shuffle + reduce phase ----
+        // Each group is one spatial partition: fixed count, data grows with
+        // the multiplier.
+        let mut reduce_durations = Vec::with_capacity(groups.len());
+        let mut group_bytes = Vec::with_capacity(groups.len());
+        let mut output = Vec::new();
+        let remote_fraction = if nodes > 1 {
+            (nodes - 1) as f64 / nodes as f64
+        } else {
+            0.0
+        };
+        for (k, (vs, bytes)) in &groups {
+            let mut em = ReduceEmitter::new();
+            reduce(k, vs, &mut em);
+            stats.records_out += em.out.len() as u64;
+            stats.output_bytes += em.bytes;
+            group_bytes.push(*bytes);
+
+            let full_bytes = (*bytes as f64 * cfg.multiplier) as u64;
+            let full_records = (vs.len() as f64 * cfg.multiplier) as u64;
+            // Fetch spilled map output: disk read + cross-node transfer.
+            let mut io = c.io_ns(full_bytes, node.slot_disk_read_bw());
+            io += c.io_ns((full_bytes as f64 * remote_fraction) as u64, node.slot_net_bw());
+            // Merge-sort the group (Hadoop sorts by key; within-partition
+            // sorting of values is what the streaming dedup relies on).
+            let mut cpu = c.sort_ns(full_records);
+            cpu += c.hadoop_records_ns(full_records);
+            cpu += (em.extra_cpu_ns as f64 * cfg.multiplier) as SimNs;
+            if cfg.write_output_to_hdfs {
+                let out_full = (em.bytes as f64 * cfg.multiplier) as u64;
+                cpu += c.serialize_ns(out_full);
+                io += c.hdfs_write_ns(out_full, self.hdfs_write_bw());
+            }
+            let ns = io + (cpu as f64 * node.cpu_scale) as SimNs;
+            reduce_durations.push(c.hadoop_task_overhead_ns + ns);
+            output.extend(em.out);
+        }
+        stats.reduce_tasks = groups.len() as u64;
+        let reduce_makespan = lpt_makespan(&reduce_durations, slots);
+
+        let mut trace = StageTrace::new(cfg.name.clone(), StageKind::MapReduceJob, cfg.phase);
+        trace.sim_ns = c.hadoop_job_startup_ns + map_makespan + reduce_makespan;
+        trace.hdfs_bytes_read = (stats.input_bytes as f64 * cfg.multiplier) as u64;
+        trace.shuffle_bytes = (stats.shuffle_bytes as f64 * cfg.multiplier) as u64;
+        if cfg.write_output_to_hdfs {
+            trace.hdfs_bytes_written = (stats.output_bytes as f64 * cfg.multiplier) as u64;
+            self.hdfs.total_bytes_written += trace.hdfs_bytes_written;
+        }
+        self.hdfs.total_bytes_read += trace.hdfs_bytes_read;
+        trace.tasks = ((stats.map_tasks as f64) * cfg.multiplier) as u64 + stats.reduce_tasks;
+
+        JobOutcome {
+            output,
+            group_bytes,
+            stats,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_format::block_splits;
+    use sjc_cluster::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::workstation())
+    }
+
+    #[test]
+    fn word_count_semantics() {
+        let cluster = cluster();
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let words = vec!["a", "b", "a", "c", "b", "a"];
+        let tasks = block_splits(&words, 2.0, 4); // 2 words per task
+        let cfg = JobConfig::new("wordcount", Phase::DistributedJoin, 1.0);
+        let outcome = engine.map_reduce(
+            &cfg,
+            tasks,
+            |w, em| em.emit(w.to_string(), 1u64, 2),
+            |k, vs, em| em.emit((k.clone(), vs.iter().sum::<u64>()), 8),
+        );
+        let mut counts = outcome.output.clone();
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]
+        );
+        assert_eq!(outcome.stats.map_tasks, 3);
+        assert_eq!(outcome.stats.reduce_tasks, 3);
+        assert!(outcome.trace.sim_ns >= cluster.cost.hadoop_job_startup_ns);
+    }
+
+    #[test]
+    fn map_only_passthrough() {
+        let cluster = cluster();
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let cfg = JobConfig::new("scan", Phase::IndexA, 1.0);
+        let tasks = vec![MapTask::new(vec![1u32, 2, 3], 30)];
+        let outcome = engine.map_only(&cfg, tasks, |r, em| em.emit(r * 10, 4));
+        assert_eq!(outcome.output, vec![10, 20, 30]);
+        assert_eq!(outcome.stats.records_in, 3);
+        assert_eq!(outcome.trace.hdfs_bytes_read, 30);
+    }
+
+    #[test]
+    fn multiplier_scales_time_and_bytes() {
+        let cluster = cluster();
+        let run = |mult: f64| {
+            let mut hdfs = SimHdfs::new(1);
+            let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+            let cfg = JobConfig::new("scan", Phase::IndexA, mult);
+            let records: Vec<u32> = (0..10_000).collect();
+            let tasks = block_splits(&records, 100.0, 64 << 10);
+            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 100))
+        };
+        let base = run(1.0);
+        let scaled = run(100.0);
+        // Compare data-dependent time (net of the fixed job startup).
+        let startup = cluster.cost.hadoop_job_startup_ns;
+        assert!(scaled.trace.sim_ns - startup > 10 * (base.trace.sim_ns - startup));
+        assert_eq!(scaled.trace.hdfs_bytes_read, 100 * base.trace.hdfs_bytes_read);
+        assert_eq!(base.output, scaled.output, "multiplier never changes results");
+    }
+
+    #[test]
+    fn skewed_reduce_group_dominates_makespan() {
+        let cluster = cluster();
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let cfg = JobConfig::new("skew", Phase::DistributedJoin, 1.0).write_output(false);
+        // 1000 records: 90% to key 0, the rest spread over 9 keys.
+        let records: Vec<u64> = (0..1000).collect();
+        let tasks = block_splits(&records, 1000.0, 64 << 20);
+        let outcome = engine.map_reduce(
+            &cfg,
+            tasks,
+            |r, em| {
+                let key = if r % 10 == 0 { (r % 9) + 1 } else { 0 };
+                em.emit(key, *r, 1 << 20); // 1 MB per record
+            },
+            |_k, vs, em| em.emit(vs.len() as u64, 8),
+        );
+        let max = *outcome.group_bytes.iter().max().unwrap();
+        let min = *outcome.group_bytes.iter().min().unwrap();
+        assert!(max > 50 * min, "skew visible in group bytes");
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_not_results() {
+        let cluster = cluster();
+        let words: Vec<u64> = (0..10_000).map(|i| i % 7).collect();
+        let tasks = || block_splits(&words, 8.0, 8 << 10); // ~1024 words/task
+
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
+        let plain = engine.map_reduce(
+            &cfg,
+            tasks(),
+            |w, em| em.emit(*w, 1u64, 16),
+            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+        );
+
+        let mut hdfs2 = SimHdfs::new(1);
+        let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);
+        let combined = engine2.map_combine_reduce(
+            &cfg,
+            tasks(),
+            |w, em| em.emit(*w, 1u64, 16),
+            |_k, vs| vec![(vs.iter().sum::<u64>(), 16)],
+            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+        );
+
+        let mut a = plain.output.clone();
+        let mut b = combined.output.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "combining never changes the result");
+        assert!(
+            combined.stats.shuffle_bytes * 10 < plain.stats.shuffle_bytes,
+            "combiner collapses {} shuffle bytes to {}",
+            plain.stats.shuffle_bytes,
+            combined.stats.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn bigger_tasks_scale_linearly_more_tasks_amortize() {
+        let cluster = cluster();
+        let records: Vec<u32> = (0..1600).collect();
+        let run = |mode: ScaleMode| {
+            let mut hdfs = SimHdfs::new(1);
+            let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+            let cfg = JobConfig::new("m", Phase::IndexA, 50.0)
+                .map_scale(mode)
+                .write_output(false);
+            let tasks = block_splits(&records, 1000.0, 100 << 10); // 16 tasks
+            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 0)).trace.sim_ns
+        };
+        // BiggerTasks: 16 tasks × 50x data on 16 slots — one huge wave.
+        // MoreTasks: 800 unit tasks on 16 slots — perfectly amortized; both
+        // end up near total_work/slots, BiggerTasks only pays overhead once.
+        let more = run(ScaleMode::MoreTasks);
+        let bigger = run(ScaleMode::BiggerTasks);
+        let ratio = more as f64 / bigger as f64;
+        assert!((0.5..2.0).contains(&ratio), "same area bound, got ratio {ratio}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the MapReduce engine: semantic equivalence with
+//! plain in-memory folds, cost monotonicity, and combiner transparency.
+
+use proptest::prelude::*;
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::{Cluster, ClusterConfig, SimHdfs};
+use sjc_mapreduce::{block_splits, JobConfig, MapReduceJob};
+use std::collections::BTreeMap;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::workstation())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_reduce_equals_hashmap_fold(words in proptest::collection::vec(0u32..50, 0..500)) {
+        let cluster = cluster();
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
+        let outcome = engine.map_reduce(
+            &cfg,
+            block_splits(&words, 4.0, 64),
+            |w, em| em.emit(*w, 1u64, 8),
+            |k, vs, em| em.emit((*k, vs.len() as u64), 16),
+        );
+        let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
+        for w in &words {
+            *expected.entry(*w).or_default() += 1;
+        }
+        let got: BTreeMap<u32, u64> = outcome.output.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn combiner_never_changes_results(words in proptest::collection::vec(0u32..20, 1..400)) {
+        let cluster = cluster();
+        let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
+
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let mut plain = engine
+            .map_reduce(
+                &cfg,
+                block_splits(&words, 4.0, 32),
+                |w, em| em.emit(*w, 1u64, 8),
+                |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+            )
+            .output;
+
+        let mut hdfs2 = SimHdfs::new(1);
+        let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);
+        let outcome = engine2.map_combine_reduce(
+            &cfg,
+            block_splits(&words, 4.0, 32),
+            |w, em| em.emit(*w, 1u64, 8),
+            |_k, vs| vec![(vs.iter().sum::<u64>(), 8)],
+            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+        );
+        let mut combined = outcome.output;
+        plain.sort_unstable();
+        combined.sort_unstable();
+        prop_assert_eq!(plain, combined);
+        // And it never inflates shuffle volume.
+        prop_assert!(outcome.stats.shuffle_bytes <= words.len() as u64 * 8);
+    }
+
+    #[test]
+    fn simulated_time_is_monotone_in_multiplier(
+        words in proptest::collection::vec(0u32..10, 50..200),
+        mult in 1.0f64..1000.0
+    ) {
+        let cluster = cluster();
+        let run = |m: f64| {
+            let mut hdfs = SimHdfs::new(1);
+            let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+            let cfg = JobConfig::new("wc", Phase::DistributedJoin, m);
+            engine
+                .map_reduce(
+                    &cfg,
+                    block_splits(&words, 4.0, 64),
+                    |w, em| em.emit(*w, 1u64, 8),
+                    |k, vs, em| em.emit((*k, vs.len()), 16),
+                )
+                .trace
+                .sim_ns
+        };
+        prop_assert!(run(mult) >= run(1.0), "more data never runs faster");
+    }
+
+    #[test]
+    fn map_only_preserves_record_order(records in proptest::collection::vec(0u64..1000, 0..300)) {
+        let cluster = cluster();
+        let mut hdfs = SimHdfs::new(1);
+        let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+        let cfg = JobConfig::new("scan", Phase::IndexA, 1.0);
+        let outcome = engine.map_only(&cfg, block_splits(&records, 8.0, 64), |r, em| {
+            em.emit(*r, 8)
+        });
+        prop_assert_eq!(outcome.output, records);
+    }
+}

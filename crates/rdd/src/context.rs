@@ -1,0 +1,154 @@
+//! The Spark driver context: owns the run trace and stage accounting.
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::scheduler::lpt_makespan;
+use sjc_cluster::{Cluster, RunTrace, SimNs, StageKind, StageTrace};
+
+use crate::rdd::Rdd;
+use crate::record::SparkRecord;
+
+/// Driver-side context for building and executing RDDs.
+pub struct SparkContext<'a> {
+    pub cluster: &'a Cluster,
+    pub trace: RunTrace,
+    /// Default number of partitions for loaded datasets (Spark uses
+    /// 2–3 × total cores).
+    pub default_parallelism: usize,
+}
+
+impl<'a> SparkContext<'a> {
+    pub fn new(cluster: &'a Cluster) -> Self {
+        SparkContext {
+            cluster,
+            trace: RunTrace::new("spark"),
+            default_parallelism: cluster.total_slots() * 2,
+        }
+    }
+
+    /// Loads a dataset "from HDFS": the only point where SpatialSpark
+    /// touches the distributed file system. Charges the read and text parse
+    /// into the partitions' pending cost (Spark is lazy — the load is paid
+    /// when the first stage runs).
+    pub fn read_text<T: SparkRecord>(
+        &mut self,
+        records: Vec<T>,
+        input_bytes: u64,
+        multiplier: f64,
+    ) -> Rdd<T> {
+        let parts = self.default_parallelism.max(1);
+        let n = records.len();
+        let chunk = n.div_ceil(parts).max(1);
+        let cost = &self.cluster.cost;
+        let node = &self.cluster.config.node;
+
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(parts);
+        let mut it = records.into_iter();
+        loop {
+            let part: Vec<T> = it.by_ref().take(chunk).collect();
+            if part.is_empty() {
+                break;
+            }
+            partitions.push(part);
+        }
+        if partitions.is_empty() {
+            partitions.push(Vec::new());
+        }
+
+        let bytes_per_rec = if n == 0 { 0.0 } else { input_bytes as f64 / n as f64 };
+        let mut pending = Vec::with_capacity(partitions.len());
+        let mut mem_full = Vec::with_capacity(partitions.len());
+        for p in &partitions {
+            let part_bytes = (p.len() as f64 * bytes_per_rec) as u64;
+            let io = cost.io_ns(part_bytes, node.slot_disk_read_bw());
+            let cpu = cost.parse_ns(part_bytes) + cost.spark_records_ns(p.len() as u64);
+            let ns = io + (cpu as f64 * node.cpu_scale) as u64;
+            pending.push((ns as f64 * multiplier) as SimNs);
+            let mem: u64 = p.iter().map(|r| r.mem_bytes(cost)).sum();
+            mem_full.push((mem as f64 * multiplier) as u64);
+        }
+
+        Rdd {
+            parts: partitions,
+            pending_ns: pending,
+            pending_hdfs_read: (input_bytes as f64 * multiplier) as u64,
+            mem_full,
+            multiplier,
+        }
+    }
+
+    /// Closes a stage: schedules the per-partition pending durations onto
+    /// the cluster, emits a [`StageTrace`], and returns its simulated time.
+    pub(crate) fn close_stage(
+        &mut self,
+        name: &str,
+        phase: Phase,
+        pending_ns: &[SimNs],
+        hdfs_read: u64,
+        shuffle_bytes: u64,
+    ) -> SimNs {
+        let cost = &self.cluster.cost;
+        let with_overhead: Vec<SimNs> = pending_ns
+            .iter()
+            .map(|&p| p + cost.spark_task_overhead_ns)
+            .collect();
+        let makespan = lpt_makespan(&with_overhead, self.cluster.total_slots());
+        let total = cost.spark_job_startup_ns + makespan;
+        if std::env::var_os("SJC_STAGE_DEBUG").is_some() {
+            let sum: u128 = pending_ns.iter().map(|&p| p as u128).sum();
+            let max = pending_ns.iter().copied().max().unwrap_or(0);
+            eprintln!(
+                "[stage] {} {name:?} tasks={} sum={:.1}s max={:.1}s makespan={:.1}s",
+                self.cluster.config.name,
+                pending_ns.len(),
+                sum as f64 / 1e9,
+                max as f64 / 1e9,
+                makespan as f64 / 1e9
+            );
+        }
+
+        let mut st = StageTrace::new(name, StageKind::SparkStage, phase);
+        st.sim_ns = total;
+        st.hdfs_bytes_read = hdfs_read;
+        st.shuffle_bytes = shuffle_bytes;
+        st.tasks = pending_ns.len() as u64;
+        self.trace.push(st);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_cluster::ClusterConfig;
+
+    #[test]
+    fn read_text_partitions_and_charges() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let mut ctx = SparkContext::new(&cluster);
+        let records: Vec<u64> = (0..1000).collect();
+        let rdd = ctx.read_text(records, 40_000, 10.0);
+        assert_eq!(rdd.parts.iter().map(Vec::len).sum::<usize>(), 1000);
+        assert!(rdd.parts.len() <= ctx.default_parallelism);
+        assert!(rdd.pending_ns.iter().all(|&ns| ns > 0));
+        assert_eq!(rdd.pending_hdfs_read, 400_000);
+    }
+
+    #[test]
+    fn empty_dataset_still_has_one_partition() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let mut ctx = SparkContext::new(&cluster);
+        let rdd: Rdd<u64> = ctx.read_text(Vec::new(), 0, 1.0);
+        assert_eq!(rdd.parts.len(), 1);
+    }
+
+    #[test]
+    fn close_stage_emits_trace() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let mut ctx = SparkContext::new(&cluster);
+        let ns = ctx.close_stage("s1", Phase::DistributedJoin, &[1000, 2000], 77, 88);
+        assert!(ns >= 2000);
+        assert_eq!(ctx.trace.stages.len(), 1);
+        assert_eq!(ctx.trace.stages[0].hdfs_bytes_read, 77);
+        assert_eq!(ctx.trace.stages[0].shuffle_bytes, 88);
+    }
+}

@@ -1,0 +1,404 @@
+//! The [`Rdd`] type and its narrow transformations.
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::{SimError, SimNs};
+
+use crate::context::SparkContext;
+use crate::record::SparkRecord;
+
+/// A partitioned, in-memory dataset.
+///
+/// Narrow transformations (`map`, `flat_map`, `filter`, `sample`) run
+/// eagerly on the host but *pipeline* in the simulation: their cost
+/// accumulates in `pending_ns` per partition and only becomes a stage
+/// makespan when a wide operation or action closes the stage — exactly how
+/// Spark fuses narrow ops into one stage.
+pub struct Rdd<T> {
+    pub(crate) parts: Vec<Vec<T>>,
+    /// Full-scale pending CPU per partition since the last stage boundary.
+    pub(crate) pending_ns: Vec<SimNs>,
+    /// Full-scale HDFS bytes read but not yet attributed to a stage.
+    pub(crate) pending_hdfs_read: u64,
+    /// Full-scale modeled resident bytes per partition.
+    pub(crate) mem_full: Vec<u64>,
+    pub(crate) multiplier: f64,
+}
+
+impl<T: SparkRecord + Clone> Rdd<T> {
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total records (generation scale).
+    pub fn count(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Full-scale modeled resident footprint.
+    pub fn mem_full_total(&self) -> u64 {
+        self.mem_full.iter().sum()
+    }
+
+    /// Per-partition full-scale footprints (for memory checks).
+    pub fn mem_full(&self) -> &[u64] {
+        &self.mem_full
+    }
+
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// Narrow map. `f` receives each record and a per-record extra-cost
+    /// accumulator (generation-scale ns) for spatial work such as index
+    /// probes.
+    pub fn map<U: SparkRecord>(
+        self,
+        ctx: &SparkContext<'_>,
+        mut f: impl FnMut(&T, &mut SimNs) -> U,
+    ) -> Rdd<U> {
+        self.transform(ctx, |rec, extra, out| out.push(f(rec, extra)))
+    }
+
+    /// Narrow flat-map.
+    pub fn flat_map<U: SparkRecord>(
+        self,
+        ctx: &SparkContext<'_>,
+        mut f: impl FnMut(&T, &mut SimNs) -> Vec<U>,
+    ) -> Rdd<U> {
+        self.transform(ctx, |rec, extra, out| out.extend(f(rec, extra)))
+    }
+
+    /// Narrow filter.
+    pub fn filter(self, ctx: &SparkContext<'_>, mut pred: impl FnMut(&T) -> bool) -> Rdd<T> {
+        self.transform(ctx, |rec, _extra, out| {
+            if pred(rec) {
+                out.push(rec.clone());
+            }
+        })
+    }
+
+    /// Narrow per-partition map (Spark's `mapPartitions`): `f` sees a whole
+    /// partition at once — the idiom for amortizing per-partition setup
+    /// (index builds, connection pools). `extra` charges generation-scale
+    /// ns of setup/compute for the partition.
+    pub fn map_partitions<U: SparkRecord>(
+        self,
+        ctx: &SparkContext<'_>,
+        mut f: impl FnMut(&[T], &mut SimNs) -> Vec<U>,
+    ) -> Rdd<U> {
+        let cost = &ctx.cluster.cost;
+        let cpu_scale = ctx.cluster.config.node.cpu_scale;
+        let mult = self.multiplier;
+        let mut parts = Vec::with_capacity(self.parts.len());
+        let mut pending = Vec::with_capacity(self.parts.len());
+        let mut mem_full = Vec::with_capacity(self.parts.len());
+        for (src, old_pending) in self.parts.into_iter().zip(self.pending_ns) {
+            let mut extra: SimNs = 0;
+            let out = f(&src, &mut extra);
+            let ns = cost.spark_records_ns(src.len() as u64) + extra;
+            let ns = (ns as f64 * cpu_scale) as u64;
+            pending.push(old_pending + (ns as f64 * mult) as SimNs);
+            let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
+            mem_full.push((mem as f64 * mult) as u64);
+            parts.push(out);
+        }
+        Rdd {
+            parts,
+            pending_ns: pending,
+            pending_hdfs_read: self.pending_hdfs_read,
+            mem_full,
+            multiplier: mult,
+        }
+    }
+
+    /// Deterministic Bernoulli sample (Spark's `RDD.sample`): record `i` of
+    /// a partition survives when a seeded hash of its index falls below
+    /// `fraction`.
+    pub fn sample(self, ctx: &SparkContext<'_>, fraction: f64, seed: u64) -> Rdd<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut counter = seed;
+        self.transform(ctx, move |rec, _extra, out| {
+            counter = counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (counter >> 1) < (threshold >> 1) {
+                out.push(rec.clone());
+            }
+        })
+    }
+
+    /// Shared narrow-op machinery: runs `op` per record, charges the Spark
+    /// per-record overhead plus accumulated extra cost, recomputes memory.
+    fn transform<U: SparkRecord>(
+        self,
+        ctx: &SparkContext<'_>,
+        mut op: impl FnMut(&T, &mut SimNs, &mut Vec<U>),
+    ) -> Rdd<U> {
+        let cost = &ctx.cluster.cost;
+        let mult = self.multiplier;
+        let mut parts = Vec::with_capacity(self.parts.len());
+        let mut pending = Vec::with_capacity(self.parts.len());
+        let mut mem_full = Vec::with_capacity(self.parts.len());
+        for (src, old_pending) in self.parts.into_iter().zip(self.pending_ns) {
+            let mut out: Vec<U> = Vec::with_capacity(src.len());
+            let mut extra: SimNs = 0;
+            for rec in &src {
+                op(rec, &mut extra, &mut out);
+            }
+            let ns = cost.spark_records_ns(src.len() as u64) + extra;
+            let ns = (ns as f64 * ctx.cluster.config.node.cpu_scale) as u64;
+            pending.push(old_pending + (ns as f64 * mult) as SimNs);
+            let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
+            mem_full.push((mem as f64 * mult) as u64);
+            parts.push(out);
+        }
+        Rdd {
+            parts,
+            pending_ns: pending,
+            pending_hdfs_read: self.pending_hdfs_read,
+            mem_full,
+            multiplier: mult,
+        }
+    }
+
+    /// Action: draw a deterministic systematic sample and collect it to the
+    /// driver, treating the RDD as *cached* afterwards — the action pays
+    /// the pending load/compute cost (plus a memory scan), and subsequent
+    /// uses of this RDD read from the cache for free. This mirrors
+    /// SpatialSpark's `input.cache(); input.sample(...)` pattern where the
+    /// sampling action is what first materializes the dataset.
+    pub fn sample_collect(
+        &mut self,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+        fraction: f64,
+        seed: u64,
+    ) -> Vec<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        let cost = &ctx.cluster.cost;
+        // Consume pending: the cache is warm after this action.
+        let cpu_scale = ctx.cluster.config.node.cpu_scale;
+        let mut pending = std::mem::replace(&mut self.pending_ns, vec![0; self.parts.len()]);
+        for (p, part) in pending.iter_mut().zip(&self.parts) {
+            *p += (cost.spark_records_ns(part.len() as u64) as f64 * cpu_scale * self.multiplier)
+                as SimNs;
+        }
+        let hdfs = std::mem::take(&mut self.pending_hdfs_read);
+        ctx.close_stage(name, phase, &pending, hdfs, 0);
+
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut state = seed | 1;
+        let mut out = Vec::new();
+        for part in &self.parts {
+            for rec in part {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 1) < (threshold >> 1) {
+                    out.push(rec.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Action: count records, closing the stage (cheaper than `collect` —
+    /// only per-partition counts travel to the driver).
+    pub fn count_action(
+        self,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+    ) -> Result<usize, SimError> {
+        let n = self.count();
+        ctx.close_stage(name, phase, &self.pending_ns, self.pending_hdfs_read, 0);
+        Ok(n)
+    }
+
+    /// Lazily concatenates two RDDs (Spark's `union`): partitions of both
+    /// parents side by side, no shuffle, no stage boundary.
+    pub fn union(mut self, other: Rdd<T>) -> Rdd<T> {
+        assert!(
+            (self.multiplier - other.multiplier).abs() / self.multiplier.max(1e-12) < 0.5,
+            "uniting RDDs with wildly different workload multipliers loses meaning"
+        );
+        self.parts.extend(other.parts);
+        self.pending_ns.extend(other.pending_ns);
+        self.mem_full.extend(other.mem_full);
+        self.pending_hdfs_read += other.pending_hdfs_read;
+        self
+    }
+
+    /// Action: collect all records to the driver, closing the stage.
+    pub fn collect(
+        self,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+    ) -> Result<Vec<T>, SimError> {
+        let pending = self.pending_ns.clone();
+        ctx.close_stage(name, phase, &pending, self.pending_hdfs_read, 0);
+        Ok(self.parts.into_iter().flatten().collect())
+    }
+}
+
+impl<T: SparkRecord + Clone> Rdd<T> {
+    /// Repartitions into `n` round-robin partitions (used by tests and the
+    /// broadcast-join variant to control parallelism).
+    pub fn repartition(self, ctx: &SparkContext<'_>, n: usize) -> Rdd<T> {
+        let n = n.max(1);
+        let cost = &ctx.cluster.cost;
+        let mult = self.multiplier;
+        let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, rec) in self.parts.into_iter().flatten().enumerate() {
+            parts[i % n].push(rec);
+        }
+        let carried: SimNs = self.pending_ns.iter().sum::<SimNs>() / n.max(1) as u64;
+        let pending = vec![carried; n];
+        let mem_full = parts
+            .iter()
+            .map(|p| {
+                let m: u64 = p.iter().map(|r| r.mem_bytes(cost)).sum();
+                (m as f64 * mult) as u64
+            })
+            .collect();
+        Rdd {
+            parts,
+            pending_ns: pending,
+            pending_hdfs_read: self.pending_hdfs_read,
+            mem_full,
+            multiplier: mult,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_cluster::{Cluster, ClusterConfig};
+
+    fn ctx_cluster() -> Cluster {
+        Cluster::new(ClusterConfig::workstation())
+    }
+
+    #[test]
+    fn map_filter_flat_map_semantics() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let rdd = ctx.read_text((0u64..100).collect(), 4000, 1.0);
+        let out = rdd
+            .map(&ctx, |x, _| x * 2)
+            .filter(&ctx, |x| x % 4 == 0)
+            .flat_map(&ctx, |x, _| vec![*x, *x + 1])
+            .collect(&mut ctx, "t", Phase::DistributedJoin)
+            .unwrap();
+        // 0..100 doubled → 0,2,..198; keep multiples of 4 → 50 values; ×2.
+        assert_eq!(out.len(), 100);
+        assert!(out.contains(&0) && out.contains(&1) && out.contains(&196) && out.contains(&197));
+        assert_eq!(ctx.trace.stages.len(), 1, "narrow ops fused into one stage");
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let a = ctx
+            .read_text((0u64..10_000).collect(), 40_000, 1.0)
+            .sample(&ctx, 0.1, 42)
+            .collect(&mut ctx, "s", Phase::IndexA)
+            .unwrap();
+        let mut ctx2 = SparkContext::new(&cluster);
+        let b = ctx2
+            .read_text((0u64..10_000).collect(), 40_000, 1.0)
+            .sample(&ctx2, 0.1, 42)
+            .collect(&mut ctx2, "s", Phase::IndexA)
+            .unwrap();
+        assert_eq!(a, b, "same seed, same sample");
+        assert!((800..1200).contains(&a.len()), "~10% kept, got {}", a.len());
+    }
+
+    #[test]
+    fn pending_cost_accumulates_across_narrow_ops() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let rdd = ctx.read_text((0u64..1000).collect(), 40_000, 1.0);
+        let after_load: SimNs = rdd.pending_ns.iter().sum();
+        let mapped = rdd.map(&ctx, |x, extra| {
+            *extra += 100;
+            x + 1
+        });
+        let after_map: SimNs = mapped.pending_ns.iter().sum();
+        assert!(after_map > after_load);
+    }
+
+    #[test]
+    fn multiplier_scales_memory_not_results() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let small = ctx.read_text((0u64..1000).collect(), 40_000, 1.0);
+        let mut ctx2 = SparkContext::new(&cluster);
+        let big = ctx2.read_text((0u64..1000).collect(), 40_000, 1000.0);
+        assert_eq!(small.count(), big.count());
+        assert!(big.mem_full_total() > 500 * small.mem_full_total());
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partitions() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let rdd = ctx.read_text((0u64..100).collect(), 4000, 1.0);
+        let n_parts = rdd.num_partitions();
+        // Emit one record per partition: its size.
+        let sizes = rdd
+            .map_partitions(&ctx, |part, extra| {
+                *extra += 1000;
+                vec![part.len() as u64]
+            })
+            .collect(&mut ctx, "sizes", Phase::IndexA)
+            .unwrap();
+        assert_eq!(sizes.len(), n_parts);
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn count_action_counts_without_collecting() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let n = ctx
+            .read_text((0u64..1234).collect(), 4000, 1.0)
+            .filter(&ctx, |x| x % 2 == 0)
+            .count_action(&mut ctx, "count", Phase::IndexA)
+            .unwrap();
+        assert_eq!(n, 617);
+        assert_eq!(ctx.trace.stages.len(), 1);
+    }
+
+    #[test]
+    fn union_concatenates_without_a_stage() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let a = ctx.read_text((0u64..10).collect(), 400, 1.0);
+        let b = ctx.read_text((100u64..110).collect(), 400, 1.0);
+        let stages_before = ctx.trace.stages.len();
+        let u = a.union(b);
+        assert_eq!(ctx.trace.stages.len(), stages_before, "union is lazy");
+        let mut all = u.collect(&mut ctx, "c", Phase::IndexA).unwrap();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..10).chain(100..110).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn repartition_preserves_records() {
+        let cluster = ctx_cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let rdd = ctx.read_text((0u64..100).collect(), 4000, 1.0).repartition(&ctx, 7);
+        assert_eq!(rdd.num_partitions(), 7);
+        let mut out = rdd.collect(&mut ctx, "r", Phase::IndexA).unwrap();
+        out.sort_unstable();
+        assert_eq!(out, (0u64..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,433 @@
+//! Wide operations: `group_by_key` and `join` — the in-memory shuffle.
+//!
+//! These close a stage (turning pipelined pending cost into a makespan),
+//! move bytes through memory/network rather than HDFS, and are where the
+//! engine enforces executor memory: Spark 1.1's `groupByKey` materializes
+//! every group on its target executor with no spill path.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::SimError;
+
+use crate::context::SparkContext;
+use crate::memory::check_fits;
+use crate::rdd::Rdd;
+use crate::record::{SparkKey, SparkRecord};
+
+fn hash_of<K: SparkKey>(k: &K) -> u64 {
+    k.partition_hash()
+}
+
+/// Result of [`Rdd::join`]: per key, one output record per matching
+/// value pair.
+pub type JoinResult<K, A, B> = Result<Rdd<(K, (A, B))>, SimError>;
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: SparkRecord + SparkKey + Ord + Hash + Clone,
+    V: SparkRecord + Clone,
+{
+    /// Groups values by key into `num_partitions` hash partitions, closing
+    /// the current stage.
+    pub fn group_by_key(
+        self,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+        num_partitions: usize,
+    ) -> Result<Rdd<(K, Vec<V>)>, SimError> {
+        let p = num_partitions.max(1);
+        let cost = ctx.cluster.cost.clone();
+        let node = ctx.cluster.config.node;
+        let nodes = ctx.cluster.config.nodes;
+        let mult = self.multiplier;
+
+        // Real shuffle: group deterministically.
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut write_pending = self.pending_ns.clone();
+        let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
+        for (i, part) in self.parts.iter().enumerate() {
+            // Shuffle-write side: serialize and spill to the *local disk*
+            // (Spark 1.x materializes shuffle blocks on disk even for
+            // in-memory jobs), plus the cross-node network share.
+            let part_mem = self.mem_full[i];
+            let ser = (part_mem as f64 * cost.spark_shuffle_ser_fraction) as u64;
+            let cpu = (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64;
+            let mut ns = cpu + cost.io_ns(ser, node.slot_disk_write_bw());
+            ns += cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
+            write_pending[i] += ns;
+            for (k, v) in part {
+                groups.entry(k.clone()).or_default().push(v.clone());
+            }
+        }
+
+        // Build output partitions.
+        let mut parts: Vec<Vec<(K, Vec<V>)>> = (0..p).map(|_| Vec::new()).collect();
+        for (k, vs) in groups {
+            let idx = (hash_of(&k) % p as u64) as usize;
+            parts[idx].push((k, vs));
+        }
+
+        let mut mem_full = Vec::with_capacity(p);
+        let mut read_pending = Vec::with_capacity(p);
+        for part in &parts {
+            let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
+            let mem_f = (mem as f64 * mult) as u64;
+            mem_full.push(mem_f);
+            let records: u64 = part.iter().map(|(_, vs)| vs.len() as u64).sum();
+            // Shuffle-read side: fetch the serialized blocks from disk and
+            // deserialize them back into JVM objects.
+            let ser = (mem_f as f64 * cost.spark_shuffle_ser_fraction) as u64;
+            let mut ns = cost.io_ns(ser, node.slot_disk_read_bw());
+            let cpu = cost.serialize_ns(ser)
+                + cost.spark_records_ns((records as f64 * mult) as u64);
+            ns += (cpu as f64 * node.cpu_scale) as u64;
+            read_pending.push(ns);
+        }
+
+        // Memory check: shuffle input and materialized groups are live
+        // simultaneously.
+        check_fits(ctx.cluster, name, &[&self.mem_full, &mem_full])?;
+
+        // Close the map-side stage (pending narrow work + shuffle write).
+        let shuffle_bytes: u64 = self.mem_full.iter().sum();
+        ctx.close_stage(name, phase, &write_pending, self.pending_hdfs_read, shuffle_bytes);
+
+        Ok(Rdd {
+            parts,
+            pending_ns: read_pending,
+            pending_hdfs_read: 0,
+            mem_full,
+            multiplier: mult,
+        })
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: SparkRecord + SparkKey + Ord + Hash + Clone,
+    V: SparkRecord + Clone,
+{
+    /// `reduceByKey`: folds same-key values with `f`, combining **map-side
+    /// first** so only one value per (task, key) is shuffled — the reason
+    /// Spark lore says "use reduceByKey, not groupByKey". The spatial join
+    /// cannot use it (the local join needs the full record lists), which is
+    /// precisely why SpatialSpark's groupByKey OOMs where an aggregation
+    /// would not; the `rdd_extra_ops` tests demonstrate the difference.
+    pub fn reduce_by_key(
+        self,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+        num_partitions: usize,
+        mut f: impl FnMut(&V, &V) -> V,
+    ) -> Result<Rdd<(K, V)>, SimError> {
+        let p = num_partitions.max(1);
+        let cost = ctx.cluster.cost.clone();
+        let node = ctx.cluster.config.node;
+        let nodes = ctx.cluster.config.nodes;
+        let mult = self.multiplier;
+        let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
+
+        // Map-side combine per partition.
+        let mut write_pending = self.pending_ns.clone();
+        let mut combined_parts: Vec<BTreeMap<K, V>> = Vec::with_capacity(self.parts.len());
+        for (i, part) in self.parts.iter().enumerate() {
+            let mut local: BTreeMap<K, V> = BTreeMap::new();
+            for (k, v) in part {
+                match local.get_mut(k) {
+                    Some(acc) => *acc = f(acc, v),
+                    None => {
+                        local.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            // Combine cost: one pass over the partition's records.
+            let combine_cpu = (cost.spark_records_ns(part.len() as u64) as f64
+                * node.cpu_scale
+                * mult) as u64;
+            // Shuffle write: only the combined values leave the task.
+            let combined_mem: u64 = local.iter().map(|r| {
+                let pair_ref: (&K, &V) = r;
+                24 + pair_ref.0.mem_bytes(&cost) + pair_ref.1.mem_bytes(&cost)
+            }).sum();
+            let combined_full = (combined_mem as f64 * mult / part.len().max(1) as f64
+                * local.len() as f64) as u64; // conservative: scale by density
+            let ser = (combined_full as f64 * cost.spark_shuffle_ser_fraction) as u64;
+            write_pending[i] += combine_cpu
+                + (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64
+                + cost.io_ns(ser, node.slot_disk_write_bw())
+                + cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
+            combined_parts.push(local);
+        }
+
+        // Merge combined values across tasks.
+        let mut merged: BTreeMap<K, V> = BTreeMap::new();
+        for local in combined_parts {
+            for (k, v) in local {
+                match merged.get_mut(&k) {
+                    Some(acc) => *acc = f(acc, &v),
+                    None => {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        let mut parts: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+        for (k, v) in merged {
+            let idx = (hash_of(&k) % p as u64) as usize;
+            parts[idx].push((k, v));
+        }
+
+        let mut mem_full = Vec::with_capacity(p);
+        let mut read_pending = Vec::with_capacity(p);
+        for part in &parts {
+            // Combined results are one value per key: modeled at generation
+            // scale directly (keys don't multiply with the workload).
+            let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
+            mem_full.push(mem);
+            read_pending.push(cost.spark_records_ns(part.len() as u64));
+        }
+        check_fits(ctx.cluster, name, &[&self.mem_full, &mem_full])?;
+        let shuffle_bytes: u64 = mem_full.iter().sum();
+        ctx.close_stage(name, phase, &write_pending, self.pending_hdfs_read, shuffle_bytes);
+
+        Ok(Rdd {
+            parts,
+            pending_ns: read_pending,
+            pending_hdfs_read: 0,
+            mem_full,
+            multiplier: mult,
+        })
+    }
+}
+
+impl<K, A> Rdd<(K, A)>
+where
+    K: SparkRecord + SparkKey + Ord + Hash + Clone,
+    A: SparkRecord + Clone,
+{
+    /// Inner hash join on the key, closing both sides' stages. Matches
+    /// Spark's `join`: one output record per pair of matching values.
+    pub fn join<B>(
+        self,
+        other: Rdd<(K, B)>,
+        ctx: &mut SparkContext<'_>,
+        name: &str,
+        phase: Phase,
+        num_partitions: usize,
+    ) -> JoinResult<K, A, B>
+    where
+        B: SparkRecord + Clone,
+    {
+        let p = num_partitions.max(1);
+        let cost = ctx.cluster.cost.clone();
+        let node = ctx.cluster.config.node;
+        let nodes = ctx.cluster.config.nodes;
+        let mult = self.multiplier;
+        let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
+
+        // Close both input stages with their shuffle-write costs.
+        let spill = |m: u64| {
+            let ser = (m as f64 * cost.spark_shuffle_ser_fraction) as u64;
+            (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64
+                + cost.io_ns(ser, node.slot_disk_write_bw())
+                + cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw())
+        };
+        let mut left_pending = self.pending_ns.clone();
+        for (i, &m) in self.mem_full.iter().enumerate() {
+            left_pending[i] += spill(m);
+        }
+        let mut right_pending = other.pending_ns.clone();
+        for (i, &m) in other.mem_full.iter().enumerate() {
+            right_pending[i] += spill(m);
+        }
+
+        let mut left: BTreeMap<K, Vec<A>> = BTreeMap::new();
+        for (k, a) in self.parts.iter().flatten() {
+            left.entry(k.clone()).or_default().push(a.clone());
+        }
+        let mut right: BTreeMap<K, Vec<B>> = BTreeMap::new();
+        for (k, b) in other.parts.iter().flatten() {
+            right.entry(k.clone()).or_default().push(b.clone());
+        }
+
+        let mut parts: Vec<Vec<(K, (A, B))>> = (0..p).map(|_| Vec::new()).collect();
+        for (k, avs) in &left {
+            if let Some(bvs) = right.get(k) {
+                let idx = (hash_of(k) % p as u64) as usize;
+                for a in avs {
+                    for b in bvs {
+                        parts[idx].push((k.clone(), (a.clone(), b.clone())));
+                    }
+                }
+            }
+        }
+
+        let mut mem_full = Vec::with_capacity(p);
+        let mut read_pending = Vec::with_capacity(p);
+        for part in &parts {
+            let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
+            let mem_f = (mem as f64 * mult) as u64;
+            mem_full.push(mem_f);
+            let ser = (mem_f as f64 * cost.spark_shuffle_ser_fraction) as u64;
+            let cpu = cost.serialize_ns(ser)
+                + cost.spark_records_ns((part.len() as f64 * mult) as u64);
+            let ns = cost.io_ns(ser, node.slot_disk_read_bw())
+                + (cpu as f64 * node.cpu_scale) as u64;
+            read_pending.push(ns);
+        }
+
+        check_fits(
+            ctx.cluster,
+            name,
+            &[&self.mem_full, &other.mem_full, &mem_full],
+        )?;
+
+        let shuffle_bytes: u64 =
+            self.mem_full.iter().sum::<u64>() + other.mem_full.iter().sum::<u64>();
+        let hdfs = self.pending_hdfs_read + other.pending_hdfs_read;
+        let mut all_pending = left_pending;
+        all_pending.extend(right_pending);
+        ctx.close_stage(name, phase, &all_pending, hdfs, shuffle_bytes);
+
+        Ok(Rdd {
+            parts,
+            pending_ns: read_pending,
+            pending_hdfs_read: 0,
+            mem_full,
+            multiplier: mult,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_cluster::{Cluster, ClusterConfig};
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let mut ctx = SparkContext::new(&cluster);
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
+        let grouped = ctx
+            .read_text(pairs, 4000, 1.0)
+            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 4)
+            .unwrap();
+        let out = grouped.collect(&mut ctx, "c", Phase::DistributedJoin).unwrap();
+        assert_eq!(out.len(), 5);
+        for (k, vs) in &out {
+            assert_eq!(vs.len(), 20);
+            assert!(vs.iter().all(|v| v % 5 == *k));
+        }
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let mut ctx = SparkContext::new(&cluster);
+        let left: Vec<(u64, u64)> = vec![(1, 10), (2, 20), (3, 30)];
+        let right: Vec<(u64, u64)> = vec![(2, 200), (3, 300), (3, 301), (4, 400)];
+        let l = ctx.read_text(left, 100, 1.0);
+        let r = ctx.read_text(right, 100, 1.0);
+        let joined = l.join(r, &mut ctx, "j", Phase::DistributedJoin, 2).unwrap();
+        let mut out = joined.collect(&mut ctx, "c", Phase::DistributedJoin).unwrap();
+        out.sort();
+        assert_eq!(out, vec![(2, (20, 200)), (3, (30, 300)), (3, (30, 301))]);
+    }
+
+    #[test]
+    fn shuffle_emits_stage_with_shuffle_bytes_and_no_hdfs_writes() {
+        let cluster = Cluster::new(ClusterConfig::ec2(4));
+        let mut ctx = SparkContext::new(&cluster);
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, i)).collect();
+        ctx.read_text(pairs, 40_000, 1.0)
+            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 8)
+            .unwrap();
+        let stage = &ctx.trace.stages[0];
+        assert!(stage.shuffle_bytes > 0);
+        assert_eq!(stage.hdfs_bytes_written, 0, "Spark never writes intermediates to HDFS");
+        assert!(stage.hdfs_bytes_read > 0, "the initial load is attributed here");
+    }
+
+    #[test]
+    fn oversized_shuffle_oom_on_small_nodes_only() {
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i % 100, i)).collect();
+        // Each (u64,u64) models 24+32=56 B; 10k records ≈ 560 KB, the
+        // grouped lists add ~170 KB. ×3e4 the live set during the shuffle
+        // is ~22 GB (~11 GB per EC2-2 executor, over its 9 GB usable),
+        // while the 76.8 GB workstation holds it comfortably.
+        let mult = 3e4;
+        let run = |cfg: ClusterConfig| {
+            let cluster = Cluster::new(cfg);
+            let mut ctx = SparkContext::new(&cluster);
+            ctx.read_text(pairs.clone(), 400_000, mult)
+                .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 64)
+                .map(|_| ())
+        };
+        assert!(run(ClusterConfig::ec2(2)).is_err(), "small cluster OOMs");
+        assert!(run(ClusterConfig::workstation()).is_ok(), "128 GB WS survives");
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_then_fold() {
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 13, i)).collect();
+        let mut ctx = SparkContext::new(&cluster);
+        let reduced = ctx
+            .read_text(pairs.clone(), 8000, 1.0)
+            .reduce_by_key(&mut ctx, "rbk", Phase::DistributedJoin, 8, |a, b| a + b)
+            .unwrap();
+        let mut got = reduced.collect(&mut ctx, "c", Phase::DistributedJoin).unwrap();
+        got.sort();
+        let mut expected: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (k, v) in pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        assert_eq!(got, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_by_key_survives_where_group_by_key_oom() {
+        // The famous Spark pattern: an aggregation expressed as groupByKey
+        // materializes every value and dies; as reduceByKey it combines
+        // map-side and sails through. The spatial join *must* group, which
+        // is why SpatialSpark inherits the fragile variant.
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i % 100, i)).collect();
+        let mult = 3e4;
+        let cluster = Cluster::new(ClusterConfig::ec2(2));
+
+        let mut ctx = SparkContext::new(&cluster);
+        let grouped = ctx
+            .read_text(pairs.clone(), 400_000, mult)
+            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 64);
+        assert!(grouped.is_err(), "groupByKey at this scale OOMs");
+
+        let mut ctx2 = SparkContext::new(&cluster);
+        let reduced = ctx2
+            .read_text(pairs, 400_000, mult)
+            .reduce_by_key(&mut ctx2, "r", Phase::DistributedJoin, 64, |a, b| a.wrapping_add(*b));
+        assert!(reduced.is_ok(), "reduceByKey combines map-side and fits");
+    }
+
+    #[test]
+    fn oom_error_reports_sizes() {
+        let cluster = Cluster::new(ClusterConfig::ec2(2));
+        let mut ctx = SparkContext::new(&cluster);
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i % 100, i)).collect();
+        let err = ctx
+            .read_text(pairs, 400_000, 1e9)
+            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 64)
+            .err()
+            .expect("must OOM");
+        match err {
+            SimError::OutOfMemory { needed_bytes, usable_bytes, .. } => {
+                assert!(needed_bytes > usable_bytes);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+}

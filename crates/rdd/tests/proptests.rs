@@ -1,0 +1,138 @@
+//! Property-based tests for the RDD engine: transformation semantics match
+//! plain iterator chains, shuffles match hash-map folds, memory accounting
+//! is monotone.
+
+use proptest::prelude::*;
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::{Cluster, ClusterConfig};
+use sjc_rdd::SparkContext;
+use std::collections::BTreeMap;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::workstation())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_filter_matches_iterators(xs in proptest::collection::vec(0u64..10_000, 0..500)) {
+        let cluster = cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let mut got = ctx
+            .read_text(xs.clone(), xs.len() as u64 * 8, 1.0)
+            .map(&ctx, |x, _| x * 3)
+            .filter(&ctx, |x| x % 2 == 0)
+            .collect(&mut ctx, "t", Phase::DistributedJoin)
+            .unwrap();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = xs.iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn group_by_key_matches_btreemap(pairs in proptest::collection::vec((0u64..30, 0u64..1000), 0..400)) {
+        let cluster = cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let grouped = ctx
+            .read_text(pairs.clone(), pairs.len() as u64 * 16, 1.0)
+            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 8)
+            .unwrap()
+            .collect(&mut ctx, "c", Phase::DistributedJoin)
+            .unwrap();
+        let mut expected: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (k, v) in pairs {
+            expected.entry(k).or_default().push(v);
+        }
+        let mut got: BTreeMap<u64, Vec<u64>> = grouped.into_iter().collect();
+        for vs in got.values_mut() {
+            vs.sort_unstable();
+        }
+        let expected: BTreeMap<u64, Vec<u64>> = expected
+            .into_iter()
+            .map(|(k, mut vs)| {
+                vs.sort_unstable();
+                (k, vs)
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_fold(pairs in proptest::collection::vec((0u64..20, 0u64..100), 0..300)) {
+        let cluster = cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let reduced = ctx
+            .read_text(pairs.clone(), pairs.len() as u64 * 16, 1.0)
+            .reduce_by_key(&mut ctx, "r", Phase::DistributedJoin, 4, |a, b| a + b)
+            .unwrap()
+            .collect(&mut ctx, "c", Phase::DistributedJoin)
+            .unwrap();
+        let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        let got: BTreeMap<u64, u64> = reduced.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_matches_nested_loops(
+        left in proptest::collection::vec((0u64..12, 0u64..50), 0..60),
+        right in proptest::collection::vec((0u64..12, 100u64..150), 0..60)
+    ) {
+        let cluster = cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let l = ctx.read_text(left.clone(), left.len() as u64 * 16, 1.0);
+        let r = ctx.read_text(right.clone(), right.len() as u64 * 16, 1.0);
+        let mut got = l
+            .join(r, &mut ctx, "j", Phase::DistributedJoin, 4)
+            .unwrap()
+            .collect(&mut ctx, "c", Phase::DistributedJoin)
+            .unwrap();
+        got.sort_unstable();
+        let mut expected: Vec<(u64, (u64, u64))> = Vec::new();
+        for (k, a) in &left {
+            for (k2, b) in &right {
+                if k == k2 {
+                    expected.push((*k, (*a, *b)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_multiplier(
+        xs in proptest::collection::vec(0u64..100, 1..200),
+        mult in 1.0f64..10_000.0
+    ) {
+        let cluster = cluster();
+        let mut ctx = SparkContext::new(&cluster);
+        let small = ctx.read_text(xs.clone(), xs.len() as u64 * 8, 1.0).mem_full_total();
+        let mut ctx2 = SparkContext::new(&cluster);
+        let big = ctx2.read_text(xs, 0, mult).mem_full_total();
+        // Allow integer rounding slack on tiny inputs.
+        prop_assert!(big as f64 >= small as f64 * (mult - 1.0).max(1.0) * 0.5);
+    }
+
+    #[test]
+    fn sample_fraction_bounds_hold(
+        xs in proptest::collection::vec(0u64..1000, 200..800),
+        fraction in 0.0f64..1.0
+    ) {
+        let cluster = cluster();
+        let ctx = SparkContext::new(&cluster);
+        let mut ctx2 = SparkContext::new(&cluster);
+        let rdd = ctx2.read_text(xs.clone(), xs.len() as u64 * 8, 1.0);
+        let sampled = rdd.sample(&ctx, fraction, 99);
+        let n = sampled.count();
+        prop_assert!(n <= xs.len());
+        // Loose concentration bound: within ±40% + 20 of the expectation.
+        let exp = fraction * xs.len() as f64;
+        prop_assert!((n as f64) <= exp * 1.4 + 20.0, "n={n} exp={exp}");
+        prop_assert!((n as f64) >= exp * 0.6 - 20.0, "n={n} exp={exp}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Design-choice ablations: flip one choice at a time on shared substrates.
+//!
+//! ```text
+//! cargo run --release --example design_ablation [scale]
+//! ```
+//!
+//! The paper compares whole systems, so its numbers blend platform, access
+//! model, geometry library and join algorithm. Because this reproduction
+//! runs all three systems on the same substrates, each factor can be
+//! isolated — these are the experiments §II reasons about but never runs.
+
+use sjc_core::ablation;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5e-4);
+    let seed = 20150701;
+
+    println!("Design-choice ablations (simulated seconds; scale {scale:.0e})\n");
+    print!(
+        "{}",
+        ablation::format_rows(
+            "geometry engine — same pipeline, JTS vs GEOS",
+            &ablation::geometry_engine(scale, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::format_rows(
+            "data access model — same engine, streaming vs native",
+            &ablation::access_model(scale, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::format_rows(
+            "local join algorithm (SpatialHadoop)",
+            &ablation::local_join_algo(scale, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::format_rows(
+            "broadcast vs partition join (SpatialSpark)",
+            &ablation::broadcast_join(scale, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::format_rows(
+            "partition-count sweep (SpatialSpark on EC2-10)",
+            &ablation::partition_sweep(scale, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::format_rows(
+            "partitioner family (SpatialHadoop)",
+            &ablation::partitioner_kind(scale, seed)
+        )
+    );
+}

@@ -1,0 +1,106 @@
+//! Profile the synthetic datasets: verify their spatial character matches
+//! what the paper's analysis assumes about the real data.
+//!
+//! ```text
+//! cargo run --release --example profile_datasets [scale]
+//! ```
+//!
+//! Prints, per dataset: record/vertex/byte statistics, occupancy skew
+//! (taxi must be hotspot-skewed, TIGER roads near-uniform), plus two
+//! what-if numbers — how much volume Douglas–Peucker simplification would
+//! save, and how partition clipping compares with record duplication.
+
+use sjc_data::{DatasetId, DatasetProfile, ScaledDataset};
+use sjc_geom::algorithms::{clip_linestring, simplify};
+use sjc_geom::{Geometry, Mbr};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1e-3);
+
+    println!(
+        "{:<16} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "dataset", "records", "avg verts", "avg bytes", "skew", "empty%", "rel.area"
+    );
+    for id in DatasetId::all() {
+        let ds = ScaledDataset::generate(id, scale, 20150701);
+        let p = DatasetProfile::compute(&ds.geoms, 16);
+        println!(
+            "{:<16} {:>9} {:>10.1} {:>10.0} {:>10.1} {:>7.0}% {:>8.2e}",
+            ds.spec.name,
+            p.records,
+            p.avg_vertices,
+            p.avg_wkt_bytes,
+            p.occupancy_skew,
+            p.empty_cell_fraction * 100.0,
+            p.relative_mbr_area,
+        );
+    }
+
+    // What-if 1: simplify the water polylines at increasing tolerances.
+    let water = ScaledDataset::generate(DatasetId::Linearwater01, scale, 20150701);
+    let original_verts: usize = water.geoms.iter().map(Geometry::num_vertices).sum();
+    println!("\nDouglas–Peucker on linearwater0.1 ({original_verts} vertices):");
+    for tol_frac in [1e-5, 1e-4, 1e-3] {
+        let tol = water.domain.width() * tol_frac;
+        let kept: usize = water
+            .geoms
+            .iter()
+            .map(|g| match g {
+                Geometry::LineString(l) => simplify(l, tol).num_points(),
+                other => other.num_vertices(),
+            })
+            .sum();
+        println!(
+            "  tolerance {:>8.1} m: {:>7} vertices kept ({:>4.1}%)",
+            tol,
+            kept,
+            100.0 * kept as f64 / original_verts as f64
+        );
+    }
+
+    // What-if 2: duplication vs clipping at partition boundaries.
+    let edges = ScaledDataset::generate(DatasetId::Edges01, scale, 20150701);
+    let grid = 8usize;
+    let d = edges.domain;
+    let (w, h) = (d.width() / grid as f64, d.height() / grid as f64);
+    let mut duplicated = 0usize;
+    let mut clipped_fragments = 0usize;
+    for g in &edges.geoms {
+        if let Geometry::LineString(l) = g {
+            let mbr = l.mbr();
+            let c0 = ((mbr.min_x - d.min_x) / w) as usize;
+            let c1 = ((mbr.max_x - d.min_x) / w) as usize;
+            let r0 = ((mbr.min_y - d.min_y) / h) as usize;
+            let r1 = ((mbr.max_y - d.min_y) / h) as usize;
+            for r in r0..=r1.min(grid - 1) {
+                for c in c0..=c1.min(grid - 1) {
+                    let cell = Mbr::new(
+                        d.min_x + c as f64 * w,
+                        d.min_y + r as f64 * h,
+                        d.min_x + (c + 1) as f64 * w,
+                        d.min_y + (r + 1) as f64 * h,
+                    );
+                    if cell.intersects(&mbr) {
+                        duplicated += 1;
+                        clipped_fragments += clip_linestring(l, &cell).len();
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\npartitioning edges0.1 on an {grid}x{grid} grid: {} records become {} duplicated \
+         copies, or {} clipped fragments",
+        edges.len(),
+        duplicated,
+        clipped_fragments
+    );
+    println!(
+        "(duplication factor {:.2}; clipping trades {:.1}% of the copies for boundary bookkeeping)",
+        duplicated as f64 / edges.len() as f64,
+        100.0 * (1.0 - clipped_fragments as f64 / duplicated as f64)
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one distributed spatial join on a simulated cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small taxi-pickups × census-blocks workload, runs it through
+//! the SpatialSpark reproduction on a simulated 10-node EC2 cluster, and
+//! prints the result count plus the per-stage execution trace.
+
+use sjc_cluster::{Cluster, ClusterConfig};
+use sjc_core::experiment::Workload;
+use sjc_core::framework::{DistributedSpatialJoin, JoinInput, JoinPredicate};
+use sjc_core::report::fig1_string;
+use sjc_core::spatialspark::SpatialSpark;
+
+fn main() {
+    // 1. A workload: the paper's taxi1m ⋈ nycb point-in-polygon join,
+    //    generated synthetically at 1/10000 of full scale.
+    let (left, right): (JoinInput, JoinInput) = Workload::taxi1m_nycb().prepare(1e-4, 42);
+    println!(
+        "generated {} pickup points and {} census blocks (full-scale equivalent: {} x {})",
+        left.records.len(),
+        right.records.len(),
+        left.records.len() as f64 * left.multiplier,
+        right.records.len() as f64 * right.multiplier,
+    );
+
+    // 2. A simulated cluster: 10 EC2 nodes of 8 vCPUs / 15 GB.
+    let cluster = Cluster::new(ClusterConfig::ec2(10));
+
+    // 3. A system: SpatialSpark with its default (paper) configuration.
+    let system = SpatialSpark::default();
+
+    // 4. Run the join.
+    match system.run(&cluster, &left, &right, JoinPredicate::Intersects) {
+        Ok(output) => {
+            println!(
+                "\n{} produced {} (point, polygon) result pairs in {:.1} simulated seconds\n",
+                system.name(),
+                output.pairs.len(),
+                output.trace.total_seconds()
+            );
+            println!("{}", fig1_string(std::slice::from_ref(&output.trace)));
+            println!("{}", output.trace.timeline_string(50));
+        }
+        Err(e) => {
+            println!("run failed: {e}");
+        }
+    }
+}

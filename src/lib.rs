@@ -1,0 +1,18 @@
+//! # spatial-join-cloud — umbrella crate
+//!
+//! Re-exports the full workspace public API of the ICPP 2015 reproduction
+//! *"Spatial Join Query Processing in Cloud: Analyzing Design Choices and
+//! Performance Comparisons"*. The root package also hosts the workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Start with [`core`] (the generalized framework and the three system
+//! implementations) and [`data`] (synthetic dataset generators), then see the
+//! `reproduce` binary in `crates/bench` for the full table/figure harness.
+
+pub use sjc_cluster as cluster;
+pub use sjc_core as core;
+pub use sjc_data as data;
+pub use sjc_geom as geom;
+pub use sjc_index as index;
+pub use sjc_mapreduce as mapreduce;
+pub use sjc_rdd as rdd;

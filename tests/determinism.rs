@@ -1,0 +1,61 @@
+//! Bit-stable reproduction: identical scale and seed must give identical
+//! datasets, results, simulated times and failure cells across runs.
+
+use sjc_core::experiment::{ExperimentGrid, Workload};
+use sjc_core::framework::JoinPredicate;
+use sjc_core::spatialhadoop::SpatialHadoop;
+use sjc_core::framework::DistributedSpatialJoin;
+use sjc_cluster::{Cluster, ClusterConfig};
+
+#[test]
+fn dataset_generation_is_bit_stable() {
+    for id in sjc_data::DatasetId::all() {
+        let a = sjc_data::ScaledDataset::generate(id, 2e-4, 99);
+        let b = sjc_data::ScaledDataset::generate(id, 2e-4, 99);
+        assert_eq!(a.geoms, b.geoms, "{id:?}");
+    }
+}
+
+#[test]
+fn system_runs_are_bit_stable() {
+    let (l, r) = Workload::taxi1m_nycb().prepare(3e-4, 2718);
+    let cluster = Cluster::new(ClusterConfig::ec2(10));
+    let sys = SpatialHadoop::default();
+    let a = sys.run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
+    let b = sys.run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
+    assert_eq!(a.trace.total_ns(), b.trace.total_ns(), "simulated time is deterministic");
+    let a_stage_ns: Vec<u64> = a.trace.stages.iter().map(|s| s.sim_ns).collect();
+    let b_stage_ns: Vec<u64> = b.trace.stages.iter().map(|s| s.sim_ns).collect();
+    assert_eq!(a_stage_ns, b_stage_ns);
+    assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+}
+
+#[test]
+fn experiment_grid_cells_are_stable() {
+    let grid = ExperimentGrid { scale: 3e-4, seed: 1 };
+    let w = Workload::taxi1m_nycb();
+    let (l, r) = w.prepare(grid.scale, grid.seed);
+    let cfg = ClusterConfig::workstation();
+    let run = || {
+        grid.run_cell(sjc_core::experiment::SystemKind::SpatialSpark, &cfg, &w, &l, &r)
+    };
+    let a = run();
+    let b = run();
+    match (&a.outcome, &b.outcome) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.total_s, y.total_s);
+            assert_eq!(x.pairs, y.pairs);
+        }
+        (Err(x), Err(y)) => assert_eq!(x, y),
+        other => panic!("outcome flip-flopped: {other:?}"),
+    }
+}
+
+#[test]
+fn different_seeds_give_different_data_same_shape() {
+    let a = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 1);
+    let b = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 2);
+    assert_ne!(a.geoms, b.geoms, "seeds vary the draw");
+    assert_eq!(a.len(), b.len(), "but not the scale");
+    assert_eq!(a.domain, b.domain, "nor the domain");
+}

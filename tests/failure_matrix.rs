@@ -1,0 +1,137 @@
+//! The paper's failure pattern — every "-" cell of Tables 2 and 3 — must
+//! emerge from the simulated *mechanisms* (streaming pipe capacity, Spark
+//! executor memory), never from hard-coding. These tests run the full
+//! experiment grid at the calibration scale and assert the pattern
+//! cell-by-cell, for several seeds.
+
+use sjc_cluster::{Cluster, ClusterConfig};
+use sjc_core::experiment::Workload;
+use sjc_core::framework::{DistributedSpatialJoin, JoinPredicate};
+use sjc_core::hadoopgis::HadoopGis;
+use sjc_core::spatialhadoop::SpatialHadoop;
+use sjc_core::spatialspark::SpatialSpark;
+
+const SCALE: f64 = 1e-3;
+
+fn run(sys: &dyn DistributedSpatialJoin, cfg: ClusterConfig, w: &Workload, seed: u64) -> Result<(), String> {
+    let (l, r) = w.prepare(SCALE, seed);
+    sys.run(&Cluster::new(cfg), &l, &r, JoinPredicate::Intersects)
+        .map(|_| ())
+        .map_err(|e| e.kind().to_string())
+}
+
+#[test]
+fn hadoopgis_fails_all_full_dataset_cells_with_broken_pipe() {
+    // Table 2, HadoopGIS rows: "-" under every configuration.
+    let sys = HadoopGis::default();
+    for w in [Workload::taxi_nycb(), Workload::edge_linearwater()] {
+        for cfg in ClusterConfig::paper_configs() {
+            let name = cfg.name.clone();
+            let err = run(&sys, cfg, &w, 20150701)
+                .expect_err(&format!("HadoopGIS must fail {} on {}", w.name, name));
+            assert_eq!(err, "broken pipe", "{} on {name}", w.name);
+        }
+    }
+}
+
+#[test]
+fn hadoopgis_sampled_pattern_ws_passes_ec2_fails() {
+    // Table 3, HadoopGIS rows: succeeds on the workstation, broken pipe on
+    // EC2-10 — across seeds, because the mechanism (payload vs node memory)
+    // is robust, not tuned to one dataset draw.
+    let sys = HadoopGis::default();
+    for seed in [7, 20150701] {
+        for w in [Workload::taxi1m_nycb(), Workload::edge01_linearwater01()] {
+            assert!(
+                run(&sys, ClusterConfig::workstation(), &w, seed).is_ok(),
+                "{} seed {seed} must pass on WS",
+                w.name
+            );
+            let err = run(&sys, ClusterConfig::ec2(10), &w, seed)
+                .expect_err(&format!("{} seed {seed} must fail on EC2-10", w.name));
+            assert_eq!(err, "broken pipe");
+        }
+    }
+}
+
+#[test]
+fn spatialspark_oom_exactly_below_ec2_10() {
+    // Table 2, SpatialSpark rows: WS (128 GB) and EC2-10 (150 GB aggregate)
+    // "were sufficient"; EC2-8 and EC2-6 die of OOM — for both experiments.
+    let sys = SpatialSpark::default();
+    for seed in [7, 20150701] {
+        for w in [Workload::taxi_nycb(), Workload::edge_linearwater()] {
+            for (cfg, want_ok) in [
+                (ClusterConfig::workstation(), true),
+                (ClusterConfig::ec2(10), true),
+                (ClusterConfig::ec2(8), false),
+                (ClusterConfig::ec2(6), false),
+            ] {
+                let name = cfg.name.clone();
+                let res = run(&sys, cfg, &w, seed);
+                if want_ok {
+                    assert!(res.is_ok(), "{} on {name} seed {seed}: {res:?}", w.name);
+                } else {
+                    assert_eq!(
+                        res.expect_err(&format!("{} on {name} seed {seed} must OOM", w.name)),
+                        "out of memory"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spatialspark_sampled_datasets_fit_everywhere() {
+    // Table 3: the sampled workloads are an order of magnitude smaller and
+    // run fine even on EC2-6.
+    let sys = SpatialSpark::default();
+    for w in [Workload::taxi1m_nycb(), Workload::edge01_linearwater01()] {
+        for cfg in ClusterConfig::paper_configs() {
+            let name = cfg.name.clone();
+            assert!(run(&sys, cfg, &w, 20150701).is_ok(), "{} on {name}", w.name);
+        }
+    }
+}
+
+#[test]
+fn spatialhadoop_never_fails() {
+    // "SpatialHadoop generally wins on robustness": every cell of both
+    // tables succeeds.
+    let sys = SpatialHadoop::default();
+    for w in [
+        Workload::taxi_nycb(),
+        Workload::edge_linearwater(),
+        Workload::taxi1m_nycb(),
+        Workload::edge01_linearwater01(),
+    ] {
+        for cfg in ClusterConfig::paper_configs() {
+            let name = cfg.name.clone();
+            assert!(run(&sys, cfg, &w, 20150701).is_ok(), "{} on {name}", w.name);
+        }
+    }
+}
+
+#[test]
+fn failures_are_mechanistic_not_configured() {
+    // Give every node a little more memory than EC2-8's 15 GB and the same
+    // SpatialSpark workload fits; shrink it and even EC2-10 dies. The
+    // boundary moves with the *resource*, proving no cell is hard-coded.
+    let (l, r) = Workload::taxi_nycb().prepare(SCALE, 20150701);
+    let sys = SpatialSpark::default();
+
+    let mut bigger8 = ClusterConfig::ec2(8);
+    bigger8.node.memory_bytes = (bigger8.node.memory_bytes as f64 * 1.6) as u64;
+    assert!(
+        sys.run(&Cluster::new(bigger8), &l, &r, JoinPredicate::Intersects).is_ok(),
+        "60% more memory per node rescues EC2-8"
+    );
+
+    let mut smaller10 = ClusterConfig::ec2(10);
+    smaller10.node.memory_bytes = (smaller10.node.memory_bytes as f64 * 0.6) as u64;
+    assert!(
+        sys.run(&Cluster::new(smaller10), &l, &r, JoinPredicate::Intersects).is_err(),
+        "40% less memory per node sinks EC2-10"
+    );
+}

@@ -1,0 +1,129 @@
+//! The paper's Fig.-1 architectural claims, verified quantitatively from
+//! the systems' stage traces.
+
+use sjc_cluster::metrics::Phase;
+use sjc_cluster::{Cluster, ClusterConfig, StageKind};
+use sjc_core::experiment::Workload;
+use sjc_core::framework::{DistributedSpatialJoin, JoinInput, JoinPredicate};
+use sjc_core::hadoopgis::HadoopGis;
+use sjc_core::spatialhadoop::SpatialHadoop;
+use sjc_core::spatialspark::SpatialSpark;
+
+fn inputs() -> (JoinInput, JoinInput) {
+    let (mut l, mut r) = Workload::taxi1m_nycb().prepare(3e-4, 3);
+    l.multiplier = 1.0;
+    r.multiplier = 1.0;
+    (l, r)
+}
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::ec2(10))
+}
+
+#[test]
+fn spatialspark_touches_hdfs_only_to_read_inputs() {
+    // §II: "SpatialSpark touches HDFS only when input data are read from
+    // HDFS to memory of computing nodes."
+    let (l, r) = inputs();
+    let out = SpatialSpark::default()
+        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
+        .unwrap();
+    let written: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_written).sum();
+    assert_eq!(written, 0);
+    let read: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_read).sum();
+    assert_eq!(read, l.sim_bytes + r.sim_bytes, "each input read exactly once");
+}
+
+#[test]
+fn hadoop_systems_interact_with_hdfs_much_more() {
+    // §II: "SpatialHadoop and HadoopGIS have much more interactions
+    // (including reading inputs, writing outputs and shuffling intermediate
+    // results) with HDFS".
+    let (l, r) = inputs();
+    let c = cluster();
+    let spark = SpatialSpark::default().run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+    let shadoop = SpatialHadoop::default().run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+    let hgis = HadoopGis::default().run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+    assert!(shadoop.trace.hdfs_bytes() > 2 * spark.trace.hdfs_bytes());
+    assert!(hgis.trace.hdfs_bytes() > 2 * spark.trace.hdfs_bytes());
+    assert!(shadoop.trace.hdfs_touching_stages() > spark.trace.hdfs_touching_stages());
+}
+
+#[test]
+fn hadoopgis_runs_six_preprocessing_steps_per_dataset() {
+    // §II.A's six-step pipeline, with step 5 split into copy/serial/copy.
+    let (l, r) = inputs();
+    let out = HadoopGis::default()
+        .run(&Cluster::new(ClusterConfig::workstation()), &l, &r, JoinPredicate::Intersects)
+        .unwrap();
+    for phase in [Phase::IndexA, Phase::IndexB] {
+        let stages: Vec<_> = out.trace.stages.iter().filter(|s| s.phase == phase).collect();
+        assert_eq!(stages.len(), 8, "steps 1,2,3,4,5a,5b,5c,6");
+        assert!(stages.iter().any(|s| s.kind == StageKind::LocalSerial), "step 5 is serial");
+        assert_eq!(
+            stages.iter().filter(|s| s.kind == StageKind::FsCopy).count(),
+            2,
+            "step 5 copies to local and back"
+        );
+    }
+}
+
+#[test]
+fn spatialhadoop_join_is_map_only_with_serial_global_join() {
+    let (l, r) = inputs();
+    let out = SpatialHadoop::default()
+        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
+        .unwrap();
+    let dj: Vec<_> = out
+        .trace
+        .stages
+        .iter()
+        .filter(|s| s.phase == Phase::DistributedJoin)
+        .collect();
+    assert_eq!(dj.len(), 2, "getSplits + one map-only job");
+    assert_eq!(dj[0].kind, StageKind::LocalSerial, "global join runs on the master");
+    assert_eq!(dj[1].kind, StageKind::MapOnlyJob, "local join has no reducers");
+    assert_eq!(dj[1].shuffle_bytes, 0, "no shuffle in the join job");
+}
+
+#[test]
+fn hadoopgis_pays_pipes_spatialhadoop_does_not() {
+    let (l, r) = inputs();
+    let c = Cluster::new(ClusterConfig::workstation());
+    let hgis = HadoopGis::default().run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+    let shadoop = SpatialHadoop::default().run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+    let hg_pipes: u64 = hgis.trace.stages.iter().map(|s| s.pipe_bytes).sum();
+    let sh_pipes: u64 = shadoop.trace.stages.iter().map(|s| s.pipe_bytes).sum();
+    assert!(hg_pipes > 0, "streaming pipes every byte");
+    assert_eq!(sh_pipes, 0, "native jobs never touch a pipe");
+}
+
+#[test]
+fn breakdown_phases_cover_the_total() {
+    let (l, r) = inputs();
+    let c = cluster();
+    for sys in [
+        Box::new(SpatialHadoop::default()) as Box<dyn DistributedSpatialJoin>,
+        Box::new(SpatialSpark::default()),
+    ] {
+        let out = sys.run(&c, &l, &r, JoinPredicate::Intersects).unwrap();
+        let sum = out.trace.phase_ns(Phase::IndexA)
+            + out.trace.phase_ns(Phase::IndexB)
+            + out.trace.phase_ns(Phase::DistributedJoin);
+        assert_eq!(sum, out.trace.total_ns(), "{}: IA+IB+DJ = TOT", sys.name());
+    }
+}
+
+#[test]
+fn spark_stages_shuffle_in_memory() {
+    let (l, r) = inputs();
+    let out = SpatialSpark::default()
+        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
+        .unwrap();
+    let shuffled: u64 = out.trace.stages.iter().map(|s| s.shuffle_bytes).sum();
+    assert!(shuffled > 0, "groupByKey/join move bytes");
+    assert!(
+        out.trace.stages.iter().all(|s| s.kind == StageKind::SparkStage),
+        "every stage is a Spark stage"
+    );
+}
