@@ -1,41 +1,32 @@
 //! Dataset-generator benchmarks (Table 1 regeneration throughput): how fast
 //! the synthetic taxi / census / TIGER data materializes per scale.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjc_bench::microbench::{black_box, Bench};
 use sjc_data::{DatasetId, ScaledDataset};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_datasets");
-    group.sample_size(10);
+fn bench_generators(b: &mut Bench) {
     for id in [
         DatasetId::Taxi1m,
         DatasetId::Nycb,
         DatasetId::Edges01,
         DatasetId::Linearwater01,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{id:?}")),
-            &id,
-            |b, &id| b.iter(|| ScaledDataset::generate(black_box(id), 1e-3, 42).len()),
-        );
-    }
-    group.finish();
-}
-
-fn bench_scale_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("taxi_scale_sweep");
-    group.sample_size(10);
-    for &scale in &[1e-4, 1e-3, 4e-3] {
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
-            b.iter(|| ScaledDataset::generate(DatasetId::Taxi, s, 42).len())
+        b.bench_in("table1_datasets", &format!("{id:?}"), || {
+            ScaledDataset::generate(black_box(id), 1e-3, 42).len()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_generators, bench_scale_sweep
+fn bench_scale_sweep(b: &mut Bench) {
+    for &scale in &[1e-4, 1e-3, 4e-3] {
+        b.bench_in("taxi_scale_sweep", &format!("{scale}"), || {
+            ScaledDataset::generate(DatasetId::Taxi, scale, 42).len()
+        });
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    let mut b = Bench::from_args();
+    bench_generators(&mut b);
+    bench_scale_sweep(&mut b);
+}

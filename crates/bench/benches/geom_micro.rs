@@ -1,9 +1,8 @@
 //! Geometry-engine micro-benchmarks: the refinement primitives whose cost
 //! the paper's §II.C attributes the GEOS/JTS gap to.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sjc_bench::microbench::{black_box, Bench};
+use sjc_data::rng::StdRng;
 use sjc_geom::algorithms::{linestrings_intersect, point_in_polygon};
 use sjc_geom::predicates::segments_intersect;
 use sjc_geom::wkt::{parse_wkt, to_wkt};
@@ -32,29 +31,25 @@ fn walk(rng: &mut StdRng, n: usize) -> LineString {
     LineString::new(pts)
 }
 
-fn bench_point_in_polygon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("point_in_polygon");
+fn bench_point_in_polygon(b: &mut Bench) {
     for &n in &[4usize, 16, 64, 256] {
         let poly = ring(n, 10.0);
         let probes: Vec<Point> = (0..64)
             .map(|i| Point::new((i % 16) as f64 - 8.0, (i / 16) as f64 - 8.0))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut hits = 0;
-                for p in &probes {
-                    if point_in_polygon(black_box(&poly), black_box(p)) {
-                        hits += 1;
-                    }
+        b.bench_in("point_in_polygon", &n.to_string(), || {
+            let mut hits = 0;
+            for p in &probes {
+                if point_in_polygon(black_box(&poly), black_box(p)) {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    group.finish();
 }
 
-fn bench_segment_intersection(c: &mut Criterion) {
+fn bench_segment_intersection(b: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let segs: Vec<(Point, Point)> = (0..256)
         .map(|_| {
@@ -63,41 +58,37 @@ fn bench_segment_intersection(c: &mut Criterion) {
             (a, b)
         })
         .collect();
-    c.bench_function("segment_intersection_256x256", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for (p1, p2) in &segs {
-                for (q1, q2) in &segs {
-                    if segments_intersect(p1, p2, q1, q2) {
-                        hits += 1;
-                    }
+    b.bench("segment_intersection_256x256", || {
+        let mut hits = 0u32;
+        for (p1, p2) in &segs {
+            for (q1, q2) in &segs {
+                if segments_intersect(p1, p2, q1, q2) {
+                    hits += 1;
                 }
             }
-            hits
-        })
+        }
+        hits
     });
 }
 
-fn bench_polyline_intersect(c: &mut Criterion) {
+fn bench_polyline_intersect(b: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(2);
     let roads: Vec<LineString> = (0..64).map(|_| walk(&mut rng, 8)).collect();
     let rivers: Vec<LineString> = (0..64).map(|_| walk(&mut rng, 35)).collect();
-    c.bench_function("polyline_intersect_64x64", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for r in &roads {
-                for w in &rivers {
-                    if linestrings_intersect(black_box(r), black_box(w)) {
-                        hits += 1;
-                    }
+    b.bench("polyline_intersect_64x64", || {
+        let mut hits = 0u32;
+        for r in &roads {
+            for w in &rivers {
+                if linestrings_intersect(black_box(r), black_box(w)) {
+                    hits += 1;
                 }
             }
-            hits
-        })
+        }
+        hits
     });
 }
 
-fn bench_wkt_round_trip(c: &mut Criterion) {
+fn bench_wkt_round_trip(b: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(3);
     let geoms: Vec<Geometry> = (0..100)
         .map(|i| match i % 3 {
@@ -107,22 +98,21 @@ fn bench_wkt_round_trip(c: &mut Criterion) {
         })
         .collect();
     let texts: Vec<String> = geoms.iter().map(to_wkt).collect();
-    c.bench_function("wkt_write_100", |b| {
-        b.iter(|| geoms.iter().map(|g| to_wkt(black_box(g)).len()).sum::<usize>())
+    b.bench("wkt_write_100", || {
+        geoms.iter().map(|g| to_wkt(black_box(g)).len()).sum::<usize>()
     });
-    c.bench_function("wkt_parse_100", |b| {
-        b.iter(|| {
-            texts
-                .iter()
-                .map(|t| parse_wkt(black_box(t)).unwrap().num_vertices())
-                .sum::<usize>()
-        })
+    b.bench("wkt_parse_100", || {
+        texts
+            .iter()
+            .map(|t| parse_wkt(black_box(t)).unwrap().num_vertices())
+            .sum::<usize>()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_point_in_polygon, bench_segment_intersection, bench_polyline_intersect, bench_wkt_round_trip
+fn main() {
+    let mut b = Bench::from_args();
+    bench_point_in_polygon(&mut b);
+    bench_segment_intersection(&mut b);
+    bench_polyline_intersect(&mut b);
+    bench_wkt_round_trip(&mut b);
 }
-criterion_main!(benches);

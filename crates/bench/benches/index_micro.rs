@@ -2,9 +2,8 @@
 //! bulk vs dynamic insertion — the SpatialHadoop/SpatialSpark vs
 //! libspatialindex contrast), window queries, and partitioner builds.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sjc_bench::microbench::{black_box, Bench};
+use sjc_data::rng::StdRng;
 use sjc_geom::{Mbr, Point};
 use sjc_index::entry::IndexEntry;
 use sjc_index::grid::GridIndex;
@@ -29,104 +28,91 @@ fn points(n: usize, seed: u64) -> Vec<Point> {
         .collect()
 }
 
-fn bench_rtree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rtree_build");
+fn bench_rtree_build(b: &mut Bench) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let es = entries(n, 7);
-        group.bench_with_input(BenchmarkId::new("str_bulk", n), &es, |b, es| {
-            b.iter(|| RTree::bulk_load_str(black_box(es.clone())).num_nodes())
+        b.bench_in("rtree_build", &format!("str_bulk/{n}"), || {
+            RTree::bulk_load_str(black_box(es.clone())).num_nodes()
         });
-        group.bench_with_input(BenchmarkId::new("hilbert_bulk", n), &es, |b, es| {
-            b.iter(|| RTree::bulk_load_hilbert(black_box(es.clone())).num_nodes())
+        b.bench_in("rtree_build", &format!("hilbert_bulk/{n}"), || {
+            RTree::bulk_load_hilbert(black_box(es.clone())).num_nodes()
         });
         if n <= 10_000 {
-            group.bench_with_input(BenchmarkId::new("dynamic_insert", n), &es, |b, es| {
-                b.iter(|| {
-                    let mut t = RTree::new_dynamic();
-                    for e in es {
-                        t.insert(*e);
-                    }
-                    t.num_nodes()
-                })
+            b.bench_in("rtree_build", &format!("dynamic_insert/{n}"), || {
+                let mut t = RTree::new_dynamic();
+                for e in &es {
+                    t.insert(*e);
+                }
+                t.num_nodes()
             });
         }
     }
-    group.finish();
 }
 
-fn bench_rtree_query(c: &mut Criterion) {
+fn bench_rtree_query(b: &mut Bench) {
     let tree = RTree::bulk_load_str(entries(100_000, 9));
     let windows: Vec<Mbr> = points(100, 11)
         .into_iter()
         .map(|p| Mbr::new(p.x, p.y, p.x + 10.0, p.y + 10.0))
         .collect();
     let mut buf = Vec::new();
-    c.bench_function("rtree_query_100k_x100", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for w in &windows {
-                tree.query_into(black_box(w), &mut buf);
-                total += buf.len();
-            }
-            total
-        })
+    b.bench("rtree_query_100k_x100", || {
+        let mut total = 0usize;
+        for w in &windows {
+            tree.query_into(black_box(w), &mut buf);
+            total += buf.len();
+        }
+        total
     });
 
     let grid = GridIndex::build(Mbr::new(0.0, 0.0, 1005.0, 1005.0), &entries(100_000, 9), 16);
-    c.bench_function("grid_query_100k_x100", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for w in &windows {
-                total += grid.query(black_box(w)).len();
-            }
-            total
-        })
+    b.bench("grid_query_100k_x100", || {
+        let mut total = 0usize;
+        for w in &windows {
+            total += grid.query(black_box(w)).len();
+        }
+        total
     });
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners(b: &mut Bench) {
     let extent = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
     let sample = points(10_000, 13);
-    let mut group = c.benchmark_group("partitioner_build_10k_sample");
-    group.bench_function("fixed_grid", |b| {
-        b.iter(|| FixedGridPartitioner::with_target_cells(extent, 128).cells().len())
+    b.bench_in("partitioner_build_10k_sample", "fixed_grid", || {
+        FixedGridPartitioner::with_target_cells(extent, 128).cells().len()
     });
-    group.bench_function("str_tiles", |b| {
-        b.iter(|| StrTilePartitioner::from_sample(extent, sample.clone(), 128).cells().len())
+    b.bench_in("partitioner_build_10k_sample", "str_tiles", || {
+        StrTilePartitioner::from_sample(extent, sample.clone(), 128).cells().len()
     });
-    group.bench_function("bsp", |b| {
-        b.iter(|| BspPartitioner::from_sample(extent, sample.clone(), 128).cells().len())
+    b.bench_in("partitioner_build_10k_sample", "bsp", || {
+        BspPartitioner::from_sample(extent, sample.clone(), 128).cells().len()
     });
-    group.finish();
 
     let partitioner = StrTilePartitioner::from_sample(extent, sample, 128);
     let probes = entries(10_000, 17);
-    c.bench_function("partition_assign_10k", |b| {
-        b.iter(|| {
-            probes
-                .iter()
-                .map(|e| partitioner.assign(black_box(&e.mbr)).len())
-                .sum::<usize>()
-        })
+    b.bench("partition_assign_10k", || {
+        probes
+            .iter()
+            .map(|e| partitioner.assign(black_box(&e.mbr)).len())
+            .sum::<usize>()
     });
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn(b: &mut Bench) {
     let tree = RTree::bulk_load_str(entries(100_000, 23));
     let probes = points(100, 29);
-    c.bench_function("rtree_knn10_100k_x100", |b| {
-        b.iter(|| {
-            probes
-                .iter()
-                .map(|p| tree.nearest_neighbors(black_box(p), 10).len())
-                .sum::<usize>()
-        })
+    b.bench("rtree_knn10_100k_x100", || {
+        probes
+            .iter()
+            .map(|p| tree.nearest_neighbors(black_box(p), 10).len())
+            .sum::<usize>()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_rtree_build, bench_rtree_query, bench_partitioners, bench_knn
+fn main() {
+    let mut b = Bench::from_args();
+    bench_rtree_build(&mut b);
+    bench_rtree_query(&mut b);
+    bench_partitioners(&mut b);
+    bench_knn(&mut b);
 }
-criterion_main!(benches);

@@ -2,9 +2,8 @@
 //! realistic partition sizes (wall-clock of the real computation — the
 //! simulated-cost comparison is in `reproduce ablations`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sjc_bench::microbench::{black_box, Bench};
+use sjc_data::rng::StdRng;
 use sjc_geom::Mbr;
 use sjc_index::entry::IndexEntry;
 use sjc_index::join::{indexed_nested_loop, plane_sweep, sync_rtree};
@@ -23,45 +22,40 @@ fn entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry> {
         .collect()
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_join");
+fn bench_algorithms(b: &mut Bench) {
     // Partition-sized inputs: what one task of the distributed join sees.
     for &n in &[1_000usize, 5_000, 20_000] {
         let left = entries(n, 21, 1000.0, 3.0);
         let right = entries(n / 2, 22, 1000.0, 3.0);
-        group.bench_with_input(BenchmarkId::new("indexed_nested_loop", n), &n, |b, _| {
-            b.iter(|| indexed_nested_loop(black_box(&left), black_box(&right)).pairs.len())
+        b.bench_in("local_join", &format!("indexed_nested_loop/{n}"), || {
+            indexed_nested_loop(black_box(&left), black_box(&right)).pairs.len()
         });
-        group.bench_with_input(BenchmarkId::new("plane_sweep", n), &n, |b, _| {
-            b.iter(|| plane_sweep(black_box(&left), black_box(&right)).pairs.len())
+        b.bench_in("local_join", &format!("plane_sweep/{n}"), || {
+            plane_sweep(black_box(&left), black_box(&right)).pairs.len()
         });
-        group.bench_with_input(BenchmarkId::new("sync_rtree", n), &n, |b, _| {
-            b.iter(|| sync_rtree(black_box(&left), black_box(&right)).pairs.len())
+        b.bench_in("local_join", &format!("sync_rtree/{n}"), || {
+            sync_rtree(black_box(&left), black_box(&right)).pairs.len()
         });
     }
-    group.finish();
 }
 
-fn bench_selectivity_extremes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_join_selectivity");
+fn bench_selectivity_extremes(b: &mut Bench) {
     // Dense: everything overlaps (big rectangles) — output-dominated.
     let dense_l = entries(2_000, 31, 100.0, 30.0);
     let dense_r = entries(1_000, 32, 100.0, 30.0);
-    group.bench_function("dense_overlap", |b| {
-        b.iter(|| plane_sweep(black_box(&dense_l), black_box(&dense_r)).pairs.len())
+    b.bench_in("local_join_selectivity", "dense_overlap", || {
+        plane_sweep(black_box(&dense_l), black_box(&dense_r)).pairs.len()
     });
     // Sparse: tiny rectangles spread wide — filter-dominated.
     let sparse_l = entries(2_000, 33, 100_000.0, 1.0);
     let sparse_r = entries(1_000, 34, 100_000.0, 1.0);
-    group.bench_function("sparse_disjoint", |b| {
-        b.iter(|| plane_sweep(black_box(&sparse_l), black_box(&sparse_r)).pairs.len())
+    b.bench_in("local_join_selectivity", "sparse_disjoint", || {
+        plane_sweep(black_box(&sparse_l), black_box(&sparse_r)).pairs.len()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_algorithms, bench_selectivity_extremes
+fn main() {
+    let mut b = Bench::from_args();
+    bench_algorithms(&mut b);
+    bench_selectivity_extremes(&mut b);
 }
-criterion_main!(benches);

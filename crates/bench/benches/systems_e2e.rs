@@ -4,7 +4,7 @@
 //! the regeneration cheap and guard against performance regressions in the
 //! substrates.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjc_bench::microbench::{black_box, Bench};
 use sjc_cluster::{Cluster, ClusterConfig};
 use sjc_core::experiment::Workload;
 use sjc_core::framework::{DistributedSpatialJoin, JoinPredicate};
@@ -15,12 +15,10 @@ use sjc_core::spatialspark::SpatialSpark;
 const SCALE: f64 = 1e-4;
 const SEED: u64 = 20150701;
 
-fn bench_table2_cells(c: &mut Criterion) {
+fn bench_table2_cells(b: &mut Bench) {
     // One bench per (system, workload) of Table 2 on the workstation
     // configuration; failures (HadoopGIS at full multipliers) count the
     // time-to-detect, which is part of the harness cost too.
-    let mut group = c.benchmark_group("table2_full_joins");
-    group.sample_size(10);
     for w in [Workload::taxi_nycb(), Workload::edge_linearwater()] {
         let (l, r) = w.prepare(SCALE, SEED);
         let cluster = Cluster::new(ClusterConfig::workstation());
@@ -30,62 +28,41 @@ fn bench_table2_cells(c: &mut Criterion) {
             Box::new(SpatialSpark::default()),
         ];
         for sys in systems {
-            group.bench_with_input(
-                BenchmarkId::new(sys.name(), w.name),
-                &w,
-                |b, _| {
-                    b.iter(|| {
-                        sys.run(black_box(&cluster), black_box(&l), black_box(&r), JoinPredicate::Intersects)
-                            .map(|o| o.pairs.len())
-                            .unwrap_or(0)
-                    })
-                },
-            );
+            b.bench_in("table2_full_joins", &format!("{}/{}", sys.name(), w.name), || {
+                sys.run(black_box(&cluster), black_box(&l), black_box(&r), JoinPredicate::Intersects)
+                    .map(|o| o.pairs.len())
+                    .unwrap_or(0)
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_table3_cells(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_breakdown");
-    group.sample_size(10);
+fn bench_table3_cells(b: &mut Bench) {
     for w in [Workload::taxi1m_nycb(), Workload::edge01_linearwater01()] {
         let (l, r) = w.prepare(SCALE, SEED);
         for cfg in [ClusterConfig::workstation(), ClusterConfig::ec2(10)] {
             let cluster = Cluster::new(cfg);
             let sys = SpatialHadoop::default();
-            group.bench_with_input(
-                BenchmarkId::new(w.name, cluster.config.name.clone()),
-                &w,
-                |b, _| {
-                    b.iter(|| {
-                        sys.run(black_box(&cluster), &l, &r, JoinPredicate::Intersects)
-                            .map(|o| o.trace.total_ns())
-                            .unwrap_or(0)
-                    })
-                },
-            );
+            b.bench_in("table3_breakdown", &format!("{}/{}", w.name, cluster.config.name), || {
+                sys.run(black_box(&cluster), &l, &r, JoinPredicate::Intersects)
+                    .map(|o| o.trace.total_ns())
+                    .unwrap_or(0)
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_fig1_dataflow(c: &mut Criterion) {
+fn bench_fig1_dataflow(b: &mut Bench) {
     // The Fig.-1 regeneration: all three traces on one small workload.
-    let mut group = c.benchmark_group("fig1_dataflow");
-    group.sample_size(10);
-    group.bench_function("three_system_traces", |b| {
-        b.iter(|| {
-            let traces = sjc_bench::fig1_traces(SCALE, SEED);
-            traces.iter().map(|t| t.stages.len()).sum::<usize>()
-        })
+    b.bench_in("fig1_dataflow", "three_system_traces", || {
+        let traces = sjc_bench::fig1_traces(SCALE, SEED);
+        traces.iter().map(|t| t.stages.len()).sum::<usize>()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_table2_cells, bench_table3_cells, bench_fig1_dataflow
+fn main() {
+    let mut b = Bench::from_args();
+    bench_table2_cells(&mut b);
+    bench_table3_cells(&mut b);
+    bench_fig1_dataflow(&mut b);
 }
-criterion_main!(benches);

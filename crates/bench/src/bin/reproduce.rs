@@ -120,14 +120,15 @@ fn main() {
     }
 
     if let Some(path) = args.json {
-        let payload = serde_json::json!({
-            "scale": args.scale,
-            "seed": args.seed,
-            "table2": t2,
-            "table3": t3,
-        });
+        use sjc_core::json::{Json, ToJson};
+        let payload = Json::obj(vec![
+            ("scale", Json::Float(args.scale)),
+            ("seed", Json::Int(args.seed)),
+            ("table2", t2.as_slice().to_json()),
+            ("table3", t3.as_slice().to_json()),
+        ]);
         let mut f = std::fs::File::create(&path).expect("create json output");
-        f.write_all(serde_json::to_string_pretty(&payload).unwrap().as_bytes())
+        f.write_all(payload.to_string_pretty().as_bytes())
             .expect("write json output");
         println!("wrote {path}");
     }

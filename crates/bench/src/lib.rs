@@ -2,9 +2,12 @@
 //!
 //! * `bin/reproduce` regenerates every table and figure of the paper:
 //!   `reproduce [table1|table2|table3|fig1|speedups|all] [--scale S] [--seed N] [--json PATH]`;
-//! * the Criterion benches under `benches/` cover the same experiments plus
-//!   the ablations DESIGN.md lists (access model, geometry engine, local
-//!   join algorithm, broadcast vs partition join, sample rate, partitioner).
+//! * the [`microbench`]-based benches under `benches/` cover the same
+//!   experiments plus the ablations DESIGN.md lists (access model, geometry
+//!   engine, local join algorithm, broadcast vs partition join, sample
+//!   rate, partitioner).
+
+pub mod microbench;
 
 use sjc_cluster::ClusterConfig;
 use sjc_core::experiment::{CellResult, ExperimentGrid, SystemKind, Workload};

@@ -1,12 +1,10 @@
 //! Hardware configurations: the paper's four testbeds.
 
-use serde::{Deserialize, Serialize};
-
 const GIB: u64 = 1 << 30;
 const MIB_PER_S: f64 = (1 << 20) as f64;
 
 /// Per-node hardware resources.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Parallel task slots per node (vCPUs / cores).
     pub cores: u32,
@@ -43,7 +41,7 @@ impl NodeSpec {
 }
 
 /// A named cluster hardware configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     pub name: String,
     pub nodes: u32,

@@ -18,12 +18,10 @@
 //! | `streaming_pipe_limit_fraction` | Table 2/3 failure pattern: HadoopGIS "broken pipeline ... when the data that pipes through multiple processors is too big" |
 //! | `spark_memory_fraction`, `spark_record_overhead_bytes`, `spark_vertex_bytes` | Table 2 failure pattern: SpatialSpark OOM on EC2-8/6, success on WS (128 GB) and EC2-10 (150 GB aggregate) |
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimNs;
 
 /// All tunable constants of the simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     // ---- storage & network ----
     /// HDFS replication factor: every HDFS write is charged this many times.

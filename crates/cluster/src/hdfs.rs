@@ -10,8 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimError;
 
 /// Default HDFS block size (64 MB, the Hadoop-1.x / CDH-5 default the
@@ -19,7 +17,7 @@ use crate::error::SimError;
 pub const DEFAULT_BLOCK_SIZE: u64 = 64 << 20;
 
 /// Metadata of one block replica set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockMeta {
     /// Node hosting the primary replica.
     pub primary_node: u32,
@@ -27,7 +25,7 @@ pub struct BlockMeta {
 }
 
 /// Metadata of a simulated HDFS file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DfsFile {
     pub bytes: u64,
     pub records: u64,
@@ -80,16 +78,27 @@ impl SimHdfs {
             }
             remaining -= self.block_size;
         }
-        self.total_bytes_written += bytes;
-        self.files.insert(
-            name.to_string(),
-            DfsFile {
-                bytes,
-                records,
-                blocks,
-            },
+        // Block accounting: the split must preserve the file size exactly.
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            blocks.iter().map(|b| b.bytes).sum::<u64>() == bytes,
+            "sanitize: block bytes do not sum to the file size for {name:?}"
         );
-        self.files.get(name).expect("just inserted")
+        self.total_bytes_written += bytes;
+        let slot = self
+            .files
+            .entry(name.to_string())
+            .or_insert_with(|| DfsFile {
+                bytes: 0,
+                records: 0,
+                blocks: Vec::new(),
+            });
+        *slot = DfsFile {
+            bytes,
+            records,
+            blocks,
+        };
+        slot
     }
 
     /// Looks a file up, recording the read in the running totals.

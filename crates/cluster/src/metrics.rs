@@ -7,12 +7,10 @@
 //! these traces as the Fig.-1 reproduction and uses stage tags to compute
 //! the IA/IB/DJ breakdown of Table 3.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ns_to_secs, SimNs};
 
 /// What kind of execution a stage is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageKind {
     /// A full MapReduce job (map + shuffle + reduce).
     MapReduceJob,
@@ -40,7 +38,7 @@ impl StageKind {
 }
 
 /// Phase tag used for the Table-3 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Indexing/partitioning the left input dataset (column IA).
     IndexA,
@@ -51,7 +49,7 @@ pub enum Phase {
 }
 
 /// One stage of a simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StageTrace {
     pub name: String,
     pub kind: StageKind,
@@ -91,7 +89,7 @@ impl StageTrace {
 }
 
 /// A complete run: ordered stages plus failure state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunTrace {
     pub system: String,
     pub stages: Vec<StageTrace>,

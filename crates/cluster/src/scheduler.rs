@@ -21,9 +21,25 @@ pub fn lpt_makespan(tasks: &[SimNs], slots: usize) -> SimNs {
 
     // Min-heap of slot finish times.
     let mut heap: BinaryHeap<Reverse<SimNs>> = (0..slots).map(|_| Reverse(0)).collect();
+    #[cfg(feature = "sanitize")]
+    let mut last_start: SimNs = 0;
     for t in sorted {
-        let Reverse(earliest) = heap.pop().expect("heap holds `slots` entries");
-        heap.push(Reverse(earliest + t));
+        // `slots > 0` is asserted above, so the heap is never empty; peek_mut
+        // updates the least-loaded slot in place (and re-sifts on drop).
+        if let Some(mut slot) = heap.peek_mut() {
+            // List scheduling assigns each task at the current minimum finish
+            // time, so successive start times can never move backwards.
+            #[cfg(feature = "sanitize")]
+            {
+                debug_assert!(
+                    slot.0 >= last_start,
+                    "sanitize: scheduler start times went backwards ({} < {last_start})",
+                    slot.0
+                );
+                last_start = slot.0;
+            }
+            slot.0 += t;
+        }
     }
     heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
 }
@@ -38,12 +54,14 @@ pub fn replicated_makespan(tasks: &[SimNs], slots: usize, multiplier: f64) -> Si
     if tasks.is_empty() {
         return 0;
     }
-    if multiplier == 1.0 {
-        return lpt_makespan(tasks, slots);
-    }
+    // Replication only adds work, so the extrapolated makespan can never be
+    // below the single-copy LPT makespan. Clamping to it keeps the estimate
+    // monotone in `multiplier` (the bare area bound dips below the LPT value
+    // for multipliers just above 1).
+    let base = lpt_makespan(tasks, slots);
     let total: f64 = tasks.iter().map(|&t| t as f64).sum();
-    let longest = *tasks.iter().max().expect("non-empty") as f64;
-    (longest.max(total * multiplier / slots as f64)) as SimNs
+    let longest = tasks.iter().copied().max().unwrap_or(0) as f64;
+    ((longest.max(total * multiplier / slots as f64)) as SimNs).max(base)
 }
 
 #[cfg(test)]

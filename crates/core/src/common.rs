@@ -75,15 +75,15 @@ pub fn local_join(
 
     // Refinement with exact geometry; de-dup decides which partition
     // reports the pair. Above a threshold the candidate list is refined in
-    // parallel with rayon — per-pair work is pure, order is preserved by
-    // the indexed collect, and the summed costs are exact integer adds, so
-    // results and simulated time stay bit-identical to the serial path.
+    // parallel — per-pair work is pure, `par::par_map` preserves input
+    // order, and the summed costs are exact integer adds, so results and
+    // simulated time stay bit-identical to the serial path.
     const PAR_THRESHOLD: usize = 4096;
     // (refine ns, hit count, kept pair)
     type Refined = (u64, u64, Option<(u64, u64)>);
     let refine_one = |&(li, ri): &(u64, u64)| -> Refined {
-        let l = left[li as usize];
-        let r = right[ri as usize];
+        let l = left[li as usize]; // sjc-lint: allow(no-panic-in-lib) — filter emits indices into these exact slices
+        let r = right[ri as usize]; // sjc-lint: allow(no-panic-in-lib) — filter emits indices into these exact slices
         let (hit, ns) = predicate.evaluate(engine, &l.geom, &r.geom);
         if hit {
             let kept = keep(&l.mbr, &r.mbr).then_some((l.id, r.id));
@@ -93,8 +93,7 @@ pub fn local_join(
         }
     };
     let refined: Vec<Refined> = if pairs.len() >= PAR_THRESHOLD {
-        use rayon::prelude::*;
-        pairs.par_iter().map(refine_one).collect()
+        crate::par::par_map(&pairs, refine_one)
     } else {
         pairs.iter().map(refine_one).collect()
     };

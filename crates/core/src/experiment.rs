@@ -1,6 +1,5 @@
 //! The paper's experiment grid: workloads × hardware × systems.
 
-use serde::Serialize;
 use sjc_cluster::metrics::Phase;
 use sjc_cluster::{Cluster, ClusterConfig, RunTrace, SimError};
 use sjc_data::{DatasetId, ScaledDataset};
@@ -11,7 +10,7 @@ use crate::spatialhadoop::SpatialHadoop;
 use crate::spatialspark::SpatialSpark;
 
 /// The three evaluated systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     HadoopGis,
     SpatialHadoop,
@@ -83,7 +82,7 @@ impl Workload {
 }
 
 /// Summary of a successful run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Index-left / index-right / distributed-join / total simulated seconds
     /// (the paper's IA, IB, DJ, TOT columns).
@@ -110,7 +109,7 @@ impl RunSummary {
 }
 
 /// One cell of an experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CellResult {
     pub system: SystemKind,
     pub cluster: String,
@@ -182,7 +181,6 @@ impl ExperimentGrid {
     }
 
     fn run_grid(&self, workloads: &[Workload], configs: &[ClusterConfig]) -> Vec<CellResult> {
-        use rayon::prelude::*;
         let mut out = Vec::new();
         for w in workloads {
             let (left, right) = w.prepare(self.scale, self.seed);
@@ -192,11 +190,9 @@ impl ExperimentGrid {
                 .into_iter()
                 .flat_map(|sys| configs.iter().map(move |cfg| (sys, cfg)))
                 .collect();
-            out.par_extend(
-                cells
-                    .par_iter()
-                    .map(|(sys, cfg)| self.run_cell(*sys, cfg, w, &left, &right)),
-            );
+            out.extend(crate::par::par_map(&cells, |(sys, cfg)| {
+                self.run_cell(*sys, cfg, w, &left, &right)
+            }));
         }
         out
     }
@@ -227,15 +223,20 @@ mod tests {
 
     #[test]
     fn cell_results_serialize_to_stable_json() {
+        use crate::json::ToJson;
         let grid = ExperimentGrid { scale: 2e-5, seed: 1 };
         let w = Workload::taxi_nycb();
         let (l, r) = w.prepare(grid.scale, grid.seed);
         let cell = grid.run_cell(SystemKind::SpatialHadoop, &ClusterConfig::workstation(), &w, &l, &r);
-        let json = serde_json::to_value(&cell).expect("serializes");
-        assert_eq!(json["workload"], "taxi-nycb");
-        assert_eq!(json["cluster"], "WS");
-        assert!(json["outcome"]["Ok"]["total_s"].as_f64().unwrap() > 0.0);
-        assert!(json["outcome"]["Ok"]["trace"]["stages"].as_array().unwrap().len() >= 5);
+        let json = cell.to_json();
+        assert_eq!(json.get("workload").as_str(), Some("taxi-nycb"));
+        assert_eq!(json.get("cluster").as_str(), Some("WS"));
+        let ok = json.get("outcome").get("Ok");
+        assert!(ok.get("total_s").as_f64().unwrap() > 0.0);
+        assert!(ok.get("trace").get("stages").as_array().unwrap().len() >= 5);
+        // The rendered text is parseable-shaped JSON with stable field order.
+        let text = json.to_string_pretty();
+        assert!(text.contains("\"workload\": \"taxi-nycb\""));
     }
 
     #[test]

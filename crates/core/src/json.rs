@@ -1,0 +1,313 @@
+//! Minimal JSON values and serialization (std-only `serde_json` stand-in).
+//!
+//! The reproduction needs exactly one serialization feature: dumping
+//! machine-readable experiment results (`reproduce --json`) and asserting
+//! their shape in tests. This module provides a small [`Json`] value tree, a
+//! pretty printer, and [`ToJson`] impls for the experiment/trace types. The
+//! encoding of `CellResult::outcome` mirrors the externally-tagged enum
+//! layout (`{"Ok": {...}}` / `{"Err": "..."}`) the previous
+//! serde-derived output used, so downstream consumers are unaffected.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sjc_cluster::metrics::{Phase, RunTrace, StageKind, StageTrace};
+
+use crate::experiment::{CellResult, RunSummary, SystemKind};
+
+/// A JSON value. Object keys keep insertion order via a Vec — the output is
+/// deterministic and mirrors struct field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact (simulated ns, byte counts).
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects; `Json::Null` when absent or not an object.
+    pub fn get(&self, key: &str) -> &Json {
+        const NULL: &Json = &Json::Null;
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(NULL),
+            _ => NULL,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation (the `serde_json` default
+    /// the `--json` output used).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{}` round-trips f64 exactly; integral floats print without a
+        // decimal point, which is still a valid JSON number.
+        let _ = write!(out, "{f}");
+    } else {
+        // JSON has no Inf/NaN; encode as null.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value tree.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for SystemKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SystemKind::HadoopGis => "HadoopGis",
+                SystemKind::SpatialHadoop => "SpatialHadoop",
+                SystemKind::SpatialSpark => "SpatialSpark",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for StageKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                StageKind::MapReduceJob => "MapReduceJob",
+                StageKind::MapOnlyJob => "MapOnlyJob",
+                StageKind::SparkStage => "SparkStage",
+                StageKind::LocalSerial => "LocalSerial",
+                StageKind::FsCopy => "FsCopy",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for Phase {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Phase::IndexA => "IndexA",
+                Phase::IndexB => "IndexB",
+                Phase::DistributedJoin => "DistributedJoin",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for StageTrace {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("kind", self.kind.to_json()),
+            ("phase", self.phase.to_json()),
+            ("sim_ns", Json::Int(self.sim_ns)),
+            ("hdfs_bytes_read", Json::Int(self.hdfs_bytes_read)),
+            ("hdfs_bytes_written", Json::Int(self.hdfs_bytes_written)),
+            ("shuffle_bytes", Json::Int(self.shuffle_bytes)),
+            ("pipe_bytes", Json::Int(self.pipe_bytes)),
+            ("tasks", Json::Int(self.tasks)),
+        ])
+    }
+}
+
+impl ToJson for RunTrace {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("system", Json::Str(self.system.clone())),
+            ("stages", Json::Arr(self.stages.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+impl ToJson for RunSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ia_s", Json::Float(self.ia_s)),
+            ("ib_s", Json::Float(self.ib_s)),
+            ("dj_s", Json::Float(self.dj_s)),
+            ("total_s", Json::Float(self.total_s)),
+            ("pairs", Json::Int(self.pairs)),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        let outcome = match &self.outcome {
+            Ok(summary) => Json::obj(vec![("Ok", summary.to_json())]),
+            Err(label) => Json::obj(vec![("Err", Json::Str(label.clone()))]),
+        };
+        Json::obj(vec![
+            ("system", self.system.to_json()),
+            ("cluster", Json::Str(self.cluster.clone())),
+            ("workload", Json::Str(self.workload.to_string())),
+            ("outcome", outcome),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<K: AsRef<str>, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.as_ref().to_string(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_is_valid_and_ordered() {
+        let v = Json::obj(vec![
+            ("b", Json::Int(2)),
+            ("a", Json::Arr(vec![Json::Float(1.5), Json::Null, Json::Bool(true)])),
+            ("s", Json::Str("he\"llo\n".to_string())),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        // Insertion order preserved — "b" before "a".
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("\\\"") && s.contains("\\n"));
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let v = Json::obj(vec![
+            ("x", Json::Float(2.5)),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(v.get("x").as_f64(), Some(2.5));
+        assert_eq!(v.get("arr").as_array().map(|a| a.len()), Some(2));
+        assert_eq!(v.get("missing").as_f64(), None);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string_pretty(), "null");
+    }
+}

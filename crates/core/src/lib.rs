@@ -30,6 +30,8 @@ pub mod ablation;
 pub mod common;
 pub mod experiment;
 pub mod framework;
+pub mod json;
+pub mod par;
 pub mod hadoopgis;
 pub mod lde;
 pub mod report;

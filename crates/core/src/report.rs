@@ -401,7 +401,12 @@ fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..n - 1])
+        // Back off to a char boundary so multibyte names cannot split mid-char.
+        let mut end = n.saturating_sub(1);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", s.get(..end).unwrap_or(""))
     }
 }
 
@@ -417,7 +422,7 @@ pub fn human_bytes(b: u64) -> String {
     if u == 0 {
         format!("{b} B")
     } else {
-        format!("{v:.1} {}", UNITS[u])
+        format!("{v:.1} {}", UNITS.get(u).copied().unwrap_or("TB"))
     }
 }
 

@@ -133,6 +133,7 @@ impl SpatialHadoop {
                 let sample_points: Vec<Point> = sample_out
                     .output
                     .iter()
+                    // sjc-lint: allow(no-panic-in-lib) — sample ids are drawn from 0..records.len() above
                     .map(|&i| input.records[i as usize].mbr.center())
                     .collect();
                 self.partitioner.build(input.domain, sample_points, self.partitions)
@@ -160,6 +161,7 @@ impl SpatialHadoop {
             &cfg2,
             block_splits(&ids, bpr, block),
             |&i, em| {
+                // sjc-lint: allow(no-panic-in-lib) — split ids are drawn from 0..records.len() above
                 let rec = &input.records[i as usize];
                 let mbr = match widen {
                     Some(p) => p.filter_mbr(&rec.mbr),
@@ -187,7 +189,9 @@ impl SpatialHadoop {
         let mut cells: Vec<Vec<u64>> = vec![Vec::new(); partitioner.cells().len()];
         let mut cell_bytes: Vec<u64> = vec![0; partitioner.cells().len()];
         for (cell, ids) in outcome.output {
+            // sjc-lint: allow(no-panic-in-lib) — reducer keys are cell ids < partitioner.cells().len()
             cell_bytes[cell as usize] = (ids.len() as f64 * bpr) as u64;
+            // sjc-lint: allow(no-panic-in-lib) — reducer keys are cell ids < partitioner.cells().len()
             cells[cell as usize] = ids;
         }
         (
@@ -274,6 +278,7 @@ impl DistributedSpatialJoin for SpatialHadoop {
             .map(|&(ca, cb)| {
                 MapTask::new(
                     vec![(ca, cb)],
+                    // sjc-lint: allow(no-panic-in-lib) — plane-sweep pairs carry cell ids of the two indexes
                     ia.cell_bytes[ca as usize] + ib.cell_bytes[cb as usize],
                 )
             })
@@ -283,12 +288,16 @@ impl DistributedSpatialJoin for SpatialHadoop {
             .map_scale(ScaleMode::BiggerTasks)
             .parse_input(false); // indexed binary blocks, no text parse
         let outcome = engine.map_only(&cfg, tasks, |&(ca, cb), em| {
+            // sjc-lint: allow(no-panic-in-lib) — ca is a cell id of index A; stored ids are enumerate indices
             let lrecs: Vec<&crate::framework::GeoRecord> = ia.cells[ca as usize]
                 .iter()
+                // sjc-lint: allow(no-panic-in-lib) — record ids are the enumerate indices minted by JoinInput::from_dataset
                 .map(|&i| &left.records[i as usize])
                 .collect();
+            // sjc-lint: allow(no-panic-in-lib) — cb is a cell id of index B; stored ids are enumerate indices
             let rrecs: Vec<&crate::framework::GeoRecord> = ib.cells[cb as usize]
                 .iter()
+                // sjc-lint: allow(no-panic-in-lib) — record ids are the enumerate indices minted by JoinInput::from_dataset
                 .map(|&i| &right.records[i as usize])
                 .collect();
             let (pairs, cost) = local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {

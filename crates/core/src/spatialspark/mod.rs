@@ -119,6 +119,7 @@ impl SpatialSpark {
         );
         let centers: Vec<Point> = sample
             .iter()
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
             .map(|r| right.records[r.idx as usize].mbr.center())
             .collect();
         let partitioner = StrTilePartitioner::from_sample(right.domain, centers, self.partitions);
@@ -152,6 +153,7 @@ impl SpatialSpark {
             }
         };
         let tagged_l = rdd_l.flat_map(&ctx, |r: &RecRef, extra: &mut u64| {
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
             let mbr = predicate.filter_mbr(&left.records[r.idx as usize].mbr);
             probe(&cell_tree, &partitioner, &mbr, extra)
                 .into_iter()
@@ -159,6 +161,7 @@ impl SpatialSpark {
                 .collect::<Vec<_>>()
         });
         let tagged_r = rdd_r.flat_map(&ctx, |r: &RecRef, extra: &mut u64| {
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
             let mbr = right.records[r.idx as usize].mbr;
             probe(&cell_tree, &partitioner, &mbr, extra)
                 .into_iter()
@@ -182,10 +185,10 @@ impl SpatialSpark {
         // 5. Local join per partition (indexed nested loop + JTS refine).
         let local_algo = self.local_algo;
         let result = joined.flat_map(&ctx, |(cell, (lrefs, rrefs)), extra| {
-            let lrecs: Vec<&GeoRecord> =
-                lrefs.iter().map(|r| &left.records[r.idx as usize]).collect();
-            let rrecs: Vec<&GeoRecord> =
-                rrefs.iter().map(|r| &right.records[r.idx as usize]).collect();
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
+            let lrecs: Vec<&GeoRecord> = lrefs.iter().map(|r| &left.records[r.idx as usize]).collect();
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
+            let rrecs: Vec<&GeoRecord> = rrefs.iter().map(|r| &right.records[r.idx as usize]).collect();
             let (pairs, cost) =
                 local_join(&jts, predicate, local_algo, &lrecs, &rrecs, |am, bm| {
                     match predicate.filter_mbr(am).reference_point(bm) {
@@ -236,12 +239,14 @@ impl SpatialSpark {
 
         // Probe directly: no partitioning, no shuffle, no duplicates.
         let result = rdd_l.flat_map(&ctx, |r: &RecRef, extra: &mut u64| {
+            // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
             let lrec = &left.records[r.idx as usize];
             let mut hits = Vec::new();
             let visited = tree.query_counting(&predicate.filter_mbr(&lrec.mbr), &mut hits);
             *extra += visited as u64 * jts.filter_cost_ns();
             let mut out = Vec::new();
             for rid in hits {
+                // sjc-lint: allow(no-panic-in-lib) — R-tree hits carry the enumerate record ids they were built from
                 let rrec = &right.records[rid as usize];
                 let (hit, ns) = predicate.evaluate(&jts, &lrec.geom, &rrec.geom);
                 *extra += ns;

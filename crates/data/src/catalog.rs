@@ -1,7 +1,6 @@
 //! Dataset catalog: the paper's Table 1, plus the scaling machinery.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::StdRng;
 use sjc_geom::{Geometry, Mbr};
 
 const MIB: u64 = 1 << 20;

@@ -9,8 +9,7 @@
 //! blocks play the role of streets; like the real data, not every pickup
 //! point falls inside a block.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 use sjc_geom::{Geometry, Mbr, Point, Polygon};
 
 /// Generates `n` census-block polygons tessellating `domain`.
@@ -20,9 +19,9 @@ pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
     let sample_size = (n * 12).clamp(256, 200_000);
     let sample: Vec<Point> = crate::taxi::generate(rng, domain, sample_size)
         .into_iter()
-        .map(|g| match g {
-            Geometry::Point(p) => p,
-            _ => unreachable!("taxi generator emits points"),
+        .filter_map(|g| match g {
+            Geometry::Point(p) => Some(p),
+            _ => None, // the taxi generator emits only points
         })
         .collect();
 
@@ -51,7 +50,8 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth: usize, out: 
     let vertical = region.width() >= region.height();
     let mid = sample.len() / 2;
     if vertical {
-        sample.select_nth_unstable_by(mid, |a, b| a.x.partial_cmp(&b.x).expect("finite"));
+        sample.select_nth_unstable_by(mid, |a, b| a.x.total_cmp(&b.x));
+        // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
         let cut = sample[mid].x.clamp(region.min_x, region.max_x);
         if cut <= region.min_x || cut >= region.max_x {
             out.push(region);
@@ -61,7 +61,8 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth: usize, out: 
         split(Mbr::new(region.min_x, region.min_y, cut, region.max_y), lo, capacity, depth - 1, out);
         split(Mbr::new(cut, region.min_y, region.max_x, region.max_y), hi, capacity, depth - 1, out);
     } else {
-        sample.select_nth_unstable_by(mid, |a, b| a.y.partial_cmp(&b.y).expect("finite"));
+        sample.select_nth_unstable_by(mid, |a, b| a.y.total_cmp(&b.y));
+        // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
         let cut = sample[mid].y.clamp(region.min_y, region.max_y);
         if cut <= region.min_y || cut >= region.max_y {
             out.push(region);
@@ -122,7 +123,6 @@ fn cell_to_block(rng: &mut StdRng, cell: Mbr) -> Polygon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sjc_geom::algorithms::point_in_polygon;
 
     fn blocks(n: usize) -> Vec<Polygon> {

@@ -24,6 +24,7 @@ pub mod catalog;
 pub mod census;
 pub mod io;
 pub mod profile;
+pub mod rng;
 pub mod taxi;
 pub mod tiger;
 pub mod tsv;

@@ -50,6 +50,7 @@ impl DatasetProfile {
                 let c = g.mbr().center();
                 let cx = (((c.x - extent.min_x) / w) as usize).min(grid - 1);
                 let cy = (((c.y - extent.min_y) / h) as usize).min(grid - 1);
+                // sjc-lint: allow(no-panic-in-lib) — cx, cy are clamped to grid-1, so the cell index is in bounds
                 hist[cy * grid + cx] += 1;
                 rel_area += g.mbr().area() / extent.area();
             }

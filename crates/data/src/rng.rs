@@ -1,0 +1,180 @@
+//! Seeded, std-only pseudo-random number generation.
+//!
+//! The offline build cannot depend on the `rand` crate, and the repo's
+//! determinism invariant (`sjc-lint`'s `no-nondeterminism` rule) forbids
+//! entropy-seeded generators anyway: every dataset must be a pure function
+//! of its `u64` seed so that measured comparisons are reproducible. This
+//! module provides exactly that — a SplitMix64 generator behind the small
+//! slice of the `rand` API the generators use (`seed_from_u64`, `gen`,
+//! `gen_range`, `gen_bool`). The stream is stable across platforms and Rust
+//! versions, which `rand`'s `StdRng` explicitly does not guarantee.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic seeded generator (SplitMix64, public-domain algorithm by
+/// Sebastiano Vigna). The name mirrors `rand::rngs::StdRng` to keep the
+/// generator call-sites idiomatic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator whose whole stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample of `T` over its natural domain (`[0, 1)` for floats,
+    /// the full range for integers).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types samplable over their natural domain.
+pub trait Sample {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges samplable uniformly. Modulo reduction is used for integers — the
+/// bias is far below anything the synthetic-data distributions can resolve.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        let span = self.end.saturating_sub(self.start).max(1);
+        self.start + rng.next_u64() % span
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.start as u64..self.end as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        rng.gen_range(lo as u64..hi as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full-domain range: every u64 is a valid sample.
+            return rng.next_u64();
+        }
+        lo + rng.next_u64() % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(20150701);
+        let mut b = StdRng::seed_from_u64(20150701);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_cover_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!((2..=5).contains(&rng.gen_range(2usize..=5)));
+            assert!((10..20).contains(&rng.gen_range(10u64..20)));
+            let f = rng.gen_range(-3.0..7.0);
+            assert!((-3.0..7.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}/10000 at p=0.25");
+    }
+}

@@ -7,8 +7,7 @@
 //! partition balance (and, through oversized partitions, triggers
 //! HadoopGIS's streaming-pipe failures at full scale).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 use rand_distr_normal::sample_normal;
 use sjc_geom::{Geometry, Mbr, Point};
 
@@ -43,6 +42,7 @@ pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
                     pick -= wt;
                     idx = i;
                 }
+                // sjc-lint: allow(no-panic-in-lib) — idx comes from enumerating HOTSPOT_WEIGHTS, which matches HOTSPOTS in length
                 let (cx, cy, sigma) = HOTSPOTS[idx];
                 let x = domain.min_x + (cx + sample_normal(rng) * sigma) * w;
                 let y = domain.min_y + (cy + sample_normal(rng) * sigma) * h;
@@ -64,9 +64,8 @@ pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
 /// Minimal Box–Muller standard normal sampler (keeps the dependency surface
 /// at plain `rand`).
 mod rand_distr_normal {
-    use rand::rngs::StdRng;
-    use rand::Rng;
-
+    use crate::rng::StdRng;
+    
     pub fn sample_normal(rng: &mut StdRng) -> f64 {
         let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let u2: f64 = rng.gen();
@@ -77,7 +76,6 @@ mod rand_distr_normal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn gen_points(n: usize) -> (Mbr, Vec<Point>) {
         let domain = Mbr::new(0.0, 0.0, 1000.0, 1000.0);

@@ -7,8 +7,7 @@
 //! noise; waters meander with correlated direction changes — giving the
 //! realistic pattern of many short candidates against few long ones.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 use sjc_geom::{Geometry, LineString, Mbr, Point};
 
 /// Average vertex count of a road edge (TIGER edges ≈ 327 B/record ≈ 8
@@ -71,7 +70,7 @@ fn walk(
         x = (x + len * angle.cos()).clamp(domain.min_x, domain.max_x);
         y = (y + len * angle.sin()).clamp(domain.min_y, domain.max_y);
         // Avoid zero-length duplicate vertices on the clamped boundary.
-        let last = *pts.last().expect("non-empty");
+        let last = pts.last().copied().unwrap_or(Point::new(0.0, 0.0));
         if (last.x - x).abs() < 1e-9 && (last.y - y).abs() < 1e-9 {
             x = (x + step * 0.01).clamp(domain.min_x, domain.max_x);
             y = (y + step * 0.01).clamp(domain.min_y, domain.max_y);
@@ -89,7 +88,6 @@ fn walk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sjc_geom::algorithms::linestrings_intersect;
 
     fn lines(gen: fn(&mut StdRng, Mbr, usize) -> Vec<Geometry>, n: usize) -> Vec<LineString> {

@@ -10,6 +10,7 @@ use crate::linestring::LineString;
 use crate::mbr::Mbr;
 use crate::point::Point;
 use crate::polygon::Polygon;
+use crate::predicates::approx_zero;
 
 /// Clips the segment `a..b` to `rect` (Liang–Barsky). Returns the clipped
 /// endpoints, or `None` when the segment misses the rectangle entirely.
@@ -25,7 +26,7 @@ pub fn clip_segment(a: &Point, b: &Point, rect: &Mbr) -> Option<(Point, Point)> 
         (dy, rect.max_y - a.y),
     ];
     for (p, q) in checks {
-        if p == 0.0 {
+        if approx_zero(p) {
             if q < 0.0 {
                 return None; // parallel and outside
             }
@@ -62,7 +63,7 @@ pub fn clip_linestring(line: &LineString, rect: &Mbr) -> Vec<LineString> {
     for (a, b) in line.segments() {
         match clip_segment(a, b, rect) {
             Some((ca, cb)) => {
-                if ca.distance(&cb) == 0.0 {
+                if approx_zero(ca.distance(&cb)) {
                     continue; // grazing contact, no extent
                 }
                 match current.last() {
@@ -116,17 +117,19 @@ pub fn clip_polygon(poly: &Polygon, rect: &Mbr) -> Option<Polygon> {
             }
         };
         let mut next = Vec::with_capacity(ring.len() + 4);
-        for i in 0..ring.len() {
-            let cur = ring[i];
-            let prev = ring[(i + ring.len() - 1) % ring.len()];
-            match (inside(&prev), inside(&cur)) {
-                (true, true) => next.push(cur),
-                (true, false) => next.push(intersect(&prev, &cur)),
-                (false, true) => {
-                    next.push(intersect(&prev, &cur));
-                    next.push(cur);
+        if let Some(&last) = ring.last() {
+            let mut prev = last;
+            for &cur in &ring {
+                match (inside(&prev), inside(&cur)) {
+                    (true, true) => next.push(cur),
+                    (true, false) => next.push(intersect(&prev, &cur)),
+                    (false, true) => {
+                        next.push(intersect(&prev, &cur));
+                        next.push(cur);
+                    }
+                    (false, false) => {}
                 }
-                (false, false) => {}
+                prev = cur;
             }
         }
         ring = next;

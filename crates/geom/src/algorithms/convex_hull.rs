@@ -23,20 +23,21 @@ pub fn convex_hull_ring(points: &[Point]) -> Option<Vec<Point>> {
         return None;
     }
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("finite coordinates")
-            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup();
     if pts.len() < 3 {
         return None;
     }
 
+    // Last two hull points make a non-left turn with `p`?
+    fn turns_right(hull: &[Point], p: &Point) -> bool {
+        matches!(hull, [.., a, b] if cross(a, b, p) <= 0.0)
+    }
+
     let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= 0.0 {
+        while hull.len() >= 2 && turns_right(&hull, &p) {
             hull.pop();
         }
         hull.push(p);
@@ -44,7 +45,7 @@ pub fn convex_hull_ring(points: &[Point]) -> Option<Vec<Point>> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= 0.0 {
+        while hull.len() >= lower_len && turns_right(&hull, &p) {
             hull.pop();
         }
         hull.push(p);

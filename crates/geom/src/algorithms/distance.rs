@@ -7,6 +7,7 @@
 
 use crate::linestring::LineString;
 use crate::point::Point;
+use crate::predicates::approx_zero;
 
 /// Euclidean distance from `p` to the closed segment `a..=b`.
 pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
@@ -17,7 +18,7 @@ pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
 pub fn point_segment_distance_sq(p: &Point, a: &Point, b: &Point) -> f64 {
     let ab = (b.x - a.x, b.y - a.y);
     let len_sq = ab.0 * ab.0 + ab.1 * ab.1;
-    if len_sq == 0.0 {
+    if approx_zero(len_sq) {
         return p.distance_sq(a); // degenerate segment
     }
     // Projection parameter clamped to the segment extent.

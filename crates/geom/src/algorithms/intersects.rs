@@ -51,9 +51,7 @@ pub fn polygon_intersects_linestring(poly: &Polygon, line: &LineString) -> bool 
         return false;
     }
     for ring in poly.all_rings() {
-        let n = ring.len();
-        for i in 0..n {
-            let (a, b) = (&ring[i], &ring[(i + 1) % n]);
+        for (a, b) in crate::polygon::ring_edges(ring) {
             for (q1, q2) in line.segments() {
                 if segments_intersect(a, b, q1, q2) {
                     return true;
@@ -63,7 +61,9 @@ pub fn polygon_intersects_linestring(poly: &Polygon, line: &LineString) -> bool 
     }
     // No boundary crossing: the polyline is entirely inside or entirely
     // outside; one vertex decides which.
-    point_in_polygon(poly, &line.points()[0])
+    line.points()
+        .first()
+        .is_some_and(|p| point_in_polygon(poly, p))
 }
 
 /// Exact polygon–polygon intersection: boundary crossing or containment of
@@ -73,13 +73,9 @@ pub fn polygons_intersect(a: &Polygon, b: &Polygon) -> bool {
         return false;
     }
     for ring_a in a.all_rings() {
-        let na = ring_a.len();
-        for i in 0..na {
-            let (p1, p2) = (&ring_a[i], &ring_a[(i + 1) % na]);
+        for (p1, p2) in crate::polygon::ring_edges(ring_a) {
             for ring_b in b.all_rings() {
-                let nb = ring_b.len();
-                for j in 0..nb {
-                    let (q1, q2) = (&ring_b[j], &ring_b[(j + 1) % nb]);
+                for (q1, q2) in crate::polygon::ring_edges(ring_b) {
                     if segments_intersect(p1, p2, q1, q2) {
                         return true;
                     }
@@ -88,7 +84,8 @@ pub fn polygons_intersect(a: &Polygon, b: &Polygon) -> bool {
         }
     }
     // No boundary crossing: either disjoint, or one contains the other.
-    point_in_polygon(a, &b.shell()[0]) || point_in_polygon(b, &a.shell()[0])
+    b.shell().first().is_some_and(|p| point_in_polygon(a, p))
+        || a.shell().first().is_some_and(|p| point_in_polygon(b, p))
 }
 
 /// Exact point–polyline intersection (the point lies on the polyline).

@@ -14,11 +14,8 @@ enum RingSide {
 
 /// Crossing-number test of `p` against an unclosed ring.
 fn point_in_ring(ring: &[Point], p: &Point) -> RingSide {
-    let n = ring.len();
     let mut inside = false;
-    for i in 0..n {
-        let a = &ring[i];
-        let b = &ring[(i + 1) % n];
+    for (a, b) in crate::polygon::ring_edges(ring) {
         // Boundary check first: collinear with and within the edge's extent.
         if orientation(a, b, p) == Orientation::Collinear && on_segment(a, b, p) {
             return RingSide::OnBoundary;

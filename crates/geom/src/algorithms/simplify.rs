@@ -16,9 +16,14 @@ pub fn simplify(line: &LineString, epsilon: f64) -> LineString {
     assert!(epsilon >= 0.0, "tolerance must be non-negative");
     let pts = line.points();
     let mut keep = vec![false; pts.len()];
-    keep[0] = true;
-    keep[pts.len() - 1] = true;
-    rdp(pts, 0, pts.len() - 1, epsilon, &mut keep);
+    // A LineString always has >= 2 vertices, so first/last exist.
+    if let Some(first) = keep.first_mut() {
+        *first = true;
+    }
+    if let Some(last) = keep.last_mut() {
+        *last = true;
+    }
+    rdp(pts, 0, pts.len().saturating_sub(1), epsilon, &mut keep);
     let kept: Vec<Point> = pts
         .iter()
         .zip(&keep)
@@ -32,16 +37,21 @@ fn rdp(pts: &[Point], first: usize, last: usize, epsilon: f64, keep: &mut [bool]
     if last <= first + 1 {
         return;
     }
+    let (Some(pf), Some(pl)) = (pts.get(first), pts.get(last)) else {
+        return;
+    };
     let (mut max_d, mut max_i) = (0.0f64, first);
-    for i in (first + 1)..last {
-        let d = point_segment_distance(&pts[i], &pts[first], &pts[last]);
+    for (i, p) in pts.iter().enumerate().take(last).skip(first + 1) {
+        let d = point_segment_distance(p, pf, pl);
         if d > max_d {
             max_d = d;
             max_i = i;
         }
     }
     if max_d > epsilon {
-        keep[max_i] = true;
+        if let Some(k) = keep.get_mut(max_i) {
+            *k = true;
+        }
         rdp(pts, first, max_i, epsilon, keep);
         rdp(pts, max_i, last, epsilon, keep);
     }

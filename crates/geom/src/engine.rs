@@ -10,12 +10,10 @@
 //! correctness invariant the integration tests check) while letting the
 //! benchmark harness show the engine's contribution to end-to-end runtime.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::Geometry;
 
 /// Which library profile a system links against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Java Topology Suite — used by SpatialHadoop and SpatialSpark.
     Jts,

@@ -4,8 +4,6 @@
 //! sides of a join can be any type of geospatial data"; this enum is the
 //! uniform record type flowing through the distributed substrates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::algorithms::{
     distance::{point_to_linestring_distance, point_within_distance},
     intersects::{linestrings_intersect, point_on_linestring, polygon_intersects_linestring, polygons_intersect},
@@ -23,7 +21,7 @@ use crate::polygon::Polygon;
 /// operation decomposes a multi-geometry into its parts and combines the
 /// part results (any-part for `intersects`, min for distance, union for
 /// MBRs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Geometry {
     Point(Point),
     LineString(LineString),
@@ -99,6 +97,7 @@ impl Geometry {
                 polygon_intersects_linestring(pg, l)
             }
             (Polygon(a), Polygon(b)) => polygons_intersect(a, b),
+            // sjc-lint: allow(no-panic-in-lib) — multi kinds are dispatched by the is_multi guards above; this arm cannot be reached
             _ => unreachable!("multi kinds handled above"),
         }
     }
@@ -158,9 +157,7 @@ impl Geometry {
                     // Distance to the nearest shell/hole edge.
                     let mut best = f64::INFINITY;
                     for ring in pg.all_rings() {
-                        let n = ring.len();
-                        for i in 0..n {
-                            let (a, b) = (&ring[i], &ring[(i + 1) % n]);
+                        for (a, b) in crate::polygon::ring_edges(ring) {
                             best = best.min(crate::algorithms::distance::point_segment_distance(p, a, b));
                         }
                     }
@@ -170,17 +167,17 @@ impl Geometry {
             Geometry::MultiPoint(ps) => ps
                 .iter()
                 .map(|q| p.distance(q))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .min_by(|a, b| a.total_cmp(b))
                 .or(Some(f64::INFINITY)),
             Geometry::MultiLineString(ls) => ls
                 .iter()
                 .map(|l| point_to_linestring_distance(p, l))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .min_by(|a, b| a.total_cmp(b))
                 .or(Some(f64::INFINITY)),
             Geometry::MultiPolygon(pgs) => pgs
                 .iter()
                 .filter_map(|pg| Geometry::Polygon(pg.clone()).distance_to_point(p))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .min_by(|a, b| a.total_cmp(b))
                 .or(Some(f64::INFINITY)),
         }
     }

@@ -1,7 +1,5 @@
 //! Polyline (`LINESTRING`) type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mbr::Mbr;
 use crate::point::Point;
 
@@ -9,7 +7,7 @@ use crate::point::Point;
 ///
 /// This models the TIGER `edges` (road segments) and `linearwater`
 /// (rivers/streams) records of the paper's second experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LineString {
     points: Vec<Point>,
 }
@@ -44,7 +42,10 @@ impl LineString {
 
     /// Iterator over consecutive vertex pairs (the segments).
     pub fn segments(&self) -> impl Iterator<Item = (&Point, &Point)> {
-        self.points.windows(2).map(|w| (&w[0], &w[1]))
+        self.points.windows(2).filter_map(|w| match w {
+            [a, b] => Some((a, b)),
+            _ => None,
+        })
     }
 
     /// Number of segments (`num_points - 1`).

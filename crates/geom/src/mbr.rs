@@ -4,8 +4,6 @@
 //! global join (pairing partitions by MBR intersection) and the local join
 //! (index probes before exact-geometry refinement).
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::Point;
 
 /// An axis-aligned minimum bounding rectangle.
@@ -13,7 +11,7 @@ use crate::point::Point;
 /// The empty MBR is represented with inverted bounds
 /// (`min > max`, see [`Mbr::empty`]); every operation treats it as the
 /// identity for [`Mbr::expand`] and as disjoint from everything.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mbr {
     pub min_x: f64,
     pub min_y: f64,
@@ -25,12 +23,30 @@ impl Mbr {
     /// Creates an MBR from bounds. Bounds are normalized so that
     /// `min <= max` on each axis.
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
-        Mbr {
+        let m = Mbr {
             min_x: min_x.min(max_x),
             min_y: min_y.min(max_y),
             max_x: min_x.max(max_x),
             max_y: min_y.max(max_y),
-        }
+        };
+        #[cfg(feature = "sanitize")]
+        m.sanitize_check();
+        m
+    }
+
+    /// Runtime invariant sanitizer (feature `sanitize`): a corrupt MBR is one
+    /// carrying a NaN bound — inverted bounds are the legitimate empty
+    /// encoding, but NaN poisons every comparison silently.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    pub fn sanitize_check(&self) {
+        debug_assert!(
+            !(self.min_x.is_nan()
+                || self.min_y.is_nan()
+                || self.max_x.is_nan()
+                || self.max_y.is_nan()),
+            "sanitize: MBR with NaN bounds: {self:?}"
+        );
     }
 
     /// The empty MBR: identity for [`expand`](Mbr::expand), intersects nothing.
@@ -129,12 +145,16 @@ impl Mbr {
         }
         if self.is_empty() {
             *self = *other;
+            #[cfg(feature = "sanitize")]
+            self.sanitize_check();
             return;
         }
         self.min_x = self.min_x.min(other.min_x);
         self.min_y = self.min_y.min(other.min_y);
         self.max_x = self.max_x.max(other.max_x);
         self.max_y = self.max_y.max(other.max_y);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check();
     }
 
     /// Grows `self` to cover point `p`.
@@ -146,6 +166,11 @@ impl Mbr {
     pub fn union(&self, other: &Mbr) -> Mbr {
         let mut m = *self;
         m.expand(other);
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            (self.is_empty() || m.contains(self)) && (other.is_empty() || m.contains(other)),
+            "sanitize: union {m:?} must cover both {self:?} and {other:?}"
+        );
         m
     }
 

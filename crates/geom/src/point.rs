@@ -1,14 +1,12 @@
 //! 2-D point type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mbr::Mbr;
 
 /// A point in the plane with `f64` coordinates.
 ///
 /// Points are the left side of the paper's `taxi × nycb` experiment
 /// (taxi pickup locations tested against census-block polygons).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

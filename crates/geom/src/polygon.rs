@@ -1,7 +1,5 @@
 //! Polygon type: an outer shell plus optional holes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mbr::Mbr;
 use crate::point::Point;
 use crate::predicates::cross;
@@ -11,7 +9,7 @@ use crate::predicates::cross;
 /// Rings are stored *unclosed* internally (the closing vertex is implicit);
 /// the constructor accepts either form. This models the census-block
 /// (`nycb`) polygons of the paper's point-in-polygon experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     shell: Vec<Point>,
     holes: Vec<Vec<Point>>,
@@ -26,9 +24,11 @@ impl Polygon {
 
     /// Creates a polygon with holes.
     pub fn with_holes(shell: Vec<Point>, holes: Vec<Vec<Point>>) -> Self {
+        // sjc-lint: allow(no-panic-in-lib) — documented contract: this constructor panics on < 3 vertices; try_with_holes is the fallible API
         let shell = normalize_ring(shell).expect("polygon shell requires >= 3 vertices");
         let holes = holes
             .into_iter()
+            // sjc-lint: allow(no-panic-in-lib) — documented contract: this constructor panics on < 3 vertices; try_with_holes is the fallible API
             .map(|h| normalize_ring(h).expect("polygon hole requires >= 3 vertices"))
             .collect();
         Polygon { shell, holes }
@@ -106,9 +106,12 @@ impl Polygon {
     }
 }
 
-/// Iterator over a ring's closed edges.
+/// Iterator over a ring's closed edges. This is the one audited place that
+/// walks ring vertices by position; every ring-edge loop in the crate goes
+/// through it.
 pub(crate) fn ring_edges(ring: &[Point]) -> impl Iterator<Item = (&Point, &Point)> {
     let n = ring.len();
+    // sjc-lint: allow(no-panic-in-lib) — i < n and (i + 1) % n < n by construction
     (0..n).map(move |i| (&ring[i], &ring[(i + 1) % n]))
 }
 
@@ -117,10 +120,14 @@ pub(crate) fn ring_signed_area(ring: &[Point]) -> f64 {
     if ring.len() < 3 {
         return 0.0;
     }
-    let origin = ring[0];
+    let Some(&origin) = ring.first() else {
+        return 0.0;
+    };
     let mut acc = 0.0;
     for w in ring.windows(2) {
-        acc += cross(&origin, &w[0], &w[1]);
+        if let [a, b] = w {
+            acc += cross(&origin, a, b);
+        }
     }
     acc / 2.0
 }

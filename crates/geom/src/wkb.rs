@@ -113,7 +113,9 @@ fn write_ring(out: &mut Vec<u8>, ring: &[Point]) {
     for p in ring {
         write_point(out, p);
     }
-    write_point(out, &ring[0]);
+    if let Some(first) = ring.first() {
+        write_point(out, first);
+    }
 }
 
 fn write_polygon_body(out: &mut Vec<u8>, poly: &Polygon) {
@@ -131,24 +133,26 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WkbError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(WkbError::Truncated);
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(WkbError::Truncated)?;
         self.pos += n;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, WkbError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WkbError::Truncated)
     }
 
     fn u32(&mut self) -> Result<u32, WkbError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let arr: [u8; 4] = self.take(4)?.try_into().map_err(|_| WkbError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn f64(&mut self) -> Result<f64, WkbError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let arr: [u8; 8] = self.take(8)?.try_into().map_err(|_| WkbError::Truncated)?;
+        Ok(f64::from_le_bytes(arr))
     }
 
     fn point(&mut self) -> Result<Point, WkbError> {

@@ -72,7 +72,7 @@ impl<'a> Cursor<'a> {
         Ok(tok.to_ascii_uppercase())
     }
 
-    fn expect(&mut self, c: char) -> Result<(), WktError> {
+    fn expect_char(&mut self, c: char) -> Result<(), WktError> {
         self.skip_ws();
         let mut chars = self.rest.chars();
         match chars.next() {
@@ -120,31 +120,31 @@ impl<'a> Cursor<'a> {
 
     /// `( x y, x y, ... )`
     fn coord_list(&mut self) -> Result<Vec<Point>, WktError> {
-        self.expect('(')?;
+        self.expect_char('(')?;
         let mut out = vec![self.coord()?];
         while self.peek() == Some(',') {
-            self.expect(',')?;
+            self.expect_char(',')?;
             out.push(self.coord()?);
         }
-        self.expect(')')?;
+        self.expect_char(')')?;
         Ok(out)
     }
 
     /// `( (ring), (ring), ... )`
     fn ring_list(&mut self) -> Result<Vec<Vec<Point>>, WktError> {
-        self.expect('(')?;
+        self.expect_char('(')?;
         let mut out = vec![self.coord_list()?];
         while self.peek() == Some(',') {
-            self.expect(',')?;
+            self.expect_char(',')?;
             out.push(self.coord_list()?);
         }
-        self.expect(')')?;
+        self.expect_char(')')?;
         Ok(out)
     }
 }
 
 fn head(s: &str) -> &str {
-    &s[..s.len().min(16)]
+    s.get(..s.len().min(16)).unwrap_or(s)
 }
 
 fn polygon_from_rings(mut rings: Vec<Vec<Point>>) -> Result<Polygon, WktError> {
@@ -166,9 +166,9 @@ pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
     }
     let geom = match tag.as_str() {
         "POINT" => {
-            cur.expect('(')?;
+            cur.expect_char('(')?;
             let p = cur.coord()?;
-            cur.expect(')')?;
+            cur.expect_char(')')?;
             Geometry::Point(p)
         }
         "LINESTRING" => {
@@ -182,24 +182,24 @@ pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
             Geometry::Polygon(polygon_from_rings(rings)?)
         }
         "MULTIPOINT" => {
-            cur.expect('(')?;
+            cur.expect_char('(')?;
             let mut pts = Vec::new();
             loop {
                 // Both `(1 2)` and legacy bare `1 2` member syntax.
                 if cur.peek() == Some('(') {
-                    cur.expect('(')?;
+                    cur.expect_char('(')?;
                     pts.push(cur.coord()?);
-                    cur.expect(')')?;
+                    cur.expect_char(')')?;
                 } else {
                     pts.push(cur.coord()?);
                 }
                 if cur.peek() == Some(',') {
-                    cur.expect(',')?;
+                    cur.expect_char(',')?;
                 } else {
                     break;
                 }
             }
-            cur.expect(')')?;
+            cur.expect_char(')')?;
             Geometry::MultiPoint(pts)
         }
         "MULTILINESTRING" => {
@@ -213,18 +213,18 @@ pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
             Geometry::MultiLineString(lines)
         }
         "MULTIPOLYGON" => {
-            cur.expect('(')?;
+            cur.expect_char('(')?;
             let mut polys = Vec::new();
             loop {
                 let rings = cur.ring_list()?;
                 polys.push(polygon_from_rings(rings)?);
                 if cur.peek() == Some(',') {
-                    cur.expect(',')?;
+                    cur.expect_char(',')?;
                 } else {
                     break;
                 }
             }
-            cur.expect(')')?;
+            cur.expect_char(')')?;
             Geometry::MultiPolygon(polys)
         }
         other => return Err(WktError::UnknownTag(other.to_string())),

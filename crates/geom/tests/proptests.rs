@@ -1,215 +1,259 @@
-//! Property-based tests for the geometry engine.
+//! Property-based tests for the geometry engine (seeded `sjc-testkit` cases).
 
-use proptest::prelude::*;
 use sjc_geom::algorithms::{point_in_polygon, point_segment_distance};
-use sjc_geom::predicates::{segments_intersect, segment_intersection_point};
+use sjc_geom::predicates::{segment_intersection_point, segments_intersect};
 use sjc_geom::wkt::{parse_wkt, to_wkt};
 use sjc_geom::{Geometry, LineString, Mbr, Point, Polygon};
+use sjc_testkit::{cases, TestRng};
 
-fn coord() -> impl Strategy<Value = f64> {
+const N: usize = 256;
+
+fn coord(rng: &mut TestRng) -> f64 {
     // Plain decimal range, no NaN/inf; covers negative and fractional values.
-    (-1000.0f64..1000.0).prop_map(|v| (v * 16.0).round() / 16.0)
+    // Rounded to 1/16 so translations and comparisons stay exact in f64.
+    (rng.f64_in(-1000.0..1000.0) * 16.0).round() / 16.0
 }
 
-fn point() -> impl Strategy<Value = Point> {
-    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+fn point(rng: &mut TestRng) -> Point {
+    let x = coord(rng);
+    let y = coord(rng);
+    Point::new(x, y)
 }
 
-fn linestring() -> impl Strategy<Value = LineString> {
-    proptest::collection::vec(point(), 2..12).prop_map(LineString::new)
+fn linestring(rng: &mut TestRng) -> LineString {
+    let n = rng.usize_in(2..12);
+    LineString::new((0..n).map(|_| point(rng)).collect())
 }
 
 /// A random convex-ish polygon: points on a jittered circle, sorted by angle.
-fn polygon() -> impl Strategy<Value = Polygon> {
-    (
-        point(),
-        10.0f64..200.0,
-        proptest::collection::vec(0.5f64..1.0, 4..12),
-    )
-        .prop_map(|(center, radius, jitters)| {
-            let n = jitters.len();
-            let ring: Vec<Point> = jitters
-                .iter()
-                .enumerate()
-                .map(|(i, j)| {
-                    let theta = (i as f64) / (n as f64) * std::f64::consts::TAU;
-                    Point::new(
-                        center.x + radius * j * theta.cos(),
-                        center.y + radius * j * theta.sin(),
-                    )
-                })
-                .collect();
-            Polygon::new(ring)
+fn polygon(rng: &mut TestRng) -> Polygon {
+    let center = point(rng);
+    let radius = rng.f64_in(10.0..200.0);
+    let n = rng.usize_in(4..12);
+    let ring: Vec<Point> = (0..n)
+        .map(|i| {
+            let j = rng.f64_in(0.5..1.0);
+            let theta = (i as f64) / (n as f64) * std::f64::consts::TAU;
+            Point::new(center.x + radius * j * theta.cos(), center.y + radius * j * theta.sin())
         })
+        .collect();
+    Polygon::new(ring)
 }
 
-fn geometry() -> impl Strategy<Value = Geometry> {
-    prop_oneof![
-        3 => point().prop_map(Geometry::Point),
-        3 => linestring().prop_map(Geometry::LineString),
-        3 => polygon().prop_map(Geometry::Polygon),
-        1 => proptest::collection::vec(point(), 1..6).prop_map(Geometry::MultiPoint),
-        1 => proptest::collection::vec(linestring(), 1..4).prop_map(Geometry::MultiLineString),
-        1 => proptest::collection::vec(polygon(), 1..3).prop_map(Geometry::MultiPolygon),
-    ]
+fn geometry(rng: &mut TestRng) -> Geometry {
+    match rng.usize_in(0..12) {
+        0..=2 => Geometry::Point(point(rng)),
+        3..=5 => Geometry::LineString(linestring(rng)),
+        6..=8 => Geometry::Polygon(polygon(rng)),
+        9 => {
+            let n = rng.usize_in(1..6);
+            Geometry::MultiPoint((0..n).map(|_| point(rng)).collect())
+        }
+        10 => {
+            let n = rng.usize_in(1..4);
+            Geometry::MultiLineString((0..n).map(|_| linestring(rng)).collect())
+        }
+        _ => {
+            let n = rng.usize_in(1..3);
+            Geometry::MultiPolygon((0..n).map(|_| polygon(rng)).collect())
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn wkt_round_trip(g in geometry()) {
+#[test]
+fn wkt_round_trip() {
+    cases(0x6E01, N, |rng| {
+        let g = geometry(rng);
         let text = to_wkt(&g);
         let parsed = parse_wkt(&text).expect("writer output must parse");
-        prop_assert_eq!(parsed, g);
-    }
+        assert_eq!(parsed, g);
+    });
+}
 
-    #[test]
-    fn wkb_round_trip(g in geometry()) {
-        use sjc_geom::wkb::{parse_wkb, to_wkb};
+#[test]
+fn wkb_round_trip() {
+    use sjc_geom::wkb::{parse_wkb, to_wkb};
+    cases(0x6E02, N, |rng| {
+        let g = geometry(rng);
         let bytes = to_wkb(&g);
         let parsed = parse_wkb(&bytes).expect("writer output must parse");
-        prop_assert_eq!(parsed, g);
-    }
+        assert_eq!(parsed, g);
+    });
+}
 
-    #[test]
-    fn wkt_parser_never_panics_on_garbage(input in "[A-Za-z0-9 (),.-]{0,80}") {
+#[test]
+fn wkt_parser_never_panics_on_garbage() {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 (),.-";
+    cases(0x6E03, N, |rng| {
+        let len = rng.usize_in(0..81);
+        let input: String = (0..len)
+            .map(|_| ALPHABET[rng.usize_in(0..ALPHABET.len())] as char)
+            .collect();
         // Fuzz: arbitrary printable input either parses (and then
         // round-trips) or errors cleanly.
         if let Ok(g) = parse_wkt(&input) {
             let re = to_wkt(&g);
-            prop_assert_eq!(parse_wkt(&re).expect("writer output parses"), g);
+            assert_eq!(parse_wkt(&re).expect("writer output parses"), g);
         }
-    }
+    });
+}
 
-    #[test]
-    fn wkb_rejects_arbitrary_bytes_or_parses_cleanly(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
-        // Fuzzing the decoder: it must never panic; any Ok result must
-        // re-encode to a decodable value.
-        use sjc_geom::wkb::{parse_wkb, to_wkb};
+#[test]
+fn wkb_rejects_arbitrary_bytes_or_parses_cleanly() {
+    // Fuzzing the decoder: it must never panic; any Ok result must
+    // re-encode to a decodable value.
+    use sjc_geom::wkb::{parse_wkb, to_wkb};
+    cases(0x6E04, N, |rng| {
+        let len = rng.usize_in(0..200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         if let Ok(g) = parse_wkb(&bytes) {
             let re = to_wkb(&g);
-            prop_assert_eq!(parse_wkb(&re).expect("re-encode parses"), g);
+            assert_eq!(parse_wkb(&re).expect("re-encode parses"), g);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mbr_contains_all_linestring_vertices(l in linestring()) {
+#[test]
+fn mbr_contains_all_linestring_vertices() {
+    cases(0x6E05, N, |rng| {
+        let l = linestring(rng);
         let mbr = l.mbr();
         for p in l.points() {
-            prop_assert!(mbr.contains_point(p));
+            assert!(mbr.contains_point(p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn intersects_is_symmetric(a in geometry(), b in geometry()) {
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
-    }
+#[test]
+fn intersects_is_symmetric() {
+    cases(0x6E06, N, |rng| {
+        let a = geometry(rng);
+        let b = geometry(rng);
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+    });
+}
 
-    #[test]
-    fn exact_intersection_implies_mbr_intersection(a in geometry(), b in geometry()) {
+#[test]
+fn exact_intersection_implies_mbr_intersection() {
+    cases(0x6E07, N, |rng| {
+        let a = geometry(rng);
+        let b = geometry(rng);
         if a.intersects(&b) {
-            prop_assert!(a.mbr().intersects(&b.mbr()),
-                "refinement hit without filter hit: {:?} {:?}", a, b);
+            assert!(
+                a.mbr().intersects(&b.mbr()),
+                "refinement hit without filter hit: {a:?} {b:?}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn intersects_is_translation_invariant(
-        a in geometry(), b in geometry(), dx in -500.0f64..500.0, dy in -500.0f64..500.0
-    ) {
+#[test]
+fn intersects_is_translation_invariant() {
+    cases(0x6E08, N, |rng| {
+        let a = geometry(rng);
+        let b = geometry(rng);
         // Round the shift to a power-of-two-friendly grid so f64 translation is exact.
-        let dx = (dx * 16.0).round() / 16.0;
-        let dy = (dy * 16.0).round() / 16.0;
-        prop_assert_eq!(
-            a.intersects(&b),
-            a.translate(dx, dy).intersects(&b.translate(dx, dy))
-        );
-    }
+        let dx = (rng.f64_in(-500.0..500.0) * 16.0).round() / 16.0;
+        let dy = (rng.f64_in(-500.0..500.0) * 16.0).round() / 16.0;
+        assert_eq!(a.intersects(&b), a.translate(dx, dy).intersects(&b.translate(dx, dy)));
+    });
+}
 
-    #[test]
-    fn segment_intersection_symmetry(a in point(), b in point(), c in point(), d in point()) {
-        prop_assert_eq!(
-            segments_intersect(&a, &b, &c, &d),
-            segments_intersect(&c, &d, &a, &b)
-        );
-    }
+#[test]
+fn segment_intersection_symmetry() {
+    cases(0x6E09, N, |rng| {
+        let (a, b, c, d) = (point(rng), point(rng), point(rng), point(rng));
+        assert_eq!(segments_intersect(&a, &b, &c, &d), segments_intersect(&c, &d, &a, &b));
+    });
+}
 
-    #[test]
-    fn intersection_point_lies_on_both_mbrs(a in point(), b in point(), c in point(), d in point()) {
+#[test]
+fn intersection_point_lies_on_both_mbrs() {
+    cases(0x6E0A, N, |rng| {
+        let (a, b, c, d) = (point(rng), point(rng), point(rng), point(rng));
         if let Some(ip) = segment_intersection_point(&a, &b, &c, &d) {
             let m1 = Mbr::from_points([a, b].iter());
             let m2 = Mbr::from_points([c, d].iter());
             // Allow a tiny tolerance for the division.
-            prop_assert!(m1.buffered(1e-6).contains_point(&ip));
-            prop_assert!(m2.buffered(1e-6).contains_point(&ip));
+            assert!(m1.buffered(1e-6).contains_point(&ip));
+            assert!(m2.buffered(1e-6).contains_point(&ip));
         }
-    }
+    });
+}
 
-    #[test]
-    fn polygon_centroid_vertex_behaviour(poly in polygon()) {
+#[test]
+fn polygon_centroid_vertex_behaviour() {
+    cases(0x6E0B, N, |rng| {
+        let poly = polygon(rng);
         // Every vertex of the shell is on the boundary, hence "inside".
         for v in poly.shell() {
-            prop_assert!(point_in_polygon(&poly, v));
+            assert!(point_in_polygon(&poly, v));
         }
         // A point far outside the MBR is never inside.
         let m = poly.mbr();
         let far = Point::new(m.max_x + 10.0, m.max_y + 10.0);
-        prop_assert!(!point_in_polygon(&poly, &far));
-    }
+        assert!(!point_in_polygon(&poly, &far));
+    });
+}
 
-    #[test]
-    fn pip_consistent_with_mbr(poly in polygon(), p in point()) {
+#[test]
+fn pip_consistent_with_mbr() {
+    cases(0x6E0C, N, |rng| {
+        let poly = polygon(rng);
+        let p = point(rng);
         if point_in_polygon(&poly, &p) {
-            prop_assert!(poly.mbr().contains_point(&p));
+            assert!(poly.mbr().contains_point(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn distance_is_nonnegative_and_zero_on_endpoint(a in point(), b in point()) {
-        prop_assert!(point_segment_distance(&a, &a, &b) <= 1e-9);
+#[test]
+fn distance_is_nonnegative_and_zero_on_endpoint() {
+    cases(0x6E0D, N, |rng| {
+        let a = point(rng);
+        let b = point(rng);
+        assert!(point_segment_distance(&a, &a, &b) <= 1e-9);
         let mid = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
-        prop_assert!(point_segment_distance(&mid, &a, &b) <= 1e-6);
-    }
+        assert!(point_segment_distance(&mid, &a, &b) <= 1e-6);
+    });
+}
 
-    #[test]
-    fn mbr_union_contains_operands(
-        ax in coord(), ay in coord(), bx in coord(), by in coord(),
-        cx in coord(), cy in coord(), dx2 in coord(), dy2 in coord()
-    ) {
-        let m1 = Mbr::new(ax, ay, bx, by);
-        let m2 = Mbr::new(cx, cy, dx2, dy2);
+#[test]
+fn mbr_union_contains_operands() {
+    cases(0x6E0E, N, |rng| {
+        let m1 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
+        let m2 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
         let u = m1.union(&m2);
-        prop_assert!(u.contains(&m1));
-        prop_assert!(u.contains(&m2));
-    }
+        assert!(u.contains(&m1));
+        assert!(u.contains(&m2));
+    });
+}
 
-    #[test]
-    fn mbr_intersection_contained_in_both(
-        ax in coord(), ay in coord(), bx in coord(), by in coord(),
-        cx in coord(), cy in coord(), dx2 in coord(), dy2 in coord()
-    ) {
-        let m1 = Mbr::new(ax, ay, bx, by);
-        let m2 = Mbr::new(cx, cy, dx2, dy2);
+#[test]
+fn mbr_intersection_contained_in_both() {
+    cases(0x6E0F, N, |rng| {
+        let m1 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
+        let m2 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
         let i = m1.intersection(&m2);
         if !i.is_empty() {
-            prop_assert!(m1.contains(&i));
-            prop_assert!(m2.contains(&i));
-            prop_assert!(m1.intersects(&m2));
+            assert!(m1.contains(&i));
+            assert!(m2.contains(&i));
+            assert!(m1.intersects(&m2));
         } else {
-            prop_assert!(!m1.intersects(&m2));
+            assert!(!m1.intersects(&m2));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reference_point_unique_and_symmetric(
-        ax in coord(), ay in coord(), bx in coord(), by in coord(),
-        cx in coord(), cy in coord(), dx2 in coord(), dy2 in coord()
-    ) {
-        let m1 = Mbr::new(ax, ay, bx, by);
-        let m2 = Mbr::new(cx, cy, dx2, dy2);
-        prop_assert_eq!(m1.reference_point(&m2), m2.reference_point(&m1));
+#[test]
+fn reference_point_unique_and_symmetric() {
+    cases(0x6E10, N, |rng| {
+        let m1 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
+        let m2 = Mbr::new(coord(rng), coord(rng), coord(rng), coord(rng));
+        assert_eq!(m1.reference_point(&m2), m2.reference_point(&m1));
         if let Some(rp) = m1.reference_point(&m2) {
-            prop_assert!(m1.contains_point(&rp));
-            prop_assert!(m2.contains_point(&rp));
+            assert!(m1.contains_point(&rp));
+            assert!(m2.contains_point(&rp));
         }
-    }
+    });
 }

@@ -4,11 +4,10 @@
 //! dataset partitions and hand the index only `(id, mbr)` pairs, exactly as
 //! SpatialHadoop's block-local R-trees and SpatialSpark's broadcast index do.
 
-use serde::{Deserialize, Serialize};
 use sjc_geom::Mbr;
 
 /// One indexed record: a caller-defined id and the record's MBR.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexEntry {
     pub id: u64,
     pub mbr: Mbr,

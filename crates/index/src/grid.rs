@@ -79,6 +79,7 @@ impl GridIndex {
         self.len += 1;
         for r in self.row_range(e.mbr.min_y, e.mbr.max_y) {
             for c in self.col_range(e.mbr.min_x, e.mbr.max_x) {
+                // sjc-lint: allow(no-panic-in-lib) — row/col ranges are clamped to the nx×ny cell grid
                 self.cells[r * self.nx + c].push(e);
             }
         }
@@ -92,6 +93,7 @@ impl GridIndex {
         let mut out = Vec::new();
         for r in self.row_range(window.min_y, window.max_y) {
             for c in self.col_range(window.min_x, window.max_x) {
+                // sjc-lint: allow(no-panic-in-lib) — row/col ranges are clamped to the nx×ny cell grid
                 for e in &self.cells[r * self.nx + c] {
                     if e.mbr.intersects(window) {
                         out.push(e.id);

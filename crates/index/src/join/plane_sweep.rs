@@ -15,33 +15,39 @@ pub fn plane_sweep(left: &[IndexEntry], right: &[IndexEntry]) -> CandidatePairs 
     }
     let mut l: Vec<IndexEntry> = left.to_vec();
     let mut r: Vec<IndexEntry> = right.to_vec();
-    l.sort_by(|a, b| a.mbr.min_x.partial_cmp(&b.mbr.min_x).expect("finite coordinates"));
-    r.sort_by(|a, b| a.mbr.min_x.partial_cmp(&b.mbr.min_x).expect("finite coordinates"));
+    l.sort_by(|a, b| a.mbr.min_x.total_cmp(&b.mbr.min_x));
+    r.sort_by(|a, b| a.mbr.min_x.total_cmp(&b.mbr.min_x));
 
     let mut pairs = Vec::new();
     let mut stats = JoinStats::default();
     let (mut i, mut j) = (0usize, 0usize);
-    while i < l.len() && j < r.len() {
-        if l[i].mbr.min_x <= r[j].mbr.min_x {
-            // l[i] is the sweep anchor: scan right entries starting within
+    while let (Some(li), Some(rj)) = (l.get(i), r.get(j)) {
+        if li.mbr.min_x <= rj.mbr.min_x {
+            // `li` is the sweep anchor: scan right entries starting within
             // its x-extent.
-            let anchor = &l[i];
+            let anchor = li;
             let mut k = j;
-            while k < r.len() && r[k].mbr.min_x <= anchor.mbr.max_x {
+            while let Some(cand) = r.get(k) {
+                if cand.mbr.min_x > anchor.mbr.max_x {
+                    break;
+                }
                 stats.filter_tests += 1;
-                if anchor.mbr.min_y <= r[k].mbr.max_y && r[k].mbr.min_y <= anchor.mbr.max_y {
-                    pairs.push((anchor.id, r[k].id));
+                if anchor.mbr.min_y <= cand.mbr.max_y && cand.mbr.min_y <= anchor.mbr.max_y {
+                    pairs.push((anchor.id, cand.id));
                 }
                 k += 1;
             }
             i += 1;
         } else {
-            let anchor = &r[j];
+            let anchor = rj;
             let mut k = i;
-            while k < l.len() && l[k].mbr.min_x <= anchor.mbr.max_x {
+            while let Some(cand) = l.get(k) {
+                if cand.mbr.min_x > anchor.mbr.max_x {
+                    break;
+                }
                 stats.filter_tests += 1;
-                if anchor.mbr.min_y <= l[k].mbr.max_y && l[k].mbr.min_y <= anchor.mbr.max_y {
-                    pairs.push((l[k].id, anchor.id));
+                if anchor.mbr.min_y <= cand.mbr.max_y && cand.mbr.min_y <= anchor.mbr.max_y {
+                    pairs.push((cand.id, anchor.id));
                 }
                 k += 1;
             }

@@ -35,7 +35,8 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth_left: usize, 
     let vertical = region.width() >= region.height(); // split the wider axis
     let mid = sample.len() / 2;
     if vertical {
-        sample.select_nth_unstable_by(mid, |a, b| a.x.partial_cmp(&b.x).expect("finite"));
+        sample.select_nth_unstable_by(mid, |a, b| a.x.total_cmp(&b.x));
+        // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
         let cut = sample[mid].x.clamp(region.min_x, region.max_x);
         // Degenerate cut (all duplicates at an edge): stop splitting.
         if cut <= region.min_x || cut >= region.max_x {
@@ -46,7 +47,8 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth_left: usize, 
         split(Mbr::new(region.min_x, region.min_y, cut, region.max_y), lo, capacity, depth_left - 1, out);
         split(Mbr::new(cut, region.min_y, region.max_x, region.max_y), hi, capacity, depth_left - 1, out);
     } else {
-        sample.select_nth_unstable_by(mid, |a, b| a.y.partial_cmp(&b.y).expect("finite"));
+        sample.select_nth_unstable_by(mid, |a, b| a.y.total_cmp(&b.y));
+        // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
         let cut = sample[mid].y.clamp(region.min_y, region.max_y);
         if cut <= region.min_y || cut >= region.max_y {
             out.push(region);

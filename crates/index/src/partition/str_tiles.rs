@@ -33,7 +33,7 @@ impl StrTilePartitioner {
         let num_strips = (target as f64).sqrt().ceil() as usize;
         let tiles_per_strip = target.div_ceil(num_strips);
 
-        sample.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+        sample.sort_by(|a, b| a.x.total_cmp(&b.x));
         let strip_len = sample.len().div_ceil(num_strips);
 
         let mut cells = Vec::with_capacity(target);
@@ -49,12 +49,14 @@ impl StrTilePartitioner {
             let x_hi = if strip_end == sample.len() {
                 extent.max_x
             } else {
+                // sjc-lint: allow(no-panic-in-lib) — 0 < strip_end < sample.len() in this branch
                 ((sample[strip_end - 1].x + sample[strip_end].x) / 2.0).max(x_lo)
             };
             prev_x_hi = x_hi;
 
+            // sjc-lint: allow(no-panic-in-lib) — strip bounds are clamped to sample.len() above
             let strip = &mut sample[strip_start..strip_end];
-            strip.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite coordinates"));
+            strip.sort_by(|a, b| a.y.total_cmp(&b.y));
 
             let tile_len = strip.len().div_ceil(tiles_per_strip);
             let mut tile_start = 0usize;
@@ -64,6 +66,7 @@ impl StrTilePartitioner {
                 let y_hi = if tile_end == strip.len() {
                     extent.max_y
                 } else {
+                    // sjc-lint: allow(no-panic-in-lib) — 0 < tile_end < strip.len() in this branch
                     (strip[tile_end - 1].y + strip[tile_end].y) / 2.0
                 };
                 // Guard against zero-height tiles from duplicate y values.

@@ -102,6 +102,7 @@ impl QuadTree {
                     let quads = Self::quadrant_extents(&extent);
                     for q in pts {
                         let i = Self::quadrant_of(&extent, &q);
+                        // sjc-lint: allow(no-panic-in-lib) — quadrant_of returns 0..=3 into fixed [_; 4] arrays
                         Self::insert_rec(&mut children[i], quads[i], q, capacity, depth_left - 1);
                     }
                     *node = QtNode::Inner { children };
@@ -110,6 +111,7 @@ impl QuadTree {
             QtNode::Inner { children } => {
                 let i = Self::quadrant_of(&extent, &p);
                 let quads = Self::quadrant_extents(&extent);
+                // sjc-lint: allow(no-panic-in-lib) — quadrant_of returns 0..=3 into fixed [_; 4] arrays
                 Self::insert_rec(&mut children[i], quads[i], p, capacity, depth_left - 1);
             }
         }

@@ -50,6 +50,11 @@ impl RTree {
             return RTree::bulk_load_str(entries);
         }
 
+        #[cfg(feature = "sanitize")]
+        for e in &entries {
+            Self::sanitize_entry(e);
+        }
+
         // Normalize centers into the Hilbert grid.
         let mut domain = Mbr::empty();
         for e in &entries {
@@ -94,6 +99,7 @@ impl RTree {
                     let children: Vec<NodeId> = chunk
                         .iter()
                         .map(|&id| {
+                            // sjc-lint: allow(no-panic-in-lib) — level ids were just pushed into `nodes` by this builder
                             mbr.expand(&nodes[id.0].mbr());
                             id
                         })
@@ -103,11 +109,14 @@ impl RTree {
                 })
                 .collect();
         }
-        RTree {
-            root: level[0],
+        let tree = RTree {
+            root: level.first().copied().unwrap_or(NodeId(0)),
             nodes,
             len,
-        }
+        };
+        #[cfg(feature = "sanitize")]
+        tree.sanitize_tree();
+        tree
     }
 }
 

@@ -36,11 +36,8 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; distances are finite by construction.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("finite distances")
+        // Reverse for a min-heap.
+        other.dist.total_cmp(&self.dist)
     }
 }
 

@@ -53,16 +53,19 @@ impl RTree {
 
     /// MBR of the whole tree (empty MBR for an empty tree).
     pub fn mbr(&self) -> Mbr {
-        self.nodes[self.root.0].mbr()
+        self.node(self.root).mbr()
     }
 
     /// Height of the tree: 1 for a single leaf.
     pub fn height(&self) -> usize {
         let mut h = 1;
-        let mut node = &self.nodes[self.root.0];
+        let mut node = self.node(self.root);
         while let Node::Inner { children, .. } = node {
             h += 1;
-            node = &self.nodes[children[0].0];
+            match children.first() {
+                Some(&c) => node = self.node(c),
+                None => break, // empty inner nodes never occur (check_invariants)
+            }
         }
         h
     }
@@ -73,8 +76,17 @@ impl RTree {
         self.nodes.len()
     }
 
+    /// The audited arena access: every `NodeId` is minted by the builders in
+    /// this module and points into `self.nodes`, so the index cannot miss.
     pub(crate) fn node(&self, id: NodeId) -> &Node {
+        // sjc-lint: allow(no-panic-in-lib) — NodeIds are minted by this module and always index the arena
         &self.nodes[id.0]
+    }
+
+    /// Mutable counterpart of [`RTree::node`].
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        // sjc-lint: allow(no-panic-in-lib) — NodeIds are minted by this module and always index the arena
+        &mut self.nodes[id.0]
     }
 
     /// Root node id — exposed for synchronized dual-tree traversal.
@@ -84,7 +96,7 @@ impl RTree {
 
     /// Raw node access — exposed for synchronized dual-tree traversal.
     pub fn node_ref(&self, id: NodeId) -> &Node {
-        &self.nodes[id.0]
+        self.node(id)
     }
 
     /// Validates structural invariants; used by tests.
@@ -99,7 +111,9 @@ impl RTree {
         }
         let mut leaf_depths = Vec::new();
         self.check_node(self.root, 0, &mut leaf_depths)?;
-        let first = leaf_depths[0];
+        let Some(&first) = leaf_depths.first() else {
+            return Err("non-empty tree has no leaves".into());
+        };
         if leaf_depths.iter().any(|&d| d != first) {
             return Err(format!("leaves at mixed depths: {leaf_depths:?}"));
         }
@@ -141,6 +155,31 @@ impl RTree {
             }
         }
         Ok(())
+    }
+
+    /// Runtime invariant sanitizer (feature `sanitize`): entries handed to
+    /// the builders must carry a real MBR — an inverted/empty box would be
+    /// invisible to every query and silently drop join results.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn sanitize_entry(entry: &IndexEntry) {
+        debug_assert!(
+            !entry.mbr.is_empty(),
+            "sanitize: R-tree entry {} has an inverted/empty MBR {:?}",
+            entry.id,
+            entry.mbr
+        );
+        entry.mbr.sanitize_check();
+    }
+
+    /// Runtime invariant sanitizer (feature `sanitize`): full structural
+    /// check (node fill in `[1, MAX_ENTRIES]`, parent MBRs equal the union
+    /// of their children, uniform leaf depth). O(n), so the builders call it
+    /// once per bulk load, not per insert.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn sanitize_tree(&self) {
+        if let Err(e) = self.check_invariants() {
+            debug_assert!(false, "sanitize: R-tree invariants violated: {e}");
+        }
     }
 
     /// All entries, in arbitrary order (test helper).

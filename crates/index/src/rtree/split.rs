@@ -24,50 +24,52 @@ impl RTree {
     /// Inserts one entry (Guttman: choose-leaf by least enlargement,
     /// quadratic split on overflow, splits propagate to the root).
     pub fn insert(&mut self, entry: IndexEntry) {
+        #[cfg(feature = "sanitize")]
+        Self::sanitize_entry(&entry);
         self.len += 1;
 
         // Descend to a leaf, recording the path for upward adjustment.
         let mut path = Vec::new();
         let mut cur = self.root;
         loop {
-            match &self.nodes[cur.0] {
+            match self.node(cur) {
                 Node::Leaf { .. } => break,
                 Node::Inner { children, .. } => {
                     let chosen = children
                         .iter()
                         .copied()
                         .min_by(|&a, &b| {
-                            let ma = self.nodes[a.0].mbr();
-                            let mb = self.nodes[b.0].mbr();
+                            let ma = self.node(a).mbr();
+                            let mb = self.node(b).mbr();
                             let ea = ma.enlargement(&entry.mbr);
                             let eb = mb.enlargement(&entry.mbr);
-                            ea.partial_cmp(&eb)
-                                .unwrap()
-                                .then_with(|| ma.area().partial_cmp(&mb.area()).unwrap())
-                        })
-                        .expect("inner nodes are never empty");
-                    path.push(cur);
-                    cur = chosen;
+                            ea.total_cmp(&eb)
+                                .then_with(|| ma.area().total_cmp(&mb.area()))
+                        });
+                    match chosen {
+                        Some(c) => {
+                            path.push(cur);
+                            cur = c;
+                        }
+                        None => break, // empty inner nodes never occur
+                    }
                 }
             }
         }
 
-        // Add the entry to the leaf.
-        match &mut self.nodes[cur.0] {
-            Node::Leaf { mbr, entries } => {
-                entries.push(entry);
-                mbr.expand(&entry.mbr);
-            }
-            Node::Inner { .. } => unreachable!("descent ends at a leaf"),
+        // Add the entry to the leaf (the descent above ends at one).
+        if let Node::Leaf { mbr, entries } = self.node_mut(cur) {
+            entries.push(entry);
+            mbr.expand(&entry.mbr);
         }
 
         // Walk back up: split overflowing nodes, refresh ancestor MBRs.
         let mut maybe_split = self.split_if_overflowing(cur);
         for &parent in path.iter().rev() {
             if let Some(new_sibling) = maybe_split {
-                match &mut self.nodes[parent.0] {
-                    Node::Inner { children, .. } => children.push(new_sibling),
-                    Node::Leaf { .. } => unreachable!("path contains only inner nodes"),
+                // The recorded path contains only inner nodes.
+                if let Node::Inner { children, .. } = self.node_mut(parent) {
+                    children.push(new_sibling);
                 }
             }
             self.refresh_mbr(parent);
@@ -77,17 +79,25 @@ impl RTree {
         // Root split: grow the tree by one level.
         if let Some(sibling) = maybe_split {
             let old_root = self.root;
-            let mbr = self.nodes[old_root.0].mbr().union(&self.nodes[sibling.0].mbr());
+            let mbr = self.node(old_root).mbr().union(&self.node(sibling).mbr());
             self.nodes.push(Node::Inner {
                 mbr,
                 children: vec![old_root, sibling],
             });
             self.root = NodeId(self.nodes.len() - 1);
         }
+        // O(1) bounding invariant: the root must now cover the new entry.
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            self.mbr().contains(&entry.mbr),
+            "sanitize: root MBR {:?} does not cover inserted entry {:?}",
+            self.mbr(),
+            entry.mbr
+        );
     }
 
     fn refresh_mbr(&mut self, id: NodeId) {
-        let new_mbr = match &self.nodes[id.0] {
+        let new_mbr = match self.node(id) {
             Node::Leaf { entries, .. } => {
                 let mut m = Mbr::empty();
                 for e in entries {
@@ -98,36 +108,36 @@ impl RTree {
             Node::Inner { children, .. } => {
                 let mut m = Mbr::empty();
                 for &c in children {
-                    m.expand(&self.nodes[c.0].mbr());
+                    m.expand(&self.node(c).mbr());
                 }
                 m
             }
         };
-        match &mut self.nodes[id.0] {
+        match self.node_mut(id) {
             Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => *mbr = new_mbr,
         }
     }
 
     /// Splits `id` if it overflows; returns the id of the new sibling.
     fn split_if_overflowing(&mut self, id: NodeId) -> Option<NodeId> {
-        if self.nodes[id.0].len() <= MAX_ENTRIES {
+        if self.node(id).len() <= MAX_ENTRIES {
             return None;
         }
-        match self.nodes[id.0].clone() {
+        match self.node(id).clone() {
             Node::Leaf { entries, .. } => {
                 let (g1, g2) = quadratic_split(entries, |e| e.mbr);
                 let m1 = mbr_union(g1.iter().map(|e| e.mbr));
                 let m2 = mbr_union(g2.iter().map(|e| e.mbr));
-                self.nodes[id.0] = Node::Leaf { mbr: m1, entries: g1 };
+                *self.node_mut(id) = Node::Leaf { mbr: m1, entries: g1 };
                 self.nodes.push(Node::Leaf { mbr: m2, entries: g2 });
             }
             Node::Inner { children, .. } => {
                 let with_mbrs: Vec<(NodeId, Mbr)> =
-                    children.iter().map(|&c| (c, self.nodes[c.0].mbr())).collect();
+                    children.iter().map(|&c| (c, self.node(c).mbr())).collect();
                 let (g1, g2) = quadratic_split(with_mbrs, |(_, m)| *m);
                 let m1 = mbr_union(g1.iter().map(|(_, m)| *m));
                 let m2 = mbr_union(g2.iter().map(|(_, m)| *m));
-                self.nodes[id.0] = Node::Inner {
+                *self.node_mut(id) = Node::Inner {
                     mbr: m1,
                     children: g1.into_iter().map(|(c, _)| c).collect(),
                 };
@@ -157,10 +167,10 @@ fn quadratic_split<T: Clone, F: Fn(&T) -> Mbr>(items: Vec<T>, mbr_of: F) -> (Vec
 
     // Seed selection.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
-    for i in 0..items.len() {
-        for j in (i + 1)..items.len() {
-            let mi = mbr_of(&items[i]);
-            let mj = mbr_of(&items[j]);
+    for (i, item_i) in items.iter().enumerate() {
+        for (j, item_j) in items.iter().enumerate().skip(i + 1) {
+            let mi = mbr_of(item_i);
+            let mj = mbr_of(item_j);
             let waste = mi.union(&mj).area() - mi.area() - mj.area();
             if waste > worst {
                 worst = waste;
@@ -170,9 +180,13 @@ fn quadratic_split<T: Clone, F: Fn(&T) -> Mbr>(items: Vec<T>, mbr_of: F) -> (Vec
         }
     }
 
+    // sjc-lint: allow(no-panic-in-lib) — s1 and s2 come from the enumerate loop above, so both index `items`
     let mut g1 = vec![items[s1].clone()];
+    // sjc-lint: allow(no-panic-in-lib) — s2 < items.len() from the seed loop
     let mut g2 = vec![items[s2].clone()];
+    // sjc-lint: allow(no-panic-in-lib) — s1 < items.len() from the seed loop
     let mut m1 = mbr_of(&items[s1]);
+    // sjc-lint: allow(no-panic-in-lib) — s2 < items.len() from the seed loop
     let mut m2 = mbr_of(&items[s2]);
 
     let rest: Vec<T> = items

@@ -28,6 +28,11 @@ impl RTree {
             };
         }
 
+        #[cfg(feature = "sanitize")]
+        for e in &entries {
+            Self::sanitize_entry(e);
+        }
+
         // Level 0: pack the entries into leaves.
         let leaf_groups = str_pack(entries, MAX_ENTRIES, |e| e.mbr);
         let mut level: Vec<NodeId> = leaf_groups
@@ -44,8 +49,11 @@ impl RTree {
 
         // Upper levels: pack child node ids by their MBRs until one root remains.
         while level.len() > 1 {
-            let child_mbrs: Vec<(NodeId, Mbr)> =
-                level.iter().map(|&id| (id, nodes[id.0].mbr())).collect();
+            let child_mbrs: Vec<(NodeId, Mbr)> = level
+                .iter()
+                // sjc-lint: allow(no-panic-in-lib) — level ids were just pushed into `nodes` by this builder
+                .map(|&id| (id, nodes[id.0].mbr()))
+                .collect();
             let groups = str_pack(child_mbrs, MAX_ENTRIES, |(_, m)| *m);
             level = groups
                 .into_iter()
@@ -64,11 +72,14 @@ impl RTree {
                 .collect();
         }
 
-        RTree {
-            root: level[0],
+        let tree = RTree {
+            root: level.first().copied().unwrap_or(NodeId(0)),
             nodes,
             len,
-        }
+        };
+        #[cfg(feature = "sanitize")]
+        tree.sanitize_tree();
+        tree
     }
 }
 
@@ -86,7 +97,7 @@ fn str_pack<T, F: Fn(&T) -> Mbr>(mut items: Vec<T>, cap: usize, mbr_of: F) -> Ve
     items.sort_by(|a, b| {
         let ca = mbr_of(a).center().x;
         let cb = mbr_of(b).center().x;
-        ca.partial_cmp(&cb).expect("finite coordinates")
+        ca.total_cmp(&cb)
     });
 
     let mut groups = Vec::with_capacity(num_groups);
@@ -97,7 +108,7 @@ fn str_pack<T, F: Fn(&T) -> Mbr>(mut items: Vec<T>, cap: usize, mbr_of: F) -> Ve
         strip.sort_by(|a, b| {
             let ca = mbr_of(a).center().y;
             let cb = mbr_of(b).center().y;
-            ca.partial_cmp(&cb).expect("finite coordinates")
+            ca.total_cmp(&cb)
         });
         while !strip.is_empty() {
             let take = cap.min(strip.len());

@@ -1,6 +1,6 @@
-//! Property-based tests for indexes, partitioners and local joins.
+//! Property-based tests for indexes, partitioners and local joins (seeded
+//! `sjc-testkit` cases).
 
-use proptest::prelude::*;
 use sjc_geom::{Mbr, Point};
 use sjc_index::entry::IndexEntry;
 use sjc_index::join::{brute_force, indexed_nested_loop, plane_sweep, sync_rtree};
@@ -8,40 +8,53 @@ use sjc_index::partition::{
     dedup_owner_cell, BspPartitioner, FixedGridPartitioner, SpatialPartitioner, StrTilePartitioner,
 };
 use sjc_index::RTree;
+use sjc_testkit::{cases, TestRng};
 
-fn mbr_strategy(extent: f64, max_side: f64) -> impl Strategy<Value = Mbr> {
-    (0.0f64..extent, 0.0f64..extent, 0.0f64..max_side, 0.0f64..max_side)
-        .prop_map(|(x, y, w, h)| Mbr::new(x, y, x + w, y + h))
+const N: usize = 128;
+
+fn mbr(rng: &mut TestRng, extent: f64, max_side: f64) -> Mbr {
+    let x = rng.f64_in(0.0..extent);
+    let y = rng.f64_in(0.0..extent);
+    let w = rng.f64_in(0.0..max_side);
+    let h = rng.f64_in(0.0..max_side);
+    Mbr::new(x, y, x + w, y + h)
 }
 
-fn entries(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<IndexEntry>> {
-    proptest::collection::vec(mbr_strategy(100.0, 10.0), n).prop_map(|mbrs| {
-        mbrs.into_iter()
-            .enumerate()
-            .map(|(i, m)| IndexEntry::new(i as u64, m))
-            .collect()
-    })
+fn entries(rng: &mut TestRng, n: std::ops::Range<usize>) -> Vec<IndexEntry> {
+    let len = rng.usize_in(n);
+    (0..len)
+        .map(|i| IndexEntry::new(i as u64, mbr(rng, 100.0, 10.0)))
+        .collect()
 }
 
-fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n)
-        .prop_map(|ps| ps.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+fn points(rng: &mut TestRng, n: std::ops::Range<usize>) -> Vec<Point> {
+    let len = rng.usize_in(n);
+    (0..len)
+        .map(|_| Point::new(rng.f64_in(0.0..100.0), rng.f64_in(0.0..100.0)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn rtree_query_equals_linear_scan(es in entries(0..200), q in mbr_strategy(120.0, 30.0)) {
+#[test]
+fn rtree_query_equals_linear_scan() {
+    cases(0x1D01, N, |rng| {
+        let es = entries(rng, 0..200);
+        let q = mbr(rng, 120.0, 30.0);
         let tree = RTree::bulk_load_str(es.clone());
         tree.check_invariants().unwrap();
         let mut got = tree.query(&q);
         got.sort_unstable();
-        let mut expected: Vec<u64> = es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
+        let mut expected: Vec<u64> =
+            es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn dynamic_rtree_query_equals_linear_scan(es in entries(1..120), q in mbr_strategy(120.0, 30.0)) {
+#[test]
+fn dynamic_rtree_query_equals_linear_scan() {
+    cases(0x1D02, N, |rng| {
+        let es = entries(rng, 1..120);
+        let q = mbr(rng, 120.0, 30.0);
         let mut tree = RTree::new_dynamic();
         for e in &es {
             tree.insert(*e);
@@ -49,21 +62,30 @@ proptest! {
         tree.check_invariants().unwrap();
         let mut got = tree.query(&q);
         got.sort_unstable();
-        let mut expected: Vec<u64> = es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
+        let mut expected: Vec<u64> =
+            es.iter().filter(|e| e.mbr.intersects(&q)).map(|e| e.id).collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn join_algorithms_produce_identical_pairs(l in entries(0..80), r in entries(0..80)) {
+#[test]
+fn join_algorithms_produce_identical_pairs() {
+    cases(0x1D03, N, |rng| {
+        let l = entries(rng, 0..80);
+        let r = entries(rng, 0..80);
         let expected = brute_force(&l, &r).sorted_pairs();
-        prop_assert_eq!(indexed_nested_loop(&l, &r).sorted_pairs(), expected.clone());
-        prop_assert_eq!(plane_sweep(&l, &r).sorted_pairs(), expected.clone());
-        prop_assert_eq!(sync_rtree(&l, &r).sorted_pairs(), expected);
-    }
+        assert_eq!(indexed_nested_loop(&l, &r).sorted_pairs(), expected.clone());
+        assert_eq!(plane_sweep(&l, &r).sorted_pairs(), expected.clone());
+        assert_eq!(sync_rtree(&l, &r).sorted_pairs(), expected);
+    });
+}
 
-    #[test]
-    fn partitioners_assign_every_mbr(sample in points(0..200), m in mbr_strategy(100.0, 20.0)) {
+#[test]
+fn partitioners_assign_every_mbr() {
+    cases(0x1D04, N, |rng| {
+        let sample = points(rng, 0..200);
+        let m = mbr(rng, 100.0, 20.0);
         let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
         let parts: Vec<Box<dyn SpatialPartitioner>> = vec![
             Box::new(FixedGridPartitioner::new(extent, 4, 4)),
@@ -72,17 +94,20 @@ proptest! {
         ];
         for p in &parts {
             let cells = p.assign(&m);
-            prop_assert!(!cells.is_empty(), "assignment must be total");
+            assert!(!cells.is_empty(), "assignment must be total");
             for &c in &cells {
-                prop_assert!((c as usize) < p.cells().len());
+                assert!((c as usize) < p.cells().len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn owner_is_deterministic_and_contained(sample in points(1..200), px in 0.0f64..100.0, py in 0.0f64..100.0) {
+#[test]
+fn owner_is_deterministic_and_contained() {
+    cases(0x1D05, N, |rng| {
+        let sample = points(rng, 1..200);
+        let p = Point::new(rng.f64_in(0.0..100.0), rng.f64_in(0.0..100.0));
         let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
-        let p = Point::new(px, py);
         let parts: Vec<Box<dyn SpatialPartitioner>> = vec![
             Box::new(FixedGridPartitioner::new(extent, 5, 5)),
             Box::new(StrTilePartitioner::from_sample(extent, sample.clone(), 8)),
@@ -91,16 +116,19 @@ proptest! {
         for part in &parts {
             let o1 = part.owner(&p);
             let o2 = part.owner(&p);
-            prop_assert_eq!(o1, o2);
+            assert_eq!(o1, o2);
             // Points inside the extent are owned by a containing cell.
-            prop_assert!(part.cells()[o1 as usize].contains_point(&p));
+            assert!(part.cells()[o1 as usize].contains_point(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn partitioned_join_with_dedup_equals_direct_join(
-        l in entries(0..60), r in entries(0..60), sample in points(0..100)
-    ) {
+#[test]
+fn partitioned_join_with_dedup_equals_direct_join() {
+    cases(0x1D06, N, |rng| {
+        let l = entries(rng, 0..60);
+        let r = entries(rng, 0..60);
+        let sample = points(rng, 0..100);
         // End-to-end exactly-once property: multi-assign both sides to
         // cells, join within each cell with dedup, compare with the direct
         // join of the full inputs.
@@ -134,6 +162,6 @@ proptest! {
         result.sort_unstable();
 
         let expected = brute_force(&l, &r).sorted_pairs();
-        prop_assert_eq!(result, expected);
-    }
+        assert_eq!(result, expected);
+    });
 }

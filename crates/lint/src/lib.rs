@@ -1,0 +1,750 @@
+//! # sjc-lint — workspace invariant checker
+//!
+//! A self-contained, std-only static checker for the invariants this
+//! reproduction depends on. It is deliberately a *line/token scanner*, not a
+//! compiler plugin: the rules below are all expressible on comment- and
+//! string-stripped source text, the checker runs in milliseconds, and it has
+//! zero dependencies — so it can gate `cargo test` (see the workspace's
+//! `tests/lint_gate.rs`) without slowing anything down.
+//!
+//! ## Rules
+//!
+//! | rule | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | `no-nondeterminism` | non-test src of `geom`, `index`, `cluster`, `mapreduce`, `rdd`, `core` | `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`, `HashMap`/`HashSet` (iteration order is unspecified — simulated results must be bit-identical across runs; use `BTreeMap`/`BTreeSet`/sorted `Vec`) |
+//! | `no-panic-in-lib` | non-test src of the seven library crates (`geom`, `index`, `cluster`, `mapreduce`, `rdd`, `data`, `core`) | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and slice indexing `x[i]` — library code returns `Result`/`Option`, it does not abort the caller |
+//! | `float-hygiene` | non-test src of `geom` | bare `==`/`!=` against a float literal — geometric predicates use the epsilon helpers in `sjc_geom::predicates` |
+//! | `bench-isolation` | everything except `crates/bench` (and code already covered by `no-nondeterminism`) | wall-clock and entropy APIs (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`) — only the bench harness may observe the host |
+//!
+//! ## Suppression
+//!
+//! A violation is suppressed by an inline comment **with a reason**:
+//!
+//! ```text
+//! let x = items[i]; // sjc-lint: allow(no-panic-in-lib) — i comes from enumerate() over items
+//! ```
+//!
+//! or, for a whole line, by a comment-only line directly above it. An
+//! `allow(...)` with an unknown rule name or without a reason is itself a
+//! violation (`bad-suppression`): suppressions are part of the audit trail,
+//! not an escape hatch.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test sources must be deterministic: they produce the
+/// simulated numbers, which the paper reproduction requires to be
+/// bit-identical across runs and platforms.
+const SIM_CRATES: &[&str] = &["geom", "index", "cluster", "mapreduce", "rdd", "core"];
+
+/// Library crates whose non-test sources must not panic.
+const PANIC_FREE_CRATES: &[&str] =
+    &["geom", "index", "cluster", "mapreduce", "rdd", "data", "core"];
+
+/// Crates whose non-test sources must compare floats through epsilon helpers.
+const FLOAT_CRATES: &[&str] = &["geom"];
+
+/// Wall-clock / entropy tokens: allowed only in `crates/bench`.
+const CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
+
+/// The named rules. `BadSuppression` is the meta-rule for malformed
+/// `allow(...)` comments and cannot itself be suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    NoNondeterminism,
+    NoPanicInLib,
+    FloatHygiene,
+    BenchIsolation,
+    BadSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 4] =
+        [Rule::NoNondeterminism, Rule::NoPanicInLib, Rule::FloatHygiene, Rule::BenchIsolation];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoNondeterminism => "no-nondeterminism",
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::FloatHygiene => "float-hygiene",
+            Rule::BenchIsolation => "bench-isolation",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: rule, location (workspace-relative path, 1-based line) and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileClass<'a> {
+    /// Crate directory name under `crates/`, or `""` for the root package.
+    krate: &'a str,
+    /// True for `tests/` and `benches/` directories: test harness code.
+    harness: bool,
+}
+
+fn classify(rel_path: &str) -> FileClass<'_> {
+    let mut parts = rel_path.split('/');
+    let first = parts.next().unwrap_or("");
+    if first == "crates" {
+        let krate = parts.next().unwrap_or("");
+        let section = parts.next().unwrap_or("");
+        FileClass { krate, harness: section == "tests" || section == "benches" }
+    } else {
+        FileClass { krate: "", harness: first == "tests" || first == "benches" }
+    }
+}
+
+/// Replaces comments, string contents and char literals with
+/// layout-preserving filler so token scans cannot match inside them. The
+/// returned text has exactly the same line structure as the input.
+fn strip_noncode(src: &str) -> String {
+    strip(src, false)
+}
+
+/// Like [`strip_noncode`] but keeps comment text: the input for suppression
+/// parsing, where allow markers must be real comments, not string contents.
+fn strip_strings_only(src: &str) -> String {
+    strip(src, true)
+}
+
+fn strip(src: &str, keep_comments: bool) -> String {
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Chr,
+        LineComment,
+        BlockComment(usize),
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match st {
+            St::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    if keep_comments {
+                        out.push_str("//");
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    if keep_comments {
+                        out.push_str("/*");
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#')) {
+                    // Possible raw string: r"..." or r#"..."# (any # count).
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        out.push('"');
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is 'x' or an escape.
+                    let is_char = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(&n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                        _ => false,
+                    };
+                    if is_char {
+                        st = St::Chr;
+                    } else {
+                        out.push(c);
+                    }
+                    i += 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push('\n');
+                    }
+                    i += 2;
+                } else {
+                    if c == '"' {
+                        st = St::Code;
+                        out.push('"');
+                    } else if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            St::RawStr(h) => {
+                if c == '"' && (0..h).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    st = St::Code;
+                    out.push('"');
+                    i += 1 + h;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            St::Chr => {
+                if c == '\\' {
+                    i += 2;
+                } else {
+                    if c == '\'' {
+                        st = St::Code;
+                    }
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else if keep_comments {
+                    out.push(c);
+                }
+                i += 1;
+            }
+            St::BlockComment(d) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(d + 1);
+                    if keep_comments {
+                        out.push_str("/*");
+                    }
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if d == 1 { St::Code } else { St::BlockComment(d - 1) };
+                    if keep_comments {
+                        out.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    } else if keep_comments {
+                        out.push(c);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `word` occurs in `line` with non-identifier characters (or line
+/// edges) on both sides.
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = !line[at + word.len()..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// True when the line contains slice/array indexing: a `[` whose previous
+/// non-space character ends an expression (identifier, `)`, or `]`). Macro
+/// brackets (`vec![`), attributes (`#[`), and type positions (`: [u8; 4]`)
+/// are naturally excluded because their preceding character is `!`, `#`, or
+/// punctuation.
+fn has_slice_indexing(line: &str) -> bool {
+    // After these keywords a `[` opens an array literal or type, never an
+    // index expression.
+    const KEYWORDS: &[&str] = &[
+        "in", "mut", "ref", "return", "for", "if", "else", "match", "while", "loop", "break",
+        "move", "dyn", "impl", "where", "as", "const", "static", "let",
+    ];
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        let Some(&p) = chars[..j].last() else { continue };
+        if p == ')' || p == ']' {
+            return true;
+        }
+        if is_ident_char(p) {
+            let mut start = j;
+            while start > 0 && is_ident_char(chars[start - 1]) {
+                start -= 1;
+            }
+            let ident: String = chars[start..j].iter().collect();
+            // `'a [u8]` is a lifetime in a slice type, not an index base.
+            let lifetime = start > 0 && chars[start - 1] == '\'';
+            if !lifetime && !KEYWORDS.contains(&ident.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when the line compares against a float literal with `==` or `!=`.
+/// This is a deliberate under-approximation (a typed checker would catch
+/// `a == b` on two `f64` variables), but it is precise: it never flags
+/// boolean or integer comparisons.
+fn has_float_literal_comparison(line: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(op) {
+            let at = start + pos;
+            // Skip `<=`, `>=`, pattern `=>`: require a standalone operator.
+            let before = line[..at].trim_end();
+            let after = line[at + 2..].trim_start();
+            let left: String = {
+                let t: String = before
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c) || c == '.' || c == '-' || c == '+')
+                    .collect();
+                t.chars().rev().collect()
+            };
+            let right: String = after
+                .chars()
+                .take_while(|&c| is_ident_char(c) || c == '.' || c == '-' || c == '+')
+                .collect();
+            if is_float_literal(&left) || is_float_literal(&right) {
+                return true;
+            }
+            start = at + 2;
+        }
+    }
+    false
+}
+
+/// Whether `token` is a float literal like `0.0`, `1e-9`, or `2.5_f64`.
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_start_matches(['-', '+']);
+    let mut has_digit = false;
+    let mut has_point_or_exp = false;
+    let mut after_exp = false;
+    for c in t.chars() {
+        if c.is_ascii_digit() {
+            has_digit = true;
+            after_exp = false;
+        } else if c == '.' {
+            has_point_or_exp = true;
+        } else if (c == 'e' || c == 'E') && has_digit {
+            has_point_or_exp = true;
+            after_exp = true;
+        } else if (c == '-' || c == '+') && after_exp {
+            after_exp = false;
+        } else if c == '_' || c == 'f' {
+            // digit separators and the f32/f64 suffix marker
+            after_exp = false;
+        } else {
+            return false;
+        }
+    }
+    has_digit && has_point_or_exp
+}
+
+/// A parsed allow comment (see the module docs for the syntax).
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: Option<Rule>,
+    rule_text: String,
+    has_reason: bool,
+    /// True when the line holds nothing but the comment — such a line
+    /// suppresses the *next* line instead of itself.
+    comment_only: bool,
+}
+
+const ALLOW_MARKER: &str = "sjc-lint: allow(";
+
+/// Parses an allow marker from a string-stripped (but comment-preserving)
+/// line. The marker must appear inside a `//` comment.
+fn parse_allow(commented_line: &str, code_line: &str) -> Option<Allow> {
+    let comment_at = commented_line.find("//")?;
+    let comment = &commented_line[comment_at..];
+    let at = comment.find(ALLOW_MARKER)?;
+    let rest = &comment[at + ALLOW_MARKER.len()..];
+    let close = rest.find(')')?;
+    let rule_text = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim()
+        .trim_start_matches(['—', '-', ':', ' '])
+        .trim();
+    Some(Allow {
+        rule: Rule::from_name(&rule_text),
+        rule_text,
+        has_reason: reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3,
+        comment_only: code_line.trim().is_empty(),
+    })
+}
+
+/// Checks one file's source text. `rel_path` is the workspace-relative path
+/// with `/` separators (e.g. `crates/geom/src/mbr.rs`); it determines which
+/// rules apply.
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
+    let mut class = classify(rel_path);
+    let stripped = strip_noncode(source);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    // A file compiled only for tests (inner attribute) is harness code even
+    // when it lives under `src/`.
+    if code_lines.iter().any(|l| l.contains("#![cfg(test)]")) {
+        class.harness = true;
+    }
+    let commented = strip_strings_only(source);
+
+    let allows: Vec<Option<Allow>> = commented
+        .lines()
+        .enumerate()
+        .map(|(i, line)| parse_allow(line, code_lines.get(i).copied().unwrap_or("")))
+        .collect();
+
+    let mut out = Vec::new();
+
+    // Malformed suppressions are violations regardless of any rule firing.
+    for (i, allow) in allows.iter().enumerate() {
+        if let Some(a) = allow {
+            if a.rule.is_none() {
+                out.push(Violation {
+                    rule: Rule::BadSuppression,
+                    path: rel_path.to_string(),
+                    line: i + 1,
+                    message: format!("allow({}) names no known rule", a.rule_text),
+                });
+            } else if !a.has_reason {
+                out.push(Violation {
+                    rule: Rule::BadSuppression,
+                    path: rel_path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "allow({}) needs a reason: `// sjc-lint: allow({}) — <why this is safe>`",
+                        a.rule_text, a.rule_text
+                    ),
+                });
+            }
+        }
+    }
+
+    let suppressed = |rule: Rule, i: usize| -> bool {
+        let matches = |a: &Option<Allow>, need_comment_only: bool| {
+            a.as_ref().is_some_and(|a| {
+                a.rule == Some(rule) && a.has_reason && (!need_comment_only || a.comment_only)
+            })
+        };
+        matches(&allows[i], false) || (i > 0 && matches(&allows[i - 1], true))
+    };
+
+    // Which rules apply to this file's non-test code?
+    let sim = SIM_CRATES.contains(&class.krate);
+    let panic_free = PANIC_FREE_CRATES.contains(&class.krate);
+    let float = FLOAT_CRATES.contains(&class.krate);
+    let bench = class.krate == "bench";
+
+    // `#[cfg(test)] mod` region tracking via brace depth.
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_region_floor: Option<i64> = None;
+
+    for (i, code) in code_lines.iter().enumerate() {
+        let depth_at_start = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+
+        if test_region_floor.is_none() && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && has_word(code, "mod") && code.contains('{') {
+            test_region_floor = Some(depth_at_start);
+            pending_cfg_test = false;
+        }
+
+        let in_test = class.harness || test_region_floor.is_some();
+
+        // Close the region *after* computing `in_test`: the closing-brace
+        // line still belongs to the test module.
+        if let Some(floor) = test_region_floor {
+            if depth <= floor {
+                test_region_floor = None;
+            }
+        }
+
+        let mut emit = |rule: Rule, message: String| {
+            if !suppressed(rule, i) {
+                out.push(Violation { rule, path: rel_path.to_string(), line: i + 1, message });
+            }
+        };
+
+        if sim && !in_test {
+            for tok in CLOCK_TOKENS {
+                if code.contains(tok) {
+                    emit(
+                        Rule::NoNondeterminism,
+                        format!("`{tok}` in simulation code — results must be reproducible; derive everything from the experiment seed"),
+                    );
+                }
+            }
+            for tok in ["HashMap", "HashSet"] {
+                if has_word(code, tok) {
+                    emit(
+                        Rule::NoNondeterminism,
+                        format!("`{tok}` iterates in unspecified order — use BTreeMap/BTreeSet or a sorted Vec so simulated output is bit-stable"),
+                    );
+                }
+            }
+        }
+
+        // Everywhere except crates/bench and lines no-nondeterminism already
+        // covers (non-test code of the sim crates).
+        if !bench && (!sim || in_test) {
+            for tok in CLOCK_TOKENS {
+                if code.contains(tok) {
+                    emit(
+                        Rule::BenchIsolation,
+                        format!("`{tok}` outside crates/bench — only the bench harness may observe the host clock or entropy"),
+                    );
+                }
+            }
+        }
+
+        if panic_free && !in_test {
+            for tok in [".unwrap()", ".expect("] {
+                if code.contains(tok) {
+                    emit(
+                        Rule::NoPanicInLib,
+                        format!("`{tok}` in library code — return a Result/Option or handle the None/Err arm"),
+                    );
+                }
+            }
+            for tok in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+                if code.contains(tok) {
+                    emit(
+                        Rule::NoPanicInLib,
+                        format!("`{tok}` in library code — library code must not abort the caller"),
+                    );
+                }
+            }
+            if has_slice_indexing(code) {
+                emit(
+                    Rule::NoPanicInLib,
+                    "slice indexing can panic — use .get()/.get_mut() or iterate, or suppress with the bounds argument".to_string(),
+                );
+            }
+        }
+
+        if float && !in_test && has_float_literal_comparison(code) {
+            emit(
+                Rule::FloatHygiene,
+                "bare float comparison — use the epsilon helpers in sjc_geom::predicates".to_string(),
+            );
+        }
+    }
+
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (if it exists).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Checks every Rust source file of the workspace rooted at `root`:
+/// `src/`, `tests/`, and each `crates/*/{src,tests,benches}`. Returns all
+/// violations sorted by path and line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    // A missing or file-less root must be an error, not a clean scan — a
+    // mistyped path in CI would otherwise report green without looking at
+    // a single line.
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("workspace root {} is not a directory", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    collect_rs(&root.join("tests"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        crates.sort();
+        for krate in crates {
+            for section in ["src", "tests", "benches"] {
+                collect_rs(&krate.join(section), &mut files)?;
+            }
+        }
+    }
+
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .rs files under {} — wrong workspace root?", root.display()),
+        ));
+    }
+
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&file)?;
+        out.extend(check_file(&rel, &source));
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_string_contents() {
+        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1; /* thread_rng */ let c = 2;\n";
+        let s = strip_noncode(src);
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("let b = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_preserves_line_structure_of_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+        let s = strip_noncode(src);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.lines().nth(3).unwrap().contains("let t = 1;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("struct MyHashMapLike;", "HashMap"));
+    }
+
+    #[test]
+    fn slice_indexing_detector_is_precise() {
+        assert!(has_slice_indexing("let x = items[i];"));
+        assert!(has_slice_indexing("let y = f(a)[0];"));
+        assert!(has_slice_indexing("let z = m[i][j];"));
+        assert!(!has_slice_indexing("#[derive(Debug)]"));
+        assert!(!has_slice_indexing("let v = vec![1, 2];"));
+        assert!(!has_slice_indexing("fn f(x: [u8; 4]) {}"));
+        assert!(!has_slice_indexing("let a: &[u64] = &v;"));
+    }
+
+    #[test]
+    fn float_comparison_detector_is_precise() {
+        assert!(has_float_literal_comparison("if p == 0.0 {"));
+        assert!(has_float_literal_comparison("if 1e-9 != x {"));
+        assert!(has_float_literal_comparison("x == 2.5_f64"));
+        // The classic bool-expression false positive must not fire.
+        assert!(!has_float_literal_comparison("(a.y > p.y) != (b.y > p.y)"));
+        assert!(!has_float_literal_comparison("if n == 0 {"));
+        assert!(!has_float_literal_comparison("let c = a >= 0.5;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        let vs = check_file("crates/geom/src/lib.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn suppression_requires_reason_and_known_rule() {
+        let src = "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n";
+        let vs = check_file("crates/geom/src/lib.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression));
+        // The reasonless allow does not suppress.
+        assert!(vs.iter().any(|v| v.rule == Rule::NoPanicInLib));
+
+        let src = "let x = v[0]; // sjc-lint: allow(no-such-rule) — whatever\n";
+        let vs = check_file("crates/geom/src/lib.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression));
+    }
+
+    #[test]
+    fn comment_only_allow_covers_next_line() {
+        let src = "// sjc-lint: allow(no-panic-in-lib) — index bounded by caller\nlet x = v[0];\n";
+        assert!(check_file("crates/geom/src/lib.rs", src).is_empty());
+        // ...but not the line after next.
+        let src = "// sjc-lint: allow(no-panic-in-lib) — index bounded by caller\nlet x = v[0];\nlet y = v[1];\n";
+        let vs = check_file("crates/geom/src/lib.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! `sjc-lint` binary: checks the workspace rooted at the given directory
+//! (default: the current directory) and exits non-zero on violations.
+//!
+//! ```text
+//! cargo run -p sjc-lint            # check the workspace
+//! cargo run -p sjc-lint -- --rules # list the rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sjc_lint::Rule;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => {
+                for rule in Rule::ALL {
+                    println!("{}", rule.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sjc-lint — workspace invariant checker\n\n\
+                     USAGE: sjc-lint [ROOT] [--rules]\n\n\
+                     Scans ROOT (default `.`) for violations of the workspace\n\
+                     rules (no-nondeterminism, no-panic-in-lib, float-hygiene,\n\
+                     bench-isolation). Suppress a finding inline with\n\
+                     `// sjc-lint: allow(<rule>) — <reason>`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("sjc-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match sjc_lint::check_workspace(&root) {
+        Err(e) => {
+            eprintln!("sjc-lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!("sjc-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("sjc-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,21 +1,27 @@
 //! Property-based tests for the MapReduce engine: semantic equivalence with
-//! plain in-memory folds, cost monotonicity, and combiner transparency.
+//! plain in-memory folds, cost monotonicity, and combiner transparency
+//! (seeded `sjc-testkit` cases).
 
-use proptest::prelude::*;
 use sjc_cluster::metrics::Phase;
 use sjc_cluster::{Cluster, ClusterConfig, SimHdfs};
 use sjc_mapreduce::{block_splits, JobConfig, MapReduceJob};
+use sjc_testkit::{cases, TestRng};
 use std::collections::BTreeMap;
+
+const N: usize = 64;
 
 fn cluster() -> Cluster {
     Cluster::new(ClusterConfig::workstation())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn words(rng: &mut TestRng, elems: std::ops::Range<u64>, len: std::ops::Range<usize>) -> Vec<u32> {
+    rng.vec_u64(elems, len).into_iter().map(|w| w as u32).collect()
+}
 
-    #[test]
-    fn map_reduce_equals_hashmap_fold(words in proptest::collection::vec(0u32..50, 0..500)) {
+#[test]
+fn map_reduce_equals_hashmap_fold() {
+    cases(0x3A01, N, |rng| {
+        let words = words(rng, 0..50, 0..500);
         let cluster = cluster();
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
@@ -31,11 +37,14 @@ proptest! {
             *expected.entry(*w).or_default() += 1;
         }
         let got: BTreeMap<u32, u64> = outcome.output.into_iter().collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn combiner_never_changes_results(words in proptest::collection::vec(0u32..20, 1..400)) {
+#[test]
+fn combiner_never_changes_results() {
+    cases(0x3A02, N, |rng| {
+        let words = words(rng, 0..20, 1..400);
         let cluster = cluster();
         let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
 
@@ -62,16 +71,17 @@ proptest! {
         let mut combined = outcome.output;
         plain.sort_unstable();
         combined.sort_unstable();
-        prop_assert_eq!(plain, combined);
+        assert_eq!(plain, combined);
         // And it never inflates shuffle volume.
-        prop_assert!(outcome.stats.shuffle_bytes <= words.len() as u64 * 8);
-    }
+        assert!(outcome.stats.shuffle_bytes <= words.len() as u64 * 8);
+    });
+}
 
-    #[test]
-    fn simulated_time_is_monotone_in_multiplier(
-        words in proptest::collection::vec(0u32..10, 50..200),
-        mult in 1.0f64..1000.0
-    ) {
+#[test]
+fn simulated_time_is_monotone_in_multiplier() {
+    cases(0x3A03, N, |rng| {
+        let words = words(rng, 0..10, 50..200);
+        let mult = rng.f64_in(1.0..1000.0);
         let cluster = cluster();
         let run = |m: f64| {
             let mut hdfs = SimHdfs::new(1);
@@ -87,11 +97,14 @@ proptest! {
                 .trace
                 .sim_ns
         };
-        prop_assert!(run(mult) >= run(1.0), "more data never runs faster");
-    }
+        assert!(run(mult) >= run(1.0), "more data never runs faster");
+    });
+}
 
-    #[test]
-    fn map_only_preserves_record_order(records in proptest::collection::vec(0u64..1000, 0..300)) {
+#[test]
+fn map_only_preserves_record_order() {
+    cases(0x3A04, N, |rng| {
+        let records = rng.vec_u64(0..1000, 0..300);
         let cluster = cluster();
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
@@ -99,6 +112,6 @@ proptest! {
         let outcome = engine.map_only(&cfg, block_splits(&records, 8.0, 64), |r, em| {
             em.emit(*r, 8)
         });
-        prop_assert_eq!(outcome.output, records);
-    }
+        assert_eq!(outcome.output, records);
+    });
 }

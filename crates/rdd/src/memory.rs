@@ -19,11 +19,10 @@ pub fn per_executor_bytes(part_mem_full: &[u64], nodes: usize) -> Vec<u64> {
     let mut sorted: Vec<u64> = part_mem_full.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     for m in sorted {
-        let min = out
-            .iter_mut()
-            .min_by_key(|b| **b)
-            .expect("at least one executor");
-        *min += m;
+        // `out` holds nodes.max(1) >= 1 executors, so a minimum always exists.
+        if let Some(min) = out.iter_mut().min_by_key(|b| **b) {
+            *min += m;
+        }
     }
     out
 }

@@ -254,6 +254,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         let mult = self.multiplier;
         let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
         for (i, rec) in self.parts.into_iter().flatten().enumerate() {
+            // sjc-lint: allow(no-panic-in-lib) — i % n < n = parts.len()
             parts[i % n].push(rec);
         }
         let carried: SimNs = self.pending_ns.iter().sum::<SimNs>() / n.max(1) as u64;

@@ -1,22 +1,33 @@
 //! Property-based tests for the RDD engine: transformation semantics match
 //! plain iterator chains, shuffles match hash-map folds, memory accounting
-//! is monotone.
+//! is monotone (seeded `sjc-testkit` cases).
 
-use proptest::prelude::*;
 use sjc_cluster::metrics::Phase;
 use sjc_cluster::{Cluster, ClusterConfig};
 use sjc_rdd::SparkContext;
+use sjc_testkit::{cases, TestRng};
 use std::collections::BTreeMap;
+
+const N: usize = 64;
 
 fn cluster() -> Cluster {
     Cluster::new(ClusterConfig::workstation())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn pairs(
+    rng: &mut TestRng,
+    keys: std::ops::Range<u64>,
+    vals: std::ops::Range<u64>,
+    len: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    let n = rng.usize_in(len);
+    (0..n).map(|_| (rng.u64_in(keys.clone()), rng.u64_in(vals.clone()))).collect()
+}
 
-    #[test]
-    fn map_filter_matches_iterators(xs in proptest::collection::vec(0u64..10_000, 0..500)) {
+#[test]
+fn map_filter_matches_iterators() {
+    cases(0x4D01, N, |rng| {
+        let xs = rng.vec_u64(0..10_000, 0..500);
         let cluster = cluster();
         let mut ctx = SparkContext::new(&cluster);
         let mut got = ctx
@@ -28,11 +39,14 @@ proptest! {
         got.sort_unstable();
         let mut expected: Vec<u64> = xs.iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn group_by_key_matches_btreemap(pairs in proptest::collection::vec((0u64..30, 0u64..1000), 0..400)) {
+#[test]
+fn group_by_key_matches_btreemap() {
+    cases(0x4D02, N, |rng| {
+        let pairs = pairs(rng, 0..30, 0..1000, 0..400);
         let cluster = cluster();
         let mut ctx = SparkContext::new(&cluster);
         let grouped = ctx
@@ -56,11 +70,14 @@ proptest! {
                 (k, vs)
             })
             .collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn reduce_by_key_matches_fold(pairs in proptest::collection::vec((0u64..20, 0u64..100), 0..300)) {
+#[test]
+fn reduce_by_key_matches_fold() {
+    cases(0x4D03, N, |rng| {
+        let pairs = pairs(rng, 0..20, 0..100, 0..300);
         let cluster = cluster();
         let mut ctx = SparkContext::new(&cluster);
         let reduced = ctx
@@ -74,14 +91,15 @@ proptest! {
             *expected.entry(k).or_default() += v;
         }
         let got: BTreeMap<u64, u64> = reduced.into_iter().collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn join_matches_nested_loops(
-        left in proptest::collection::vec((0u64..12, 0u64..50), 0..60),
-        right in proptest::collection::vec((0u64..12, 100u64..150), 0..60)
-    ) {
+#[test]
+fn join_matches_nested_loops() {
+    cases(0x4D04, N, |rng| {
+        let left = pairs(rng, 0..12, 0..50, 0..60);
+        let right = pairs(rng, 0..12, 100..150, 0..60);
         let cluster = cluster();
         let mut ctx = SparkContext::new(&cluster);
         let l = ctx.read_text(left.clone(), left.len() as u64 * 16, 1.0);
@@ -101,38 +119,40 @@ proptest! {
             }
         }
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn memory_footprint_scales_with_multiplier(
-        xs in proptest::collection::vec(0u64..100, 1..200),
-        mult in 1.0f64..10_000.0
-    ) {
+#[test]
+fn memory_footprint_scales_with_multiplier() {
+    cases(0x4D05, N, |rng| {
+        let xs = rng.vec_u64(0..100, 1..200);
+        let mult = rng.f64_in(1.0..10_000.0);
         let cluster = cluster();
         let mut ctx = SparkContext::new(&cluster);
         let small = ctx.read_text(xs.clone(), xs.len() as u64 * 8, 1.0).mem_full_total();
         let mut ctx2 = SparkContext::new(&cluster);
         let big = ctx2.read_text(xs, 0, mult).mem_full_total();
         // Allow integer rounding slack on tiny inputs.
-        prop_assert!(big as f64 >= small as f64 * (mult - 1.0).max(1.0) * 0.5);
-    }
+        assert!(big as f64 >= small as f64 * (mult - 1.0).max(1.0) * 0.5);
+    });
+}
 
-    #[test]
-    fn sample_fraction_bounds_hold(
-        xs in proptest::collection::vec(0u64..1000, 200..800),
-        fraction in 0.0f64..1.0
-    ) {
+#[test]
+fn sample_fraction_bounds_hold() {
+    cases(0x4D06, N, |rng| {
+        let xs = rng.vec_u64(0..1000, 200..800);
+        let fraction = rng.f64_in(0.0..1.0);
         let cluster = cluster();
         let ctx = SparkContext::new(&cluster);
         let mut ctx2 = SparkContext::new(&cluster);
         let rdd = ctx2.read_text(xs.clone(), xs.len() as u64 * 8, 1.0);
         let sampled = rdd.sample(&ctx, fraction, 99);
         let n = sampled.count();
-        prop_assert!(n <= xs.len());
+        assert!(n <= xs.len());
         // Loose concentration bound: within ±40% + 20 of the expectation.
         let exp = fraction * xs.len() as f64;
-        prop_assert!((n as f64) <= exp * 1.4 + 20.0, "n={n} exp={exp}");
-        prop_assert!((n as f64) >= exp * 0.6 - 20.0, "n={n} exp={exp}");
-    }
+        assert!((n as f64) <= exp * 1.4 + 20.0, "n={n} exp={exp}");
+        assert!((n as f64) >= exp * 0.6 - 20.0, "n={n} exp={exp}");
+    });
 }

@@ -1,0 +1,102 @@
+//! Tier-1 lint gate.
+//!
+//! Two halves, both of which must hold for the simulated results to be
+//! trustworthy:
+//!
+//! 1. the workspace itself is clean under `sjc-lint` — every remaining
+//!    panic/nondeterminism site is an audited, reasoned suppression;
+//! 2. the checker actually works — each named rule fires on seeded bad code
+//!    (otherwise a silently broken scanner would make gate 1 vacuous).
+
+use std::path::Path;
+
+use sjc_lint::{check_file, check_workspace, Rule};
+
+/// The gate: `cargo test -q` fails if any workspace source regresses.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = check_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        violations.is_empty(),
+        "sjc-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}
+
+fn rules_fired(rel_path: &str, src: &str) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = check_file(rel_path, src).into_iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn no_nondeterminism_fires_on_seeded_bad_code() {
+    for bad in [
+        "use std::collections::HashMap;\n",
+        "let t = std::time::Instant::now();\n",
+        "let mut rng = rand::thread_rng();\n",
+    ] {
+        let fired = rules_fired("crates/cluster/src/fixture.rs", bad);
+        assert!(fired.contains(&Rule::NoNondeterminism), "{bad:?} -> {fired:?}");
+    }
+    // Deterministic alternatives pass.
+    assert!(rules_fired("crates/cluster/src/fixture.rs", "use std::collections::BTreeMap;\n")
+        .is_empty());
+}
+
+#[test]
+fn no_panic_in_lib_fires_on_seeded_bad_code() {
+    for bad in [
+        "let x = opt.unwrap();\n",
+        "let x = res.expect(\"always\");\n",
+        "panic!(\"boom\");\n",
+        "unreachable!();\n",
+        "let x = items[i];\n",
+    ] {
+        let fired = rules_fired("crates/geom/src/fixture.rs", bad);
+        assert!(fired.contains(&Rule::NoPanicInLib), "{bad:?} -> {fired:?}");
+    }
+    // The same code in a test harness file is fine.
+    assert!(rules_fired("crates/geom/tests/fixture.rs", "let x = opt.unwrap();\n").is_empty());
+}
+
+#[test]
+fn float_hygiene_fires_on_seeded_bad_code() {
+    let fired = rules_fired("crates/geom/src/fixture.rs", "if area == 0.0 { return; }\n");
+    assert!(fired.contains(&Rule::FloatHygiene), "{fired:?}");
+    // Integer comparisons and epsilon helpers pass.
+    assert!(rules_fired("crates/geom/src/fixture.rs", "if n == 0 { return; }\n").is_empty());
+    assert!(rules_fired("crates/geom/src/fixture.rs", "if approx_zero(area) { return; }\n")
+        .is_empty());
+}
+
+#[test]
+fn bench_isolation_fires_on_seeded_bad_code() {
+    // Wall-clock reads outside crates/bench are flagged...
+    let fired = rules_fired("crates/testkit/src/fixture.rs", "let t0 = Instant::now();\n");
+    assert!(fired.contains(&Rule::BenchIsolation), "{fired:?}");
+    // ...and the bench harness itself is exempt.
+    assert!(rules_fired("crates/bench/src/fixture.rs", "let t0 = Instant::now();\n").is_empty());
+}
+
+#[test]
+fn bad_suppression_fires_on_seeded_bad_code() {
+    // A reasonless allow is itself a violation and does not suppress.
+    let vs = check_file("crates/geom/src/fixture.rs", "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n");
+    assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression), "{vs:?}");
+    assert!(vs.iter().any(|v| v.rule == Rule::NoPanicInLib), "{vs:?}");
+    // An unknown rule name is a violation.
+    let vs = check_file(
+        "crates/geom/src/fixture.rs",
+        "let x = v[0]; // sjc-lint: allow(no-such-rule) — justified at length\n",
+    );
+    assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression), "{vs:?}");
+    // A well-formed reasoned allow suppresses cleanly.
+    let vs = check_file(
+        "crates/geom/src/fixture.rs",
+        "let x = v[0]; // sjc-lint: allow(no-panic-in-lib) — v is non-empty by construction\n",
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}

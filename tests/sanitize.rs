@@ -1,0 +1,97 @@
+//! Runtime invariant sanitizer coverage (`sanitize` feature).
+//!
+//! The workspace test suite enables `sanitize` on `sjc-geom`, `sjc-index`
+//! and `sjc-cluster` (see the root `Cargo.toml` dev-dependencies), turning
+//! the static lint's structural assumptions into executable `debug_assert!`s.
+//! These tests prove both directions: corruption actually trips the checks,
+//! and the seed data pipeline runs clean under them.
+
+use sjc_cluster::scheduler::{lpt_makespan, replicated_makespan};
+use sjc_cluster::SimHdfs;
+use sjc_data::{DatasetId, ScaledDataset};
+use sjc_geom::{Mbr, Point};
+use sjc_index::{IndexEntry, RTree};
+
+/// An inverted MBR built by bypassing the normalizing constructor — the
+/// corruption an index must refuse to swallow.
+fn inverted_mbr() -> Mbr {
+    Mbr { min_x: 1.0, min_y: 1.0, max_x: 0.0, max_y: 0.0 }
+}
+
+// `debug_assert!` only exists in builds with debug-assertions (the tier-1
+// `cargo test -q` dev profile); under `--release` the corruption tests
+// would not panic, so they are compiled out there.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "sanitize: MBR with NaN bounds")]
+fn nan_coordinate_trips_mbr_sanitizer() {
+    let _ = Point::new(f64::NAN, 1.0).mbr();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "inverted/empty MBR")]
+fn inverted_entry_trips_rtree_insert_sanitizer() {
+    let mut tree = RTree::new_dynamic();
+    tree.insert(IndexEntry::new(0, inverted_mbr()));
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "inverted/empty MBR")]
+fn inverted_entry_trips_rtree_bulk_load_sanitizer() {
+    let _ = RTree::bulk_load_str(vec![
+        IndexEntry::new(0, Mbr::new(0.0, 0.0, 1.0, 1.0)),
+        IndexEntry::new(1, inverted_mbr()),
+    ]);
+}
+
+/// Seed datasets build, index and query without tripping a single
+/// assertion: the invariants hold on the real pipeline, not just on toys.
+#[test]
+fn seed_datasets_run_clean_under_sanitizer() {
+    for id in [DatasetId::Taxi, DatasetId::Nycb, DatasetId::Edges] {
+        let ds = ScaledDataset::generate(id, 2e-5, 42);
+        assert!(!ds.geoms.is_empty(), "{id:?} generated no geometry");
+
+        let entries: Vec<IndexEntry> = ds
+            .geoms
+            .iter()
+            .enumerate()
+            .map(|(i, g)| IndexEntry::new(i as u64, g.mbr()))
+            .collect();
+
+        // Both construction modes walk every sanitize hook.
+        let bulk = RTree::bulk_load_str(entries.clone());
+        let mut dynamic = RTree::new_dynamic();
+        for e in entries {
+            dynamic.insert(e);
+        }
+        assert_eq!(bulk.len(), dynamic.len());
+
+        let probe = ds.domain;
+        assert_eq!(bulk.query(&probe).len(), ds.geoms.len());
+        assert_eq!(dynamic.query(&probe).len(), ds.geoms.len());
+    }
+}
+
+#[test]
+fn scheduler_and_hdfs_run_clean_under_sanitizer() {
+    let tasks: Vec<u64> = (1..200).map(|i| (i * 7919) % 1000 + 1).collect();
+    let lpt = lpt_makespan(&tasks, 16);
+    assert!(lpt > 0);
+    // Monotone-in-multiplier extrapolation exercises the start-time check.
+    let mut prev = 0;
+    for step in 0..50 {
+        let m = replicated_makespan(&tasks, 16, 1.0 + step as f64 * 0.5);
+        assert!(m >= prev, "extrapolation must stay monotone");
+        prev = m;
+    }
+
+    let mut hdfs = SimHdfs::new(8);
+    // Multi-block, single-block and empty files all satisfy block accounting.
+    for (name, bytes) in [("big", 200 << 20), ("small", 4 << 10), ("empty", 0u64)] {
+        let f = hdfs.write_file(name, bytes, bytes / 100);
+        assert_eq!(f.bytes, bytes);
+    }
+}
