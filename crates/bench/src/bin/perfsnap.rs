@@ -1,0 +1,202 @@
+//! `perfsnap` — one-shot host-performance snapshot of the hot suites.
+//!
+//! Runs the `local_join` and `systems_e2e` workloads once at
+//! `SJC_PAR_THREADS=1` and once at the full hardware thread budget, and
+//! writes `BENCH_baseline.json` at the repo root mapping each run to
+//! `{wall_ms, sim_ns, threads}`. Two invariants are checked while
+//! measuring:
+//!
+//! * **simulation is thread-count independent** — `sim_ns` of the e2e suite
+//!   must be bit-identical at every thread budget (the process exits
+//!   non-zero otherwise);
+//! * **parallelism pays** — the printed speedup column is the serial wall
+//!   over the parallel wall (≈1.0 on a single-core host, ≥2× expected on
+//!   multi-core machines).
+//!
+//! ```text
+//! cargo run --release -p sjc-bench --bin perfsnap            # write BENCH_baseline.json
+//! cargo run --release -p sjc-bench --bin perfsnap -- --out snap.json --threads 4
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sjc_bench::microbench::black_box;
+use sjc_core::experiment::ExperimentGrid;
+use sjc_core::json::Json;
+use sjc_data::rng::StdRng;
+use sjc_data::{DatasetId, ScaledDataset};
+use sjc_geom::Mbr;
+use sjc_index::entry::IndexEntry;
+use sjc_index::join::plane_sweep;
+
+/// Experiment scale for the e2e suite: small enough for a quick snapshot,
+/// large enough that the grid dominates process startup.
+const SCALE: f64 = 1e-4;
+const SEED: u64 = 20150701;
+
+/// One measured run of a suite.
+struct Snap {
+    suite: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    sim_ns: u64,
+}
+
+fn random_entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>() * extent;
+            let y = rng.gen::<f64>() * extent;
+            IndexEntry::new(
+                i as u64,
+                Mbr::new(x, y, x + rng.gen::<f64>() * side, y + rng.gen::<f64>() * side),
+            )
+        })
+        .collect()
+}
+
+/// The `local_join` suite: plane-sweep at partition scale. Host-only work —
+/// no simulation — so `sim_ns` is 0 by definition.
+fn run_local_join() -> u64 {
+    let left = random_entries(60_000, 21, 1000.0, 3.0);
+    let right = random_entries(30_000, 22, 1000.0, 3.0);
+    let mut acc = 0usize;
+    for _ in 0..3 {
+        acc += plane_sweep(black_box(&left), black_box(&right)).pairs.len();
+    }
+    black_box(acc);
+    0
+}
+
+/// The `data_gen` suite: the two-phase parallel generators, uncached (the
+/// cache would hide the work being measured). Host-only; `sim_ns` is 0.
+fn run_data_gen() -> u64 {
+    for id in [DatasetId::Taxi1m, DatasetId::Edges01, DatasetId::Linearwater01] {
+        let ds = ScaledDataset::generate(id, SCALE, SEED ^ 0x5AD);
+        black_box(ds.geoms.len());
+    }
+    0
+}
+
+/// The `systems_e2e` suite: the full Table-2 grid. Returns the summed
+/// simulated nanoseconds of every successful cell — the value that must not
+/// depend on the thread budget.
+fn run_systems_e2e() -> u64 {
+    let grid = ExperimentGrid { scale: SCALE, seed: SEED };
+    grid.table2()
+        .iter()
+        .filter_map(|c| c.outcome.as_ref().ok())
+        .map(|s| s.trace.total_ns())
+        .sum()
+}
+
+fn measure(suite: &'static str, threads: usize, run: fn() -> u64) -> Snap {
+    sjc_par::set_global_threads(threads);
+    let start = Instant::now();
+    let sim_ns = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    sjc_par::set_global_threads(0);
+    Snap { suite, threads, wall_ms, sim_ns }
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut hw = sjc_par::hardware_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--threads" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => hw = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "perfsnap — wall-clock snapshot of the hot suites\n\n\
+                     USAGE: perfsnap [--out PATH] [--threads N]\n\n\
+                     Runs local_join / data_gen / systems_e2e once serially and\n\
+                     once at N threads (default: hardware), checks the simulated\n\
+                     numbers are thread-count independent, and writes\n\
+                     {{bench: {{wall_ms, sim_ns, threads}}}} to PATH\n\
+                     (default BENCH_baseline.json)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    type Suite = (&'static str, fn() -> u64);
+    let suites: [Suite; 3] = [
+        ("local_join", run_local_join),
+        ("data_gen", run_data_gen),
+        ("systems_e2e", run_systems_e2e),
+    ];
+
+    // Warm-up pass: fills the dataset cache and faults in code/data so both
+    // timed passes below measure compute, not first-touch costs.
+    sjc_par::set_global_threads(1);
+    for (_, run) in suites {
+        black_box(run());
+    }
+    sjc_par::set_global_threads(0);
+
+    let mut snaps: Vec<Snap> = Vec::new();
+    println!("{:<14} {:>8} {:>12} {:>16} {:>9}", "suite", "threads", "wall_ms", "sim_ns", "speedup");
+    for (suite, run) in suites {
+        let serial = measure(suite, 1, run);
+        let parallel = measure(suite, hw, run);
+        if serial.sim_ns != parallel.sim_ns {
+            eprintln!(
+                "perfsnap: {suite}: simulated time depends on the thread budget \
+                 ({} ns at 1 thread vs {} ns at {hw}) — determinism violation",
+                serial.sim_ns, parallel.sim_ns
+            );
+            return ExitCode::FAILURE;
+        }
+        let speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
+        for s in [&serial, &parallel] {
+            println!(
+                "{:<14} {:>8} {:>12.2} {:>16} {:>9}",
+                s.suite,
+                s.threads,
+                s.wall_ms,
+                s.sim_ns,
+                if s.threads == 1 { "-".to_string() } else { format!("{speedup:.2}x") }
+            );
+        }
+        snaps.push(serial);
+        snaps.push(parallel);
+    }
+
+    let fields: Vec<(String, Json)> = snaps
+        .iter()
+        .map(|s| {
+            (
+                format!("{}@{}", s.suite, s.threads),
+                Json::obj(vec![
+                    ("wall_ms", Json::Float((s.wall_ms * 100.0).round() / 100.0)),
+                    ("sim_ns", Json::Int(s.sim_ns)),
+                    ("threads", Json::Int(s.threads as u64)),
+                ]),
+            )
+        })
+        .collect();
+    let json = Json::Obj(fields);
+    if let Err(e) = std::fs::write(&out_path, json.to_string_pretty() + "\n") {
+        eprintln!("perfsnap: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("perfsnap: wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("perfsnap: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -2,7 +2,7 @@
 
 use sjc_cluster::metrics::Phase;
 use sjc_cluster::{Cluster, ClusterConfig, RunTrace, SimError};
-use sjc_data::{DatasetId, ScaledDataset};
+use sjc_data::DatasetId;
 
 use crate::framework::{DistributedSpatialJoin, JoinInput, JoinPredicate};
 use crate::hadoopgis::HadoopGis;
@@ -74,9 +74,15 @@ impl Workload {
     }
 
     /// Generates both inputs at `scale` with deterministic seeds.
+    ///
+    /// Both sides come from the process-wide dataset cache (repeat
+    /// preparations of the same workload/scale/seed are free) and cache
+    /// misses for the two sides generate concurrently.
     pub fn prepare(&self, scale: f64, seed: u64) -> (JoinInput, JoinInput) {
-        let l = ScaledDataset::generate(self.left, scale, seed);
-        let r = ScaledDataset::generate(self.right, scale, seed);
+        let (l, r) = sjc_par::join(
+            || sjc_data::generate_cached(self.left, scale, seed),
+            || sjc_data::generate_cached(self.right, scale, seed),
+        );
         (JoinInput::from_dataset(&l), JoinInput::from_dataset(&r))
     }
 }

@@ -113,11 +113,16 @@ impl HadoopGis {
         // Step 2: sample MBRs (systematic 1-in-k, k sized for ~10 samples
         // per partition).
         let stride = (input.records.len() / (10 * self.partitions)).max(1);
-        let mut counter = 0usize;
+        // The sampled lines are every `stride`-th line in job order; taking
+        // them from `tsv` up front keeps the mapper a pure (`Fn + Sync`)
+        // membership test so the host can run map tasks in parallel. Lines
+        // are unique (they start with the record id), so the set selects
+        // exactly the lines the old 1-in-k invocation counter did.
+        let keep: std::collections::BTreeSet<&str> =
+            tsv.iter().step_by(stride).map(|s| s.as_str()).collect();
         let cfg2 = JobConfig::new(format!("{}: 2 sample MBRs", input.name), phase, input.multiplier);
         let sampled = streaming.map_only(&cfg2, block_splits(&tsv, bpr, block), |l| {
-            counter += 1;
-            if (counter - 1).is_multiple_of(stride) {
+            if keep.contains(l) {
                 vec![l.split('\t').next().unwrap_or("0").to_string()]
             } else {
                 Vec::new()

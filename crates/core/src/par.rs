@@ -1,75 +1,21 @@
-//! Deterministic data parallelism on std threads.
+//! Compat shim over the [`sjc_par`] deterministic parallel runtime.
 //!
-//! A minimal replacement for the `rayon` idioms the workspace used
-//! (`par_iter().map().collect()`): [`par_map`] fans a pure function out over
-//! scoped threads and collects results **in input order**, so parallel and
-//! serial execution are bit-identical — the property the determinism
-//! integration tests pin down.
+//! Historically this module carried the workspace's only parallel primitive
+//! (a per-item atomic-cursor `par_map`). The runtime now lives in the
+//! dedicated `sjc-par` crate — chunked range claiming on a cache-line-padded
+//! cursor, plus flat-map / stable sort / fixed-shape reduce — and this module
+//! re-exports the map primitive so existing `crate::par::par_map` call sites
+//! keep working. The contract is unchanged and documented here on purpose:
+//! **`par_map` is order-preserving** (slot `i` holds `f(&items[i])`), so
+//! parallel and serial execution are bit-identical at every thread count —
+//! the property the determinism integration tests pin down.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads to use for `n` items.
-fn workers(n: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    hw.min(n).max(1)
-}
-
-/// Applies `f` to every item of `items` in parallel, returning outputs in
-/// input order. `f` must be pure (the callers' items are independent
-/// simulation cells / candidate pairs), so scheduling order cannot affect
-/// the result.
+/// Applies `f` to every item of `items` in parallel (chunk-claimed, order
+/// preserving), returning outputs in input order. Thread budget comes from
+/// `sjc_par::Budget::resolve()` (`SJC_PAR_THREADS` / global override / hw).
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = workers(n);
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-
-    // Work-stealing by atomic cursor: threads claim the next unprocessed
-    // index and write its result into a preallocated slot, preserving order.
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots_ptr = SendSlots(slots.as_mut_ptr());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let f = &f;
-            let slots_ptr = &slots_ptr;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // sjc-lint: allow(no-panic-in-lib) — the break above guarantees i < n = items.len()
-                let out = f(&items[i]);
-                // SAFETY: each index is claimed by exactly one thread (the
-                // atomic fetch_add hands out distinct indices), so no two
-                // threads write the same slot, and the scope outlives all
-                // writers before `slots` is read again.
-                unsafe { *slots_ptr.0.add(i) = Some(out) };
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|s| match s {
-            Some(v) => v,
-            // Unreachable: every index in 0..n is claimed and filled above.
-            None => unreachable!("par_map slot left unfilled"), // sjc-lint: allow(no-panic-in-lib) — structurally impossible; every index is claimed by the atomic cursor
-        })
-        .collect()
+    sjc_par::par_map(items, f)
 }
-
-/// Raw-pointer wrapper so the slot array can be shared with scoped threads.
-struct SendSlots<U>(*mut Option<U>);
-// SAFETY: disjoint-index writes only, synchronized by the thread scope join.
-unsafe impl<U: Send> Sync for SendSlots<U> {}
 
 #[cfg(test)]
 mod tests {

@@ -20,6 +20,7 @@
 //! record counts and byte sizes; [`catalog::ScaledDataset`] pairs generated
 //! geometry with its extrapolation multiplier for the cost model.
 
+pub mod cache;
 pub mod catalog;
 pub mod census;
 pub mod io;
@@ -29,5 +30,6 @@ pub mod taxi;
 pub mod tiger;
 pub mod tsv;
 
+pub use cache::generate_cached;
 pub use catalog::{DatasetId, DatasetSpec, ScaledDataset};
 pub use profile::DatasetProfile;

@@ -11,6 +11,11 @@
 
 use std::ops::{Range, RangeInclusive};
 
+/// SplitMix64's fixed state increment: the state advances by this constant
+/// per output regardless of the value drawn, which is what makes exact
+/// O(1) jump-ahead ([`StdRng::skip`]) possible.
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
 /// A deterministic seeded generator (SplitMix64, public-domain algorithm by
 /// Sebastiano Vigna). The name mirrors `rand::rngs::StdRng` to keep the
 /// generator call-sites idiomatic.
@@ -25,9 +30,27 @@ impl StdRng {
         StdRng { state: seed }
     }
 
+    /// Raw generator state — snapshot it with this and resume with
+    /// [`StdRng::from_state`] to split one stream across threads without
+    /// changing a single draw.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a previously snapshotted [`StdRng::state`].
+    pub fn from_state(state: u64) -> Self {
+        StdRng { state }
+    }
+
+    /// Skips `draws` outputs in O(1). Exact: SplitMix64 adds a fixed
+    /// increment to its state per output, so skipping is one multiply.
+    pub fn skip(&mut self, draws: u64) {
+        self.state = self.state.wrapping_add(GOLDEN.wrapping_mul(draws));
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        self.state = self.state.wrapping_add(GOLDEN);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -136,6 +159,30 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn skip_equals_serial_draws() {
+        for &(seed, n) in &[(0u64, 0u64), (7, 1), (42, 13), (u64::MAX, 1000)] {
+            let mut stepped = StdRng::seed_from_u64(seed);
+            for _ in 0..n {
+                let _ = stepped.next_u64();
+            }
+            let mut skipped = StdRng::seed_from_u64(seed);
+            skipped.skip(n);
+            assert_eq!(skipped.next_u64(), stepped.next_u64(), "seed {seed} n {n}");
+        }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let _ = rng.next_u64();
+        let snap = rng.state();
+        let expected: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(snap);
+        let got: Vec<u64> = (0..10).map(|_| resumed.next_u64()).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -25,40 +25,59 @@ const HOTSPOTS: [(f64, f64, f64); 3] = [
 const HOTSPOT_WEIGHTS: [f64; 3] = [0.55, 0.27, 0.18];
 
 /// Generates `n` pickup points inside `domain`.
+///
+/// Two-phase parallel, stream-exact: a cheap serial pass snapshots the RNG
+/// state at each point and skips over the draws that point will consume
+/// (SplitMix64 skips in O(1)); the expensive sampling (Box–Muller `ln`,
+/// `sqrt`, `cos`) then reruns per point concurrently from its snapshot.
+/// The draw sequence — and therefore every coordinate — is bit-identical
+/// to a single-threaded scan, and `rng` ends in the same state.
 pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
+    let mut starts = Vec::with_capacity(n);
+    for _ in 0..n {
+        starts.push(rng.state());
+        let hotspot = rng.gen::<f64>() < HOTSPOT_MASS;
+        // Hotspot: weight pick + two Box–Muller normals (2 draws each);
+        // background: uniform x and y.
+        rng.skip(if hotspot { 5 } else { 2 });
+    }
+    sjc_par::par_map(&starts, |&s| {
+        let mut r = StdRng::from_state(s);
+        Geometry::Point(sample_point(&mut r, domain))
+    })
+}
+
+/// Draws one pickup point — the draw structure mirrored by the skip pass in
+/// [`generate`]: 1 branch draw, then 5 (hotspot) or 2 (background) more.
+fn sample_point(rng: &mut StdRng, domain: Mbr) -> Point {
     let w = domain.width();
     let h = domain.height();
-    (0..n)
-        .map(|_| {
-            let p = if rng.gen::<f64>() < HOTSPOT_MASS {
-                // Pick a hotspot by weight.
-                let mut pick = rng.gen::<f64>();
-                let mut idx = 0;
-                for (i, &wt) in HOTSPOT_WEIGHTS.iter().enumerate() {
-                    if pick < wt {
-                        idx = i;
-                        break;
-                    }
-                    pick -= wt;
-                    idx = i;
-                }
-                // sjc-lint: allow(no-panic-in-lib) — idx comes from enumerating HOTSPOT_WEIGHTS, which matches HOTSPOTS in length
-                let (cx, cy, sigma) = HOTSPOTS[idx];
-                let x = domain.min_x + (cx + sample_normal(rng) * sigma) * w;
-                let y = domain.min_y + (cy + sample_normal(rng) * sigma) * h;
-                Point::new(
-                    x.clamp(domain.min_x, domain.max_x),
-                    y.clamp(domain.min_y, domain.max_y),
-                )
-            } else {
-                Point::new(
-                    domain.min_x + rng.gen::<f64>() * w,
-                    domain.min_y + rng.gen::<f64>() * h,
-                )
-            };
-            Geometry::Point(p)
-        })
-        .collect()
+    if rng.gen::<f64>() < HOTSPOT_MASS {
+        // Pick a hotspot by weight.
+        let mut pick = rng.gen::<f64>();
+        let mut idx = 0;
+        for (i, &wt) in HOTSPOT_WEIGHTS.iter().enumerate() {
+            if pick < wt {
+                idx = i;
+                break;
+            }
+            pick -= wt;
+            idx = i;
+        }
+        // sjc-lint: allow(no-panic-in-lib) — idx comes from enumerating HOTSPOT_WEIGHTS, which matches HOTSPOTS in length
+        let (cx, cy, sigma) = HOTSPOTS[idx];
+        let x = domain.min_x + (cx + sample_normal(rng) * sigma) * w;
+        let y = domain.min_y + (cy + sample_normal(rng) * sigma) * h;
+        Point::new(
+            x.clamp(domain.min_x, domain.max_x),
+            y.clamp(domain.min_y, domain.max_y),
+        )
+    } else {
+        Point::new(
+            domain.min_x + rng.gen::<f64>() * w,
+            domain.min_y + rng.gen::<f64>() * h,
+        )
+    }
 }
 
 /// Minimal Box–Muller standard normal sampler (keeps the dependency surface
@@ -88,6 +107,24 @@ mod tests {
             })
             .collect();
         (domain, pts)
+    }
+
+    #[test]
+    fn parallel_generation_matches_single_pass_stream() {
+        // Ground truth: the pre-parallel generator — one RNG scan, no
+        // snapshots or skips.
+        let serial = |rng: &mut StdRng, domain: Mbr, n: usize| -> Vec<Geometry> {
+            (0..n).map(|_| Geometry::Point(sample_point(rng, domain))).collect()
+        };
+        let domain = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+        for seed in [0u64, 7, 20150701] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let par = generate(&mut a, domain, 3000);
+            let ser = serial(&mut b, domain, 3000);
+            assert_eq!(par, ser, "seed {seed}: coordinates must be bit-identical");
+            assert_eq!(a, b, "seed {seed}: final RNG state must match");
+        }
     }
 
     #[test]

@@ -21,19 +21,18 @@ pub fn generate_edges(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> 
     // Street spacing derived from density: roads per unit area fixed, so
     // segment length scales with the domain like a real street grid.
     let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 0.8;
-    (0..n)
-        .map(|_| {
-            let verts = rng.gen_range(EDGE_VERTICES.0..=EDGE_VERTICES.1);
-            // Roads prefer axis directions (a loose Manhattan grid).
-            let axis = rng.gen_bool(0.7);
-            let base_angle = if axis {
-                if rng.gen_bool(0.5) { 0.0 } else { std::f64::consts::FRAC_PI_2 }
-            } else {
-                rng.gen::<f64>() * std::f64::consts::TAU
-            };
-            Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64, base_angle, 0.15))
-        })
-        .collect()
+    // Per record after the vertex-count draw: axis + angle (2 draws, both
+    // branches), then the walk (2 start draws + 2 per added vertex).
+    par_walks(rng, n, EDGE_VERTICES, |verts| 2 + walk_draws(verts), move |r, verts| {
+        // Roads prefer axis directions (a loose Manhattan grid).
+        let axis = r.gen_bool(0.7);
+        let base_angle = if axis {
+            if r.gen_bool(0.5) { 0.0 } else { std::f64::consts::FRAC_PI_2 }
+        } else {
+            r.gen::<f64>() * std::f64::consts::TAU
+        };
+        walk(r, domain, verts, seg_len / verts as f64, base_angle, 0.15)
+    })
 }
 
 /// Generates `n` water polylines: long correlated meanders.
@@ -41,13 +40,42 @@ pub fn generate_linearwater(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geom
     // Waters are sparse but long: total length comparable to a road cell's
     // diagonal times a few.
     let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 1.5;
-    (0..n)
-        .map(|_| {
-            let verts = rng.gen_range(WATER_VERTICES.0..=WATER_VERTICES.1);
-            let base_angle = rng.gen::<f64>() * std::f64::consts::TAU;
-            Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35))
-        })
-        .collect()
+    // Per record after the vertex-count draw: one angle draw plus the walk.
+    par_walks(rng, n, WATER_VERTICES, |verts| 1 + walk_draws(verts), move |r, verts| {
+        let base_angle = r.gen::<f64>() * std::f64::consts::TAU;
+        walk(r, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35)
+    })
+}
+
+/// Draws consumed by [`walk`]: start x/y plus angle-and-length per vertex.
+fn walk_draws(verts: usize) -> u64 {
+    2 + (verts.max(2) as u64 - 1) * 2
+}
+
+/// Two-phase parallel polyline generation, stream-exact with the old serial
+/// loop: a serial pass snapshots the RNG per record — drawing only the
+/// vertex count, then skipping that record's remaining draws in O(1) — and
+/// the trigonometry-heavy walks rebuild concurrently from the snapshots.
+/// Both the emitted geometry and `rng`'s final state are bit-identical to a
+/// single-threaded scan.
+fn par_walks(
+    rng: &mut StdRng,
+    n: usize,
+    verts_range: (usize, usize),
+    draws_after_verts: impl Fn(usize) -> u64,
+    build: impl Fn(&mut StdRng, usize) -> LineString + Sync,
+) -> Vec<Geometry> {
+    let mut starts = Vec::with_capacity(n);
+    for _ in 0..n {
+        starts.push(rng.state());
+        let verts = rng.gen_range(verts_range.0..=verts_range.1);
+        rng.skip(draws_after_verts(verts));
+    }
+    sjc_par::par_map(&starts, |&s| {
+        let mut r = StdRng::from_state(s);
+        let verts = r.gen_range(verts_range.0..=verts_range.1);
+        Geometry::LineString(build(&mut r, verts))
+    })
 }
 
 /// A correlated random walk of `verts` vertices with mean step `step` and
@@ -99,6 +127,48 @@ mod tests {
                 other => panic!("expected polylines, got {}", other.kind()),
             })
             .collect()
+    }
+
+    #[test]
+    fn parallel_generation_matches_single_pass_stream() {
+        // Ground truth: the pre-parallel generators — one RNG scan each.
+        let serial_edges = |rng: &mut StdRng, domain: Mbr, n: usize| -> Vec<Geometry> {
+            let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 0.8;
+            (0..n)
+                .map(|_| {
+                    let verts = rng.gen_range(EDGE_VERTICES.0..=EDGE_VERTICES.1);
+                    let axis = rng.gen_bool(0.7);
+                    let base_angle = if axis {
+                        if rng.gen_bool(0.5) { 0.0 } else { std::f64::consts::FRAC_PI_2 }
+                    } else {
+                        rng.gen::<f64>() * std::f64::consts::TAU
+                    };
+                    Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64, base_angle, 0.15))
+                })
+                .collect()
+        };
+        let serial_water = |rng: &mut StdRng, domain: Mbr, n: usize| -> Vec<Geometry> {
+            let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 1.5;
+            (0..n)
+                .map(|_| {
+                    let verts = rng.gen_range(WATER_VERTICES.0..=WATER_VERTICES.1);
+                    let base_angle = rng.gen::<f64>() * std::f64::consts::TAU;
+                    Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35))
+                })
+                .collect()
+        };
+        let domain = Mbr::new(0.0, 0.0, 10_000.0, 10_000.0);
+        for seed in [0u64, 5, 20150701] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(generate_edges(&mut a, domain, 500), serial_edges(&mut b, domain, 500));
+            assert_eq!(a, b, "edges: final RNG state must match");
+            assert_eq!(
+                generate_linearwater(&mut a, domain, 200),
+                serial_water(&mut b, domain, 200)
+            );
+            assert_eq!(a, b, "linearwater: final RNG state must match");
+        }
     }
 
     #[test]

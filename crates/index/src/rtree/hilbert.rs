@@ -63,16 +63,16 @@ impl RTree {
         let n = (1u32 << ORDER) as f64;
         let w = domain.width().max(f64::MIN_POSITIVE);
         let h = domain.height().max(f64::MIN_POSITIVE);
-        let mut keyed: Vec<(u64, IndexEntry)> = entries
-            .into_iter()
-            .map(|e| {
-                let c = e.mbr.center();
-                let gx = (((c.x - domain.min_x) / w * (n - 1.0)) as u32).min((1 << ORDER) - 1);
-                let gy = (((c.y - domain.min_y) / h * (n - 1.0)) as u32).min((1 << ORDER) - 1);
-                (hilbert_d(ORDER, gx, gy), e)
-            })
-            .collect();
-        keyed.sort_by_key(|&(d, _)| d);
+        // Keying (a Hilbert encode per entry) and the sort both run on the
+        // sjc-par runtime; par_sort_by is stable like `sort_by_key`, so the
+        // packed layout matches the serial build at every thread count.
+        let mut keyed: Vec<(u64, IndexEntry)> = sjc_par::par_map(&entries, |e| {
+            let c = e.mbr.center();
+            let gx = (((c.x - domain.min_x) / w * (n - 1.0)) as u32).min((1 << ORDER) - 1);
+            let gy = (((c.y - domain.min_y) / h * (n - 1.0)) as u32).min((1 << ORDER) - 1);
+            (hilbert_d(ORDER, gx, gy), *e)
+        });
+        sjc_par::par_sort_by(&mut keyed, |a, b| a.0.cmp(&b.0));
 
         // Pack sorted runs into leaves, then build upper levels like STR.
         let mut nodes = Vec::new();

@@ -85,7 +85,16 @@ impl RTree {
 
 /// Generic STR grouping: sorts by x-center, strips by y-center, chunks into
 /// groups of at most `cap`.
-fn str_pack<T, F: Fn(&T) -> Mbr>(mut items: Vec<T>, cap: usize, mbr_of: F) -> Vec<Vec<T>> {
+///
+/// Both sort phases run on the `sjc-par` runtime: the x-sort is a stable
+/// parallel merge sort (same order as `sort_by`), and the per-strip y-sorts
+/// run concurrently over disjoint sub-slices. Strip boundaries depend only
+/// on `n` and `cap`, so the grouping is identical at every thread count.
+fn str_pack<T, F>(mut items: Vec<T>, cap: usize, mbr_of: F) -> Vec<Vec<T>>
+where
+    T: Send + Sync,
+    F: Fn(&T) -> Mbr + Sync,
+{
     let n = items.len();
     if n <= cap {
         return vec![items];
@@ -94,25 +103,30 @@ fn str_pack<T, F: Fn(&T) -> Mbr>(mut items: Vec<T>, cap: usize, mbr_of: F) -> Ve
     let num_strips = (num_groups as f64).sqrt().ceil() as usize;
     let strip_len = n.div_ceil(num_strips);
 
-    items.sort_by(|a, b| {
+    sjc_par::par_sort_by(&mut items, |a, b| {
         let ca = mbr_of(a).center().x;
         let cb = mbr_of(b).center().x;
         ca.total_cmp(&cb)
     });
-
-    let mut groups = Vec::with_capacity(num_groups);
-    let mut rest = items;
-    while !rest.is_empty() {
-        let take = strip_len.min(rest.len());
-        let mut strip: Vec<T> = rest.drain(..take).collect();
+    sjc_par::par_chunks_mut(&mut items, strip_len, |_, strip| {
         strip.sort_by(|a, b| {
             let ca = mbr_of(a).center().y;
             let cb = mbr_of(b).center().y;
             ca.total_cmp(&cb)
         });
-        while !strip.is_empty() {
-            let take = cap.min(strip.len());
-            groups.push(strip.drain(..take).collect());
+    });
+
+    let mut groups = Vec::with_capacity(num_groups);
+    let mut it = items.into_iter();
+    let mut remaining = n;
+    while remaining > 0 {
+        let strip = strip_len.min(remaining);
+        remaining -= strip;
+        let mut left = strip;
+        while left > 0 {
+            let take = cap.min(left);
+            left -= take;
+            groups.push(it.by_ref().take(take).collect());
         }
     }
     groups

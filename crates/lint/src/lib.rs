@@ -15,6 +15,7 @@
 //! | `no-panic-in-lib` | non-test src of the seven library crates (`geom`, `index`, `cluster`, `mapreduce`, `rdd`, `data`, `core`) | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and slice indexing `x[i]` — library code returns `Result`/`Option`, it does not abort the caller |
 //! | `float-hygiene` | non-test src of `geom` | bare `==`/`!=` against a float literal — geometric predicates use the epsilon helpers in `sjc_geom::predicates` |
 //! | `bench-isolation` | everything except `crates/bench` (and code already covered by `no-nondeterminism`) | wall-clock and entropy APIs (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`) — only the bench harness may observe the host |
+//! | `serial-hot-loop` | non-test src of the designated hot-path files (see `HOT_PATH_FILES`) | `for … in tasks`-shaped loops over a hot collection (`tasks`, `groups`, `parts`, …) — host-side hot loops go through `sjc_par`; an intentionally serial merge states its reason in a suppression |
 //!
 //! ## Suppression
 //!
@@ -49,6 +50,26 @@ const FLOAT_CRATES: &[&str] = &["geom"];
 /// Wall-clock / entropy tokens: allowed only in `crates/bench`.
 const CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
 
+/// Files whose per-task / per-partition loops dominate host wall-clock.
+/// Non-test `for` loops over a hot collection here must either go through
+/// `sjc_par` or carry a suppression explaining why they stay serial (e.g. an
+/// order-sensitive merge whose heavy work already ran in parallel).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/mapreduce/src/job.rs",
+    "crates/rdd/src/rdd.rs",
+    "crates/rdd/src/shuffle.rs",
+    "crates/index/src/rtree/str_bulk.rs",
+    "crates/index/src/rtree/hilbert.rs",
+    "crates/index/src/join/plane_sweep.rs",
+];
+
+/// Collection names whose iteration marks a hot loop: the task/partition/
+/// strip granularity that `sjc_par` parallelizes over. Matched with an
+/// identifier boundary, so `task.records` (per-task inner loop, already
+/// inside a parallel closure) and `sjc_par::par_map(&parts, …)` do not fire.
+const HOT_COLLECTIONS: &[&str] =
+    &["tasks", "groups", "group_list", "parts", "cells", "strips", "anchors"];
+
 /// The named rules. `BadSuppression` is the meta-rule for malformed
 /// `allow(...)` comments and cannot itself be suppressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,12 +78,18 @@ pub enum Rule {
     NoPanicInLib,
     FloatHygiene,
     BenchIsolation,
+    SerialHotLoop,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] =
-        [Rule::NoNondeterminism, Rule::NoPanicInLib, Rule::FloatHygiene, Rule::BenchIsolation];
+    pub const ALL: [Rule; 5] = [
+        Rule::NoNondeterminism,
+        Rule::NoPanicInLib,
+        Rule::FloatHygiene,
+        Rule::BenchIsolation,
+        Rule::SerialHotLoop,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -70,6 +97,7 @@ impl Rule {
             Rule::NoPanicInLib => "no-panic-in-lib",
             Rule::FloatHygiene => "float-hygiene",
             Rule::BenchIsolation => "bench-isolation",
+            Rule::SerialHotLoop => "serial-hot-loop",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -397,6 +425,35 @@ fn is_float_literal(token: &str) -> bool {
     has_digit && has_point_or_exp
 }
 
+/// If `line` is a `for … in <hot collection>…` loop header, returns the hot
+/// collection's name. The iterated expression is taken after the first
+/// ` in `, stripped of leading `&`/`mut `/`self.` — so `&mut self.parts`
+/// matches `parts` — and must start with the hot name at an identifier
+/// boundary: `task.records` does not match `tasks`, and call expressions
+/// like `sjc_par::par_map(&parts, …)` start with `sjc_par`, not a hot name.
+fn serial_hot_loop_target(line: &str) -> Option<&'static str> {
+    let t = line.trim_start();
+    if !t.starts_with("for ") {
+        return None;
+    }
+    let expr = t.split(" in ").nth(1)?.trim_start();
+    let mut expr = expr;
+    loop {
+        let next = expr
+            .strip_prefix('&')
+            .or_else(|| expr.strip_prefix("mut "))
+            .or_else(|| expr.strip_prefix("self."));
+        match next {
+            Some(rest) => expr = rest.trim_start(),
+            None => break,
+        }
+    }
+    HOT_COLLECTIONS.iter().copied().find(|name| {
+        expr.strip_prefix(name)
+            .is_some_and(|rest| !rest.chars().next().is_some_and(is_ident_char))
+    })
+}
+
 /// A parsed allow comment (see the module docs for the syntax).
 #[derive(Debug, Clone)]
 struct Allow {
@@ -491,6 +548,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     let panic_free = PANIC_FREE_CRATES.contains(&class.krate);
     let float = FLOAT_CRATES.contains(&class.krate);
     let bench = class.krate == "bench";
+    let hot_path = HOT_PATH_FILES.contains(&rel_path);
 
     // `#[cfg(test)] mod` region tracking via brace depth.
     let mut depth: i64 = 0;
@@ -583,6 +641,15 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
                 emit(
                     Rule::NoPanicInLib,
                     "slice indexing can panic — use .get()/.get_mut() or iterate, or suppress with the bounds argument".to_string(),
+                );
+            }
+        }
+
+        if hot_path && !in_test {
+            if let Some(name) = serial_hot_loop_target(code) {
+                emit(
+                    Rule::SerialHotLoop,
+                    format!("serial `for … in {name}` in a hot-path file — route through sjc_par (par_map/par_sort_by/par_chunks_mut), or suppress with the reason this loop must stay serial"),
                 );
             }
         }
@@ -722,6 +789,35 @@ mod tests {
         let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
         let vs = check_file("crates/geom/src/lib.rs", src);
         assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn serial_hot_loop_detector_is_precise() {
+        // Hot names fire through `&`, `mut`, and `self.` prefixes…
+        assert_eq!(serial_hot_loop_target("for t in &tasks {"), Some("tasks"));
+        assert_eq!(serial_hot_loop_target("for p in self.parts.iter() {"), Some("parts"));
+        assert_eq!(
+            serial_hot_loop_target("for (i, rec) in self.parts.into_iter().flatten() {"),
+            Some("parts")
+        );
+        assert_eq!(serial_hot_loop_target("for (k, vs) in groups {"), Some("groups"));
+        // …but identifier boundaries hold: per-record inner loops and
+        // parallel call expressions are not hot loops.
+        assert_eq!(serial_hot_loop_target("for rec in &task.records {"), None);
+        assert_eq!(serial_hot_loop_target("for x in sjc_par::par_map(&parts, f) {"), None);
+        assert_eq!(serial_hot_loop_target("for g in group_set {"), None);
+        assert_eq!(serial_hot_loop_target("let tasks = build(parts);"), None);
+    }
+
+    #[test]
+    fn serial_hot_loop_fires_only_in_hot_path_files() {
+        let src = "pub fn f(tasks: &[u8]) {\n    for t in tasks {\n        g(t);\n    }\n}\n";
+        let vs = check_file("crates/mapreduce/src/job.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::SerialHotLoop), "{vs:?}");
+        // The same loop elsewhere — or suppressed with a reason — is clean.
+        assert!(check_file("crates/mapreduce/src/lib.rs", src).is_empty());
+        let suppressed = "pub fn f(tasks: &[u8]) {\n    // sjc-lint: allow(serial-hot-loop) — merge must preserve task order\n    for t in tasks { g(t); }\n}\n";
+        assert!(check_file("crates/mapreduce/src/job.rs", suppressed).is_empty());
     }
 
     #[test]

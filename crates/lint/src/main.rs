@@ -27,7 +27,7 @@ fn main() -> ExitCode {
                      USAGE: sjc-lint [ROOT] [--rules]\n\n\
                      Scans ROOT (default `.`) for violations of the workspace\n\
                      rules (no-nondeterminism, no-panic-in-lib, float-hygiene,\n\
-                     bench-isolation). Suppress a finding inline with\n\
+                     bench-isolation, serial-hot-loop). Suppress a finding inline with\n\
                      `// sjc-lint: allow(<rule>) — <reason>`."
                 );
                 return ExitCode::SUCCESS;

@@ -159,6 +159,10 @@ pub struct JobOutcome<O> {
     pub output: Vec<O>,
     /// (group count, shuffled bytes) per reduce group, generation scale.
     pub group_bytes: Vec<u64>,
+    /// Bytes emitted by each reduce group, in the same (key-sorted) order as
+    /// `group_bytes`. Streaming-mode pipe checks read this instead of
+    /// threading a side channel through the reducer closure.
+    pub group_out_bytes: Vec<u64>,
     pub stats: JobStats,
     pub trace: StageTrace,
 }
@@ -206,11 +210,15 @@ impl<'a> MapReduceJob<'a> {
     }
 
     /// Runs a map-only job (no shuffle; output written to HDFS if configured).
-    pub fn map_only<T, O>(
+    ///
+    /// Map tasks execute in parallel on the host (`sjc-par`); the simulated
+    /// cost accounting is merged serially in task order afterwards, so the
+    /// outcome is bit-identical at every thread count.
+    pub fn map_only<T: Sync, O: Send>(
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<T>>,
-        mut map: impl FnMut(&T, &mut ReduceEmitter<O>),
+        map: impl Fn(&T, &mut ReduceEmitter<O>) + Sync,
     ) -> JobOutcome<O> {
         let c = self.cluster.cost.clone();
         let node = self.cluster.config.node;
@@ -223,11 +231,16 @@ impl<'a> MapReduceJob<'a> {
             ..JobStats::default()
         };
 
-        for task in &tasks {
+        let ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&tasks, |task| {
             let mut em = ReduceEmitter::new();
             for rec in &task.records {
                 map(rec, &mut em);
             }
+            em
+        });
+
+        // sjc-lint: allow(serial-hot-loop) — cost merge in task order; the map closures already ran in parallel above
+        for (task, em) in tasks.iter().zip(ems) {
             stats.records_in += task.records.len() as u64;
             stats.records_out += em.out.len() as u64;
             stats.input_bytes += task.input_bytes;
@@ -279,6 +292,7 @@ impl<'a> MapReduceJob<'a> {
         JobOutcome {
             output,
             group_bytes: Vec::new(),
+            group_out_bytes: Vec::new(),
             stats,
             trace,
         }
@@ -289,19 +303,21 @@ impl<'a> MapReduceJob<'a> {
     /// cutting shuffle volume — the classic Hadoop optimization for
     /// aggregation-shaped jobs. `combine` folds one task's values for one
     /// key into fewer `(value, serialized_bytes)` pairs.
-    pub fn map_combine_reduce<T, K, V, O>(
+    pub fn map_combine_reduce<T: Sync, K, V, O>(
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<T>>,
-        mut map: impl FnMut(&T, &mut MapEmitter<K, V>),
-        mut combine: impl FnMut(&K, Vec<V>) -> Vec<(V, u64)>,
-        mut reduce: impl FnMut(&K, &[V], &mut ReduceEmitter<O>),
+        map: impl Fn(&T, &mut MapEmitter<K, V>) + Sync,
+        combine: impl Fn(&K, Vec<V>) -> Vec<(V, u64)> + Sync,
+        reduce: impl Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync,
     ) -> JobOutcome<O>
     where
-        K: Ord + Clone,
+        K: Ord + Clone + Send + Sync,
+        V: Send + Sync,
+        O: Send,
     {
         let cost = self.cluster.cost.clone();
-        let mut combiner = |em: MapEmitter<K, V>| -> MapEmitter<K, V> {
+        let combiner = |em: MapEmitter<K, V>| -> MapEmitter<K, V> {
             let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
             let n = em.pairs.len() as u64;
             for (k, v) in em.pairs {
@@ -317,35 +333,43 @@ impl<'a> MapReduceJob<'a> {
             }
             out
         };
-        self.map_reduce_inner(cfg, tasks, &mut map, Some(&mut combiner), &mut reduce)
+        self.map_reduce_inner(cfg, tasks, &map, Some(&combiner), &reduce)
     }
 
     /// Runs a full map → shuffle → reduce job. Keys are grouped with a
     /// deterministic sort order.
-    pub fn map_reduce<T, K, V, O>(
+    pub fn map_reduce<T: Sync, K, V, O>(
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<T>>,
-        mut map: impl FnMut(&T, &mut MapEmitter<K, V>),
-        mut reduce: impl FnMut(&K, &[V], &mut ReduceEmitter<O>),
+        map: impl Fn(&T, &mut MapEmitter<K, V>) + Sync,
+        reduce: impl Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync,
     ) -> JobOutcome<O>
     where
-        K: Ord + Clone,
+        K: Ord + Clone + Send + Sync,
+        V: Send + Sync,
+        O: Send,
     {
-        self.map_reduce_inner(cfg, tasks, &mut map, None, &mut reduce)
+        self.map_reduce_inner(cfg, tasks, &map, None, &reduce)
     }
 
+    /// Host-parallel core: map tasks and reduce groups each run through
+    /// `sjc_par::par_map` (order-preserving), then the simulated durations,
+    /// stats, shuffle grouping and output are merged serially in task / key
+    /// order — so every simulated number is independent of the thread count.
     #[allow(clippy::type_complexity)]
-    fn map_reduce_inner<T, K, V, O>(
+    fn map_reduce_inner<T: Sync, K, V, O>(
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<T>>,
-        map: &mut dyn FnMut(&T, &mut MapEmitter<K, V>),
-        mut combiner: Option<&mut dyn FnMut(MapEmitter<K, V>) -> MapEmitter<K, V>>,
-        reduce: &mut dyn FnMut(&K, &[V], &mut ReduceEmitter<O>),
+        map: &(dyn Fn(&T, &mut MapEmitter<K, V>) + Sync),
+        combiner: Option<&(dyn Fn(MapEmitter<K, V>) -> MapEmitter<K, V> + Sync)>,
+        reduce: &(dyn Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync),
     ) -> JobOutcome<O>
     where
-        K: Ord + Clone,
+        K: Ord + Clone + Send + Sync,
+        V: Send + Sync,
+        O: Send,
     {
         let c = self.cluster.cost.clone();
         let node = self.cluster.config.node;
@@ -361,14 +385,18 @@ impl<'a> MapReduceJob<'a> {
         // Group by key with byte accounting: BTreeMap gives deterministic
         // group order (Hadoop's shuffle sorts keys).
         let mut groups: BTreeMap<K, (Vec<V>, u64)> = BTreeMap::new();
-        for task in &tasks {
+        let ems: Vec<MapEmitter<K, V>> = sjc_par::par_map(&tasks, |task| {
             let mut em = MapEmitter::new();
             for rec in &task.records {
                 map(rec, &mut em);
             }
-            if let Some(comb) = combiner.as_deref_mut() {
-                em = comb(em);
+            match combiner {
+                Some(comb) => comb(em),
+                None => em,
             }
+        });
+        // sjc-lint: allow(serial-hot-loop) — shuffle grouping must append values in task order; map closures already ran in parallel above
+        for (task, em) in tasks.iter().zip(ems) {
             stats.records_in += task.records.len() as u64;
             stats.input_bytes += task.input_bytes;
             stats.shuffle_bytes += em.bytes;
@@ -398,18 +426,25 @@ impl<'a> MapReduceJob<'a> {
         // the multiplier.
         let mut reduce_durations = Vec::with_capacity(groups.len());
         let mut group_bytes = Vec::with_capacity(groups.len());
+        let mut group_out_bytes = Vec::with_capacity(groups.len());
         let mut output = Vec::new();
         let remote_fraction = if nodes > 1 {
             (nodes - 1) as f64 / nodes as f64
         } else {
             0.0
         };
-        for (k, (vs, bytes)) in &groups {
+        let group_list: Vec<(&K, &(Vec<V>, u64))> = groups.iter().collect();
+        let reduce_ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&group_list, |&(k, (vs, _))| {
             let mut em = ReduceEmitter::new();
             reduce(k, vs, &mut em);
+            em
+        });
+        // sjc-lint: allow(serial-hot-loop) — output and durations merge in sorted key order; reduce closures already ran in parallel above
+        for ((_, (vs, bytes)), em) in group_list.into_iter().zip(reduce_ems) {
             stats.records_out += em.out.len() as u64;
             stats.output_bytes += em.bytes;
             group_bytes.push(*bytes);
+            group_out_bytes.push(em.bytes);
 
             let full_bytes = (*bytes as f64 * cfg.multiplier) as u64;
             let full_records = (vs.len() as f64 * cfg.multiplier) as u64;
@@ -447,6 +482,7 @@ impl<'a> MapReduceJob<'a> {
         JobOutcome {
             output,
             group_bytes,
+            group_out_bytes,
             stats,
             trace,
         }

@@ -38,7 +38,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<String>>,
-        mut mapper: impl FnMut(&str) -> Vec<String>,
+        mapper: impl Fn(&str) -> Vec<String> + Sync,
     ) -> Result<StreamingOutcome, SimError> {
         let cost = self.engine.cluster.cost.clone();
         let outcome = self.engine.map_only(cfg, tasks, |line: &String, em| {
@@ -72,15 +72,11 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
         &mut self,
         cfg: &JobConfig,
         tasks: Vec<MapTask<String>>,
-        mut mapper: impl FnMut(&str) -> Vec<(String, String)>,
-        mut reducer: impl FnMut(&str, &[String]) -> Vec<String>,
+        mapper: impl Fn(&str) -> Vec<(String, String)> + Sync,
+        reducer: impl Fn(&str, &[String]) -> Vec<String> + Sync,
     ) -> Result<StreamingOutcome, SimError> {
         let cost = self.engine.cluster.cost.clone();
         let node_memory = self.engine.cluster.config.node.memory_bytes;
-        // Reduce groups run in deterministic key order; record each group's
-        // *output* pipe volume positionally so the failure check can count
-        // the full stdin+stdout payload of the external process.
-        let mut group_out_bytes: Vec<u64> = Vec::new();
         let outcome = self.engine.map_reduce(
             cfg,
             tasks,
@@ -102,7 +98,6 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
                     out_bytes += b;
                     em.emit(out, b);
                 }
-                group_out_bytes.push(out_bytes);
                 em.charge(cost.pipe_ns(in_bytes + out_bytes) + cost.parse_ns(in_bytes));
                 if cfg.script_reducer {
                     em.charge(
@@ -116,10 +111,12 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
 
         // Broken-pipe check: each reduce group is piped through one external
         // process (stdin: the group's records; stdout: its results); at full
-        // scale the payload is multiplier × bigger.
+        // scale the payload is multiplier × bigger. A group's stdout volume
+        // equals its emitter byte count, which the engine records per group
+        // (key order) in `group_out_bytes`.
         let limit = cost.streaming_pipe_limit(node_memory);
         for (i, &gb) in outcome.group_bytes.iter().enumerate() {
-            let out = group_out_bytes.get(i).copied().unwrap_or(0);
+            let out = outcome.group_out_bytes.get(i).copied().unwrap_or(0);
             let full = ((gb + out) as f64 * cfg.multiplier) as u64;
             if full > limit {
                 return Err(SimError::BrokenPipe {

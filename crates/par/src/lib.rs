@@ -1,0 +1,595 @@
+//! Deterministic host-side parallelism for the spatial-join workspace.
+//!
+//! Every primitive in this crate obeys one contract: **the result is a pure
+//! function of the inputs — never of the thread count, the chunk schedule, or
+//! which worker ran first.** Simulated `RunTrace` numbers therefore do not
+//! move by a nanosecond when `SJC_PAR_THREADS` changes; only host wall-clock
+//! does. Concretely:
+//!
+//! * [`par_map`] is **order-preserving**: output slot `i` holds `f(&items[i])`,
+//!   exactly as the serial `items.iter().map(f).collect()` would produce.
+//!   Workers claim *chunks* of indices from a single cache-line-padded atomic
+//!   cursor (range claiming, not per-item `fetch_add`), so contention and
+//!   false sharing stay negligible while the slot-indexed writes keep order.
+//! * [`par_map_flat`] is an order-preserving flat-map: each chunk appends into
+//!   its own buffer and the buffers are concatenated in chunk order, so the
+//!   output equals the serial flat-map byte for byte.
+//! * [`par_sort_by`] is a **stable** parallel merge sort (ties keep their
+//!   original relative order, merges prefer the left run). A stable sort has a
+//!   unique answer, so the result is identical to `slice::sort_by` for every
+//!   thread count.
+//! * [`par_reduce`] folds over **fixed-shape** chunks (`REDUCE_CHUNK`
+//!   elements, independent of the thread count) and combines the partials
+//!   serially left-to-right, so float/accumulator results are
+//!   schedule-independent even for non-associative operations.
+//! * [`par_chunks_mut`] is the in-place sibling of [`par_map`]: workers claim
+//!   chunk indices and receive disjoint `&mut` sub-slices, so each chunk sees
+//!   exactly the transformation the serial `chunks_mut` pass would apply.
+//! * [`join`] runs two closures concurrently and returns both results in
+//!   argument order.
+//!
+//! Thread budget resolution (first match wins): explicit
+//! [`set_global_threads`] override → `SJC_PAR_THREADS` env var →
+//! `std::thread::available_parallelism()`. A budget of 1 short-circuits to
+//! plain serial execution, which tests use to force determinism comparisons.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum chunk a worker claims at once — large enough to amortize the
+/// atomic claim and keep adjacent workers off each other's cache lines.
+const MIN_CHUNK: usize = 64;
+
+/// Below this many items the spawn cost dwarfs the work; run serially.
+/// (Purely a wall-clock heuristic — results are identical either way.)
+const SPAWN_MIN: usize = 2 * MIN_CHUNK;
+
+/// Fixed fold-chunk width for [`par_reduce`]. Must not depend on the thread
+/// count: the reduction tree's shape is what makes accumulator results
+/// schedule-independent.
+const REDUCE_CHUNK: usize = 1024;
+
+/// Below this length a parallel sort is slower than `slice::sort_by`.
+const SORT_MIN: usize = 4096;
+
+/// Process-global thread override (0 = unset). Set by tests and by `perfsnap`
+/// to flip between serial and parallel execution in-process without touching
+/// the environment.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-global thread budget; `0` clears the override so the
+/// `SJC_PAR_THREADS` env var / hardware parallelism apply again.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// A resolved thread budget. Carries the number of worker threads the
+/// primitives may use; `Budget::explicit(1)` forces serial execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    threads: usize,
+}
+
+impl Budget {
+    /// Resolves the ambient budget: global override → `SJC_PAR_THREADS` →
+    /// hardware parallelism.
+    pub fn resolve() -> Budget {
+        let over = GLOBAL_THREADS.load(Ordering::SeqCst);
+        if over > 0 {
+            return Budget { threads: over };
+        }
+        if let Some(n) = std::env::var("SJC_PAR_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return Budget { threads: n };
+        }
+        Budget { threads: hardware_threads() }
+    }
+
+    /// An explicit budget of exactly `n` threads (`n` is clamped to ≥ 1).
+    pub fn explicit(n: usize) -> Budget {
+        Budget { threads: n.max(1) }
+    }
+
+    /// Number of worker threads this budget allows.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Hardware parallelism with a serial fallback.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Work-claim cursor padded to a cache line so the hot atomic never false-
+/// shares with neighboring data.
+#[repr(align(64))]
+struct PaddedCursor(AtomicUsize);
+
+/// Raw pointer wrapper so worker threads can write disjoint output slots.
+/// Safety rests on the chunk claiming below: `fetch_add` hands each worker a
+/// half-open range no other worker ever sees, so every slot is written at
+/// most once and without overlap.
+struct SendSlots<U>(*mut U);
+unsafe impl<U: Send> Sync for SendSlots<U> {}
+
+fn chunk_size(n: usize, threads: usize) -> usize {
+    // ~8 chunks per worker gives the tail enough stealable slack without
+    // re-introducing per-item claim traffic.
+    (n / (threads * 8)).max(MIN_CHUNK)
+}
+
+/// Order-preserving parallel map: returns `f` applied to every item, in input
+/// order, using the ambient [`Budget`].
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_budget(Budget::resolve(), items, f)
+}
+
+/// [`par_map`] with an explicit thread budget.
+pub fn par_map_budget<T: Sync, U: Send>(
+    budget: Budget,
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let threads = budget.threads().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if threads == 1 || n < SPAWN_MIN {
+        return items.iter().map(f).collect();
+    }
+    let chunk = chunk_size(n, threads);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let out = SendSlots(slots.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let out = &out;
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    // SAFETY: `i` lies inside this worker's exclusively
+                    // claimed range; no other thread writes slot `i`.
+                    unsafe {
+                        *out.0.add(i) = Some(f(item));
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("chunk claiming covers every index exactly once"))
+        .collect()
+}
+
+/// Order-preserving parallel flat-map: `f` appends any number of outputs per
+/// item into the provided buffer; buffers are concatenated in input order.
+pub fn par_map_flat<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T, &mut Vec<U>) + Sync,
+) -> Vec<U> {
+    par_map_flat_budget(Budget::resolve(), items, f)
+}
+
+/// [`par_map_flat`] with an explicit thread budget.
+pub fn par_map_flat_budget<T: Sync, U: Send>(
+    budget: Budget,
+    items: &[T],
+    f: impl Fn(&T, &mut Vec<U>) + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let threads = budget.threads().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if threads == 1 || n < SPAWN_MIN {
+        let mut out = Vec::new();
+        for item in items {
+            f(item, &mut out);
+        }
+        return out;
+    }
+    let chunk = chunk_size(n, threads);
+    let n_chunks = n.div_ceil(chunk);
+    let mut bufs: Vec<Option<Vec<U>>> = Vec::with_capacity(n_chunks);
+    bufs.resize_with(n_chunks, || None);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let out = SendSlots(bufs.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let out = &out;
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let mut buf = Vec::new();
+                for item in &items[start..end] {
+                    f(item, &mut buf);
+                }
+                // SAFETY: chunk index `start / chunk` is unique to this
+                // claimed range; no other thread writes this buffer slot.
+                unsafe {
+                    *out.0.add(start / chunk) = Some(buf);
+                }
+            });
+        }
+    });
+    let mut flat = Vec::new();
+    for buf in bufs {
+        flat.extend(buf.expect("chunk claiming covers every chunk exactly once"));
+    }
+    flat
+}
+
+/// Stable parallel merge sort: identical output to `slice::sort_by` (which is
+/// stable) for every thread count, because a stable sort's result is unique.
+pub fn par_sort_by<T: Sync>(v: &mut [T], cmp: impl Fn(&T, &T) -> CmpOrdering + Sync) {
+    par_sort_by_budget(Budget::resolve(), v, cmp)
+}
+
+/// [`par_sort_by`] with an explicit thread budget.
+pub fn par_sort_by_budget<T: Sync>(
+    budget: Budget,
+    v: &mut [T],
+    cmp: impl Fn(&T, &T) -> CmpOrdering + Sync,
+) {
+    let n = v.len();
+    let threads = budget.threads();
+    if threads == 1 || n < SORT_MIN || n > u32::MAX as usize {
+        v.sort_by(cmp);
+        return;
+    }
+    // Sort a permutation (u32 indices are cheap to merge), then apply it.
+    // Stability: chunk sorts use std's stable sort, and merges prefer the
+    // left (earlier-index) run on ties, so the permutation equals the one a
+    // serial stable sort would produce.
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut buf: Vec<u32> = vec![0; n];
+    let chunk = n.div_ceil(threads).max(MIN_CHUNK);
+
+    std::thread::scope(|s| {
+        for piece in idx.chunks_mut(chunk) {
+            let cmp = &cmp;
+            let v: &[T] = v;
+            s.spawn(move || {
+                piece.sort_by(|&a, &b| cmp(&v[a as usize], &v[b as usize]));
+            });
+        }
+    });
+
+    let mut width = chunk;
+    let mut src = &mut idx;
+    let mut dst = &mut buf;
+    while width < n {
+        merge_round(v, src, dst, width, &cmp);
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    let perm: &[u32] = src;
+
+    // Apply the permutation by moving every element exactly once.
+    let mut moved: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: `perm` is a permutation of 0..n (built from `(0..n).collect()`
+    // and only reordered), so each element is read exactly once, then the
+    // whole block is moved back and `moved` is emptied without dropping.
+    unsafe {
+        for &i in perm {
+            moved.push(std::ptr::read(v.as_ptr().add(i as usize)));
+        }
+        std::ptr::copy_nonoverlapping(moved.as_ptr(), v.as_mut_ptr(), n);
+        moved.set_len(0);
+    }
+}
+
+/// One parallel round of pairwise run merges from `src` into `dst`.
+fn merge_round<T: Sync>(
+    v: &[T],
+    src: &[u32],
+    dst: &mut [u32],
+    width: usize,
+    cmp: &(impl Fn(&T, &T) -> CmpOrdering + Sync),
+) {
+    let n = src.len();
+    std::thread::scope(|s| {
+        let mut rest = dst;
+        let mut start = 0;
+        while start < n {
+            let end = (start + 2 * width).min(n);
+            let (head, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let mid = (start + width).min(n);
+            let a = &src[start..mid];
+            let b = &src[mid..end];
+            s.spawn(move || merge_runs(v, a, b, head, cmp));
+            start = end;
+        }
+    });
+}
+
+/// Stable two-run merge: on ties the left run (earlier original index) wins.
+fn merge_runs<T>(
+    v: &[T],
+    a: &[u32],
+    b: &[u32],
+    out: &mut [u32],
+    cmp: &impl Fn(&T, &T) -> CmpOrdering,
+) {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&v[a[i] as usize], &v[b[j] as usize]) != CmpOrdering::Greater {
+            out[k] = a[i];
+            i += 1;
+        } else {
+            out[k] = b[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + a.len() - i].copy_from_slice(&a[i..]);
+    k += a.len() - i;
+    out[k..k + b.len() - j].copy_from_slice(&b[j..]);
+}
+
+/// Fixed-shape parallel reduction. Items are folded in `REDUCE_CHUNK`-sized
+/// chunks (boundaries independent of the thread count) and the per-chunk
+/// partials are combined serially left-to-right, so the result — including
+/// float accumulations — is schedule-independent.
+pub fn par_reduce<T: Sync, A: Send>(
+    items: &[T],
+    identity: impl Fn() -> A + Sync,
+    fold: impl Fn(A, &T) -> A + Sync,
+    combine: impl Fn(A, A) -> A,
+) -> A {
+    par_reduce_budget(Budget::resolve(), items, identity, fold, combine)
+}
+
+/// [`par_reduce`] with an explicit thread budget.
+pub fn par_reduce_budget<T: Sync, A: Send>(
+    budget: Budget,
+    items: &[T],
+    identity: impl Fn() -> A + Sync,
+    fold: impl Fn(A, &T) -> A + Sync,
+    combine: impl Fn(A, A) -> A,
+) -> A {
+    let chunks: Vec<&[T]> = items.chunks(REDUCE_CHUNK).collect();
+    let partials = par_map_budget(budget, &chunks, |c| {
+        c.iter().fold(identity(), &fold)
+    });
+    partials.into_iter().fold(identity(), combine)
+}
+
+/// Runs `f` over disjoint `chunk`-sized sub-slices of `v` concurrently,
+/// passing each chunk's index. Chunk boundaries depend only on `chunk` and
+/// `v.len()` — never on the thread count — and each chunk is claimed exactly
+/// once, so any deterministic per-chunk `f` leaves the slice in the same
+/// state at every thread count (the in-place sibling of [`par_map`], used
+/// for e.g. sorting independent strips of one buffer).
+pub fn par_chunks_mut<T: Send>(v: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    par_chunks_mut_budget(Budget::resolve(), v, chunk, f)
+}
+
+/// [`par_chunks_mut`] with an explicit thread budget.
+pub fn par_chunks_mut_budget<T: Send>(
+    budget: Budget,
+    v: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = v.len();
+    let chunk = chunk.max(1);
+    let num_chunks = n.div_ceil(chunk);
+    let threads = budget.threads().min(num_chunks).max(1);
+    if threads == 1 || num_chunks <= 1 {
+        for (i, c) in v.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let base = SendSlots(v.as_mut_ptr());
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let base = &base;
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.0.fetch_add(1, Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let start = i * chunk;
+                let len = chunk.min(n - start);
+                // SAFETY: chunk index `i` is claimed by exactly one worker
+                // and chunks are disjoint sub-ranges of `v`, so this &mut
+                // slice never aliases another worker's.
+                let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+                f(i, piece);
+            });
+        }
+    });
+}
+
+/// Runs two closures concurrently (when the budget allows) and returns both
+/// results in argument order.
+pub fn join<A: Send, B: Send>(
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    join_budget(Budget::resolve(), fa, fb)
+}
+
+/// [`join`] with an explicit thread budget.
+pub fn join_budget<A: Send, B: Send>(
+    budget: Budget,
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if budget.threads() == 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        let b = match hb.join() {
+            Ok(b) => b,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjc_testkit::cases;
+
+    fn budgets() -> Vec<Budget> {
+        vec![Budget::explicit(1), Budget::explicit(2), Budget::explicit(hardware_threads())]
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_arbitrary_inputs() {
+        cases(0x5eed1, 40, |rng| {
+            let items = rng.vec_u64(0..u64::MAX, 0..5000);
+            let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31).rotate_left(7)).collect();
+            for b in budgets() {
+                let par = par_map_budget(b, &items, |&x| x.wrapping_mul(31).rotate_left(7));
+                assert_eq!(par, serial, "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn par_map_flat_matches_serial_for_arbitrary_inputs() {
+        cases(0x5eed2, 40, |rng| {
+            let items = rng.vec_u64(0..u64::MAX, 0..3000);
+            let expand = |&x: &u64, out: &mut Vec<u64>| {
+                for k in 0..(x % 4) {
+                    out.push(x.wrapping_add(k));
+                }
+            };
+            let mut serial = Vec::new();
+            for item in &items {
+                expand(item, &mut serial);
+            }
+            for b in budgets() {
+                let par = par_map_flat_budget(b, &items, expand);
+                assert_eq!(par, serial, "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn par_sort_matches_std_stable_sort_with_ties() {
+        cases(0x5eed3, 30, |rng| {
+            let n = rng.usize_in(0..20_000);
+            // Pairs (key, payload) with heavy key collisions: stability shows
+            // up as payload order within equal keys.
+            let items: Vec<(u64, u64)> =
+                (0..n).map(|i| (rng.u64_in(0..50), i as u64)).collect();
+            let mut serial = items.clone();
+            serial.sort_by_key(|a| a.0);
+            for b in budgets() {
+                let mut par = items.clone();
+                par_sort_by_budget(b, &mut par, |a, bb| a.0.cmp(&bb.0));
+                assert_eq!(par, serial, "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn par_reduce_is_schedule_independent_even_for_floats() {
+        cases(0x5eed4, 30, |rng| {
+            let n = rng.usize_in(0..10_000);
+            let items: Vec<f64> = (0..n).map(|_| rng.f64_in(-1.0..1.0)).collect();
+            let sum = |b: Budget| {
+                par_reduce_budget(b, &items, || 0.0f64, |acc, &x| acc + x, |a, bb| a + bb)
+            };
+            let reference = sum(Budget::explicit(1));
+            for b in budgets() {
+                // Float addition is non-associative, but the fixed chunk
+                // shape makes every budget produce bit-identical sums.
+                assert_eq!(sum(b).to_bits(), reference.to_bits(), "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn par_reduce_integer_sum_equals_serial_fold() {
+        let items: Vec<u64> = (0..12_345).collect();
+        let serial: u64 = items.iter().sum();
+        for b in budgets() {
+            let par = par_reduce_budget(
+                b,
+                &items,
+                || 0u64,
+                |acc, &x| acc + x,
+                |a, bb| a + bb,
+            );
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_chunked_pass() {
+        cases(0x5eed5, 30, |rng| {
+            let items = rng.vec_u64(0..u64::MAX, 0..8000);
+            let chunk = rng.usize_in(1..300);
+            let mut serial = items.clone();
+            for (i, c) in serial.chunks_mut(chunk).enumerate() {
+                c.sort_unstable();
+                for x in c.iter_mut() {
+                    *x = x.wrapping_add(i as u64);
+                }
+            }
+            for b in budgets() {
+                let mut par = items.clone();
+                par_chunks_mut_budget(b, &mut par, chunk, |i, c| {
+                    c.sort_unstable();
+                    for x in c.iter_mut() {
+                        *x = x.wrapping_add(i as u64);
+                    }
+                });
+                assert_eq!(par, serial, "budget {b:?} chunk {chunk}");
+            }
+        });
+    }
+
+    #[test]
+    fn join_returns_in_argument_order() {
+        for threads in [1, 2] {
+            let (a, b) = join_budget(Budget::explicit(threads), || "left", || "right");
+            assert_eq!((a, b), ("left", "right"));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_budget(Budget::explicit(8), &empty, |&x| x).is_empty());
+        assert!(par_map_flat_budget(Budget::explicit(8), &empty, |&x, o| o.push(x)).is_empty());
+        let mut one = vec![42u64];
+        par_sort_by_budget(Budget::explicit(8), &mut one, |a, b| a.cmp(b));
+        assert_eq!(one, vec![42]);
+        // Zero chunks → no partials → the fold over partials returns identity.
+        let s = par_reduce_budget(Budget::explicit(8), &empty, || 7u64, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn budget_resolution_prefers_global_override() {
+        set_global_threads(3);
+        assert_eq!(Budget::resolve().threads(), 3);
+        set_global_threads(0);
+    }
+}

@@ -55,7 +55,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
     pub fn map<U: SparkRecord>(
         self,
         ctx: &SparkContext<'_>,
-        mut f: impl FnMut(&T, &mut SimNs) -> U,
+        f: impl Fn(&T, &mut SimNs) -> U + Sync,
     ) -> Rdd<U> {
         self.transform(ctx, |rec, extra, out| out.push(f(rec, extra)))
     }
@@ -64,13 +64,13 @@ impl<T: SparkRecord + Clone> Rdd<T> {
     pub fn flat_map<U: SparkRecord>(
         self,
         ctx: &SparkContext<'_>,
-        mut f: impl FnMut(&T, &mut SimNs) -> Vec<U>,
+        f: impl Fn(&T, &mut SimNs) -> Vec<U> + Sync,
     ) -> Rdd<U> {
         self.transform(ctx, |rec, extra, out| out.extend(f(rec, extra)))
     }
 
     /// Narrow filter.
-    pub fn filter(self, ctx: &SparkContext<'_>, mut pred: impl FnMut(&T) -> bool) -> Rdd<T> {
+    pub fn filter(self, ctx: &SparkContext<'_>, pred: impl Fn(&T) -> bool + Sync) -> Rdd<T> {
         self.transform(ctx, |rec, _extra, out| {
             if pred(rec) {
                 out.push(rec.clone());
@@ -85,47 +85,33 @@ impl<T: SparkRecord + Clone> Rdd<T> {
     pub fn map_partitions<U: SparkRecord>(
         self,
         ctx: &SparkContext<'_>,
-        mut f: impl FnMut(&[T], &mut SimNs) -> Vec<U>,
+        f: impl Fn(&[T], &mut SimNs) -> Vec<U> + Sync,
     ) -> Rdd<U> {
-        let cost = &ctx.cluster.cost;
-        let cpu_scale = ctx.cluster.config.node.cpu_scale;
-        let mult = self.multiplier;
-        let mut parts = Vec::with_capacity(self.parts.len());
-        let mut pending = Vec::with_capacity(self.parts.len());
-        let mut mem_full = Vec::with_capacity(self.parts.len());
-        for (src, old_pending) in self.parts.into_iter().zip(self.pending_ns) {
-            let mut extra: SimNs = 0;
-            let out = f(&src, &mut extra);
-            let ns = cost.spark_records_ns(src.len() as u64) + extra;
-            let ns = (ns as f64 * cpu_scale) as u64;
-            pending.push(old_pending + (ns as f64 * mult) as SimNs);
-            let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
-            mem_full.push((mem as f64 * mult) as u64);
-            parts.push(out);
-        }
-        Rdd {
-            parts,
-            pending_ns: pending,
-            pending_hdfs_read: self.pending_hdfs_read,
-            mem_full,
-            multiplier: mult,
-        }
+        self.transform_parts(ctx, |_, src, extra| f(src, extra))
     }
 
     /// Deterministic Bernoulli sample (Spark's `RDD.sample`): record `i` of
     /// a partition survives when a seeded hash of its index falls below
     /// `fraction`.
+    ///
+    /// The serial implementation threaded one LCG counter through every
+    /// record in partition order; to evaluate partitions in parallel with a
+    /// bit-identical keep set, each partition jumps the counter ahead by the
+    /// number of records in all earlier partitions ([`lcg_jump`] is exact).
     pub fn sample(self, ctx: &SparkContext<'_>, fraction: f64, seed: u64) -> Rdd<T> {
         assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
         let threshold = (fraction * u64::MAX as f64) as u64;
-        let mut counter = seed;
-        self.transform(ctx, move |rec, _extra, out| {
-            counter = counter
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            if (counter >> 1) < (threshold >> 1) {
-                out.push(rec.clone());
+        let offsets = record_offsets(&self.parts);
+        self.transform_parts(ctx, move |i, src, _extra| {
+            let mut counter = lcg_jump(seed, offsets.get(i).copied().unwrap_or(0));
+            let mut out = Vec::new();
+            for rec in src {
+                counter = lcg_step(counter);
+                if (counter >> 1) < (threshold >> 1) {
+                    out.push(rec.clone());
+                }
             }
+            out
         })
     }
 
@@ -134,25 +120,54 @@ impl<T: SparkRecord + Clone> Rdd<T> {
     fn transform<U: SparkRecord>(
         self,
         ctx: &SparkContext<'_>,
-        mut op: impl FnMut(&T, &mut SimNs, &mut Vec<U>),
+        op: impl Fn(&T, &mut SimNs, &mut Vec<U>) + Sync,
+    ) -> Rdd<U> {
+        self.transform_parts(ctx, |_, src, extra| {
+            let mut out: Vec<U> = Vec::with_capacity(src.len());
+            for rec in src {
+                op(rec, extra, &mut out);
+            }
+            out
+        })
+    }
+
+    /// Partition-parallel core of every narrow op: partitions are
+    /// independent, so `op` runs on them concurrently (`sjc-par`,
+    /// order-preserving) and the per-partition pending-cost/memory vectors
+    /// are reassembled in partition order — bit-identical to the old serial
+    /// loop at every thread count. `op` receives the partition index so
+    /// sequence-dependent ops (`sample`) can jump their state exactly.
+    fn transform_parts<U: SparkRecord>(
+        self,
+        ctx: &SparkContext<'_>,
+        op: impl Fn(usize, &[T], &mut SimNs) -> Vec<U> + Sync,
     ) -> Rdd<U> {
         let cost = &ctx.cluster.cost;
+        let cpu_scale = ctx.cluster.config.node.cpu_scale;
         let mult = self.multiplier;
-        let mut parts = Vec::with_capacity(self.parts.len());
-        let mut pending = Vec::with_capacity(self.parts.len());
-        let mut mem_full = Vec::with_capacity(self.parts.len());
-        for (src, old_pending) in self.parts.into_iter().zip(self.pending_ns) {
-            let mut out: Vec<U> = Vec::with_capacity(src.len());
+        let indexed: Vec<(usize, Vec<T>, SimNs)> = self
+            .parts
+            .into_iter()
+            .zip(self.pending_ns)
+            .enumerate()
+            .map(|(i, (src, old))| (i, src, old))
+            .collect();
+        let results: Vec<(Vec<U>, SimNs, u64)> = sjc_par::par_map(&indexed, |(i, src, old)| {
             let mut extra: SimNs = 0;
-            for rec in &src {
-                op(rec, &mut extra, &mut out);
-            }
+            let out = op(*i, src, &mut extra);
             let ns = cost.spark_records_ns(src.len() as u64) + extra;
-            let ns = (ns as f64 * ctx.cluster.config.node.cpu_scale) as u64;
-            pending.push(old_pending + (ns as f64 * mult) as SimNs);
+            let ns = (ns as f64 * cpu_scale) as u64;
+            let pending = old + (ns as f64 * mult) as SimNs;
             let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
-            mem_full.push((mem as f64 * mult) as u64);
+            (out, pending, (mem as f64 * mult) as u64)
+        });
+        let mut parts = Vec::with_capacity(results.len());
+        let mut pending = Vec::with_capacity(results.len());
+        let mut mem_full = Vec::with_capacity(results.len());
+        for (out, p, m) in results {
             parts.push(out);
+            pending.push(p);
+            mem_full.push(m);
         }
         Rdd {
             parts,
@@ -190,19 +205,22 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         ctx.close_stage(name, phase, &pending, hdfs, 0);
 
         let threshold = (fraction * u64::MAX as f64) as u64;
-        let mut state = seed | 1;
-        let mut out = Vec::new();
-        for part in &self.parts {
+        let offsets = record_offsets(&self.parts);
+        let indexed: Vec<(usize, &Vec<T>)> = self.parts.iter().enumerate().collect();
+        let sampled: Vec<Vec<T>> = sjc_par::par_map(&indexed, |&(i, part)| {
+            // Same stream as the old serial scan: partition `i` resumes the
+            // LCG where the previous partition left it (exact jump-ahead).
+            let mut state = lcg_jump(seed | 1, offsets.get(i).copied().unwrap_or(0));
+            let mut kept = Vec::new();
             for rec in part {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
+                state = lcg_step(state);
                 if (state >> 1) < (threshold >> 1) {
-                    out.push(rec.clone());
+                    kept.push(rec.clone());
                 }
             }
-        }
-        out
+            kept
+        });
+        sampled.into_iter().flatten().collect()
     }
 
     /// Action: count records, closing the stage (cheaper than `collect` —
@@ -253,6 +271,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         let cost = &ctx.cluster.cost;
         let mult = self.multiplier;
         let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        // sjc-lint: allow(serial-hot-loop) — round-robin scatter is a cheap move-only pass whose output order defines the partitioning
         for (i, rec) in self.parts.into_iter().flatten().enumerate() {
             // sjc-lint: allow(no-panic-in-lib) — i % n < n = parts.len()
             parts[i % n].push(rec);
@@ -276,10 +295,69 @@ impl<T: SparkRecord + Clone> Rdd<T> {
     }
 }
 
+/// One step of the sampling LCG (Knuth's MMIX multiplier/increment).
+#[inline]
+fn lcg_step(state: u64) -> u64 {
+    state.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD)
+}
+
+const LCG_MUL: u64 = 6364136223846793005;
+const LCG_ADD: u64 = 1442695040888963407;
+
+/// Advances the sampling LCG by `n` steps in O(log n) — the affine map
+/// `s → m·s + a` composed with itself squares to `s → m²·s + (m·a + a)`, so
+/// binary decomposition of `n` yields the exact same state the serial
+/// per-record loop would reach. This is what lets `sample` evaluate
+/// partitions concurrently with a bit-identical keep set.
+fn lcg_jump(state: u64, n: u64) -> u64 {
+    let (mut mul, mut add) = (LCG_MUL, LCG_ADD);
+    let (mut acc_mul, mut acc_add) = (1u64, 0u64);
+    let mut n = n;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc_mul = acc_mul.wrapping_mul(mul);
+            acc_add = acc_add.wrapping_mul(mul).wrapping_add(add);
+        }
+        add = add.wrapping_mul(mul).wrapping_add(add);
+        mul = mul.wrapping_mul(mul);
+        n >>= 1;
+    }
+    state.wrapping_mul(acc_mul).wrapping_add(acc_add)
+}
+
+/// Number of records in all partitions before each partition — the LCG jump
+/// distance for partition `i`.
+fn record_offsets<T>(parts: &[Vec<T>]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut acc = 0u64;
+    // sjc-lint: allow(serial-hot-loop) — prefix sum over partition lengths is O(parts) and inherently sequential
+    for part in parts {
+        offsets.push(acc);
+        acc += part.len() as u64;
+    }
+    offsets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sjc_cluster::{Cluster, ClusterConfig};
+
+    #[test]
+    fn lcg_jump_matches_serial_stepping() {
+        for &seed in &[0u64, 1, 42, u64::MAX, 0xDEADBEEF] {
+            let mut serial = seed;
+            for n in 0..=257u64 {
+                assert_eq!(lcg_jump(seed, n), serial, "seed {seed} jump {n}");
+                serial = lcg_step(serial);
+            }
+            // A big jump checked against composing two smaller exact jumps.
+            assert_eq!(
+                lcg_jump(seed, 1_000_000),
+                lcg_jump(lcg_jump(seed, 999_743), 257)
+            );
+        }
+    }
 
     fn ctx_cluster() -> Cluster {
         Cluster::new(ClusterConfig::workstation())

@@ -9,7 +9,10 @@
 use sjc_cluster::CostModel;
 
 /// Modeled JVM-resident footprint of a record.
-pub trait SparkRecord {
+///
+/// `Send + Sync` is a supertrait: records are plain data and flow through
+/// the `sjc-par` partition-parallel runtime.
+pub trait SparkRecord: Send + Sync {
     /// Resident bytes of one record under `cost`'s JVM expansion model.
     fn mem_bytes(&self, cost: &CostModel) -> u64;
 }
@@ -19,7 +22,7 @@ pub trait SparkRecord {
 /// dense small-int keys (partition ids!) spread perfectly over shuffle
 /// partitions, where a scrambling hash would collide them (balls-in-bins)
 /// and manufacture skew the real system doesn't have.
-pub trait SparkKey {
+pub trait SparkKey: Send + Sync {
     fn partition_hash(&self) -> u64;
 }
 

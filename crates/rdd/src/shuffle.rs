@@ -20,6 +20,32 @@ fn hash_of<K: SparkKey>(k: &K) -> u64 {
     k.partition_hash()
 }
 
+/// Groups one join side's `(key, value)` partitions into a single map:
+/// partition-local maps build in parallel and merge in partition order, so
+/// each key's value order is identical to a serial flattened scan.
+fn build_side<P, K, V>(parts: &[Vec<P>], kv: impl Fn(&P) -> (&K, &V) + Sync) -> BTreeMap<K, Vec<V>>
+where
+    P: Send + Sync,
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    let locals: Vec<BTreeMap<K, Vec<V>>> = sjc_par::par_map(parts, |part| {
+        let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for rec in part {
+            let (k, v) = kv(rec);
+            local.entry(k.clone()).or_default().push(v.clone());
+        }
+        local
+    });
+    let mut merged: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for local in locals {
+        for (k, vs) in local {
+            merged.entry(k).or_default().extend(vs);
+        }
+    }
+    merged
+}
+
 /// Result of [`Rdd::join`]: per key, one output record per matching
 /// value pair.
 pub type JoinResult<K, A, B> = Result<Rdd<(K, (A, B))>, SimError>;
@@ -44,41 +70,48 @@ where
         let nodes = ctx.cluster.config.nodes;
         let mult = self.multiplier;
 
-        // Real shuffle: group deterministically.
-        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        let mut write_pending = self.pending_ns.clone();
+        // Real shuffle: group deterministically. Each map task groups its
+        // own partition in parallel; the locals merge in partition order, so
+        // every key's value order (partition-major, then record order) is
+        // identical to the old single-threaded scan.
         let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
-        for (i, part) in self.parts.iter().enumerate() {
+        let inputs: Vec<(&Vec<(K, V)>, u64)> =
+            self.parts.iter().zip(self.mem_full.iter().copied()).collect();
+        let locals: Vec<(u64, BTreeMap<K, Vec<V>>)> = sjc_par::par_map(&inputs, |&(part, part_mem)| {
             // Shuffle-write side: serialize and spill to the *local disk*
             // (Spark 1.x materializes shuffle blocks on disk even for
             // in-memory jobs), plus the cross-node network share.
-            // sjc-lint: allow(no-panic-in-lib) — mem_full and pending_ns are kept parallel to parts
-            let part_mem = self.mem_full[i];
             let ser = (part_mem as f64 * cost.spark_shuffle_ser_fraction) as u64;
             let cpu = (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64;
             let mut ns = cpu + cost.io_ns(ser, node.slot_disk_write_bw());
             ns += cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
-            // sjc-lint: allow(no-panic-in-lib) — write_pending clones pending_ns, parallel to parts
-            write_pending[i] += ns;
+            let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
             for (k, v) in part {
-                groups.entry(k.clone()).or_default().push(v.clone());
+                local.entry(k.clone()).or_default().push(v.clone());
+            }
+            (ns, local)
+        });
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut write_pending = self.pending_ns.clone();
+        for (wp, (ns, local)) in write_pending.iter_mut().zip(locals) {
+            *wp += ns;
+            for (k, vs) in local {
+                groups.entry(k).or_default().extend(vs);
             }
         }
 
         // Build output partitions.
         let mut parts: Vec<Vec<(K, Vec<V>)>> = (0..p).map(|_| Vec::new()).collect();
+        // sjc-lint: allow(serial-hot-loop) — hash-partition scatter must run in key order; the grouping work already ran in parallel above
         for (k, vs) in groups {
             let idx = (hash_of(&k) % p as u64) as usize;
             // sjc-lint: allow(no-panic-in-lib) — idx = hash % p < p = parts.len()
             parts[idx].push((k, vs));
         }
 
-        let mut mem_full = Vec::with_capacity(p);
-        let mut read_pending = Vec::with_capacity(p);
-        for part in &parts {
+        let costs: Vec<(u64, u64)> = sjc_par::par_map(&parts, |part| {
             let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
             let mem_f = (mem as f64 * mult) as u64;
-            mem_full.push(mem_f);
             let records: u64 = part.iter().map(|(_, vs)| vs.len() as u64).sum();
             // Shuffle-read side: fetch the serialized blocks from disk and
             // deserialize them back into JVM objects.
@@ -87,6 +120,12 @@ where
             let cpu = cost.serialize_ns(ser)
                 + cost.spark_records_ns((records as f64 * mult) as u64);
             ns += (cpu as f64 * node.cpu_scale) as u64;
+            (mem_f, ns)
+        });
+        let mut mem_full = Vec::with_capacity(p);
+        let mut read_pending = Vec::with_capacity(p);
+        for (mem_f, ns) in costs {
+            mem_full.push(mem_f);
             read_pending.push(ns);
         }
 
@@ -125,7 +164,7 @@ where
         name: &str,
         phase: Phase,
         num_partitions: usize,
-        mut f: impl FnMut(&V, &V) -> V,
+        f: impl Fn(&V, &V) -> V + Sync,
     ) -> Result<Rdd<(K, V)>, SimError> {
         let p = num_partitions.max(1);
         let cost = ctx.cluster.cost.clone();
@@ -134,10 +173,9 @@ where
         let mult = self.multiplier;
         let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
 
-        // Map-side combine per partition.
-        let mut write_pending = self.pending_ns.clone();
-        let mut combined_parts: Vec<BTreeMap<K, V>> = Vec::with_capacity(self.parts.len());
-        for (i, part) in self.parts.iter().enumerate() {
+        // Map-side combine: each task's partition is independent, so the
+        // combines run in parallel and the results land back in task order.
+        let combined: Vec<(u64, BTreeMap<K, V>)> = sjc_par::par_map(&self.parts, |part| {
             let mut local: BTreeMap<K, V> = BTreeMap::new();
             for (k, v) in part {
                 match local.get_mut(k) {
@@ -159,11 +197,16 @@ where
             let combined_full = (combined_mem as f64 * mult / part.len().max(1) as f64
                 * local.len() as f64) as u64; // conservative: scale by density
             let ser = (combined_full as f64 * cost.spark_shuffle_ser_fraction) as u64;
-            // sjc-lint: allow(no-panic-in-lib) — write_pending clones pending_ns, parallel to parts
-            write_pending[i] += combine_cpu
+            let ns = combine_cpu
                 + (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64
                 + cost.io_ns(ser, node.slot_disk_write_bw())
                 + cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
+            (ns, local)
+        });
+        let mut write_pending = self.pending_ns.clone();
+        let mut combined_parts: Vec<BTreeMap<K, V>> = Vec::with_capacity(self.parts.len());
+        for (wp, (ns, local)) in write_pending.iter_mut().zip(combined) {
+            *wp += ns;
             combined_parts.push(local);
         }
 
@@ -188,12 +231,14 @@ where
 
         let mut mem_full = Vec::with_capacity(p);
         let mut read_pending = Vec::with_capacity(p);
-        for part in &parts {
-            // Combined results are one value per key: modeled at generation
-            // scale directly (keys don't multiply with the workload).
+        // Combined results are one value per key: modeled at generation
+        // scale directly (keys don't multiply with the workload).
+        for (mem, ns) in sjc_par::par_map(&parts, |part| {
             let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
+            (mem, cost.spark_records_ns(part.len() as u64))
+        }) {
             mem_full.push(mem);
-            read_pending.push(cost.spark_records_ns(part.len() as u64));
+            read_pending.push(ns);
         }
         check_fits(ctx.cluster, name, &[&self.mem_full, &mem_full])?;
         let shuffle_bytes: u64 = mem_full.iter().sum();
@@ -252,39 +297,50 @@ where
             right_pending[i] += spill(m);
         }
 
-        let mut left: BTreeMap<K, Vec<A>> = BTreeMap::new();
-        for (k, a) in self.parts.iter().flatten() {
-            left.entry(k.clone()).or_default().push(a.clone());
-        }
-        let mut right: BTreeMap<K, Vec<B>> = BTreeMap::new();
-        for (k, b) in other.parts.iter().flatten() {
-            right.entry(k.clone()).or_default().push(b.clone());
-        }
+        // Hash-table builds: both sides group per partition in parallel and
+        // merge in partition order (value order matches the serial flatten).
+        let (left, right) = sjc_par::join(
+            || build_side(&self.parts, |(k, a)| (k, a)),
+            || build_side(&other.parts, |(k, b)| (k, b)),
+        );
 
-        let mut parts: Vec<Vec<(K, (A, B))>> = (0..p).map(|_| Vec::new()).collect();
-        for (k, avs) in &left {
-            if let Some(bvs) = right.get(k) {
-                let idx = (hash_of(k) % p as u64) as usize;
-                for a in avs {
-                    for b in bvs {
-                        // sjc-lint: allow(no-panic-in-lib) — idx = hash % p < p = parts.len()
-                        parts[idx].push((k.clone(), (a.clone(), b.clone())));
+        // Cartesian products per matching key run in parallel; the scatter
+        // into hash partitions replays them in key order, so output record
+        // order is identical to the serial nested loop.
+        type KeyBatch<K, A, B> = Option<(usize, Vec<(K, (A, B))>)>;
+        let left_list: Vec<(&K, &Vec<A>)> = left.iter().collect();
+        let produced: Vec<KeyBatch<K, A, B>> =
+            sjc_par::par_map(&left_list, |&(k, avs)| {
+                right.get(k).map(|bvs| {
+                    let idx = (hash_of(k) % p as u64) as usize;
+                    let mut out = Vec::with_capacity(avs.len() * bvs.len());
+                    for a in avs {
+                        for b in bvs {
+                            out.push((k.clone(), (a.clone(), b.clone())));
+                        }
                     }
-                }
-            }
+                    (idx, out)
+                })
+            });
+        let mut parts: Vec<Vec<(K, (A, B))>> = (0..p).map(|_| Vec::new()).collect();
+        for (idx, recs) in produced.into_iter().flatten() {
+            // sjc-lint: allow(no-panic-in-lib) — idx = hash % p < p = parts.len()
+            parts[idx].extend(recs);
         }
 
         let mut mem_full = Vec::with_capacity(p);
         let mut read_pending = Vec::with_capacity(p);
-        for part in &parts {
+        for (mem_f, ns) in sjc_par::par_map(&parts, |part| {
             let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
             let mem_f = (mem as f64 * mult) as u64;
-            mem_full.push(mem_f);
             let ser = (mem_f as f64 * cost.spark_shuffle_ser_fraction) as u64;
             let cpu = cost.serialize_ns(ser)
                 + cost.spark_records_ns((part.len() as f64 * mult) as u64);
             let ns = cost.io_ns(ser, node.slot_disk_read_bw())
                 + (cpu as f64 * node.cpu_scale) as u64;
+            (mem_f, ns)
+        }) {
+            mem_full.push(mem_f);
             read_pending.push(ns);
         }
 

@@ -52,6 +52,37 @@ fn experiment_grid_cells_are_stable() {
 }
 
 #[test]
+fn results_are_identical_across_thread_budgets() {
+    // The whole point of sjc-par: the host thread budget may change wall
+    // time, never results. Run all three systems serially and at 8 threads
+    // and demand bit-identical traces and pair sets.
+    let run_all = |threads: usize| {
+        sjc_par::set_global_threads(threads);
+        let (l, r) = Workload::taxi1m_nycb().prepare(3e-4, 31337);
+        let cluster = Cluster::new(ClusterConfig::workstation());
+        let out: Vec<_> = sjc_core::experiment::SystemKind::all()
+            .iter()
+            .map(|sys| {
+                let o = sys
+                    .instance()
+                    .run(&cluster, &l, &r, JoinPredicate::Intersects)
+                    .expect("workstation config completes for all systems");
+                let stage_ns: Vec<u64> = o.trace.stages.iter().map(|s| s.sim_ns).collect();
+                (o.trace.total_ns(), stage_ns, o.sorted_pairs())
+            })
+            .collect();
+        sjc_par::set_global_threads(0);
+        out
+    };
+    let serial = run_all(1);
+    let parallel = run_all(8);
+    assert_eq!(
+        serial, parallel,
+        "simulated traces and pair sets must not depend on SJC_PAR_THREADS"
+    );
+}
+
+#[test]
 fn different_seeds_give_different_data_same_shape() {
     let a = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 1);
     let b = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 2);

@@ -82,6 +82,44 @@ fn bench_isolation_fires_on_seeded_bad_code() {
 }
 
 #[test]
+fn serial_hot_loop_fires_on_seeded_bad_code() {
+    let bad = "fn drive(tasks: &[u8]) {\n    for t in tasks {\n        run(t);\n    }\n}\n";
+    // A serial task loop in a designated hot-path file is flagged…
+    let fired = rules_fired("crates/mapreduce/src/job.rs", bad);
+    assert!(fired.contains(&Rule::SerialHotLoop), "{fired:?}");
+    // …the same loop in a non-hot-path file is not…
+    assert!(rules_fired("crates/mapreduce/src/streaming.rs", bad).is_empty());
+    // …per-record inner loops and sjc_par call expressions never fire…
+    for ok in [
+        "for rec in &task.records {\n",
+        "for out in sjc_par::par_map(&parts, run) {\n",
+    ] {
+        assert!(rules_fired("crates/mapreduce/src/job.rs", ok).is_empty(), "{ok:?}");
+    }
+    // …and a reasoned suppression documents an intentionally serial merge.
+    let suppressed = "fn drive(tasks: &[u8]) {\n    // sjc-lint: allow(serial-hot-loop) — merge must run in task order\n    for t in tasks {\n        run(t);\n    }\n}\n";
+    assert!(rules_fired("crates/mapreduce/src/job.rs", suppressed).is_empty());
+}
+
+/// Compile-only bench gate: `cargo bench --no-run` must keep building so
+/// the perf suites (and `perfsnap`'s inputs) cannot rot silently. Building,
+/// not running: bench wall-clock belongs in `perfsnap`, not the test gate.
+#[test]
+fn bench_targets_compile() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO"))
+        .args(["bench", "--no-run", "-p", "sjc-bench", "--offline", "-q"])
+        .current_dir(root)
+        .output()
+        .expect("cargo bench --no-run must spawn");
+    assert!(
+        out.status.success(),
+        "bench targets failed to compile:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn bad_suppression_fires_on_seeded_bad_code() {
     // A reasonless allow is itself a violation and does not suppress.
     let vs = check_file("crates/geom/src/fixture.rs", "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n");
