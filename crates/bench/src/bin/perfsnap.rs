@@ -13,16 +13,22 @@
 //!   over the parallel wall (≈1.0 on a single-core host, ≥2× expected on
 //!   multi-core machines).
 //!
+//! After the baseline, the fault sweep runs each system under the
+//! none/light/heavy fault presets and writes `BENCH_faults.json` — all
+//! simulated numbers, so that file is bit-stable across machines.
+//!
 //! ```text
-//! cargo run --release -p sjc-bench --bin perfsnap            # write BENCH_baseline.json
-//! cargo run --release -p sjc-bench --bin perfsnap -- --out snap.json --threads 4
+//! cargo run --release -p sjc-bench --bin perfsnap            # write BENCH_baseline.json + BENCH_faults.json
+//! cargo run --release -p sjc-bench --bin perfsnap -- --out snap.json --faults-out faults.json --threads 4
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sjc_bench::microbench::black_box;
-use sjc_core::experiment::ExperimentGrid;
+use sjc_cluster::{Cluster, ClusterConfig, FaultPlan};
+use sjc_core::experiment::{ExperimentGrid, SystemKind, Workload};
+use sjc_core::framework::JoinPredicate;
 use sjc_core::json::Json;
 use sjc_data::rng::StdRng;
 use sjc_data::{DatasetId, ScaledDataset};
@@ -92,6 +98,60 @@ fn run_systems_e2e() -> u64 {
         .sum()
 }
 
+/// The fault sweep behind `BENCH_faults.json`: each system's makespan on
+/// EC2-8 under the none / light / heavy fault presets, heavy plus a node
+/// crash at 40% of that system's own fault-free runtime (mirroring
+/// `examples/fault_tolerance.rs`). Inputs stay at multiplier 1 so HadoopGIS
+/// survives — its full-scale pipe break is Table 2's story, not a fault
+/// outcome. Everything here is simulated time: bit-stable across hosts and
+/// thread budgets, so the file is directly diffable between machines.
+fn run_fault_sweep() -> Json {
+    let (mut left, mut right) = Workload::taxi1m_nycb().prepare(SCALE, SEED);
+    left.multiplier = 1.0;
+    right.multiplier = 1.0;
+    let config = ClusterConfig::ec2(8);
+    let mut rows: Vec<(String, Json)> = Vec::new();
+    println!("{:<16} {:>16} {:>16} {:>16}", "fault sweep", "none_ns", "light_ns", "heavy_ns");
+    for sys in SystemKind::all() {
+        let base = sys
+            .instance()
+            .run(&Cluster::new(config.clone()), &left, &right, JoinPredicate::Intersects)
+            .map(|o| o.trace.total_ns())
+            .unwrap_or(0);
+        let plans: [(&str, FaultPlan); 3] = [
+            ("none", FaultPlan::none()),
+            ("light", FaultPlan::light(7, &config)),
+            ("heavy", FaultPlan::heavy(7, &config).crash_at(2, base * 2 / 5)),
+        ];
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let mut printed: Vec<String> = Vec::new();
+        for (label, plan) in plans {
+            let cluster = Cluster::with_faults(config.clone(), plan);
+            match sys.instance().run(&cluster, &left, &right, JoinPredicate::Intersects) {
+                Ok(out) => {
+                    fields.push((format!("{label}_sim_ns"), Json::Int(out.trace.total_ns())));
+                    if label == "heavy" {
+                        let wasted: u64 = out.trace.recovery.iter().map(|e| e.wasted_ns).sum();
+                        fields.push((
+                            "heavy_recovery_events".to_string(),
+                            Json::Int(out.trace.recovery.len() as u64),
+                        ));
+                        fields.push(("heavy_wasted_ns".to_string(), Json::Int(wasted)));
+                    }
+                    printed.push(format!("{:>16}", out.trace.total_ns()));
+                }
+                Err(e) => {
+                    fields.push((format!("{label}_failed"), Json::Str(e.kind().to_string())));
+                    printed.push(format!("{:>16}", format!("- ({})", e.kind())));
+                }
+            }
+        }
+        println!("{:<16} {}", sys.paper_name(), printed.join(" "));
+        rows.push((sys.paper_name().to_string(), Json::Obj(fields)));
+    }
+    Json::Obj(rows)
+}
+
 fn measure(suite: &'static str, threads: usize, run: fn() -> u64) -> Snap {
     sjc_par::set_global_threads(threads);
     let start = Instant::now();
@@ -103,6 +163,7 @@ fn measure(suite: &'static str, threads: usize, run: fn() -> u64) -> Snap {
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_baseline.json");
+    let mut faults_path = String::from("BENCH_faults.json");
     let mut hw = sjc_par::hardware_threads();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +172,10 @@ fn main() -> ExitCode {
                 Some(p) => out_path = p,
                 None => return usage("--out needs a path"),
             },
+            "--faults-out" => match args.next() {
+                Some(p) => faults_path = p,
+                None => return usage("--faults-out needs a path"),
+            },
             "--threads" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) if n > 0 => hw = n,
                 _ => return usage("--threads needs a positive integer"),
@@ -118,12 +183,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "perfsnap — wall-clock snapshot of the hot suites\n\n\
-                     USAGE: perfsnap [--out PATH] [--threads N]\n\n\
+                     USAGE: perfsnap [--out PATH] [--faults-out PATH] [--threads N]\n\n\
                      Runs local_join / data_gen / systems_e2e once serially and\n\
                      once at N threads (default: hardware), checks the simulated\n\
                      numbers are thread-count independent, and writes\n\
                      {{bench: {{wall_ms, sim_ns, threads}}}} to PATH\n\
-                     (default BENCH_baseline.json)."
+                     (default BENCH_baseline.json). Then runs the per-system\n\
+                     none/light/heavy fault sweep and writes its simulated\n\
+                     makespans to the faults path (default BENCH_faults.json)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -193,6 +260,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("perfsnap: wrote {out_path}");
+
+    let faults = run_fault_sweep();
+    if let Err(e) = std::fs::write(&faults_path, faults.to_string_pretty() + "\n") {
+        eprintln!("perfsnap: cannot write {faults_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("perfsnap: wrote {faults_path}");
     ExitCode::SUCCESS
 }
 

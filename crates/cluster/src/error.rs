@@ -28,6 +28,15 @@ pub enum SimError {
     FileNotFound(String),
     /// Generic configuration error.
     Config(String),
+    /// Every replica of an HDFS block lives on a crashed datanode, so the
+    /// read cannot fail over anywhere (replication exhausted).
+    BlockLost { file: String, block: u64 },
+    /// A task failed on its last permitted attempt (Hadoop's
+    /// `mapreduce.map.maxattempts`-style bound).
+    TaskAttemptsExhausted { stage: String, task: u64, attempts: u32 },
+    /// A stage lost its compute entirely: every slot that could run it sits
+    /// on a crashed node.
+    NodeLost { stage: String, node: u32 },
 }
 
 impl SimError {
@@ -38,6 +47,9 @@ impl SimError {
             SimError::OutOfMemory { .. } => "out of memory",
             SimError::FileNotFound(_) => "file not found",
             SimError::Config(_) => "config",
+            SimError::BlockLost { .. } => "block lost",
+            SimError::TaskAttemptsExhausted { .. } => "task attempts exhausted",
+            SimError::NodeLost { .. } => "node lost",
         }
     }
 }
@@ -65,6 +77,18 @@ impl fmt::Display for SimError {
             ),
             SimError::FileNotFound(name) => write!(f, "HDFS file not found: {name:?}"),
             SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SimError::BlockLost { file, block } => write!(
+                f,
+                "HDFS block lost: {file:?} block {block} has no surviving replica"
+            ),
+            SimError::TaskAttemptsExhausted { stage, task, attempts } => write!(
+                f,
+                "task {task} of stage {stage:?} failed {attempts} attempts (bound reached)"
+            ),
+            SimError::NodeLost { stage, node } => write!(
+                f,
+                "stage {stage:?} lost its compute: no surviving slot (last crash: node {node})"
+            ),
         }
     }
 }
@@ -93,5 +117,46 @@ mod tests {
         };
         assert!(o.to_string().contains("cannot spill"));
         assert_eq!(o.kind(), "out of memory");
+    }
+
+    /// One value of every variant. Growing `SimError` without extending this
+    /// list is a compile error (the `match` below has no `_` arm), so the
+    /// failure vocabulary cannot drift silently.
+    fn one_of_each() -> Vec<SimError> {
+        vec![
+            SimError::BrokenPipe { stage: "s".into(), payload_bytes: 2, limit_bytes: 1 },
+            SimError::OutOfMemory { stage: "s".into(), needed_bytes: 2, usable_bytes: 1 },
+            SimError::FileNotFound("f".into()),
+            SimError::Config("c".into()),
+            SimError::BlockLost { file: "f".into(), block: 0 },
+            SimError::TaskAttemptsExhausted { stage: "s".into(), task: 3, attempts: 4 },
+            SimError::NodeLost { stage: "s".into(), node: 7 },
+        ]
+    }
+
+    #[test]
+    fn kind_labels_are_exhaustive_and_stable() {
+        for e in one_of_each() {
+            // Match-on-all, deliberately without a `_` arm: a new variant
+            // must be given a label here *and* in `kind()` to compile.
+            let expected = match &e {
+                SimError::BrokenPipe { .. } => "broken pipe",
+                SimError::OutOfMemory { .. } => "out of memory",
+                SimError::FileNotFound(_) => "file not found",
+                SimError::Config(_) => "config",
+                SimError::BlockLost { .. } => "block lost",
+                SimError::TaskAttemptsExhausted { .. } => "task attempts exhausted",
+                SimError::NodeLost { .. } => "node lost",
+            };
+            assert_eq!(e.kind(), expected);
+            assert!(!e.to_string().is_empty());
+        }
+        // Labels are pairwise distinct (a table cell's label identifies the
+        // mechanism unambiguously).
+        let mut labels: Vec<&str> = one_of_each().iter().map(|e| e.kind()).collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "duplicate kind() label");
     }
 }

@@ -1,0 +1,315 @@
+//! Deterministic fault injection: the `FaultPlan`.
+//!
+//! A [`FaultPlan`] is a *pure function* of `(seed, cluster config)` — it
+//! precomputes node crash times and answers per-task/per-slot fault queries
+//! by hashing, never by consuming shared RNG state. That purity is what
+//! keeps faulted runs bit-identical across host thread counts: whether a
+//! task's disk read fails depends only on `(seed, stage, task, attempt)`,
+//! not on which worker thread asked first.
+//!
+//! The plan models four fault classes, mirroring what the paper's real
+//! substrates tolerate (and what this simulator previously could not):
+//!
+//! * **node crashes** at scheduled simulated times — kills running tasks,
+//!   removes the node's slots and block replicas for the rest of the run;
+//! * **straggler slots** — a deterministic subset of slots runs tasks
+//!   `straggler_slowdown×` slower (Hadoop speculates around these);
+//! * **transient disk-read errors** — a per-attempt Bernoulli draw; the
+//!   attempt's work is wasted and the task retries (bounded);
+//! * **lost block replicas** — follows from node crashes via
+//!   [`crate::hdfs::SimHdfs::read_file_failover`].
+//!
+//! [`FaultPlan::none()`] is the identity plan: every query answers "no
+//! fault", and every engine bypasses its fault machinery entirely, so
+//! zero-fault traces are bit-identical to a build without this module.
+
+use crate::config::ClusterConfig;
+use crate::SimNs;
+
+/// Hadoop's default `mapreduce.map.maxattempts`: a task may run at most
+/// this many times before the job fails.
+pub const MAX_TASK_ATTEMPTS: u32 = 4;
+
+/// Spark's `spark.stage.maxConsecutiveAttempts`: a stage is resubmitted at
+/// most this many times after fetch/executor loss before the job aborts.
+pub const MAX_STAGE_RESUBMITS: u32 = 4;
+
+/// A slot whose straggler factor reaches this threshold gets a speculative
+/// duplicate attempt (Hadoop's speculative execution heuristic).
+pub const SPECULATION_THRESHOLD: f64 = 1.5;
+
+/// One scheduled node crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCrash {
+    pub node: u32,
+    /// Absolute simulated time of the crash (same clock as
+    /// `RunTrace::total_ns` accumulation).
+    pub at_ns: SimNs,
+}
+
+/// The deterministic fault schedule for one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every hashed fault draw.
+    pub seed: u64,
+    /// Node count of the cluster this plan was built for.
+    pub nodes: u32,
+    /// Per-attempt probability that a task's input read fails transiently.
+    pub disk_error_rate: f64,
+    /// Probability that a given (stage, slot) pair is a straggler.
+    pub straggler_rate: f64,
+    /// Slowdown factor applied to straggler slots (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Scheduled crashes, in schedule order.
+    pub crashes: Vec<NodeCrash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, used as the stateless
+/// hash behind every fault draw.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the top 53 bits of a hash.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stable tag for a stage name (FNV-1a), mixed into per-stage fault draws
+/// so different stages see independent fault streams.
+pub fn stage_tag(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults, ever. Engines check [`Self::is_none`]
+    /// and skip their fault machinery entirely, so runs under this plan are
+    /// bit-identical to the pre-fault-subsystem behaviour.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            nodes: 0,
+            disk_error_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// An empty plan bound to a cluster; compose faults with the builder
+    /// methods ([`Self::crash_at`], [`Self::with_crashes`],
+    /// [`Self::with_disk_errors`], [`Self::with_stragglers`]).
+    pub fn seeded(seed: u64, config: &ClusterConfig) -> Self {
+        FaultPlan {
+            seed,
+            nodes: config.nodes,
+            disk_error_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A mild preset: occasional transient disk errors and a few slow
+    /// slots — every system should finish, a little degraded.
+    pub fn light(seed: u64, config: &ClusterConfig) -> Self {
+        FaultPlan::seeded(seed, config)
+            .with_disk_errors(0.02)
+            .with_stragglers(0.05, 2.0)
+    }
+
+    /// A harsh preset: frequent disk errors and many slow slots.
+    pub fn heavy(seed: u64, config: &ClusterConfig) -> Self {
+        FaultPlan::seeded(seed, config)
+            .with_disk_errors(0.08)
+            .with_stragglers(0.15, 3.0)
+    }
+
+    /// Schedules an explicit crash of `node` at absolute simulated `at_ns`.
+    pub fn crash_at(mut self, node: u32, at_ns: SimNs) -> Self {
+        let node = if self.nodes > 0 { node % self.nodes } else { node };
+        self.crashes.push(NodeCrash { node, at_ns });
+        self
+    }
+
+    /// Schedules `count` crashes at hashed times within `[0, horizon_ns)`,
+    /// on hashed nodes — the seeded random-crash mode.
+    pub fn with_crashes(mut self, count: u32, horizon_ns: SimNs) -> Self {
+        for k in 0..count {
+            let h = mix64(self.seed ^ 0xC4A5_u64.wrapping_add(k as u64).wrapping_mul(0x9E6D));
+            let node = if self.nodes > 0 { (h >> 32) as u32 % self.nodes } else { 0 };
+            let at_ns = if horizon_ns > 0 { mix64(h) % horizon_ns } else { 0 };
+            self.crashes.push(NodeCrash { node, at_ns });
+        }
+        self
+    }
+
+    /// Sets the per-attempt transient disk-read error probability.
+    pub fn with_disk_errors(mut self, rate: f64) -> Self {
+        self.disk_error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the straggler probability and slowdown factor.
+    pub fn with_stragglers(mut self, rate: f64, slowdown: f64) -> Self {
+        self.straggler_rate = rate.clamp(0.0, 1.0);
+        self.straggler_slowdown = slowdown.max(1.0);
+        self
+    }
+
+    /// True iff this plan can never inject a fault. The fast path every
+    /// engine takes before touching fault machinery.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.disk_error_rate <= 0.0 && self.straggler_rate <= 0.0
+    }
+
+    /// Earliest crash time of `node`, if any is scheduled.
+    pub fn crash_ns(&self, node: u32) -> Option<SimNs> {
+        self.crashes.iter().filter(|c| c.node == node).map(|c| c.at_ns).min()
+    }
+
+    /// Nodes dead at absolute simulated time `t` (crash at `t` counts as
+    /// dead), ascending and deduplicated.
+    pub fn dead_nodes_at(&self, t: SimNs) -> Vec<u32> {
+        let mut dead: Vec<u32> =
+            self.crashes.iter().filter(|c| c.at_ns <= t).map(|c| c.node).collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// Fraction of the cluster's nodes dead at `t` (0 when the plan is not
+    /// bound to a cluster).
+    pub fn dead_fraction_at(&self, t: SimNs) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.dead_nodes_at(t).len() as f64 / self.nodes as f64
+    }
+
+    /// Whether attempt `attempt` of `task` in the stage tagged `tag`
+    /// suffers a transient disk-read error. Pure in all arguments.
+    pub fn disk_error(&self, tag: u64, task: u64, attempt: u32) -> bool {
+        if self.disk_error_rate <= 0.0 {
+            return false;
+        }
+        let h = mix64(
+            self.seed
+                ^ tag.rotate_left(17)
+                ^ task.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (attempt as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        unit_f64(h) < self.disk_error_rate
+    }
+
+    /// Slowdown factor of `slot` for the stage tagged `tag`: 1.0 for a
+    /// healthy slot, `straggler_slowdown` for a straggler. Pure.
+    pub fn straggler_factor(&self, tag: u64, slot: u64) -> f64 {
+        if self.straggler_rate <= 0.0 {
+            return 1.0;
+        }
+        let h = mix64(self.seed ^ tag.rotate_left(41) ^ slot.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
+        if unit_f64(h) < self.straggler_rate {
+            self.straggler_slowdown
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ec2() -> ClusterConfig {
+        ClusterConfig::ec2(10)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.disk_error(1, 2, 3));
+        assert_eq!(p.straggler_factor(1, 2), 1.0);
+        assert!(p.dead_nodes_at(u64::MAX).is_empty());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn queries_are_pure_functions() {
+        let p = FaultPlan::heavy(42, &ec2());
+        for task in 0..50u64 {
+            for attempt in 1..=4u32 {
+                assert_eq!(
+                    p.disk_error(7, task, attempt),
+                    p.disk_error(7, task, attempt),
+                    "same draw twice"
+                );
+            }
+        }
+        assert_eq!(p.straggler_factor(9, 3), p.straggler_factor(9, 3));
+    }
+
+    #[test]
+    fn rates_bite_at_roughly_the_configured_frequency() {
+        let p = FaultPlan::seeded(1, &ec2()).with_disk_errors(0.10);
+        let hits = (0..10_000u64).filter(|&t| p.disk_error(1, t, 1)).count();
+        assert!((800..1200).contains(&hits), "10% rate drew {hits}/10000");
+    }
+
+    #[test]
+    fn stage_tags_decorrelate_stages() {
+        let p = FaultPlan::seeded(5, &ec2()).with_disk_errors(0.5);
+        let a: Vec<bool> = (0..64).map(|t| p.disk_error(stage_tag("map"), t, 1)).collect();
+        let b: Vec<bool> = (0..64).map(|t| p.disk_error(stage_tag("reduce"), t, 1)).collect();
+        assert_ne!(a, b, "stages see independent fault streams");
+    }
+
+    #[test]
+    fn crash_schedule_and_death_queries() {
+        let p = FaultPlan::seeded(3, &ec2()).crash_at(4, 100).crash_at(7, 200);
+        assert_eq!(p.crash_ns(4), Some(100));
+        assert_eq!(p.crash_ns(5), None);
+        assert!(p.dead_nodes_at(99).is_empty());
+        assert_eq!(p.dead_nodes_at(100), vec![4]);
+        assert_eq!(p.dead_nodes_at(500), vec![4, 7]);
+        assert!((p.dead_fraction_at(500) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hashed_crashes_land_in_horizon() {
+        let p = FaultPlan::seeded(11, &ec2()).with_crashes(5, 1_000);
+        assert_eq!(p.crashes.len(), 5);
+        for c in &p.crashes {
+            assert!(c.at_ns < 1_000);
+            assert!(c.node < 10);
+        }
+        // And the schedule is reproducible from the seed.
+        let q = FaultPlan::seeded(11, &ec2()).with_crashes(5, 1_000);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn presets_are_nonempty_but_bounded() {
+        let l = FaultPlan::light(1, &ec2());
+        let h = FaultPlan::heavy(1, &ec2());
+        assert!(!l.is_none() && !h.is_none());
+        assert!(h.disk_error_rate > l.disk_error_rate);
+        assert!(h.straggler_slowdown >= l.straggler_slowdown);
+        assert!(l.straggler_slowdown >= 1.0);
+    }
+}

@@ -21,11 +21,16 @@
 //!   report layer prints (stage seconds, HDFS/network/pipe bytes — the
 //!   quantities Fig. 1 of the paper illustrates qualitatively);
 //! * [`error`] — the failure modes observed in the paper (Hadoop-Streaming
-//!   broken pipes, Spark out-of-memory).
+//!   broken pipes, Spark out-of-memory);
+//! * [`faults`] — deterministic seeded fault injection ([`FaultPlan`]:
+//!   node crashes, stragglers, transient disk errors) that the engines
+//!   recover around (task retry, speculation, replica failover, lineage
+//!   recomputation).
 
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod hdfs;
 pub mod metrics;
 pub mod scheduler;
@@ -33,8 +38,9 @@ pub mod scheduler;
 pub use config::{ClusterConfig, NodeSpec};
 pub use cost::CostModel;
 pub use error::SimError;
+pub use faults::{FaultPlan, MAX_STAGE_RESUBMITS, MAX_TASK_ATTEMPTS};
 pub use hdfs::SimHdfs;
-pub use metrics::{RunTrace, StageKind, StageTrace};
+pub use metrics::{RecoveryEvent, RecoveryKind, RunTrace, StageKind, StageTrace};
 
 /// Simulated time in nanoseconds.
 pub type SimNs = u64;
@@ -50,6 +56,10 @@ pub fn ns_to_secs(ns: SimNs) -> f64 {
 pub struct Cluster {
     pub config: ClusterConfig,
     pub cost: CostModel,
+    /// The fault schedule for runs on this cluster. Defaults to
+    /// [`FaultPlan::none()`], under which every engine bypasses its fault
+    /// machinery entirely (bit-identical to the pre-fault behaviour).
+    pub faults: FaultPlan,
 }
 
 impl Cluster {
@@ -57,7 +67,13 @@ impl Cluster {
         Cluster {
             config,
             cost: CostModel::default(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// A cluster with a fault schedule attached.
+    pub fn with_faults(config: ClusterConfig, faults: FaultPlan) -> Self {
+        Cluster { config, cost: CostModel::default(), faults }
     }
 
     /// Total parallel task slots (cores across all nodes).

@@ -48,6 +48,37 @@ pub enum Phase {
     DistributedJoin,
 }
 
+/// One concrete recovery action taken during a faulted run — the entries of
+/// `RunTrace::recovery`. With `FaultPlan::none()` no event is ever emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryKind {
+    /// A task attempt failed (transient disk error) and was re-launched.
+    TaskRetry { task: u64, attempt: u32 },
+    /// A speculative duplicate was launched for a straggling attempt; the
+    /// loser's work is charged as waste.
+    Speculation { task: u64 },
+    /// A node crashed mid-stage, killing the tasks running on it.
+    NodeCrash { node: u32, tasks_killed: u64 },
+    /// Completed map outputs were lost with their host node before the
+    /// shuffle could fetch them; the tasks re-ran on surviving slots.
+    MapRerun { tasks: u64 },
+    /// An HDFS read fell over from dead primaries to surviving replicas.
+    ReplicaFailover { blocks: u64 },
+    /// Spark recomputed lost partitions from lineage.
+    PartitionRecompute { partitions: u64, lineage_depth: u32 },
+    /// Spark resubmitted a stage after executor loss.
+    StageResubmit { attempt: u32 },
+}
+
+/// A recovery event: what happened, in which stage, and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    pub stage: String,
+    pub kind: RecoveryKind,
+    /// Simulated nanoseconds of work wasted or re-spent by this action.
+    pub wasted_ns: SimNs,
+}
+
 /// One stage of a simulated run.
 #[derive(Debug, Clone)]
 pub struct StageTrace {
@@ -60,6 +91,18 @@ pub struct StageTrace {
     pub shuffle_bytes: u64,
     pub pipe_bytes: u64,
     pub tasks: u64,
+    /// Task attempts launched; equals `tasks` on a fault-free run, larger
+    /// when retries or speculation fired (0 kept for stages that predate
+    /// attempt accounting, i.e. non-scheduled serial stages).
+    pub attempts: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative: u64,
+    /// Simulated nanoseconds of thrown-away work (killed attempts, losing
+    /// speculative copies, re-run map tasks, lineage recomputation).
+    pub wasted_ns: SimNs,
+    /// Input bytes read a second time during recovery (replica failover,
+    /// map re-runs, partition recomputes).
+    pub bytes_reread: u64,
 }
 
 impl StageTrace {
@@ -74,6 +117,10 @@ impl StageTrace {
             shuffle_bytes: 0,
             pipe_bytes: 0,
             tasks: 0,
+            attempts: 0,
+            speculative: 0,
+            wasted_ns: 0,
+            bytes_reread: 0,
         }
     }
 
@@ -93,6 +140,9 @@ impl StageTrace {
 pub struct RunTrace {
     pub system: String,
     pub stages: Vec<StageTrace>,
+    /// Recovery actions taken during the run, in stage order. Empty on every
+    /// fault-free run.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl RunTrace {
@@ -100,11 +150,32 @@ impl RunTrace {
         RunTrace {
             system: system.into(),
             stages: Vec::new(),
+            recovery: Vec::new(),
         }
     }
 
     pub fn push(&mut self, stage: StageTrace) {
         self.stages.push(stage);
+    }
+
+    /// Appends recovery events (tagging is the producer's job).
+    pub fn push_recovery(&mut self, events: impl IntoIterator<Item = RecoveryEvent>) {
+        self.recovery.extend(events);
+    }
+
+    /// Total task attempts across all stages (0 if nothing recorded them).
+    pub fn total_attempts(&self) -> u64 {
+        self.stages.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Total simulated nanoseconds of wasted (recovered-around) work.
+    pub fn total_wasted_ns(&self) -> SimNs {
+        self.stages.iter().map(|s| s.wasted_ns).sum()
+    }
+
+    /// Total bytes read more than once during recovery.
+    pub fn total_bytes_reread(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes_reread).sum()
     }
 
     /// Total simulated time across all stages.
@@ -220,5 +291,44 @@ mod tests {
         let mut s = StageTrace::new("groupByKey", StageKind::SparkStage, Phase::DistributedJoin);
         s.shuffle_bytes = 12345;
         assert!(!s.touches_hdfs());
+    }
+
+    #[test]
+    fn recovery_accounting_defaults_to_zero() {
+        // The fault-free invariant: fresh traces carry no recovery state, so
+        // pre-fault-subsystem behaviour is preserved byte for byte.
+        let mut t = RunTrace::new("x");
+        t.push(stage("a", Phase::IndexA, 5, 0, 0));
+        assert!(t.recovery.is_empty());
+        assert_eq!(t.total_attempts(), 0);
+        assert_eq!(t.total_wasted_ns(), 0);
+        assert_eq!(t.total_bytes_reread(), 0);
+    }
+
+    #[test]
+    fn recovery_events_accumulate() {
+        let mut t = RunTrace::new("x");
+        let mut s = stage("map", Phase::DistributedJoin, 10, 0, 0);
+        s.attempts = 5;
+        s.speculative = 1;
+        s.wasted_ns = 7;
+        s.bytes_reread = 64;
+        t.push(s);
+        t.push_recovery(vec![
+            RecoveryEvent {
+                stage: "map".into(),
+                kind: RecoveryKind::TaskRetry { task: 2, attempt: 2 },
+                wasted_ns: 3,
+            },
+            RecoveryEvent {
+                stage: "map".into(),
+                kind: RecoveryKind::NodeCrash { node: 1, tasks_killed: 1 },
+                wasted_ns: 4,
+            },
+        ]);
+        assert_eq!(t.recovery.len(), 2);
+        assert_eq!(t.total_attempts(), 5);
+        assert_eq!(t.total_wasted_ns(), 7);
+        assert_eq!(t.total_bytes_reread(), 64);
     }
 }

@@ -8,6 +8,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::error::SimError;
+use crate::faults::{stage_tag, FaultPlan, MAX_TASK_ATTEMPTS, SPECULATION_THRESHOLD};
+use crate::metrics::{RecoveryEvent, RecoveryKind};
 use crate::SimNs;
 
 /// LPT makespan of `tasks` on `slots` parallel slots.
@@ -62,6 +65,281 @@ pub fn replicated_makespan(tasks: &[SimNs], slots: usize, multiplier: f64) -> Si
     let total: f64 = tasks.iter().map(|&t| t as f64).sum();
     let longest = tasks.iter().copied().max().unwrap_or(0) as f64;
     ((longest.max(total * multiplier / slots as f64)) as SimNs).max(base)
+}
+
+/// The outcome of scheduling one task wave under a [`FaultPlan`] — the
+/// makespan plus the recovery ledger the trace layer surfaces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskSchedule {
+    pub makespan: SimNs,
+    /// Attempts launched (≥ task count; > on any retry/speculation).
+    pub attempts: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative: u64,
+    /// Simulated ns of work thrown away (failed attempts, killed tasks,
+    /// losing speculative copies, re-run map outputs).
+    pub wasted_ns: SimNs,
+    /// Recovery actions, in occurrence order.
+    pub events: Vec<RecoveryEvent>,
+    /// Node that produced each task's surviving output (input task order).
+    pub task_nodes: Vec<u32>,
+}
+
+/// Straggler-scaled duration. Factor 1.0 is the exact identity (no float
+/// round-trip), which keeps the zero-fault path bit-identical.
+fn scaled(base: SimNs, factor: f64) -> SimNs {
+    if factor <= 1.0 {
+        base
+    } else {
+        (base as f64 * factor) as SimNs
+    }
+}
+
+/// Pops the earliest-free slot whose node is still alive when an attempt
+/// that becomes runnable at `ready` would actually launch
+/// (`max(free, ready)`). Slots of nodes dead at their own free time are
+/// lazily discarded for good; slots alive at `free` but dead by `ready`
+/// (a retry of a task the crash itself killed) are kept for tasks with
+/// earlier ready times. `last_dead` remembers the most recent casualty for
+/// error reporting.
+fn pop_live(
+    heap: &mut BinaryHeap<Reverse<(SimNs, u32)>>,
+    slots_per_node: u32,
+    plan: &FaultPlan,
+    last_dead: &mut u32,
+    ready: SimNs,
+) -> Option<(SimNs, u32)> {
+    let mut stash: Vec<(SimNs, u32)> = Vec::new();
+    let mut found = None;
+    while let Some(Reverse((free, sid))) = heap.pop() {
+        let node = sid / slots_per_node;
+        match plan.crash_ns(node) {
+            Some(c) if c <= free => *last_dead = node,
+            Some(c) if c <= free.max(ready) => {
+                *last_dead = node;
+                stash.push((free, sid));
+            }
+            _ => {
+                found = Some((free, sid));
+                break;
+            }
+        }
+    }
+    heap.extend(stash.into_iter().map(Reverse));
+    found
+}
+
+/// Event-driven wave scheduler: the fault-aware generalization of
+/// [`lpt_makespan`]. Tasks launch in LPT order onto the earliest-free live
+/// slot, starting at absolute simulated time `start_ns` (node crashes are
+/// scheduled on the run's global clock). Per attempt it models:
+///
+/// * **transient disk errors** — the attempt's work is wasted and the task
+///   retries, bounded by [`MAX_TASK_ATTEMPTS`];
+/// * **node crashes** — running tasks die with the node, its slots leave
+///   the pool; no surviving slot at all is [`SimError::NodeLost`];
+/// * **stragglers** — slow slots stretch the attempt; at
+///   [`SPECULATION_THRESHOLD`]× a speculative duplicate launches on the
+///   next free slot and the first finisher wins (loser charged as waste);
+/// * **map-output loss** (`rerun_on_crash`) — tasks that completed on a
+///   node that later died within this wave re-run on surviving slots
+///   (Hadoop re-executes completed maps whose host died before shuffle).
+///
+/// With `FaultPlan::none()` this degenerates to exactly `lpt_makespan`
+/// (asserted by tests); callers still branch on `is_none()` so the
+/// zero-fault arithmetic is shared with the closed-form path.
+pub fn faulty_makespan(
+    tasks: &[SimNs],
+    slots_per_node: u32,
+    nodes: u32,
+    plan: &FaultPlan,
+    stage: &str,
+    start_ns: SimNs,
+    rerun_on_crash: bool,
+) -> Result<TaskSchedule, SimError> {
+    assert!(slots_per_node > 0 && nodes > 0, "at least one slot required");
+    let mut out = TaskSchedule { task_nodes: vec![0; tasks.len()], ..TaskSchedule::default() };
+    if tasks.is_empty() {
+        return Ok(out);
+    }
+    let tag = stage_tag(stage);
+
+    // LPT order: longest first, input index breaks ties deterministically.
+    let mut order: Vec<(SimNs, usize)> =
+        tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    order.sort_unstable_by_key(|&(t, i)| (Reverse(t), i));
+
+    // Min-heap of (free time, slot id); slot id breaks ties so the schedule
+    // is a pure function of the inputs.
+    let mut heap: BinaryHeap<Reverse<(SimNs, u32)>> =
+        (0..nodes * slots_per_node).map(|sid| Reverse((start_ns, sid))).collect();
+    let mut last_dead: u32 = 0;
+    let mut end = start_ns;
+
+    for &(base, idx) in &order {
+        let mut attempt: u32 = 0;
+        // A retry cannot launch before the moment its predecessor failed.
+        let mut ready = start_ns;
+        // Bounded retry: FAILED attempts (disk errors) count against
+        // MAX_TASK_ATTEMPTS; KILLED attempts (node crash took the task
+        // down) do not — matching Hadoop's FAILED/KILLED distinction.
+        // Kills still terminate: each one permanently removes a slot, so
+        // the pool drains to NodeLost.
+        loop {
+            let (free, sid) =
+                match pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready) {
+                    Some(s) => s,
+                    None => {
+                        return Err(SimError::NodeLost {
+                            stage: stage.to_string(),
+                            node: last_dead,
+                        })
+                    }
+                };
+            let node = sid / slots_per_node;
+            let launch = free.max(ready);
+            attempt += 1;
+            out.attempts += 1;
+            let factor = plan.straggler_factor(tag, sid as u64);
+            let dur = scaled(base, factor);
+
+            // Transient disk error: the attempt runs, fails, and the slot is
+            // busy for the wasted duration.
+            if plan.disk_error(tag, idx as u64, attempt) {
+                out.wasted_ns += dur;
+                out.events.push(RecoveryEvent {
+                    stage: stage.to_string(),
+                    kind: RecoveryKind::TaskRetry { task: idx as u64, attempt },
+                    wasted_ns: dur,
+                });
+                if attempt >= MAX_TASK_ATTEMPTS {
+                    return Err(SimError::TaskAttemptsExhausted {
+                        stage: stage.to_string(),
+                        task: idx as u64,
+                        attempts: attempt,
+                    });
+                }
+                ready = launch + dur;
+                heap.push(Reverse((launch + dur, sid)));
+                continue;
+            }
+
+            let fin = launch + dur;
+
+            // Node crash mid-attempt: the task dies with the node; its slots
+            // never return to the pool. The attempt is KILLED, not FAILED —
+            // it does not consume the retry budget.
+            if let Some(c) = plan.crash_ns(node) {
+                if c < fin {
+                    let lost = c.saturating_sub(launch);
+                    out.wasted_ns += lost;
+                    out.events.push(RecoveryEvent {
+                        stage: stage.to_string(),
+                        kind: RecoveryKind::NodeCrash { node, tasks_killed: 1 },
+                        wasted_ns: lost,
+                    });
+                    last_dead = node;
+                    attempt -= 1;
+                    ready = c;
+                    continue;
+                }
+            }
+
+            // The attempt will complete. A straggling attempt additionally
+            // gets a speculative duplicate on the next free live slot; the
+            // first finisher wins and the loser is killed at that instant.
+            let mut completion = fin;
+            let mut winner_node = node;
+            let mut primary_free = fin;
+            if factor >= SPECULATION_THRESHOLD {
+                if let Some((b_free, b_sid)) =
+                    pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready)
+                {
+                    let b_node = b_sid / slots_per_node;
+                    let b_dur = scaled(base, plan.straggler_factor(tag, b_sid as u64));
+                    let b_launch = b_free.max(ready);
+                    let b_fin = b_launch + b_dur;
+                    let backup_survives = match plan.crash_ns(b_node) {
+                        Some(c) => c >= b_fin,
+                        None => true,
+                    };
+                    if backup_survives && b_fin < fin {
+                        // Backup wins; the straggler is killed at b_fin.
+                        out.speculative += 1;
+                        out.attempts += 1;
+                        completion = b_fin;
+                        winner_node = b_node;
+                        let killed = b_fin.saturating_sub(launch).min(dur);
+                        out.wasted_ns += killed;
+                        out.events.push(RecoveryEvent {
+                            stage: stage.to_string(),
+                            kind: RecoveryKind::Speculation { task: idx as u64 },
+                            wasted_ns: killed,
+                        });
+                        primary_free = b_fin.max(free);
+                        heap.push(Reverse((b_fin, b_sid)));
+                    } else if backup_survives {
+                        // Straggler wins anyway; the backup is killed at fin.
+                        out.speculative += 1;
+                        out.attempts += 1;
+                        let killed = fin.saturating_sub(b_launch).min(b_dur);
+                        out.wasted_ns += killed;
+                        out.events.push(RecoveryEvent {
+                            stage: stage.to_string(),
+                            kind: RecoveryKind::Speculation { task: idx as u64 },
+                            wasted_ns: killed,
+                        });
+                        heap.push(Reverse((fin.clamp(b_launch, b_fin), b_sid)));
+                    } else {
+                        // Backup slot's node dies first — no speculation.
+                        heap.push(Reverse((b_free, b_sid)));
+                    }
+                }
+            }
+            heap.push(Reverse((primary_free, sid)));
+            if let Some(slot) = out.task_nodes.get_mut(idx) {
+                *slot = winner_node;
+            }
+            end = end.max(completion);
+            break;
+        }
+    }
+
+    // Map-output loss: a node that died within this wave takes the outputs
+    // of every task it had already completed with it; those tasks re-run as
+    // one extra LPT wave on the surviving slots.
+    if rerun_on_crash {
+        let dead = plan.dead_nodes_at(end);
+        let mut rerun: Vec<SimNs> = Vec::new();
+        let mut rerun_wasted: SimNs = 0;
+        // A task's winning node can only be in `dead` if it completed before
+        // the crash (the crash check above kills in-flight attempts), so
+        // every such task's output is gone and must be reproduced.
+        for (idx, &base) in tasks.iter().enumerate() {
+            if out.task_nodes.get(idx).is_some_and(|n| dead.contains(n)) {
+                rerun.push(base);
+                rerun_wasted += base;
+            }
+        }
+        if !rerun.is_empty() {
+            let survivors = (nodes as usize - dead.len()) * slots_per_node as usize;
+            if survivors == 0 {
+                return Err(SimError::NodeLost { stage: stage.to_string(), node: last_dead });
+            }
+            let extra = lpt_makespan(&rerun, survivors);
+            out.wasted_ns += rerun_wasted;
+            out.attempts += rerun.len() as u64;
+            out.events.push(RecoveryEvent {
+                stage: stage.to_string(),
+                kind: RecoveryKind::MapRerun { tasks: rerun.len() as u64 },
+                wasted_ns: rerun_wasted,
+            });
+            end += extra;
+        }
+    }
+
+    out.makespan = end - start_ns;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -121,5 +399,130 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = lpt_makespan(&[1], 0);
+    }
+
+    // --- faulty_makespan -------------------------------------------------
+
+    use crate::config::ClusterConfig;
+    use crate::metrics::RecoveryKind;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::seeded(99, &ClusterConfig::ec2(4))
+    }
+
+    #[test]
+    fn zero_faults_degenerate_to_lpt() {
+        // The event-driven scheduler with the identity plan must reproduce
+        // the closed-form LPT makespan exactly, for many task shapes.
+        let none = FaultPlan::none();
+        let shapes: [&[SimNs]; 5] = [
+            &[5, 3, 2],
+            &[7, 7, 7, 7],
+            &[100, 1, 1, 1],
+            &[1, 2, 3, 4, 5, 6],
+            &[9, 8, 1, 4, 4, 13, 2, 2, 2, 40],
+        ];
+        for tasks in shapes {
+            for (spn, nodes) in [(1u32, 2u32), (2, 2), (8, 4)] {
+                let s = faulty_makespan(tasks, spn, nodes, &none, "st", 0, true).unwrap();
+                assert_eq!(s.makespan, lpt_makespan(tasks, (spn * nodes) as usize), "{tasks:?}");
+                assert_eq!(s.attempts, tasks.len() as u64);
+                assert_eq!(s.wasted_ns, 0);
+                assert!(s.events.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn start_offset_does_not_change_a_fault_free_makespan() {
+        let s0 = faulty_makespan(&[4, 4, 9], 2, 2, &FaultPlan::none(), "st", 0, false).unwrap();
+        let s9 = faulty_makespan(&[4, 4, 9], 2, 2, &FaultPlan::none(), "st", 9_000, false).unwrap();
+        assert_eq!(s0.makespan, s9.makespan);
+    }
+
+    #[test]
+    fn disk_errors_retry_and_waste_work() {
+        // 10%: plenty of retries over 64 tasks, yet the chance any one task
+        // burns all four attempts (rate^4) is negligible.
+        let p = plan().with_disk_errors(0.1);
+        let tasks = vec![1_000u64; 64];
+        let s = faulty_makespan(&tasks, 8, 4, &p, "map", 0, false).unwrap();
+        assert!(s.attempts > 64, "retries happened: {}", s.attempts);
+        assert!(s.wasted_ns > 0);
+        assert!(s.events.iter().any(|e| matches!(e.kind, RecoveryKind::TaskRetry { .. })));
+        assert!(s.makespan >= lpt_makespan(&tasks, 32), "faults never speed a wave up");
+    }
+
+    #[test]
+    fn disk_error_storm_exhausts_attempts() {
+        let p = plan().with_disk_errors(1.0);
+        let err = faulty_makespan(&[100], 8, 4, &p, "map", 0, false).unwrap_err();
+        match err {
+            SimError::TaskAttemptsExhausted { attempts, .. } => {
+                assert_eq!(attempts, MAX_TASK_ATTEMPTS)
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_crash_is_survived_by_retrying_elsewhere() {
+        // Node 0 dies 50ns in; its running tasks retry on survivors.
+        let p = plan().crash_at(0, 50);
+        let tasks = vec![100u64; 8];
+        let s = faulty_makespan(&tasks, 2, 4, &p, "map", 0, false).unwrap();
+        assert!(s.attempts > 8, "killed tasks re-ran");
+        assert!(s.wasted_ns > 0);
+        assert!(s.events.iter().any(|e| matches!(e.kind, RecoveryKind::NodeCrash { .. })));
+        assert!(s.task_nodes.iter().all(|&n| n != 0), "no surviving output on the dead node");
+    }
+
+    #[test]
+    fn losing_every_node_is_fatal() {
+        let p = plan().crash_at(0, 10).crash_at(1, 10).crash_at(2, 10).crash_at(3, 10);
+        let err = faulty_makespan(&[100, 100], 2, 4, &p, "map", 20, false).unwrap_err();
+        assert!(matches!(err, SimError::NodeLost { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn stragglers_trigger_speculation() {
+        let p = plan().with_stragglers(0.4, 4.0);
+        let tasks = vec![1_000u64; 40];
+        let s = faulty_makespan(&tasks, 8, 4, &p, "map", 0, false).unwrap();
+        assert!(s.speculative > 0, "some slot of 32 straggles at 40% rate");
+        assert!(s.events.iter().any(|e| matches!(e.kind, RecoveryKind::Speculation { .. })));
+        // Speculation bounds the damage: strictly better than a world where
+        // every straggler runs to completion at 4× (area argument is loose,
+        // so just require the makespan stays below the full-slowdown bound).
+        assert!(s.makespan < 4 * lpt_makespan(&tasks, 32) + 4_000);
+    }
+
+    #[test]
+    fn completed_maps_on_a_dead_node_rerun() {
+        // All tasks finish by t=100·8/8=100… node 2 dies at 150, after the
+        // wave: its completed outputs are lost and re-run.
+        let tasks = vec![100u64; 8];
+        let p = plan().crash_at(2, 150);
+        // Extend the wave past the crash with one long task so the crash
+        // lands inside the stage window.
+        let mut with_tail = tasks.clone();
+        with_tail.push(400);
+        let s = faulty_makespan(&with_tail, 2, 4, &p, "map", 0, true).unwrap();
+        let reran = s
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, RecoveryKind::MapRerun { tasks } if tasks > 0));
+        assert!(reran, "events: {:?}", s.events);
+        let no_rerun = faulty_makespan(&with_tail, 2, 4, &p, "map", 0, false).unwrap();
+        assert!(s.makespan > no_rerun.makespan, "re-running costs extra time");
+    }
+
+    #[test]
+    fn schedules_are_pure_functions_of_inputs() {
+        let p = FaultPlan::heavy(7, &ClusterConfig::ec2(4)).crash_at(1, 5_000);
+        let tasks: Vec<SimNs> = (0..50).map(|i| 100 + 37 * i).collect();
+        let a = faulty_makespan(&tasks, 8, 4, &p, "map", 123, true).unwrap();
+        let b = faulty_makespan(&tasks, 8, 4, &p, "map", 123, true).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -27,7 +27,9 @@
 //! full-dataset run in Table 2 ends for HadoopGIS.
 
 use sjc_cluster::metrics::Phase;
-use sjc_cluster::{Cluster, RunTrace, SimError, SimHdfs, StageKind, StageTrace};
+use sjc_cluster::{
+    Cluster, RecoveryEvent, RunTrace, SimError, SimHdfs, SimNs, StageKind, StageTrace,
+};
 use sjc_geom::wkt::to_wkt;
 use sjc_geom::{EngineKind, GeometryEngine, Point};
 use sjc_index::partition::{BspPartitioner, SpatialPartitioner};
@@ -93,8 +95,14 @@ impl HadoopGis {
         hdfs: &mut SimHdfs,
         input: &JoinInput,
         phase: Phase,
-    ) -> Result<(Vec<Point>, Vec<String>, Vec<StageTrace>), SimError> {
-        let mut traces = Vec::new();
+        start_ns: SimNs,
+    ) -> Result<(Vec<Point>, Vec<String>, Vec<StageTrace>, Vec<RecoveryEvent>), SimError> {
+        let mut traces: Vec<StageTrace> = Vec::new();
+        let mut recovery: Vec<RecoveryEvent> = Vec::new();
+        // Each job starts where the previous stage (job, copy, or serial
+        // step) of this run left off on the global simulated clock.
+        let elapsed =
+            |traces: &[StageTrace]| start_ns + traces.iter().map(|t| t.sim_ns).sum::<SimNs>();
         let bpr = input.bytes_per_record();
         let block = hdfs_block();
         let raw = tsv_lines(input);
@@ -104,9 +112,11 @@ impl HadoopGis {
 
         // Step 1: convert to TSV while loading (identity mapper here — the
         // cost is reading + piping + rewriting every byte).
-        let cfg1 = JobConfig::new(format!("{}: 1 convert to TSV", input.name), phase, input.multiplier);
+        let cfg1 = JobConfig::new(format!("{}: 1 convert to TSV", input.name), phase, input.multiplier)
+            .starting_at(elapsed(&traces));
         let converted =
             streaming.map_only(&cfg1, block_splits(&raw, bpr, block), |l| vec![l.to_string()])?;
+        recovery.extend(converted.recovery.iter().cloned());
         traces.push(converted.trace);
         let tsv = converted.lines;
 
@@ -120,7 +130,8 @@ impl HadoopGis {
         // exactly the lines the old 1-in-k invocation counter did.
         let keep: std::collections::BTreeSet<&str> =
             tsv.iter().step_by(stride).map(|s| s.as_str()).collect();
-        let cfg2 = JobConfig::new(format!("{}: 2 sample MBRs", input.name), phase, input.multiplier);
+        let cfg2 = JobConfig::new(format!("{}: 2 sample MBRs", input.name), phase, input.multiplier)
+            .starting_at(elapsed(&traces));
         let sampled = streaming.map_only(&cfg2, block_splits(&tsv, bpr, block), |l| {
             if keep.contains(l) {
                 vec![l.split('\t').next().unwrap_or("0").to_string()]
@@ -128,6 +139,7 @@ impl HadoopGis {
                 Vec::new()
             }
         })?;
+        recovery.extend(sampled.recovery.iter().cloned());
         traces.push(sampled.trace);
         let sample_ids: Vec<u64> = sampled
             .lines
@@ -140,19 +152,23 @@ impl HadoopGis {
         // Step 3: compute the extent of the samples (MR job, single reducer).
         let sample_lines: Vec<String> = sample_ids.iter().map(|i| i.to_string()).collect();
         let cfg3 = JobConfig::new(format!("{}: 3 compute extent", input.name), phase, input.multiplier)
-            .write_output(false);
+            .write_output(false)
+            .starting_at(elapsed(&traces));
         let extent_out = streaming.map_reduce(
             &cfg3,
             block_splits(&sample_lines, 72.0, block),
             |l| vec![("extent".to_string(), l.to_string())],
             |_, vs| vec![format!("count={}", vs.len())],
         )?;
+        recovery.extend(extent_out.recovery.iter().cloned());
         traces.push(extent_out.trace);
 
         // Step 4: normalize sample MBRs (map-only over the samples).
-        let cfg4 = JobConfig::new(format!("{}: 4 normalize samples", input.name), phase, input.multiplier);
+        let cfg4 = JobConfig::new(format!("{}: 4 normalize samples", input.name), phase, input.multiplier)
+            .starting_at(elapsed(&traces));
         let normalized =
             streaming.map_only(&cfg4, block_splits(&sample_lines, 72.0, block), |l| vec![l.to_string()])?;
+        recovery.extend(normalized.recovery.iter().cloned());
         traces.push(normalized.trace);
 
         // Step 5: local serial partition generation with HDFS round-trips.
@@ -184,7 +200,8 @@ impl HadoopGis {
         // rebuilds the sample R-tree; at 64 cells that build is microseconds
         // against the task's pipe+parse bill, so it rides inside the
         // calibrated per-byte constants.)
-        let cfg6 = JobConfig::new(format!("{}: 6 assign partitions", input.name), phase, input.multiplier);
+        let cfg6 = JobConfig::new(format!("{}: 6 assign partitions", input.name), phase, input.multiplier)
+            .starting_at(elapsed(&traces));
         let records = &input.records;
         let assigned = streaming.map_reduce(
             &cfg6,
@@ -207,9 +224,10 @@ impl HadoopGis {
                 sorted.iter().map(|l| l.to_string()).collect()
             },
         )?;
+        recovery.extend(assigned.recovery.iter().cloned());
         traces.push(assigned.trace);
 
-        Ok((centers, tsv, traces))
+        Ok((centers, tsv, traces, recovery))
     }
 }
 
@@ -234,10 +252,14 @@ impl DistributedSpatialJoin for HadoopGis {
         let geos = GeometryEngine::new(self.engine());
 
         // Preprocessing: the six steps, per dataset.
-        let (centers_a, tsv_a, t) = self.preprocess(cluster, &mut hdfs, left, Phase::IndexA)?;
+        let (centers_a, tsv_a, t, r) =
+            self.preprocess(cluster, &mut hdfs, left, Phase::IndexA, trace.total_ns())?;
         trace.stages.extend(t);
-        let (centers_b, tsv_b, t) = self.preprocess(cluster, &mut hdfs, right, Phase::IndexB)?;
+        trace.push_recovery(r);
+        let (centers_b, tsv_b, t, r) =
+            self.preprocess(cluster, &mut hdfs, right, Phase::IndexB, trace.total_ns())?;
         trace.stages.extend(t);
+        trace.push_recovery(r);
 
         // Global join: concatenate the samples locally and build *new*
         // partitions (the step-6 partition ids are discarded — wasteful, as
@@ -279,7 +301,8 @@ impl DistributedSpatialJoin for HadoopGis {
         let cfg = JobConfig::new("distributed join (streaming MR)", Phase::DistributedJoin, mult)
             .map_scale(ScaleMode::MoreTasks)
             .script_reducer(true)
-            .script_cost_factor(script_factor);
+            .script_cost_factor(script_factor)
+            .starting_at(trace.total_ns());
         let local_algo = self.local_algo;
         let outcome = streaming.map_reduce(
             &cfg,
@@ -329,6 +352,7 @@ impl DistributedSpatialJoin for HadoopGis {
                 pairs.into_iter().map(|(a, b)| format!("{a}\t{b}")).collect()
             },
         )?;
+        trace.push_recovery(outcome.recovery.iter().cloned());
         trace.push(outcome.trace);
 
         let pairs = outcome

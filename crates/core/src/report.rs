@@ -222,6 +222,84 @@ pub fn fig1_string(traces: &[RunTrace]) -> String {
             trace.hdfs_touching_stages(),
             trace.total_seconds()
         );
+        if !trace.recovery.is_empty() {
+            let _ = writeln!(
+                out,
+                "  -> recovered from {} fault events: {} extra attempts, {:.1}s wasted, {} reread",
+                trace.recovery.len(),
+                trace.total_attempts(),
+                trace.total_wasted_ns() as f64 / 1e9,
+                human_bytes(trace.total_bytes_reread()),
+            );
+        }
+    }
+    out
+}
+
+/// Renders a run's recovery ledger: what faults hit, what the system did
+/// about them, and what the recovery cost in wasted simulated time. Empty
+/// ledgers (fault-free runs) render a single line saying so.
+pub fn recovery_string(traces: &[RunTrace]) -> String {
+    use sjc_cluster::RecoveryKind;
+    let mut out = String::new();
+    let _ = writeln!(out, "Fault recovery ledger (per-system recovery events)");
+    for trace in traces {
+        let _ = writeln!(out, "\n=== {} ===", trace.system);
+        if trace.recovery.is_empty() {
+            let _ = writeln!(out, "  no faults injected, no recovery needed");
+            continue;
+        }
+        // Aggregate by mechanism so a noisy run stays one screen tall.
+        let mut retries = 0u64;
+        let mut retry_ns = 0u64;
+        let mut speculations = 0u64;
+        let mut crashes = 0u64;
+        let mut killed = 0u64;
+        let mut reruns = 0u64;
+        let mut recomputes = 0u64;
+        let mut recompute_parts = 0u64;
+        let mut resubmits = 0u64;
+        let mut failovers = 0u64;
+        for e in &trace.recovery {
+            match e.kind {
+                RecoveryKind::TaskRetry { .. } => {
+                    retries += 1;
+                    retry_ns += e.wasted_ns;
+                }
+                RecoveryKind::Speculation { .. } => speculations += 1,
+                RecoveryKind::NodeCrash { tasks_killed, .. } => {
+                    crashes += 1;
+                    killed += tasks_killed;
+                }
+                RecoveryKind::MapRerun { tasks } => reruns += tasks,
+                RecoveryKind::PartitionRecompute { partitions, .. } => {
+                    recomputes += 1;
+                    recompute_parts += partitions;
+                }
+                RecoveryKind::StageResubmit { .. } => resubmits += 1,
+                RecoveryKind::ReplicaFailover { .. } => failovers += 1,
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  task retries          {retries:>6}   ({:.1}s wasted on failed attempts)",
+            retry_ns as f64 / 1e9
+        );
+        let _ = writeln!(out, "  speculative backups   {speculations:>6}");
+        let _ = writeln!(out, "  crash kills           {crashes:>6}   ({killed} tasks killed)");
+        let _ = writeln!(out, "  completed-map re-runs {reruns:>6}");
+        let _ = writeln!(
+            out,
+            "  lineage recomputes    {recomputes:>6}   ({recompute_parts} partitions), {resubmits} stage resubmits"
+        );
+        let _ = writeln!(out, "  replica failovers     {failovers:>6}   ({} reread)", human_bytes(trace.total_bytes_reread()));
+        let event_waste: u64 = trace.recovery.iter().map(|e| e.wasted_ns).sum();
+        let _ = writeln!(
+            out,
+            "  -> total: {} recovery events, {:.1}s wasted work",
+            trace.recovery.len(),
+            event_waste as f64 / 1e9
+        );
     }
     out
 }
@@ -501,6 +579,37 @@ mod tests {
         assert!(s.contains("=== X ==="));
         assert!(s.contains("1 touching HDFS"));
         assert!(s.contains("2.0s"));
+    }
+
+    #[test]
+    fn recovery_ledger_renders_events_and_empty_runs() {
+        use sjc_cluster::{RecoveryEvent, RecoveryKind};
+        let clean = RunTrace::new("Clean");
+        let mut hit = RunTrace::new("Hit");
+        hit.push_recovery([
+            RecoveryEvent {
+                stage: "s".into(),
+                kind: RecoveryKind::TaskRetry { task: 3, attempt: 1 },
+                wasted_ns: 2_000_000_000,
+            },
+            RecoveryEvent {
+                stage: "s".into(),
+                kind: RecoveryKind::NodeCrash { node: 1, tasks_killed: 4 },
+                wasted_ns: 1_000_000_000,
+            },
+            RecoveryEvent {
+                stage: "s".into(),
+                kind: RecoveryKind::PartitionRecompute { partitions: 8, lineage_depth: 2 },
+                wasted_ns: 500_000_000,
+            },
+        ]);
+        let s = recovery_string(&[clean, hit]);
+        assert!(s.contains("no faults injected"), "{s}");
+        assert!(s.contains("task retries               1"), "{s}");
+        assert!(s.contains("4 tasks killed"), "{s}");
+        assert!(s.contains("8 partitions"), "{s}");
+        assert!(s.contains("3.5s wasted work"), "{s}");
+        assert!(s.contains("3 recovery events"), "{s}");
     }
 
     #[test]

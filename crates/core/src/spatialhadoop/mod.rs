@@ -23,7 +23,9 @@
 //!    robustness.
 
 use sjc_cluster::metrics::Phase;
-use sjc_cluster::{Cluster, RunTrace, SimError, SimHdfs, StageKind, StageTrace};
+use sjc_cluster::{
+    Cluster, RecoveryEvent, RunTrace, SimError, SimHdfs, SimNs, StageKind, StageTrace,
+};
 use sjc_geom::{EngineKind, GeometryEngine, Point};
 use sjc_index::entry::IndexEntry;
 use sjc_index::join::plane_sweep;
@@ -97,6 +99,9 @@ struct Indexed {
 
 impl SpatialHadoop {
     /// The two preprocessing MR jobs for one dataset.
+    // One argument per knob the two call sites actually vary; a params
+    // struct would just re-spell this signature with extra ceremony.
+    #[allow(clippy::too_many_arguments)]
     fn index_dataset(
         &self,
         cluster: &Cluster,
@@ -105,8 +110,10 @@ impl SpatialHadoop {
         phase: Phase,
         widen: Option<JoinPredicate>,
         shared_cells: Option<Vec<sjc_geom::Mbr>>,
-    ) -> (Indexed, Vec<StageTrace>) {
+        start_ns: SimNs,
+    ) -> Result<(Indexed, Vec<StageTrace>, Vec<RecoveryEvent>), SimError> {
         let mut traces = Vec::new();
+        let mut recovery = Vec::new();
         let mut engine = MapReduceJob::new(cluster, hdfs);
         let bpr = input.bytes_per_record();
         let block = engine.hdfs.block_size();
@@ -121,13 +128,15 @@ impl SpatialHadoop {
                 let ids: Vec<u64> = (0..input.records.len() as u64).collect();
                 let cfg1 =
                     JobConfig::new(format!("{}: sample", input.name), phase, input.multiplier)
-                        .write_output(false);
+                        .write_output(false)
+                        .starting_at(start_ns);
                 let sample_out =
                     engine.map_only(&cfg1, block_splits(&ids, bpr, block), |&i, em| {
                         if i % stride == 0 {
                             em.emit(i, 16);
                         }
-                    });
+                    })?;
+                recovery.extend(sample_out.recovery.iter().cloned());
                 traces.push(sample_out.trace);
 
                 let sample_points: Vec<Point> = sample_out
@@ -156,7 +165,9 @@ impl SpatialHadoop {
                 .collect(),
         );
         let jts = GeometryEngine::new(self.engine());
-        let cfg2 = JobConfig::new(format!("{}: partition+index", input.name), phase, input.multiplier);
+        let elapsed: SimNs = traces.iter().map(|t| t.sim_ns).sum();
+        let cfg2 = JobConfig::new(format!("{}: partition+index", input.name), phase, input.multiplier)
+            .starting_at(start_ns + elapsed);
         let outcome = engine.map_reduce(
             &cfg2,
             block_splits(&ids, bpr, block),
@@ -183,7 +194,8 @@ impl SpatialHadoop {
                 em.charge(cluster.cost.sort_ns(ids.len() as u64));
                 em.emit((*cell, ids.to_vec()), (ids.len() as f64 * bpr) as u64);
             },
-        );
+        )?;
+        recovery.extend(outcome.recovery.iter().cloned());
         traces.push(outcome.trace);
 
         let mut cells: Vec<Vec<u64>> = vec![Vec::new(); partitioner.cells().len()];
@@ -194,14 +206,15 @@ impl SpatialHadoop {
             // sjc-lint: allow(no-panic-in-lib) — reducer keys are cell ids < partitioner.cells().len()
             cells[cell as usize] = ids;
         }
-        (
+        Ok((
             Indexed {
                 partitioner,
                 cells,
                 cell_bytes,
             },
             traces,
-        )
+            recovery,
+        ))
     }
 }
 
@@ -225,16 +238,36 @@ impl DistributedSpatialJoin for SpatialHadoop {
         let mut trace = RunTrace::new(self.name());
         let jts = GeometryEngine::new(self.engine());
 
-        // Preprocessing: index both datasets (IA, IB).
-        let (ia, t) = self.index_dataset(cluster, &mut hdfs, left, Phase::IndexA, Some(predicate), None);
+        // Preprocessing: index both datasets (IA, IB). Each job starts on
+        // the run's global clock so scheduled node crashes land in whatever
+        // stage is executing at that simulated instant.
+        let (ia, t, r) = self.index_dataset(
+            cluster,
+            &mut hdfs,
+            left,
+            Phase::IndexA,
+            Some(predicate),
+            None,
+            trace.total_ns(),
+        )?;
         trace.stages.extend(t);
+        trace.push_recovery(r);
         let shared = if self.reuse_partitions {
             Some(ia.partitioner.cells().to_vec())
         } else {
             None
         };
-        let (ib, t) = self.index_dataset(cluster, &mut hdfs, right, Phase::IndexB, None, shared);
+        let (ib, t, r) = self.index_dataset(
+            cluster,
+            &mut hdfs,
+            right,
+            Phase::IndexB,
+            None,
+            shared,
+            trace.total_ns(),
+        )?;
         trace.stages.extend(t);
+        trace.push_recovery(r);
 
         // Global join on the master: serial plane-sweep over the two
         // `_master` cell-MBR lists (the getSplits override).
@@ -286,7 +319,8 @@ impl DistributedSpatialJoin for SpatialHadoop {
         let mult = left.multiplier.max(right.multiplier);
         let cfg = JobConfig::new("distributed join (map-only)", Phase::DistributedJoin, mult)
             .map_scale(ScaleMode::BiggerTasks)
-            .parse_input(false); // indexed binary blocks, no text parse
+            .parse_input(false) // indexed binary blocks, no text parse
+            .starting_at(trace.total_ns());
         let outcome = engine.map_only(&cfg, tasks, |&(ca, cb), em| {
             // sjc-lint: allow(no-panic-in-lib) — ca is a cell id of index A; stored ids are enumerate indices
             let lrecs: Vec<&crate::framework::GeoRecord> = ia.cells[ca as usize]
@@ -315,8 +349,9 @@ impl DistributedSpatialJoin for SpatialHadoop {
             for p in pairs {
                 em.emit(p, 24);
             }
-        });
+        })?;
         trace.stages.extend(std::iter::once(outcome.trace));
+        trace.push_recovery(outcome.recovery);
 
         Ok(JoinOutput {
             pairs: outcome.output,

@@ -116,7 +116,7 @@ impl SpatialSpark {
             Phase::IndexB,
             rate,
             0x5EED,
-        );
+        )?;
         let centers: Vec<Point> = sample
             .iter()
             // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from

@@ -16,6 +16,7 @@
 //! | `float-hygiene` | non-test src of `geom` | bare `==`/`!=` against a float literal — geometric predicates use the epsilon helpers in `sjc_geom::predicates` |
 //! | `bench-isolation` | everything except `crates/bench` (and code already covered by `no-nondeterminism`) | wall-clock and entropy APIs (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`) — only the bench harness may observe the host |
 //! | `serial-hot-loop` | non-test src of the designated hot-path files (see `HOT_PATH_FILES`) | `for … in tasks`-shaped loops over a hot collection (`tasks`, `groups`, `parts`, …) — host-side hot loops go through `sjc_par`; an intentionally serial merge states its reason in a suppression |
+//! | `bounded-retry` | non-test src of the recovery engine crates (`cluster`, `mapreduce`, `rdd`) | a loop that drives a retry/attempt/resubmit counter (`attempt += 1`, `for attempt in …`) without referencing a `MAX_*` constant inside the loop — retry budgets must be named bounds (`MAX_TASK_ATTEMPTS`, `MAX_STAGE_RESUBMITS`), not implicit or infinite |
 //!
 //! ## Suppression
 //!
@@ -46,6 +47,11 @@ const PANIC_FREE_CRATES: &[&str] =
 
 /// Crates whose non-test sources must compare floats through epsilon helpers.
 const FLOAT_CRATES: &[&str] = &["geom"];
+
+/// Crates holding the fault-recovery engines: any loop here that drives a
+/// retry/attempt counter must name its bound (a `MAX_*` constant) inside the
+/// loop, so every retry budget is auditable and finite.
+const RETRY_CRATES: &[&str] = &["cluster", "mapreduce", "rdd"];
 
 /// Wall-clock / entropy tokens: allowed only in `crates/bench`.
 const CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
@@ -79,16 +85,18 @@ pub enum Rule {
     FloatHygiene,
     BenchIsolation,
     SerialHotLoop,
+    BoundedRetry,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoNondeterminism,
         Rule::NoPanicInLib,
         Rule::FloatHygiene,
         Rule::BenchIsolation,
         Rule::SerialHotLoop,
+        Rule::BoundedRetry,
     ];
 
     pub fn name(self) -> &'static str {
@@ -98,6 +106,7 @@ impl Rule {
             Rule::FloatHygiene => "float-hygiene",
             Rule::BenchIsolation => "bench-isolation",
             Rule::SerialHotLoop => "serial-hot-loop",
+            Rule::BoundedRetry => "bounded-retry",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -454,6 +463,44 @@ fn serial_hot_loop_target(line: &str) -> Option<&'static str> {
     })
 }
 
+/// True when `line` opens a loop body: a `for`/`while`/`loop` header
+/// (optionally labelled, `'outer: loop {`) whose `{` is on the same line.
+/// Multi-line headers are an accepted under-approximation — rustfmt keeps
+/// the brace on the header line for every loop in this workspace.
+fn is_loop_header(line: &str) -> bool {
+    if !line.contains('{') {
+        return false;
+    }
+    let mut t = line.trim_start();
+    if let Some(rest) = t.strip_prefix('\'') {
+        if let Some(colon) = rest.find(':') {
+            if !rest[..colon].is_empty() && rest[..colon].chars().all(is_ident_char) {
+                t = rest[colon + 1..].trim_start();
+            }
+        }
+    }
+    t.starts_with("for ")
+        || t.starts_with("while ")
+        || t.starts_with("while(")
+        || t.starts_with("loop {")
+        || t.starts_with("loop{")
+}
+
+/// True when the line mentions a retry-shaped identifier (`retry`,
+/// `attempt`, `resubmit` — any case, as a substring of an identifier, so
+/// `out.attempts` and `StageResubmit` both count).
+fn has_retry_token(line: &str) -> bool {
+    let lower = line.to_ascii_lowercase();
+    ["retry", "attempt", "resubmit"].iter().any(|t| lower.contains(t))
+}
+
+/// True when the line *drives* a retry counter: a retry-shaped identifier
+/// incremented by one (`attempt += 1`). Aggregations over already-recorded
+/// attempts (`trace.attempts += s.attempts`) deliberately do not match.
+fn drives_retry_counter(line: &str) -> bool {
+    has_retry_token(line) && line.contains("+= 1")
+}
+
 /// A parsed allow comment (see the module docs for the syntax).
 #[derive(Debug, Clone)]
 struct Allow {
@@ -549,11 +596,18 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     let float = FLOAT_CRATES.contains(&class.krate);
     let bench = class.krate == "bench";
     let hot_path = HOT_PATH_FILES.contains(&rel_path);
+    let retry_scope = RETRY_CRATES.contains(&class.krate);
 
     // `#[cfg(test)] mod` region tracking via brace depth.
     let mut depth: i64 = 0;
     let mut pending_cfg_test = false;
     let mut test_region_floor: Option<i64> = None;
+
+    // Open loop regions for bounded-retry: (header line, brace floor,
+    // drives a retry counter, references a MAX_* bound). Flags propagate to
+    // every enclosing loop, so a bound named in an inner loop also satisfies
+    // the outer one.
+    let mut retry_loops: Vec<(usize, i64, bool, bool)> = Vec::new();
 
     for (i, code) in code_lines.iter().enumerate() {
         let depth_at_start = depth;
@@ -579,6 +633,34 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
         if let Some(floor) = test_region_floor {
             if depth <= floor {
                 test_region_floor = None;
+            }
+        }
+
+        if retry_scope {
+            let drives = drives_retry_counter(code);
+            let bound = code.contains("MAX_");
+            for r in &mut retry_loops {
+                r.2 |= drives;
+                r.3 |= bound;
+            }
+            // Close finished loop regions; a retry loop without a named
+            // bound is reported at its header line.
+            while let Some(&(hdr, floor, is_retry, has_bound)) = retry_loops.last() {
+                if depth > floor {
+                    break;
+                }
+                retry_loops.pop();
+                if is_retry && !has_bound && !suppressed(Rule::BoundedRetry, hdr) {
+                    out.push(Violation {
+                        rule: Rule::BoundedRetry,
+                        path: rel_path.to_string(),
+                        line: hdr + 1,
+                        message: "retry loop without a named bound — reference a MAX_* constant (MAX_TASK_ATTEMPTS / MAX_STAGE_RESUBMITS) inside the loop so the retry budget is finite and auditable".to_string(),
+                    });
+                }
+            }
+            if !in_test && is_loop_header(code) && depth > depth_at_start {
+                retry_loops.push((i, depth_at_start, drives || has_retry_token(code), bound));
             }
         }
 
@@ -818,6 +900,61 @@ mod tests {
         assert!(check_file("crates/mapreduce/src/lib.rs", src).is_empty());
         let suppressed = "pub fn f(tasks: &[u8]) {\n    // sjc-lint: allow(serial-hot-loop) — merge must preserve task order\n    for t in tasks { g(t); }\n}\n";
         assert!(check_file("crates/mapreduce/src/job.rs", suppressed).is_empty());
+    }
+
+    #[test]
+    fn loop_header_detector_is_precise() {
+        assert!(is_loop_header("loop {"));
+        assert!(is_loop_header("    'outer: loop {"));
+        assert!(is_loop_header("while attempt < max {"));
+        assert!(is_loop_header("while let Some(x) = it.next() {"));
+        assert!(is_loop_header("for t in &tasks {"));
+        assert!(!is_loop_header("looping(x) {"));
+        assert!(!is_loop_header("for t in"));
+        assert!(!is_loop_header("let x = compute();"));
+    }
+
+    #[test]
+    fn retry_counter_detector_is_precise() {
+        assert!(drives_retry_counter("attempt += 1;"));
+        assert!(drives_retry_counter("out.attempts += 1;"));
+        assert!(drives_retry_counter("resubmit += 1;"));
+        // Aggregating already-recorded attempts is not a retry loop…
+        assert!(!drives_retry_counter("trace.attempts += s.attempts;"));
+        // …and neither is a plain index counter.
+        assert!(!drives_retry_counter("i += 1;"));
+    }
+
+    #[test]
+    fn bounded_retry_fires_on_unbounded_loops_in_engine_crates() {
+        let src = "pub fn f() {\n    let mut attempt = 0u32;\n    loop {\n        attempt += 1;\n        if done(attempt) {\n            break;\n        }\n    }\n}\n";
+        let vs = check_file("crates/cluster/src/scheduler.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BoundedRetry && v.line == 3), "{vs:?}");
+        // Naming the MAX_* bound inside the loop satisfies the rule…
+        let bounded = src.replace("if done(attempt) {", "if attempt >= MAX_TASK_ATTEMPTS {");
+        assert!(check_file("crates/cluster/src/scheduler.rs", &bounded).is_empty());
+        // …and the same loop outside the engine crates is out of scope.
+        assert!(check_file("crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bound_in_inner_loop_satisfies_enclosing_retry_loop() {
+        let src = "pub fn f(n: u32) {\n    for task in 0..n {\n        let mut attempt = 0u32;\n        loop {\n            attempt += 1;\n            if attempt >= MAX_TASK_ATTEMPTS {\n                break;\n            }\n        }\n    }\n}\n";
+        assert!(check_file("crates/cluster/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bounded_retry_header_tokens_and_suppression() {
+        // A `for attempt in …` header is a retry loop even without `+= 1`:
+        // the bound must be a named constant, not a bare literal range.
+        let src = "pub fn f() {\n    for attempt in 0..4 {\n        g(attempt);\n    }\n}\n";
+        let vs = check_file("crates/rdd/src/context.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BoundedRetry && v.line == 2), "{vs:?}");
+        let ok = "pub fn f() {\n    // sjc-lint: allow(bounded-retry) — probe loop, four draws is the sampling design\n    for attempt in 0..4 {\n        g(attempt);\n    }\n}\n";
+        assert!(check_file("crates/rdd/src/context.rs", ok).is_empty());
+        // Test code is out of scope.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        for attempt in 0..4 {\n            g(attempt);\n        }\n    }\n}\n";
+        assert!(check_file("crates/rdd/src/context.rs", test_src).is_empty());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 use std::collections::BTreeMap;
 
 use sjc_cluster::metrics::Phase;
-use sjc_cluster::scheduler::{lpt_makespan, replicated_makespan};
-use sjc_cluster::{Cluster, SimHdfs, SimNs, StageKind, StageTrace};
+use sjc_cluster::scheduler::{faulty_makespan, lpt_makespan, replicated_makespan, TaskSchedule};
+use sjc_cluster::{
+    Cluster, RecoveryEvent, RecoveryKind, SimError, SimHdfs, SimNs, StageKind, StageTrace,
+};
 
 use crate::input_format::MapTask;
 
@@ -39,6 +41,10 @@ pub struct JobConfig {
     /// Multiplier on the script per-record cost (the geometry-library share
     /// of the script's work scales with the engine's refinement factor).
     pub script_cost_factor: f64,
+    /// Absolute simulated time at which the job starts. Only consulted by
+    /// the fault-aware scheduler (node crashes are scheduled on the run's
+    /// global clock); the zero-fault closed forms are start-invariant.
+    pub start_ns: SimNs,
 }
 
 impl JobConfig {
@@ -52,7 +58,15 @@ impl JobConfig {
             map_scale: ScaleMode::MoreTasks,
             script_reducer: false,
             script_cost_factor: 1.0,
+            start_ns: 0,
         }
+    }
+
+    /// Places the job at an absolute point on the run's simulated clock so
+    /// fault schedules (crash times) line up across stages.
+    pub fn starting_at(mut self, ns: SimNs) -> Self {
+        self.start_ns = ns;
+        self
     }
 
     pub fn script_reducer(mut self, yes: bool) -> Self {
@@ -165,6 +179,34 @@ pub struct JobOutcome<O> {
     pub group_out_bytes: Vec<u64>,
     pub stats: JobStats,
     pub trace: StageTrace,
+    /// Recovery actions taken while scheduling this job (empty under
+    /// [`sjc_cluster::FaultPlan::none`]).
+    pub recovery: Vec<RecoveryEvent>,
+}
+
+/// Cap on materialized full-scale task lists fed to the event scheduler.
+const MAX_MATERIALIZED_TASKS: u64 = 1 << 16;
+
+/// Materializes the full-scale task multiset (`durations` replicated
+/// `copies` times) for the fault-aware scheduler. Once the list would
+/// exceed [`MAX_MATERIALIZED_TASKS`], replicas batch into proportionally
+/// longer tasks — total work is preserved exactly, only the granularity at
+/// which crashes can interrupt it coarsens.
+fn replicate_tasks(durations: &[SimNs], copies: u64) -> Vec<SimNs> {
+    let total = (durations.len() as u64).saturating_mul(copies);
+    let batch = total.div_ceil(MAX_MATERIALIZED_TASKS).max(1);
+    let whole = copies / batch;
+    let rem = copies % batch;
+    let mut out = Vec::new();
+    for &d in durations {
+        for _ in 0..whole {
+            out.push(d.saturating_mul(batch));
+        }
+        if rem > 0 {
+            out.push(d.saturating_mul(rem));
+        }
+    }
+    out
 }
 
 /// The engine: borrows the cluster (cost context) and HDFS (byte ledger).
@@ -189,6 +231,37 @@ impl<'a> MapReduceJob<'a> {
         } else {
             node.slot_disk_write_bw()
         }
+    }
+
+    /// Penalty for input blocks whose primary replica died before the stage
+    /// started: the dead fraction of the full-scale input is re-fetched from
+    /// remote replicas over the NIC, spread across surviving slots. Returns
+    /// `(extra_ns, bytes_reread, event)`.
+    fn failover_penalty(
+        &self,
+        stage: &str,
+        start: SimNs,
+        full_input_bytes: u64,
+    ) -> (SimNs, u64, Option<RecoveryEvent>) {
+        let plan = &self.cluster.faults;
+        let dead = plan.dead_nodes_at(start);
+        if dead.is_empty() || full_input_bytes == 0 {
+            return (0, 0, None);
+        }
+        let nodes = self.cluster.config.nodes;
+        let node = &self.cluster.config.node;
+        let live = nodes.saturating_sub(dead.len() as u32).max(1);
+        let reread = (full_input_bytes as f64 * dead.len() as f64 / nodes as f64) as u64;
+        let live_slots = (live as u64 * node.cores as u64).max(1);
+        let extra = self.cluster.cost.io_ns(reread / live_slots, node.slot_net_bw());
+        let ev = RecoveryEvent {
+            stage: stage.to_string(),
+            kind: RecoveryKind::ReplicaFailover {
+                blocks: reread.div_ceil(self.hdfs.block_size().max(1)),
+            },
+            wasted_ns: extra,
+        };
+        (extra, reread, Some(ev))
     }
 
     fn map_task_duration<T>(&self, cfg: &JobConfig, task: &MapTask<T>, emitted_bytes: u64, extra_cpu: SimNs) -> SimNs {
@@ -219,7 +292,7 @@ impl<'a> MapReduceJob<'a> {
         cfg: &JobConfig,
         tasks: Vec<MapTask<T>>,
         map: impl Fn(&T, &mut ReduceEmitter<O>) + Sync,
-    ) -> JobOutcome<O> {
+    ) -> Result<JobOutcome<O>, SimError> {
         let c = self.cluster.cost.clone();
         let node = self.cluster.config.node;
         let slots = self.cluster.total_slots();
@@ -262,23 +335,54 @@ impl<'a> MapReduceJob<'a> {
             output.extend(em.out);
         }
 
-        let makespan = match cfg.map_scale {
+        let plan = &self.cluster.faults;
+        let start = cfg.start_ns + c.hadoop_job_startup_ns;
+        let full_tasks: Vec<SimNs> = match cfg.map_scale {
             ScaleMode::MoreTasks => {
                 let with_overhead: Vec<SimNs> = durations
                     .iter()
                     .map(|d| d + c.hadoop_task_overhead_ns)
                     .collect();
-                replicated_makespan(&with_overhead, slots, cfg.multiplier)
+                if plan.is_none() {
+                    let makespan = replicated_makespan(&with_overhead, slots, cfg.multiplier);
+                    return Ok(self.finish_map_only(cfg, makespan, None, output, stats));
+                }
+                replicate_tasks(&with_overhead, cfg.multiplier.round().max(1.0) as u64)
             }
             ScaleMode::BiggerTasks => {
                 let scaled: Vec<SimNs> = durations
                     .iter()
                     .map(|d| c.hadoop_task_overhead_ns + (*d as f64 * cfg.multiplier) as SimNs)
                     .collect();
-                lpt_makespan(&scaled, slots)
+                if plan.is_none() {
+                    let makespan = lpt_makespan(&scaled, slots);
+                    return Ok(self.finish_map_only(cfg, makespan, None, output, stats));
+                }
+                scaled
             }
         };
+        let sched = faulty_makespan(
+            &full_tasks,
+            self.cluster.config.node.cores,
+            self.cluster.config.nodes,
+            plan,
+            &cfg.name,
+            start,
+            false,
+        )?;
+        Ok(self.finish_map_only(cfg, sched.makespan, Some(sched), output, stats))
+    }
 
+    /// Shared tail of [`Self::map_only`]: trace assembly and byte ledger.
+    fn finish_map_only<O>(
+        &mut self,
+        cfg: &JobConfig,
+        makespan: SimNs,
+        sched: Option<TaskSchedule>,
+        output: Vec<O>,
+        stats: JobStats,
+    ) -> JobOutcome<O> {
+        let c = self.cluster.cost.clone();
         let mut trace = StageTrace::new(cfg.name.clone(), StageKind::MapOnlyJob, cfg.phase);
         trace.sim_ns = c.hadoop_job_startup_ns + makespan;
         trace.hdfs_bytes_read = (stats.input_bytes as f64 * cfg.multiplier) as u64;
@@ -289,12 +393,29 @@ impl<'a> MapReduceJob<'a> {
         self.hdfs.total_bytes_read += trace.hdfs_bytes_read;
         trace.tasks = (stats.map_tasks as f64 * cfg.multiplier) as u64;
 
+        let mut recovery = Vec::new();
+        if let Some(s) = sched {
+            trace.attempts = s.attempts;
+            trace.speculative = s.speculative;
+            trace.wasted_ns = s.wasted_ns;
+            recovery = s.events;
+            // Input blocks whose primary died before the job started come
+            // from remote replicas.
+            let start = cfg.start_ns + c.hadoop_job_startup_ns;
+            let (extra, reread, ev) =
+                self.failover_penalty(&cfg.name, start, trace.hdfs_bytes_read);
+            trace.sim_ns += extra;
+            trace.bytes_reread = reread;
+            recovery.extend(ev);
+        }
+
         JobOutcome {
             output,
             group_bytes: Vec::new(),
             group_out_bytes: Vec::new(),
             stats,
             trace,
+            recovery,
         }
     }
 
@@ -310,7 +431,7 @@ impl<'a> MapReduceJob<'a> {
         map: impl Fn(&T, &mut MapEmitter<K, V>) + Sync,
         combine: impl Fn(&K, Vec<V>) -> Vec<(V, u64)> + Sync,
         reduce: impl Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync,
-    ) -> JobOutcome<O>
+    ) -> Result<JobOutcome<O>, SimError>
     where
         K: Ord + Clone + Send + Sync,
         V: Send + Sync,
@@ -344,7 +465,7 @@ impl<'a> MapReduceJob<'a> {
         tasks: Vec<MapTask<T>>,
         map: impl Fn(&T, &mut MapEmitter<K, V>) + Sync,
         reduce: impl Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync,
-    ) -> JobOutcome<O>
+    ) -> Result<JobOutcome<O>, SimError>
     where
         K: Ord + Clone + Send + Sync,
         V: Send + Sync,
@@ -365,7 +486,7 @@ impl<'a> MapReduceJob<'a> {
         map: &(dyn Fn(&T, &mut MapEmitter<K, V>) + Sync),
         combiner: Option<&(dyn Fn(MapEmitter<K, V>) -> MapEmitter<K, V> + Sync)>,
         reduce: &(dyn Fn(&K, &[V], &mut ReduceEmitter<O>) + Sync),
-    ) -> JobOutcome<O>
+    ) -> Result<JobOutcome<O>, SimError>
     where
         K: Ord + Clone + Send + Sync,
         V: Send + Sync,
@@ -410,14 +531,54 @@ impl<'a> MapReduceJob<'a> {
                 e.1 += bytes_per_pair;
             }
         }
+        let plan = self.cluster.faults.clone();
+        let start = cfg.start_ns + c.hadoop_job_startup_ns;
+        // Map wave. Under faults the full-scale task list runs through the
+        // event scheduler with `rerun_on_crash`: a completed map task whose
+        // host dies before the shuffle re-executes (its output is gone).
+        let mut map_sched: Option<TaskSchedule> = None;
         let map_makespan = match cfg.map_scale {
-            ScaleMode::MoreTasks => replicated_makespan(&map_durations, slots, cfg.multiplier),
+            ScaleMode::MoreTasks => {
+                if plan.is_none() {
+                    replicated_makespan(&map_durations, slots, cfg.multiplier)
+                } else {
+                    let full =
+                        replicate_tasks(&map_durations, cfg.multiplier.round().max(1.0) as u64);
+                    let s = faulty_makespan(
+                        &full,
+                        node.cores,
+                        nodes,
+                        &plan,
+                        &format!("{}/map", cfg.name),
+                        start,
+                        true,
+                    )?;
+                    let m = s.makespan;
+                    map_sched = Some(s);
+                    m
+                }
+            }
             ScaleMode::BiggerTasks => {
                 let scaled: Vec<SimNs> = map_durations
                     .iter()
                     .map(|d| (*d as f64 * cfg.multiplier) as SimNs)
                     .collect();
-                lpt_makespan(&scaled, slots)
+                if plan.is_none() {
+                    lpt_makespan(&scaled, slots)
+                } else {
+                    let s = faulty_makespan(
+                        &scaled,
+                        node.cores,
+                        nodes,
+                        &plan,
+                        &format!("{}/map", cfg.name),
+                        start,
+                        true,
+                    )?;
+                    let m = s.makespan;
+                    map_sched = Some(s);
+                    m
+                }
             }
         };
 
@@ -466,7 +627,25 @@ impl<'a> MapReduceJob<'a> {
             output.extend(em.out);
         }
         stats.reduce_tasks = groups.len() as u64;
-        let reduce_makespan = lpt_makespan(&reduce_durations, slots);
+        // Reduce wave: group durations are already full-scale; under faults
+        // it starts on the global clock where the map wave ended.
+        let mut reduce_sched: Option<TaskSchedule> = None;
+        let reduce_makespan = if plan.is_none() {
+            lpt_makespan(&reduce_durations, slots)
+        } else {
+            let s = faulty_makespan(
+                &reduce_durations,
+                node.cores,
+                nodes,
+                &plan,
+                &format!("{}/reduce", cfg.name),
+                start + map_makespan,
+                false,
+            )?;
+            let m = s.makespan;
+            reduce_sched = Some(s);
+            m
+        };
 
         let mut trace = StageTrace::new(cfg.name.clone(), StageKind::MapReduceJob, cfg.phase);
         trace.sim_ns = c.hadoop_job_startup_ns + map_makespan + reduce_makespan;
@@ -479,13 +658,29 @@ impl<'a> MapReduceJob<'a> {
         self.hdfs.total_bytes_read += trace.hdfs_bytes_read;
         trace.tasks = ((stats.map_tasks as f64) * cfg.multiplier) as u64 + stats.reduce_tasks;
 
-        JobOutcome {
+        let mut recovery = Vec::new();
+        for s in [map_sched, reduce_sched].into_iter().flatten() {
+            trace.attempts += s.attempts;
+            trace.speculative += s.speculative;
+            trace.wasted_ns += s.wasted_ns;
+            recovery.extend(s.events);
+        }
+        if !plan.is_none() {
+            let (extra, reread, ev) =
+                self.failover_penalty(&cfg.name, start, trace.hdfs_bytes_read);
+            trace.sim_ns += extra;
+            trace.bytes_reread = reread;
+            recovery.extend(ev);
+        }
+
+        Ok(JobOutcome {
             output,
             group_bytes,
             group_out_bytes,
             stats,
             trace,
-        }
+            recovery,
+        })
     }
 }
 
@@ -493,7 +688,7 @@ impl<'a> MapReduceJob<'a> {
 mod tests {
     use super::*;
     use crate::input_format::block_splits;
-    use sjc_cluster::ClusterConfig;
+    use sjc_cluster::{ClusterConfig, FaultPlan};
 
     fn cluster() -> Cluster {
         Cluster::new(ClusterConfig::workstation())
@@ -512,7 +707,7 @@ mod tests {
             tasks,
             |w, em| em.emit(w.to_string(), 1u64, 2),
             |k, vs, em| em.emit((k.clone(), vs.iter().sum::<u64>()), 8),
-        );
+        ).unwrap();
         let mut counts = outcome.output.clone();
         counts.sort();
         assert_eq!(
@@ -531,7 +726,7 @@ mod tests {
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
         let cfg = JobConfig::new("scan", Phase::IndexA, 1.0);
         let tasks = vec![MapTask::new(vec![1u32, 2, 3], 30)];
-        let outcome = engine.map_only(&cfg, tasks, |r, em| em.emit(r * 10, 4));
+        let outcome = engine.map_only(&cfg, tasks, |r, em| em.emit(r * 10, 4)).unwrap();
         assert_eq!(outcome.output, vec![10, 20, 30]);
         assert_eq!(outcome.stats.records_in, 3);
         assert_eq!(outcome.trace.hdfs_bytes_read, 30);
@@ -546,7 +741,7 @@ mod tests {
             let cfg = JobConfig::new("scan", Phase::IndexA, mult);
             let records: Vec<u32> = (0..10_000).collect();
             let tasks = block_splits(&records, 100.0, 64 << 10);
-            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 100))
+            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 100)).unwrap()
         };
         let base = run(1.0);
         let scaled = run(100.0);
@@ -574,7 +769,7 @@ mod tests {
                 em.emit(key, *r, 1 << 20); // 1 MB per record
             },
             |_k, vs, em| em.emit(vs.len() as u64, 8),
-        );
+        ).unwrap();
         let max = *outcome.group_bytes.iter().max().unwrap();
         let min = *outcome.group_bytes.iter().min().unwrap();
         assert!(max > 50 * min, "skew visible in group bytes");
@@ -594,7 +789,7 @@ mod tests {
             tasks(),
             |w, em| em.emit(*w, 1u64, 16),
             |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        );
+        ).unwrap();
 
         let mut hdfs2 = SimHdfs::new(1);
         let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);
@@ -604,7 +799,7 @@ mod tests {
             |w, em| em.emit(*w, 1u64, 16),
             |_k, vs| vec![(vs.iter().sum::<u64>(), 16)],
             |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        );
+        ).unwrap();
 
         let mut a = plain.output.clone();
         let mut b = combined.output.clone();
@@ -630,7 +825,7 @@ mod tests {
                 .map_scale(mode)
                 .write_output(false);
             let tasks = block_splits(&records, 1000.0, 100 << 10); // 16 tasks
-            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 0)).trace.sim_ns
+            engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 0)).unwrap().trace.sim_ns
         };
         // BiggerTasks: 16 tasks × 50x data on 16 slots — one huge wave.
         // MoreTasks: 800 unit tasks on 16 slots — perfectly amortized; both
@@ -639,5 +834,55 @@ mod tests {
         let bigger = run(ScaleMode::BiggerTasks);
         let ratio = more as f64 / bigger as f64;
         assert!((0.5..2.0).contains(&ratio), "same area bound, got ratio {ratio}");
+    }
+
+    #[test]
+    fn replicated_task_lists_batch_but_preserve_work() {
+        let durations = vec![10u64, 20, 30];
+        let small = replicate_tasks(&durations, 3);
+        assert_eq!(small.len(), 9);
+        assert_eq!(small.iter().sum::<u64>(), 3 * 60);
+        // Far over the cap: batching kicks in, total work is exact.
+        let copies = 10 * MAX_MATERIALIZED_TASKS;
+        let big = replicate_tasks(&durations, copies);
+        assert!(big.len() as u64 <= MAX_MATERIALIZED_TASKS + durations.len() as u64);
+        assert_eq!(big.iter().sum::<u64>(), copies * 60);
+    }
+
+    #[test]
+    fn faulted_cluster_recovers_and_preserves_results() {
+        let config = ClusterConfig::ec2(4);
+        let clean = Cluster::new(config.clone());
+        // Node 1 dies before the job starts; 5% of attempts hit transient
+        // disk errors.
+        let plan = FaultPlan::seeded(7, &config).with_disk_errors(0.05).crash_at(1, 1);
+        let faulted = Cluster::with_faults(config, plan);
+        let run = |cluster: &Cluster| {
+            let mut hdfs = SimHdfs::new(4);
+            let mut engine = MapReduceJob::new(cluster, &mut hdfs);
+            let words: Vec<u64> = (0..4000).map(|i| i % 97).collect();
+            let tasks = block_splits(&words, 16.0, 2 << 10);
+            let cfg = JobConfig::new("wc", Phase::DistributedJoin, 4.0);
+            engine
+                .map_reduce(
+                    &cfg,
+                    tasks,
+                    |w, em| em.emit(*w, 1u64, 8),
+                    |k, vs, em| em.emit((*k, vs.len() as u64), 8),
+                )
+                .unwrap()
+        };
+        let base = run(&clean);
+        let hit = run(&faulted);
+        let mut a = base.output.clone();
+        let mut b = hit.output.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "recovered runs return identical results");
+        assert!(hit.trace.sim_ns > base.trace.sim_ns, "faults cost time");
+        assert!(hit.trace.attempts > 0);
+        assert!(!hit.recovery.is_empty(), "recovery actions are logged");
+        assert!(hit.trace.bytes_reread > 0, "dead node forces remote re-reads");
+        assert_eq!(base.trace.attempts, 0, "zero-fault path does not meter attempts");
     }
 }

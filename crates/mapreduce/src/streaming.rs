@@ -8,7 +8,7 @@
 //! payload exceeds what the node can buffer — the paper's "broken pipeline
 //! ... when the data that pipes through multiple processors is too big".
 
-use sjc_cluster::{SimError, StageTrace};
+use sjc_cluster::{RecoveryEvent, SimError, StageTrace};
 
 use crate::input_format::MapTask;
 use crate::job::{JobConfig, JobStats, MapReduceJob};
@@ -20,6 +20,8 @@ pub struct StreamingOutcome {
     pub lines: Vec<String>,
     pub stats: JobStats,
     pub trace: StageTrace,
+    /// Recovery actions the underlying engine took (empty without faults).
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// A streaming job runner borrowing the native engine.
@@ -52,7 +54,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
             // stdin + stdout traffic of the external process, plus its own
             // text parse of the line.
             em.charge(cost.pipe_ns(in_bytes + pipe_out) + cost.parse_ns(in_bytes));
-        });
+        })?;
         let mut trace = outcome.trace;
         trace.pipe_bytes =
             ((outcome.stats.input_bytes + outcome.stats.output_bytes) as f64 * cfg.multiplier) as u64;
@@ -60,6 +62,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
             lines: outcome.output,
             stats: outcome.stats,
             trace,
+            recovery: outcome.recovery,
         })
     }
 
@@ -107,7 +110,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
                     );
                 }
             },
-        );
+        )?;
 
         // Broken-pipe check: each reduce group is piped through one external
         // process (stdin: the group's records; stdout: its results); at full
@@ -136,6 +139,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
             lines: outcome.output,
             stats: outcome.stats,
             trace,
+            recovery: outcome.recovery,
         })
     }
 }
@@ -191,7 +195,7 @@ mod tests {
             // pipe/parse overheads rather than shuffle volume.
             |l: &String, em| em.emit(l.len() as u64 % 7, 1u64, 4),
             |_, vs, em| em.emit(vs.len(), 8),
-        );
+        ).unwrap();
 
         let mut hdfs2 = SimHdfs::new(1);
         let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);

@@ -31,7 +31,7 @@ fn map_reduce_equals_hashmap_fold() {
             block_splits(&words, 4.0, 64),
             |w, em| em.emit(*w, 1u64, 8),
             |k, vs, em| em.emit((*k, vs.len() as u64), 16),
-        );
+        ).unwrap();
         let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
         for w in &words {
             *expected.entry(*w).or_default() += 1;
@@ -57,6 +57,7 @@ fn combiner_never_changes_results() {
                 |w, em| em.emit(*w, 1u64, 8),
                 |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
             )
+            .unwrap()
             .output;
 
         let mut hdfs2 = SimHdfs::new(1);
@@ -67,7 +68,7 @@ fn combiner_never_changes_results() {
             |w, em| em.emit(*w, 1u64, 8),
             |_k, vs| vec![(vs.iter().sum::<u64>(), 8)],
             |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        );
+        ).unwrap();
         let mut combined = outcome.output;
         plain.sort_unstable();
         combined.sort_unstable();
@@ -94,6 +95,7 @@ fn simulated_time_is_monotone_in_multiplier() {
                     |w, em| em.emit(*w, 1u64, 8),
                     |k, vs, em| em.emit((*k, vs.len()), 16),
                 )
+                .unwrap()
                 .trace
                 .sim_ns
         };
@@ -111,7 +113,7 @@ fn map_only_preserves_record_order() {
         let cfg = JobConfig::new("scan", Phase::IndexA, 1.0);
         let outcome = engine.map_only(&cfg, block_splits(&records, 8.0, 64), |r, em| {
             em.emit(*r, 8)
-        });
+        }).unwrap();
         assert_eq!(outcome.output, records);
     });
 }

@@ -1,8 +1,11 @@
 //! The Spark driver context: owns the run trace and stage accounting.
 
 use sjc_cluster::metrics::Phase;
-use sjc_cluster::scheduler::lpt_makespan;
-use sjc_cluster::{Cluster, RunTrace, SimNs, StageKind, StageTrace};
+use sjc_cluster::scheduler::{faulty_makespan, lpt_makespan};
+use sjc_cluster::{
+    Cluster, RecoveryEvent, RecoveryKind, RunTrace, SimError, SimNs, StageKind, StageTrace,
+    MAX_STAGE_RESUBMITS,
+};
 
 use crate::rdd::Rdd;
 use crate::record::SparkRecord;
@@ -73,11 +76,19 @@ impl<'a> SparkContext<'a> {
             pending_hdfs_read: (input_bytes as f64 * multiplier) as u64,
             mem_full,
             multiplier,
+            lineage_depth: 1,
         }
     }
 
     /// Closes a stage: schedules the per-partition pending durations onto
     /// the cluster, emits a [`StageTrace`], and returns its simulated time.
+    ///
+    /// Under a fault plan the stage runs through the event scheduler on the
+    /// run's global clock. A node crash inside the stage window destroys the
+    /// cached parent partitions that lived on it; unlike Hadoop (which
+    /// re-runs one task), Spark recomputes those partitions through their
+    /// **lineage** — the resubmitted wave costs `lineage_depth ×` the lost
+    /// partitions' work, bounded by [`MAX_STAGE_RESUBMITS`].
     pub(crate) fn close_stage(
         &mut self,
         name: &str,
@@ -85,41 +96,135 @@ impl<'a> SparkContext<'a> {
         pending_ns: &[SimNs],
         hdfs_read: u64,
         shuffle_bytes: u64,
-    ) -> SimNs {
-        let cost = &self.cluster.cost;
+        lineage_depth: u32,
+    ) -> Result<SimNs, SimError> {
+        let cost = self.cluster.cost.clone();
         let with_overhead: Vec<SimNs> = pending_ns
             .iter()
             .map(|&p| p + cost.spark_task_overhead_ns)
             .collect();
-        let makespan = lpt_makespan(&with_overhead, self.cluster.total_slots());
-        let total = cost.spark_job_startup_ns + makespan;
         if std::env::var_os("SJC_STAGE_DEBUG").is_some() {
             let sum: u128 = pending_ns.iter().map(|&p| p as u128).sum();
             let max = pending_ns.iter().copied().max().unwrap_or(0);
             eprintln!(
-                "[stage] {} {name:?} tasks={} sum={:.1}s max={:.1}s makespan={:.1}s",
+                "[stage] {} {name:?} tasks={} sum={:.1}s max={:.1}s",
                 self.cluster.config.name,
                 pending_ns.len(),
                 sum as f64 / 1e9,
                 max as f64 / 1e9,
-                makespan as f64 / 1e9
             );
         }
+        let plan = self.cluster.faults.clone();
+        if plan.is_none() {
+            let makespan = lpt_makespan(&with_overhead, self.cluster.total_slots());
+            let total = cost.spark_job_startup_ns + makespan;
+            let mut st = StageTrace::new(name, StageKind::SparkStage, phase);
+            st.sim_ns = total;
+            st.hdfs_bytes_read = hdfs_read;
+            st.shuffle_bytes = shuffle_bytes;
+            st.tasks = pending_ns.len() as u64;
+            self.trace.push(st);
+            return Ok(total);
+        }
 
+        let cores = self.cluster.config.node.cores;
+        let nodes = self.cluster.config.nodes;
+        let start = self.trace.total_ns() + cost.spark_job_startup_ns;
         let mut st = StageTrace::new(name, StageKind::SparkStage, phase);
+        let mut events: Vec<RecoveryEvent> = Vec::new();
+        let mut makespan = 0u64;
+        let mut work = with_overhead;
+        let mut resubmit: u32 = 0;
+        loop {
+            let dead_before = plan.dead_nodes_at(start + makespan);
+            let sched =
+                faulty_makespan(&work, cores, nodes, &plan, name, start + makespan, false)?;
+            st.attempts += sched.attempts;
+            st.speculative += sched.speculative;
+            st.wasted_ns += sched.wasted_ns;
+            events.extend(sched.events);
+            makespan += sched.makespan;
+            let dead_after = plan.dead_nodes_at(start + makespan);
+            let newly: Vec<u32> = dead_after
+                .iter()
+                .copied()
+                .filter(|n| !dead_before.contains(n))
+                .collect();
+            if newly.is_empty() {
+                break;
+            }
+            // Cached partitions live round-robin across nodes; the ones on
+            // the fresh casualties recompute through their whole lineage.
+            let depth = lineage_depth.max(1);
+            let lost: Vec<SimNs> = pending_ns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| newly.contains(&((*i as u32) % nodes)))
+                .map(|(_, &p)| (p + cost.spark_task_overhead_ns).saturating_mul(depth as u64))
+                .collect();
+            if lost.is_empty() {
+                break;
+            }
+            resubmit += 1;
+            if resubmit > MAX_STAGE_RESUBMITS {
+                return Err(SimError::NodeLost {
+                    stage: name.to_string(),
+                    node: newly.first().copied().unwrap_or(0),
+                });
+            }
+            let lost_work: SimNs = lost.iter().sum();
+            st.wasted_ns += lost_work;
+            events.push(RecoveryEvent {
+                stage: name.to_string(),
+                kind: RecoveryKind::PartitionRecompute {
+                    partitions: lost.len() as u64,
+                    lineage_depth: depth,
+                },
+                wasted_ns: lost_work,
+            });
+            events.push(RecoveryEvent {
+                stage: name.to_string(),
+                kind: RecoveryKind::StageResubmit { attempt: resubmit },
+                wasted_ns: 0,
+            });
+            work = lost;
+        }
+
+        // Input blocks whose primary died before the stage started come
+        // from remote replicas over the NIC.
+        let dead0 = plan.dead_nodes_at(start);
+        if !dead0.is_empty() && hdfs_read > 0 {
+            let node = &self.cluster.config.node;
+            let live = nodes.saturating_sub(dead0.len() as u32).max(1);
+            let reread = (hdfs_read as f64 * dead0.len() as f64 / nodes as f64) as u64;
+            let live_slots = (live as u64 * node.cores as u64).max(1);
+            let extra = cost.io_ns(reread / live_slots, node.slot_net_bw());
+            makespan += extra;
+            st.bytes_reread = reread;
+            events.push(RecoveryEvent {
+                stage: name.to_string(),
+                kind: RecoveryKind::ReplicaFailover {
+                    blocks: reread.div_ceil(sjc_cluster::hdfs::DEFAULT_BLOCK_SIZE),
+                },
+                wasted_ns: extra,
+            });
+        }
+
+        let total = cost.spark_job_startup_ns + makespan;
         st.sim_ns = total;
         st.hdfs_bytes_read = hdfs_read;
         st.shuffle_bytes = shuffle_bytes;
         st.tasks = pending_ns.len() as u64;
         self.trace.push(st);
-        total
+        self.trace.push_recovery(events);
+        Ok(total)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjc_cluster::ClusterConfig;
+    use sjc_cluster::{ClusterConfig, CostModel, FaultPlan};
 
     #[test]
     fn read_text_partitions_and_charges() {
@@ -145,10 +250,44 @@ mod tests {
     fn close_stage_emits_trace() {
         let cluster = Cluster::new(ClusterConfig::workstation());
         let mut ctx = SparkContext::new(&cluster);
-        let ns = ctx.close_stage("s1", Phase::DistributedJoin, &[1000, 2000], 77, 88);
+        let ns = ctx.close_stage("s1", Phase::DistributedJoin, &[1000, 2000], 77, 88, 1).unwrap();
         assert!(ns >= 2000);
         assert_eq!(ctx.trace.stages.len(), 1);
         assert_eq!(ctx.trace.stages[0].hdfs_bytes_read, 77);
         assert_eq!(ctx.trace.stages[0].shuffle_bytes, 88);
+    }
+
+    #[test]
+    fn mid_stage_crash_costs_a_lineage_recompute() {
+        let config = ClusterConfig::ec2(4);
+        let startup = CostModel::default().spark_job_startup_ns;
+        // Node 2 dies half a task into the first (and only) wave.
+        let plan = FaultPlan::seeded(1, &config).crash_at(2, startup + 500_000);
+        let clean = Cluster::new(config.clone());
+        let faulted = Cluster::with_faults(config, plan);
+        let pending = vec![1_000_000u64; 32];
+        let run = |cluster: &Cluster, depth: u32| {
+            let mut ctx = SparkContext::new(cluster);
+            let ns = ctx
+                .close_stage("s", Phase::DistributedJoin, &pending, 1 << 20, 0, depth)
+                .unwrap();
+            (ns, ctx.trace)
+        };
+        let (base, t0) = run(&clean, 1);
+        assert!(t0.recovery.is_empty(), "no faults, no recovery log");
+        let (hit, t1) = run(&faulted, 1);
+        assert!(hit > base, "the crash costs simulated time");
+        assert!(
+            t1.recovery
+                .iter()
+                .any(|e| matches!(e.kind, RecoveryKind::PartitionRecompute { .. })),
+            "lost cached partitions recompute via lineage: {:?}",
+            t1.recovery
+        );
+        assert!(t1.total_wasted_ns() > 0);
+        // A longer narrow-op chain makes the same crash strictly costlier —
+        // the Hadoop-vs-Spark recovery asymmetry the fault model exists for.
+        let (deep, _) = run(&faulted, 5);
+        assert!(deep > hit, "lineage depth scales recovery cost");
     }
 }

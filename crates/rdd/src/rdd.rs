@@ -22,6 +22,10 @@ pub struct Rdd<T> {
     /// Full-scale modeled resident bytes per partition.
     pub(crate) mem_full: Vec<u64>,
     pub(crate) multiplier: f64,
+    /// Narrow-op chain length since the last materialization boundary
+    /// (load or shuffle). Losing a cached partition to a node crash costs a
+    /// recompute proportional to this depth — Spark's lineage recovery.
+    pub(crate) lineage_depth: u32,
 }
 
 impl<T: SparkRecord + Clone> Rdd<T> {
@@ -47,6 +51,11 @@ impl<T: SparkRecord + Clone> Rdd<T> {
 
     pub fn multiplier(&self) -> f64 {
         self.multiplier
+    }
+
+    /// Length of the narrow-op chain a lost partition would replay.
+    pub fn lineage_depth(&self) -> u32 {
+        self.lineage_depth
     }
 
     /// Narrow map. `f` receives each record and a per-record extra-cost
@@ -145,6 +154,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         let cost = &ctx.cluster.cost;
         let cpu_scale = ctx.cluster.config.node.cpu_scale;
         let mult = self.multiplier;
+        let depth = self.lineage_depth.saturating_add(1);
         let indexed: Vec<(usize, Vec<T>, SimNs)> = self
             .parts
             .into_iter()
@@ -175,6 +185,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             pending_hdfs_read: self.pending_hdfs_read,
             mem_full,
             multiplier: mult,
+            lineage_depth: depth,
         }
     }
 
@@ -191,7 +202,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         phase: Phase,
         fraction: f64,
         seed: u64,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, SimError> {
         assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
         let cost = &ctx.cluster.cost;
         // Consume pending: the cache is warm after this action.
@@ -202,7 +213,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
                 as SimNs;
         }
         let hdfs = std::mem::take(&mut self.pending_hdfs_read);
-        ctx.close_stage(name, phase, &pending, hdfs, 0);
+        ctx.close_stage(name, phase, &pending, hdfs, 0, self.lineage_depth)?;
 
         let threshold = (fraction * u64::MAX as f64) as u64;
         let offsets = record_offsets(&self.parts);
@@ -220,7 +231,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             }
             kept
         });
-        sampled.into_iter().flatten().collect()
+        Ok(sampled.into_iter().flatten().collect())
     }
 
     /// Action: count records, closing the stage (cheaper than `collect` —
@@ -232,7 +243,14 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         phase: Phase,
     ) -> Result<usize, SimError> {
         let n = self.count();
-        ctx.close_stage(name, phase, &self.pending_ns, self.pending_hdfs_read, 0);
+        ctx.close_stage(
+            name,
+            phase,
+            &self.pending_ns,
+            self.pending_hdfs_read,
+            0,
+            self.lineage_depth,
+        )?;
         Ok(n)
     }
 
@@ -247,6 +265,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         self.pending_ns.extend(other.pending_ns);
         self.mem_full.extend(other.mem_full);
         self.pending_hdfs_read += other.pending_hdfs_read;
+        self.lineage_depth = self.lineage_depth.max(other.lineage_depth);
         self
     }
 
@@ -258,7 +277,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         phase: Phase,
     ) -> Result<Vec<T>, SimError> {
         let pending = self.pending_ns.clone();
-        ctx.close_stage(name, phase, &pending, self.pending_hdfs_read, 0);
+        ctx.close_stage(name, phase, &pending, self.pending_hdfs_read, 0, self.lineage_depth)?;
         Ok(self.parts.into_iter().flatten().collect())
     }
 }
@@ -291,6 +310,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             pending_hdfs_read: self.pending_hdfs_read,
             mem_full,
             multiplier: mult,
+            lineage_depth: self.lineage_depth,
         }
     }
 }

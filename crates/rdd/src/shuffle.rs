@@ -135,14 +135,23 @@ where
 
         // Close the map-side stage (pending narrow work + shuffle write).
         let shuffle_bytes: u64 = self.mem_full.iter().sum();
-        ctx.close_stage(name, phase, &write_pending, self.pending_hdfs_read, shuffle_bytes);
+        ctx.close_stage(
+            name,
+            phase,
+            &write_pending,
+            self.pending_hdfs_read,
+            shuffle_bytes,
+            self.lineage_depth,
+        )?;
 
+        // A shuffle materializes its output; recompute scope restarts here.
         Ok(Rdd {
             parts,
             pending_ns: read_pending,
             pending_hdfs_read: 0,
             mem_full,
             multiplier: mult,
+            lineage_depth: 1,
         })
     }
 }
@@ -242,7 +251,14 @@ where
         }
         check_fits(ctx.cluster, name, &[&self.mem_full, &mem_full])?;
         let shuffle_bytes: u64 = mem_full.iter().sum();
-        ctx.close_stage(name, phase, &write_pending, self.pending_hdfs_read, shuffle_bytes);
+        ctx.close_stage(
+            name,
+            phase,
+            &write_pending,
+            self.pending_hdfs_read,
+            shuffle_bytes,
+            self.lineage_depth,
+        )?;
 
         Ok(Rdd {
             parts,
@@ -250,6 +266,7 @@ where
             pending_hdfs_read: 0,
             mem_full,
             multiplier: mult,
+            lineage_depth: 1,
         })
     }
 }
@@ -355,7 +372,14 @@ where
         let hdfs = self.pending_hdfs_read + other.pending_hdfs_read;
         let mut all_pending = left_pending;
         all_pending.extend(right_pending);
-        ctx.close_stage(name, phase, &all_pending, hdfs, shuffle_bytes);
+        ctx.close_stage(
+            name,
+            phase,
+            &all_pending,
+            hdfs,
+            shuffle_bytes,
+            self.lineage_depth.max(other.lineage_depth),
+        )?;
 
         Ok(Rdd {
             parts,
@@ -363,6 +387,7 @@ where
             pending_hdfs_read: 0,
             mem_full,
             multiplier: mult,
+            lineage_depth: 1,
         })
     }
 }

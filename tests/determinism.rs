@@ -83,6 +83,27 @@ fn results_are_identical_across_thread_budgets() {
 }
 
 #[test]
+fn faulted_runs_are_bit_stable() {
+    // Fault draws are stateless hashes of (seed, stage, task, attempt):
+    // re-running the same plan must replay the exact same failure history.
+    let (l, r) = Workload::taxi1m_nycb().prepare(3e-4, 2718);
+    let cfg = ClusterConfig::ec2(10);
+    let plan = sjc_cluster::FaultPlan::light(11, &cfg).crash_at(3, 40_000_000_000);
+    let cluster = Cluster::with_faults(cfg, plan);
+    let sys = SpatialHadoop::default();
+    let a = sys.run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
+    let b = sys.run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
+    assert_eq!(a.trace.total_ns(), b.trace.total_ns());
+    assert_eq!(a.trace.recovery, b.trace.recovery, "identical recovery ledgers");
+    let a_stage: Vec<(u64, u64, u64)> =
+        a.trace.stages.iter().map(|s| (s.sim_ns, s.attempts, s.wasted_ns)).collect();
+    let b_stage: Vec<(u64, u64, u64)> =
+        b.trace.stages.iter().map(|s| (s.sim_ns, s.attempts, s.wasted_ns)).collect();
+    assert_eq!(a_stage, b_stage);
+    assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+}
+
+#[test]
 fn different_seeds_give_different_data_same_shape() {
     let a = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 1);
     let b = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 2);

@@ -1,0 +1,223 @@
+//! Fault-injection contract tests.
+//!
+//! Three invariants the fault subsystem must hold:
+//!
+//! 1. `FaultPlan::none()` is the *identity*: a cluster built with it is
+//!    bit-identical to a plain `Cluster::new` — every stage number, byte
+//!    counter and result pair, for all three systems.
+//! 2. Faulted runs are deterministic: the same plan gives the same trace,
+//!    recovery ledger and results regardless of the host thread budget.
+//! 3. A mid-run node crash is survivable: the run completes, the recovery
+//!    work is visible in the trace, and the join results are identical to
+//!    the fault-free run.
+
+use sjc_cluster::{Cluster, ClusterConfig, FaultPlan, RunTrace};
+use sjc_core::experiment::{SystemKind, Workload};
+use sjc_core::framework::{JoinInput, JoinPredicate};
+use sjc_testkit::cases;
+
+/// Every simulated number a stage reports, as a comparable row.
+type StageRow = (String, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64);
+
+fn stage_rows(t: &RunTrace) -> Vec<StageRow> {
+    t.stages
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.sim_ns,
+                s.hdfs_bytes_read,
+                s.hdfs_bytes_written,
+                s.shuffle_bytes,
+                s.pipe_bytes,
+                s.tasks,
+                s.attempts,
+                s.speculative,
+                s.wasted_ns,
+                s.bytes_reread,
+            )
+        })
+        .collect()
+}
+
+/// The shared test workload: the one-month taxi slice at generation scale,
+/// multiplier forced to 1 so HadoopGIS survives (its full-scale pipe break
+/// is Table 2's story, not a fault-injection outcome).
+fn workload() -> (JoinInput, JoinInput) {
+    let (mut l, mut r) = Workload::taxi1m_nycb().prepare(1e-4, 42);
+    l.multiplier = 1.0;
+    r.multiplier = 1.0;
+    (l, r)
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_a_plain_cluster() {
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    for sys in SystemKind::all() {
+        let plain = sys
+            .instance()
+            .run(&Cluster::new(config.clone()), &l, &r, JoinPredicate::Intersects)
+            .expect("fault-free run succeeds");
+        let with_none = sys
+            .instance()
+            .run(
+                &Cluster::with_faults(config.clone(), FaultPlan::none()),
+                &l,
+                &r,
+                JoinPredicate::Intersects,
+            )
+            .expect("FaultPlan::none() run succeeds");
+        assert_eq!(
+            stage_rows(&plain.trace),
+            stage_rows(&with_none.trace),
+            "{}: FaultPlan::none() must not perturb a single stage number",
+            sys.paper_name()
+        );
+        assert_eq!(plain.trace.total_ns(), with_none.trace.total_ns());
+        assert!(plain.trace.recovery.is_empty() && with_none.trace.recovery.is_empty());
+        assert_eq!(plain.sorted_pairs(), with_none.sorted_pairs());
+    }
+}
+
+#[test]
+fn faulted_runs_are_identical_across_thread_budgets() {
+    let config = ClusterConfig::ec2(8);
+    // A fixed mid-run crash plus heavy disk errors and stragglers: plenty
+    // of recovery machinery exercised whichever system is running.
+    let plan = FaultPlan::heavy(7, &config).crash_at(2, 30_000_000_000);
+    let run_all = |threads: usize| {
+        sjc_par::set_global_threads(threads);
+        let (l, r) = workload();
+        let cluster = Cluster::with_faults(config.clone(), plan.clone());
+        let out: Vec<_> = SystemKind::all()
+            .iter()
+            .map(|sys| {
+                let o = sys
+                    .instance()
+                    .run(&cluster, &l, &r, JoinPredicate::Intersects)
+                    .expect("heavy plan at multiplier 1 completes for all systems");
+                (
+                    o.trace.total_ns(),
+                    stage_rows(&o.trace),
+                    o.trace.recovery.clone(),
+                    o.sorted_pairs(),
+                )
+            })
+            .collect();
+        sjc_par::set_global_threads(0);
+        out
+    };
+    let serial = run_all(1);
+    let parallel = run_all(8);
+    assert_eq!(
+        serial, parallel,
+        "fault draws are stateless hashes — traces, ledgers and results must not depend on SJC_PAR_THREADS"
+    );
+}
+
+#[test]
+fn recovery_never_changes_results_proptest() {
+    // Property: for ANY fault plan, a run that completes produces exactly
+    // the fault-free pair set — recovery may cost time, never correctness.
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    // (system, fault-free total ns, fault-free sorted pair set)
+    type Reference = (SystemKind, u64, Vec<(u64, u64)>);
+    let reference: Vec<Reference> = SystemKind::all()
+        .iter()
+        .map(|sys| {
+            let out = sys
+                .instance()
+                .run(&Cluster::new(config.clone()), &l, &r, JoinPredicate::Intersects)
+                .expect("fault-free baseline succeeds");
+            (*sys, out.trace.total_ns(), out.sorted_pairs())
+        })
+        .collect();
+    cases(0xFA01_7BAD, 18, |rng| {
+        let (sys, base_ns, expect) = &reference[rng.usize_in(0..reference.len())];
+        let mut plan = FaultPlan::seeded(rng.next_u64(), &config)
+            .with_disk_errors(rng.f64_in(0.0..0.08))
+            .with_stragglers(rng.f64_in(0.0..0.2), rng.f64_in(1.0..3.5));
+        if rng.bool_with(0.6) {
+            plan = plan.crash_at(rng.u32_in(0..8), rng.u64_in(0..*base_ns * 6 / 5));
+        }
+        let cluster = Cluster::with_faults(config.clone(), plan.clone());
+        match sys.instance().run(&cluster, &l, &r, JoinPredicate::Intersects) {
+            Ok(out) => {
+                if !plan.is_none() {
+                    assert!(
+                        out.trace.total_ns() >= *base_ns,
+                        "{}: faults never speed a run up",
+                        sys.paper_name()
+                    );
+                }
+                assert_eq!(
+                    &out.sorted_pairs(),
+                    expect,
+                    "{}: recovery changed the join result under {plan:?}",
+                    sys.paper_name()
+                );
+            }
+            // Exhausted retries or a fatally shrunk cluster are legitimate
+            // outcomes of a hostile random plan — the property constrains
+            // only the runs that finish.
+            Err(e) => {
+                let k = e.kind();
+                assert!(
+                    ["task attempts exhausted", "node lost", "block lost"].contains(&k),
+                    "{}: unexpected failure kind {k:?} under {plan:?}",
+                    sys.paper_name()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn systems_survive_a_mid_run_crash_with_identical_results() {
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    for sys in SystemKind::all() {
+        let clean = sys
+            .instance()
+            .run(&Cluster::new(config.clone()), &l, &r, JoinPredicate::Intersects)
+            .expect("fault-free baseline succeeds");
+        let base_ns = clean.trace.total_ns();
+        // Crash node 2 at 40% of this system's own fault-free runtime so the
+        // crash lands mid-execution for every system.
+        let plan = FaultPlan::heavy(7, &config).crash_at(2, base_ns * 2 / 5);
+        let faulted = sys
+            .instance()
+            .run(
+                &Cluster::with_faults(config.clone(), plan),
+                &l,
+                &r,
+                JoinPredicate::Intersects,
+            )
+            .unwrap_or_else(|e| {
+                panic!("{} must survive one crash on 8 nodes: {e}", sys.paper_name())
+            });
+        let name = sys.paper_name();
+        assert!(
+            !faulted.trace.recovery.is_empty(),
+            "{name}: recovery actions must be visible in the trace"
+        );
+        let event_waste: u64 = faulted.trace.recovery.iter().map(|e| e.wasted_ns).sum();
+        assert!(event_waste > 0, "{name}: recovery must charge wasted work");
+        assert!(
+            faulted.trace.total_attempts() > 0,
+            "{name}: faulted schedulers meter task attempts"
+        );
+        assert!(
+            faulted.trace.total_ns() > base_ns,
+            "{name}: recovery costs simulated time ({} vs {base_ns})",
+            faulted.trace.total_ns()
+        );
+        assert_eq!(
+            clean.sorted_pairs(),
+            faulted.sorted_pairs(),
+            "{name}: fault recovery must not change the join result"
+        );
+    }
+}

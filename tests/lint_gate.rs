@@ -101,6 +101,23 @@ fn serial_hot_loop_fires_on_seeded_bad_code() {
     assert!(rules_fired("crates/mapreduce/src/job.rs", suppressed).is_empty());
 }
 
+#[test]
+fn bounded_retry_fires_on_seeded_bad_code() {
+    // A retry loop with no named bound in a recovery-engine crate is
+    // flagged at its header…
+    let bad = "fn f() {\n    let mut attempt = 0u32;\n    loop {\n        attempt += 1;\n        if try_once(attempt) {\n            break;\n        }\n    }\n}\n";
+    let fired = rules_fired("crates/cluster/src/fixture.rs", bad);
+    assert!(fired.contains(&Rule::BoundedRetry), "{fired:?}");
+    // …naming the MAX_* constant inside the loop passes…
+    let good = bad.replace("if try_once(attempt) {", "if attempt >= MAX_TASK_ATTEMPTS || try_once(attempt) {");
+    assert!(rules_fired("crates/cluster/src/fixture.rs", &good).is_empty());
+    // …aggregation loops over recorded attempts never fire…
+    let agg = "fn f(scheds: &[S], trace: &mut T) {\n    for s in scheds {\n        trace.attempts += s.attempts;\n    }\n}\n";
+    assert!(rules_fired("crates/mapreduce/src/fixture.rs", agg).is_empty());
+    // …and presentation code outside the engine crates is out of scope.
+    assert!(rules_fired("crates/core/src/fixture.rs", bad).is_empty());
+}
+
 /// Compile-only bench gate: `cargo bench --no-run` must keep building so
 /// the perf suites (and `perfsnap`'s inputs) cannot rot silently. Building,
 /// not running: bench wall-clock belongs in `perfsnap`, not the test gate.

@@ -1,0 +1,51 @@
+//! Tier-1 smoke test against the checked-in perf snapshot.
+//!
+//! `BENCH_baseline.json` records, among wall-clock numbers that vary by
+//! host, one number that must not vary at all: the summed simulated
+//! nanoseconds of the `systems_e2e` suite. Re-deriving it here pins two
+//! invariants at once — the cost model's output is bit-stable across
+//! machines and commits, and the fault subsystem's zero-fault path really
+//! is the identity (the grid runs through `Cluster::with_faults(…,
+//! FaultPlan::none())` since the fault PR). If a PR changes this number on
+//! purpose, regenerate the snapshot:
+//! `cargo run --release -p sjc-bench --bin perfsnap`.
+
+use std::path::Path;
+
+/// Extracts `"sim_ns": <digits>` following the `"{suite}@1"` key.
+fn baseline_sim_ns(snapshot: &str, suite: &str) -> Option<u64> {
+    let at = snapshot.find(&format!("\"{suite}@1\""))?;
+    let tail = &snapshot[at..];
+    let v = tail.find("\"sim_ns\":")?;
+    let digits: String = tail[v + "\"sim_ns\":".len()..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn zero_fault_systems_e2e_matches_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let snapshot = std::fs::read_to_string(root.join("BENCH_baseline.json"))
+        .expect("BENCH_baseline.json is checked in at the repo root");
+    let expected =
+        baseline_sim_ns(&snapshot, "systems_e2e").expect("snapshot has a systems_e2e@1 sim_ns");
+
+    // Same recipe as perfsnap's systems_e2e suite: the full Table-2 grid at
+    // its snapshot scale/seed, summed over successful cells.
+    let grid = sjc_core::experiment::ExperimentGrid { scale: 1e-4, seed: 20150701 };
+    let measured: u64 = grid
+        .table2()
+        .iter()
+        .filter_map(|c| c.outcome.as_ref().ok())
+        .map(|s| s.trace.total_ns())
+        .sum();
+    assert_eq!(
+        measured, expected,
+        "simulated systems_e2e time drifted from BENCH_baseline.json — either the \
+         zero-fault path is no longer the identity, or a deliberate cost-model change \
+         needs a snapshot regeneration (cargo run --release -p sjc-bench --bin perfsnap)"
+    );
+}
