@@ -5,12 +5,7 @@ use sjc_bench::microbench::{black_box, Bench};
 use sjc_data::{DatasetId, ScaledDataset};
 
 fn bench_generators(b: &mut Bench) {
-    for id in [
-        DatasetId::Taxi1m,
-        DatasetId::Nycb,
-        DatasetId::Edges01,
-        DatasetId::Linearwater01,
-    ] {
+    for id in [DatasetId::Taxi1m, DatasetId::Nycb, DatasetId::Edges01, DatasetId::Linearwater01] {
         b.bench_in("table1_datasets", &format!("{id:?}"), || {
             ScaledDataset::generate(black_box(id), 1e-3, 42).len()
         });

@@ -34,9 +34,8 @@ fn walk(rng: &mut StdRng, n: usize) -> LineString {
 fn bench_point_in_polygon(b: &mut Bench) {
     for &n in &[4usize, 16, 64, 256] {
         let poly = ring(n, 10.0);
-        let probes: Vec<Point> = (0..64)
-            .map(|i| Point::new((i % 16) as f64 - 8.0, (i / 16) as f64 - 8.0))
-            .collect();
+        let probes: Vec<Point> =
+            (0..64).map(|i| Point::new((i % 16) as f64 - 8.0, (i / 16) as f64 - 8.0)).collect();
         b.bench_in("point_in_polygon", &n.to_string(), || {
             let mut hits = 0;
             for p in &probes {
@@ -98,14 +97,9 @@ fn bench_wkt_round_trip(b: &mut Bench) {
         })
         .collect();
     let texts: Vec<String> = geoms.iter().map(to_wkt).collect();
-    b.bench("wkt_write_100", || {
-        geoms.iter().map(|g| to_wkt(black_box(g)).len()).sum::<usize>()
-    });
+    b.bench("wkt_write_100", || geoms.iter().map(|g| to_wkt(black_box(g)).len()).sum::<usize>());
     b.bench("wkt_parse_100", || {
-        texts
-            .iter()
-            .map(|t| parse_wkt(black_box(t)).unwrap().num_vertices())
-            .sum::<usize>()
+        texts.iter().map(|t| parse_wkt(black_box(t)).unwrap().num_vertices()).sum::<usize>()
     });
 }
 

@@ -7,7 +7,9 @@ use sjc_data::rng::StdRng;
 use sjc_geom::{Mbr, Point};
 use sjc_index::entry::IndexEntry;
 use sjc_index::grid::GridIndex;
-use sjc_index::partition::{BspPartitioner, FixedGridPartitioner, SpatialPartitioner, StrTilePartitioner};
+use sjc_index::partition::{
+    BspPartitioner, FixedGridPartitioner, SpatialPartitioner, StrTilePartitioner,
+};
 use sjc_index::RTree;
 
 fn entries(n: usize, seed: u64) -> Vec<IndexEntry> {
@@ -16,16 +18,17 @@ fn entries(n: usize, seed: u64) -> Vec<IndexEntry> {
         .map(|i| {
             let x = rng.gen::<f64>() * 1000.0;
             let y = rng.gen::<f64>() * 1000.0;
-            IndexEntry::new(i as u64, Mbr::new(x, y, x + rng.gen::<f64>() * 5.0, y + rng.gen::<f64>() * 5.0))
+            IndexEntry::new(
+                i as u64,
+                Mbr::new(x, y, x + rng.gen::<f64>() * 5.0, y + rng.gen::<f64>() * 5.0),
+            )
         })
         .collect()
 }
 
 fn points(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
-        .collect()
+    (0..n).map(|_| Point::new(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0)).collect()
 }
 
 fn bench_rtree_build(b: &mut Bench) {
@@ -51,10 +54,8 @@ fn bench_rtree_build(b: &mut Bench) {
 
 fn bench_rtree_query(b: &mut Bench) {
     let tree = RTree::bulk_load_str(entries(100_000, 9));
-    let windows: Vec<Mbr> = points(100, 11)
-        .into_iter()
-        .map(|p| Mbr::new(p.x, p.y, p.x + 10.0, p.y + 10.0))
-        .collect();
+    let windows: Vec<Mbr> =
+        points(100, 11).into_iter().map(|p| Mbr::new(p.x, p.y, p.x + 10.0, p.y + 10.0)).collect();
     let mut buf = Vec::new();
     b.bench("rtree_query_100k_x100", || {
         let mut total = 0usize;
@@ -91,10 +92,7 @@ fn bench_partitioners(b: &mut Bench) {
     let partitioner = StrTilePartitioner::from_sample(extent, sample, 128);
     let probes = entries(10_000, 17);
     b.bench("partition_assign_10k", || {
-        probes
-            .iter()
-            .map(|e| partitioner.assign(black_box(&e.mbr)).len())
-            .sum::<usize>()
+        probes.iter().map(|e| partitioner.assign(black_box(&e.mbr)).len()).sum::<usize>()
     });
 }
 
@@ -102,10 +100,7 @@ fn bench_knn(b: &mut Bench) {
     let tree = RTree::bulk_load_str(entries(100_000, 23));
     let probes = points(100, 29);
     b.bench("rtree_knn10_100k_x100", || {
-        probes
-            .iter()
-            .map(|p| tree.nearest_neighbors(black_box(p), 10).len())
-            .sum::<usize>()
+        probes.iter().map(|p| tree.nearest_neighbors(black_box(p), 10).len()).sum::<usize>()
     });
 }
 

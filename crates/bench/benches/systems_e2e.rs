@@ -29,9 +29,14 @@ fn bench_table2_cells(b: &mut Bench) {
         ];
         for sys in systems {
             b.bench_in("table2_full_joins", &format!("{}/{}", sys.name(), w.name), || {
-                sys.run(black_box(&cluster), black_box(&l), black_box(&r), JoinPredicate::Intersects)
-                    .map(|o| o.pairs.len())
-                    .unwrap_or(0)
+                sys.run(
+                    black_box(&cluster),
+                    black_box(&l),
+                    black_box(&r),
+                    JoinPredicate::Intersects,
+                )
+                .map(|o| o.pairs.len())
+                .unwrap_or(0)
             });
         }
     }

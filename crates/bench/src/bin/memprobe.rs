@@ -1,10 +1,10 @@
 fn main() {
-    use sjc_core::experiment::Workload;
-    use sjc_core::framework::{JoinPredicate, DistributedSpatialJoin};
     use sjc_cluster::{Cluster, ClusterConfig};
-    use sjc_core::spatialspark::SpatialSpark;
-    use sjc_core::spatialhadoop::SpatialHadoop;
+    use sjc_core::experiment::Workload;
+    use sjc_core::framework::{DistributedSpatialJoin, JoinPredicate};
     use sjc_core::report::fig1_string;
+    use sjc_core::spatialhadoop::SpatialHadoop;
+    use sjc_core::spatialspark::SpatialSpark;
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
     let verbose = args.iter().any(|a| a == "-v");
@@ -20,7 +20,13 @@ fn main() {
                 };
                 match res {
                     Ok(o) => {
-                        println!("{} {} {}: OK {:.0}s", w.name, cfg.name, sys, o.trace.total_seconds());
+                        println!(
+                            "{} {} {}: OK {:.0}s",
+                            w.name,
+                            cfg.name,
+                            sys,
+                            o.trace.total_seconds()
+                        );
                         if verbose && (cfg.name == "WS" || cfg.name == "EC2-10") {
                             print!("{}", fig1_string(&[o.trace]));
                         }

@@ -91,11 +91,7 @@ fn run_data_gen() -> u64 {
 /// depend on the thread budget.
 fn run_systems_e2e() -> u64 {
     let grid = ExperimentGrid { scale: SCALE, seed: SEED };
-    grid.table2()
-        .iter()
-        .filter_map(|c| c.outcome.as_ref().ok())
-        .map(|s| s.trace.total_ns())
-        .sum()
+    grid.table2().iter().filter_map(|c| c.outcome.as_ref().ok()).map(|s| s.trace.total_ns()).sum()
 }
 
 /// The fault sweep behind `BENCH_faults.json`: each system's makespan on
@@ -214,7 +210,10 @@ fn main() -> ExitCode {
     sjc_par::set_global_threads(0);
 
     let mut snaps: Vec<Snap> = Vec::new();
-    println!("{:<14} {:>8} {:>12} {:>16} {:>9}", "suite", "threads", "wall_ms", "sim_ns", "speedup");
+    println!(
+        "{:<14} {:>8} {:>12} {:>16} {:>9}",
+        "suite", "threads", "wall_ms", "sim_ns", "speedup"
+    );
     for (suite, run) in suites {
         let serial = measure(suite, 1, run);
         let parallel = measure(suite, hw, run);

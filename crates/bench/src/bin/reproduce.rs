@@ -19,26 +19,16 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        what: "all".to_string(),
-        scale: 1e-3,
-        seed: 20150701,
-        json: None,
-    };
+    let mut args = Args { what: "all".to_string(), scale: 1e-3, seed: 20150701, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a float");
+                args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale needs a float");
             }
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs an integer");
+                args.seed =
+                    it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
             }
             "--json" => {
                 args.json = Some(it.next().expect("--json needs a path"));
@@ -81,11 +71,8 @@ fn main() {
     }
 
     let need_tables = want("table2") || want("table3") || want("speedups");
-    let (t2, t3) = if need_tables {
-        run_tables(args.scale, args.seed)
-    } else {
-        (Vec::new(), Vec::new())
-    };
+    let (t2, t3) =
+        if need_tables { run_tables(args.scale, args.seed) } else { (Vec::new(), Vec::new()) };
 
     if want("table2") {
         println!("{}", report::table2_string(&t2));
@@ -110,13 +97,55 @@ fn main() {
         use sjc_core::ablation;
         let s = (args.scale / 2.0).max(1e-4);
         println!("Ablations (design choices isolated on shared substrates; simulated seconds)\n");
-        println!("{}", ablation::format_rows("geometry engine (same system, JTS vs GEOS)", &ablation::geometry_engine(s, args.seed)));
-        println!("{}", ablation::format_rows("data access model (same engine, streaming vs native)", &ablation::access_model(s, args.seed)));
-        println!("{}", ablation::format_rows("local join algorithm (SpatialHadoop)", &ablation::local_join_algo(s, args.seed)));
-        println!("{}", ablation::format_rows("broadcast vs partition join (SpatialSpark)", &ablation::broadcast_join(s, args.seed)));
-        println!("{}", ablation::format_rows("partition-count sweep (SpatialSpark, EC2-10)", &ablation::partition_sweep(s, args.seed)));
-        println!("{}", ablation::format_rows("partitioner family (SpatialHadoop)", &ablation::partitioner_kind(s, args.seed)));
-        println!("{}", ablation::format_rows("re-partitioning vs compatible grids (SpatialHadoop)", &ablation::repartitioning(s, args.seed)));
+        println!(
+            "{}",
+            ablation::format_rows(
+                "geometry engine (same system, JTS vs GEOS)",
+                &ablation::geometry_engine(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "data access model (same engine, streaming vs native)",
+                &ablation::access_model(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "local join algorithm (SpatialHadoop)",
+                &ablation::local_join_algo(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "broadcast vs partition join (SpatialSpark)",
+                &ablation::broadcast_join(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "partition-count sweep (SpatialSpark, EC2-10)",
+                &ablation::partition_sweep(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "partitioner family (SpatialHadoop)",
+                &ablation::partitioner_kind(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
+            ablation::format_rows(
+                "re-partitioning vs compatible grids (SpatialHadoop)",
+                &ablation::repartitioning(s, args.seed)
+            )
+        );
     }
 
     if let Some(path) = args.json {
@@ -128,8 +157,7 @@ fn main() {
             ("table3", t3.as_slice().to_json()),
         ]);
         let mut f = std::fs::File::create(&path).expect("create json output");
-        f.write_all(payload.to_string_pretty().as_bytes())
-            .expect("write json output");
+        f.write_all(payload.to_string_pretty().as_bytes()).expect("write json output");
         println!("wrote {path}");
     }
 }

@@ -10,9 +10,9 @@
 pub mod microbench;
 
 use sjc_cluster::ClusterConfig;
+use sjc_cluster::{Cluster, RunTrace};
 use sjc_core::experiment::{CellResult, ExperimentGrid, SystemKind, Workload};
 use sjc_core::framework::JoinPredicate;
-use sjc_cluster::{Cluster, RunTrace};
 
 /// Runs all three systems on a small workload and returns their traces —
 /// the input of the Fig.-1 reproduction. Uses the workstation configuration
@@ -23,14 +23,12 @@ pub fn fig1_traces(scale: f64, seed: u64) -> Vec<RunTrace> {
     let cluster = Cluster::new(ClusterConfig::workstation());
     SystemKind::all()
         .iter()
-        .map(|sys| {
-            match sys.instance().run(&cluster, &left, &right, JoinPredicate::Intersects) {
-                Ok(out) => out.trace,
-                Err(e) => {
-                    let mut t = RunTrace::new(format!("{} (failed: {})", sys.paper_name(), e.kind()));
-                    t.stages.clear();
-                    t
-                }
+        .map(|sys| match sys.instance().run(&cluster, &left, &right, JoinPredicate::Intersects) {
+            Ok(out) => out.trace,
+            Err(e) => {
+                let mut t = RunTrace::new(format!("{} (failed: {})", sys.paper_name(), e.kind()));
+                t.stages.clear();
+                t
             }
         })
         .collect()

@@ -39,9 +39,7 @@ impl Bench {
     /// Reads an optional substring filter from the command line (criterion
     /// compatibility: `--bench` flags are ignored).
     pub fn from_args() -> Bench {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Bench { filter }
     }
 

@@ -13,21 +13,11 @@ use std::fmt;
 pub enum SimError {
     /// A streaming task attempted to pipe more bytes through an external
     /// process than the node can sustain.
-    BrokenPipe {
-        stage: String,
-        payload_bytes: u64,
-        limit_bytes: u64,
-    },
+    BrokenPipe { stage: String, payload_bytes: u64, limit_bytes: u64 },
     /// A Spark executor's modeled resident set exceeded its usable memory.
-    OutOfMemory {
-        stage: String,
-        needed_bytes: u64,
-        usable_bytes: u64,
-    },
+    OutOfMemory { stage: String, needed_bytes: u64, usable_bytes: u64 },
     /// A named input file does not exist in the simulated HDFS.
     FileNotFound(String),
-    /// Generic configuration error.
-    Config(String),
     /// Every replica of an HDFS block lives on a crashed datanode, so the
     /// read cannot fail over anywhere (replication exhausted).
     BlockLost { file: String, block: u64 },
@@ -46,7 +36,6 @@ impl SimError {
             SimError::BrokenPipe { .. } => "broken pipe",
             SimError::OutOfMemory { .. } => "out of memory",
             SimError::FileNotFound(_) => "file not found",
-            SimError::Config(_) => "config",
             SimError::BlockLost { .. } => "block lost",
             SimError::TaskAttemptsExhausted { .. } => "task attempts exhausted",
             SimError::NodeLost { .. } => "node lost",
@@ -57,30 +46,20 @@ impl SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::BrokenPipe {
-                stage,
-                payload_bytes,
-                limit_bytes,
-            } => write!(
+            SimError::BrokenPipe { stage, payload_bytes, limit_bytes } => write!(
                 f,
                 "broken pipe in stage {stage:?}: streaming task piped {payload_bytes} bytes \
                  (node limit {limit_bytes})"
             ),
-            SimError::OutOfMemory {
-                stage,
-                needed_bytes,
-                usable_bytes,
-            } => write!(
+            SimError::OutOfMemory { stage, needed_bytes, usable_bytes } => write!(
                 f,
                 "out of memory in stage {stage:?}: executor needs {needed_bytes} bytes \
                  (usable {usable_bytes}); Spark cannot spill"
             ),
             SimError::FileNotFound(name) => write!(f, "HDFS file not found: {name:?}"),
-            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
-            SimError::BlockLost { file, block } => write!(
-                f,
-                "HDFS block lost: {file:?} block {block} has no surviving replica"
-            ),
+            SimError::BlockLost { file, block } => {
+                write!(f, "HDFS block lost: {file:?} block {block} has no surviving replica")
+            }
             SimError::TaskAttemptsExhausted { stage, task, attempts } => write!(
                 f,
                 "task {task} of stage {stage:?} failed {attempts} attempts (bound reached)"
@@ -101,20 +80,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::BrokenPipe {
-            stage: "DJ".into(),
-            payload_bytes: 100,
-            limit_bytes: 50,
-        };
+        let e = SimError::BrokenPipe { stage: "DJ".into(), payload_bytes: 100, limit_bytes: 50 };
         let s = e.to_string();
         assert!(s.contains("broken pipe") && s.contains("100") && s.contains("50"));
         assert_eq!(e.kind(), "broken pipe");
 
-        let o = SimError::OutOfMemory {
-            stage: "groupByKey".into(),
-            needed_bytes: 10,
-            usable_bytes: 5,
-        };
+        let o =
+            SimError::OutOfMemory { stage: "groupByKey".into(), needed_bytes: 10, usable_bytes: 5 };
         assert!(o.to_string().contains("cannot spill"));
         assert_eq!(o.kind(), "out of memory");
     }
@@ -127,7 +99,6 @@ mod tests {
             SimError::BrokenPipe { stage: "s".into(), payload_bytes: 2, limit_bytes: 1 },
             SimError::OutOfMemory { stage: "s".into(), needed_bytes: 2, usable_bytes: 1 },
             SimError::FileNotFound("f".into()),
-            SimError::Config("c".into()),
             SimError::BlockLost { file: "f".into(), block: 0 },
             SimError::TaskAttemptsExhausted { stage: "s".into(), task: 3, attempts: 4 },
             SimError::NodeLost { stage: "s".into(), node: 7 },
@@ -143,7 +114,6 @@ mod tests {
                 SimError::BrokenPipe { .. } => "broken pipe",
                 SimError::OutOfMemory { .. } => "out of memory",
                 SimError::FileNotFound(_) => "file not found",
-                SimError::Config(_) => "config",
                 SimError::BlockLost { .. } => "block lost",
                 SimError::TaskAttemptsExhausted { .. } => "task attempts exhausted",
                 SimError::NodeLost { .. } => "node lost",

@@ -127,16 +127,12 @@ impl FaultPlan {
     /// A mild preset: occasional transient disk errors and a few slow
     /// slots — every system should finish, a little degraded.
     pub fn light(seed: u64, config: &ClusterConfig) -> Self {
-        FaultPlan::seeded(seed, config)
-            .with_disk_errors(0.02)
-            .with_stragglers(0.05, 2.0)
+        FaultPlan::seeded(seed, config).with_disk_errors(0.02).with_stragglers(0.05, 2.0)
     }
 
     /// A harsh preset: frequent disk errors and many slow slots.
     pub fn heavy(seed: u64, config: &ClusterConfig) -> Self {
-        FaultPlan::seeded(seed, config)
-            .with_disk_errors(0.08)
-            .with_stragglers(0.15, 3.0)
+        FaultPlan::seeded(seed, config).with_disk_errors(0.08).with_stragglers(0.15, 3.0)
     }
 
     /// Schedules an explicit crash of `node` at absolute simulated `at_ns`.

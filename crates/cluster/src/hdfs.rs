@@ -92,11 +92,7 @@ impl SimHdfs {
                 .map(|k| (primary + k) % self.nodes)
                 .collect();
             replicas.dedup();
-            blocks.push(BlockMeta {
-                primary_node: primary,
-                bytes: b,
-                replicas,
-            });
+            blocks.push(BlockMeta { primary_node: primary, bytes: b, replicas });
             self.next_node = (self.next_node + 1) % self.nodes;
             if remaining <= self.block_size {
                 break;
@@ -110,19 +106,12 @@ impl SimHdfs {
             "sanitize: block bytes do not sum to the file size for {name:?}"
         );
         self.total_bytes_written += bytes;
-        let slot = self
-            .files
-            .entry(name.to_string())
-            .or_insert_with(|| DfsFile {
-                bytes: 0,
-                records: 0,
-                blocks: Vec::new(),
-            });
-        *slot = DfsFile {
-            bytes,
-            records,
-            blocks,
-        };
+        let slot = self.files.entry(name.to_string()).or_insert_with(|| DfsFile {
+            bytes: 0,
+            records: 0,
+            blocks: Vec::new(),
+        });
+        *slot = DfsFile { bytes, records, blocks };
         slot
     }
 
@@ -261,7 +250,7 @@ mod tests {
     fn failover_reads_around_dead_primaries() {
         let mut fs = SimHdfs::new(4);
         fs.write_file("f", 300 << 20, 10); // 5 blocks round-robin over 4 nodes
-        // No deaths: identical to a plain read.
+                                           // No deaths: identical to a plain read.
         let (_, clean) = fs.read_file_failover("f", &[]).unwrap();
         assert_eq!(clean, FailoverRead::default());
         // Kill node 0: its primary blocks fail over to surviving replicas.

@@ -64,11 +64,7 @@ pub struct Cluster {
 
 impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
-        Cluster {
-            config,
-            cost: CostModel::default(),
-            faults: FaultPlan::none(),
-        }
+        Cluster { config, cost: CostModel::default(), faults: FaultPlan::none() }
     }
 
     /// A cluster with a fault schedule attached.

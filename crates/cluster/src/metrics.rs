@@ -147,11 +147,7 @@ pub struct RunTrace {
 
 impl RunTrace {
     pub fn new(system: impl Into<String>) -> Self {
-        RunTrace {
-            system: system.into(),
-            stages: Vec::new(),
-            recovery: Vec::new(),
-        }
+        RunTrace { system: system.into(), stages: Vec::new(), recovery: Vec::new() }
     }
 
     pub fn push(&mut self, stage: StageTrace) {
@@ -189,11 +185,7 @@ impl RunTrace {
 
     /// Simulated time of all stages tagged with `phase`.
     pub fn phase_ns(&self, phase: Phase) -> SimNs {
-        self.stages
-            .iter()
-            .filter(|s| s.phase == phase)
-            .map(|s| s.sim_ns)
-            .sum()
+        self.stages.iter().filter(|s| s.phase == phase).map(|s| s.sim_ns).sum()
     }
 
     pub fn phase_seconds(&self, phase: Phase) -> f64 {
@@ -202,10 +194,7 @@ impl RunTrace {
 
     /// Total HDFS traffic (read + written).
     pub fn hdfs_bytes(&self) -> u64 {
-        self.stages
-            .iter()
-            .map(|s| s.hdfs_bytes_read + s.hdfs_bytes_written)
-            .sum()
+        self.stages.iter().map(|s| s.hdfs_bytes_read + s.hdfs_bytes_written).sum()
     }
 
     /// Number of stages that interact with HDFS.
@@ -268,7 +257,9 @@ mod tests {
         t.push(stage("a", Phase::IndexA, 7, 0, 0));
         t.push(stage("b", Phase::IndexB, 9, 0, 0));
         t.push(stage("c", Phase::DistributedJoin, 11, 0, 0));
-        let sum = t.phase_ns(Phase::IndexA) + t.phase_ns(Phase::IndexB) + t.phase_ns(Phase::DistributedJoin);
+        let sum = t.phase_ns(Phase::IndexA)
+            + t.phase_ns(Phase::IndexB)
+            + t.phase_ns(Phase::DistributedJoin);
         assert_eq!(sum, t.total_ns());
     }
 

@@ -165,8 +165,7 @@ pub fn faulty_makespan(
     let tag = stage_tag(stage);
 
     // LPT order: longest first, input index breaks ties deterministically.
-    let mut order: Vec<(SimNs, usize)> =
-        tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut order: Vec<(SimNs, usize)> = tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     order.sort_unstable_by_key(|&(t, i)| (Reverse(t), i));
 
     // Min-heap of (free time, slot id); slot id breaks ties so the schedule
@@ -186,16 +185,13 @@ pub fn faulty_makespan(
         // Kills still terminate: each one permanently removes a slot, so
         // the pool drains to NodeLost.
         loop {
-            let (free, sid) =
-                match pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready) {
-                    Some(s) => s,
-                    None => {
-                        return Err(SimError::NodeLost {
-                            stage: stage.to_string(),
-                            node: last_dead,
-                        })
-                    }
-                };
+            let (free, sid) = match pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready)
+            {
+                Some(s) => s,
+                None => {
+                    return Err(SimError::NodeLost { stage: stage.to_string(), node: last_dead })
+                }
+            };
             let node = sid / slots_per_node;
             let launch = free.max(ready);
             attempt += 1;

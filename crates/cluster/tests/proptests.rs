@@ -51,9 +51,8 @@ fn replication_extrapolation_is_monotone() {
 /// scheduler rounded multiplied task sizes consistently.
 #[test]
 fn replication_monotone_pinned_regression() {
-    let tasks: [u64; 11] = [
-        558831, 671421, 671421, 671421, 390078, 557204, 557204, 550314, 550314, 529012, 505152,
-    ];
+    let tasks: [u64; 11] =
+        [558831, 671421, 671421, 671421, 390078, 557204, 557204, 550314, 550314, 529012, 505152];
     let slots = 8;
     let total: u64 = tasks.iter().sum();
     let longest = *tasks.iter().max().unwrap();

@@ -37,10 +37,7 @@ impl AblationRow {
             .run(cluster, left, right, JoinPredicate::Intersects)
             .map(|o| o.trace.total_seconds())
             .map_err(|e| e.kind().to_string());
-        AblationRow {
-            label: label.into(),
-            outcome,
-        }
+        AblationRow { label: label.into(), outcome }
     }
 
     pub fn seconds(&self) -> Option<f64> {
@@ -63,10 +60,7 @@ pub fn geometry_engine(scale: f64, seed: u64) -> Vec<AblationRow> {
     let cluster = ws();
     let mut rows = Vec::new();
     for engine in [EngineKind::Jts, EngineKind::Geos] {
-        let sys = HadoopGis {
-            engine,
-            ..HadoopGis::default()
-        };
+        let sys = HadoopGis { engine, ..HadoopGis::default() };
         rows.push(AblationRow::run(
             format!("HadoopGIS + {}", engine.name()),
             &sys,
@@ -76,10 +70,7 @@ pub fn geometry_engine(scale: f64, seed: u64) -> Vec<AblationRow> {
         ));
     }
     for engine in [EngineKind::Jts, EngineKind::Geos] {
-        let sys = SpatialHadoop {
-            engine,
-            ..SpatialHadoop::default()
-        };
+        let sys = SpatialHadoop { engine, ..SpatialHadoop::default() };
         rows.push(AblationRow::run(
             format!("SpatialHadoop + {}", engine.name()),
             &sys,
@@ -97,13 +88,16 @@ pub fn geometry_engine(scale: f64, seed: u64) -> Vec<AblationRow> {
 pub fn access_model(scale: f64, seed: u64) -> Vec<AblationRow> {
     let (l, r) = Workload::taxi1m_nycb().prepare(scale, seed);
     let cluster = ws();
-    let streaming = HadoopGis {
-        engine: EngineKind::Jts,
-        ..HadoopGis::default()
-    };
+    let streaming = HadoopGis { engine: EngineKind::Jts, ..HadoopGis::default() };
     let native = SpatialHadoop::default();
     vec![
-        AblationRow::run("streaming access (HadoopGIS pipeline, JTS)", &streaming, &cluster, &l, &r),
+        AblationRow::run(
+            "streaming access (HadoopGIS pipeline, JTS)",
+            &streaming,
+            &cluster,
+            &l,
+            &r,
+        ),
         AblationRow::run("native access (SpatialHadoop pipeline, JTS)", &native, &cluster, &l, &r),
     ]
 }
@@ -112,20 +106,13 @@ pub fn access_model(scale: f64, seed: u64) -> Vec<AblationRow> {
 pub fn local_join_algo(scale: f64, seed: u64) -> Vec<AblationRow> {
     let (l, r) = Workload::edge01_linearwater01().prepare(scale, seed);
     let cluster = ws();
-    [
-        LocalJoinAlgo::PlaneSweep,
-        LocalJoinAlgo::SyncRTree,
-        LocalJoinAlgo::IndexedNestedLoop,
-    ]
-    .into_iter()
-    .map(|algo| {
-        let sys = SpatialHadoop {
-            local_algo: algo,
-            ..SpatialHadoop::default()
-        };
-        AblationRow::run(format!("{algo:?}"), &sys, &cluster, &l, &r)
-    })
-    .collect()
+    [LocalJoinAlgo::PlaneSweep, LocalJoinAlgo::SyncRTree, LocalJoinAlgo::IndexedNestedLoop]
+        .into_iter()
+        .map(|algo| {
+            let sys = SpatialHadoop { local_algo: algo, ..SpatialHadoop::default() };
+            AblationRow::run(format!("{algo:?}"), &sys, &cluster, &l, &r)
+        })
+        .collect()
 }
 
 /// Partition-based vs broadcast-based SpatialSpark (§II.B — the comparison
@@ -141,10 +128,7 @@ pub fn broadcast_join(scale: f64, seed: u64) -> Vec<AblationRow> {
         let (l, r) = w.prepare(scale, seed);
         let cluster = Cluster::new(cfg.clone());
         for bcast in [false, true] {
-            let sys = SpatialSpark {
-                broadcast_join: bcast,
-                ..SpatialSpark::default()
-            };
+            let sys = SpatialSpark { broadcast_join: bcast, ..SpatialSpark::default() };
             let kind = if bcast { "broadcast" } else { "partition" };
             rows.push(AblationRow::run(
                 format!("{} on {} ({kind}-based)", w.name, cfg.name),
@@ -167,10 +151,7 @@ pub fn partition_sweep(scale: f64, seed: u64) -> Vec<AblationRow> {
     [32usize, 128, 512, 2048]
         .into_iter()
         .map(|p| {
-            let sys = SpatialSpark {
-                partitions: p,
-                ..SpatialSpark::default()
-            };
+            let sys = SpatialSpark { partitions: p, ..SpatialSpark::default() };
             AblationRow::run(format!("{p} partitions"), &sys, &cluster, &l, &r)
         })
         .collect()
@@ -184,10 +165,7 @@ pub fn repartitioning(scale: f64, seed: u64) -> Vec<AblationRow> {
     [false, true]
         .into_iter()
         .map(|reuse| {
-            let sys = SpatialHadoop {
-                reuse_partitions: reuse,
-                ..SpatialHadoop::default()
-            };
+            let sys = SpatialHadoop { reuse_partitions: reuse, ..SpatialHadoop::default() };
             let label = if reuse {
                 "compatible grids (re-partitioning skipped)"
             } else {
@@ -206,10 +184,7 @@ pub fn partitioner_kind(scale: f64, seed: u64) -> Vec<AblationRow> {
     [PartitionerKind::FixedGrid, PartitionerKind::StrTiles, PartitionerKind::Bsp]
         .into_iter()
         .map(|k| {
-            let sys = SpatialHadoop {
-                partitioner: k,
-                ..SpatialHadoop::default()
-            };
+            let sys = SpatialHadoop { partitioner: k, ..SpatialHadoop::default() };
             AblationRow::run(k.name(), &sys, &cluster, &l, &r)
         })
         .collect()

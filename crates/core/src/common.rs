@@ -58,11 +58,8 @@ pub fn local_join(
         .enumerate()
         .map(|(i, r)| IndexEntry::new(i as u64, predicate.filter_mbr(&r.mbr)))
         .collect();
-    let r_entries: Vec<IndexEntry> = right
-        .iter()
-        .enumerate()
-        .map(|(i, r)| IndexEntry::new(i as u64, r.mbr))
-        .collect();
+    let r_entries: Vec<IndexEntry> =
+        right.iter().enumerate().map(|(i, r)| IndexEntry::new(i as u64, r.mbr)).collect();
 
     let CandidatePairs { pairs, stats } = match algo {
         LocalJoinAlgo::IndexedNestedLoop => indexed_nested_loop(&l_entries, &r_entries),
@@ -184,29 +181,31 @@ mod tests {
     fn line(id: u64, pts: &[(f64, f64)]) -> GeoRecord {
         GeoRecord::new(
             id,
-            Geometry::LineString(LineString::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())),
+            Geometry::LineString(LineString::new(
+                pts.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            )),
         )
     }
 
     #[test]
     fn all_algorithms_refine_identically() {
         let engine = GeometryEngine::jts();
-        let left: Vec<GeoRecord> = (0..30).map(|i| line(i, &[(i as f64, 0.0), (i as f64 + 5.0, 5.0)])).collect();
-        let right: Vec<GeoRecord> = (0..30).map(|i| line(i, &[(i as f64 + 5.0, 0.0), (i as f64, 5.0)])).collect();
+        let left: Vec<GeoRecord> =
+            (0..30).map(|i| line(i, &[(i as f64, 0.0), (i as f64 + 5.0, 5.0)])).collect();
+        let right: Vec<GeoRecord> =
+            (0..30).map(|i| line(i, &[(i as f64 + 5.0, 0.0), (i as f64, 5.0)])).collect();
         let l: Vec<&GeoRecord> = left.iter().collect();
         let r: Vec<&GeoRecord> = right.iter().collect();
-        let mut results: Vec<Vec<(u64, u64)>> = [
-            LocalJoinAlgo::IndexedNestedLoop,
-            LocalJoinAlgo::PlaneSweep,
-            LocalJoinAlgo::SyncRTree,
-        ]
-        .iter()
-        .map(|&algo| {
-            let (mut pairs, _) = local_join(&engine, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
-            pairs.sort_unstable();
-            pairs
-        })
-        .collect();
+        let mut results: Vec<Vec<(u64, u64)>> =
+            [LocalJoinAlgo::IndexedNestedLoop, LocalJoinAlgo::PlaneSweep, LocalJoinAlgo::SyncRTree]
+                .iter()
+                .map(|&algo| {
+                    let (mut pairs, _) =
+                        local_join(&engine, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
+                    pairs.sort_unstable();
+                    pairs
+                })
+                .collect();
         let first = results.remove(0);
         assert!(!first.is_empty());
         for other in results {
@@ -222,7 +221,14 @@ mod tests {
         let right = [line(0, &[(0.0, 9.0), (0.5, 10.0)])];
         let l: Vec<&GeoRecord> = left.iter().collect();
         let r: Vec<&GeoRecord> = right.iter().collect();
-        let (pairs, cost) = local_join(&engine, JoinPredicate::Intersects, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| true);
+        let (pairs, cost) = local_join(
+            &engine,
+            JoinPredicate::Intersects,
+            LocalJoinAlgo::PlaneSweep,
+            &l,
+            &r,
+            |_, _| true,
+        );
         assert_eq!(cost.candidates, 1, "filter produces the false positive");
         assert!(pairs.is_empty(), "refinement removes it");
         assert!(cost.refine_ns > 0);
@@ -235,9 +241,23 @@ mod tests {
         let right = [rec(0, 3.0, 4.0)]; // distance 5
         let l: Vec<&GeoRecord> = left.iter().collect();
         let r: Vec<&GeoRecord> = right.iter().collect();
-        let (hits, _) = local_join(&engine, JoinPredicate::WithinDistance(5.0), LocalJoinAlgo::IndexedNestedLoop, &l, &r, |_, _| true);
+        let (hits, _) = local_join(
+            &engine,
+            JoinPredicate::WithinDistance(5.0),
+            LocalJoinAlgo::IndexedNestedLoop,
+            &l,
+            &r,
+            |_, _| true,
+        );
         assert_eq!(hits, vec![(0, 0)]);
-        let (misses, _) = local_join(&engine, JoinPredicate::WithinDistance(4.9), LocalJoinAlgo::IndexedNestedLoop, &l, &r, |_, _| true);
+        let (misses, _) = local_join(
+            &engine,
+            JoinPredicate::WithinDistance(4.9),
+            LocalJoinAlgo::IndexedNestedLoop,
+            &l,
+            &r,
+            |_, _| true,
+        );
         assert!(misses.is_empty());
     }
 
@@ -245,9 +265,8 @@ mod tests {
     fn partitioner_kinds_build_total_partitioners() {
         use sjc_geom::{Mbr, Point};
         let domain = Mbr::new(0.0, 0.0, 100.0, 100.0);
-        let sample: Vec<Point> = (0..200)
-            .map(|i| Point::new((i * 37 % 101) as f64, (i * 53 % 97) as f64))
-            .collect();
+        let sample: Vec<Point> =
+            (0..200).map(|i| Point::new((i * 37 % 101) as f64, (i * 53 % 97) as f64)).collect();
         for kind in [PartitionerKind::FixedGrid, PartitionerKind::StrTiles, PartitionerKind::Bsp] {
             let p = kind.build(domain, sample.clone(), 16);
             assert!(!p.cells().is_empty(), "{}", kind.name());
@@ -270,7 +289,14 @@ mod tests {
         let right = [line(9, &[(0.0, 0.0), (2.0, 2.0)])];
         let l: Vec<&GeoRecord> = left.iter().collect();
         let r: Vec<&GeoRecord> = right.iter().collect();
-        let (kept, cost) = local_join(&engine, JoinPredicate::Intersects, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| false);
+        let (kept, cost) = local_join(
+            &engine,
+            JoinPredicate::Intersects,
+            LocalJoinAlgo::PlaneSweep,
+            &l,
+            &r,
+            |_, _| false,
+        );
         assert!(kept.is_empty());
         assert_eq!(cost.results, 1, "the refinement hit is still counted");
     }

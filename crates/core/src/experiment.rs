@@ -203,7 +203,10 @@ impl ExperimentGrid {
     /// Table 2 under per-config fault plans: `plan_for` derives the plan
     /// from each cluster configuration (plans are sized by node count, so
     /// they cannot be shared across configs). Used by the fault-sweep bench.
-    pub fn table2_faulted(&self, plan_for: &(dyn Fn(&ClusterConfig) -> FaultPlan + Sync)) -> Vec<CellResult> {
+    pub fn table2_faulted(
+        &self,
+        plan_for: &(dyn Fn(&ClusterConfig) -> FaultPlan + Sync),
+    ) -> Vec<CellResult> {
         self.run_grid_faulted(
             &[Workload::taxi_nycb(), Workload::edge_linearwater()],
             &ClusterConfig::paper_configs(),
@@ -253,7 +256,8 @@ mod tests {
         let grid = ExperimentGrid { scale: 2e-5, seed: 1 };
         let w = Workload::taxi_nycb();
         let (l, r) = w.prepare(grid.scale, grid.seed);
-        let cell = grid.run_cell(SystemKind::SpatialHadoop, &ClusterConfig::workstation(), &w, &l, &r);
+        let cell =
+            grid.run_cell(SystemKind::SpatialHadoop, &ClusterConfig::workstation(), &w, &l, &r);
         let summary = cell.outcome.expect("SpatialHadoop never fails");
         assert!(summary.total_s > 0.0);
         let parts = summary.ia_s + summary.ib_s + summary.dj_s;
@@ -267,7 +271,8 @@ mod tests {
         let grid = ExperimentGrid { scale: 2e-5, seed: 1 };
         let w = Workload::taxi_nycb();
         let (l, r) = w.prepare(grid.scale, grid.seed);
-        let cell = grid.run_cell(SystemKind::SpatialHadoop, &ClusterConfig::workstation(), &w, &l, &r);
+        let cell =
+            grid.run_cell(SystemKind::SpatialHadoop, &ClusterConfig::workstation(), &w, &l, &r);
         let json = cell.to_json();
         assert_eq!(json.get("workload").as_str(), Some("taxi-nycb"));
         assert_eq!(json.get("cluster").as_str(), Some("WS"));

@@ -21,7 +21,12 @@ pub enum JoinPredicate {
 impl JoinPredicate {
     /// Evaluates the predicate with `engine`, returning the boolean result
     /// and the charged simulated cost.
-    pub fn evaluate(&self, engine: &GeometryEngine, left: &Geometry, right: &Geometry) -> (bool, u64) {
+    pub fn evaluate(
+        &self,
+        engine: &GeometryEngine,
+        left: &Geometry,
+        right: &Geometry,
+    ) -> (bool, u64) {
         match self {
             JoinPredicate::Intersects => engine.intersects(left, right),
             JoinPredicate::Within => engine.contains(right, left),
@@ -182,7 +187,10 @@ mod tests {
         assert!(JoinPredicate::Intersects.evaluate(&jts, &p_in, &poly()).0);
         assert!(!JoinPredicate::Intersects.evaluate(&jts, &p_out, &poly()).0);
         assert!(JoinPredicate::Within.evaluate(&jts, &p_in, &poly()).0);
-        let road = Geometry::LineString(LineString::new(vec![Point::new(0.0, 5.0), Point::new(10.0, 5.0)]));
+        let road = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 5.0),
+            Point::new(10.0, 5.0),
+        ]));
         assert!(JoinPredicate::WithinDistance(3.1).evaluate(&jts, &p_out, &road).0);
         assert!(!JoinPredicate::WithinDistance(0.5).evaluate(&jts, &p_in, &road).0);
     }

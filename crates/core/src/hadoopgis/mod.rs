@@ -65,11 +65,7 @@ impl Default for HadoopGis {
 /// geometry track the paper's Table-1 bytes/record closely, so pipe and
 /// parse charges computed from real line lengths are faithful.
 fn tsv_lines(input: &JoinInput) -> Vec<String> {
-    input
-        .records
-        .iter()
-        .map(|r| format!("{}\t{}", r.id, to_wkt(&r.geom)))
-        .collect()
+    input.records.iter().map(|r| format!("{}\t{}", r.id, to_wkt(&r.geom))).collect()
 }
 
 /// An `FsCopy` stage: HDFS <-> local filesystem transfer of `bytes`.
@@ -112,8 +108,9 @@ impl HadoopGis {
 
         // Step 1: convert to TSV while loading (identity mapper here — the
         // cost is reading + piping + rewriting every byte).
-        let cfg1 = JobConfig::new(format!("{}: 1 convert to TSV", input.name), phase, input.multiplier)
-            .starting_at(elapsed(&traces));
+        let cfg1 =
+            JobConfig::new(format!("{}: 1 convert to TSV", input.name), phase, input.multiplier)
+                .starting_at(elapsed(&traces));
         let converted =
             streaming.map_only(&cfg1, block_splits(&raw, bpr, block), |l| vec![l.to_string()])?;
         recovery.extend(converted.recovery.iter().cloned());
@@ -130,8 +127,9 @@ impl HadoopGis {
         // exactly the lines the old 1-in-k invocation counter did.
         let keep: std::collections::BTreeSet<&str> =
             tsv.iter().step_by(stride).map(|s| s.as_str()).collect();
-        let cfg2 = JobConfig::new(format!("{}: 2 sample MBRs", input.name), phase, input.multiplier)
-            .starting_at(elapsed(&traces));
+        let cfg2 =
+            JobConfig::new(format!("{}: 2 sample MBRs", input.name), phase, input.multiplier)
+                .starting_at(elapsed(&traces));
         let sampled = streaming.map_only(&cfg2, block_splits(&tsv, bpr, block), |l| {
             if keep.contains(l) {
                 vec![l.split('\t').next().unwrap_or("0").to_string()]
@@ -151,9 +149,10 @@ impl HadoopGis {
 
         // Step 3: compute the extent of the samples (MR job, single reducer).
         let sample_lines: Vec<String> = sample_ids.iter().map(|i| i.to_string()).collect();
-        let cfg3 = JobConfig::new(format!("{}: 3 compute extent", input.name), phase, input.multiplier)
-            .write_output(false)
-            .starting_at(elapsed(&traces));
+        let cfg3 =
+            JobConfig::new(format!("{}: 3 compute extent", input.name), phase, input.multiplier)
+                .write_output(false)
+                .starting_at(elapsed(&traces));
         let extent_out = streaming.map_reduce(
             &cfg3,
             block_splits(&sample_lines, 72.0, block),
@@ -164,15 +163,23 @@ impl HadoopGis {
         traces.push(extent_out.trace);
 
         // Step 4: normalize sample MBRs (map-only over the samples).
-        let cfg4 = JobConfig::new(format!("{}: 4 normalize samples", input.name), phase, input.multiplier)
-            .starting_at(elapsed(&traces));
+        let cfg4 =
+            JobConfig::new(format!("{}: 4 normalize samples", input.name), phase, input.multiplier)
+                .starting_at(elapsed(&traces));
         let normalized =
-            streaming.map_only(&cfg4, block_splits(&sample_lines, 72.0, block), |l| vec![l.to_string()])?;
+            streaming.map_only(&cfg4, block_splits(&sample_lines, 72.0, block), |l| {
+                vec![l.to_string()]
+            })?;
         recovery.extend(normalized.recovery.iter().cloned());
         traces.push(normalized.trace);
 
         // Step 5: local serial partition generation with HDFS round-trips.
-        traces.push(fs_copy(cluster, format!("{}: 5a copy samples to local", input.name), phase, sample_bytes));
+        traces.push(fs_copy(
+            cluster,
+            format!("{}: 5a copy samples to local", input.name),
+            phase,
+            sample_bytes,
+        ));
         let centers: Vec<Point> = sample_ids
             .iter()
             // sjc-lint: allow(no-panic-in-lib) — record ids are the enumerate indices minted by JoinInput::from_dataset
@@ -192,7 +199,8 @@ impl HadoopGis {
             phase,
             self.partitions as u64 * 72,
         ));
-        let partitioner = BspPartitioner::from_sample(input.domain, centers.clone(), self.partitions);
+        let partitioner =
+            BspPartitioner::from_sample(input.domain, centers.clone(), self.partitions);
 
         // Step 6: assign partition ids — the expensive step: every record is
         // parsed, probed against the sample partitions and rewritten, and
@@ -200,8 +208,9 @@ impl HadoopGis {
         // rebuilds the sample R-tree; at 64 cells that build is microseconds
         // against the task's pipe+parse bill, so it rides inside the
         // calibrated per-byte constants.)
-        let cfg6 = JobConfig::new(format!("{}: 6 assign partitions", input.name), phase, input.multiplier)
-            .starting_at(elapsed(&traces));
+        let cfg6 =
+            JobConfig::new(format!("{}: 6 assign partitions", input.name), phase, input.multiplier)
+                .starting_at(elapsed(&traces));
         let records = &input.records;
         let assigned = streaming.map_reduce(
             &cfg6,
@@ -265,7 +274,12 @@ impl DistributedSpatialJoin for HadoopGis {
         // partitions (the step-6 partition ids are discarded — wasteful, as
         // the paper notes, but Streaming leaves no alternative).
         let sample_bytes = (centers_a.len() + centers_b.len()) as u64 * 72;
-        trace.push(fs_copy(cluster, "GJ: copy both samples to local".into(), Phase::DistributedJoin, sample_bytes));
+        trace.push(fs_copy(
+            cluster,
+            "GJ: copy both samples to local".into(),
+            Phase::DistributedJoin,
+            sample_bytes,
+        ));
         let mut combined = centers_a;
         combined.extend(centers_b);
         let mut gen = StageTrace::new(
@@ -276,7 +290,12 @@ impl DistributedSpatialJoin for HadoopGis {
         let n = combined.len().max(2) as f64;
         gen.sim_ns = (n * n.log2() * 500.0) as u64;
         trace.push(gen);
-        trace.push(fs_copy(cluster, "GJ: copy partitions to HDFS".into(), Phase::DistributedJoin, self.partitions as u64 * 72));
+        trace.push(fs_copy(
+            cluster,
+            "GJ: copy partitions to HDFS".into(),
+            Phase::DistributedJoin,
+            self.partitions as u64 * 72,
+        ));
         let domain = left.domain.union(&right.domain);
         let partitioner = BspPartitioner::from_sample(domain, combined, self.partitions);
 
@@ -392,9 +411,8 @@ mod tests {
     fn matches_direct_join() {
         let (left, right) = tiny_inputs();
         let cluster = Cluster::new(ClusterConfig::workstation());
-        let out = HadoopGis::default()
-            .run(&cluster, &left, &right, JoinPredicate::Intersects)
-            .unwrap();
+        let out =
+            HadoopGis::default().run(&cluster, &left, &right, JoinPredicate::Intersects).unwrap();
         let mut expected = direct_join(
             &GeometryEngine::jts(),
             JoinPredicate::Intersects,
@@ -410,9 +428,8 @@ mod tests {
     fn runs_the_six_preprocessing_steps_per_dataset() {
         let (left, right) = tiny_inputs();
         let cluster = Cluster::new(ClusterConfig::workstation());
-        let out = HadoopGis::default()
-            .run(&cluster, &left, &right, JoinPredicate::Intersects)
-            .unwrap();
+        let out =
+            HadoopGis::default().run(&cluster, &left, &right, JoinPredicate::Intersects).unwrap();
         // Steps 1,2,3,4,5a,5b,5c,6 = 8 stages per dataset, + 3 global-join
         // serial/copy stages + 1 distributed join job = 20.
         assert_eq!(out.trace.stages.len(), 20);
@@ -435,9 +452,8 @@ mod tests {
     fn every_streaming_job_pays_pipes() {
         let (left, right) = tiny_inputs();
         let cluster = Cluster::new(ClusterConfig::workstation());
-        let out = HadoopGis::default()
-            .run(&cluster, &left, &right, JoinPredicate::Intersects)
-            .unwrap();
+        let out =
+            HadoopGis::default().run(&cluster, &left, &right, JoinPredicate::Intersects).unwrap();
         for s in &out.trace.stages {
             if matches!(s.kind, StageKind::MapReduceJob | StageKind::MapOnlyJob) {
                 assert!(s.pipe_bytes > 0, "stage {} pays no pipe bytes", s.name);

@@ -38,11 +38,9 @@ impl Json {
     pub fn get(&self, key: &str) -> &Json {
         const NULL: &Json = &Json::Null;
         match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .unwrap_or(NULL),
+            Json::Obj(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(NULL)
+            }
             _ => NULL,
         }
     }

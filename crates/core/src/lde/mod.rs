@@ -44,10 +44,7 @@ pub struct LdeEngine {
 
 impl Default for LdeEngine {
     fn default() -> Self {
-        LdeEngine {
-            partitions: 512,
-            local_algo: LocalJoinAlgo::IndexedNestedLoop,
-        }
+        LdeEngine { partitions: 512, local_algo: LocalJoinAlgo::IndexedNestedLoop }
     }
 }
 
@@ -80,12 +77,8 @@ impl DistributedSpatialJoin for LdeEngine {
         // Workers scan their input shards once; the coordinator derives
         // partitions from a sample and broadcasts cell MBRs over RPC.
         let stride = (right.records.len() / (10 * self.partitions)).max(1);
-        let sample: Vec<Point> = right
-            .records
-            .iter()
-            .step_by(stride)
-            .map(|r| r.mbr.center())
-            .collect();
+        let sample: Vec<Point> =
+            right.records.iter().step_by(stride).map(|r| r.mbr.center()).collect();
         let partitioner = StrTilePartitioner::from_sample(right.domain, sample, self.partitions);
         let ncells = partitioner.cells().len();
         let cell_tree = RTree::bulk_load_str(
@@ -97,12 +90,17 @@ impl DistributedSpatialJoin for LdeEngine {
                 .collect(),
         );
 
-        let mut read_stage = StageTrace::new("scan inputs + derive partitions", StageKind::LocalSerial, Phase::IndexB);
+        let mut read_stage = StageTrace::new(
+            "scan inputs + derive partitions",
+            StageKind::LocalSerial,
+            Phase::IndexB,
+        );
         {
             // Parallel scan of both inputs at native per-record cost.
             let total_bytes = left.sim_bytes + right.sim_bytes;
             let total_records = (left.records.len() + right.records.len()) as u64;
-            let io = cost.io_ns((total_bytes as f64 * mult) as u64 / slots as u64, node.slot_disk_read_bw());
+            let io = cost
+                .io_ns((total_bytes as f64 * mult) as u64 / slots as u64, node.slot_disk_read_bw());
             let cpu = (cost.parse_ns((total_bytes as f64 * mult) as u64 / slots as u64) as f64
                 + (total_records as f64 * mult / slots as f64) * cost.record_overhead_lde_ns)
                 * node.cpu_scale;
@@ -117,10 +115,7 @@ impl DistributedSpatialJoin for LdeEngine {
         let mut assign_r: Vec<Vec<u64>> = vec![Vec::new(); ncells];
         let mut probe_visits = 0u64;
         let mut buf = Vec::new();
-        for (assign, input, widen) in [
-            (&mut assign_l, left, true),
-            (&mut assign_r, right, false),
-        ] {
+        for (assign, input, widen) in [(&mut assign_l, left, true), (&mut assign_r, right, false)] {
             for rec in &input.records {
                 let mbr = if widen { predicate.filter_mbr(&rec.mbr) } else { rec.mbr };
                 probe_visits += cell_tree.query_counting(&mbr, &mut buf) as u64;
@@ -135,7 +130,11 @@ impl DistributedSpatialJoin for LdeEngine {
                 }
             }
         }
-        let mut assign_stage = StageTrace::new("assign partition ids (in memory)", StageKind::LocalSerial, Phase::DistributedJoin);
+        let mut assign_stage = StageTrace::new(
+            "assign partition ids (in memory)",
+            StageKind::LocalSerial,
+            Phase::DistributedJoin,
+        );
         {
             let records = (left.records.len() + right.records.len()) as f64 * mult;
             let cpu = (records * cost.record_overhead_lde_ns
@@ -162,21 +161,25 @@ impl DistributedSpatialJoin for LdeEngine {
         let bpr_r = right.bytes_per_record();
         for cell in 0..ncells {
             // sjc-lint: allow(no-panic-in-lib) — cell < ncells = assign_l.len(); record ids are enumerate indices
-            let lrecs: Vec<&GeoRecord> = assign_l[cell].iter().map(|&i| &left.records[i as usize]).collect();
+            let lrecs: Vec<&GeoRecord> =
+                assign_l[cell].iter().map(|&i| &left.records[i as usize]).collect();
             // sjc-lint: allow(no-panic-in-lib) — cell < ncells = assign_r.len(); record ids are enumerate indices
-            let rrecs: Vec<&GeoRecord> = assign_r[cell].iter().map(|&i| &right.records[i as usize]).collect();
+            let rrecs: Vec<&GeoRecord> =
+                assign_r[cell].iter().map(|&i| &right.records[i as usize]).collect();
             if lrecs.is_empty() || rrecs.is_empty() {
                 continue;
             }
-            let (cell_pairs, jc) = local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {
-                match predicate.filter_mbr(am).reference_point(bm) {
-                    Some(rp) => partitioner.owner(&rp) == cell as u32,
-                    None => false,
-                }
-            });
+            let (cell_pairs, jc) =
+                local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {
+                    match predicate.filter_mbr(am).reference_point(bm) {
+                        Some(rp) => partitioner.owner(&rp) == cell as u32,
+                        None => false,
+                    }
+                });
             pairs.extend(cell_pairs);
 
-            let part_bytes = ((lrecs.len() as f64 * bpr_l + rrecs.len() as f64 * bpr_r) * mult) as u64;
+            let part_bytes =
+                ((lrecs.len() as f64 * bpr_l + rrecs.len() as f64 * bpr_r) * mult) as u64;
             net_bytes += (part_bytes as f64 * remote_fraction) as u64;
             let records = (lrecs.len() + rrecs.len()) as f64 * mult;
             // Columnar refinement: geometry cost divided by SIMD width.
@@ -186,7 +189,11 @@ impl DistributedSpatialJoin for LdeEngine {
             let io = cost.io_ns((part_bytes as f64 * remote_fraction) as u64, node.slot_net_bw());
             task_ns.push(cpu as u64 + io);
         }
-        let mut join_stage = StageTrace::new("RPC dispatch + SIMD local join", StageKind::LocalSerial, Phase::DistributedJoin);
+        let mut join_stage = StageTrace::new(
+            "RPC dispatch + SIMD local join",
+            StageKind::LocalSerial,
+            Phase::DistributedJoin,
+        );
         join_stage.sim_ns = 100_000_000 /* one RPC round */ + lpt_makespan(&task_ns, slots);
         join_stage.shuffle_bytes = net_bytes;
         join_stage.tasks = task_ns.len() as u64;
@@ -215,9 +222,8 @@ mod tests {
     fn matches_direct_join() {
         let (left, right) = tiny_inputs();
         let cluster = Cluster::new(ClusterConfig::workstation());
-        let out = LdeEngine::default()
-            .run(&cluster, &left, &right, JoinPredicate::Intersects)
-            .unwrap();
+        let out =
+            LdeEngine::default().run(&cluster, &left, &right, JoinPredicate::Intersects).unwrap();
         let mut expected = direct_join(
             &GeometryEngine::jts(),
             JoinPredicate::Intersects,
@@ -234,7 +240,8 @@ mod tests {
         let (l, r) = Workload::taxi1m_nycb().prepare(1e-3, 20150701);
         let cluster = Cluster::new(ClusterConfig::ec2(10));
         let lde = LdeEngine::default().run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
-        let spark = SpatialSpark::default().run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
+        let spark =
+            SpatialSpark::default().run(&cluster, &l, &r, JoinPredicate::Intersects).unwrap();
         assert!(
             lde.trace.total_seconds() < spark.trace.total_seconds(),
             "LDE {} should beat SpatialSpark {}",

@@ -30,10 +30,10 @@ pub mod ablation;
 pub mod common;
 pub mod experiment;
 pub mod framework;
-pub mod json;
-pub mod par;
 pub mod hadoopgis;
+pub mod json;
 pub mod lde;
+pub mod par;
 pub mod report;
 pub mod spatialhadoop;
 pub mod spatialspark;

@@ -120,7 +120,12 @@ pub fn table2_string(cells: &[CellResult]) -> String {
                     .find(|c| c.workload == workload && c.system == sys && c.cluster == cfg)
                     .and_then(|c| c.total_s());
                 let paper = paper_table2(workload, sys.paper_name(), cfg);
-                let _ = write!(out, " {:>9}({:>8})", fmt_cell(measured).trim_start(), fmt_cell(paper).trim_start());
+                let _ = write!(
+                    out,
+                    " {:>9}({:>8})",
+                    fmt_cell(measured).trim_start(),
+                    fmt_cell(paper).trim_start()
+                );
             }
             let _ = writeln!(out);
         }
@@ -177,7 +182,11 @@ pub fn table3_string(cells: &[CellResult]) -> String {
                         let _ = writeln!(out);
                     }
                     Some(Err(e)) => {
-                        let _ = writeln!(out, "  failed: {e} (paper: {})", if paper.is_some() { "ran" } else { "-" });
+                        let _ = writeln!(
+                            out,
+                            "  failed: {e} (paper: {})",
+                            if paper.is_some() { "ran" } else { "-" }
+                        );
                     }
                     None => {
                         let _ = writeln!(out, "  (not run)");
@@ -292,7 +301,11 @@ pub fn recovery_string(traces: &[RunTrace]) -> String {
             out,
             "  lineage recomputes    {recomputes:>6}   ({recompute_parts} partitions), {resubmits} stage resubmits"
         );
-        let _ = writeln!(out, "  replica failovers     {failovers:>6}   ({} reread)", human_bytes(trace.total_bytes_reread()));
+        let _ = writeln!(
+            out,
+            "  replica failovers     {failovers:>6}   ({} reread)",
+            human_bytes(trace.total_bytes_reread())
+        );
         let event_waste: u64 = trace.recovery.iter().map(|e| e.wasted_ns).sum();
         let _ = writeln!(
             out,
@@ -347,8 +360,11 @@ pub fn speedups_string(table2: &[CellResult], table3: &[CellResult]) -> String {
             .and_then(|x| x.outcome.as_ref().ok())
             .map(|s| s.dj_s / s.total_s)
     };
-    let _ = writeln!(out, "
-SpatialHadoop DJ share of end-to-end runtime:");
+    let _ = writeln!(
+        out,
+        "
+SpatialHadoop DJ share of end-to-end runtime:"
+    );
     let share_rows: [(&str, &str, &[CellResult], f64); 6] = [
         ("taxi-nycb", "WS", table2, 1950.0 / 3327.0),
         ("taxi-nycb", "EC2-10", table2, 1282.0 / 2361.0),
@@ -362,11 +378,7 @@ SpatialHadoop DJ share of end-to-end runtime:");
             Some(v) => format!("{:.0}%", v * 100.0),
             None => "-".to_string(),
         };
-        let _ = writeln!(
-            out,
-            "  {w:<24} {c:<7} measured {m:>7}   paper {:>4.0}%",
-            paper * 100.0
-        );
+        let _ = writeln!(out, "  {w:<24} {c:<7} measured {m:>7}   paper {:>4.0}%", paper * 100.0);
     }
     let _ = writeln!(
         out,
@@ -391,8 +403,12 @@ pub fn scalability_string(scale: f64, seed: u64) -> String {
     let _ = writeln!(out, "Scalability: end-to-end simulated seconds vs EC2 node count");
     for w in [Workload::taxi1m_nycb(), Workload::edge_linearwater()] {
         let (l, r) = w.prepare(scale, seed);
-        let _ = writeln!(out, "
-[{}]", w.name);
+        let _ = writeln!(
+            out,
+            "
+[{}]",
+            w.name
+        );
         let systems: Vec<Box<dyn DistributedSpatialJoin>> = vec![
             Box::new(SpatialHadoop::default()),
             Box::new(SpatialSpark::default()),
@@ -408,10 +424,7 @@ pub fn scalability_string(scale: f64, seed: u64) -> String {
                     .map(|o| o.trace.total_seconds());
                 series.push((n, cell));
             }
-            let max = series
-                .iter()
-                .filter_map(|&(_, v)| v)
-                .fold(1.0f64, f64::max);
+            let max = series.iter().filter_map(|&(_, v)| v).fold(1.0f64, f64::max);
             let _ = writeln!(out, "  {}", sys.name());
             for (n, v) in series {
                 match v {
@@ -549,9 +562,13 @@ mod tests {
         ];
         let t = table3_string(&cells);
         // SpatialHadoop shows its IA (100) but SpatialSpark shows TOT only.
-        assert!(t.contains("100("), "SpatialHadoop IA visible:
-{t}");
-        let spark_line = t.lines().find(|l| l.contains("SpatialSpark") && l.contains("WS")).unwrap();
+        assert!(
+            t.contains("100("),
+            "SpatialHadoop IA visible:
+{t}"
+        );
+        let spark_line =
+            t.lines().find(|l| l.contains("SpatialSpark") && l.contains("WS")).unwrap();
         assert!(spark_line.contains("200("), "TOT visible");
         assert!(!spark_line.contains("50("), "no IA column for Spark");
     }

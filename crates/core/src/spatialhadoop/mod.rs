@@ -31,8 +31,8 @@ use sjc_index::entry::IndexEntry;
 use sjc_index::join::plane_sweep;
 use sjc_index::partition::SpatialPartitioner;
 use sjc_index::RTree;
-use sjc_mapreduce::{block_splits, JobConfig, MapReduceJob, MapTask};
 use sjc_mapreduce::job::ScaleMode;
+use sjc_mapreduce::{block_splits, JobConfig, MapReduceJob, MapTask};
 
 use crate::common::{local_join, LocalJoinAlgo, PartitionerKind};
 use crate::framework::{DistributedSpatialJoin, JoinInput, JoinOutput, JoinPredicate};
@@ -151,9 +151,11 @@ impl SpatialHadoop {
         let ids: Vec<u64> = (0..input.records.len() as u64).collect();
         // `_master` file: one MBR row per cell.
         let master_bytes = partitioner.cells().len() as u64 * 72;
-        engine
-            .hdfs
-            .write_file(&format!("{}_master", input.name), master_bytes, partitioner.cells().len() as u64);
+        engine.hdfs.write_file(
+            &format!("{}_master", input.name),
+            master_bytes,
+            partitioner.cells().len() as u64,
+        );
 
         // --- MR job 2: assign partitions, shuffle, write indexed blocks ---
         let cell_rtree = RTree::bulk_load_str(
@@ -166,8 +168,9 @@ impl SpatialHadoop {
         );
         let jts = GeometryEngine::new(self.engine());
         let elapsed: SimNs = traces.iter().map(|t| t.sim_ns).sum();
-        let cfg2 = JobConfig::new(format!("{}: partition+index", input.name), phase, input.multiplier)
-            .starting_at(start_ns + elapsed);
+        let cfg2 =
+            JobConfig::new(format!("{}: partition+index", input.name), phase, input.multiplier)
+                .starting_at(start_ns + elapsed);
         let outcome = engine.map_reduce(
             &cfg2,
             block_splits(&ids, bpr, block),
@@ -206,15 +209,7 @@ impl SpatialHadoop {
             // sjc-lint: allow(no-panic-in-lib) — reducer keys are cell ids < partitioner.cells().len()
             cells[cell as usize] = ids;
         }
-        Ok((
-            Indexed {
-                partitioner,
-                cells,
-                cell_bytes,
-            },
-            traces,
-            recovery,
-        ))
+        Ok((Indexed { partitioner, cells, cell_bytes }, traces, recovery))
     }
 }
 
@@ -252,11 +247,8 @@ impl DistributedSpatialJoin for SpatialHadoop {
         )?;
         trace.stages.extend(t);
         trace.push_recovery(r);
-        let shared = if self.reuse_partitions {
-            Some(ia.partitioner.cells().to_vec())
-        } else {
-            None
-        };
+        let shared =
+            if self.reuse_partitions { Some(ia.partitioner.cells().to_vec()) } else { None };
         let (ib, t, r) = self.index_dataset(
             cluster,
             &mut hdfs,
@@ -294,7 +286,11 @@ impl DistributedSpatialJoin for SpatialHadoop {
         } else {
             plane_sweep(&a_entries, &b_entries)
         };
-        let mut gstage = StageTrace::new("getSplits: pair partitions", StageKind::LocalSerial, Phase::DistributedJoin);
+        let mut gstage = StageTrace::new(
+            "getSplits: pair partitions",
+            StageKind::LocalSerial,
+            Phase::DistributedJoin,
+        );
         gstage.sim_ns = cand.stats.filter_tests * jts.filter_cost_ns()
             + cluster.cost.io_ns(
                 (a_entries.len() + b_entries.len()) as u64 * 72,
@@ -334,14 +330,16 @@ impl DistributedSpatialJoin for SpatialHadoop {
                 // sjc-lint: allow(no-panic-in-lib) — record ids are the enumerate indices minted by JoinInput::from_dataset
                 .map(|&i| &right.records[i as usize])
                 .collect();
-            let (pairs, cost) = local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {
-                match predicate.filter_mbr(am).reference_point(bm) {
-                    Some(rp) => {
-                        ia.partitioner.owner(&rp) == ca as u32 && ib.partitioner.owner(&rp) == cb as u32
+            let (pairs, cost) =
+                local_join(&jts, predicate, self.local_algo, &lrecs, &rrecs, |am, bm| {
+                    match predicate.filter_mbr(am).reference_point(bm) {
+                        Some(rp) => {
+                            ia.partitioner.owner(&rp) == ca as u32
+                                && ib.partitioner.owner(&rp) == cb as u32
+                        }
+                        None => false,
                     }
-                    None => false,
-                }
-            });
+                });
             // Deserializing the two block files' records into JVM objects is
             // the task's real per-record cost; the geometry work rides on top.
             em.charge(cluster.cost.hadoop_records_ns((lrecs.len() + rrecs.len()) as u64));
@@ -353,10 +351,7 @@ impl DistributedSpatialJoin for SpatialHadoop {
         trace.stages.extend(std::iter::once(outcome.trace));
         trace.push_recovery(outcome.recovery);
 
-        Ok(JoinOutput {
-            pairs: outcome.output,
-            trace,
-        })
+        Ok(JoinOutput { pairs: outcome.output, trace })
     }
 }
 
@@ -378,9 +373,7 @@ mod tests {
         let (left, right) = tiny_inputs();
         let cluster = Cluster::new(ClusterConfig::workstation());
         let sys = SpatialHadoop::default();
-        let out = sys
-            .run(&cluster, &left, &right, JoinPredicate::Intersects)
-            .unwrap();
+        let out = sys.run(&cluster, &left, &right, JoinPredicate::Intersects).unwrap();
         let mut expected = direct_join(
             &GeometryEngine::jts(),
             JoinPredicate::Intersects,
@@ -417,12 +410,10 @@ mod tests {
         let sweep = SpatialHadoop::default()
             .run(&cluster, &left, &right, JoinPredicate::Intersects)
             .unwrap();
-        let sync = SpatialHadoop {
-            local_algo: LocalJoinAlgo::SyncRTree,
-            ..SpatialHadoop::default()
-        }
-        .run(&cluster, &left, &right, JoinPredicate::Intersects)
-        .unwrap();
+        let sync =
+            SpatialHadoop { local_algo: LocalJoinAlgo::SyncRTree, ..SpatialHadoop::default() }
+                .run(&cluster, &left, &right, JoinPredicate::Intersects)
+                .unwrap();
         assert_eq!(sweep.sorted_pairs(), sync.sorted_pairs());
     }
 
@@ -436,16 +427,10 @@ mod tests {
         let default_run = SpatialHadoop::default()
             .run(&cluster, &left, &right, JoinPredicate::Intersects)
             .unwrap();
-        let reuse_run = SpatialHadoop {
-            reuse_partitions: true,
-            ..SpatialHadoop::default()
-        }
-        .run(&cluster, &left, &right, JoinPredicate::Intersects)
-        .unwrap();
-        assert_eq!(
-            reuse_run.pairs.len(),
-            default_run.pairs.len(),
-        );
+        let reuse_run = SpatialHadoop { reuse_partitions: true, ..SpatialHadoop::default() }
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
+        assert_eq!(reuse_run.pairs.len(), default_run.pairs.len(),);
         let mut a = default_run.pairs.clone();
         let mut b = reuse_run.pairs.clone();
         a.sort_unstable();

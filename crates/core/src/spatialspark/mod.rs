@@ -84,10 +84,7 @@ fn rec_refs(input: &JoinInput) -> Vec<RecRef> {
         .records
         .iter()
         .enumerate()
-        .map(|(i, r)| RecRef {
-            idx: i as u32,
-            verts: r.geom.num_vertices() as u32,
-        })
+        .map(|(i, r)| RecRef { idx: i as u32, verts: r.geom.num_vertices() as u32 })
         .collect()
 }
 
@@ -186,9 +183,11 @@ impl SpatialSpark {
         let local_algo = self.local_algo;
         let result = joined.flat_map(&ctx, |(cell, (lrefs, rrefs)), extra| {
             // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
-            let lrecs: Vec<&GeoRecord> = lrefs.iter().map(|r| &left.records[r.idx as usize]).collect();
+            let lrecs: Vec<&GeoRecord> =
+                lrefs.iter().map(|r| &left.records[r.idx as usize]).collect();
             // sjc-lint: allow(no-panic-in-lib) — RecRef idx values index the records slice they were minted from
-            let rrecs: Vec<&GeoRecord> = rrefs.iter().map(|r| &right.records[r.idx as usize]).collect();
+            let rrecs: Vec<&GeoRecord> =
+                rrefs.iter().map(|r| &right.records[r.idx as usize]).collect();
             let (pairs, cost) =
                 local_join(&jts, predicate, local_algo, &lrecs, &rrecs, |am, bm| {
                     match predicate.filter_mbr(am).reference_point(bm) {
@@ -221,11 +220,8 @@ impl SpatialSpark {
 
         // Broadcast an R-tree over *all* right records. Every executor
         // holds the full right side: memory-check it explicitly.
-        let entries: Vec<IndexEntry> = right
-            .records
-            .iter()
-            .map(|r| IndexEntry::new(r.id, r.mbr))
-            .collect();
+        let entries: Vec<IndexEntry> =
+            right.records.iter().map(|r| IndexEntry::new(r.id, r.mbr)).collect();
         let tree = RTree::bulk_load_str(entries);
         let right_mem: u64 = (right
             .records
@@ -332,12 +328,9 @@ mod tests {
         let part = SpatialSpark::default()
             .run(&cluster, &left, &right, JoinPredicate::Intersects)
             .unwrap();
-        let bcast = SpatialSpark {
-            broadcast_join: true,
-            ..SpatialSpark::default()
-        }
-        .run(&cluster, &left, &right, JoinPredicate::Intersects)
-        .unwrap();
+        let bcast = SpatialSpark { broadcast_join: true, ..SpatialSpark::default() }
+            .run(&cluster, &left, &right, JoinPredicate::Intersects)
+            .unwrap();
         assert_eq!(part.sorted_pairs(), bcast.sorted_pairs());
     }
 
@@ -350,10 +343,7 @@ mod tests {
         // Reverse the usual workload so the *big* dataset is the right side.
         let (r, l) = crate::experiment::Workload::edge_linearwater().prepare(1e-3, 20150701);
         let cluster = Cluster::new(ClusterConfig::ec2(10));
-        let bcast = SpatialSpark {
-            broadcast_join: true,
-            ..SpatialSpark::default()
-        };
+        let bcast = SpatialSpark { broadcast_join: true, ..SpatialSpark::default() };
         assert!(
             matches!(
                 bcast.run(&cluster, &l, &r, JoinPredicate::Intersects),
@@ -378,8 +368,11 @@ mod tests {
         let written: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_written).sum();
         assert_eq!(written, 0, "SpatialSpark never writes HDFS");
         let read: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_read).sum();
-        assert_eq!(read, (left.sim_bytes as f64 * left.multiplier) as u64
-            + (right.sim_bytes as f64 * right.multiplier) as u64);
+        assert_eq!(
+            read,
+            (left.sim_bytes as f64 * left.multiplier) as u64
+                + (right.sim_bytes as f64 * right.multiplier) as u64
+        );
         assert!(out.trace.stages.iter().any(|s| s.shuffle_bytes > 0), "in-memory shuffles happen");
     }
 }

@@ -31,7 +31,9 @@ fn cache() -> &'static Mutex<BTreeMap<Key, Arc<ScaledDataset>>> {
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn lock(m: &Mutex<BTreeMap<Key, Arc<ScaledDataset>>>) -> std::sync::MutexGuard<'_, BTreeMap<Key, Arc<ScaledDataset>>> {
+fn lock(
+    m: &Mutex<BTreeMap<Key, Arc<ScaledDataset>>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<Key, Arc<ScaledDataset>>> {
     match m.lock() {
         Ok(g) => g,
         // A panicked holder can only have completed or skipped an insert;

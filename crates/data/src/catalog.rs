@@ -193,12 +193,7 @@ impl ScaledDataset {
                 crate::tiger::generate_linearwater(&mut rng, domain, records)
             }
         };
-        ScaledDataset {
-            spec,
-            scale,
-            domain,
-            geoms,
-        }
+        ScaledDataset { spec, scale, domain, geoms }
     }
 
     /// Number of generated records.
@@ -304,12 +299,8 @@ mod tests {
             (DatasetId::Linearwater, 0.25),
         ] {
             let ds = ScaledDataset::generate(id, 1e-3, 1);
-            let wkt_bytes: u64 = ds
-                .geoms
-                .iter()
-                .take(500)
-                .map(|g| sjc_geom::wkt::to_wkt(g).len() as u64 + 8)
-                .sum();
+            let wkt_bytes: u64 =
+                ds.geoms.iter().take(500).map(|g| sjc_geom::wkt::to_wkt(g).len() as u64 + 8).sum();
             let measured = wkt_bytes as f64 / ds.geoms.len().min(500) as f64;
             let table1 = ds.spec.bytes_per_record();
             let err = (measured - table1).abs() / table1;

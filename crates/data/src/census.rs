@@ -26,10 +26,7 @@ pub fn generate(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> {
         .collect();
 
     let cells = bsp_cells(domain, sample, n);
-    cells
-        .into_iter()
-        .map(|cell| Geometry::Polygon(cell_to_block(rng, cell)))
-        .collect()
+    cells.into_iter().map(|cell| Geometry::Polygon(cell_to_block(rng, cell))).collect()
 }
 
 /// Recursive median splits (duplicated from sjc-index's partitioner in
@@ -58,8 +55,20 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth: usize, out: 
             return;
         }
         let (lo, hi) = sample.split_at_mut(mid);
-        split(Mbr::new(region.min_x, region.min_y, cut, region.max_y), lo, capacity, depth - 1, out);
-        split(Mbr::new(cut, region.min_y, region.max_x, region.max_y), hi, capacity, depth - 1, out);
+        split(
+            Mbr::new(region.min_x, region.min_y, cut, region.max_y),
+            lo,
+            capacity,
+            depth - 1,
+            out,
+        );
+        split(
+            Mbr::new(cut, region.min_y, region.max_x, region.max_y),
+            hi,
+            capacity,
+            depth - 1,
+            out,
+        );
     } else {
         sample.select_nth_unstable_by(mid, |a, b| a.y.total_cmp(&b.y));
         // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
@@ -69,8 +78,20 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth: usize, out: 
             return;
         }
         let (lo, hi) = sample.split_at_mut(mid);
-        split(Mbr::new(region.min_x, region.min_y, region.max_x, cut), lo, capacity, depth - 1, out);
-        split(Mbr::new(region.min_x, cut, region.max_x, region.max_y), hi, capacity, depth - 1, out);
+        split(
+            Mbr::new(region.min_x, region.min_y, region.max_x, cut),
+            lo,
+            capacity,
+            depth - 1,
+            out,
+        );
+        split(
+            Mbr::new(region.min_x, cut, region.max_x, region.max_y),
+            hi,
+            capacity,
+            depth - 1,
+            out,
+        );
     }
 }
 
@@ -95,14 +116,19 @@ fn cell_to_block(rng: &mut StdRng, cell: Mbr) -> Polygon {
         // Jitter pushes toward the cell interior.
         let cx = (inner.min_x + inner.max_x) / 2.0;
         let cy = (inner.min_y + inner.max_y) / 2.0;
-        ring.push(Point::new(
-            x + if x < cx { jx } else { -jx },
-            y + if y < cy { jy } else { -jy },
-        ));
+        ring.push(Point::new(x + if x < cx { jx } else { -jx }, y + if y < cy { jy } else { -jy }));
     };
 
-    let xs = [inner.min_x, (2.0 * inner.min_x + inner.max_x) / 3.0, (inner.min_x + 2.0 * inner.max_x) / 3.0];
-    let ys = [inner.min_y, (2.0 * inner.min_y + inner.max_y) / 3.0, (inner.min_y + 2.0 * inner.max_y) / 3.0];
+    let xs = [
+        inner.min_x,
+        (2.0 * inner.min_x + inner.max_x) / 3.0,
+        (inner.min_x + 2.0 * inner.max_x) / 3.0,
+    ];
+    let ys = [
+        inner.min_y,
+        (2.0 * inner.min_y + inner.max_y) / 3.0,
+        (inner.min_y + 2.0 * inner.max_y) / 3.0,
+    ];
     // Bottom edge (left to right), right edge (bottom to top), top edge
     // (right to left), left edge (top to bottom).
     for &x in &xs {
@@ -177,10 +203,7 @@ mod tests {
                 .map(|p| p.area())
                 .unwrap()
         };
-        assert!(
-            nearest_area(&hotspot) < nearest_area(&corner),
-            "downtown blocks must be smaller"
-        );
+        assert!(nearest_area(&hotspot) < nearest_area(&corner), "downtown blocks must be smaller");
     }
 
     #[test]
@@ -201,9 +224,6 @@ mod tests {
                 b.iter().any(|poly| point_in_polygon(poly, p))
             })
             .count();
-        assert!(
-            inside > 1400,
-            "only {inside}/2000 points landed in blocks — streets too wide"
-        );
+        assert!(inside > 1400, "only {inside}/2000 points landed in blocks — streets too wide");
     }
 }

@@ -19,7 +19,10 @@ use crate::tsv::{parse_tsv_line, to_tsv_lines, TsvError};
 pub enum IoError {
     Io(std::io::Error),
     /// Parse failure with its 1-based line number.
-    Parse { line: usize, source: TsvError },
+    Parse {
+        line: usize,
+        source: TsvError,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -115,9 +118,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            read_tsv(Path::new("/definitely/not/here.tsv")),
-            Err(IoError::Io(_))
-        ));
+        assert!(matches!(read_tsv(Path::new("/definitely/not/here.tsv")), Err(IoError::Io(_))));
     }
 }

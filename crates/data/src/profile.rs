@@ -79,11 +79,7 @@ impl DatasetProfile {
             occupancy_skew: if mean > 0.0 { max / mean } else { 0.0 },
             empty_cell_fraction: hist.iter().filter(|&&c| c == 0).count() as f64
                 / hist.len() as f64,
-            relative_mbr_area: if geoms.is_empty() {
-                0.0
-            } else {
-                rel_area / geoms.len() as f64
-            },
+            relative_mbr_area: if geoms.is_empty() { 0.0 } else { rel_area / geoms.len() as f64 },
         }
     }
 }
@@ -109,11 +105,7 @@ mod tests {
     fn taxi_data_is_visibly_skewed() {
         let taxi = ScaledDataset::generate(DatasetId::Taxi, 1e-4, 3);
         let p = DatasetProfile::compute(&taxi.geoms, 16);
-        assert!(
-            p.occupancy_skew > 3.0,
-            "hotspots must dominate: skew {}",
-            p.occupancy_skew
-        );
+        assert!(p.occupancy_skew > 3.0, "hotspots must dominate: skew {}", p.occupancy_skew);
     }
 
     #[test]

@@ -68,15 +68,9 @@ fn sample_point(rng: &mut StdRng, domain: Mbr) -> Point {
         let (cx, cy, sigma) = HOTSPOTS[idx];
         let x = domain.min_x + (cx + sample_normal(rng) * sigma) * w;
         let y = domain.min_y + (cy + sample_normal(rng) * sigma) * h;
-        Point::new(
-            x.clamp(domain.min_x, domain.max_x),
-            y.clamp(domain.min_y, domain.max_y),
-        )
+        Point::new(x.clamp(domain.min_x, domain.max_x), y.clamp(domain.min_y, domain.max_y))
     } else {
-        Point::new(
-            domain.min_x + rng.gen::<f64>() * w,
-            domain.min_y + rng.gen::<f64>() * h,
-        )
+        Point::new(domain.min_x + rng.gen::<f64>() * w, domain.min_y + rng.gen::<f64>() * h)
     }
 }
 
@@ -84,7 +78,7 @@ fn sample_point(rng: &mut StdRng, domain: Mbr) -> Point {
 /// at plain `rand`).
 mod rand_distr_normal {
     use crate::rng::StdRng;
-    
+
     pub fn sample_normal(rng: &mut StdRng) -> f64 {
         let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let u2: f64 = rng.gen();

@@ -23,16 +23,26 @@ pub fn generate_edges(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geometry> 
     let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 0.8;
     // Per record after the vertex-count draw: axis + angle (2 draws, both
     // branches), then the walk (2 start draws + 2 per added vertex).
-    par_walks(rng, n, EDGE_VERTICES, |verts| 2 + walk_draws(verts), move |r, verts| {
-        // Roads prefer axis directions (a loose Manhattan grid).
-        let axis = r.gen_bool(0.7);
-        let base_angle = if axis {
-            if r.gen_bool(0.5) { 0.0 } else { std::f64::consts::FRAC_PI_2 }
-        } else {
-            r.gen::<f64>() * std::f64::consts::TAU
-        };
-        walk(r, domain, verts, seg_len / verts as f64, base_angle, 0.15)
-    })
+    par_walks(
+        rng,
+        n,
+        EDGE_VERTICES,
+        |verts| 2 + walk_draws(verts),
+        move |r, verts| {
+            // Roads prefer axis directions (a loose Manhattan grid).
+            let axis = r.gen_bool(0.7);
+            let base_angle = if axis {
+                if r.gen_bool(0.5) {
+                    0.0
+                } else {
+                    std::f64::consts::FRAC_PI_2
+                }
+            } else {
+                r.gen::<f64>() * std::f64::consts::TAU
+            };
+            walk(r, domain, verts, seg_len / verts as f64, base_angle, 0.15)
+        },
+    )
 }
 
 /// Generates `n` water polylines: long correlated meanders.
@@ -41,10 +51,16 @@ pub fn generate_linearwater(rng: &mut StdRng, domain: Mbr, n: usize) -> Vec<Geom
     // diagonal times a few.
     let seg_len = (domain.area() / (n as f64).max(1.0)).sqrt() * 1.5;
     // Per record after the vertex-count draw: one angle draw plus the walk.
-    par_walks(rng, n, WATER_VERTICES, |verts| 1 + walk_draws(verts), move |r, verts| {
-        let base_angle = r.gen::<f64>() * std::f64::consts::TAU;
-        walk(r, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35)
-    })
+    par_walks(
+        rng,
+        n,
+        WATER_VERTICES,
+        |verts| 1 + walk_draws(verts),
+        move |r, verts| {
+            let base_angle = r.gen::<f64>() * std::f64::consts::TAU;
+            walk(r, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35)
+        },
+    )
 }
 
 /// Draws consumed by [`walk`]: start x/y plus angle-and-length per vertex.
@@ -139,11 +155,22 @@ mod tests {
                     let verts = rng.gen_range(EDGE_VERTICES.0..=EDGE_VERTICES.1);
                     let axis = rng.gen_bool(0.7);
                     let base_angle = if axis {
-                        if rng.gen_bool(0.5) { 0.0 } else { std::f64::consts::FRAC_PI_2 }
+                        if rng.gen_bool(0.5) {
+                            0.0
+                        } else {
+                            std::f64::consts::FRAC_PI_2
+                        }
                     } else {
                         rng.gen::<f64>() * std::f64::consts::TAU
                     };
-                    Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64, base_angle, 0.15))
+                    Geometry::LineString(walk(
+                        rng,
+                        domain,
+                        verts,
+                        seg_len / verts as f64,
+                        base_angle,
+                        0.15,
+                    ))
                 })
                 .collect()
         };
@@ -153,7 +180,14 @@ mod tests {
                 .map(|_| {
                     let verts = rng.gen_range(WATER_VERTICES.0..=WATER_VERTICES.1);
                     let base_angle = rng.gen::<f64>() * std::f64::consts::TAU;
-                    Geometry::LineString(walk(rng, domain, verts, seg_len / verts as f64 * 3.0, base_angle, 0.35))
+                    Geometry::LineString(walk(
+                        rng,
+                        domain,
+                        verts,
+                        seg_len / verts as f64 * 3.0,
+                        base_angle,
+                        0.35,
+                    ))
                 })
                 .collect()
         };
@@ -175,14 +209,17 @@ mod tests {
     fn edges_are_short_waters_are_long() {
         let edges = lines(generate_edges, 300);
         let waters = lines(generate_linearwater, 300);
-        let avg = |ls: &[LineString]| ls.iter().map(LineString::length).sum::<f64>() / ls.len() as f64;
+        let avg =
+            |ls: &[LineString]| ls.iter().map(LineString::length).sum::<f64>() / ls.len() as f64;
         assert!(
             avg(&waters) > 3.0 * avg(&edges),
             "waters {:.0} vs edges {:.0}",
             avg(&waters),
             avg(&edges)
         );
-        let avg_verts = |ls: &[LineString]| ls.iter().map(LineString::num_points).sum::<usize>() as f64 / ls.len() as f64;
+        let avg_verts = |ls: &[LineString]| {
+            ls.iter().map(LineString::num_points).sum::<usize>() as f64 / ls.len() as f64
+        };
         assert!(avg_verts(&edges) < 13.0);
         assert!(avg_verts(&waters) > 19.0);
     }

@@ -13,10 +13,7 @@ pub fn to_tsv_lines<'a, I>(records: I) -> Vec<String>
 where
     I: IntoIterator<Item = (u64, &'a Geometry)>,
 {
-    records
-        .into_iter()
-        .map(|(id, g)| format!("{id}\t{}", to_wkt(g)))
-        .collect()
+    records.into_iter().map(|(id, g)| format!("{id}\t{}", to_wkt(g))).collect()
 }
 
 /// Parse error for a TSV record line.
@@ -44,10 +41,7 @@ pub fn parse_tsv_line(line: &str) -> Result<(u64, Geometry), TsvError> {
     let mut fields = line.splitn(2, '\t');
     let id_str = fields.next().ok_or(TsvError::MissingField("id"))?;
     let wkt = fields.next().ok_or(TsvError::MissingField("wkt"))?;
-    let id = id_str
-        .trim()
-        .parse::<u64>()
-        .map_err(|_| TsvError::BadId(id_str.to_string()))?;
+    let id = id_str.trim().parse::<u64>().map_err(|_| TsvError::BadId(id_str.to_string()))?;
     let geom = parse_wkt(wkt).map_err(TsvError::BadWkt)?;
     Ok((id, geom))
 }
@@ -65,8 +59,10 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let geoms = [Geometry::Point(Point::new(1.0, 2.0)),
-            Geometry::LineString(LineString::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]))];
+        let geoms = [
+            Geometry::Point(Point::new(1.0, 2.0)),
+            Geometry::LineString(LineString::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)])),
+        ];
         let lines = to_tsv_lines(geoms.iter().enumerate().map(|(i, g)| (i as u64, g)));
         assert_eq!(lines.len(), 2);
         for (i, line) in lines.iter().enumerate() {

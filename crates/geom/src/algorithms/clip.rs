@@ -49,10 +49,7 @@ pub fn clip_segment(a: &Point, b: &Point, rect: &Mbr) -> Option<(Point, Point)> 
             }
         }
     }
-    Some((
-        Point::new(a.x + t0 * dx, a.y + t0 * dy),
-        Point::new(a.x + t1 * dx, a.y + t1 * dy),
-    ))
+    Some((Point::new(a.x + t0 * dx, a.y + t0 * dy), Point::new(a.x + t1 * dx, a.y + t1 * dy)))
 }
 
 /// Clips a polyline to a rectangle, returning the surviving pieces (a
@@ -198,7 +195,13 @@ mod tests {
     #[test]
     fn polyline_splits_into_fragments() {
         // Enters, exits, re-enters: two fragments.
-        let line = LineString::new(vec![p(-5.0, 5.0), p(5.0, 5.0), p(15.0, 5.0), p(15.0, 2.0), p(5.0, 2.0)]);
+        let line = LineString::new(vec![
+            p(-5.0, 5.0),
+            p(5.0, 5.0),
+            p(15.0, 5.0),
+            p(15.0, 2.0),
+            p(5.0, 2.0),
+        ]);
         let frags = clip_linestring(&line, &unit());
         assert_eq!(frags.len(), 2);
         for f in &frags {

@@ -84,9 +84,8 @@ mod tests {
 
     #[test]
     fn hull_contains_all_inputs() {
-        let pts: Vec<Point> = (0..50)
-            .map(|i| p((i * 37 % 23) as f64, (i * 53 % 19) as f64))
-            .collect();
+        let pts: Vec<Point> =
+            (0..50).map(|i| p((i * 37 % 23) as f64, (i * 53 % 19) as f64)).collect();
         let hull = convex_hull(&pts).unwrap();
         for q in &pts {
             assert!(point_in_polygon(&hull, q), "{q:?} escaped the hull");

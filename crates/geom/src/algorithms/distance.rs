@@ -38,8 +38,7 @@ pub fn point_to_linestring_distance(p: &Point, line: &LineString) -> f64 {
 /// Whether `p` lies within `d` of `line` (the within-distance predicate).
 pub fn point_within_distance(p: &Point, line: &LineString, d: f64) -> bool {
     let d_sq = d * d;
-    line.segments()
-        .any(|(a, b)| point_segment_distance_sq(p, a, b) <= d_sq)
+    line.segments().any(|(a, b)| point_segment_distance_sq(p, a, b) <= d_sq)
 }
 
 #[cfg(test)]
@@ -52,15 +51,27 @@ mod tests {
 
     #[test]
     fn perpendicular_foot_inside_segment() {
-        let d = point_segment_distance(&Point::new(1.0, 1.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        let d = point_segment_distance(
+            &Point::new(1.0, 1.0),
+            &Point::new(0.0, 0.0),
+            &Point::new(2.0, 0.0),
+        );
         assert_eq!(d, 1.0);
     }
 
     #[test]
     fn foot_beyond_endpoint_clamps() {
-        let d = point_segment_distance(&Point::new(5.0, 0.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        let d = point_segment_distance(
+            &Point::new(5.0, 0.0),
+            &Point::new(0.0, 0.0),
+            &Point::new(2.0, 0.0),
+        );
         assert_eq!(d, 3.0);
-        let d2 = point_segment_distance(&Point::new(-3.0, 4.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        let d2 = point_segment_distance(
+            &Point::new(-3.0, 4.0),
+            &Point::new(0.0, 0.0),
+            &Point::new(2.0, 0.0),
+        );
         assert_eq!(d2, 5.0);
     }
 
@@ -72,7 +83,11 @@ mod tests {
 
     #[test]
     fn point_on_segment_distance_zero() {
-        let d = point_segment_distance(&Point::new(1.0, 0.0), &Point::new(0.0, 0.0), &Point::new(2.0, 0.0));
+        let d = point_segment_distance(
+            &Point::new(1.0, 0.0),
+            &Point::new(0.0, 0.0),
+            &Point::new(2.0, 0.0),
+        );
         assert_eq!(d, 0.0);
     }
 

@@ -33,7 +33,11 @@ pub fn linestrings_intersect(a: &LineString, b: &LineString) -> bool {
             continue;
         }
         for (q1, q2) in b.segments() {
-            if sx1 < q1.x.min(q2.x) || sx0 > q1.x.max(q2.x) || sy1 < q1.y.min(q2.y) || sy0 > q1.y.max(q2.y) {
+            if sx1 < q1.x.min(q2.x)
+                || sx0 > q1.x.max(q2.x)
+                || sy1 < q1.y.min(q2.y)
+                || sy0 > q1.y.max(q2.y)
+            {
                 continue;
             }
             if segments_intersect(p1, p2, q1, q2) {
@@ -61,9 +65,7 @@ pub fn polygon_intersects_linestring(poly: &Polygon, line: &LineString) -> bool 
     }
     // No boundary crossing: the polyline is entirely inside or entirely
     // outside; one vertex decides which.
-    line.points()
-        .first()
-        .is_some_and(|p| point_in_polygon(poly, p))
+    line.points().first().is_some_and(|p| point_in_polygon(poly, p))
 }
 
 /// Exact polygon–polygon intersection: boundary crossing or containment of

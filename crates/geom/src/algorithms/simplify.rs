@@ -24,12 +24,7 @@ pub fn simplify(line: &LineString, epsilon: f64) -> LineString {
         *last = true;
     }
     rdp(pts, 0, pts.len().saturating_sub(1), epsilon, &mut keep);
-    let kept: Vec<Point> = pts
-        .iter()
-        .zip(&keep)
-        .filter(|(_, &k)| k)
-        .map(|(p, _)| *p)
-        .collect();
+    let kept: Vec<Point> = pts.iter().zip(&keep).filter(|(_, &k)| k).map(|(p, _)| *p).collect();
     LineString::new(kept)
 }
 

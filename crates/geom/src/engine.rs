@@ -109,8 +109,10 @@ mod tests {
     use crate::{LineString, Point};
 
     fn cross_pair() -> (Geometry, Geometry) {
-        let a = Geometry::LineString(LineString::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]));
-        let b = Geometry::LineString(LineString::new(vec![Point::new(0.0, 2.0), Point::new(2.0, 0.0)]));
+        let a =
+            Geometry::LineString(LineString::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]));
+        let b =
+            Geometry::LineString(LineString::new(vec![Point::new(0.0, 2.0), Point::new(2.0, 0.0)]));
         (a, b)
     }
 

@@ -6,7 +6,10 @@
 
 use crate::algorithms::{
     distance::{point_to_linestring_distance, point_within_distance},
-    intersects::{linestrings_intersect, point_on_linestring, polygon_intersects_linestring, polygons_intersect},
+    intersects::{
+        linestrings_intersect, point_on_linestring, polygon_intersects_linestring,
+        polygons_intersect,
+    },
     point_in_polygon::point_in_polygon,
 };
 use crate::linestring::LineString;
@@ -45,9 +48,7 @@ impl Geometry {
     fn any_part(&self, mut f: impl FnMut(&Geometry) -> bool) -> bool {
         match self {
             Geometry::MultiPoint(ps) => ps.iter().any(|p| f(&Geometry::Point(*p))),
-            Geometry::MultiLineString(ls) => {
-                ls.iter().any(|l| f(&Geometry::LineString(l.clone())))
-            }
+            Geometry::MultiLineString(ls) => ls.iter().any(|l| f(&Geometry::LineString(l.clone()))),
             Geometry::MultiPolygon(ps) => ps.iter().any(|p| f(&Geometry::Polygon(p.clone()))),
             simple => f(simple),
         }
@@ -158,7 +159,8 @@ impl Geometry {
                     let mut best = f64::INFINITY;
                     for ring in pg.all_rings() {
                         for (a, b) in crate::polygon::ring_edges(ring) {
-                            best = best.min(crate::algorithms::distance::point_segment_distance(p, a, b));
+                            best = best
+                                .min(crate::algorithms::distance::point_segment_distance(p, a, b));
                         }
                     }
                     Some(best)
@@ -223,7 +225,7 @@ impl Geometry {
     pub fn wkt_size_estimate(&self) -> u64 {
         let per_vertex = 40;
         let overhead = match self {
-            Geometry::Point(_) => 8,      // "POINT ()"
+            Geometry::Point(_) => 8,       // "POINT ()"
             Geometry::LineString(_) => 13, // "LINESTRING ()"
             Geometry::Polygon(p) => 12 + 2 * (1 + p.holes().len()) as u64,
             Geometry::MultiPoint(ps) => 12 + 2 * ps.len() as u64,
@@ -329,7 +331,10 @@ mod tests {
         let sq = square(0.0, 0.0, 2.0);
         assert!(sq.contains(&Geometry::Point(Point::new(1.0, 1.0))));
         assert!(!sq.contains(&Geometry::Point(Point::new(3.0, 3.0))));
-        assert!(!Geometry::Point(Point::new(1.0, 1.0)).contains(&sq), "point cannot contain polygon");
+        assert!(
+            !Geometry::Point(Point::new(1.0, 1.0)).contains(&sq),
+            "point cannot contain polygon"
+        );
     }
 
     #[test]
@@ -381,7 +386,12 @@ mod tests {
     #[test]
     fn wkt_size_estimate_scales_with_vertices() {
         let small = Geometry::Point(Point::new(0.0, 0.0));
-        let big = Geometry::LineString(LineString::new(pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)])));
+        let big = Geometry::LineString(LineString::new(pts(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+        ])));
         assert!(big.wkt_size_estimate() > small.wkt_size_estimate());
     }
 }

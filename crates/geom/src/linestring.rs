@@ -70,9 +70,7 @@ impl LineString {
 
     /// Translated copy.
     pub fn translate(&self, dx: f64, dy: f64) -> LineString {
-        LineString {
-            points: self.points.iter().map(|p| p.translate(dx, dy)).collect(),
-        }
+        LineString { points: self.points.iter().map(|p| p.translate(dx, dy)).collect() }
     }
 }
 

@@ -103,10 +103,7 @@ impl Mbr {
 
     /// Center point. Meaningless for the empty MBR (returns non-finite values).
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.min_x + self.max_x) / 2.0,
-            (self.min_y + self.max_y) / 2.0,
-        )
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
     }
 
     /// Closed-boundary intersection test (touching rectangles intersect).

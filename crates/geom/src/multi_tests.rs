@@ -12,12 +12,7 @@ fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
 }
 
 fn square(x0: f64, y0: f64, side: f64) -> Polygon {
-    Polygon::new(pts(&[
-        (x0, y0),
-        (x0 + side, y0),
-        (x0 + side, y0 + side),
-        (x0, y0 + side),
-    ]))
+    Polygon::new(pts(&[(x0, y0), (x0 + side, y0), (x0 + side, y0 + side), (x0, y0 + side)]))
 }
 
 fn multi_polygon() -> Geometry {
@@ -105,11 +100,8 @@ fn vertex_counts_sum_over_parts() {
 
 #[test]
 fn wkt_round_trips() {
-    for g in [
-        multi_polygon(),
-        multi_line(),
-        Geometry::MultiPoint(pts(&[(1.5, -2.0), (3.0, 4.25)])),
-    ] {
+    for g in [multi_polygon(), multi_line(), Geometry::MultiPoint(pts(&[(1.5, -2.0), (3.0, 4.25)]))]
+    {
         let text = to_wkt(&g);
         let parsed = parse_wkt(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
         assert_eq!(parsed, g, "round trip failed for {text}");
@@ -124,15 +116,9 @@ fn wkt_exact_forms() {
     assert_eq!(parse_wkt("MULTIPOINT (1 2, 3 4)").unwrap(), mp);
 
     let ml = multi_line();
-    assert_eq!(
-        to_wkt(&ml),
-        "MULTILINESTRING ((0 0, 2 2), (10 0, 12 2))"
-    );
+    assert_eq!(to_wkt(&ml), "MULTILINESTRING ((0 0, 2 2), (10 0, 12 2))");
     let mpoly = Geometry::MultiPolygon(vec![square(0.0, 0.0, 1.0)]);
-    assert_eq!(
-        to_wkt(&mpoly),
-        "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))"
-    );
+    assert_eq!(to_wkt(&mpoly), "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))");
 }
 
 #[test]

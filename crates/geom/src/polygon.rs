@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn closed_input_ring_is_normalized() {
-        let closed = Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]));
+        let closed =
+            Polygon::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]));
         assert_eq!(closed.shell().len(), 4);
         assert_eq!(closed.area(), 1.0);
     }

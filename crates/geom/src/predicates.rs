@@ -45,7 +45,8 @@ pub fn cross(a: &Point, b: &Point, c: &Point) -> f64 {
 pub fn orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
     let v = cross(a, b, c);
     // Scale tolerance by operand magnitude for uniform behaviour.
-    let scale = (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs());
+    let scale =
+        (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs());
     let tol = EPS * scale * scale;
     if v > tol {
         Orientation::CounterClockwise
@@ -74,8 +75,12 @@ pub fn segments_intersect(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> boo
     let o3 = orientation(q1, q2, p1);
     let o4 = orientation(q1, q2, p2);
 
-    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-        && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
     {
         return true; // proper crossing
     }
@@ -91,12 +96,7 @@ pub fn segments_intersect(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> boo
 ///
 /// Returns `None` for disjoint or collinear-overlapping segments (the latter
 /// has no unique intersection point).
-pub fn segment_intersection_point(
-    p1: &Point,
-    p2: &Point,
-    q1: &Point,
-    q2: &Point,
-) -> Option<Point> {
+pub fn segment_intersection_point(p1: &Point, p2: &Point, q1: &Point, q2: &Point) -> Option<Point> {
     let r = (p2.x - p1.x, p2.y - p1.y);
     let s = (q2.x - q1.x, q2.y - q1.y);
     let denom = r.0 * s.1 - r.1 * s.0;
@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn orientation_basic() {
-        assert_eq!(orientation(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(
+            orientation(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
         assert_eq!(orientation(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, -1.0)), Orientation::Clockwise);
         assert_eq!(orientation(&p(0.0, 0.0), &p(1.0, 1.0), &p(2.0, 2.0)), Orientation::Collinear);
     }
@@ -163,25 +166,30 @@ mod tests {
     #[test]
     fn intersection_is_symmetric() {
         let (a, b, c, d) = (p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0));
-        assert_eq!(
-            segments_intersect(&a, &b, &c, &d),
-            segments_intersect(&c, &d, &a, &b)
-        );
+        assert_eq!(segments_intersect(&a, &b, &c, &d), segments_intersect(&c, &d, &a, &b));
     }
 
     #[test]
     fn intersection_point_of_cross() {
-        let ip = segment_intersection_point(&p(0.0, 0.0), &p(2.0, 2.0), &p(0.0, 2.0), &p(2.0, 0.0)).unwrap();
+        let ip = segment_intersection_point(&p(0.0, 0.0), &p(2.0, 2.0), &p(0.0, 2.0), &p(2.0, 0.0))
+            .unwrap();
         assert!((ip.x - 1.0).abs() < 1e-12 && (ip.y - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn intersection_point_none_for_parallel() {
-        assert!(segment_intersection_point(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, 1.0), &p(1.0, 1.0)).is_none());
+        assert!(segment_intersection_point(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, 1.0), &p(1.0, 1.0))
+            .is_none());
     }
 
     #[test]
     fn intersection_point_none_when_beyond_ends() {
-        assert!(segment_intersection_point(&p(0.0, 0.0), &p(1.0, 0.0), &p(2.0, -1.0), &p(2.0, 1.0)).is_none());
+        assert!(segment_intersection_point(
+            &p(0.0, 0.0),
+            &p(1.0, 0.0),
+            &p(2.0, -1.0),
+            &p(2.0, 1.0)
+        )
+        .is_none());
     }
 }

@@ -133,10 +133,7 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WkbError> {
-        let s = self
-            .bytes
-            .get(self.pos..self.pos + n)
-            .ok_or(WkbError::Truncated)?;
+        let s = self.bytes.get(self.pos..self.pos + n).ok_or(WkbError::Truncated)?;
         self.pos += n;
         Ok(s)
     }
@@ -203,7 +200,11 @@ fn read_geometry(cur: &mut Reader<'_>) -> Result<Geometry, WkbError> {
             for _ in 0..n {
                 match read_geometry(cur)? {
                     Geometry::LineString(l) => ls.push(l),
-                    _ => return Err(WkbError::Malformed("multilinestring member must be a linestring")),
+                    _ => {
+                        return Err(WkbError::Malformed(
+                            "multilinestring member must be a linestring",
+                        ))
+                    }
                 }
             }
             if ls.is_empty() {

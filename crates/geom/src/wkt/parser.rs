@@ -56,10 +56,7 @@ impl<'a> Cursor<'a> {
     /// Consumes an ASCII identifier (geometry tag or EMPTY keyword).
     fn ident(&mut self) -> Result<String, WktError> {
         self.skip_ws();
-        let end = self
-            .rest
-            .find(|c: char| !c.is_ascii_alphabetic())
-            .unwrap_or(self.rest.len());
+        let end = self.rest.find(|c: char| !c.is_ascii_alphabetic()).unwrap_or(self.rest.len());
         if end == 0 {
             return Err(if self.rest.is_empty() {
                 WktError::UnexpectedEnd
@@ -80,10 +77,7 @@ impl<'a> Cursor<'a> {
                 self.rest = chars.as_str();
                 Ok(())
             }
-            Some(_) => Err(WktError::Malformed(format!(
-                "expected {c:?} at {:?}",
-                head(self.rest)
-            ))),
+            Some(_) => Err(WktError::Malformed(format!("expected {c:?} at {:?}", head(self.rest)))),
             None => Err(WktError::UnexpectedEnd),
         }
     }
@@ -230,10 +224,7 @@ pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
         other => return Err(WktError::UnknownTag(other.to_string())),
     };
     if !cur.eof() {
-        return Err(WktError::Malformed(format!(
-            "trailing input: {:?}",
-            head(cur.rest)
-        )));
+        return Err(WktError::Malformed(format!("trailing input: {:?}", head(cur.rest))));
     }
     Ok(geom)
 }

@@ -86,9 +86,8 @@ fn wkt_parser_never_panics_on_garbage() {
     const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 (),.-";
     cases(0x6E03, N, |rng| {
         let len = rng.usize_in(0..81);
-        let input: String = (0..len)
-            .map(|_| ALPHABET[rng.usize_in(0..ALPHABET.len())] as char)
-            .collect();
+        let input: String =
+            (0..len).map(|_| ALPHABET[rng.usize_in(0..ALPHABET.len())] as char).collect();
         // Fuzz: arbitrary printable input either parses (and then
         // round-trips) or errors cleanly.
         if let Ok(g) = parse_wkt(&input) {
@@ -139,10 +138,7 @@ fn exact_intersection_implies_mbr_intersection() {
         let a = geometry(rng);
         let b = geometry(rng);
         if a.intersects(&b) {
-            assert!(
-                a.mbr().intersects(&b.mbr()),
-                "refinement hit without filter hit: {a:?} {b:?}"
-            );
+            assert!(a.mbr().intersects(&b.mbr()), "refinement hit without filter hit: {a:?} {b:?}");
         }
     });
 }

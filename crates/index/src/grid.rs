@@ -25,13 +25,7 @@ impl GridIndex {
     pub fn new(extent: Mbr, nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "grid dimensions must be nonzero");
         assert!(!extent.is_empty(), "grid extent must be non-empty");
-        GridIndex {
-            extent,
-            nx,
-            ny,
-            cells: vec![Vec::new(); nx * ny],
-            len: 0,
-        }
+        GridIndex { extent, nx, ny, cells: vec![Vec::new(); nx * ny], len: 0 }
     }
 
     /// Builds a grid sized so the average cell holds ~`target_per_cell`
@@ -61,15 +55,19 @@ impl GridIndex {
     /// Column range of cells touched by `[min_x, max_x]` (clamped).
     fn col_range(&self, min_x: f64, max_x: f64) -> std::ops::RangeInclusive<usize> {
         let w = self.extent.width() / self.nx as f64;
-        let lo = (((min_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
-        let hi = (((max_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
+        let lo =
+            (((min_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
+        let hi =
+            (((max_x - self.extent.min_x) / w).floor() as isize).clamp(0, self.nx as isize - 1);
         (lo as usize)..=(hi as usize)
     }
 
     fn row_range(&self, min_y: f64, max_y: f64) -> std::ops::RangeInclusive<usize> {
         let h = self.extent.height() / self.ny as f64;
-        let lo = (((min_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
-        let hi = (((max_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
+        let lo =
+            (((min_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
+        let hi =
+            (((max_y - self.extent.min_y) / h).floor() as isize).clamp(0, self.ny as isize - 1);
         (lo as usize)..=(hi as usize)
     }
 
@@ -137,11 +135,8 @@ mod tests {
             Mbr::new(0.0, 0.0, 20.0, 20.0),
         ] {
             let got = g.query(&window);
-            let mut expected: Vec<u64> = es
-                .iter()
-                .filter(|e| e.mbr.intersects(&window))
-                .map(|e| e.id)
-                .collect();
+            let mut expected: Vec<u64> =
+                es.iter().filter(|e| e.mbr.intersects(&window)).map(|e| e.id).collect();
             expected.sort_unstable();
             assert_eq!(got, expected, "window {window:?}");
         }

@@ -65,10 +65,8 @@ mod tests {
         for &(lid, rid) in &out.pairs {
             let lc = left[lid as usize].mbr.center();
             let got = right[rid as usize].mbr.center().distance(&lc);
-            let best = right
-                .iter()
-                .map(|r| r.mbr.center().distance(&lc))
-                .fold(f64::INFINITY, f64::min);
+            let best =
+                right.iter().map(|r| r.mbr.center().distance(&lc)).fold(f64::INFINITY, f64::min);
             assert!((got - best).abs() < 1e-9, "left {lid}: got {got}, best {best}");
         }
     }

@@ -154,10 +154,7 @@ mod tests {
         let right = random_entries(12, 500, 10_000.0, 1.0);
         let bf = brute_force(&left, &right);
         let sweep = plane_sweep(&left, &right);
-        assert_eq!(
-            sweep.clone().sorted_pairs(),
-            bf.clone().sorted_pairs()
-        );
+        assert_eq!(sweep.clone().sorted_pairs(), bf.clone().sorted_pairs());
         assert!(
             sweep.stats.filter_tests * 10 < bf.stats.filter_tests,
             "sweep {} vs brute {}",

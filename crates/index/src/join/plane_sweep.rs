@@ -58,11 +58,7 @@ pub fn plane_sweep(left: &[IndexEntry], right: &[IndexEntry]) -> CandidatePairs 
                 }
                 tests += 1;
                 if anchor.mbr.min_y <= cand.mbr.max_y && cand.mbr.min_y <= anchor.mbr.max_y {
-                    pairs.push(if is_left {
-                        (anchor.id, cand.id)
-                    } else {
-                        (cand.id, anchor.id)
-                    });
+                    pairs.push(if is_left { (anchor.id, cand.id) } else { (cand.id, anchor.id) });
                 }
                 k += 1;
             }
@@ -112,11 +108,8 @@ mod tests {
         let mut stats = JoinStats::default();
         let (mut i, mut j) = (0usize, 0usize);
         while let (Some(li), Some(rj)) = (l.get(i), r.get(j)) {
-            let (anchor, list, start, flip) = if li.mbr.min_x <= rj.mbr.min_x {
-                (li, &r, j, false)
-            } else {
-                (rj, &l, i, true)
-            };
+            let (anchor, list, start, flip) =
+                if li.mbr.min_x <= rj.mbr.min_x { (li, &r, j, false) } else { (rj, &l, i, true) };
             let mut k = start;
             while let Some(cand) = list.get(k) {
                 if cand.mbr.min_x > anchor.mbr.max_x {
@@ -168,9 +161,7 @@ mod tests {
             IndexEntry::new(0, Mbr::new(1.0, 0.0, 2.0, 1.0)),
             IndexEntry::new(1, Mbr::new(1.0, 5.0, 2.0, 6.0)),
         ];
-        let right = vec![
-            IndexEntry::new(10, Mbr::new(1.0, 0.5, 2.0, 5.5)),
-        ];
+        let right = vec![IndexEntry::new(10, Mbr::new(1.0, 0.5, 2.0, 5.5))];
         let mut got = plane_sweep(&left, &right).pairs;
         got.sort_unstable();
         assert_eq!(got, vec![(0, 10), (1, 10)]);

@@ -27,7 +27,13 @@ impl BspPartitioner {
     }
 }
 
-fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth_left: usize, out: &mut Vec<Mbr>) {
+fn split(
+    region: Mbr,
+    sample: &mut [Point],
+    capacity: usize,
+    depth_left: usize,
+    out: &mut Vec<Mbr>,
+) {
     if sample.len() <= capacity || depth_left == 0 {
         out.push(region);
         return;
@@ -44,8 +50,20 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth_left: usize, 
             return;
         }
         let (lo, hi) = sample.split_at_mut(mid);
-        split(Mbr::new(region.min_x, region.min_y, cut, region.max_y), lo, capacity, depth_left - 1, out);
-        split(Mbr::new(cut, region.min_y, region.max_x, region.max_y), hi, capacity, depth_left - 1, out);
+        split(
+            Mbr::new(region.min_x, region.min_y, cut, region.max_y),
+            lo,
+            capacity,
+            depth_left - 1,
+            out,
+        );
+        split(
+            Mbr::new(cut, region.min_y, region.max_x, region.max_y),
+            hi,
+            capacity,
+            depth_left - 1,
+            out,
+        );
     } else {
         sample.select_nth_unstable_by(mid, |a, b| a.y.total_cmp(&b.y));
         // sjc-lint: allow(no-panic-in-lib) — mid = len/2 < len, and len > capacity >= 1 here
@@ -55,8 +73,20 @@ fn split(region: Mbr, sample: &mut [Point], capacity: usize, depth_left: usize, 
             return;
         }
         let (lo, hi) = sample.split_at_mut(mid);
-        split(Mbr::new(region.min_x, region.min_y, region.max_x, cut), lo, capacity, depth_left - 1, out);
-        split(Mbr::new(region.min_x, cut, region.max_x, region.max_y), hi, capacity, depth_left - 1, out);
+        split(
+            Mbr::new(region.min_x, region.min_y, region.max_x, cut),
+            lo,
+            capacity,
+            depth_left - 1,
+            out,
+        );
+        split(
+            Mbr::new(region.min_x, cut, region.max_x, region.max_y),
+            hi,
+            capacity,
+            depth_left - 1,
+            out,
+        );
     }
 }
 
@@ -72,7 +102,9 @@ mod tests {
 
     fn uniform_sample(n: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new((i * 37 % 101) as f64 / 101.0 * 10.0, (i * 53 % 97) as f64 / 97.0 * 10.0))
+            .map(|i| {
+                Point::new((i * 37 % 101) as f64 / 101.0 * 10.0, (i * 53 % 97) as f64 / 97.0 * 10.0)
+            })
             .collect()
     }
 
@@ -101,12 +133,16 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let nonzero_min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
-        assert!(max <= nonzero_min * 4, "median splits keep cells balanced: max={max} min={nonzero_min}");
+        assert!(
+            max <= nonzero_min * 4,
+            "median splits keep cells balanced: max={max} min={nonzero_min}"
+        );
     }
 
     #[test]
     fn cell_count_close_to_target() {
-        let p = BspPartitioner::from_sample(Mbr::new(0.0, 0.0, 10.0, 10.0), uniform_sample(1000), 16);
+        let p =
+            BspPartitioner::from_sample(Mbr::new(0.0, 0.0, 10.0, 10.0), uniform_sample(1000), 16);
         let n = p.cells().len();
         assert!((8..=32).contains(&n), "wanted ~16, got {n}");
     }

@@ -150,16 +150,10 @@ mod tests {
         let g = grid();
         let a = Mbr::new(1.8, 1.8, 2.2, 2.2); // straddles 4 cells
         let b = Mbr::new(1.9, 1.9, 2.4, 2.4);
-        let shared: Vec<CellId> = g
-            .assign(&a)
-            .into_iter()
-            .filter(|c| g.assign(&b).contains(c))
-            .collect();
+        let shared: Vec<CellId> =
+            g.assign(&a).into_iter().filter(|c| g.assign(&b).contains(c)).collect();
         assert!(shared.len() >= 2);
-        let emitted = shared
-            .iter()
-            .filter(|&&c| dedup_owner_cell(&g, c, &a, &b))
-            .count();
+        let emitted = shared.iter().filter(|&&c| dedup_owner_cell(&g, c, &a, &b)).count();
         assert_eq!(emitted, 1);
     }
 

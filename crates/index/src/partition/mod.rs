@@ -108,9 +108,7 @@ mod tests {
     }
 
     fn two() -> TwoCells {
-        TwoCells {
-            cells: vec![Mbr::new(0.0, 0.0, 1.0, 1.0), Mbr::new(1.0, 0.0, 2.0, 1.0)],
-        }
+        TwoCells { cells: vec![Mbr::new(0.0, 0.0, 1.0, 1.0), Mbr::new(1.0, 0.0, 2.0, 1.0)] }
     }
 
     #[test]
@@ -142,10 +140,8 @@ mod tests {
         // Both records span the boundary → both assigned to cells 0 and 1.
         let a = Mbr::new(0.8, 0.2, 1.2, 0.4);
         let b = Mbr::new(0.9, 0.1, 1.4, 0.5);
-        let emitted: Vec<CellId> = [0u32, 1u32]
-            .into_iter()
-            .filter(|&c| dedup_owner_cell(&p, c, &a, &b))
-            .collect();
+        let emitted: Vec<CellId> =
+            [0u32, 1u32].into_iter().filter(|&c| dedup_owner_cell(&p, c, &a, &b)).collect();
         assert_eq!(emitted.len(), 1, "pair reported by exactly one cell");
         // Reference point (0.9, 0.2) lies in cell 0.
         assert_eq!(emitted[0], 0);

@@ -137,7 +137,10 @@ mod tests {
                 if i % 5 != 0 {
                     Point::new((i % 97) as f64 / 97.0, (i % 89) as f64 / 89.0)
                 } else {
-                    Point::new(1.0 + (i % 83) as f64 / 83.0 * 9.0, 1.0 + (i % 79) as f64 / 79.0 * 9.0)
+                    Point::new(
+                        1.0 + (i % 83) as f64 / 83.0 * 9.0,
+                        1.0 + (i % 79) as f64 / 79.0 * 9.0,
+                    )
                 }
             })
             .collect()
@@ -156,14 +159,22 @@ mod tests {
 
     #[test]
     fn cell_count_is_near_target() {
-        let p = StrTilePartitioner::from_sample(Mbr::new(0.0, 0.0, 10.0, 10.0), skewed_sample(1000), 16);
+        let p = StrTilePartitioner::from_sample(
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+            skewed_sample(1000),
+            16,
+        );
         let n = p.cells().len();
         assert!((12..=25).contains(&n), "wanted ~16 tiles, got {n}");
     }
 
     #[test]
     fn skew_produces_small_cells_in_dense_areas() {
-        let p = StrTilePartitioner::from_sample(Mbr::new(0.0, 0.0, 10.0, 10.0), skewed_sample(1000), 16);
+        let p = StrTilePartitioner::from_sample(
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+            skewed_sample(1000),
+            16,
+        );
         // The cell containing the dense corner should be smaller than the
         // cell containing the sparse far corner.
         let dense_cell = p.cells()[p.owner(&Point::new(0.5, 0.5)) as usize];

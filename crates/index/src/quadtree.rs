@@ -29,13 +29,7 @@ impl QuadTree {
     pub fn new(extent: Mbr, capacity: usize, max_depth: usize) -> Self {
         assert!(!extent.is_empty(), "quadtree extent must be non-empty");
         assert!(capacity > 0, "capacity must be nonzero");
-        QuadTree {
-            extent,
-            capacity,
-            max_depth,
-            root: QtNode::Leaf { points: Vec::new() },
-            len: 0,
-        }
+        QuadTree { extent, capacity, max_depth, root: QtNode::Leaf { points: Vec::new() }, len: 0 }
     }
 
     pub fn len(&self) -> usize {
@@ -53,13 +47,7 @@ impl QuadTree {
             p.x.clamp(self.extent.min_x, self.extent.max_x),
             p.y.clamp(self.extent.min_y, self.extent.max_y),
         );
-        Self::insert_rec(
-            &mut self.root,
-            self.extent,
-            clamped,
-            self.capacity,
-            self.max_depth,
-        );
+        Self::insert_rec(&mut self.root, self.extent, clamped, self.capacity, self.max_depth);
         self.len += 1;
     }
 
@@ -228,9 +216,8 @@ mod tests {
     fn query_matches_linear_scan() {
         let extent = Mbr::new(0.0, 0.0, 100.0, 100.0);
         let mut qt = QuadTree::new(extent, 4, 8);
-        let pts: Vec<Point> = (0..300)
-            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
-            .collect();
+        let pts: Vec<Point> =
+            (0..300).map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64)).collect();
         for p in &pts {
             qt.insert(*p);
         }
@@ -240,11 +227,8 @@ mod tests {
             Mbr::new(95.0, 95.0, 99.0, 99.0),
             Mbr::new(200.0, 200.0, 300.0, 300.0),
         ] {
-            let mut got: Vec<(u64, u64)> = qt
-                .query(&window)
-                .iter()
-                .map(|p| (p.x as u64, p.y as u64))
-                .collect();
+            let mut got: Vec<(u64, u64)> =
+                qt.query(&window).iter().map(|p| (p.x as u64, p.y as u64)).collect();
             got.sort_unstable();
             let mut expected: Vec<(u64, u64)> = pts
                 .iter()

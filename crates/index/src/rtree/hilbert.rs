@@ -109,11 +109,7 @@ impl RTree {
                 })
                 .collect();
         }
-        let tree = RTree {
-            root: level.first().copied().unwrap_or(NodeId(0)),
-            nodes,
-            len,
-        };
+        let tree = RTree { root: level.first().copied().unwrap_or(NodeId(0)), nodes, len };
         #[cfg(feature = "sanitize")]
         tree.sanitize_tree();
         tree

@@ -12,10 +12,7 @@ impl RTree {
     /// Creates an empty tree for one-at-a-time insertion.
     pub fn new_dynamic() -> RTree {
         RTree {
-            nodes: vec![Node::Leaf {
-                mbr: Mbr::empty(),
-                entries: Vec::new(),
-            }],
+            nodes: vec![Node::Leaf { mbr: Mbr::empty(), entries: Vec::new() }],
             root: NodeId(0),
             len: 0,
         }
@@ -35,17 +32,13 @@ impl RTree {
             match self.node(cur) {
                 Node::Leaf { .. } => break,
                 Node::Inner { children, .. } => {
-                    let chosen = children
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            let ma = self.node(a).mbr();
-                            let mb = self.node(b).mbr();
-                            let ea = ma.enlargement(&entry.mbr);
-                            let eb = mb.enlargement(&entry.mbr);
-                            ea.total_cmp(&eb)
-                                .then_with(|| ma.area().total_cmp(&mb.area()))
-                        });
+                    let chosen = children.iter().copied().min_by(|&a, &b| {
+                        let ma = self.node(a).mbr();
+                        let mb = self.node(b).mbr();
+                        let ea = ma.enlargement(&entry.mbr);
+                        let eb = mb.enlargement(&entry.mbr);
+                        ea.total_cmp(&eb).then_with(|| ma.area().total_cmp(&mb.area()))
+                    });
                     match chosen {
                         Some(c) => {
                             path.push(cur);
@@ -80,10 +73,7 @@ impl RTree {
         if let Some(sibling) = maybe_split {
             let old_root = self.root;
             let mbr = self.node(old_root).mbr().union(&self.node(sibling).mbr());
-            self.nodes.push(Node::Inner {
-                mbr,
-                children: vec![old_root, sibling],
-            });
+            self.nodes.push(Node::Inner { mbr, children: vec![old_root, sibling] });
             self.root = NodeId(self.nodes.len() - 1);
         }
         // O(1) bounding invariant: the root must now cover the new entry.
@@ -137,10 +127,8 @@ impl RTree {
                 let (g1, g2) = quadratic_split(with_mbrs, |(_, m)| *m);
                 let m1 = mbr_union(g1.iter().map(|(_, m)| *m));
                 let m2 = mbr_union(g2.iter().map(|(_, m)| *m));
-                *self.node_mut(id) = Node::Inner {
-                    mbr: m1,
-                    children: g1.into_iter().map(|(c, _)| c).collect(),
-                };
+                *self.node_mut(id) =
+                    Node::Inner { mbr: m1, children: g1.into_iter().map(|(c, _)| c).collect() };
                 self.nodes.push(Node::Inner {
                     mbr: m2,
                     children: g2.into_iter().map(|(c, _)| c).collect(),

@@ -17,15 +17,8 @@ impl RTree {
         let len = entries.len();
         let mut nodes = Vec::new();
         if entries.is_empty() {
-            nodes.push(Node::Leaf {
-                mbr: Mbr::empty(),
-                entries: Vec::new(),
-            });
-            return RTree {
-                nodes,
-                root: NodeId(0),
-                len: 0,
-            };
+            nodes.push(Node::Leaf { mbr: Mbr::empty(), entries: Vec::new() });
+            return RTree { nodes, root: NodeId(0), len: 0 };
         }
 
         #[cfg(feature = "sanitize")]
@@ -72,11 +65,7 @@ impl RTree {
                 .collect();
         }
 
-        let tree = RTree {
-            root: level.first().copied().unwrap_or(NodeId(0)),
-            nodes,
-            len,
-        };
+        let tree = RTree { root: level.first().copied().unwrap_or(NodeId(0)), nodes, len };
         #[cfg(feature = "sanitize")]
         tree.sanitize_tree();
         tree

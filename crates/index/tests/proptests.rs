@@ -22,16 +22,12 @@ fn mbr(rng: &mut TestRng, extent: f64, max_side: f64) -> Mbr {
 
 fn entries(rng: &mut TestRng, n: std::ops::Range<usize>) -> Vec<IndexEntry> {
     let len = rng.usize_in(n);
-    (0..len)
-        .map(|i| IndexEntry::new(i as u64, mbr(rng, 100.0, 10.0)))
-        .collect()
+    (0..len).map(|i| IndexEntry::new(i as u64, mbr(rng, 100.0, 10.0))).collect()
 }
 
 fn points(rng: &mut TestRng, n: std::ops::Range<usize>) -> Vec<Point> {
     let len = rng.usize_in(n);
-    (0..len)
-        .map(|_| Point::new(rng.f64_in(0.0..100.0), rng.f64_in(0.0..100.0)))
-        .collect()
+    (0..len).map(|_| Point::new(rng.f64_in(0.0..100.0), rng.f64_in(0.0..100.0))).collect()
 }
 
 #[test]

@@ -1,0 +1,200 @@
+//! Workspace call graph over the item model.
+//!
+//! Calls are extracted syntactically (an identifier directly followed by
+//! `(`, or `.name(` for method calls) and resolved *by name* — but the
+//! resolution is gated by the workspace's crate topology: a call in crate A
+//! only resolves to a function in crate B when A == B, when the calling file
+//! `use`s `sjc_B`, or when the call is path-qualified (`sjc_b::f(…)`,
+//! `crate::m::f(…)`). That gate is what keeps name-based resolution honest:
+//! without it, a bench-crate helper named `run` would taint every `run` in
+//! the simulation crates and the entropy pass would drown in false
+//! positives. With it, taint can only flow along edges the build graph
+//! actually has.
+
+use std::collections::BTreeMap;
+
+use crate::items::FileModel;
+use crate::lexer::{Tok, TokKind};
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Final path segment — the called name.
+    pub name: String,
+    /// Full path segments when the call was qualified (`["sjc_par",
+    /// "par_map"]`); just `[name]` for bare calls.
+    pub path: Vec<String>,
+    /// True for `.name(…)` method calls.
+    pub method: bool,
+    /// Token index of the name in the file's stream.
+    pub tok: usize,
+    pub line: usize,
+}
+
+/// Identifier-followed-by-`(` positions that are *not* calls.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "move"
+            | "in"
+            | "as"
+            | "let"
+            | "else"
+            | "break"
+            | "continue"
+            | "fn"
+            | "where"
+            | "unsafe"
+    )
+}
+
+/// Extracts call sites from `toks[start..=end]`.
+pub fn calls_in(toks: &[Tok], start: usize, end: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let hi = end.min(toks.len().saturating_sub(1));
+    for i in start..=hi {
+        if toks[i].kind != TokKind::Ident || is_call_keyword(&toks[i].text) {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else { continue };
+        if !next.is_op("(") {
+            continue;
+        }
+        // `name!(…)` is a macro, `fn name(` a definition.
+        if i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_op("!")) {
+            continue;
+        }
+        let method = i > 0 && toks[i - 1].is_op(".");
+        // Walk the `a::b::name` qualifier chain backwards.
+        let mut path = vec![toks[i].text.clone()];
+        let mut k = i;
+        while k >= 2 && toks[k - 1].is_op("::") && toks[k - 2].kind == TokKind::Ident {
+            path.insert(0, toks[k - 2].text.clone());
+            k -= 2;
+        }
+        out.push(Call { name: toks[i].text.clone(), path, method, tok: i, line: toks[i].line });
+    }
+    out
+}
+
+/// A function in the workspace-wide flat list: `(file index, fn index)`.
+pub type FnId = usize;
+
+pub struct CallGraph {
+    /// Flat list of every function: indexes into `models[file].fns[idx]`.
+    pub fns: Vec<(usize, usize)>,
+    /// Call sites per function, parallel to `fns`.
+    pub calls: Vec<Vec<Call>>,
+    /// Resolved callee ids per function, parallel to `fns`. Each entry also
+    /// records the call-site name that produced the edge, so taint chains
+    /// can be reported readably.
+    pub edges: Vec<Vec<(FnId, String)>>,
+}
+
+/// `sjc_<dir>` is the import path of the crate in `crates/<dir>` (package
+/// names use hyphens, paths use underscores; every directory name in this
+/// workspace is underscore-free, so the mapping is just a prefix).
+fn import_alias(krate: &str) -> String {
+    format!("sjc_{krate}")
+}
+
+pub fn build(models: &[FileModel]) -> CallGraph {
+    let mut fns = Vec::new();
+    let mut calls = Vec::new();
+    // name -> ids, for resolution.
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+
+    for (fi, m) in models.iter().enumerate() {
+        for (gi, f) in m.fns.iter().enumerate() {
+            let id = fns.len();
+            fns.push((fi, gi));
+            by_name.entry(f.name.as_str()).or_default().push(id);
+            calls.push(match f.body {
+                Some((s, e)) => calls_in(&m.toks, s, e),
+                None => Vec::new(),
+            });
+        }
+    }
+
+    let mut edges: Vec<Vec<(FnId, String)>> = vec![Vec::new(); fns.len()];
+    for (id, &(fi, _)) in fns.iter().enumerate() {
+        let caller_file = &models[fi];
+        for call in &calls[id] {
+            let Some(cands) = by_name.get(call.name.as_str()) else { continue };
+            // Path-qualification narrows the candidate set; `use`-gating
+            // bounds bare names.
+            let qualifier = (call.path.len() >= 2).then(|| call.path[0].as_str());
+            for &cand in cands {
+                let (cfi, _) = fns[cand];
+                let callee_crate = &models[cfi].krate;
+                let allowed = match qualifier {
+                    Some("crate") | Some("self") | Some("super") => {
+                        *callee_crate == caller_file.krate
+                    }
+                    Some(q) => {
+                        q == import_alias(callee_crate) || *callee_crate == caller_file.krate
+                    }
+                    None => {
+                        *callee_crate == caller_file.krate
+                            || caller_file.use_crates.contains(&import_alias(callee_crate))
+                    }
+                };
+                if allowed {
+                    edges[id].push((cand, call.name.clone()));
+                }
+            }
+        }
+    }
+
+    CallGraph { fns, calls, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileModel;
+
+    #[test]
+    fn calls_extracted_with_paths_and_methods() {
+        let m = FileModel::build(
+            "crates/cluster/src/x.rs",
+            "fn f() { g(); h.run(); sjc_par::par_map(&v, k); if x { writeln!(o, \"\"); } }\n",
+        );
+        let (s, e) = m.fns[0].body.unwrap();
+        let calls = calls_in(&m.toks, s, e);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        // `if` and the `writeln!` macro are not calls.
+        assert_eq!(names, ["g", "run", "par_map"]);
+        assert!(calls[1].method);
+        assert_eq!(calls[2].path, ["sjc_par", "par_map"]);
+    }
+
+    #[test]
+    fn resolution_is_gated_by_imports() {
+        let a = FileModel::build(
+            "crates/cluster/src/a.rs",
+            "use sjc_data::jitter;\nfn caller() { jitter(); }\n",
+        );
+        let b = FileModel::build("crates/data/src/b.rs", "pub fn jitter() {}\n");
+        // A bench fn with the same name must NOT resolve: cluster does not
+        // import sjc_bench.
+        let c = FileModel::build("crates/bench/src/c.rs", "pub fn jitter() {}\n");
+        let g = build(&[a, b, c]);
+        // fns: caller(0), data::jitter(1), bench::jitter(2)
+        let callee_files: Vec<usize> = g.edges[0].iter().map(|&(id, _)| g.fns[id].0).collect();
+        assert_eq!(callee_files, [1], "edges: {:?}", g.edges[0]);
+    }
+
+    #[test]
+    fn same_crate_calls_resolve_without_use() {
+        let a = FileModel::build("crates/rdd/src/a.rs", "fn f() { helper(); }\n");
+        let b = FileModel::build("crates/rdd/src/b.rs", "pub fn helper() {}\n");
+        let g = build(&[a, b]);
+        assert_eq!(g.edges[0].len(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-file item model: functions with body extents, `use` imports, and
+//! test-region tracking, built from the token stream.
+//!
+//! This is deliberately *not* a Rust parser. The cross-file passes need
+//! exactly three things from a file — where each function's body starts and
+//! ends, whether that function is test code, and which workspace crates the
+//! file imports — and all three fall out of a single forward walk over the
+//! token stream with a brace counter. Anything the walk does not model
+//! (macros defining functions, modules split across `include!`) degrades to
+//! "no item recorded", never to a wrong extent.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One `fn` item: its name, the 1-based line of the `fn` token, the token
+/// range of its body (exclusive of the braces' indices is not guaranteed —
+/// the range covers `{ … }` inclusive), and whether it is test code.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub line: usize,
+    /// Token index range `[open_brace, close_brace]` of the body, or `None`
+    /// for bodiless declarations (trait methods, `extern` items).
+    pub body: Option<(usize, usize)>,
+    /// True when the function lives in a `#[cfg(test)] mod`, carries a
+    /// `#[test]`/`#[cfg(test)]` attribute, or sits in a harness file.
+    pub in_test: bool,
+}
+
+/// The analyzed form of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate directory name under `crates/`, or `""` for the root package.
+    pub krate: String,
+    /// True for files under `tests/`/`benches/` (or `#![cfg(test)]` files):
+    /// everything in them is harness code.
+    pub harness: bool,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnItem>,
+    /// First path segments of `use` declarations: `sjc_par`, `std`, `crate`…
+    pub use_crates: BTreeSet<String>,
+    /// Every identifier appearing in a `use` declaration — an
+    /// over-approximation of the names the file imports, which is the safe
+    /// direction for "is this bare call `join` the sjc_par one?" questions.
+    pub use_names: BTreeSet<String>,
+    /// Token-index ranges lying inside `#[cfg(test)] mod … { … }` regions.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    pub fn build(rel_path: &str, source: &str) -> FileModel {
+        let stripped = crate::strip_noncode(source);
+        let class = crate::classify(rel_path);
+        let toks = lex(&stripped);
+        // A file compiled only for tests (`#![cfg(test)]` inner attribute)
+        // is harness code even when it lives under `src/`.
+        let harness = class.harness || stripped.contains("#![cfg(test)]");
+
+        let mut fns = Vec::new();
+        let mut use_crates = BTreeSet::new();
+        let mut use_names = BTreeSet::new();
+        let mut test_regions = Vec::new();
+
+        let mut depth: i64 = 0;
+        // Attribute state: `#[cfg(test)]` arms the *next* `mod` or `fn`;
+        // `#[test]` arms the next `fn` only.
+        let mut pending_cfg_test = false;
+        let mut pending_test_attr = false;
+        let mut test_floor: Option<(i64, usize)> = None; // (depth before mod `{`, start tok)
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            match (&t.kind, t.text.as_str()) {
+                (TokKind::Op, "{") => {
+                    depth += 1;
+                    i += 1;
+                }
+                (TokKind::Op, "}") => {
+                    depth -= 1;
+                    if let Some((floor, start)) = test_floor {
+                        if depth <= floor {
+                            test_regions.push((start, i));
+                            test_floor = None;
+                        }
+                    }
+                    i += 1;
+                }
+                (TokKind::Op, "#") => {
+                    // `#[cfg(test)]` / `#![cfg(test)]` / `#[test]`
+                    let w = &toks[i..toks.len().min(i + 6)];
+                    if is_attr_head(w, "cfg")
+                        && w.get(4).is_some_and(|t| t.is_ident("test") || t.is_ident("any"))
+                    {
+                        // `cfg(any(test, …))` is treated as test-gated too:
+                        // over-approximating "test code" only relaxes rules.
+                        pending_cfg_test = true;
+                    } else if is_attr_head(w, "test") || is_attr_head(w, "should_panic") {
+                        pending_test_attr = true;
+                    }
+                    // Skip the whole attribute so its contents (e.g.
+                    // `#[derive(…)]` idents) are not misread as items.
+                    i = skip_attr(&toks, i);
+                }
+                (TokKind::Ident, "mod") if pending_cfg_test => {
+                    // Find the `{` (an out-of-line `mod foo;` has none).
+                    let mut j = i + 1;
+                    while j < toks.len() && !toks[j].is_op("{") && !toks[j].is_op(";") {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].is_op("{") && test_floor.is_none() {
+                        test_floor = Some((depth, j));
+                        depth += 1;
+                        pending_cfg_test = false;
+                        i = j + 1;
+                        continue;
+                    }
+                    pending_cfg_test = false;
+                    i += 1;
+                }
+                (TokKind::Ident, "use") => {
+                    let mut j = i + 1;
+                    let mut first = true;
+                    while j < toks.len() && !toks[j].is_op(";") {
+                        if toks[j].kind == TokKind::Ident {
+                            if first {
+                                use_crates.insert(toks[j].text.clone());
+                                first = false;
+                            }
+                            use_names.insert(toks[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+                (TokKind::Ident, "fn") => {
+                    let Some(name_tok) = toks.get(i + 1) else { break };
+                    if name_tok.kind != TokKind::Ident {
+                        i += 1;
+                        continue;
+                    }
+                    let in_test =
+                        harness || test_floor.is_some() || pending_test_attr || pending_cfg_test;
+                    pending_test_attr = false;
+                    pending_cfg_test = false;
+                    let (body, next) = fn_body_extent(&toks, i + 2);
+                    fns.push(FnItem { name: name_tok.text.clone(), line: t.line, body, in_test });
+                    // Continue *inside* the body so nested fns, test-region
+                    // braces, and `use` decls in bodies are still seen. Only
+                    // the signature is skipped.
+                    i = next;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        if let Some((_, start)) = test_floor {
+            test_regions.push((start, toks.len()));
+        }
+
+        FileModel {
+            rel_path: rel_path.to_string(),
+            krate: class.krate.to_string(),
+            harness,
+            toks,
+            fns,
+            use_crates,
+            use_names,
+            test_regions,
+        }
+    }
+
+    /// True when token index `i` lies inside a `#[cfg(test)] mod` region (or
+    /// the whole file is harness code).
+    pub fn in_test_at(&self, i: usize) -> bool {
+        self.harness || self.test_regions.iter().any(|&(s, e)| s <= i && i <= e)
+    }
+
+    /// The function whose body contains token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        // Innermost wins: later fns in the list that still contain `i` are
+        // nested deeper.
+        self.fns.iter().rfind(|f| f.body.is_some_and(|(s, e)| s <= i && i <= e))
+    }
+}
+
+/// True when `w` starts an attribute `#[name…` or `#![name…`.
+fn is_attr_head(w: &[Tok], name: &str) -> bool {
+    if w.len() < 3 || !w[0].is_op("#") {
+        return false;
+    }
+    let (bang, rest) = if w[1].is_op("!") { (1, &w[2..]) } else { (0, &w[1..]) };
+    let _ = bang;
+    rest.len() >= 2 && rest[0].is_op("[") && rest[1].is_ident(name)
+}
+
+/// Skips a `#[…]` / `#![…]` attribute starting at `i`, returning the index
+/// just past its closing `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_op("!")) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_op("[")) {
+        return i + 1;
+    }
+    let mut depth = 0i64;
+    while j < toks.len() {
+        if toks[j].is_op("[") {
+            depth += 1;
+        } else if toks[j].is_op("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// From the token after a `fn`'s name, finds the body: the first `{` at
+/// paren/bracket depth 0 (a `;` there means a bodiless declaration). Returns
+/// the body's `[open, close]` token range and the index scanning should
+/// resume from — just *inside* the body, so nested items are still walked by
+/// the caller.
+fn fn_body_extent(toks: &[Tok], mut j: usize) -> (Option<(usize, usize)>, usize) {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_op("(") {
+            paren += 1;
+        } else if t.is_op(")") {
+            paren -= 1;
+        } else if t.is_op("[") {
+            bracket += 1;
+        } else if t.is_op("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_op(";") {
+                return (None, j + 1);
+            }
+            if t.is_op("{") {
+                // Find the matching close without consuming the walk: the
+                // caller re-enters at `open + 1` to see nested items.
+                let mut depth = 0i64;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_op("{") {
+                        depth += 1;
+                    } else if toks[k].is_op("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            return (Some((j, k)), j);
+                        }
+                    }
+                    k += 1;
+                }
+                return (Some((j, toks.len().saturating_sub(1))), j);
+            }
+        }
+        j += 1;
+    }
+    (None, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_and_bodies_are_found() {
+        let src =
+            "pub fn a(x: [u8; 4]) -> u32 { x.len() as u32 }\nfn b();\nfn c() { if x { y(); } }\n";
+        let m = FileModel::build("crates/cluster/src/x.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[1].body.is_none());
+        let (s, e) = m.fns[2].body.unwrap();
+        assert!(m.toks[s].is_op("{") && m.toks[e].is_op("}"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_as_test() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\nfn after() {}\n";
+        let m = FileModel::build("crates/cluster/src/x.rs", src);
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib").in_test);
+        assert!(by_name("helper").in_test);
+        assert!(by_name("t").in_test);
+        assert!(!by_name("after").in_test);
+    }
+
+    #[test]
+    fn harness_files_are_all_test() {
+        let m = FileModel::build("crates/cluster/tests/x.rs", "fn t() {}\n");
+        assert!(m.harness && m.fns[0].in_test);
+    }
+
+    #[test]
+    fn use_decls_collect_crates_and_names() {
+        let src = "use sjc_par::{par_map, join};\nuse std::fmt;\n";
+        let m = FileModel::build("crates/rdd/src/x.rs", src);
+        assert!(m.use_crates.contains("sjc_par") && m.use_crates.contains("std"));
+        assert!(m.use_names.contains("join") && m.use_names.contains("par_map"));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() {\n    fn inner() { mark(); }\n}\n";
+        let m = FileModel::build("crates/cluster/src/x.rs", src);
+        let mark = m.toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(m.enclosing_fn(mark).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn derive_attr_contents_are_not_items() {
+        let src = "#[derive(Debug, Clone)]\npub struct S;\nfn f() {}\n";
+        let m = FileModel::build("crates/cluster/src/x.rs", src);
+        assert_eq!(m.fns.len(), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! JSON output and the baseline ratchet.
+//!
+//! The lint crate is deliberately dependency-free, so this module carries a
+//! small hand-rolled emitter and a recursive-descent parser that understands
+//! exactly the subset the tooling writes: objects, arrays, strings with
+//! escapes, and unsigned integers. The parser reads both `--format json`
+//! reports and `LINT_BASELINE.json`, which is what makes the round-trip
+//! test in the tier-1 gate possible without pulling in serde.
+//!
+//! The baseline is a **ratchet**: the checked-in `LINT_BASELINE.json`
+//! records the violation count the workspace is allowed to have (today:
+//! zero everywhere), and `--baseline` fails when any rule's count *rises*.
+//! Counts may only go down; lowering the baseline after a cleanup is a
+//! one-line diff a reviewer can see.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Severity, Violation};
+
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Escapes `s` as a JSON string body.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full machine-readable report: schema version, totals per
+/// rule, and every violation with its severity.
+pub fn report(violations: &[Violation]) -> String {
+    let counts = Counts::from_violations(violations);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"total\": {},", counts.total);
+    out.push_str("  \"by_rule\": {\n");
+    let n = counts.by_rule.len();
+    for (i, (rule, count)) in counts.by_rule.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {}{}", escape(rule), count, comma);
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"violations\": [\n");
+    let n = violations.len();
+    for (i, v) in violations.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let sev = match v.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}",
+            v.rule.name(),
+            sev,
+            escape(&v.path),
+            v.line,
+            escape(&v.message),
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Per-rule violation counts — the shape both the report's header and the
+/// checked-in baseline share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    pub total: u64,
+    pub by_rule: BTreeMap<String, u64>,
+}
+
+impl Counts {
+    pub fn from_violations(violations: &[Violation]) -> Counts {
+        let mut by_rule: BTreeMap<String, u64> = BTreeMap::new();
+        // Every known rule appears with an explicit zero so the baseline
+        // file documents the full rule set, not just the failing part.
+        for rule in crate::Rule::ALL {
+            by_rule.insert(rule.name().to_string(), 0);
+        }
+        by_rule.insert(crate::Rule::BadSuppression.name().to_string(), 0);
+        for v in violations {
+            *by_rule.entry(v.rule.name().to_string()).or_insert(0) += 1;
+        }
+        Counts { total: violations.len() as u64, by_rule }
+    }
+
+    /// Renders the baseline file format (a report without the violation
+    /// list — the counts ARE the contract).
+    pub fn to_baseline_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"total\": {},", self.total);
+        out.push_str("  \"by_rule\": {\n");
+        let n = self.by_rule.len();
+        for (i, (rule, count)) in self.by_rule.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{}\": {}{}", escape(rule), count, comma);
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses `total` / `by_rule` from baseline OR report JSON.
+    pub fn parse(text: &str) -> Result<Counts, String> {
+        let value = Parser { chars: text.chars().collect(), i: 0 }.parse()?;
+        let Value::Object(map) = value else {
+            return Err("baseline: top level must be an object".to_string());
+        };
+        let total = match map.iter().find(|(k, _)| k == "total") {
+            Some((_, Value::Num(n))) => *n,
+            _ => return Err("baseline: missing numeric \"total\"".to_string()),
+        };
+        let mut by_rule = BTreeMap::new();
+        if let Some((_, Value::Object(rules))) = map.iter().find(|(k, _)| k == "by_rule") {
+            for (rule, count) in rules {
+                let Value::Num(n) = count else {
+                    return Err(format!("baseline: by_rule[{rule:?}] must be a number"));
+                };
+                by_rule.insert(rule.clone(), *n);
+            }
+        }
+        Ok(Counts { total, by_rule })
+    }
+
+    /// The ratchet: every count in `self` (the fresh run) must be ≤ the
+    /// baseline's. Rules absent from the baseline are held to zero, so a
+    /// newly added rule cannot smuggle in violations.
+    pub fn ratchet_against(&self, baseline: &Counts) -> Result<(), String> {
+        let mut failures = Vec::new();
+        if self.total > baseline.total {
+            failures.push(format!(
+                "total rose from {} to {} — the baseline only ratchets down",
+                baseline.total, self.total
+            ));
+        }
+        for (rule, &count) in &self.by_rule {
+            let allowed = baseline.by_rule.get(rule).copied().unwrap_or(0);
+            if count > allowed {
+                failures.push(format!("{rule}: {count} violation(s), baseline allows {allowed}"));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+}
+
+/// The subset of JSON values the tooling emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.i < self.chars.len() {
+            return Err(format!("trailing content at offset {}", self.i));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.chars.len() && self.chars[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            if self.peek() != Some(c) {
+                return Err(format!("bad literal at offset {}", self.i));
+            }
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some('"') {
+            return Err(format!("expected string at offset {}", self.i));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let hex: String = self.chars.iter().skip(self.i).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        c => out.push(c),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        text.parse::<u64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn v(rule: Rule, line: usize) -> Violation {
+        Violation::new(rule, "crates/x/src/lib.rs", line, "msg with \"quotes\"".to_string())
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let vs = [v(Rule::EntropyTaint, 3), v(Rule::EntropyTaint, 9), v(Rule::ErrorFlow, 1)];
+        let text = report(&vs);
+        let counts = Counts::parse(&text).unwrap();
+        assert_eq!(counts.total, 3);
+        assert_eq!(counts.by_rule["entropy-taint"], 2);
+        assert_eq!(counts.by_rule["error-flow"], 1);
+        assert_eq!(counts.by_rule["par-closure-race"], 0);
+        assert_eq!(counts, Counts::from_violations(&vs));
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let counts = Counts::from_violations(&[v(Rule::NoPanicInLib, 2)]);
+        let parsed = Counts::parse(&counts.to_baseline_json()).unwrap();
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn ratchet_only_goes_down() {
+        let base = Counts::from_violations(&[v(Rule::ErrorFlow, 1)]);
+        let clean = Counts::from_violations(&[]);
+        let worse = Counts::from_violations(&[v(Rule::ErrorFlow, 1), v(Rule::ErrorFlow, 2)]);
+        assert!(clean.ratchet_against(&base).is_ok());
+        assert!(base.ratchet_against(&base).is_ok());
+        assert!(worse.ratchet_against(&base).is_err());
+        // A rule missing from the baseline is held to zero.
+        let unseen = Counts::from_violations(&[v(Rule::EntropyTaint, 1)]);
+        let empty = Counts { total: 10, by_rule: BTreeMap::new() };
+        assert!(unseen.ratchet_against(&empty).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Counts::parse("").is_err());
+        assert!(Counts::parse("[1, 2]").is_err());
+        assert!(Counts::parse("{\"total\": \"three\"}").is_err());
+        assert!(Counts::parse("{\"total\": 1} trailing").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal Rust lexer over comment/string-stripped source.
+//!
+//! The input is the output of `strip_noncode` (see `lib.rs`): comments and
+//! string/char-literal *contents* are already gone — strings collapse to a
+//! hollow `"…"` whose interior keeps only newlines, char literals vanish
+//! entirely — so the lexer only has to recognize identifiers, numbers,
+//! lifetimes, operators, and the hollow string markers. That division of
+//! labour keeps both halves small: the stripper owns the genuinely stateful
+//! part of Rust's surface syntax (raw strings, nested block comments), and
+//! the lexer is a single forward scan with maximal-munch operators.
+//!
+//! Every token carries its 1-based source line, so the cross-file passes in
+//! `passes/` report exact locations even though they work on a flat token
+//! stream rather than lines.
+
+/// Token category. Keywords are `Ident`s — the passes match on text, and a
+/// fixed keyword list would go stale faster than a `is_ident("fn")` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Num,
+    /// A (stripped) string literal. The text is always `""`.
+    Str,
+    /// Punctuation, including multi-character operators (`::`, `+=`, `=>`).
+    Op,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch holds (`..=`
+/// must win over `..`, `<<=` over `<<`).
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes stripped source into a token stream. Never fails: unexpected bytes
+/// become single-character `Op` tokens, which at worst makes a pass see an
+/// unknown operator and move on — a static checker must degrade to silence,
+/// not to a crash, on syntax it does not model.
+pub fn lex(stripped: &str) -> Vec<Tok> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '"' {
+            // Hollow string from the stripper: contents are only newlines.
+            let start_line = line;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1; // closing quote (or end of input)
+            toks.push(Tok { kind: TokKind::Str, text: "\"\"".to_string(), line: start_line });
+        } else if c == '\'' {
+            // The stripper removed char literals, so a surviving `'` always
+            // opens a lifetime (or a label).
+            let mut text = String::from("'");
+            i += 1;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Lifetime, text, line });
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text, line });
+        } else if c.is_ascii_digit() {
+            let (text, next) = lex_number(&chars, i);
+            toks.push(Tok { kind: TokKind::Num, text, line });
+            i = next;
+        } else {
+            let mut matched = None;
+            for op in OPS {
+                let len = op.chars().count();
+                if chars[i..].len() >= len && chars[i..i + len].iter().collect::<String>() == **op {
+                    matched = Some((op.to_string(), len));
+                    break;
+                }
+            }
+            let (text, len) = matched.unwrap_or_else(|| (c.to_string(), 1));
+            toks.push(Tok { kind: TokKind::Op, text, line });
+            i += len;
+        }
+    }
+    toks
+}
+
+/// Lexes a numeric literal starting at `chars[start]`. Handles `1_000`,
+/// `0xff`, `2.5_f64`, `1e-9`, and tuple-index/range adjacency: `0..n` stops
+/// before `..`, `x.0` leaves the `.` to the caller.
+fn lex_number(chars: &[char], start: usize) -> (String, usize) {
+    let mut text = String::new();
+    let mut i = start;
+    let hex =
+        chars.get(start) == Some(&'0') && matches!(chars.get(start + 1), Some('x') | Some('X'));
+    while i < chars.len() {
+        let c = chars[i];
+        if is_ident_continue(c) {
+            text.push(c);
+            i += 1;
+            // Exponent sign: `1e-9` / `1E+9` — only outside hex, and only
+            // when a digit follows the sign (so `0xe + 1` stays three tokens).
+            if !hex
+                && (c == 'e' || c == 'E')
+                && matches!(chars.get(i), Some('+') | Some('-'))
+                && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(chars[i]);
+                i += 1;
+            }
+        } else if c == '.'
+            && !text.contains('.')
+            && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+        {
+            text.push('.');
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    (text, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_numbers() {
+        assert_eq!(texts("attempt += 1;"), ["attempt", "+=", "1", ";"]);
+        assert_eq!(texts("attempt +=1"), ["attempt", "+=", "1"]);
+        assert_eq!(texts("a::b(x)"), ["a", "::", "b", "(", "x", ")"]);
+        assert_eq!(texts("x==0.5"), ["x", "==", "0.5"]);
+    }
+
+    #[test]
+    fn ranges_and_floats_disambiguate() {
+        assert_eq!(texts("0..n"), ["0", "..", "n"]);
+        assert_eq!(texts("0..=4"), ["0", "..=", "4"]);
+        assert_eq!(texts("1.5e-9"), ["1.5e-9"]);
+        assert_eq!(texts("2.5_f64"), ["2.5_f64"]);
+        assert_eq!(texts("t.0"), ["t", ".", "0"]);
+        assert_eq!(texts("0xff + 1"), ["0xff", "+", "1"]);
+    }
+
+    #[test]
+    fn lifetimes_and_strings() {
+        assert_eq!(texts("'a: loop {"), ["'a", ":", "loop", "{"]);
+        let toks = lex("f(\"\") + 'static");
+        assert_eq!(toks[1].text, "(");
+        assert_eq!(toks[2].kind, TokKind::Str);
+        assert_eq!(toks.last().unwrap().text, "'static");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_hollow_strings() {
+        // The stripper keeps newlines inside string literals; the lexer must
+        // keep counting them.
+        let toks = lex("let s = \"\n\n\";\nlet t = 1;");
+        let t = toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(texts("a <<= b >> c"), ["a", "<<=", "b", ">>", "c"]);
+        assert_eq!(texts("x => y == z"), ["x", "=>", "y", "==", "z"]);
+        assert_eq!(texts("|| &mut v"), ["||", "&", "mut", "v"]);
+    }
+}

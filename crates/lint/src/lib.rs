@@ -1,11 +1,23 @@
 //! # sjc-lint — workspace invariant checker
 //!
 //! A self-contained, std-only static checker for the invariants this
-//! reproduction depends on. It is deliberately a *line/token scanner*, not a
-//! compiler plugin: the rules below are all expressible on comment- and
-//! string-stripped source text, the checker runs in milliseconds, and it has
-//! zero dependencies — so it can gate `cargo test` (see the workspace's
-//! `tests/lint_gate.rs`) without slowing anything down.
+//! reproduction depends on. It has **two layers**:
+//!
+//! * the **line rules** below — single-line scans over comment- and
+//!   string-stripped source text, millisecond-fast, zero dependencies, so
+//!   they can gate `cargo test` (see the workspace's `tests/lint_gate.rs`)
+//!   without slowing anything down;
+//! * **`sjc-analyze`** (the [`passes`] module) — a whole-workspace analyzer
+//!   built on a real token stream ([`lexer`]), an item model with function
+//!   extents and test regions ([`items`]), and a crate-topology-gated call
+//!   graph ([`callgraph`]). It closes the gaps a line scanner cannot see:
+//!   transitive reachability, captured-state mutation inside closures, and
+//!   construction/handling coverage of the failure vocabulary.
+//!
+//! [`check_workspace`] runs the line rules, [`analyze_workspace`] the
+//! passes, and [`check_all`] both. `--format json` plus the checked-in
+//! `LINT_BASELINE.json` ratchet (see [`json`]) make the combined count a
+//! one-way contract: it may only go down.
 //!
 //! ## Rules
 //!
@@ -17,6 +29,9 @@
 //! | `bench-isolation` | everything except `crates/bench` (and code already covered by `no-nondeterminism`) | wall-clock and entropy APIs (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`) — only the bench harness may observe the host |
 //! | `serial-hot-loop` | non-test src of the designated hot-path files (see `HOT_PATH_FILES`) | `for … in tasks`-shaped loops over a hot collection (`tasks`, `groups`, `parts`, …) — host-side hot loops go through `sjc_par`; an intentionally serial merge states its reason in a suppression |
 //! | `bounded-retry` | non-test src of the recovery engine crates (`cluster`, `mapreduce`, `rdd`) | a loop that drives a retry/attempt/resubmit counter (`attempt += 1`, `for attempt in …`) without referencing a `MAX_*` constant inside the loop — retry budgets must be named bounds (`MAX_TASK_ATTEMPTS`, `MAX_STAGE_RESUBMITS`), not implicit or infinite |
+//! | `entropy-taint` | whole workspace (`sjc-analyze`) | simulation-crate functions that *transitively* reach a wall-clock/entropy API through the call graph, and clock-derived values flowing into `sim_ns`/trace output in any crate (bench may observe the clock, but simulated numbers must never be derived from it) |
+//! | `par-closure-race` | closures passed to the `sjc_par` entry points | capturing `&mut` bindings, `Cell`/`RefCell`, relaxed atomics, `unsafe` blocks, or mutating captured collections — the static counterpart of the 1-vs-8-thread bit-identity tests |
+//! | `error-flow` | library crates (`sjc-analyze`) | `SimError` variants never constructed or never handled, and `Result`s silently discarded via `let _ =` / trailing `.ok();` (the infallible `write!` into a `String` is exempt) |
 //!
 //! ## Suppression
 //!
@@ -36,13 +51,21 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
+pub mod items;
+pub mod json;
+pub mod lexer;
+pub mod passes;
+
+pub use passes::analyze_workspace;
+
 /// Crates whose non-test sources must be deterministic: they produce the
 /// simulated numbers, which the paper reproduction requires to be
 /// bit-identical across runs and platforms.
-const SIM_CRATES: &[&str] = &["geom", "index", "cluster", "mapreduce", "rdd", "core"];
+pub(crate) const SIM_CRATES: &[&str] = &["geom", "index", "cluster", "mapreduce", "rdd", "core"];
 
 /// Library crates whose non-test sources must not panic.
-const PANIC_FREE_CRATES: &[&str] =
+pub(crate) const PANIC_FREE_CRATES: &[&str] =
     &["geom", "index", "cluster", "mapreduce", "rdd", "data", "core"];
 
 /// Crates whose non-test sources must compare floats through epsilon helpers.
@@ -52,6 +75,10 @@ const FLOAT_CRATES: &[&str] = &["geom"];
 /// retry/attempt counter must name its bound (a `MAX_*` constant) inside the
 /// loop, so every retry budget is auditable and finite.
 const RETRY_CRATES: &[&str] = &["cluster", "mapreduce", "rdd"];
+
+/// The one `bounded-retry` message, shared by the three places a retry
+/// region can close (multi-line body, wrapped header, one-line loop).
+const BOUNDED_RETRY_MSG: &str = "retry loop without a named bound — reference a MAX_* constant (MAX_TASK_ATTEMPTS / MAX_STAGE_RESUBMITS) inside the loop so the retry budget is finite and auditable";
 
 /// Wall-clock / entropy tokens: allowed only in `crates/bench`.
 const CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
@@ -86,17 +113,23 @@ pub enum Rule {
     BenchIsolation,
     SerialHotLoop,
     BoundedRetry,
+    EntropyTaint,
+    ParClosureRace,
+    ErrorFlow,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NoNondeterminism,
         Rule::NoPanicInLib,
         Rule::FloatHygiene,
         Rule::BenchIsolation,
         Rule::SerialHotLoop,
         Rule::BoundedRetry,
+        Rule::EntropyTaint,
+        Rule::ParClosureRace,
+        Rule::ErrorFlow,
     ];
 
     pub fn name(self) -> &'static str {
@@ -107,6 +140,9 @@ impl Rule {
             Rule::BenchIsolation => "bench-isolation",
             Rule::SerialHotLoop => "serial-hot-loop",
             Rule::BoundedRetry => "bounded-retry",
+            Rule::EntropyTaint => "entropy-taint",
+            Rule::ParClosureRace => "par-closure-race",
+            Rule::ErrorFlow => "error-flow",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -122,14 +158,62 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One finding: rule, location (workspace-relative path, 1-based line) and a
-/// human-readable message.
+/// How bad a finding is. The gate fails on any unsuppressed **error**;
+/// warnings ride along in the report and count against the baseline ratchet
+/// but do not fail the build on their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: rule, severity, location (workspace-relative path, 1-based
+/// line) and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     pub rule: Rule,
+    pub severity: Severity,
     pub path: String,
     pub line: usize,
     pub message: String,
+}
+
+impl Violation {
+    /// A new finding at the default severity ([`Severity::Error`]).
+    pub fn new(
+        rule: Rule,
+        path: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            rule,
+            severity: Severity::Error,
+            path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub fn with_severity(mut self, severity: Severity) -> Violation {
+        self.severity = severity;
+        self
+    }
 }
 
 impl fmt::Display for Violation {
@@ -140,14 +224,14 @@ impl fmt::Display for Violation {
 
 /// Where a file sits in the workspace, derived from its relative path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FileClass<'a> {
+pub(crate) struct FileClass<'a> {
     /// Crate directory name under `crates/`, or `""` for the root package.
-    krate: &'a str,
+    pub(crate) krate: &'a str,
     /// True for `tests/` and `benches/` directories: test harness code.
-    harness: bool,
+    pub(crate) harness: bool,
 }
 
-fn classify(rel_path: &str) -> FileClass<'_> {
+pub(crate) fn classify(rel_path: &str) -> FileClass<'_> {
     let mut parts = rel_path.split('/');
     let first = parts.next().unwrap_or("");
     if first == "crates" {
@@ -162,7 +246,7 @@ fn classify(rel_path: &str) -> FileClass<'_> {
 /// Replaces comments, string contents and char literals with
 /// layout-preserving filler so token scans cannot match inside them. The
 /// returned text has exactly the same line structure as the input.
-fn strip_noncode(src: &str) -> String {
+pub(crate) fn strip_noncode(src: &str) -> String {
     strip(src, false)
 }
 
@@ -458,19 +542,16 @@ fn serial_hot_loop_target(line: &str) -> Option<&'static str> {
         }
     }
     HOT_COLLECTIONS.iter().copied().find(|name| {
-        expr.strip_prefix(name)
-            .is_some_and(|rest| !rest.chars().next().is_some_and(is_ident_char))
+        expr.strip_prefix(name).is_some_and(|rest| !rest.chars().next().is_some_and(is_ident_char))
     })
 }
 
-/// True when `line` opens a loop body: a `for`/`while`/`loop` header
-/// (optionally labelled, `'outer: loop {`) whose `{` is on the same line.
-/// Multi-line headers are an accepted under-approximation — rustfmt keeps
-/// the brace on the header line for every loop in this workspace.
-fn is_loop_header(line: &str) -> bool {
-    if !line.contains('{') {
-        return false;
-    }
+/// True when `line` *begins* a loop header: a `for`/`while`/`loop` keyword
+/// (optionally labelled, `'outer: loop {`) at the start of the line. The
+/// body's `{` may sit on this line or — when rustfmt wraps a long header —
+/// on a later one; the caller tracks the open brace separately, so wrapped
+/// headers are no longer invisible to `bounded-retry`.
+fn loop_header_start(line: &str) -> bool {
     let mut t = line.trim_start();
     if let Some(rest) = t.strip_prefix('\'') {
         if let Some(colon) = rest.find(':') {
@@ -482,6 +563,7 @@ fn is_loop_header(line: &str) -> bool {
     t.starts_with("for ")
         || t.starts_with("while ")
         || t.starts_with("while(")
+        || t == "loop"
         || t.starts_with("loop {")
         || t.starts_with("loop{")
 }
@@ -494,16 +576,32 @@ fn has_retry_token(line: &str) -> bool {
     ["retry", "attempt", "resubmit"].iter().any(|t| lower.contains(t))
 }
 
+/// True when `name` is a retry-shaped identifier.
+fn is_retry_ident(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    ["retry", "attempt", "resubmit"].iter().any(|t| lower.contains(t))
+}
+
 /// True when the line *drives* a retry counter: a retry-shaped identifier
-/// incremented by one (`attempt += 1`). Aggregations over already-recorded
-/// attempts (`trace.attempts += s.attempts`) deliberately do not match.
+/// incremented by one. Matched on the token stream, so `attempt += 1`,
+/// `attempt +=1` and `attempt+=1` are all the same increment — whitespace
+/// is not load-bearing. Aggregations over already-recorded attempts
+/// (`trace.attempts += s.attempts`) deliberately do not match: the
+/// right-hand side is not the literal `1`.
 fn drives_retry_counter(line: &str) -> bool {
-    has_retry_token(line) && line.contains("+= 1")
+    let toks = lexer::lex(line);
+    toks.windows(3).any(|w| {
+        w[0].kind == lexer::TokKind::Ident
+            && is_retry_ident(&w[0].text)
+            && w[1].is_op("+=")
+            && w[2].kind == lexer::TokKind::Num
+            && w[2].text == "1"
+    })
 }
 
 /// A parsed allow comment (see the module docs for the syntax).
 #[derive(Debug, Clone)]
-struct Allow {
+pub(crate) struct Allow {
     rule: Option<Rule>,
     rule_text: String,
     has_reason: bool,
@@ -523,16 +621,71 @@ fn parse_allow(commented_line: &str, code_line: &str) -> Option<Allow> {
     let rest = &comment[at + ALLOW_MARKER.len()..];
     let close = rest.find(')')?;
     let rule_text = rest[..close].trim().to_string();
-    let reason = rest[close + 1..]
-        .trim()
-        .trim_start_matches(['—', '-', ':', ' '])
-        .trim();
+    let reason = rest[close + 1..].trim().trim_start_matches(['—', '-', ':', ' ']).trim();
     Some(Allow {
         rule: Rule::from_name(&rule_text),
         rule_text,
         has_reason: reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3,
         comment_only: code_line.trim().is_empty(),
     })
+}
+
+/// Parses every line's allow marker for `source`. Shared between the line
+/// rules and the `sjc-analyze` passes so both honor the exact same audited
+/// suppression syntax.
+pub(crate) fn allows_for(source: &str) -> Vec<Option<Allow>> {
+    let stripped = strip_noncode(source);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    strip_strings_only(source)
+        .lines()
+        .enumerate()
+        .map(|(i, line)| parse_allow(line, code_lines.get(i).copied().unwrap_or("")))
+        .collect()
+}
+
+/// 0-based statement-start line for every line. rustfmt wraps long
+/// statements, so the expression a comment-only allow was written for can
+/// land on a continuation line; resolving each line to the line that opened
+/// its statement lets the allow cover the whole statement. A line continues
+/// the previous one when that line's code neither terminated (`;`, `{`, `}`)
+/// nor was blank; the chain is capped so a malformed file cannot pull an
+/// allow across half the module.
+pub(crate) fn stmt_starts(source: &str) -> Vec<usize> {
+    let stripped = strip_noncode(source);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut starts = vec![0usize; lines.len()];
+    for i in 1..lines.len() {
+        let prev = lines[i - 1].trim_end();
+        let terminated =
+            prev.is_empty() || prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}');
+        starts[i] = if !terminated && i - starts[i - 1] < 12 { starts[i - 1] } else { i };
+    }
+    starts
+}
+
+/// True when a well-formed allow for `rule` covers the 1-based `line`:
+/// inline on the line itself, or comment-only directly above the statement
+/// the line belongs to (`starts` from [`stmt_starts`]).
+pub(crate) fn is_suppressed(
+    allows: &[Option<Allow>],
+    starts: &[usize],
+    rule: Rule,
+    line: usize,
+) -> bool {
+    if line == 0 {
+        return false;
+    }
+    let i = line - 1;
+    let matches = |a: &Option<Allow>, need_comment_only: bool| {
+        a.as_ref().is_some_and(|a| {
+            a.rule == Some(rule) && a.has_reason && (!need_comment_only || a.comment_only)
+        })
+    };
+    if allows.get(i).is_some_and(|a| matches(a, false)) {
+        return true;
+    }
+    let s = starts.get(i).copied().unwrap_or(i);
+    s > 0 && allows.get(s - 1).is_some_and(|a| matches(a, true))
 }
 
 /// Checks one file's source text. `rel_path` is the workspace-relative path
@@ -547,13 +700,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     if code_lines.iter().any(|l| l.contains("#![cfg(test)]")) {
         class.harness = true;
     }
-    let commented = strip_strings_only(source);
-
-    let allows: Vec<Option<Allow>> = commented
-        .lines()
-        .enumerate()
-        .map(|(i, line)| parse_allow(line, code_lines.get(i).copied().unwrap_or("")))
-        .collect();
+    let allows = allows_for(source);
 
     let mut out = Vec::new();
 
@@ -561,34 +708,29 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     for (i, allow) in allows.iter().enumerate() {
         if let Some(a) = allow {
             if a.rule.is_none() {
-                out.push(Violation {
-                    rule: Rule::BadSuppression,
-                    path: rel_path.to_string(),
-                    line: i + 1,
-                    message: format!("allow({}) names no known rule", a.rule_text),
-                });
+                out.push(Violation::new(
+                    Rule::BadSuppression,
+                    rel_path,
+                    i + 1,
+                    format!("allow({}) names no known rule", a.rule_text),
+                ));
             } else if !a.has_reason {
-                out.push(Violation {
-                    rule: Rule::BadSuppression,
-                    path: rel_path.to_string(),
-                    line: i + 1,
-                    message: format!(
+                out.push(Violation::new(
+                    Rule::BadSuppression,
+                    rel_path,
+                    i + 1,
+                    format!(
                         "allow({}) needs a reason: `// sjc-lint: allow({}) — <why this is safe>`",
                         a.rule_text, a.rule_text
                     ),
-                });
+                ));
             }
         }
     }
 
-    let suppressed = |rule: Rule, i: usize| -> bool {
-        let matches = |a: &Option<Allow>, need_comment_only: bool| {
-            a.as_ref().is_some_and(|a| {
-                a.rule == Some(rule) && a.has_reason && (!need_comment_only || a.comment_only)
-            })
-        };
-        matches(&allows[i], false) || (i > 0 && matches(&allows[i - 1], true))
-    };
+    let starts = stmt_starts(source);
+    let suppressed =
+        |rule: Rule, i: usize| -> bool { is_suppressed(&allows, &starts, rule, i + 1) };
 
     // Which rules apply to this file's non-test code?
     let sim = SIM_CRATES.contains(&class.krate);
@@ -608,6 +750,10 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     // every enclosing loop, so a bound named in an inner loop also satisfies
     // the outer one.
     let mut retry_loops: Vec<(usize, i64, bool, bool)> = Vec::new();
+    // A loop header whose body `{` has not arrived yet (rustfmt wraps long
+    // headers): (header line, retry flag, bound flag). Resolved when the
+    // opening brace shows up, dropped on a statement terminator.
+    let mut pending_loop: Option<(usize, bool, bool)> = None;
 
     for (i, code) in code_lines.iter().enumerate() {
         let depth_at_start = depth;
@@ -651,22 +797,63 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
                 }
                 retry_loops.pop();
                 if is_retry && !has_bound && !suppressed(Rule::BoundedRetry, hdr) {
-                    out.push(Violation {
-                        rule: Rule::BoundedRetry,
-                        path: rel_path.to_string(),
-                        line: hdr + 1,
-                        message: "retry loop without a named bound — reference a MAX_* constant (MAX_TASK_ATTEMPTS / MAX_STAGE_RESUBMITS) inside the loop so the retry budget is finite and auditable".to_string(),
-                    });
+                    out.push(Violation::new(
+                        Rule::BoundedRetry,
+                        rel_path,
+                        hdr + 1,
+                        BOUNDED_RETRY_MSG.to_string(),
+                    ));
                 }
             }
-            if !in_test && is_loop_header(code) && depth > depth_at_start {
-                retry_loops.push((i, depth_at_start, drives || has_retry_token(code), bound));
+            let retryish = drives || has_retry_token(code);
+            if let Some((hdr, was_retry, was_bound)) = pending_loop {
+                // Continuation of a wrapped header: accumulate flags until
+                // the body's `{` arrives.
+                let is_retry = was_retry || retryish;
+                let has_bound = was_bound || bound;
+                if code.contains('{') {
+                    pending_loop = None;
+                    if depth > depth_at_start {
+                        retry_loops.push((hdr, depth_at_start, is_retry, has_bound));
+                    } else if is_retry && !has_bound && !suppressed(Rule::BoundedRetry, hdr) {
+                        // The body opened *and* closed on this line.
+                        out.push(Violation::new(
+                            Rule::BoundedRetry,
+                            rel_path,
+                            hdr + 1,
+                            BOUNDED_RETRY_MSG.to_string(),
+                        ));
+                    }
+                } else if code.contains(';') {
+                    // A statement terminator cannot appear inside a loop
+                    // header — the `for`/`while` match was something else.
+                    pending_loop = None;
+                } else {
+                    pending_loop = Some((hdr, is_retry, has_bound));
+                }
+            } else if !in_test && loop_header_start(code) {
+                if depth > depth_at_start {
+                    retry_loops.push((i, depth_at_start, retryish, bound));
+                } else if code.contains('{') {
+                    // One-line loop: `for attempt in 0..n { g(attempt) }` —
+                    // the region opens and closes within this line.
+                    if retryish && !bound && !suppressed(Rule::BoundedRetry, i) {
+                        out.push(Violation::new(
+                            Rule::BoundedRetry,
+                            rel_path,
+                            i + 1,
+                            BOUNDED_RETRY_MSG.to_string(),
+                        ));
+                    }
+                } else if !code.contains(';') {
+                    pending_loop = Some((i, retryish, bound));
+                }
             }
         }
 
         let mut emit = |rule: Rule, message: String| {
             if !suppressed(rule, i) {
-                out.push(Violation { rule, path: rel_path.to_string(), line: i + 1, message });
+                out.push(Violation::new(rule, rel_path, i + 1, message));
             }
         };
 
@@ -739,7 +926,8 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
         if float && !in_test && has_float_literal_comparison(code) {
             emit(
                 Rule::FloatHygiene,
-                "bare float comparison — use the epsilon helpers in sjc_geom::predicates".to_string(),
+                "bare float comparison — use the epsilon helpers in sjc_geom::predicates"
+                    .to_string(),
             );
         }
     }
@@ -747,7 +935,9 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     out
 }
 
-/// Recursively collects `.rs` files under `dir` (if it exists).
+/// Recursively collects `.rs` files under `dir` (if it exists). Directories
+/// named `fixtures` are skipped: they hold deliberately-bad inputs for the
+/// analyzer's own tests, not workspace code.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -757,6 +947,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     entries.sort();
     for path in entries {
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -765,10 +958,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Checks every Rust source file of the workspace rooted at `root`:
-/// `src/`, `tests/`, and each `crates/*/{src,tests,benches}`. Returns all
-/// violations sorted by path and line.
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+/// Collects every Rust source file of the workspace rooted at `root` —
+/// `src/`, `tests/`, and each `crates/*/{src,tests,benches}` — as
+/// `(workspace-relative path with '/' separators, source text)` pairs.
+/// Shared by the line rules and the `sjc-analyze` passes so both layers see
+/// the exact same file set.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     // A missing or file-less root must be an error, not a clean scan — a
     // mistyped path in CI would otherwise report green without looking at
     // a single line.
@@ -800,19 +995,39 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         ));
     }
 
+    files
+        .into_iter()
+        .map(|file| {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            fs::read_to_string(&file).map(|source| (rel, source))
+        })
+        .collect()
+}
+
+/// Checks every Rust source file of the workspace rooted at `root` with the
+/// **line rules**. Returns all violations sorted by path and line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     let mut out = Vec::new();
-    for file in files {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let source = fs::read_to_string(&file)?;
+    for (rel, source) in workspace_files(root)? {
         out.extend(check_file(&rel, &source));
     }
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+/// Both layers over one workspace: the line rules ([`check_workspace`]) plus
+/// the cross-file `sjc-analyze` passes ([`analyze_workspace`]), merged and
+/// sorted. This is what the CLI and the tier-1 gate run.
+pub fn check_all(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = check_workspace(root)?;
+    out.extend(analyze_workspace(root)?);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule.name()).cmp(&(&b.path, b.line, b.rule.name())));
     Ok(out)
 }
 
@@ -822,7 +1037,8 @@ mod tests {
 
     #[test]
     fn strip_removes_comments_and_string_contents() {
-        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1; /* thread_rng */ let c = 2;\n";
+        let src =
+            "let a = \"Instant::now\"; // Instant::now\nlet b = 1; /* thread_rng */ let c = 2;\n";
         let s = strip_noncode(src);
         assert!(!s.contains("Instant::now"));
         assert!(!s.contains("thread_rng"));
@@ -903,15 +1119,20 @@ mod tests {
     }
 
     #[test]
-    fn loop_header_detector_is_precise() {
-        assert!(is_loop_header("loop {"));
-        assert!(is_loop_header("    'outer: loop {"));
-        assert!(is_loop_header("while attempt < max {"));
-        assert!(is_loop_header("while let Some(x) = it.next() {"));
-        assert!(is_loop_header("for t in &tasks {"));
-        assert!(!is_loop_header("looping(x) {"));
-        assert!(!is_loop_header("for t in"));
-        assert!(!is_loop_header("let x = compute();"));
+    fn loop_header_start_detector_is_precise() {
+        assert!(loop_header_start("loop {"));
+        assert!(loop_header_start("    'outer: loop {"));
+        assert!(loop_header_start("while attempt < max {"));
+        assert!(loop_header_start("while let Some(x) = it.next() {"));
+        assert!(loop_header_start("for t in &tasks {"));
+        // Wrapped headers (brace on a later line) now count as starts…
+        assert!(loop_header_start("for t in"));
+        assert!(loop_header_start("    loop"));
+        assert!(loop_header_start("'retry: loop"));
+        // …but non-loops still do not.
+        assert!(!loop_header_start("looping(x) {"));
+        assert!(!loop_header_start("let x = compute();"));
+        assert!(!loop_header_start("while_elapsed(x) {"));
     }
 
     #[test]
@@ -919,10 +1140,15 @@ mod tests {
         assert!(drives_retry_counter("attempt += 1;"));
         assert!(drives_retry_counter("out.attempts += 1;"));
         assert!(drives_retry_counter("resubmit += 1;"));
+        // Token-matched: whitespace around `+=` is not load-bearing.
+        assert!(drives_retry_counter("attempt +=1;"));
+        assert!(drives_retry_counter("attempt+=1;"));
+        assert!(drives_retry_counter("attempt  +=  1;"));
         // Aggregating already-recorded attempts is not a retry loop…
         assert!(!drives_retry_counter("trace.attempts += s.attempts;"));
-        // …and neither is a plain index counter.
+        // …and neither is a plain index counter, nor a step of 10.
         assert!(!drives_retry_counter("i += 1;"));
+        assert!(!drives_retry_counter("attempt += 10;"));
     }
 
     #[test]
@@ -958,6 +1184,34 @@ mod tests {
     }
 
     #[test]
+    fn bounded_retry_sees_rustfmt_wrapped_headers() {
+        // rustfmt may wrap a long header so the `{` lands on its own line;
+        // the pending-header tracking must still open the region at the
+        // `for` line.
+        let src = "pub fn f(limit: u32) {\n    for attempt in\n        compute_schedule(limit)\n    {\n        g(attempt);\n    }\n}\n";
+        let vs = check_file("crates/cluster/src/scheduler.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BoundedRetry && v.line == 2), "{vs:?}");
+        // A MAX_* bound anywhere in the (wrapped) region satisfies it.
+        let bounded = src.replace("g(attempt);", "if attempt >= MAX_TASK_ATTEMPTS { break; }");
+        assert!(check_file("crates/cluster/src/scheduler.rs", &bounded).is_empty());
+        // Suppression at the header line works for wrapped headers too.
+        let ok = src.replace(
+            "    for attempt in\n",
+            "    // sjc-lint: allow(bounded-retry) — schedule length is validated upstream\n    for attempt in\n",
+        );
+        assert!(check_file("crates/cluster/src/scheduler.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn bounded_retry_sees_one_line_loops() {
+        let src = "pub fn f(n: u32) {\n    for attempt in 0..n { g(attempt) }\n}\n";
+        let vs = check_file("crates/cluster/src/scheduler.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::BoundedRetry && v.line == 2), "{vs:?}");
+        let ok = src.replace("0..n", "0..MAX_TASK_ATTEMPTS");
+        assert!(check_file("crates/cluster/src/scheduler.rs", &ok).is_empty());
+    }
+
+    #[test]
     fn suppression_requires_reason_and_known_rule() {
         let src = "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n";
         let vs = check_file("crates/geom/src/lib.rs", src);
@@ -979,5 +1233,23 @@ mod tests {
         let vs = check_file("crates/geom/src/lib.rs", src);
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn comment_only_allow_covers_a_wrapped_statement() {
+        // rustfmt breaks long `let`s after the `=`, pushing the flagged
+        // expression onto a continuation line; the allow above the statement
+        // must still cover it.
+        let src = "// sjc-lint: allow(no-panic-in-lib) — ids are enumerate indices\n\
+                   let recs: Vec<&Rec> =\n    \
+                       assign[cell].iter().map(|&i| &left.records[i as usize]).collect();\n";
+        assert!(check_file("crates/geom/src/lib.rs", src).is_empty());
+        // A terminated statement ends the allow's reach: the next statement
+        // is not covered even when it starts on the very next line.
+        let src = "// sjc-lint: allow(no-panic-in-lib) — ids are enumerate indices\n\
+                   let a =\n    v[0];\nlet b = v[1];\n";
+        let vs = check_file("crates/geom/src/lib.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 4);
     }
 }

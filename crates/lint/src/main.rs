@@ -1,19 +1,54 @@
-//! `sjc-lint` binary: checks the workspace rooted at the given directory
+//! `sjc-lint` binary: runs both checker layers (the line rules and the
+//! `sjc-analyze` passes) over the workspace rooted at the given directory
 //! (default: the current directory) and exits non-zero on violations.
 //!
 //! ```text
-//! cargo run -p sjc-lint            # check the workspace
-//! cargo run -p sjc-lint -- --rules # list the rules
+//! cargo run -p sjc-lint                               # check the workspace
+//! cargo run -p sjc-lint -- --format json              # machine-readable report
+//! cargo run -p sjc-lint -- --baseline LINT_BASELINE.json   # enforce the ratchet
+//! cargo run -p sjc-lint -- --write-baseline LINT_BASELINE.json
+//! cargo run -p sjc-lint -- --rules                    # list the rules
 //! ```
+//!
+//! Exit codes: `0` clean (and, with `--baseline`, within the ratchet), `1`
+//! violations (or a ratchet breach), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sjc_lint::Rule;
+use sjc_lint::{json, Rule, Severity};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() {
+    println!(
+        "sjc-lint — workspace invariant checker (line rules + sjc-analyze)\n\n\
+         USAGE: sjc-lint [ROOT] [OPTIONS]\n\n\
+         OPTIONS:\n\
+         \x20 --format text|json        report style (default: text)\n\
+         \x20 --baseline <path>         enforce the count ratchet against a checked-in\n\
+         \x20                           baseline: per-rule counts may only decrease\n\
+         \x20 --write-baseline <path>   write the current counts as the new baseline\n\
+         \x20 --rules                   list the rule names and exit\n\n\
+         Scans ROOT (default `.`) with the line rules (no-nondeterminism,\n\
+         no-panic-in-lib, float-hygiene, bench-isolation, serial-hot-loop,\n\
+         bounded-retry) and the cross-file analyzer passes (entropy-taint,\n\
+         par-closure-race, error-flow). Suppress a finding inline with\n\
+         `// sjc-lint: allow(<rule>) — <reason>`."
+    );
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
+    let mut format = Format::Text;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--rules" => {
                 for rule in Rule::ALL {
@@ -22,16 +57,31 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!(
-                    "sjc-lint — workspace invariant checker\n\n\
-                     USAGE: sjc-lint [ROOT] [--rules]\n\n\
-                     Scans ROOT (default `.`) for violations of the workspace\n\
-                     rules (no-nondeterminism, no-panic-in-lib, float-hygiene,\n\
-                     bench-isolation, serial-hot-loop). Suppress a finding inline with\n\
-                     `// sjc-lint: allow(<rule>) — <reason>`."
-                );
+                usage();
                 return ExitCode::SUCCESS;
             }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("sjc-lint: --format takes `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sjc-lint: --baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sjc-lint: --write-baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             other if !other.starts_with('-') => root = PathBuf::from(other),
             other => {
                 eprintln!("sjc-lint: unknown flag `{other}`");
@@ -40,21 +90,69 @@ fn main() -> ExitCode {
         }
     }
 
-    match sjc_lint::check_workspace(&root) {
+    let violations = match sjc_lint::check_all(&root) {
+        Ok(vs) => vs,
         Err(e) => {
             eprintln!("sjc-lint: cannot scan {}: {e}", root.display());
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
-        Ok(violations) if violations.is_empty() => {
-            println!("sjc-lint: workspace clean");
-            ExitCode::SUCCESS
+    };
+    let counts = json::Counts::from_violations(&violations);
+
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, counts.to_baseline_json()) {
+            eprintln!("sjc-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        Ok(violations) => {
+        println!("sjc-lint: wrote baseline ({} violation(s)) to {}", counts.total, path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    match format {
+        Format::Json => print!("{}", json::report(&violations)),
+        Format::Text => {
             for v in &violations {
-                println!("{v}");
+                println!("{}: {v}", v.severity);
             }
-            println!("sjc-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if violations.is_empty() {
+                println!("sjc-lint: workspace clean");
+            } else {
+                let errors = violations.iter().filter(|v| v.severity == Severity::Error).count();
+                println!(
+                    "sjc-lint: {} violation(s) ({} error(s), {} warning(s))",
+                    violations.len(),
+                    errors,
+                    violations.len() - errors
+                );
+            }
         }
+    }
+
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sjc-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match json::Counts::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sjc-lint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = counts.ratchet_against(&base) {
+            eprintln!("sjc-lint: baseline ratchet failed:\n{e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

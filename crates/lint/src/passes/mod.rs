@@ -1,0 +1,63 @@
+//! `sjc-analyze` — the cross-file layer of the checker.
+//!
+//! The line rules in `lib.rs` are single-line token scans; the passes here
+//! see the whole workspace at once: a token stream per file (`lexer`), an
+//! item model with function extents and test regions (`items`), and a
+//! name-resolved call graph gated by the crate topology (`callgraph`).
+//! Three passes run on top:
+//!
+//! * [`entropy`] — no simulation-crate function may *transitively* reach a
+//!   wall-clock or entropy source, and nothing derived from one may flow
+//!   into `sim_ns`/trace output (in any crate, bench included);
+//! * [`par_closure`] — closures handed to the `sjc_par` runtime must not
+//!   mutate captured state (the static counterpart of the 1-vs-8-thread
+//!   bit-identity tests);
+//! * [`error_flow`] — every `SimError` variant is both constructed and
+//!   handled somewhere, and library code never silently discards a
+//!   `Result`.
+//!
+//! Suppression works exactly as for the line rules: an inline allow
+//! comment naming the rule, with a reason, on (or directly above) the
+//! reported line.
+
+pub mod entropy;
+pub mod error_flow;
+pub mod par_closure;
+
+use std::io;
+use std::path::Path;
+
+use crate::callgraph;
+use crate::items::FileModel;
+use crate::Violation;
+
+/// Runs the three cross-file passes over the workspace rooted at `root` and
+/// returns the unsuppressed violations, sorted by path and line.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = crate::workspace_files(root)?;
+    let mut models = Vec::with_capacity(files.len());
+    let mut allows = Vec::with_capacity(files.len());
+    let mut starts = Vec::with_capacity(files.len());
+    for (rel, source) in &files {
+        models.push(FileModel::build(rel, source));
+        allows.push(crate::allows_for(source));
+        starts.push(crate::stmt_starts(source));
+    }
+
+    let graph = callgraph::build(&models);
+    let mut out = entropy::run(&models, &graph);
+    out.extend(par_closure::run(&models));
+    out.extend(error_flow::run(&models));
+
+    // Apply suppressions: pass findings honor the same audited allow
+    // comments as the line rules.
+    out.retain(|v| {
+        let Some(idx) = models.iter().position(|m| m.rel_path == v.path) else {
+            return true;
+        };
+        !crate::is_suppressed(&allows[idx], &starts[idx], v.rule, v.line)
+    });
+
+    out.sort_by(|a, b| (&a.path, a.line, a.rule.name()).cmp(&(&b.path, b.line, b.rule.name())));
+    Ok(out)
+}

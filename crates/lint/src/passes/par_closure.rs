@@ -1,0 +1,418 @@
+//! Par-closure race pass.
+//!
+//! Closures handed to the `sjc_par` runtime run concurrently on worker
+//! threads; the whole determinism story (1-vs-8-thread bit-identity, pinned
+//! in `tests/determinism.rs`) rests on them being pure functions of their
+//! arguments. This pass is the static counterpart: inside any closure
+//! passed to a `sjc_par` entry point it forbids
+//!
+//! * mutating a captured binding (`total += x`, `out.push(p)`, `&mut cap`),
+//! * shared-mutability cells (`Cell`, `RefCell`) and relaxed atomics
+//!   (`Ordering::Relaxed`) — both launder mutation past `Fn + Sync`,
+//! * `unsafe` blocks — the only door to `static mut` and raw-pointer
+//!   writes (the runtime's own internals are exempt; its disjointness
+//!   invariants are proven by the determinism tests, not by this pass).
+//!
+//! Bindings *inside* the closure (params, `let`, `for` patterns, match
+//! arms, nested-closure params) are collected first; only mutation whose
+//! base identifier is not locally bound — i.e. a capture — fires.
+
+use std::collections::BTreeSet;
+
+use crate::items::FileModel;
+use crate::lexer::{Tok, TokKind};
+use crate::{Rule, Violation};
+
+/// Entry points whose closure arguments run on worker threads.
+const PAR_ENTRIES: &[&str] = &[
+    "par_map",
+    "par_map_budget",
+    "par_map_flat",
+    "par_map_flat_budget",
+    "par_sort_by",
+    "par_sort_by_budget",
+    "par_reduce",
+    "par_reduce_budget",
+    "par_chunks_mut",
+    "par_chunks_mut_budget",
+    "join",
+    "join_budget",
+];
+
+/// Mutating methods whose receiver must be closure-local.
+const MUTATING_METHODS: &[&str] =
+    &["push", "push_str", "extend", "insert", "remove", "append", "clear", "borrow_mut"];
+
+const ASSIGN_OPS: &[&str] = &["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="];
+
+pub fn run(models: &[FileModel]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in models {
+        // The runtime's own internals claim disjoint ranges through raw
+        // pointers by design; everything else goes through this pass.
+        if m.harness || m.krate == "par" {
+            continue;
+        }
+        let toks = &m.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !is_par_call(m, i) || m.in_test_at(i) {
+                i += 1;
+                continue;
+            }
+            // Argument range: `(` at i+1 to its match.
+            let open = i + 1;
+            let close = match matching(toks, open, "(", ")") {
+                Some(c) => c,
+                None => break,
+            };
+            let entry = toks[i].text.clone();
+            let mut j = open + 1;
+            while j < close {
+                if toks[j].is_op("|") || toks[j].is_op("||") {
+                    let (body_start, body_end, params) = closure_extent(toks, j, close);
+                    check_closure(m, &entry, body_start, body_end, &params, &mut out);
+                    j = body_end + 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i = close + 1;
+        }
+    }
+    out
+}
+
+/// True when token `i` heads a call to a `sjc_par` entry point. Bare names
+/// count when they are unmistakable (`par_*`) or demonstrably imported from
+/// sjc_par; `join` additionally requires qualification or an import, so
+/// `path.join(…)` and the spatial-join functions never match.
+fn is_par_call(m: &FileModel, i: usize) -> bool {
+    let toks = &m.toks;
+    let t = &toks[i];
+    if t.kind != TokKind::Ident
+        || !PAR_ENTRIES.contains(&t.text.as_str())
+        || !toks.get(i + 1).is_some_and(|n| n.is_op("("))
+    {
+        return false;
+    }
+    if i > 0 && (toks[i - 1].is_op(".") || toks[i - 1].is_ident("fn")) {
+        return false; // method call or definition, not a runtime dispatch
+    }
+    let qualified = i >= 2
+        && toks[i - 1].is_op("::")
+        && (toks[i - 2].is_ident("sjc_par") || toks[i - 2].is_ident("par"));
+    if qualified {
+        return true;
+    }
+    if i > 0 && toks[i - 1].is_op("::") {
+        return false; // qualified by some other module
+    }
+    t.text.starts_with("par_")
+        || (m.use_crates.contains("sjc_par") && m.use_names.contains(&t.text))
+}
+
+/// Finds the matching close token for the opener at `open`.
+fn matching(toks: &[Tok], open: usize, op: &str, cl: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_op(op) {
+            depth += 1;
+        } else if t.is_op(cl) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// From the `|`/`||` at `j`, returns (body_start, body_end, param idents).
+/// A braced body runs to its matching `}`; an expression body runs to the
+/// next `,` at argument depth or to `arg_close`.
+fn closure_extent(toks: &[Tok], j: usize, arg_close: usize) -> (usize, usize, BTreeSet<String>) {
+    let mut params = BTreeSet::new();
+    let mut k = j + 1;
+    if toks[j].is_op("|") {
+        // Collect everything up to the closing `|` — pattern idents and
+        // type-annotation idents both land in the bound set, which errs in
+        // the quiet direction.
+        while k < toks.len() && !toks[k].is_op("|") {
+            if toks[k].kind == TokKind::Ident {
+                params.insert(toks[k].text.clone());
+            }
+            k += 1;
+        }
+        k += 1; // past the closing `|`
+    }
+    // `|x| -> T { … }` return annotations are rare; skip to the body.
+    if toks.get(k).is_some_and(|t| t.is_op("->")) {
+        while k < toks.len() && !toks[k].is_op("{") && !toks[k].is_op(",") {
+            k += 1;
+        }
+    }
+    if toks.get(k).is_some_and(|t| t.is_op("{")) {
+        let end = matching(toks, k, "{", "}").unwrap_or(arg_close);
+        return (k, end, params);
+    }
+    // Expression body: to the `,` at this nesting level or the call close.
+    let mut depth = 0i64;
+    let start = k;
+    while k < arg_close {
+        let t = &toks[k];
+        if t.is_op("(") || t.is_op("[") || t.is_op("{") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") || t.is_op("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_op(",") {
+            break;
+        }
+        k += 1;
+    }
+    (start, k.saturating_sub(1).max(start), params)
+}
+
+/// Idents bound inside `toks[start..=end]`: `let` patterns, `for` patterns,
+/// match-arm patterns (the span before each `=>`), nested closure params.
+fn bound_idents(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    seed: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut bound = seed.clone();
+    let mut k = start;
+    while k <= end {
+        let t = &toks[k];
+        if t.is_ident("let") {
+            let mut j = k + 1;
+            while j <= end && !toks[j].is_op("=") && !toks[j].is_op(";") {
+                if toks[j].kind == TokKind::Ident {
+                    bound.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            k = j;
+        } else if t.is_ident("for") {
+            let mut j = k + 1;
+            while j <= end && !toks[j].is_ident("in") {
+                if toks[j].kind == TokKind::Ident {
+                    bound.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            k = j;
+        } else if t.is_op("=>") {
+            // Match arm: bind every ident between the previous arm
+            // delimiter and this `=>` (patterns only contain binders, path
+            // segments, and literals — over-binding path segments is the
+            // quiet direction).
+            let mut j = k;
+            while j > start {
+                j -= 1;
+                let p = &toks[j];
+                if p.is_op(",") || p.is_op("{") || p.is_op("=>") {
+                    break;
+                }
+                if p.kind == TokKind::Ident {
+                    bound.insert(p.text.clone());
+                }
+            }
+            k += 1;
+        } else if t.is_op("|") || t.is_op("||") {
+            // Nested closure params.
+            if t.is_op("|") {
+                let mut j = k + 1;
+                while j <= end && !toks[j].is_op("|") {
+                    if toks[j].kind == TokKind::Ident {
+                        bound.insert(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+                k = j;
+            }
+            k += 1;
+            continue;
+        } else {
+            k += 1;
+            continue;
+        }
+        k += 1;
+    }
+    bound
+}
+
+/// Walks a field chain (`a.b.c`) backwards from the token before `at`,
+/// returning the base identifier.
+fn chain_base(toks: &[Tok], at: usize) -> Option<String> {
+    let mut k = at;
+    loop {
+        if toks[k].kind != TokKind::Ident && toks[k].kind != TokKind::Num {
+            return None;
+        }
+        if k >= 2 && toks[k - 1].is_op(".") {
+            k -= 2;
+            continue;
+        }
+        return (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone());
+    }
+}
+
+fn check_closure(
+    m: &FileModel,
+    entry: &str,
+    start: usize,
+    end: usize,
+    params: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &m.toks;
+    let end = end.min(toks.len().saturating_sub(1));
+    let bound = bound_idents(toks, start, end, params);
+    let mut emit = |line: usize, what: String| {
+        out.push(Violation::new(
+            Rule::ParClosureRace,
+            &m.rel_path,
+            line,
+            format!(
+                "closure passed to `{entry}` {what} — par closures must be pure functions of \
+                 their arguments (see tests/determinism.rs: results are pinned bit-identical \
+                 at 1 and 8 threads)"
+            ),
+        ));
+    };
+    let mut k = start;
+    while k <= end {
+        let t = &toks[k];
+        if t.is_ident("RefCell") || t.is_ident("Cell") {
+            emit(t.line, format!("uses `{}` (shared mutability smuggled past Fn + Sync)", t.text));
+        } else if t.is_ident("Ordering")
+            && toks.get(k + 1).is_some_and(|n| n.is_op("::"))
+            && toks.get(k + 2).is_some_and(|n| n.is_ident("Relaxed"))
+        {
+            emit(t.line, "uses a relaxed atomic (unsynchronized cross-thread state)".to_string());
+            k += 3;
+            continue;
+        } else if t.is_ident("unsafe") {
+            emit(
+                t.line,
+                "contains an `unsafe` block (raw-pointer / static-mut access cannot be \
+                 verified race-free here)"
+                    .to_string(),
+            );
+        } else if t.is_op("&")
+            && toks.get(k + 1).is_some_and(|n| n.is_ident("mut"))
+            && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = &toks[k + 2].text;
+            if !bound.contains(name) {
+                emit(t.line, format!("takes `&mut {name}` to a captured binding"));
+            }
+            k += 3;
+            continue;
+        } else if t.is_op(".")
+            && toks.get(k + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && MUTATING_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(k + 2).is_some_and(|n| n.is_op("("))
+            && k > start
+        {
+            if let Some(base) = chain_base(toks, k - 1) {
+                if !bound.contains(&base) {
+                    emit(
+                        t.line,
+                        format!(
+                            "calls `{}.{}(…)` on a captured collection",
+                            base,
+                            toks[k + 1].text
+                        ),
+                    );
+                }
+            }
+        } else if t.kind == TokKind::Op && ASSIGN_OPS.contains(&t.text.as_str()) && k > start {
+            // Assignment to a captured place: walk the LHS chain back to
+            // its base. `let x = …` never fires — `x` is in the bound set.
+            if let Some(base) = chain_base(toks, k - 1) {
+                if !bound.contains(&base) {
+                    emit(t.line, format!("assigns to captured `{base}` (`{base} {} …`)", t.text));
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(path: &str, src: &str) -> Vec<Violation> {
+        run(&[FileModel::build(path, src)])
+    }
+
+    #[test]
+    fn captured_push_and_accumulator_fire() {
+        let src = "fn f(parts: &[u64]) {\n    let mut out = Vec::new();\n    let mut total = 0u64;\n    sjc_par::par_map(parts, |p| {\n        out.push(*p);\n        total += *p;\n        *p\n    });\n}\n";
+        let vs = analyze("crates/rdd/src/x.rs", src);
+        assert!(vs.iter().any(|v| v.message.contains("out.push")), "{vs:?}");
+        assert!(vs.iter().any(|v| v.message.contains("captured `total`")), "{vs:?}");
+    }
+
+    #[test]
+    fn local_bindings_do_not_fire() {
+        let src = "fn f(parts: &[Vec<u64>]) -> Vec<u64> {\n    sjc_par::par_map(parts, |p| {\n        let mut acc = 0u64;\n        for x in p.iter() {\n            acc += x;\n        }\n        let mut buf = Vec::new();\n        buf.push(acc);\n        buf[0]\n    })\n}\n";
+        assert!(analyze("crates/rdd/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flat_map_buffer_param_is_bound() {
+        let src = "fn f(parts: &[u64]) -> Vec<u64> {\n    sjc_par::par_map_flat(parts, |p, buf| {\n        buf.push(*p);\n    })\n}\n";
+        assert!(analyze("crates/index/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn refcell_relaxed_and_unsafe_fire() {
+        for (frag, needle) in [
+            ("c.borrow_mut().push(*p)", "borrow_mut"),
+            ("n.fetch_add(1, Ordering::Relaxed)", "relaxed atomic"),
+            ("unsafe { *ptr = *p }", "unsafe"),
+        ] {
+            let src = format!(
+                "fn f(parts: &[u64], c: &RefCell<Vec<u64>>, n: &A, ptr: *mut u64) {{\n    sjc_par::par_map(parts, |p| {{ {frag}; *p }});\n}}\n"
+            );
+            let vs = analyze("crates/mapreduce/src/x.rs", &src);
+            assert!(
+                vs.iter().any(|v| v.message.contains(needle) || v.message.contains("RefCell")),
+                "{frag}: {vs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unqualified_join_needs_an_import() {
+        // `path.join(…)` and a locally defined `join(a, b)` must not match…
+        let src = "fn f(a: P, b: P) { let c = a.join(b); join(a, b); }\nfn join(a: P, b: P) {}\n";
+        assert!(analyze("crates/index/src/x.rs", src).is_empty());
+        // …but an sjc_par-imported `join` does.
+        let src =
+            "use sjc_par::join;\nfn f(v: &mut V) {\n    join(|| v.left.push(1), || step());\n}\n";
+        let vs = analyze("crates/index/src/x.rs", src);
+        assert!(vs.iter().any(|v| v.message.contains("captured collection")), "{vs:?}");
+    }
+
+    #[test]
+    fn comparator_closures_are_checked_too() {
+        let src = "fn f(v: &mut [R]) {\n    let mut seen = Vec::new();\n    sjc_par::par_sort_by(v, |a, b| {\n        seen.push(a.id);\n        a.key.cmp(&b.key)\n    });\n}\n";
+        let vs = analyze("crates/index/src/x.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::ParClosureRace), "{vs:?}");
+    }
+
+    #[test]
+    fn test_code_and_par_crate_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(parts: &[u64]) {\n        let mut out = Vec::new();\n        sjc_par::par_map(parts, |p| out.push(*p));\n    }\n}\n";
+        assert!(analyze("crates/rdd/src/x.rs", src).is_empty());
+        let src = "fn inner(parts: &[u64]) { let mut out = Vec::new(); par_map_budget(b, parts, |p| out.push(*p)); }\n";
+        assert!(analyze("crates/par/src/lib.rs", src).is_empty());
+    }
+}

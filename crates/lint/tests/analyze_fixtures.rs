@@ -1,0 +1,73 @@
+//! Fixture-tree driver for the `sjc-analyze` passes: each pass has a firing
+//! (`*_bad`) and a clean (`*_ok`) miniature workspace under
+//! `tests/fixtures/`. The trees are scanned, never compiled — `collect_rs`
+//! skips directories named `fixtures`, so the outer workspace gate does not
+//! lint the deliberately-bad code here.
+
+use std::path::PathBuf;
+
+use sjc_lint::{analyze_workspace, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+#[test]
+fn each_pass_has_a_firing_and_a_clean_fixture() {
+    let table: &[(&str, Option<Rule>)] = &[
+        ("entropy_bad", Some(Rule::EntropyTaint)),
+        ("entropy_ok", None),
+        ("par_closure_bad", Some(Rule::ParClosureRace)),
+        ("par_closure_ok", None),
+        ("error_flow_bad", Some(Rule::ErrorFlow)),
+        ("error_flow_ok", None),
+    ];
+    for (name, expected) in table {
+        let vs = analyze_workspace(&fixture(name))
+            .unwrap_or_else(|e| panic!("{name}: scan failed: {e}"));
+        match expected {
+            Some(rule) => {
+                assert!(
+                    vs.iter().any(|v| v.rule == *rule),
+                    "{name}: expected a {} finding, got {vs:?}",
+                    rule.name()
+                );
+                assert!(
+                    vs.iter().all(|v| v.rule == *rule),
+                    "{name}: unexpected extra rules in {vs:?}"
+                );
+            }
+            None => assert!(vs.is_empty(), "{name}: expected clean, got {vs:?}"),
+        }
+    }
+}
+
+#[test]
+fn entropy_bad_reports_both_halves_of_the_pass() {
+    let vs = analyze_workspace(&fixture("entropy_bad")).unwrap();
+    // Reachability: `plan` reaches thread_rng through sjc_data::jitter.
+    assert!(
+        vs.iter().any(|v| v.path == "crates/cluster/src/sched.rs" && v.message.contains("jitter")),
+        "{vs:?}"
+    );
+    // Data flow: the Instant::now-derived binding flows into sim_ns.
+    assert!(
+        vs.iter().any(|v| v.path == "crates/cluster/src/sched.rs" && v.message.contains("sim_ns")),
+        "{vs:?}"
+    );
+    // The source in crates/data is not itself a sim-crate violation — the
+    // bench-isolation line rule owns that site.
+    assert!(!vs.iter().any(|v| v.path.starts_with("crates/data")), "{vs:?}");
+}
+
+#[test]
+fn error_flow_bad_names_the_phantom_variant_at_its_declaration() {
+    let vs = analyze_workspace(&fixture("error_flow_bad")).unwrap();
+    assert!(
+        vs.iter().any(|v| v.path == "crates/cluster/src/error.rs" && v.message.contains("Phantom")),
+        "{vs:?}"
+    );
+    // Both discard shapes are reported in lib.rs.
+    let discards: Vec<_> = vs.iter().filter(|v| v.path == "crates/cluster/src/lib.rs").collect();
+    assert_eq!(discards.len(), 2, "{vs:?}");
+}

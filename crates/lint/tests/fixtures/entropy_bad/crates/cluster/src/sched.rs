@@ -1,0 +1,13 @@
+//! Fixture: simulation code that reaches entropy transitively and leaks the
+//! wall clock into simulated output.
+
+use sjc_data::jitter;
+
+pub fn plan(tasks: u64) -> u64 {
+    tasks + jitter()
+}
+
+pub fn stamp(row: &mut Row) {
+    let t0 = Instant::now();
+    row.sim_ns = t0;
+}

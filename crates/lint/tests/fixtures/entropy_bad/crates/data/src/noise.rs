@@ -1,0 +1,6 @@
+//! Fixture: an entropy source hiding in a non-simulation crate.
+
+pub fn jitter() -> u64 {
+    let r = thread_rng();
+    r
+}

@@ -1,0 +1,8 @@
+//! Fixture: the bench harness may observe the host clock — as long as the
+//! observation never flows into a simulated number.
+
+pub fn snap(row: &mut Row, model_ns: u64) {
+    let t0 = Instant::now();
+    row.wall_ms = elapsed_ms(t0);
+    row.sim_ns = model_ns;
+}

@@ -1,0 +1,7 @@
+//! Fixture: simulation code that derives everything from the seed.
+
+use sjc_data::jitter;
+
+pub fn plan(tasks: u64, seed: u64) -> u64 {
+    tasks + jitter(seed)
+}

@@ -1,0 +1,5 @@
+//! Fixture: the deterministic counterpart — jitter derived from the seed.
+
+pub fn jitter(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,15 @@
+//! Fixture: a failure vocabulary with a phantom entry.
+
+pub enum SimError {
+    Live(String),
+    Phantom(u64),
+}
+
+impl SimError {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Live(_) => "live",
+            SimError::Phantom(_) => "phantom",
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: only `Live` is ever constructed, and two Results are thrown
+//! away without a reason.
+
+pub fn fail() -> Result<(), SimError> {
+    Err(SimError::Live("boom".into()))
+}
+
+pub fn ignore(r: Result<(), SimError>) {
+    let _ = r;
+}
+
+pub fn drop_result() {
+    fail().ok();
+}

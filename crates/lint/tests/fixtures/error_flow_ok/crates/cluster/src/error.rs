@@ -1,0 +1,15 @@
+//! Fixture: every variant is constructed somewhere and handled somewhere.
+
+pub enum SimError {
+    Live(String),
+    Phantom(u64),
+}
+
+impl SimError {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Live(_) => "live",
+            SimError::Phantom(_) => "phantom",
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: both variants constructed; every discard is either the
+//! infallible in-memory `writeln!` or carries a reasoned suppression.
+
+pub fn fail(n: u64) -> Result<(), SimError> {
+    if n == 0 {
+        return Err(SimError::Phantom(n));
+    }
+    Err(SimError::Live("boom".into()))
+}
+
+pub fn render(xs: &[u64]) -> String {
+    let mut out = String::new();
+    for x in xs.iter() {
+        let _ = writeln!(out, "{x}");
+    }
+    out
+}
+
+pub fn best_effort() {
+    // sjc-lint: allow(error-flow) — probe write; failure leaves the cache cold, which is the designed fallback
+    warm_cache().ok();
+}

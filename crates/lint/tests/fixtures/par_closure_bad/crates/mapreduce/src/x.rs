@@ -1,0 +1,10 @@
+//! Fixture: a par closure mutating captured state — exactly the data race
+//! the 1-vs-8-thread bit-identity tests exist to rule out.
+
+pub fn count(parts: &[Vec<u64>]) -> Vec<u64> {
+    let mut totals = Vec::new();
+    sjc_par::par_map(parts, |p| {
+        totals.push(p.len() as u64);
+        p.len() as u64
+    })
+}

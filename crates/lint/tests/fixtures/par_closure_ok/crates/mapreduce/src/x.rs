@@ -1,0 +1,12 @@
+//! Fixture: the race-free counterpart — every binding the closure mutates is
+//! its own.
+
+pub fn count(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| {
+        let mut acc = 0u64;
+        for x in p.iter() {
+            acc += *x;
+        }
+        acc
+    })
+}

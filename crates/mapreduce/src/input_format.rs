@@ -21,7 +21,11 @@ impl<T> MapTask<T> {
 /// Splits a record list into block-sized map tasks, byte-weighted: each task
 /// covers about `block_size` bytes at `bytes_per_record` average record
 /// size (the Hadoop default `FileInputFormat` behaviour).
-pub fn block_splits<T: Clone>(records: &[T], bytes_per_record: f64, block_size: u64) -> Vec<MapTask<T>> {
+pub fn block_splits<T: Clone>(
+    records: &[T],
+    bytes_per_record: f64,
+    block_size: u64,
+) -> Vec<MapTask<T>> {
     if records.is_empty() {
         return Vec::new();
     }

@@ -105,11 +105,7 @@ pub struct MapEmitter<K, V> {
 
 impl<K, V> MapEmitter<K, V> {
     fn new() -> Self {
-        MapEmitter {
-            pairs: Vec::new(),
-            bytes: 0,
-            extra_cpu_ns: 0,
-        }
+        MapEmitter { pairs: Vec::new(), bytes: 0, extra_cpu_ns: 0 }
     }
 
     /// Emits an intermediate pair; `bytes` is its serialized size (drives
@@ -136,11 +132,7 @@ pub struct ReduceEmitter<O> {
 
 impl<O> ReduceEmitter<O> {
     fn new() -> Self {
-        ReduceEmitter {
-            out: Vec::new(),
-            bytes: 0,
-            extra_cpu_ns: 0,
-        }
+        ReduceEmitter { out: Vec::new(), bytes: 0, extra_cpu_ns: 0 }
     }
 
     /// Emits an output record of `bytes` serialized size.
@@ -264,7 +256,13 @@ impl<'a> MapReduceJob<'a> {
         (extra, reread, Some(ev))
     }
 
-    fn map_task_duration<T>(&self, cfg: &JobConfig, task: &MapTask<T>, emitted_bytes: u64, extra_cpu: SimNs) -> SimNs {
+    fn map_task_duration<T>(
+        &self,
+        cfg: &JobConfig,
+        task: &MapTask<T>,
+        emitted_bytes: u64,
+        extra_cpu: SimNs,
+    ) -> SimNs {
         let c = &self.cluster.cost;
         let node = &self.cluster.config.node;
         // I/O at the slot's share of the node disk; CPU scaled by the
@@ -299,10 +297,7 @@ impl<'a> MapReduceJob<'a> {
 
         let mut output = Vec::new();
         let mut durations: Vec<SimNs> = Vec::with_capacity(tasks.len());
-        let mut stats = JobStats {
-            map_tasks: tasks.len() as u64,
-            ..JobStats::default()
-        };
+        let mut stats = JobStats { map_tasks: tasks.len() as u64, ..JobStats::default() };
 
         let ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&tasks, |task| {
             let mut em = ReduceEmitter::new();
@@ -339,10 +334,8 @@ impl<'a> MapReduceJob<'a> {
         let start = cfg.start_ns + c.hadoop_job_startup_ns;
         let full_tasks: Vec<SimNs> = match cfg.map_scale {
             ScaleMode::MoreTasks => {
-                let with_overhead: Vec<SimNs> = durations
-                    .iter()
-                    .map(|d| d + c.hadoop_task_overhead_ns)
-                    .collect();
+                let with_overhead: Vec<SimNs> =
+                    durations.iter().map(|d| d + c.hadoop_task_overhead_ns).collect();
                 if plan.is_none() {
                     let makespan = replicated_makespan(&with_overhead, slots, cfg.multiplier);
                     return Ok(self.finish_map_only(cfg, makespan, None, output, stats));
@@ -498,10 +491,7 @@ impl<'a> MapReduceJob<'a> {
         let slots = self.cluster.total_slots();
 
         // ---- map phase (real execution + per-task cost) ----
-        let mut stats = JobStats {
-            map_tasks: tasks.len() as u64,
-            ..JobStats::default()
-        };
+        let mut stats = JobStats { map_tasks: tasks.len() as u64, ..JobStats::default() };
         let mut map_durations = Vec::with_capacity(tasks.len());
         // Group by key with byte accounting: BTreeMap gives deterministic
         // group order (Hadoop's shuffle sorts keys).
@@ -559,10 +549,8 @@ impl<'a> MapReduceJob<'a> {
                 }
             }
             ScaleMode::BiggerTasks => {
-                let scaled: Vec<SimNs> = map_durations
-                    .iter()
-                    .map(|d| (*d as f64 * cfg.multiplier) as SimNs)
-                    .collect();
+                let scaled: Vec<SimNs> =
+                    map_durations.iter().map(|d| (*d as f64 * cfg.multiplier) as SimNs).collect();
                 if plan.is_none() {
                     lpt_makespan(&scaled, slots)
                 } else {
@@ -589,11 +577,7 @@ impl<'a> MapReduceJob<'a> {
         let mut group_bytes = Vec::with_capacity(groups.len());
         let mut group_out_bytes = Vec::with_capacity(groups.len());
         let mut output = Vec::new();
-        let remote_fraction = if nodes > 1 {
-            (nodes - 1) as f64 / nodes as f64
-        } else {
-            0.0
-        };
+        let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
         let group_list: Vec<(&K, &(Vec<V>, u64))> = groups.iter().collect();
         let reduce_ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&group_list, |&(k, (vs, _))| {
             let mut em = ReduceEmitter::new();
@@ -673,14 +657,7 @@ impl<'a> MapReduceJob<'a> {
             recovery.extend(ev);
         }
 
-        Ok(JobOutcome {
-            output,
-            group_bytes,
-            group_out_bytes,
-            stats,
-            trace,
-            recovery,
-        })
+        Ok(JobOutcome { output, group_bytes, group_out_bytes, stats, trace, recovery })
     }
 }
 
@@ -702,18 +679,17 @@ mod tests {
         let words = vec!["a", "b", "a", "c", "b", "a"];
         let tasks = block_splits(&words, 2.0, 4); // 2 words per task
         let cfg = JobConfig::new("wordcount", Phase::DistributedJoin, 1.0);
-        let outcome = engine.map_reduce(
-            &cfg,
-            tasks,
-            |w, em| em.emit(w.to_string(), 1u64, 2),
-            |k, vs, em| em.emit((k.clone(), vs.iter().sum::<u64>()), 8),
-        ).unwrap();
+        let outcome = engine
+            .map_reduce(
+                &cfg,
+                tasks,
+                |w, em| em.emit(w.to_string(), 1u64, 2),
+                |k, vs, em| em.emit((k.clone(), vs.iter().sum::<u64>()), 8),
+            )
+            .unwrap();
         let mut counts = outcome.output.clone();
         counts.sort();
-        assert_eq!(
-            counts,
-            vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]
-        );
+        assert_eq!(counts, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
         assert_eq!(outcome.stats.map_tasks, 3);
         assert_eq!(outcome.stats.reduce_tasks, 3);
         assert!(outcome.trace.sim_ns >= cluster.cost.hadoop_job_startup_ns);
@@ -761,15 +737,17 @@ mod tests {
         // 1000 records: 90% to key 0, the rest spread over 9 keys.
         let records: Vec<u64> = (0..1000).collect();
         let tasks = block_splits(&records, 1000.0, 64 << 20);
-        let outcome = engine.map_reduce(
-            &cfg,
-            tasks,
-            |r, em| {
-                let key = if r % 10 == 0 { (r % 9) + 1 } else { 0 };
-                em.emit(key, *r, 1 << 20); // 1 MB per record
-            },
-            |_k, vs, em| em.emit(vs.len() as u64, 8),
-        ).unwrap();
+        let outcome = engine
+            .map_reduce(
+                &cfg,
+                tasks,
+                |r, em| {
+                    let key = if r % 10 == 0 { (r % 9) + 1 } else { 0 };
+                    em.emit(key, *r, 1 << 20); // 1 MB per record
+                },
+                |_k, vs, em| em.emit(vs.len() as u64, 8),
+            )
+            .unwrap();
         let max = *outcome.group_bytes.iter().max().unwrap();
         let min = *outcome.group_bytes.iter().min().unwrap();
         assert!(max > 50 * min, "skew visible in group bytes");
@@ -784,22 +762,26 @@ mod tests {
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
         let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
-        let plain = engine.map_reduce(
-            &cfg,
-            tasks(),
-            |w, em| em.emit(*w, 1u64, 16),
-            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        ).unwrap();
+        let plain = engine
+            .map_reduce(
+                &cfg,
+                tasks(),
+                |w, em| em.emit(*w, 1u64, 16),
+                |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+            )
+            .unwrap();
 
         let mut hdfs2 = SimHdfs::new(1);
         let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);
-        let combined = engine2.map_combine_reduce(
-            &cfg,
-            tasks(),
-            |w, em| em.emit(*w, 1u64, 16),
-            |_k, vs| vec![(vs.iter().sum::<u64>(), 16)],
-            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        ).unwrap();
+        let combined = engine2
+            .map_combine_reduce(
+                &cfg,
+                tasks(),
+                |w, em| em.emit(*w, 1u64, 16),
+                |_k, vs| vec![(vs.iter().sum::<u64>(), 16)],
+                |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+            )
+            .unwrap();
 
         let mut a = plain.output.clone();
         let mut b = combined.output.clone();
@@ -821,9 +803,7 @@ mod tests {
         let run = |mode: ScaleMode| {
             let mut hdfs = SimHdfs::new(1);
             let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
-            let cfg = JobConfig::new("m", Phase::IndexA, 50.0)
-                .map_scale(mode)
-                .write_output(false);
+            let cfg = JobConfig::new("m", Phase::IndexA, 50.0).map_scale(mode).write_output(false);
             let tasks = block_splits(&records, 1000.0, 100 << 10); // 16 tasks
             engine.map_only(&cfg, tasks, |r, em| em.emit(*r, 0)).unwrap().trace.sim_ns
         };

@@ -56,8 +56,8 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
             em.charge(cost.pipe_ns(in_bytes + pipe_out) + cost.parse_ns(in_bytes));
         })?;
         let mut trace = outcome.trace;
-        trace.pipe_bytes =
-            ((outcome.stats.input_bytes + outcome.stats.output_bytes) as f64 * cfg.multiplier) as u64;
+        trace.pipe_bytes = ((outcome.stats.input_bytes + outcome.stats.output_bytes) as f64
+            * cfg.multiplier) as u64;
         Ok(StreamingOutcome {
             lines: outcome.output,
             stats: outcome.stats,
@@ -187,15 +187,17 @@ mod tests {
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
         let cfg = JobConfig::new("native", Phase::IndexA, 1.0);
-        let native = engine.map_reduce(
-            &cfg,
-            tasks.clone(),
-            // Same intermediate volume as the streaming variant below
-            // (key digit + "1" + separators), so the comparison isolates
-            // pipe/parse overheads rather than shuffle volume.
-            |l: &String, em| em.emit(l.len() as u64 % 7, 1u64, 4),
-            |_, vs, em| em.emit(vs.len(), 8),
-        ).unwrap();
+        let native = engine
+            .map_reduce(
+                &cfg,
+                tasks.clone(),
+                // Same intermediate volume as the streaming variant below
+                // (key digit + "1" + separators), so the comparison isolates
+                // pipe/parse overheads rather than shuffle volume.
+                |l: &String, em| em.emit(l.len() as u64 % 7, 1u64, 4),
+                |_, vs, em| em.emit(vs.len(), 8),
+            )
+            .unwrap();
 
         let mut hdfs2 = SimHdfs::new(1);
         let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);

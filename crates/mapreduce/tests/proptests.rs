@@ -26,12 +26,14 @@ fn map_reduce_equals_hashmap_fold() {
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
         let cfg = JobConfig::new("wc", Phase::DistributedJoin, 1.0).write_output(false);
-        let outcome = engine.map_reduce(
-            &cfg,
-            block_splits(&words, 4.0, 64),
-            |w, em| em.emit(*w, 1u64, 8),
-            |k, vs, em| em.emit((*k, vs.len() as u64), 16),
-        ).unwrap();
+        let outcome = engine
+            .map_reduce(
+                &cfg,
+                block_splits(&words, 4.0, 64),
+                |w, em| em.emit(*w, 1u64, 8),
+                |k, vs, em| em.emit((*k, vs.len() as u64), 16),
+            )
+            .unwrap();
         let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
         for w in &words {
             *expected.entry(*w).or_default() += 1;
@@ -62,13 +64,15 @@ fn combiner_never_changes_results() {
 
         let mut hdfs2 = SimHdfs::new(1);
         let mut engine2 = MapReduceJob::new(&cluster, &mut hdfs2);
-        let outcome = engine2.map_combine_reduce(
-            &cfg,
-            block_splits(&words, 4.0, 32),
-            |w, em| em.emit(*w, 1u64, 8),
-            |_k, vs| vec![(vs.iter().sum::<u64>(), 8)],
-            |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
-        ).unwrap();
+        let outcome = engine2
+            .map_combine_reduce(
+                &cfg,
+                block_splits(&words, 4.0, 32),
+                |w, em| em.emit(*w, 1u64, 8),
+                |_k, vs| vec![(vs.iter().sum::<u64>(), 8)],
+                |k, vs, em| em.emit((*k, vs.iter().sum::<u64>()), 16),
+            )
+            .unwrap();
         let mut combined = outcome.output;
         plain.sort_unstable();
         combined.sort_unstable();
@@ -111,9 +115,8 @@ fn map_only_preserves_record_order() {
         let mut hdfs = SimHdfs::new(1);
         let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
         let cfg = JobConfig::new("scan", Phase::IndexA, 1.0);
-        let outcome = engine.map_only(&cfg, block_splits(&records, 8.0, 64), |r, em| {
-            em.emit(*r, 8)
-        }).unwrap();
+        let outcome =
+            engine.map_only(&cfg, block_splits(&records, 8.0, 64), |r, em| em.emit(*r, 8)).unwrap();
         assert_eq!(outcome.output, records);
     });
 }

@@ -165,18 +165,12 @@ pub fn par_map_budget<T: Sync, U: Send>(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("chunk claiming covers every index exactly once"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("chunk claiming covers every index exactly once")).collect()
 }
 
 /// Order-preserving parallel flat-map: `f` appends any number of outputs per
 /// item into the provided buffer; buffers are concatenated in input order.
-pub fn par_map_flat<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(&T, &mut Vec<U>) + Sync,
-) -> Vec<U> {
+pub fn par_map_flat<T: Sync, U: Send>(items: &[T], f: impl Fn(&T, &mut Vec<U>) + Sync) -> Vec<U> {
     par_map_flat_budget(Budget::resolve(), items, f)
 }
 
@@ -362,9 +356,7 @@ pub fn par_reduce_budget<T: Sync, A: Send>(
     combine: impl Fn(A, A) -> A,
 ) -> A {
     let chunks: Vec<&[T]> = items.chunks(REDUCE_CHUNK).collect();
-    let partials = par_map_budget(budget, &chunks, |c| {
-        c.iter().fold(identity(), &fold)
-    });
+    let partials = par_map_budget(budget, &chunks, |c| c.iter().fold(identity(), &fold));
     partials.into_iter().fold(identity(), combine)
 }
 
@@ -461,7 +453,8 @@ mod tests {
     fn par_map_matches_serial_for_arbitrary_inputs() {
         cases(0x5eed1, 40, |rng| {
             let items = rng.vec_u64(0..u64::MAX, 0..5000);
-            let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31).rotate_left(7)).collect();
+            let serial: Vec<u64> =
+                items.iter().map(|&x| x.wrapping_mul(31).rotate_left(7)).collect();
             for b in budgets() {
                 let par = par_map_budget(b, &items, |&x| x.wrapping_mul(31).rotate_left(7));
                 assert_eq!(par, serial, "budget {b:?}");
@@ -495,8 +488,7 @@ mod tests {
             let n = rng.usize_in(0..20_000);
             // Pairs (key, payload) with heavy key collisions: stability shows
             // up as payload order within equal keys.
-            let items: Vec<(u64, u64)> =
-                (0..n).map(|i| (rng.u64_in(0..50), i as u64)).collect();
+            let items: Vec<(u64, u64)> = (0..n).map(|i| (rng.u64_in(0..50), i as u64)).collect();
             let mut serial = items.clone();
             serial.sort_by_key(|a| a.0);
             for b in budgets() {
@@ -529,13 +521,7 @@ mod tests {
         let items: Vec<u64> = (0..12_345).collect();
         let serial: u64 = items.iter().sum();
         for b in budgets() {
-            let par = par_reduce_budget(
-                b,
-                &items,
-                || 0u64,
-                |acc, &x| acc + x,
-                |a, bb| a + bb,
-            );
+            let par = par_reduce_budget(b, &items, || 0u64, |acc, &x| acc + x, |a, bb| a + bb);
             assert_eq!(par, serial);
         }
     }
@@ -582,7 +568,8 @@ mod tests {
         par_sort_by_budget(Budget::explicit(8), &mut one, |a, b| a.cmp(b));
         assert_eq!(one, vec![42]);
         // Zero chunks → no partials → the fold over partials returns identity.
-        let s = par_reduce_budget(Budget::explicit(8), &empty, || 7u64, |a, &x| a + x, |a, b| a + b);
+        let s =
+            par_reduce_budget(Budget::explicit(8), &empty, || 7u64, |a, &x| a + x, |a, b| a + b);
         assert_eq!(s, 7);
     }
 

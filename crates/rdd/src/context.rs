@@ -99,10 +99,8 @@ impl<'a> SparkContext<'a> {
         lineage_depth: u32,
     ) -> Result<SimNs, SimError> {
         let cost = self.cluster.cost.clone();
-        let with_overhead: Vec<SimNs> = pending_ns
-            .iter()
-            .map(|&p| p + cost.spark_task_overhead_ns)
-            .collect();
+        let with_overhead: Vec<SimNs> =
+            pending_ns.iter().map(|&p| p + cost.spark_task_overhead_ns).collect();
         if std::env::var_os("SJC_STAGE_DEBUG").is_some() {
             let sum: u128 = pending_ns.iter().map(|&p| p as u128).sum();
             let max = pending_ns.iter().copied().max().unwrap_or(0);
@@ -137,19 +135,15 @@ impl<'a> SparkContext<'a> {
         let mut resubmit: u32 = 0;
         loop {
             let dead_before = plan.dead_nodes_at(start + makespan);
-            let sched =
-                faulty_makespan(&work, cores, nodes, &plan, name, start + makespan, false)?;
+            let sched = faulty_makespan(&work, cores, nodes, &plan, name, start + makespan, false)?;
             st.attempts += sched.attempts;
             st.speculative += sched.speculative;
             st.wasted_ns += sched.wasted_ns;
             events.extend(sched.events);
             makespan += sched.makespan;
             let dead_after = plan.dead_nodes_at(start + makespan);
-            let newly: Vec<u32> = dead_after
-                .iter()
-                .copied()
-                .filter(|n| !dead_before.contains(n))
-                .collect();
+            let newly: Vec<u32> =
+                dead_after.iter().copied().filter(|n| !dead_before.contains(n)).collect();
             if newly.is_empty() {
                 break;
             }
@@ -268,9 +262,8 @@ mod tests {
         let pending = vec![1_000_000u64; 32];
         let run = |cluster: &Cluster, depth: u32| {
             let mut ctx = SparkContext::new(cluster);
-            let ns = ctx
-                .close_stage("s", Phase::DistributedJoin, &pending, 1 << 20, 0, depth)
-                .unwrap();
+            let ns =
+                ctx.close_stage("s", Phase::DistributedJoin, &pending, 1 << 20, 0, depth).unwrap();
             (ns, ctx.trace)
         };
         let (base, t0) = run(&clean, 1);
@@ -278,9 +271,7 @@ mod tests {
         let (hit, t1) = run(&faulted, 1);
         assert!(hit > base, "the crash costs simulated time");
         assert!(
-            t1.recovery
-                .iter()
-                .any(|e| matches!(e.kind, RecoveryKind::PartitionRecompute { .. })),
+            t1.recovery.iter().any(|e| matches!(e.kind, RecoveryKind::PartitionRecompute { .. })),
             "lost cached partitions recompute via lineage: {:?}",
             t1.recovery
         );

@@ -24,8 +24,8 @@
 pub mod broadcast;
 pub mod context;
 pub mod memory;
-pub mod record;
 pub mod rdd;
+pub mod record;
 pub mod shuffle;
 
 pub use broadcast::Broadcast;

@@ -34,15 +34,9 @@ pub fn per_executor_bytes(part_mem_full: &[u64], nodes: usize) -> Vec<u64> {
 ///
 /// Setting `SJC_MEM_DEBUG=1` prints every check's totals (used when
 /// calibrating the footprint constants against Table 2).
-pub fn check_fits(
-    cluster: &Cluster,
-    stage: &str,
-    live_rdds: &[&[u64]],
-) -> Result<(), SimError> {
+pub fn check_fits(cluster: &Cluster, stage: &str, live_rdds: &[&[u64]]) -> Result<(), SimError> {
     let nodes = cluster.config.nodes as usize;
-    let usable = cluster
-        .cost
-        .spark_usable_memory(cluster.config.node.memory_bytes);
+    let usable = cluster.cost.spark_usable_memory(cluster.config.node.memory_bytes);
     // Pool all live partitions and balance them together — the scheduler
     // sees one task queue, not one queue per RDD.
     let all: Vec<u64> = live_rdds.iter().flat_map(|r| r.iter().copied()).collect();

@@ -372,10 +372,7 @@ mod tests {
                 serial = lcg_step(serial);
             }
             // A big jump checked against composing two smaller exact jumps.
-            assert_eq!(
-                lcg_jump(seed, 1_000_000),
-                lcg_jump(lcg_jump(seed, 999_743), 257)
-            );
+            assert_eq!(lcg_jump(seed, 1_000_000), lcg_jump(lcg_jump(seed, 999_743), 257));
         }
     }
 

@@ -77,20 +77,21 @@ where
         let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
         let inputs: Vec<(&Vec<(K, V)>, u64)> =
             self.parts.iter().zip(self.mem_full.iter().copied()).collect();
-        let locals: Vec<(u64, BTreeMap<K, Vec<V>>)> = sjc_par::par_map(&inputs, |&(part, part_mem)| {
-            // Shuffle-write side: serialize and spill to the *local disk*
-            // (Spark 1.x materializes shuffle blocks on disk even for
-            // in-memory jobs), plus the cross-node network share.
-            let ser = (part_mem as f64 * cost.spark_shuffle_ser_fraction) as u64;
-            let cpu = (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64;
-            let mut ns = cpu + cost.io_ns(ser, node.slot_disk_write_bw());
-            ns += cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
-            let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
-            for (k, v) in part {
-                local.entry(k.clone()).or_default().push(v.clone());
-            }
-            (ns, local)
-        });
+        let locals: Vec<(u64, BTreeMap<K, Vec<V>>)> =
+            sjc_par::par_map(&inputs, |&(part, part_mem)| {
+                // Shuffle-write side: serialize and spill to the *local disk*
+                // (Spark 1.x materializes shuffle blocks on disk even for
+                // in-memory jobs), plus the cross-node network share.
+                let ser = (part_mem as f64 * cost.spark_shuffle_ser_fraction) as u64;
+                let cpu = (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64;
+                let mut ns = cpu + cost.io_ns(ser, node.slot_disk_write_bw());
+                ns += cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
+                let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                for (k, v) in part {
+                    local.entry(k.clone()).or_default().push(v.clone());
+                }
+                (ns, local)
+            });
         let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
         let mut write_pending = self.pending_ns.clone();
         for (wp, (ns, local)) in write_pending.iter_mut().zip(locals) {
@@ -117,8 +118,8 @@ where
             // deserialize them back into JVM objects.
             let ser = (mem_f as f64 * cost.spark_shuffle_ser_fraction) as u64;
             let mut ns = cost.io_ns(ser, node.slot_disk_read_bw());
-            let cpu = cost.serialize_ns(ser)
-                + cost.spark_records_ns((records as f64 * mult) as u64);
+            let cpu =
+                cost.serialize_ns(ser) + cost.spark_records_ns((records as f64 * mult) as u64);
             ns += (cpu as f64 * node.cpu_scale) as u64;
             (mem_f, ns)
         });
@@ -195,16 +196,18 @@ where
                 }
             }
             // Combine cost: one pass over the partition's records.
-            let combine_cpu = (cost.spark_records_ns(part.len() as u64) as f64
-                * node.cpu_scale
-                * mult) as u64;
+            let combine_cpu =
+                (cost.spark_records_ns(part.len() as u64) as f64 * node.cpu_scale * mult) as u64;
             // Shuffle write: only the combined values leave the task.
-            let combined_mem: u64 = local.iter().map(|r| {
-                let pair_ref: (&K, &V) = r;
-                24 + pair_ref.0.mem_bytes(&cost) + pair_ref.1.mem_bytes(&cost)
-            }).sum();
-            let combined_full = (combined_mem as f64 * mult / part.len().max(1) as f64
-                * local.len() as f64) as u64; // conservative: scale by density
+            let combined_mem: u64 = local
+                .iter()
+                .map(|r| {
+                    let pair_ref: (&K, &V) = r;
+                    24 + pair_ref.0.mem_bytes(&cost) + pair_ref.1.mem_bytes(&cost)
+                })
+                .sum();
+            let combined_full =
+                (combined_mem as f64 * mult / part.len().max(1) as f64 * local.len() as f64) as u64; // conservative: scale by density
             let ser = (combined_full as f64 * cost.spark_shuffle_ser_fraction) as u64;
             let ns = combine_cpu
                 + (cost.serialize_ns(ser) as f64 * node.cpu_scale) as u64
@@ -326,19 +329,18 @@ where
         // order is identical to the serial nested loop.
         type KeyBatch<K, A, B> = Option<(usize, Vec<(K, (A, B))>)>;
         let left_list: Vec<(&K, &Vec<A>)> = left.iter().collect();
-        let produced: Vec<KeyBatch<K, A, B>> =
-            sjc_par::par_map(&left_list, |&(k, avs)| {
-                right.get(k).map(|bvs| {
-                    let idx = (hash_of(k) % p as u64) as usize;
-                    let mut out = Vec::with_capacity(avs.len() * bvs.len());
-                    for a in avs {
-                        for b in bvs {
-                            out.push((k.clone(), (a.clone(), b.clone())));
-                        }
+        let produced: Vec<KeyBatch<K, A, B>> = sjc_par::par_map(&left_list, |&(k, avs)| {
+            right.get(k).map(|bvs| {
+                let idx = (hash_of(k) % p as u64) as usize;
+                let mut out = Vec::with_capacity(avs.len() * bvs.len());
+                for a in avs {
+                    for b in bvs {
+                        out.push((k.clone(), (a.clone(), b.clone())));
                     }
-                    (idx, out)
-                })
-            });
+                }
+                (idx, out)
+            })
+        });
         let mut parts: Vec<Vec<(K, (A, B))>> = (0..p).map(|_| Vec::new()).collect();
         for (idx, recs) in produced.into_iter().flatten() {
             // sjc-lint: allow(no-panic-in-lib) — idx = hash % p < p = parts.len()
@@ -351,21 +353,17 @@ where
             let mem: u64 = part.iter().map(|r| r.mem_bytes(&cost)).sum();
             let mem_f = (mem as f64 * mult) as u64;
             let ser = (mem_f as f64 * cost.spark_shuffle_ser_fraction) as u64;
-            let cpu = cost.serialize_ns(ser)
-                + cost.spark_records_ns((part.len() as f64 * mult) as u64);
-            let ns = cost.io_ns(ser, node.slot_disk_read_bw())
-                + (cpu as f64 * node.cpu_scale) as u64;
+            let cpu =
+                cost.serialize_ns(ser) + cost.spark_records_ns((part.len() as f64 * mult) as u64);
+            let ns =
+                cost.io_ns(ser, node.slot_disk_read_bw()) + (cpu as f64 * node.cpu_scale) as u64;
             (mem_f, ns)
         }) {
             mem_full.push(mem_f);
             read_pending.push(ns);
         }
 
-        check_fits(
-            ctx.cluster,
-            name,
-            &[&self.mem_full, &other.mem_full, &mem_full],
-        )?;
+        check_fits(ctx.cluster, name, &[&self.mem_full, &other.mem_full, &mem_full])?;
 
         let shuffle_bytes: u64 =
             self.mem_full.iter().sum::<u64>() + other.mem_full.iter().sum::<u64>();
@@ -490,15 +488,22 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::ec2(2));
 
         let mut ctx = SparkContext::new(&cluster);
-        let grouped = ctx
-            .read_text(pairs.clone(), 400_000, mult)
-            .group_by_key(&mut ctx, "g", Phase::DistributedJoin, 64);
+        let grouped = ctx.read_text(pairs.clone(), 400_000, mult).group_by_key(
+            &mut ctx,
+            "g",
+            Phase::DistributedJoin,
+            64,
+        );
         assert!(grouped.is_err(), "groupByKey at this scale OOMs");
 
         let mut ctx2 = SparkContext::new(&cluster);
-        let reduced = ctx2
-            .read_text(pairs, 400_000, mult)
-            .reduce_by_key(&mut ctx2, "r", Phase::DistributedJoin, 64, |a, b| a.wrapping_add(*b));
+        let reduced = ctx2.read_text(pairs, 400_000, mult).reduce_by_key(
+            &mut ctx2,
+            "r",
+            Phase::DistributedJoin,
+            64,
+            |a, b| a.wrapping_add(*b),
+        );
         assert!(reduced.is_ok(), "reduceByKey combines map-side and fits");
     }
 

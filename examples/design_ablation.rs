@@ -12,10 +12,7 @@
 use sjc_core::ablation;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5e-4);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5e-4);
     let seed = 20150701;
 
     println!("Design-choice ablations (simulated seconds; scale {scale:.0e})\n");

@@ -65,7 +65,8 @@ fn main() {
                     match &baseline_pairs {
                         None => baseline_pairs = Some(pairs),
                         Some(base) => assert_eq!(
-                            base, &pairs,
+                            base,
+                            &pairs,
                             "{} results changed under the {label} plan",
                             sys.paper_name()
                         ),

@@ -40,10 +40,7 @@ fn main() {
             let fy = (i as f64 * 0.569_840_290_9) % 1.0;
             GeoRecord::new(
                 i as u64,
-                Geometry::Point(Point::new(
-                    d.min_x + fx * d.width(),
-                    d.min_y + fy * d.height(),
-                )),
+                Geometry::Point(Point::new(d.min_x + fx * d.width(), d.min_y + fy * d.height())),
             )
         })
         .collect();
@@ -68,10 +65,8 @@ fn main() {
             Geometry::Point(p) => *p,
             _ => unreachable!(),
         };
-        let dist = roads.records[rid as usize]
-            .geom
-            .distance_to_point(&p)
-            .expect("polyline distance");
+        let dist =
+            roads.records[rid as usize].geom.distance_to_point(&p).expect("polyline distance");
         nearest_via_join
             .entry(pid)
             .and_modify(|best| {
@@ -83,13 +78,8 @@ fn main() {
     }
 
     // Method 2: kNN probe against an R-tree of road MBRs + exact refine.
-    let tree = RTree::bulk_load_str(
-        roads
-            .records
-            .iter()
-            .map(|r| IndexEntry::new(r.id, r.mbr))
-            .collect(),
-    );
+    let tree =
+        RTree::bulk_load_str(roads.records.iter().map(|r| IndexEntry::new(r.id, r.mbr)).collect());
     let mut agree = 0usize;
     let mut checked = 0usize;
     for (pid, &(join_rid, join_d)) in &nearest_via_join {
@@ -114,11 +104,7 @@ fn main() {
         }
     }
 
-    println!(
-        "pickups: {n_points}   roads: {}   radius: {:.0} m",
-        roads.records.len(),
-        radius
-    );
+    println!("pickups: {n_points}   roads: {}   radius: {:.0} m", roads.records.len(), radius);
     println!(
         "within-distance join matched {} pickups to a road ({:.1}%)",
         nearest_via_join.len(),

@@ -15,10 +15,7 @@ use sjc_geom::algorithms::{clip_linestring, simplify};
 use sjc_geom::{Geometry, Mbr};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1e-3);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
 
     println!(
         "{:<16} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",

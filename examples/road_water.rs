@@ -16,18 +16,11 @@ use sjc_core::spatialhadoop::SpatialHadoop;
 use sjc_geom::GeometryEngine;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2e-4);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2e-4);
     let (mut roads, mut waters) = Workload::edge01_linearwater01().prepare(scale, 7);
     roads.multiplier = 1.0;
     waters.multiplier = 1.0;
-    println!(
-        "road edges: {}   water features: {}\n",
-        roads.records.len(),
-        waters.records.len()
-    );
+    println!("road edges: {}   water features: {}\n", roads.records.len(), waters.records.len());
 
     // The filter/refinement funnel on the whole dataset (what each local
     // join does inside a partition).
@@ -35,15 +28,10 @@ fn main() {
     let l: Vec<&GeoRecord> = roads.records.iter().collect();
     let r: Vec<&GeoRecord> = waters.records.iter().collect();
     println!("local join funnel ({} x {} records):", l.len(), r.len());
-    println!(
-        "{:<20} {:>12} {:>12} {:>14}",
-        "algorithm", "candidates", "crossings", "false pos."
-    );
-    for algo in [
-        LocalJoinAlgo::PlaneSweep,
-        LocalJoinAlgo::SyncRTree,
-        LocalJoinAlgo::IndexedNestedLoop,
-    ] {
+    println!("{:<20} {:>12} {:>12} {:>14}", "algorithm", "candidates", "crossings", "false pos.");
+    for algo in
+        [LocalJoinAlgo::PlaneSweep, LocalJoinAlgo::SyncRTree, LocalJoinAlgo::IndexedNestedLoop]
+    {
         let (pairs, cost) = local_join(&jts, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
         println!(
             "{:<20} {:>12} {:>12} {:>14}",

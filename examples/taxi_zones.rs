@@ -19,20 +19,13 @@ use sjc_core::spatialhadoop::SpatialHadoop;
 use sjc_core::spatialspark::SpatialSpark;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1e-4);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1e-4);
     let (mut left, mut right) = Workload::taxi1m_nycb().prepare(scale, 2026);
     // Run the generated slice as-is (no full-scale extrapolation): this
     // example is about using the join, not about reproducing Table 3.
     left.multiplier = 1.0;
     right.multiplier = 1.0;
-    println!(
-        "taxi pickups: {}   census blocks: {}\n",
-        left.records.len(),
-        right.records.len()
-    );
+    println!("taxi pickups: {}   census blocks: {}\n", left.records.len(), right.records.len());
 
     let cluster = Cluster::new(ClusterConfig::workstation());
     let systems: Vec<Box<dyn DistributedSpatialJoin>> = vec![

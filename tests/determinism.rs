@@ -1,11 +1,11 @@
 //! Bit-stable reproduction: identical scale and seed must give identical
 //! datasets, results, simulated times and failure cells across runs.
 
+use sjc_cluster::{Cluster, ClusterConfig};
 use sjc_core::experiment::{ExperimentGrid, Workload};
+use sjc_core::framework::DistributedSpatialJoin;
 use sjc_core::framework::JoinPredicate;
 use sjc_core::spatialhadoop::SpatialHadoop;
-use sjc_core::framework::DistributedSpatialJoin;
-use sjc_cluster::{Cluster, ClusterConfig};
 
 #[test]
 fn dataset_generation_is_bit_stable() {
@@ -36,9 +36,7 @@ fn experiment_grid_cells_are_stable() {
     let w = Workload::taxi1m_nycb();
     let (l, r) = w.prepare(grid.scale, grid.seed);
     let cfg = ClusterConfig::workstation();
-    let run = || {
-        grid.run_cell(sjc_core::experiment::SystemKind::SpatialSpark, &cfg, &w, &l, &r)
-    };
+    let run = || grid.run_cell(sjc_core::experiment::SystemKind::SpatialSpark, &cfg, &w, &l, &r);
     let a = run();
     let b = run();
     match (&a.outcome, &b.outcome) {

@@ -13,7 +13,12 @@ use sjc_core::spatialspark::SpatialSpark;
 
 const SCALE: f64 = 1e-3;
 
-fn run(sys: &dyn DistributedSpatialJoin, cfg: ClusterConfig, w: &Workload, seed: u64) -> Result<(), String> {
+fn run(
+    sys: &dyn DistributedSpatialJoin,
+    cfg: ClusterConfig,
+    w: &Workload,
+    seed: u64,
+) -> Result<(), String> {
     let (l, r) = w.prepare(SCALE, seed);
     sys.run(&Cluster::new(cfg), &l, &r, JoinPredicate::Intersects)
         .map(|_| ())

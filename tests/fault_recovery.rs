@@ -189,12 +189,7 @@ fn systems_survive_a_mid_run_crash_with_identical_results() {
         let plan = FaultPlan::heavy(7, &config).crash_at(2, base_ns * 2 / 5);
         let faulted = sys
             .instance()
-            .run(
-                &Cluster::with_faults(config.clone(), plan),
-                &l,
-                &r,
-                JoinPredicate::Intersects,
-            )
+            .run(&Cluster::with_faults(config.clone(), plan), &l, &r, JoinPredicate::Intersects)
             .unwrap_or_else(|e| {
                 panic!("{} must survive one crash on 8 nodes: {e}", sys.paper_name())
             });

@@ -1,28 +1,77 @@
 //! Tier-1 lint gate.
 //!
-//! Two halves, both of which must hold for the simulated results to be
+//! Three parts, all of which must hold for the simulated results to be
 //! trustworthy:
 //!
-//! 1. the workspace itself is clean under `sjc-lint` — every remaining
-//!    panic/nondeterminism site is an audited, reasoned suppression;
+//! 1. the workspace itself is clean under **both** checker layers — the
+//!    line rules and the cross-file `sjc-analyze` passes — so every
+//!    remaining panic/nondeterminism/race/discard site is an audited,
+//!    reasoned suppression;
 //! 2. the checker actually works — each named rule fires on seeded bad code
-//!    (otherwise a silently broken scanner would make gate 1 vacuous).
+//!    (otherwise a silently broken scanner would make gate 1 vacuous); the
+//!    analyzer passes prove this against fixture trees in
+//!    `crates/lint/tests/analyze_fixtures.rs`;
+//! 3. the checked-in `LINT_BASELINE.json` ratchet holds: per-rule counts
+//!    may only decrease, and the baseline documents every rule.
 
 use std::path::Path;
 
-use sjc_lint::{check_file, check_workspace, Rule};
+use sjc_lint::{check_all, check_file, check_workspace, json, Rule};
 
-/// The gate: `cargo test -q` fails if any workspace source regresses.
+/// The gate: `cargo test -q` fails if any workspace source regresses under
+/// the line rules **or** the `sjc-analyze` passes.
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let violations = check_workspace(root).expect("workspace scan must succeed");
+    let violations = check_all(root).expect("workspace scan must succeed");
     assert!(
         violations.is_empty(),
         "sjc-lint found {} violation(s):\n{}",
         violations.len(),
         violations.iter().map(|v| format!("  {v}\n")).collect::<String>()
     );
+    // check_all = line rules + passes; make sure the line-rule layer alone
+    // also ran (a scan error above would have surfaced, but an empty file
+    // set must stay impossible).
+    assert!(check_workspace(root).is_ok());
+}
+
+/// The ratchet: the fresh scan's per-rule counts must not exceed the
+/// checked-in baseline, and the baseline must document every rule (so a new
+/// rule cannot land without extending the contract).
+#[test]
+fn baseline_ratchet_holds_and_documents_every_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("LINT_BASELINE.json"))
+        .expect("LINT_BASELINE.json must be checked in at the workspace root");
+    let baseline = json::Counts::parse(&text).expect("baseline must parse");
+    for rule in Rule::ALL {
+        assert!(
+            baseline.by_rule.contains_key(rule.name()),
+            "LINT_BASELINE.json is missing rule {:?} — regenerate with --write-baseline",
+            rule.name()
+        );
+    }
+    assert!(baseline.by_rule.contains_key(Rule::BadSuppression.name()));
+
+    let violations = check_all(root).expect("workspace scan must succeed");
+    let counts = json::Counts::from_violations(&violations);
+    counts.ratchet_against(&baseline).unwrap_or_else(|e| panic!("baseline ratchet failed:\n{e}"));
+}
+
+/// `--format json` and the baseline file share one parser: a report emitted
+/// from the live scan must round-trip through it with identical counts.
+#[test]
+fn json_report_round_trips_against_the_live_scan() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = check_all(root).expect("workspace scan must succeed");
+    let report = json::report(&violations);
+    let parsed = json::Counts::parse(&report).expect("report must parse");
+    assert_eq!(parsed, json::Counts::from_violations(&violations));
+    // The workspace is clean today, so the report's counts must equal the
+    // checked-in all-zero baseline exactly.
+    let text = std::fs::read_to_string(root.join("LINT_BASELINE.json")).unwrap();
+    assert_eq!(parsed, json::Counts::parse(&text).unwrap());
 }
 
 fn rules_fired(rel_path: &str, src: &str) -> Vec<Rule> {
@@ -68,8 +117,9 @@ fn float_hygiene_fires_on_seeded_bad_code() {
     assert!(fired.contains(&Rule::FloatHygiene), "{fired:?}");
     // Integer comparisons and epsilon helpers pass.
     assert!(rules_fired("crates/geom/src/fixture.rs", "if n == 0 { return; }\n").is_empty());
-    assert!(rules_fired("crates/geom/src/fixture.rs", "if approx_zero(area) { return; }\n")
-        .is_empty());
+    assert!(
+        rules_fired("crates/geom/src/fixture.rs", "if approx_zero(area) { return; }\n").is_empty()
+    );
 }
 
 #[test]
@@ -90,10 +140,7 @@ fn serial_hot_loop_fires_on_seeded_bad_code() {
     // …the same loop in a non-hot-path file is not…
     assert!(rules_fired("crates/mapreduce/src/streaming.rs", bad).is_empty());
     // …per-record inner loops and sjc_par call expressions never fire…
-    for ok in [
-        "for rec in &task.records {\n",
-        "for out in sjc_par::par_map(&parts, run) {\n",
-    ] {
+    for ok in ["for rec in &task.records {\n", "for out in sjc_par::par_map(&parts, run) {\n"] {
         assert!(rules_fired("crates/mapreduce/src/job.rs", ok).is_empty(), "{ok:?}");
     }
     // …and a reasoned suppression documents an intentionally serial merge.
@@ -109,7 +156,10 @@ fn bounded_retry_fires_on_seeded_bad_code() {
     let fired = rules_fired("crates/cluster/src/fixture.rs", bad);
     assert!(fired.contains(&Rule::BoundedRetry), "{fired:?}");
     // …naming the MAX_* constant inside the loop passes…
-    let good = bad.replace("if try_once(attempt) {", "if attempt >= MAX_TASK_ATTEMPTS || try_once(attempt) {");
+    let good = bad.replace(
+        "if try_once(attempt) {",
+        "if attempt >= MAX_TASK_ATTEMPTS || try_once(attempt) {",
+    );
     assert!(rules_fired("crates/cluster/src/fixture.rs", &good).is_empty());
     // …aggregation loops over recorded attempts never fire…
     let agg = "fn f(scheds: &[S], trace: &mut T) {\n    for s in scheds {\n        trace.attempts += s.attempts;\n    }\n}\n";
@@ -139,7 +189,10 @@ fn bench_targets_compile() {
 #[test]
 fn bad_suppression_fires_on_seeded_bad_code() {
     // A reasonless allow is itself a violation and does not suppress.
-    let vs = check_file("crates/geom/src/fixture.rs", "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n");
+    let vs = check_file(
+        "crates/geom/src/fixture.rs",
+        "let x = v[0]; // sjc-lint: allow(no-panic-in-lib)\n",
+    );
     assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression), "{vs:?}");
     assert!(vs.iter().any(|v| v.rule == Rule::NoPanicInLib), "{vs:?}");
     // An unknown rule name is a violation.

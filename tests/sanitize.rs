@@ -54,12 +54,8 @@ fn seed_datasets_run_clean_under_sanitizer() {
         let ds = ScaledDataset::generate(id, 2e-5, 42);
         assert!(!ds.geoms.is_empty(), "{id:?} generated no geometry");
 
-        let entries: Vec<IndexEntry> = ds
-            .geoms
-            .iter()
-            .enumerate()
-            .map(|(i, g)| IndexEntry::new(i as u64, g.mbr()))
-            .collect();
+        let entries: Vec<IndexEntry> =
+            ds.geoms.iter().enumerate().map(|(i, g)| IndexEntry::new(i as u64, g.mbr())).collect();
 
         // Both construction modes walk every sanitize hook.
         let bulk = RTree::bulk_load_str(entries.clone());

@@ -24,15 +24,9 @@ fn systems() -> Vec<Box<dyn DistributedSpatialJoin>> {
     vec![
         Box::new(HadoopGis::default()),
         Box::new(SpatialHadoop::default()),
-        Box::new(SpatialHadoop {
-            reuse_partitions: true,
-            ..SpatialHadoop::default()
-        }),
+        Box::new(SpatialHadoop { reuse_partitions: true, ..SpatialHadoop::default() }),
         Box::new(SpatialSpark::default()),
-        Box::new(SpatialSpark {
-            broadcast_join: true,
-            ..SpatialSpark::default()
-        }),
+        Box::new(SpatialSpark { broadcast_join: true, ..SpatialSpark::default() }),
         Box::new(sjc_core::lde::LdeEngine::default()),
     ]
 }
@@ -128,12 +122,7 @@ fn agreement_across_cluster_configs() {
     // The hardware configuration affects time and failure, never results.
     let (l, r) = prepare(Workload::edge01_linearwater01(), 2e-4, 5);
     let reference = SpatialSpark::default()
-        .run(
-            &Cluster::new(ClusterConfig::workstation()),
-            &l,
-            &r,
-            JoinPredicate::Intersects,
-        )
+        .run(&Cluster::new(ClusterConfig::workstation()), &l, &r, JoinPredicate::Intersects)
         .unwrap()
         .sorted_pairs();
     for cfg in [ClusterConfig::ec2(10), ClusterConfig::ec2(6), ClusterConfig::ec2(2)] {

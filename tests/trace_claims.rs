@@ -25,9 +25,7 @@ fn spatialspark_touches_hdfs_only_to_read_inputs() {
     // §II: "SpatialSpark touches HDFS only when input data are read from
     // HDFS to memory of computing nodes."
     let (l, r) = inputs();
-    let out = SpatialSpark::default()
-        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
-        .unwrap();
+    let out = SpatialSpark::default().run(&cluster(), &l, &r, JoinPredicate::Intersects).unwrap();
     let written: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_written).sum();
     assert_eq!(written, 0);
     let read: u64 = out.trace.stages.iter().map(|s| s.hdfs_bytes_read).sum();
@@ -71,15 +69,9 @@ fn hadoopgis_runs_six_preprocessing_steps_per_dataset() {
 #[test]
 fn spatialhadoop_join_is_map_only_with_serial_global_join() {
     let (l, r) = inputs();
-    let out = SpatialHadoop::default()
-        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
-        .unwrap();
-    let dj: Vec<_> = out
-        .trace
-        .stages
-        .iter()
-        .filter(|s| s.phase == Phase::DistributedJoin)
-        .collect();
+    let out = SpatialHadoop::default().run(&cluster(), &l, &r, JoinPredicate::Intersects).unwrap();
+    let dj: Vec<_> =
+        out.trace.stages.iter().filter(|s| s.phase == Phase::DistributedJoin).collect();
     assert_eq!(dj.len(), 2, "getSplits + one map-only job");
     assert_eq!(dj[0].kind, StageKind::LocalSerial, "global join runs on the master");
     assert_eq!(dj[1].kind, StageKind::MapOnlyJob, "local join has no reducers");
@@ -117,9 +109,7 @@ fn breakdown_phases_cover_the_total() {
 #[test]
 fn spark_stages_shuffle_in_memory() {
     let (l, r) = inputs();
-    let out = SpatialSpark::default()
-        .run(&cluster(), &l, &r, JoinPredicate::Intersects)
-        .unwrap();
+    let out = SpatialSpark::default().run(&cluster(), &l, &r, JoinPredicate::Intersects).unwrap();
     let shuffled: u64 = out.trace.stages.iter().map(|s| s.shuffle_bytes).sum();
     assert!(shuffled > 0, "groupByKey/join move bytes");
     assert!(
