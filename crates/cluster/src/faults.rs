@@ -38,6 +38,17 @@ pub const MAX_STAGE_RESUBMITS: u32 = 4;
 /// duplicate attempt (Hadoop's speculative execution heuristic).
 pub const SPECULATION_THRESHOLD: f64 = 1.5;
 
+/// Default base of the exponential retry backoff: a task's first retry
+/// after a transient disk error waits on the order of this long before
+/// relaunching (Hadoop's `mapreduce.map.maxattempts` retries are likewise
+/// spaced out rather than immediate).
+pub const RETRY_BACKOFF_BASE_NS: SimNs = 500_000_000;
+
+/// Hard cap on any single retry's backoff delay: the exponential term
+/// `base × 2^(attempt-1)` never exceeds this, however many attempts a task
+/// has burned.
+pub const MAX_RETRY_BACKOFF_NS: SimNs = 8_000_000_000;
+
 /// One scheduled node crash.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeCrash {
@@ -60,6 +71,12 @@ pub struct FaultPlan {
     pub straggler_rate: f64,
     /// Slowdown factor applied to straggler slots (≥ 1).
     pub straggler_slowdown: f64,
+    /// Base of the bounded exponential backoff applied to disk-error
+    /// retries (`0` disables backoff: retries relaunch the instant the
+    /// failed attempt's slot time has elapsed). Backoff only ever applies
+    /// to retries, so plans that never inject a disk error are unaffected
+    /// by this field.
+    pub retry_backoff_base_ns: SimNs,
     /// Scheduled crashes, in schedule order.
     pub crashes: Vec<NodeCrash>,
 }
@@ -106,13 +123,15 @@ impl FaultPlan {
             disk_error_rate: 0.0,
             straggler_rate: 0.0,
             straggler_slowdown: 1.0,
+            retry_backoff_base_ns: RETRY_BACKOFF_BASE_NS,
             crashes: Vec::new(),
         }
     }
 
     /// An empty plan bound to a cluster; compose faults with the builder
     /// methods ([`Self::crash_at`], [`Self::with_crashes`],
-    /// [`Self::with_disk_errors`], [`Self::with_stragglers`]).
+    /// [`Self::with_disk_errors`], [`Self::with_stragglers`],
+    /// [`Self::with_retry_backoff`]).
     pub fn seeded(seed: u64, config: &ClusterConfig) -> Self {
         FaultPlan {
             seed,
@@ -120,6 +139,7 @@ impl FaultPlan {
             disk_error_rate: 0.0,
             straggler_rate: 0.0,
             straggler_slowdown: 1.0,
+            retry_backoff_base_ns: RETRY_BACKOFF_BASE_NS,
             crashes: Vec::new(),
         }
     }
@@ -164,6 +184,12 @@ impl FaultPlan {
     pub fn with_stragglers(mut self, rate: f64, slowdown: f64) -> Self {
         self.straggler_rate = rate.clamp(0.0, 1.0);
         self.straggler_slowdown = slowdown.max(1.0);
+        self
+    }
+
+    /// Sets the exponential retry-backoff base (`0` disables backoff).
+    pub fn with_retry_backoff(mut self, base_ns: SimNs) -> Self {
+        self.retry_backoff_base_ns = base_ns;
         self
     }
 
@@ -224,6 +250,32 @@ impl FaultPlan {
         } else {
             1.0
         }
+    }
+
+    /// Backoff delay inserted before the retry that follows failed attempt
+    /// `attempt` of `task` in the stage tagged `tag`. Bounded exponential:
+    /// the cap doubles per failed attempt from `retry_backoff_base_ns` up
+    /// to [`MAX_RETRY_BACKOFF_NS`], and the SplitMix64-jittered delay lands
+    /// in `[cap/2, cap]`. Pure in all arguments — like every other fault
+    /// draw, the jitter is a stateless hash of `(seed, stage, task,
+    /// attempt)`, so backed-off schedules stay bit-identical across host
+    /// thread counts.
+    pub fn retry_backoff_ns(&self, tag: u64, task: u64, attempt: u32) -> SimNs {
+        if self.retry_backoff_base_ns == 0 {
+            return 0;
+        }
+        // 2^exp with exp clamped well below 64: the saturating_mul already
+        // guards the product, the clamp guards the shift itself.
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self.retry_backoff_base_ns.saturating_mul(1u64 << exp);
+        let cap = raw.min(MAX_RETRY_BACKOFF_NS);
+        let h = mix64(
+            self.seed
+                ^ tag.rotate_left(29)
+                ^ task.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        cap / 2 + h % (cap / 2 + 1)
     }
 }
 
@@ -297,6 +349,37 @@ mod tests {
         // And the schedule is reproducible from the seed.
         let q = FaultPlan::seeded(11, &ec2()).with_crashes(5, 1_000);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_pure() {
+        let p = FaultPlan::seeded(17, &ec2());
+        let mut caps_seen = Vec::new();
+        for attempt in 1..=10u32 {
+            let exp = attempt.saturating_sub(1).min(32);
+            let cap = RETRY_BACKOFF_BASE_NS.saturating_mul(1u64 << exp).min(MAX_RETRY_BACKOFF_NS);
+            caps_seen.push(cap);
+            for task in 0..32u64 {
+                let d = p.retry_backoff_ns(7, task, attempt);
+                assert!(
+                    d >= cap / 2 && d <= cap,
+                    "attempt {attempt}: {d} outside [{}, {cap}]",
+                    cap / 2
+                );
+                assert_eq!(d, p.retry_backoff_ns(7, task, attempt), "same draw twice");
+            }
+        }
+        // The cap doubles until it hits the hard ceiling, then stays there.
+        assert_eq!(caps_seen[0], RETRY_BACKOFF_BASE_NS);
+        assert_eq!(caps_seen[1], 2 * RETRY_BACKOFF_BASE_NS);
+        assert!(caps_seen.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*caps_seen.last().unwrap(), MAX_RETRY_BACKOFF_NS);
+        // Jitter decorrelates tasks: not every task draws the same delay.
+        let draws: Vec<SimNs> = (0..32).map(|t| p.retry_backoff_ns(7, t, 1)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "jitter is flat: {draws:?}");
+        // Base 0 disables backoff entirely.
+        let off = p.with_retry_backoff(0);
+        assert_eq!(off.retry_backoff_ns(7, 3, 2), 0);
     }
 
     #[test]

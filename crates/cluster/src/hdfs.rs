@@ -87,10 +87,12 @@ impl SimHdfs {
             let b = remaining.min(self.block_size);
             let primary = self.next_node % self.nodes;
             // Replica pipeline: primary plus the next nodes round-robin
-            // (rack-awareness is below this model's resolution).
-            let mut replicas: Vec<u32> = (0..DEFAULT_REPLICATION.min(self.nodes))
-                .map(|k| (primary + k) % self.nodes)
-                .collect();
+            // (rack-awareness is below this model's resolution). Pre-sized:
+            // the pipeline never exceeds the replication factor.
+            let mut replicas: Vec<u32> = Vec::with_capacity(DEFAULT_REPLICATION as usize);
+            replicas.extend(
+                (0..DEFAULT_REPLICATION.min(self.nodes)).map(|k| (primary + k) % self.nodes),
+            );
             replicas.dedup();
             blocks.push(BlockMeta { primary_node: primary, bytes: b, replicas });
             self.next_node = (self.next_node + 1) % self.nodes;

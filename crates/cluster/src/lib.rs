@@ -38,7 +38,9 @@ pub mod scheduler;
 pub use config::{ClusterConfig, NodeSpec};
 pub use cost::CostModel;
 pub use error::SimError;
-pub use faults::{FaultPlan, MAX_STAGE_RESUBMITS, MAX_TASK_ATTEMPTS};
+pub use faults::{
+    FaultPlan, MAX_RETRY_BACKOFF_NS, MAX_STAGE_RESUBMITS, MAX_TASK_ATTEMPTS, RETRY_BACKOFF_BASE_NS,
+};
 pub use hdfs::SimHdfs;
 pub use metrics::{RecoveryEvent, RecoveryKind, RunTrace, StageKind, StageTrace};
 

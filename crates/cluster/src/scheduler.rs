@@ -135,7 +135,10 @@ fn pop_live(
 /// scheduled on the run's global clock). Per attempt it models:
 ///
 /// * **transient disk errors** — the attempt's work is wasted and the task
-///   retries, bounded by [`MAX_TASK_ATTEMPTS`];
+///   retries, bounded by [`MAX_TASK_ATTEMPTS`]; each retry waits out the
+///   plan's bounded exponential backoff
+///   ([`FaultPlan::retry_backoff_ns`]) before becoming runnable, while the
+///   failed attempt's slot frees immediately;
 /// * **node crashes** — running tasks die with the node, its slots leave
 ///   the pool; no surviving slot at all is [`SimError::NodeLost`];
 /// * **stragglers** — slow slots stretch the attempt; at
@@ -174,6 +177,10 @@ pub fn faulty_makespan(
         (0..nodes * slots_per_node).map(|sid| Reverse((start_ns, sid))).collect();
     let mut last_dead: u32 = 0;
     let mut end = start_ns;
+    // Events are recorded stage-less inside the wave loop (hot path: one
+    // entry per retry/speculation) and materialized with the stage name
+    // once, after the loop — the wave loop itself never allocates strings.
+    let mut wave_events: Vec<(RecoveryKind, SimNs)> = Vec::new();
 
     for &(base, idx) in &order {
         let mut attempt: u32 = 0;
@@ -189,7 +196,8 @@ pub fn faulty_makespan(
             {
                 Some(s) => s,
                 None => {
-                    return Err(SimError::NodeLost { stage: stage.to_string(), node: last_dead })
+                    // sjc-lint: allow(hot-alloc) — cold error return: allocates once, then the run is over
+                    return Err(SimError::NodeLost { stage: stage.to_string(), node: last_dead });
                 }
             };
             let node = sid / slots_per_node;
@@ -203,19 +211,19 @@ pub fn faulty_makespan(
             // busy for the wasted duration.
             if plan.disk_error(tag, idx as u64, attempt) {
                 out.wasted_ns += dur;
-                out.events.push(RecoveryEvent {
-                    stage: stage.to_string(),
-                    kind: RecoveryKind::TaskRetry { task: idx as u64, attempt },
-                    wasted_ns: dur,
-                });
+                wave_events.push((RecoveryKind::TaskRetry { task: idx as u64, attempt }, dur));
                 if attempt >= MAX_TASK_ATTEMPTS {
                     return Err(SimError::TaskAttemptsExhausted {
+                        // sjc-lint: allow(hot-alloc) — cold error return: allocates once, then the run is over
                         stage: stage.to_string(),
                         task: idx as u64,
                         attempts: attempt,
                     });
                 }
-                ready = launch + dur;
+                // The slot frees the moment the failed attempt's work ends;
+                // the *task* additionally sits out a bounded, jittered
+                // exponential backoff before its retry becomes runnable.
+                ready = launch + dur + plan.retry_backoff_ns(tag, idx as u64, attempt);
                 heap.push(Reverse((launch + dur, sid)));
                 continue;
             }
@@ -229,11 +237,7 @@ pub fn faulty_makespan(
                 if c < fin {
                     let lost = c.saturating_sub(launch);
                     out.wasted_ns += lost;
-                    out.events.push(RecoveryEvent {
-                        stage: stage.to_string(),
-                        kind: RecoveryKind::NodeCrash { node, tasks_killed: 1 },
-                        wasted_ns: lost,
-                    });
+                    wave_events.push((RecoveryKind::NodeCrash { node, tasks_killed: 1 }, lost));
                     last_dead = node;
                     attempt -= 1;
                     ready = c;
@@ -267,11 +271,7 @@ pub fn faulty_makespan(
                         winner_node = b_node;
                         let killed = b_fin.saturating_sub(launch).min(dur);
                         out.wasted_ns += killed;
-                        out.events.push(RecoveryEvent {
-                            stage: stage.to_string(),
-                            kind: RecoveryKind::Speculation { task: idx as u64 },
-                            wasted_ns: killed,
-                        });
+                        wave_events.push((RecoveryKind::Speculation { task: idx as u64 }, killed));
                         primary_free = b_fin.max(free);
                         heap.push(Reverse((b_fin, b_sid)));
                     } else if backup_survives {
@@ -280,11 +280,7 @@ pub fn faulty_makespan(
                         out.attempts += 1;
                         let killed = fin.saturating_sub(b_launch).min(b_dur);
                         out.wasted_ns += killed;
-                        out.events.push(RecoveryEvent {
-                            stage: stage.to_string(),
-                            kind: RecoveryKind::Speculation { task: idx as u64 },
-                            wasted_ns: killed,
-                        });
+                        wave_events.push((RecoveryKind::Speculation { task: idx as u64 }, killed));
                         heap.push(Reverse((fin.clamp(b_launch, b_fin), b_sid)));
                     } else {
                         // Backup slot's node dies first — no speculation.
@@ -300,6 +296,13 @@ pub fn faulty_makespan(
             break;
         }
     }
+
+    // Materialize the wave's events: the stage name is attached here, once
+    // per event, outside the hot loop above.
+    out.events = wave_events
+        .into_iter()
+        .map(|(kind, wasted_ns)| RecoveryEvent { stage: stage.to_string(), kind, wasted_ns })
+        .collect();
 
     // Map-output loss: a node that died within this wave takes the outputs
     // of every task it had already completed with it; those tasks re-run as
@@ -447,6 +450,28 @@ mod tests {
         assert!(s.wasted_ns > 0);
         assert!(s.events.iter().any(|e| matches!(e.kind, RecoveryKind::TaskRetry { .. })));
         assert!(s.makespan >= lpt_makespan(&tasks, 32), "faults never speed a wave up");
+    }
+
+    #[test]
+    fn retry_backoff_extends_the_wave_but_not_the_retry_count() {
+        // One slot serializes everything: with backoff each retry inserts a
+        // dead gap, so the wave must take strictly longer than the
+        // backoff-free schedule — while the disk-error draws (pure in
+        // (stage, task, attempt)) produce the exact same retries.
+        let with = plan().with_disk_errors(0.25);
+        let without = with.clone().with_retry_backoff(0);
+        let tasks = vec![1_000u64; 32];
+        let s_with = faulty_makespan(&tasks, 1, 1, &with, "map", 0, false).unwrap();
+        let s_without = faulty_makespan(&tasks, 1, 1, &without, "map", 0, false).unwrap();
+        assert!(s_with.attempts > 32, "retries happened: {}", s_with.attempts);
+        assert_eq!(s_with.attempts, s_without.attempts, "backoff never changes fault draws");
+        assert_eq!(s_with.wasted_ns, s_without.wasted_ns);
+        assert!(
+            s_with.makespan > s_without.makespan,
+            "backoff gaps cost wall time: {} <= {}",
+            s_with.makespan,
+            s_without.makespan
+        );
     }
 
     #[test]

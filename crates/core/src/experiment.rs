@@ -225,14 +225,16 @@ impl ExperimentGrid {
         plan_for: &(dyn Fn(&ClusterConfig) -> FaultPlan + Sync),
     ) -> Vec<CellResult> {
         let mut out = Vec::new();
+        // The (system, config) grid is the same for every workload — built
+        // once, outside the workload loop.
+        let cells: Vec<(SystemKind, &ClusterConfig)> = SystemKind::all()
+            .into_iter()
+            .flat_map(|sys| configs.iter().map(move |cfg| (sys, cfg)))
+            .collect();
         for w in workloads {
             let (left, right) = w.prepare(self.scale, self.seed);
             // Cells are pure functions of (system, config, workload, plan):
             // run them in parallel, collect in deterministic grid order.
-            let cells: Vec<(SystemKind, &ClusterConfig)> = SystemKind::all()
-                .into_iter()
-                .flat_map(|sys| configs.iter().map(move |cfg| (sys, cfg)))
-                .collect();
             out.extend(crate::par::par_map(&cells, |(sys, cfg)| {
                 self.run_cell_faulted(*sys, cfg, w, &left, &right, &plan_for(cfg))
             }));

@@ -159,13 +159,18 @@ impl DistributedSpatialJoin for LdeEngine {
         let mut net_bytes = 0u64;
         let bpr_l = left.bytes_per_record();
         let bpr_r = right.bytes_per_record();
+        // Per-cell record views are gathered into two reused buffers: the
+        // cell loop clears and refills them instead of allocating fresh
+        // Vecs ncells times.
+        let mut lrecs: Vec<&GeoRecord> = Vec::new();
+        let mut rrecs: Vec<&GeoRecord> = Vec::new();
         for cell in 0..ncells {
+            lrecs.clear();
+            rrecs.clear();
             // sjc-lint: allow(no-panic-in-lib) — cell < ncells = assign_l.len(); record ids are enumerate indices
-            let lrecs: Vec<&GeoRecord> =
-                assign_l[cell].iter().map(|&i| &left.records[i as usize]).collect();
+            lrecs.extend(assign_l[cell].iter().map(|&i| &left.records[i as usize]));
             // sjc-lint: allow(no-panic-in-lib) — cell < ncells = assign_r.len(); record ids are enumerate indices
-            let rrecs: Vec<&GeoRecord> =
-                assign_r[cell].iter().map(|&i| &right.records[i as usize]).collect();
+            rrecs.extend(assign_r[cell].iter().map(|&i| &right.records[i as usize]));
             if lrecs.is_empty() || rrecs.is_empty() {
                 continue;
             }

@@ -156,8 +156,10 @@ fn quadratic_split<T: Clone, F: Fn(&T) -> Mbr>(items: Vec<T>, mbr_of: F) -> (Vec
     // Seed selection.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for (i, item_i) in items.iter().enumerate() {
+        // `item_i`'s MBR is invariant across the inner scan — computed once
+        // per outer iteration, not O(n) times.
+        let mi = mbr_of(item_i);
         for (j, item_j) in items.iter().enumerate().skip(i + 1) {
-            let mi = mbr_of(item_i);
             let mj = mbr_of(item_j);
             let waste = mi.union(&mj).area() - mi.area() - mj.area();
             if waste > worst {

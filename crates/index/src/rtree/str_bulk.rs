@@ -40,29 +40,30 @@ impl RTree {
             })
             .collect();
 
-        // Upper levels: pack child node ids by their MBRs until one root remains.
+        // Upper levels: pack child node ids by their MBRs until one root
+        // remains. Every buffer is pre-sized — the exact lengths are known
+        // before each fill.
         while level.len() > 1 {
-            let child_mbrs: Vec<(NodeId, Mbr)> = level
-                .iter()
-                // sjc-lint: allow(no-panic-in-lib) — level ids were just pushed into `nodes` by this builder
-                .map(|&id| (id, nodes[id.0].mbr()))
-                .collect();
+            let mut child_mbrs: Vec<(NodeId, Mbr)> = Vec::with_capacity(level.len());
+            child_mbrs.extend(
+                level
+                    .iter()
+                    // sjc-lint: allow(no-panic-in-lib) — level ids were just pushed into `nodes` by this builder
+                    .map(|&id| (id, nodes[id.0].mbr())),
+            );
             let groups = str_pack(child_mbrs, MAX_ENTRIES, |(_, m)| *m);
-            level = groups
-                .into_iter()
-                .map(|group| {
-                    let mut mbr = Mbr::empty();
-                    let children: Vec<NodeId> = group
-                        .into_iter()
-                        .map(|(id, m)| {
-                            mbr.expand(&m);
-                            id
-                        })
-                        .collect();
-                    nodes.push(Node::Inner { mbr, children });
-                    NodeId(nodes.len() - 1)
-                })
-                .collect();
+            let mut next: Vec<NodeId> = Vec::with_capacity(groups.len());
+            next.extend(groups.into_iter().map(|group| {
+                let mut mbr = Mbr::empty();
+                let mut children: Vec<NodeId> = Vec::with_capacity(group.len());
+                children.extend(group.into_iter().map(|(id, m)| {
+                    mbr.expand(&m);
+                    id
+                }));
+                nodes.push(Node::Inner { mbr, children });
+                NodeId(nodes.len() - 1)
+            }));
+            level = next;
         }
 
         let tree = RTree { root: level.first().copied().unwrap_or(NodeId(0)), nodes, len };
@@ -115,7 +116,9 @@ where
         while left > 0 {
             let take = cap.min(left);
             left -= take;
-            groups.push(it.by_ref().take(take).collect());
+            let mut group = Vec::with_capacity(take);
+            group.extend(it.by_ref().take(take));
+            groups.push(group);
         }
     }
     groups

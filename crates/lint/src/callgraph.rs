@@ -32,7 +32,7 @@ pub struct Call {
 }
 
 /// Identifier-followed-by-`(` positions that are *not* calls.
-fn is_call_keyword(name: &str) -> bool {
+pub(crate) fn is_call_keyword(name: &str) -> bool {
     matches!(
         name,
         "if" | "while"

@@ -9,16 +9,22 @@
 //!
 //! The baseline is a **ratchet**: the checked-in `LINT_BASELINE.json`
 //! records the violation count the workspace is allowed to have (today:
-//! zero everywhere), and `--baseline` fails when any rule's count *rises*.
+//! zero everywhere), and `--baseline` fails when any count *rises*.
 //! Counts may only go down; lowering the baseline after a cleanup is a
 //! one-line diff a reviewer can see.
+//!
+//! Since schema 2 the counts are per-rule **per-file**: each rule carries a
+//! `total` and a `by_file` map. A global count would let a fix in one file
+//! mask a regression in another (−1 here, +1 there, net zero); the ratchet
+//! compares every `(rule, file)` cell independently, so any per-file
+//! increase fails even when the totals balance out.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use crate::{Severity, Violation};
 
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Escapes `s` as a JSON string body.
 fn escape(s: &str) -> String {
@@ -39,21 +45,16 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Renders the full machine-readable report: schema version, totals per
-/// rule, and every violation with its severity.
+/// Renders the full machine-readable report: schema version, per-rule
+/// per-file counts, and every violation with its severity.
 pub fn report(violations: &[Violation]) -> String {
     let counts = Counts::from_violations(violations);
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"total\": {},", counts.total);
-    out.push_str("  \"by_rule\": {\n");
-    let n = counts.by_rule.len();
-    for (i, (rule, count)) in counts.by_rule.iter().enumerate() {
-        let comma = if i + 1 < n { "," } else { "" };
-        let _ = writeln!(out, "    \"{}\": {}{}", escape(rule), count, comma);
-    }
-    out.push_str("  },\n");
+    write_by_rule(&mut out, &counts);
+    out.push_str(",\n");
     out.push_str("  \"violations\": [\n");
     let n = violations.len();
     for (i, v) in violations.iter().enumerate() {
@@ -77,25 +78,58 @@ pub fn report(violations: &[Violation]) -> String {
     out
 }
 
-/// Per-rule violation counts — the shape both the report's header and the
-/// checked-in baseline share.
+/// One rule's counts: a total plus the per-file breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleCount {
+    pub total: u64,
+    pub by_file: BTreeMap<String, u64>,
+}
+
+/// Per-rule per-file violation counts — the shape both the report's header
+/// and the checked-in baseline share.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counts {
     pub total: u64,
-    pub by_rule: BTreeMap<String, u64>,
+    pub by_rule: BTreeMap<String, RuleCount>,
+}
+
+/// Renders the `"by_rule": { … }` block (no trailing newline or comma).
+fn write_by_rule(out: &mut String, counts: &Counts) {
+    out.push_str("  \"by_rule\": {\n");
+    let n = counts.by_rule.len();
+    for (i, (rule, rc)) in counts.by_rule.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let files = rc
+            .by_file
+            .iter()
+            .map(|(f, c)| format!("\"{}\": {}", escape(f), c))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"total\": {}, \"by_file\": {{{}}}}}{}",
+            escape(rule),
+            rc.total,
+            files,
+            comma
+        );
+    }
+    out.push_str("  }");
 }
 
 impl Counts {
     pub fn from_violations(violations: &[Violation]) -> Counts {
-        let mut by_rule: BTreeMap<String, u64> = BTreeMap::new();
+        let mut by_rule: BTreeMap<String, RuleCount> = BTreeMap::new();
         // Every known rule appears with an explicit zero so the baseline
         // file documents the full rule set, not just the failing part.
         for rule in crate::Rule::ALL {
-            by_rule.insert(rule.name().to_string(), 0);
+            by_rule.insert(rule.name().to_string(), RuleCount::default());
         }
-        by_rule.insert(crate::Rule::BadSuppression.name().to_string(), 0);
+        by_rule.insert(crate::Rule::BadSuppression.name().to_string(), RuleCount::default());
         for v in violations {
-            *by_rule.entry(v.rule.name().to_string()).or_insert(0) += 1;
+            let rc = by_rule.entry(v.rule.name().to_string()).or_default();
+            rc.total += 1;
+            *rc.by_file.entry(v.path.clone()).or_insert(0) += 1;
         }
         Counts { total: violations.len() as u64, by_rule }
     }
@@ -107,17 +141,15 @@ impl Counts {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"total\": {},", self.total);
-        out.push_str("  \"by_rule\": {\n");
-        let n = self.by_rule.len();
-        for (i, (rule, count)) in self.by_rule.iter().enumerate() {
-            let comma = if i + 1 < n { "," } else { "" };
-            let _ = writeln!(out, "    \"{}\": {}{}", escape(rule), count, comma);
-        }
-        out.push_str("  }\n}\n");
+        write_by_rule(&mut out, self);
+        out.push_str("\n}\n");
         out
     }
 
-    /// Parses `total` / `by_rule` from baseline OR report JSON.
+    /// Parses `total` / `by_rule` from baseline OR report JSON. Duplicate
+    /// rule or file keys are rejected — "last key wins" would let a
+    /// crafted baseline carry two entries for one rule, with the parser
+    /// silently picking the laxer one.
     pub fn parse(text: &str) -> Result<Counts, String> {
         let value = Parser { chars: text.chars().collect(), i: 0 }.parse()?;
         let Value::Object(map) = value else {
@@ -127,22 +159,39 @@ impl Counts {
             Some((_, Value::Num(n))) => *n,
             _ => return Err("baseline: missing numeric \"total\"".to_string()),
         };
-        let mut by_rule = BTreeMap::new();
+        let mut by_rule: BTreeMap<String, RuleCount> = BTreeMap::new();
         if let Some((_, Value::Object(rules))) = map.iter().find(|(k, _)| k == "by_rule") {
             for (rule, count) in rules {
-                let Value::Num(n) = count else {
-                    return Err(format!("baseline: by_rule[{rule:?}] must be a number"));
+                let rc = match count {
+                    Value::Object(fields) => parse_rule_count(rule, fields)?,
+                    Value::Num(_) => {
+                        return Err(format!(
+                            "baseline: by_rule[{rule:?}] is a bare number (schema 1) — \
+                             regenerate with --write-baseline for the per-file schema \
+                             {SCHEMA_VERSION}"
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "baseline: by_rule[{rule:?}] must be an object with \
+                             \"total\" and \"by_file\""
+                        ));
+                    }
                 };
-                by_rule.insert(rule.clone(), *n);
+                if by_rule.insert(rule.clone(), rc).is_some() {
+                    return Err(format!("baseline: duplicate rule key {rule:?}"));
+                }
             }
         }
         Ok(Counts { total, by_rule })
     }
 
     /// The ratchet: every count in `self` (the fresh run) must be ≤ the
-    /// baseline's. Rules absent from the baseline are held to zero, so a
-    /// newly added rule cannot smuggle in violations.
+    /// baseline's, per rule **and per file**. Rules and files absent from
+    /// the baseline are held to zero, so a newly added rule — or a finding
+    /// moving into a previously-clean file — cannot smuggle in violations.
     pub fn ratchet_against(&self, baseline: &Counts) -> Result<(), String> {
+        let empty = RuleCount::default();
         let mut failures = Vec::new();
         if self.total > baseline.total {
             failures.push(format!(
@@ -150,10 +199,21 @@ impl Counts {
                 baseline.total, self.total
             ));
         }
-        for (rule, &count) in &self.by_rule {
-            let allowed = baseline.by_rule.get(rule).copied().unwrap_or(0);
-            if count > allowed {
-                failures.push(format!("{rule}: {count} violation(s), baseline allows {allowed}"));
+        for (rule, rc) in &self.by_rule {
+            let base = baseline.by_rule.get(rule).unwrap_or(&empty);
+            if rc.total > base.total {
+                failures.push(format!(
+                    "{rule}: {} violation(s), baseline allows {}",
+                    rc.total, base.total
+                ));
+            }
+            for (file, &count) in &rc.by_file {
+                let allowed = base.by_file.get(file).copied().unwrap_or(0);
+                if count > allowed {
+                    failures.push(format!(
+                        "{rule} in {file}: {count} violation(s), baseline allows {allowed}"
+                    ));
+                }
             }
         }
         if failures.is_empty() {
@@ -164,15 +224,76 @@ impl Counts {
     }
 }
 
-/// The subset of JSON values the tooling emits.
+/// Parses one rule's `{"total": …, "by_file": {…}}` object.
+fn parse_rule_count(rule: &str, fields: &[(String, Value)]) -> Result<RuleCount, String> {
+    let total = match fields.iter().find(|(k, _)| k == "total") {
+        Some((_, Value::Num(n))) => *n,
+        _ => return Err(format!("baseline: by_rule[{rule:?}] is missing numeric \"total\"")),
+    };
+    let mut by_file = BTreeMap::new();
+    if let Some((_, Value::Object(files))) = fields.iter().find(|(k, _)| k == "by_file") {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (file, count) in files {
+            let Value::Num(n) = count else {
+                return Err(format!(
+                    "baseline: by_rule[{rule:?}].by_file[{file:?}] must be a number"
+                ));
+            };
+            if !seen.insert(file) {
+                return Err(format!("baseline: duplicate file key {file:?} under {rule:?}"));
+            }
+            by_file.insert(file.clone(), *n);
+        }
+    }
+    Ok(RuleCount { total, by_file })
+}
+
+/// The subset of JSON values the tooling emits. `Object` keeps insertion
+/// order (and duplicates) so callers can detect repeated keys.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Object(Vec<(String, Value)>),
     Array(Vec<Value>),
     Str(String),
     Num(u64),
     Bool(bool),
     Null,
+}
+
+impl Value {
+    /// First value under `key` when `self` is an object.
+    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses arbitrary tooling JSON (used by the SARIF self-check).
+pub(crate) fn parse_value(text: &str) -> Result<Value, String> {
+    Parser { chars: text.chars().collect(), i: 0 }.parse()
 }
 
 struct Parser {
@@ -340,9 +461,10 @@ mod tests {
         let text = report(&vs);
         let counts = Counts::parse(&text).unwrap();
         assert_eq!(counts.total, 3);
-        assert_eq!(counts.by_rule["entropy-taint"], 2);
-        assert_eq!(counts.by_rule["error-flow"], 1);
-        assert_eq!(counts.by_rule["par-closure-race"], 0);
+        assert_eq!(counts.by_rule["entropy-taint"].total, 2);
+        assert_eq!(counts.by_rule["entropy-taint"].by_file["crates/x/src/lib.rs"], 2);
+        assert_eq!(counts.by_rule["error-flow"].total, 1);
+        assert_eq!(counts.by_rule["par-closure-race"].total, 0);
         assert_eq!(counts, Counts::from_violations(&vs));
     }
 
@@ -365,6 +487,44 @@ mod tests {
         let unseen = Counts::from_violations(&[v(Rule::EntropyTaint, 1)]);
         let empty = Counts { total: 10, by_rule: BTreeMap::new() };
         assert!(unseen.ratchet_against(&empty).is_err());
+    }
+
+    #[test]
+    fn ratchet_compares_every_file_cell() {
+        // Same rule totals, but the violation moved from a.rs to b.rs:
+        // the per-file ratchet must reject the move even though the
+        // aggregate counts balance out.
+        let mk = |path: &str| Violation::new(Rule::ErrorFlow, path, 1, "m".to_string());
+        let base = Counts::from_violations(&[mk("crates/x/src/a.rs")]);
+        let moved = Counts::from_violations(&[mk("crates/x/src/b.rs")]);
+        assert_eq!(base.total, moved.total);
+        assert_eq!(base.by_rule["error-flow"].total, moved.by_rule["error-flow"].total);
+        let err = moved.ratchet_against(&base).unwrap_err();
+        assert!(err.contains("crates/x/src/b.rs"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_rule_keys() {
+        let text = "{\"total\": 2, \"by_rule\": {\
+                    \"error-flow\": {\"total\": 2, \"by_file\": {}},\
+                    \"error-flow\": {\"total\": 0, \"by_file\": {}}}}";
+        let err = Counts::parse(text).unwrap_err();
+        assert!(err.contains("duplicate rule key"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_file_keys() {
+        let text = "{\"total\": 2, \"by_rule\": {\"error-flow\": {\"total\": 2, \
+                    \"by_file\": {\"a.rs\": 2, \"a.rs\": 0}}}}";
+        let err = Counts::parse(text).unwrap_err();
+        assert!(err.contains("duplicate file key"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_schema_one_flat_counts() {
+        let text = "{\"total\": 1, \"by_rule\": {\"error-flow\": 1}}";
+        let err = Counts::parse(text).unwrap_err();
+        assert!(err.contains("schema 1") && err.contains("--write-baseline"), "{err}");
     }
 
     #[test]

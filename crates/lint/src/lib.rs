@@ -32,6 +32,9 @@
 //! | `entropy-taint` | whole workspace (`sjc-analyze`) | simulation-crate functions that *transitively* reach a wall-clock/entropy API through the call graph, and clock-derived values flowing into `sim_ns`/trace output in any crate (bench may observe the clock, but simulated numbers must never be derived from it) |
 //! | `par-closure-race` | closures passed to the `sjc_par` entry points | capturing `&mut` bindings, `Cell`/`RefCell`, relaxed atomics, `unsafe` blocks, or mutating captured collections — the static counterpart of the 1-vs-8-thread bit-identity tests |
 //! | `error-flow` | library crates (`sjc-analyze`) | `SimError` variants never constructed or never handled, and `Result`s silently discarded via `let _ =` / trailing `.ok();` (the infallible `write!` into a `String` is exempt) |
+//! | `hot-alloc` | hot-path functions (`sjc-analyze`) | per-iteration allocation (`clone()`, `to_string()`, `collect()`, `format!`, `vec!`, `Box::new`, …) inside a loop of any function reachable — through the crate-topology-gated call graph — from an `sjc_par` entry-point closure or a `crates/bench` kernel; pre-size with `with_capacity` outside the loop or reuse a buffer (`clear()` + refill) |
+//! | `loop-invariant-call` | hot-path functions (`sjc-analyze`, **warning**) | a call inside a hot loop whose arguments are all loop-invariant — every iteration recomputes the same value; hoist the call above the loop |
+//! | `unit-flow` | whole workspace (`sjc-analyze`) | `+`/`-` arithmetic mixing differently-united bindings (`*_ns` vs `*_bytes` vs `*_count`), tracked through `let` chains, and non-nanosecond values assigned into `*_ns` sinks — `*`/`/` are exempt as unit conversions |
 //!
 //! ## Suppression
 //!
@@ -52,10 +55,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod items;
 pub mod json;
 pub mod lexer;
 pub mod passes;
+pub mod sarif;
 
 pub use passes::analyze_workspace;
 
@@ -116,11 +122,14 @@ pub enum Rule {
     EntropyTaint,
     ParClosureRace,
     ErrorFlow,
+    HotAlloc,
+    LoopInvariantCall,
+    UnitFlow,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NoNondeterminism,
         Rule::NoPanicInLib,
         Rule::FloatHygiene,
@@ -130,6 +139,9 @@ impl Rule {
         Rule::EntropyTaint,
         Rule::ParClosureRace,
         Rule::ErrorFlow,
+        Rule::HotAlloc,
+        Rule::LoopInvariantCall,
+        Rule::UnitFlow,
     ];
 
     pub fn name(self) -> &'static str {
@@ -143,12 +155,44 @@ impl Rule {
             Rule::EntropyTaint => "entropy-taint",
             Rule::ParClosureRace => "par-closure-race",
             Rule::ErrorFlow => "error-flow",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::LoopInvariantCall => "loop-invariant-call",
+            Rule::UnitFlow => "unit-flow",
             Rule::BadSuppression => "bad-suppression",
         }
     }
 
     pub fn from_name(name: &str) -> Option<Rule> {
         Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line summary for report emitters (SARIF `shortDescription`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::NoNondeterminism => {
+                "No wall-clock, entropy, or hash-order APIs in simulation code"
+            }
+            Rule::NoPanicInLib => "Library code must not panic or index unchecked",
+            Rule::FloatHygiene => "Float comparisons go through epsilon helpers",
+            Rule::BenchIsolation => "Only crates/bench may observe the host clock or entropy",
+            Rule::SerialHotLoop => "Hot-path task loops go through sjc_par",
+            Rule::BoundedRetry => "Retry loops name a MAX_* bound",
+            Rule::EntropyTaint => "No transitive entropy reach or clock-derived simulated output",
+            Rule::ParClosureRace => "Parallel closures must not mutate captured state",
+            Rule::ErrorFlow => "Every error variant is constructed and handled; no silent discards",
+            Rule::HotAlloc => "No per-iteration allocation in hot-path loops",
+            Rule::LoopInvariantCall => "Hoist loop-invariant calls out of hot loops",
+            Rule::UnitFlow => "No unit-mixing arithmetic reaching sim_ns/metrics sinks",
+            Rule::BadSuppression => "Suppressions name a known rule and carry a reason",
+        }
+    }
+
+    /// The severity a finding of this rule carries by default.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::LoopInvariantCall => Severity::Warning,
+            _ => Severity::Error,
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 //!    not reach a `sim_ns` field/variable assignment or a `*trace*(…)`
 //!    call argument. Taint is tracked per binding through `let` chains.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use crate::callgraph::CallGraph;
 use crate::items::FileModel;
@@ -133,13 +133,10 @@ fn is_sink_call(name: &str) -> bool {
 /// line often enough for a checker that only has to catch real leaks, not
 /// prove their absence).
 fn flow_violations(m: &FileModel, start: usize, end: usize) -> Vec<Violation> {
-    let toks = &m.toks[start..=end.min(m.toks.len() - 1)];
+    let toks = &m.toks;
     let mut tainted: BTreeSet<String> = BTreeSet::new();
-    // Group token indices by line, preserving order.
-    let mut lines: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (i, t) in toks.iter().enumerate() {
-        lines.entry(t.line).or_default().push(i);
-    }
+    // Statement grouping shared with the unit-flow pass (`crate::dataflow`).
+    let lines = crate::dataflow::group_lines(toks, start, end);
     let mut out = Vec::new();
     for (&line, idxs) in &lines {
         let line_toks: Vec<&Tok> = idxs.iter().map(|&i| &toks[i]).collect();

@@ -1,0 +1,157 @@
+//! Hot-path reachability: which functions run inside the measured region.
+//!
+//! The hot set is seeded from the two places host wall-clock is actually
+//! spent (see DESIGN.md §12):
+//!
+//! 1. **`sjc_par` entry-point closures** — the callees a worker-thread
+//!    closure dispatches to. The closure argument of every
+//!    `par_map`/`join`/… call is scanned for call sites, and the matching
+//!    call-graph edges of the enclosing function become roots. Rooting the
+//!    *callees named inside the closure* rather than the whole enclosing
+//!    function keeps driver-side setup code out of the hot set.
+//! 2. **`crates/bench` functions** — everything the bench harness calls is
+//!    by definition inside a measured region (bench bodies themselves are
+//!    never *flagged*; they only seed traversal into the library crates).
+//!
+//! From those roots the set closes forward over the crate-topology-gated
+//! call graph, the same edges the entropy pass trusts. The closure bodies
+//! handed to `sjc_par` are additionally reported as hot token *ranges* per
+//! file, so loops written inline in a worker closure are covered without
+//! any call-graph hop.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{calls_in, CallGraph, FnId};
+use crate::cfg;
+use crate::items::FileModel;
+use crate::passes::par_closure;
+
+/// The hot-path reachability result for one workspace scan.
+pub(crate) struct HotSet {
+    /// Parallel to `graph.fns`: true when the function is reachable from a
+    /// hot root.
+    pub hot: Vec<bool>,
+    /// Per model index: token ranges of closure bodies handed directly to
+    /// `sjc_par` entry points (hot even when their enclosing fn is not).
+    pub closure_ranges: Vec<Vec<(usize, usize)>>,
+}
+
+pub(crate) fn compute(models: &[FileModel], graph: &CallGraph) -> HotSet {
+    let mut hot = vec![false; graph.fns.len()];
+    let mut work: Vec<FnId> = Vec::new();
+    let mut closure_ranges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); models.len()];
+
+    // Root 2: bench functions (including bench harness files — the bench
+    // crate *is* the measured-region driver).
+    let mut id_of: BTreeMap<(usize, usize), FnId> = BTreeMap::new();
+    for (id, &(fi, gi)) in graph.fns.iter().enumerate() {
+        id_of.insert((fi, gi), id);
+        if models[fi].krate == "bench" && !hot[id] {
+            hot[id] = true;
+            work.push(id);
+        }
+    }
+
+    // Root 1: callees named inside sjc_par entry-point closures.
+    for (mi, m) in models.iter().enumerate() {
+        if m.krate == "par" {
+            continue; // the runtime's internals dispatch their own closures
+        }
+        let toks = &m.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !par_closure::is_par_call(m, i) || m.in_test_at(i) {
+                i += 1;
+                continue;
+            }
+            let open = i + 1;
+            let Some(close) = cfg::matching(toks, open, "(", ")") else { break };
+            let mut j = open + 1;
+            while j < close {
+                if toks[j].is_op("|") || toks[j].is_op("||") {
+                    let (bs, be, _) = par_closure::closure_extent(toks, j, close);
+                    closure_ranges[mi].push((bs, be));
+                    // Every call-graph edge of the enclosing fn whose
+                    // call-site name appears in the closure body is a root.
+                    let names: Vec<String> =
+                        calls_in(toks, bs, be).into_iter().map(|c| c.name).collect();
+                    let caller = m
+                        .fns
+                        .iter()
+                        .rposition(|f| f.body.is_some_and(|(s, e)| s <= i && i <= e))
+                        .and_then(|gi| id_of.get(&(mi, gi)).copied());
+                    if let Some(caller) = caller {
+                        for (callee, via) in &graph.edges[caller] {
+                            if names.iter().any(|n| n == via) && !hot[*callee] {
+                                hot[*callee] = true;
+                                work.push(*callee);
+                            }
+                        }
+                    }
+                    j = be + 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i = close + 1;
+        }
+    }
+
+    // Forward closure: anything a hot function calls is hot.
+    while let Some(id) = work.pop() {
+        for (callee, _) in &graph.edges[id] {
+            if !hot[*callee] {
+                hot[*callee] = true;
+                work.push(*callee);
+            }
+        }
+    }
+
+    HotSet { hot, closure_ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn hot_names(files: &[(&str, &str)]) -> Vec<String> {
+        let models: Vec<FileModel> = files.iter().map(|(p, s)| FileModel::build(p, s)).collect();
+        let graph = callgraph::build(&models);
+        let set = compute(&models, &graph);
+        graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| set.hot[id])
+            .map(|(_, &(fi, gi))| models[fi].fns[gi].name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn par_closure_callees_and_their_callees_are_hot() {
+        let names = hot_names(&[(
+            "crates/index/src/x.rs",
+            "pub fn drive(parts: &[Vec<u64>]) -> Vec<u64> {\n    sjc_par::par_map(parts, |p| kernel(p))\n}\nfn kernel(p: &[u64]) -> u64 { helper(p) }\nfn helper(p: &[u64]) -> u64 { p.len() as u64 }\nfn cold(p: &[u64]) -> u64 { p.len() as u64 }\n",
+        )]);
+        assert!(names.contains(&"kernel".to_string()), "{names:?}");
+        assert!(names.contains(&"helper".to_string()), "{names:?}");
+        assert!(!names.contains(&"cold".to_string()), "{names:?}");
+        // The driver itself is not hot — only what the closure dispatches.
+        assert!(!names.contains(&"drive".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn bench_fns_seed_reachability_across_crates() {
+        let names = hot_names(&[
+            (
+                "crates/bench/src/suite.rs",
+                "use sjc_core::run_join;\npub fn measure() -> u64 { run_join() }\n",
+            ),
+            ("crates/core/src/join.rs", "pub fn run_join() -> u64 { inner() }\nfn inner() -> u64 { 1 }\nfn unused() -> u64 { 2 }\n"),
+        ]);
+        assert!(names.contains(&"run_join".to_string()), "{names:?}");
+        assert!(names.contains(&"inner".to_string()), "{names:?}");
+        assert!(!names.contains(&"unused".to_string()), "{names:?}");
+    }
+}

@@ -16,13 +16,28 @@
 //!   handled somewhere, and library code never silently discards a
 //!   `Result`.
 //!
+//! The control-flow layer ([`crate::cfg`], [`crate::dataflow`], and the
+//! hot-path reachability in [`hot`]) adds three more:
+//!
+//! * [`hot_alloc`] — no per-iteration allocation inside a loop of any
+//!   function reachable from an `sjc_par` entry-point closure or a
+//!   `crates/bench` kernel;
+//! * [`loop_invariant`] — calls with all-loop-invariant arguments inside
+//!   hot loops (warning: hoist them out);
+//! * [`unit_flow`] — no `+`/`-` arithmetic mixing `*_ns`/`*_bytes`/count
+//!   bindings, and no non-nanosecond value reaching a `*_ns` sink.
+//!
 //! Suppression works exactly as for the line rules: an inline allow
 //! comment naming the rule, with a reason, on (or directly above) the
 //! reported line.
 
 pub mod entropy;
 pub mod error_flow;
+pub(crate) mod hot;
+pub mod hot_alloc;
+pub mod loop_invariant;
 pub mod par_closure;
+pub mod unit_flow;
 
 use std::io;
 use std::path::Path;
@@ -48,6 +63,10 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     let mut out = entropy::run(&models, &graph);
     out.extend(par_closure::run(&models));
     out.extend(error_flow::run(&models));
+    let hot_set = hot::compute(&models, &graph);
+    out.extend(hot_alloc::run(&models, &graph, &hot_set));
+    out.extend(loop_invariant::run(&models, &graph, &hot_set));
+    out.extend(unit_flow::run(&models));
 
     // Apply suppressions: pass findings honor the same audited allow
     // comments as the line rules.

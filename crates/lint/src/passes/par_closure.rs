@@ -86,8 +86,10 @@ pub fn run(models: &[FileModel]) -> Vec<Violation> {
 /// True when token `i` heads a call to a `sjc_par` entry point. Bare names
 /// count when they are unmistakable (`par_*`) or demonstrably imported from
 /// sjc_par; `join` additionally requires qualification or an import, so
-/// `path.join(…)` and the spatial-join functions never match.
-fn is_par_call(m: &FileModel, i: usize) -> bool {
+/// `path.join(…)` and the spatial-join functions never match. Shared with
+/// the hot-path passes, whose root set is "closures handed to these entry
+/// points".
+pub(crate) fn is_par_call(m: &FileModel, i: usize) -> bool {
     let toks = &m.toks;
     let t = &toks[i];
     if t.kind != TokKind::Ident
@@ -131,7 +133,11 @@ fn matching(toks: &[Tok], open: usize, op: &str, cl: &str) -> Option<usize> {
 /// From the `|`/`||` at `j`, returns (body_start, body_end, param idents).
 /// A braced body runs to its matching `}`; an expression body runs to the
 /// next `,` at argument depth or to `arg_close`.
-fn closure_extent(toks: &[Tok], j: usize, arg_close: usize) -> (usize, usize, BTreeSet<String>) {
+pub(crate) fn closure_extent(
+    toks: &[Tok],
+    j: usize,
+    arg_close: usize,
+) -> (usize, usize, BTreeSet<String>) {
     let mut params = BTreeSet::new();
     let mut k = j + 1;
     if toks[j].is_op("|") {

@@ -1,0 +1,336 @@
+//! Unit-flow pass: no arithmetic that mixes physical units.
+//!
+//! The simulation's numbers all travel as bare `u64`s — simulated
+//! nanoseconds (`sim_ns`, `*_ns`), byte volumes (`*_bytes`), and counts
+//! (`*_count`, `*_attempts`). The type system cannot tell them apart, so a
+//! `total_ns + shuffle_bytes` typo compiles and quietly corrupts a
+//! simulated result. This pass derives a unit for every binding — from its
+//! name suffix, or through `let` chains via the [`crate::dataflow`]
+//! machinery — and flags
+//!
+//! * `+`/`-`/`+=`/`-=` between two operands of *different known* units
+//!   (multiplication and division are exempt: `bytes * ns_per_byte` is how
+//!   conversions are spelled), and
+//! * a non-nanosecond value reaching a `*_ns`/`sim_ns` sink through a plain
+//!   `=`/`: ` assignment whose right-hand side has no converting `*`/`/`.
+//!
+//! Name-derived units win over flow-derived ones (a binding named
+//! `total_ns` *is* nanoseconds, whatever fed it — the mixing is flagged at
+//! the arithmetic, not at the rename), and identifiers containing `per`
+//! carry no unit: `ns_per_byte` is a rate, not a byte count.
+
+use crate::dataflow::{self, Flow, LetBinding};
+use crate::items::FileModel;
+use crate::lexer::{Tok, TokKind};
+use crate::{Rule, Violation};
+
+/// The units the simulation's identifiers encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Unit {
+    Ns,
+    Bytes,
+    Count,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Ns => "ns",
+            Unit::Bytes => "bytes",
+            Unit::Count => "count",
+        }
+    }
+}
+
+/// The unit an identifier's *name* declares, from its last `_`-segment.
+/// `per`-containing names are rates and carry no unit.
+pub(crate) fn unit_of_name(name: &str) -> Option<Unit> {
+    if name.split('_').any(|seg| seg == "per") {
+        return None;
+    }
+    match name.rsplit('_').next().unwrap_or(name) {
+        "ns" => Some(Unit::Ns),
+        "bytes" | "byte" => Some(Unit::Bytes),
+        "count" | "counts" | "attempts" => Some(Unit::Count),
+        _ => None,
+    }
+}
+
+pub fn run(models: &[FileModel]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in models {
+        if m.harness {
+            continue;
+        }
+        for f in &m.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((s, e)) = f.body else { continue };
+            check_body(m, s, e, &mut out);
+        }
+    }
+    out
+}
+
+/// The unit of the identifier at token `k`, resolved name-first, then
+/// through the flow facts. Field chains use the field's own name (`e.
+/// wasted_ns` is nanoseconds regardless of what `e` is).
+fn unit_at(toks: &[Tok], k: usize, flow: &Flow<Unit>) -> Option<Unit> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    unit_of_name(&t.text).or_else(|| {
+        // Flow facts apply to whole bindings, not fields of one.
+        let is_field = k >= 1 && toks[k - 1].is_op(".");
+        if is_field {
+            None
+        } else {
+            flow.get(&t.text).copied()
+        }
+    })
+}
+
+fn check_body(m: &FileModel, start: usize, end: usize, out: &mut Vec<Violation>) {
+    let toks = &m.toks;
+    let end = end.min(toks.len().saturating_sub(1));
+    let bindings = dataflow::let_bindings(toks, start, end);
+    let mut next_binding = 0usize;
+    let mut flow: Flow<Unit> = Flow::new();
+
+    let mut k = start;
+    while k <= end {
+        // Apply every binding whose initializer we have fully walked past,
+        // so checks inside an initializer use the pre-binding facts.
+        while next_binding < bindings.len() && bindings[next_binding].rhs.1 < k {
+            apply_binding(toks, &bindings[next_binding], &mut flow);
+            next_binding += 1;
+        }
+        let t = &toks[k];
+
+        // Mixing: `a_ns + b_bytes`, `acc_ns -= delta_bytes`, …
+        if t.kind == TokKind::Op
+            && matches!(t.text.as_str(), "+" | "-" | "+=" | "-=")
+            && k > start
+            && k < end
+        {
+            let lhs = unit_at(toks, k - 1, &flow);
+            let rhs = unit_at(toks, k + 1, &flow);
+            if let (Some(l), Some(r)) = (lhs, rhs) {
+                if l != r {
+                    out.push(Violation::new(
+                        Rule::UnitFlow,
+                        &m.rel_path,
+                        t.line,
+                        format!(
+                            "`{}` ({}) and `{}` ({}) are combined with `{}` — different units \
+                             never add; convert explicitly (multiply by a rate) first",
+                            toks[k - 1].text,
+                            l.name(),
+                            toks[k + 1].text,
+                            r.name(),
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Sink: `…_ns = <expr>` / `sim_ns: <expr>` receiving a known
+        // non-nanosecond operand with no converting `*`/`/` in the
+        // expression.
+        if t.kind == TokKind::Ident
+            && unit_of_name(&t.text) == Some(Unit::Ns)
+            && toks.get(k + 1).is_some_and(|n| n.is_op("=") || n.is_op(":"))
+        {
+            if let Some((bad_tok, bad_unit)) = offending_rhs(toks, k + 2, end, &flow) {
+                out.push(Violation::new(
+                    Rule::UnitFlow,
+                    &m.rel_path,
+                    t.line,
+                    format!(
+                        "`{}` ({}) flows into `{}` — a nanosecond sink must receive \
+                         nanoseconds; convert with an explicit rate first",
+                        toks[bad_tok].text,
+                        bad_unit.name(),
+                        t.text
+                    ),
+                ));
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Scans the value expression starting at `from` (after `=`/`:`) up to a
+/// `,`/`;`/closer at depth 0. Returns the first operand with a known
+/// non-`Ns` unit — unless a `*`/`/` at depth 0 marks the expression as a
+/// conversion, or any operand is already `Ns` (then the `+`/`-` mixing
+/// check owns the finding).
+fn offending_rhs(
+    toks: &[Tok],
+    from: usize,
+    end: usize,
+    flow: &Flow<Unit>,
+) -> Option<(usize, Unit)> {
+    let mut depth = 0i64;
+    let mut first_bad: Option<(usize, Unit)> = None;
+    let mut k = from;
+    while k <= end {
+        let t = &toks[k];
+        if t.is_op("(") || t.is_op("[") || t.is_op("{") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") || t.is_op("}") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_op(",") || t.is_op(";")) {
+            break;
+        } else if depth == 0 && (t.is_op("*") || t.is_op("/")) {
+            return None; // conversion expression
+        } else if depth == 0 && t.kind == TokKind::Ident {
+            match unit_at(toks, k, flow) {
+                Some(Unit::Ns) => return None,
+                Some(u) if first_bad.is_none() => first_bad = Some((k, u)),
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    first_bad
+}
+
+/// Applies one `let` binding to the fact environment: the bound name takes
+/// its name-declared unit if it has one, else the unit the initializer
+/// propagates — a single known unit among its top-level operands, with
+/// `*`/`/` (conversions) clearing the fact.
+fn apply_binding(toks: &[Tok], b: &LetBinding, flow: &mut Flow<Unit>) {
+    if b.names.len() != 1 {
+        // Tuple patterns: positional matching is more machinery than the
+        // workspace needs; unmodeled bindings just carry no fact.
+        for n in &b.names {
+            flow.bind(n, unit_of_name(n));
+        }
+        return;
+    }
+    let name = &b.names[0];
+    if let Some(u) = unit_of_name(name) {
+        flow.bind(name, Some(u));
+        return;
+    }
+    let (rs, re) = b.rhs;
+    let mut depth = 0i64;
+    let mut derived: Option<Unit> = None;
+    for k in rs..=re {
+        let t = &toks[k];
+        if t.is_op("(") || t.is_op("[") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_op("*") || t.is_op("/")) {
+            derived = None; // a conversion: the result's unit is not an operand's
+            break;
+        } else if depth <= 0 && t.kind == TokKind::Ident {
+            if let Some(u) = unit_at(toks, k, flow) {
+                match derived {
+                    None => derived = Some(u),
+                    Some(d) if d != u => {
+                        // Mixed rhs: the arithmetic check reports it; the
+                        // binding itself gets no trustworthy unit.
+                        derived = None;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    flow.bind(name, derived);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> Vec<Violation> {
+        run(&[FileModel::build("crates/cluster/src/x.rs", src)])
+    }
+
+    #[test]
+    fn direct_mixing_fires() {
+        let vs = analyze(
+            "fn f(task_ns: u64, shuffle_bytes: u64) -> u64 {\n    task_ns + shuffle_bytes\n}\n",
+        );
+        assert!(
+            vs.iter().any(|v| v.rule == Rule::UnitFlow && v.message.contains("shuffle_bytes")),
+            "{vs:?}"
+        );
+        let vs = analyze(
+            "fn f(total_ns: &mut u64, read_bytes: u64) {\n    *total_ns += read_bytes;\n}\n",
+        );
+        assert!(vs.iter().any(|v| v.rule == Rule::UnitFlow), "{vs:?}");
+    }
+
+    #[test]
+    fn flow_through_let_chains_fires() {
+        let vs = analyze(
+            "fn f(task_ns: u64, read_bytes: u64) -> u64 {\n    let moved = read_bytes;\n    task_ns + moved\n}\n",
+        );
+        assert!(vs.iter().any(|v| v.message.contains("moved")), "{vs:?}");
+    }
+
+    #[test]
+    fn same_unit_and_conversions_are_clean() {
+        for ok in [
+            "fn f(a_ns: u64, b_ns: u64) -> u64 { a_ns + b_ns }\n",
+            "fn f(read_bytes: u64, ns_per_byte: u64) -> u64 { read_bytes * ns_per_byte }\n",
+            "fn f(read_bytes: u64, rate: u64) -> u64 {\n    let cost_ns = read_bytes * rate;\n    cost_ns\n}\n",
+            "fn f(a_count: u64, b_count: u64) -> u64 { a_count - b_count }\n",
+            "fn f(xs: &[u64]) -> u64 { xs.len() as u64 + 1 }\n",
+        ] {
+            assert!(analyze(ok).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn ns_sink_rejects_unconverted_bytes() {
+        let vs = analyze("fn f(r: &mut R, read_bytes: u64) {\n    r.sim_ns = read_bytes;\n}\n");
+        assert!(vs.iter().any(|v| v.message.contains("sim_ns")), "{vs:?}");
+        // A converted value is fine.
+        let vs = analyze(
+            "fn f(r: &mut R, read_bytes: u64, ns_per_byte: u64) {\n    r.sim_ns = read_bytes * ns_per_byte;\n}\n",
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+        // Struct-literal field init is a sink too.
+        let vs =
+            analyze("fn f(read_bytes: u64) -> R {\n    R { sim_ns: read_bytes, other: 0 }\n}\n");
+        assert!(vs.iter().any(|v| v.message.contains("sim_ns")), "{vs:?}");
+    }
+
+    #[test]
+    fn name_derived_unit_wins_over_flow() {
+        // `total_ns` *is* ns by name: assigning bytes into it is the sink
+        // finding; downstream `total_ns + x_ns` must NOT also fire.
+        let vs = analyze(
+            "fn f(read_bytes: u64, x_ns: u64) -> u64 {\n    let total_ns = read_bytes;\n    total_ns + x_ns\n}\n",
+        );
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("total_ns"), "{vs:?}");
+    }
+
+    #[test]
+    fn rebinding_kills_stale_facts() {
+        let vs = analyze(
+            "fn f(task_ns: u64, read_bytes: u64, plain: u64) -> u64 {\n    let moved = read_bytes;\n    let moved = plain;\n    task_ns + moved\n}\n",
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(a_ns: u64, b_bytes: u64) -> u64 { a_ns + b_bytes }\n}\n";
+        assert!(analyze(src).is_empty(), "{src}");
+    }
+}

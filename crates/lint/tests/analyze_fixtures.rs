@@ -21,6 +21,12 @@ fn each_pass_has_a_firing_and_a_clean_fixture() {
         ("par_closure_ok", None),
         ("error_flow_bad", Some(Rule::ErrorFlow)),
         ("error_flow_ok", None),
+        ("hot_alloc_bad", Some(Rule::HotAlloc)),
+        ("hot_alloc_ok", None),
+        ("loop_invariant_bad", Some(Rule::LoopInvariantCall)),
+        ("loop_invariant_ok", None),
+        ("unit_flow_bad", Some(Rule::UnitFlow)),
+        ("unit_flow_ok", None),
     ];
     for (name, expected) in table {
         let vs = analyze_workspace(&fixture(name))
@@ -40,6 +46,37 @@ fn each_pass_has_a_firing_and_a_clean_fixture() {
             None => assert!(vs.is_empty(), "{name}: expected clean, got {vs:?}"),
         }
     }
+}
+
+#[test]
+fn hot_alloc_bad_names_the_site_and_the_loop() {
+    let vs = analyze_workspace(&fixture("hot_alloc_bad")).unwrap();
+    assert!(
+        vs.iter().any(|v| v.path == "crates/core/src/join.rs"
+            && v.message.contains(".to_string()")
+            && v.message.contains("hot loop")),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn loop_invariant_findings_are_warnings_not_errors() {
+    let vs = analyze_workspace(&fixture("loop_invariant_bad")).unwrap();
+    assert!(
+        vs.iter()
+            .all(|v| v.rule == Rule::LoopInvariantCall && v.severity == sjc_lint::Severity::Warning),
+        "{vs:?}"
+    );
+    assert!(vs.iter().any(|v| v.message.contains("`weight(")), "{vs:?}");
+}
+
+#[test]
+fn unit_flow_bad_reports_mixing_flow_and_sink() {
+    let vs = analyze_workspace(&fixture("unit_flow_bad")).unwrap();
+    // Direct mixing, mixing through a `let` chain, and the unconverted sink.
+    assert!(vs.iter().any(|v| v.message.contains("shuffle_bytes")), "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("`moved`")), "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("sim_ns")), "{vs:?}");
 }
 
 #[test]

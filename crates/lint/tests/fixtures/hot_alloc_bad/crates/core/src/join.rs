@@ -1,0 +1,15 @@
+//! Fixture: a par-map kernel allocating per record inside its hot loop —
+//! the per-tuple overhead the hot-alloc pass exists to flag.
+
+pub fn drive(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| kernel(p))
+}
+
+fn kernel(p: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in p.iter() {
+        let s = x.to_string();
+        acc += s.len() as u64;
+    }
+    acc
+}

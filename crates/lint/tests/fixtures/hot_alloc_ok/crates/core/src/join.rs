@@ -1,0 +1,23 @@
+//! Fixture: the sanctioned idioms — a pre-sized buffer filled in the hot
+//! loop, and a per-iteration allocation in a function the hot set cannot
+//! reach (the reachability gate, not a suppression, keeps it clean).
+
+pub fn drive(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| kernel(p))
+}
+
+fn kernel(p: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(p.len());
+    for x in p.iter() {
+        buf.push(x + 1);
+    }
+    buf.len() as u64
+}
+
+fn cold_report(p: &[u64]) -> Vec<String> {
+    let mut rows = Vec::with_capacity(p.len());
+    for x in p.iter() {
+        rows.push(x.to_string());
+    }
+    rows
+}

@@ -1,0 +1,19 @@
+//! Fixture: a hot loop recomputing a call whose arguments never change —
+//! one hash per record for a value the loop cannot alter.
+
+pub fn drive(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| kernel(p, 3))
+}
+
+fn kernel(p: &[u64], k: u64) -> u64 {
+    let mut acc = 0u64;
+    for x in p.iter() {
+        let w = weight(k);
+        acc += w + x;
+    }
+    acc
+}
+
+fn weight(k: u64) -> u64 {
+    k * 2
+}

@@ -1,0 +1,19 @@
+//! Fixture: the hoisted form of `loop_invariant_bad` — the invariant call
+//! is computed once above the loop, and the loop-fed call is left alone.
+
+pub fn drive(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| kernel(p, 3))
+}
+
+fn kernel(p: &[u64], k: u64) -> u64 {
+    let w = weight(k);
+    let mut acc = 0u64;
+    for x in p.iter() {
+        acc += w + weight(*x);
+    }
+    acc
+}
+
+fn weight(k: u64) -> u64 {
+    k * 2
+}

@@ -1,0 +1,16 @@
+//! Fixture: unit-mixing arithmetic — nanoseconds and bytes combined with
+//! `+`, directly and through a `let` chain, plus bytes reaching an `_ns`
+//! sink without a converting rate.
+
+pub fn mixed_total(task_ns: u64, shuffle_bytes: u64) -> u64 {
+    task_ns + shuffle_bytes
+}
+
+pub fn mixed_through_flow(task_ns: u64, read_bytes: u64) -> u64 {
+    let moved = read_bytes;
+    task_ns + moved
+}
+
+pub fn unconverted_sink(row: &mut Row, read_bytes: u64) {
+    row.sim_ns = read_bytes;
+}

@@ -1,0 +1,15 @@
+//! Fixture: unit-correct arithmetic — same-unit sums, and bytes converted
+//! to nanoseconds through an explicit rate before reaching the sink.
+
+pub fn same_unit_total(map_ns: u64, reduce_ns: u64) -> u64 {
+    map_ns + reduce_ns
+}
+
+pub fn converted(read_bytes: u64, ns_per_byte: u64) -> u64 {
+    let cost_ns = read_bytes * ns_per_byte;
+    cost_ns
+}
+
+pub fn converted_sink(row: &mut Row, read_bytes: u64, ns_per_byte: u64) {
+    row.sim_ns = read_bytes * ns_per_byte;
+}

@@ -123,6 +123,7 @@ impl<'a, 'b> StreamingJob<'a, 'b> {
             let full = ((gb + out) as f64 * cfg.multiplier) as u64;
             if full > limit {
                 return Err(SimError::BrokenPipe {
+                    // sjc-lint: allow(hot-alloc) — cold error return: allocates once, then the run is over
                     stage: cfg.name.clone(),
                     payload_bytes: full,
                     limit_bytes: limit,

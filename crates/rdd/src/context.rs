@@ -47,7 +47,8 @@ impl<'a> SparkContext<'a> {
         let mut partitions: Vec<Vec<T>> = Vec::with_capacity(parts);
         let mut it = records.into_iter();
         loop {
-            let part: Vec<T> = it.by_ref().take(chunk).collect();
+            let mut part: Vec<T> = Vec::with_capacity(chunk);
+            part.extend(it.by_ref().take(chunk));
             if part.is_empty() {
                 break;
             }
@@ -142,6 +143,7 @@ impl<'a> SparkContext<'a> {
             events.extend(sched.events);
             makespan += sched.makespan;
             let dead_after = plan.dead_nodes_at(start + makespan);
+            // sjc-lint: allow(hot-alloc) — crash-recovery bookkeeping: runs once per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
             let newly: Vec<u32> =
                 dead_after.iter().copied().filter(|n| !dead_before.contains(n)).collect();
             if newly.is_empty() {
@@ -150,6 +152,7 @@ impl<'a> SparkContext<'a> {
             // Cached partitions live round-robin across nodes; the ones on
             // the fresh casualties recompute through their whole lineage.
             let depth = lineage_depth.max(1);
+            // sjc-lint: allow(hot-alloc) — crash-recovery bookkeeping: the lost set becomes the next resubmission's work list (≤ MAX_STAGE_RESUBMITS rounds)
             let lost: Vec<SimNs> = pending_ns
                 .iter()
                 .enumerate()
@@ -162,6 +165,7 @@ impl<'a> SparkContext<'a> {
             resubmit += 1;
             if resubmit > MAX_STAGE_RESUBMITS {
                 return Err(SimError::NodeLost {
+                    // sjc-lint: allow(hot-alloc) — cold error return: allocates once, then the run is over
                     stage: name.to_string(),
                     node: newly.first().copied().unwrap_or(0),
                 });
@@ -169,6 +173,7 @@ impl<'a> SparkContext<'a> {
             let lost_work: SimNs = lost.iter().sum();
             st.wasted_ns += lost_work;
             events.push(RecoveryEvent {
+                // sjc-lint: allow(hot-alloc) — crash-recovery event: one per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
                 stage: name.to_string(),
                 kind: RecoveryKind::PartitionRecompute {
                     partitions: lost.len() as u64,
@@ -177,6 +182,7 @@ impl<'a> SparkContext<'a> {
                 wasted_ns: lost_work,
             });
             events.push(RecoveryEvent {
+                // sjc-lint: allow(hot-alloc) — crash-recovery event: one per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
                 stage: name.to_string(),
                 kind: RecoveryKind::StageResubmit { attempt: resubmit },
                 wasted_ns: 0,

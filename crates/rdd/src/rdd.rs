@@ -226,6 +226,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             for rec in part {
                 state = lcg_step(state);
                 if (state >> 1) < (threshold >> 1) {
+                    // sjc-lint: allow(hot-alloc) — the clone IS the sample output: kept records must be owned by the result
                     kept.push(rec.clone());
                 }
             }

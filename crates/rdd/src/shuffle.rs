@@ -33,6 +33,7 @@ where
         let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
         for rec in part {
             let (k, v) = kv(rec);
+            // sjc-lint: allow(hot-alloc) — the shuffle map owns its keys/values: the clone materializes the build side itself
             local.entry(k.clone()).or_default().push(v.clone());
         }
         local
@@ -88,6 +89,7 @@ where
                 ns += cost.io_ns((ser as f64 * remote_fraction) as u64, node.slot_net_bw());
                 let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
                 for (k, v) in part {
+                    // sjc-lint: allow(hot-alloc) — the grouped output owns its keys/values: the clone materializes the result
                     local.entry(k.clone()).or_default().push(v.clone());
                 }
                 (ns, local)
@@ -191,6 +193,7 @@ where
                 match local.get_mut(k) {
                     Some(acc) => *acc = f(acc, v),
                     None => {
+                        // sjc-lint: allow(hot-alloc) — first sight of a key: the combiner map must own it; every later record folds in place
                         local.insert(k.clone(), v.clone());
                     }
                 }
@@ -335,6 +338,7 @@ where
                 let mut out = Vec::with_capacity(avs.len() * bvs.len());
                 for a in avs {
                     for b in bvs {
+                        // sjc-lint: allow(hot-alloc) — join output pairs own their records: the clones materialize the cross product itself
                         out.push((k.clone(), (a.clone(), b.clone())));
                     }
                 }

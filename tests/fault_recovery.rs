@@ -11,7 +11,10 @@
 //!    work is visible in the trace, and the join results are identical to
 //!    the fault-free run.
 
-use sjc_cluster::{Cluster, ClusterConfig, FaultPlan, RunTrace};
+use std::collections::BTreeMap;
+
+use sjc_cluster::scheduler::faulty_makespan;
+use sjc_cluster::{Cluster, ClusterConfig, FaultPlan, RecoveryKind, RunTrace, SimNs};
 use sjc_core::experiment::{SystemKind, Workload};
 use sjc_core::framework::{JoinInput, JoinPredicate};
 use sjc_testkit::cases;
@@ -172,6 +175,58 @@ fn recovery_never_changes_results_proptest() {
             }
         }
     });
+}
+
+#[test]
+fn retry_backoff_shifts_attempt_histograms_and_costs_time() {
+    // The bounded exponential backoff delays every disk-error retry by a
+    // jittered [cap/2, cap] interval. Around a node crash that delay is not
+    // just slower — it reshuffles which attempts launch on the doomed node
+    // (a retry pushed past the crash is stashed off the dying slot instead
+    // of being KILLED on it), so the histogram of attempt outcomes shifts,
+    // not only the makespan. The per-attempt-number retry counts, by
+    // contrast, are pure `(stage, task, attempt)` hash draws and must stay
+    // bit-identical whatever the backoff does to the timeline.
+    let config = ClusterConfig::ec2(4);
+    let with = FaultPlan::seeded(7, &config).with_disk_errors(0.3).crash_at(1, 3_000_000_000);
+    let without = with.clone().with_retry_backoff(0);
+    assert_eq!(with.retry_backoff_base_ns, sjc_cluster::RETRY_BACKOFF_BASE_NS);
+    let tasks: Vec<SimNs> = (0..64).map(|i| 1_000_000_000 + 37_000_000 * (i % 11)).collect();
+
+    // (makespan, attempt-outcome histogram, per-attempt-number retry counts)
+    let run = |plan: &FaultPlan| {
+        let s = faulty_makespan(&tasks, 2, 4, plan, "map", 0, false).expect("wave survives");
+        let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut retries_by_attempt: BTreeMap<u32, u64> = BTreeMap::new();
+        outcomes.insert("launched", s.attempts);
+        for e in &s.events {
+            match e.kind {
+                RecoveryKind::TaskRetry { attempt, .. } => {
+                    *outcomes.entry("failed").or_default() += 1;
+                    *retries_by_attempt.entry(attempt).or_default() += 1;
+                }
+                RecoveryKind::NodeCrash { tasks_killed, .. } => {
+                    *outcomes.entry("killed").or_default() += tasks_killed;
+                }
+                _ => {}
+            }
+        }
+        (s.makespan, outcomes, retries_by_attempt)
+    };
+    let (backed_ns, backed_outcomes, backed_retries) = run(&with);
+    let (eager_ns, eager_outcomes, eager_retries) = run(&without);
+    assert!(backed_outcomes["failed"] > 0, "the plan injects retries");
+    assert!(backed_ns > eager_ns, "backoff gaps cost simulated time: {backed_ns} <= {eager_ns}");
+    assert_ne!(
+        backed_outcomes, eager_outcomes,
+        "backoff around a crash must shift the attempt-outcome histogram"
+    );
+    assert_eq!(
+        backed_retries, eager_retries,
+        "disk-error draws are pure in (stage, task, attempt) — backoff must not change them"
+    );
+    // And the backed-off schedule is still a pure function of its inputs.
+    assert_eq!(run(&with), run(&with));
 }
 
 #[test]

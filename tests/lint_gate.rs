@@ -16,7 +16,7 @@
 
 use std::path::Path;
 
-use sjc_lint::{check_all, check_file, check_workspace, json, Rule};
+use sjc_lint::{check_all, check_file, check_workspace, json, sarif, Rule, Violation};
 
 /// The gate: `cargo test -q` fails if any workspace source regresses under
 /// the line rules **or** the `sjc-analyze` passes.
@@ -57,6 +57,40 @@ fn baseline_ratchet_holds_and_documents_every_rule() {
     let violations = check_all(root).expect("workspace scan must succeed");
     let counts = json::Counts::from_violations(&violations);
     counts.ratchet_against(&baseline).unwrap_or_else(|e| panic!("baseline ratchet failed:\n{e}"));
+}
+
+/// The ratchet compares per-(rule, file) cells, not just totals: a
+/// violation that merely *moves* between files — totals flat — must still
+/// be rejected, otherwise churn could smuggle regressions into files the
+/// baseline records as clean.
+#[test]
+fn ratchet_rejects_a_per_file_increase_even_at_flat_totals() {
+    let baseline = json::Counts::from_violations(&[Violation::new(
+        Rule::HotAlloc,
+        "crates/a/src/x.rs",
+        3,
+        "seeded".to_string(),
+    )]);
+    let fresh = json::Counts::from_violations(&[Violation::new(
+        Rule::HotAlloc,
+        "crates/b/src/y.rs",
+        3,
+        "seeded".to_string(),
+    )]);
+    assert_eq!(fresh.total, baseline.total, "the move keeps totals flat");
+    let err = fresh.ratchet_against(&baseline).expect_err("per-file cell must be enforced");
+    assert!(err.contains("crates/b/src/y.rs"), "error names the regressed file: {err}");
+}
+
+/// `--format sarif` on the live workspace scan must produce a report the
+/// crate's own SARIF 2.1.0 checker accepts — the same artifact CI uploads
+/// to code scanning.
+#[test]
+fn sarif_report_from_the_live_scan_validates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = check_all(root).expect("workspace scan must succeed");
+    let report = sarif::report(&violations);
+    sarif::validate(&report).unwrap_or_else(|e| panic!("live SARIF report invalid: {e}"));
 }
 
 /// `--format json` and the baseline file share one parser: a report emitted
