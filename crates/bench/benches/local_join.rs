@@ -1,12 +1,13 @@
-//! Local-join algorithm benchmarks: the three §II.C filter algorithms at
-//! realistic partition sizes (wall-clock of the real computation — the
-//! simulated-cost comparison is in `reproduce ablations`).
+//! Local-join algorithm benchmarks: the three §II.C filter algorithms plus
+//! the cache-conscious striped sweep at realistic partition sizes
+//! (wall-clock of the real computation — the simulated-cost comparison is
+//! in `reproduce ablations`).
 
 use sjc_bench::microbench::{black_box, Bench};
 use sjc_data::rng::StdRng;
 use sjc_geom::Mbr;
 use sjc_index::entry::IndexEntry;
-use sjc_index::join::{indexed_nested_loop, plane_sweep, sync_rtree};
+use sjc_index::join::{indexed_nested_loop, plane_sweep, stripe_sweep, sync_rtree};
 
 fn entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -36,7 +37,24 @@ fn bench_algorithms(b: &mut Bench) {
         b.bench_in("local_join", &format!("sync_rtree/{n}"), || {
             sync_rtree(black_box(&left), black_box(&right)).pairs.len()
         });
+        b.bench_in("local_join", &format!("stripe_sweep/{n}"), || {
+            stripe_sweep(black_box(&left), black_box(&right)).pairs.len()
+        });
     }
+}
+
+fn bench_old_vs_new_kernel(b: &mut Bench) {
+    // The EXPERIMENTS.md §local-join-kernel table: classic AoS plane sweep
+    // vs the striped SoA kernel on the exact perfsnap local_join workload,
+    // so the microbench and the snapshot tell the same story.
+    let left = entries(60_000, 21, 1000.0, 3.0);
+    let right = entries(30_000, 22, 1000.0, 3.0);
+    b.bench_in("local_join_kernel", "plane_sweep/60k_x_30k", || {
+        plane_sweep(black_box(&left), black_box(&right)).pairs.len()
+    });
+    b.bench_in("local_join_kernel", "stripe_sweep/60k_x_30k", || {
+        stripe_sweep(black_box(&left), black_box(&right)).pairs.len()
+    });
 }
 
 fn bench_selectivity_extremes(b: &mut Bench) {
@@ -57,5 +75,6 @@ fn bench_selectivity_extremes(b: &mut Bench) {
 fn main() {
     let mut b = Bench::from_args();
     bench_algorithms(&mut b);
+    bench_old_vs_new_kernel(&mut b);
     bench_selectivity_extremes(&mut b);
 }

@@ -1,30 +1,40 @@
 //! `perfsnap` — one-shot host-performance snapshot of the hot suites.
 //!
-//! Runs the `local_join` and `systems_e2e` workloads once at
-//! `SJC_PAR_THREADS=1` and once at the full hardware thread budget, and
-//! writes `BENCH_baseline.json` at the repo root mapping each run to
-//! `{wall_ms, sim_ns, threads}`. Two invariants are checked while
-//! measuring:
+//! Runs the `local_join`, `data_gen` and `systems_e2e` workloads at a fixed
+//! ladder of thread budgets — `@1`, `@4`, `@8`, plus `--threads N` if given
+//! — and writes `BENCH_baseline.json` at the repo root mapping each
+//! `<suite>@<threads>` cell to `{wall_ms, sim_ns, threads}`. The ladder is
+//! fixed rather than "serial + hardware" so the snapshot keys are unique on
+//! any host: on a single-core machine the old scheme produced
+//! `local_join@1` twice and the last copy silently won. Two invariants are
+//! checked while measuring:
 //!
-//! * **simulation is thread-count independent** — `sim_ns` of the e2e suite
+//! * **simulation is thread-count independent** — `sim_ns` of each suite
 //!   must be bit-identical at every thread budget (the process exits
 //!   non-zero otherwise);
 //! * **parallelism pays** — the printed speedup column is the serial wall
-//!   over the parallel wall (≈1.0 on a single-core host, ≥2× expected on
-//!   multi-core machines).
+//!   over that row's wall (≈1.0 on a single-core host, where extra threads
+//!   only add coordination; ≥2× expected on multi-core machines).
 //!
 //! After the baseline, the fault sweep runs each system under the
 //! none/light/heavy fault presets and writes `BENCH_faults.json` — all
 //! simulated numbers, so that file is bit-stable across machines.
 //!
+//! `--check` skips all timing and re-parses the two checked-in snapshots
+//! with [`sjc_bench::baseline`] (which rejects duplicate keys at every
+//! object level), verifying the schema and the thread-independence of
+//! `sim_ns` — cheap enough for CI on any hardware.
+//!
 //! ```text
 //! cargo run --release -p sjc-bench --bin perfsnap            # write BENCH_baseline.json + BENCH_faults.json
-//! cargo run --release -p sjc-bench --bin perfsnap -- --out snap.json --faults-out faults.json --threads 4
+//! cargo run --release -p sjc-bench --bin perfsnap -- --out snap.json --faults-out faults.json --threads 16
+//! cargo run --release -p sjc-bench --bin perfsnap -- --check # validate the checked-in snapshots, no timing
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use sjc_bench::baseline::{self, Baseline};
 use sjc_bench::microbench::black_box;
 use sjc_cluster::{Cluster, ClusterConfig, FaultPlan};
 use sjc_core::experiment::{ExperimentGrid, SystemKind, Workload};
@@ -34,12 +44,16 @@ use sjc_data::rng::StdRng;
 use sjc_data::{DatasetId, ScaledDataset};
 use sjc_geom::Mbr;
 use sjc_index::entry::IndexEntry;
-use sjc_index::join::plane_sweep;
+use sjc_index::join::stripe_sweep;
 
 /// Experiment scale for the e2e suite: small enough for a quick snapshot,
 /// large enough that the grid dominates process startup.
 const SCALE: f64 = 1e-4;
 const SEED: u64 = 20150701;
+
+/// Thread budgets every snapshot records. Fixed so the JSON keys are the
+/// same (and unique) regardless of the host's core count.
+const BUDGETS: [usize; 3] = [1, 4, 8];
 
 /// One measured run of a suite.
 struct Snap {
@@ -63,14 +77,14 @@ fn random_entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry
         .collect()
 }
 
-/// The `local_join` suite: plane-sweep at partition scale. Host-only work —
-/// no simulation — so `sim_ns` is 0 by definition.
+/// The `local_join` suite: the default striped-sweep kernel at partition
+/// scale. Host-only work — no simulation — so `sim_ns` is 0 by definition.
 fn run_local_join() -> u64 {
     let left = random_entries(60_000, 21, 1000.0, 3.0);
     let right = random_entries(30_000, 22, 1000.0, 3.0);
     let mut acc = 0usize;
     for _ in 0..3 {
-        acc += plane_sweep(black_box(&left), black_box(&right)).pairs.len();
+        acc += stripe_sweep(black_box(&left), black_box(&right)).pairs.len();
     }
     black_box(acc);
     0
@@ -148,19 +162,88 @@ fn run_fault_sweep() -> Json {
     Json::Obj(rows)
 }
 
+/// Repetitions per measured cell; the best wall time is recorded, which
+/// discards OS scheduling jitter (large on shared single-core hosts) the
+/// same way the microbench harness's min column does.
+const REPS: usize = 3;
+
 fn measure(suite: &'static str, threads: usize, run: fn() -> u64) -> Snap {
     sjc_par::set_global_threads(threads);
-    let start = Instant::now();
-    let sim_ns = run();
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut wall_ms = f64::INFINITY;
+    let mut sim_ns = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        sim_ns = run();
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
     sjc_par::set_global_threads(0);
     Snap { suite, threads, wall_ms, sim_ns }
+}
+
+/// `--check`: re-parse the checked-in snapshots without timing anything.
+/// Fails on JSON-level problems (duplicate keys, malformed rows), schema
+/// drift, or thread-dependent simulated time.
+fn check_snapshots(out_path: &str, faults_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(out_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfsnap --check: cannot read {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match Baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfsnap --check: {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if snapshot.rows.is_empty() {
+        eprintln!("perfsnap --check: {out_path} holds no rows");
+        return ExitCode::FAILURE;
+    }
+    for suite in ["local_join", "data_gen", "systems_e2e"] {
+        let rows = snapshot.suite(suite);
+        if rows.is_empty() {
+            eprintln!("perfsnap --check: {out_path} lacks any `{suite}@*` row");
+            return ExitCode::FAILURE;
+        }
+        if let Some(first) = rows.first() {
+            if rows.iter().any(|r| r.sim_ns != first.sim_ns) {
+                eprintln!(
+                    "perfsnap --check: {out_path}: `{suite}` sim_ns varies with the \
+                     thread budget — determinism violation"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let faults_text = match std::fs::read_to_string(faults_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfsnap --check: cannot read {faults_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The fault sweep's schema varies per system (failed systems carry
+    // `*_failed` strings instead of `*_sim_ns`), so the generic parser —
+    // which still rejects duplicate keys — is the right level of checking.
+    if let Err(e) = baseline::parse(&faults_text) {
+        eprintln!("perfsnap --check: {faults_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perfsnap --check: {out_path} ({} rows) and {faults_path} parse cleanly",
+        snapshot.rows.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_baseline.json");
     let mut faults_path = String::from("BENCH_faults.json");
-    let mut hw = sjc_par::hardware_threads();
+    let mut extra_budget: Option<usize> = None;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -173,26 +256,40 @@ fn main() -> ExitCode {
                 None => return usage("--faults-out needs a path"),
             },
             "--threads" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) if n > 0 => hw = n,
+                Some(n) if n > 0 => extra_budget = Some(n),
                 _ => return usage("--threads needs a positive integer"),
             },
+            "--check" => check = true,
             "--help" | "-h" => {
                 println!(
                     "perfsnap — wall-clock snapshot of the hot suites\n\n\
-                     USAGE: perfsnap [--out PATH] [--faults-out PATH] [--threads N]\n\n\
-                     Runs local_join / data_gen / systems_e2e once serially and\n\
-                     once at N threads (default: hardware), checks the simulated\n\
-                     numbers are thread-count independent, and writes\n\
-                     {{bench: {{wall_ms, sim_ns, threads}}}} to PATH\n\
+                     USAGE: perfsnap [--out PATH] [--faults-out PATH] [--threads N] [--check]\n\n\
+                     Runs local_join / data_gen / systems_e2e at 1, 4 and 8 threads\n\
+                     (plus N if --threads is given), checks the simulated numbers\n\
+                     are thread-count independent, and writes\n\
+                     {{suite@threads: {{wall_ms, sim_ns, threads}}}} to PATH\n\
                      (default BENCH_baseline.json). Then runs the per-system\n\
                      none/light/heavy fault sweep and writes its simulated\n\
-                     makespans to the faults path (default BENCH_faults.json)."
+                     makespans to the faults path (default BENCH_faults.json).\n\n\
+                     --check re-parses both checked-in files (rejecting duplicate\n\
+                     keys and schema drift) without timing anything."
                 );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+
+    if check {
+        return check_snapshots(&out_path, &faults_path);
+    }
+
+    let mut budgets: Vec<usize> = BUDGETS.to_vec();
+    if let Some(n) = extra_budget {
+        budgets.push(n);
+    }
+    budgets.sort_unstable();
+    budgets.dedup();
 
     type Suite = (&'static str, fn() -> u64);
     let suites: [Suite; 3] = [
@@ -201,7 +298,7 @@ fn main() -> ExitCode {
         ("systems_e2e", run_systems_e2e),
     ];
 
-    // Warm-up pass: fills the dataset cache and faults in code/data so both
+    // Warm-up pass: fills the dataset cache and faults in code/data so the
     // timed passes below measure compute, not first-touch costs.
     sjc_par::set_global_threads(1);
     for (_, run) in suites {
@@ -215,29 +312,40 @@ fn main() -> ExitCode {
         "suite", "threads", "wall_ms", "sim_ns", "speedup"
     );
     for (suite, run) in suites {
-        let serial = measure(suite, 1, run);
-        let parallel = measure(suite, hw, run);
-        if serial.sim_ns != parallel.sim_ns {
-            eprintln!(
-                "perfsnap: {suite}: simulated time depends on the thread budget \
-                 ({} ns at 1 thread vs {} ns at {hw}) — determinism violation",
-                serial.sim_ns, parallel.sim_ns
-            );
-            return ExitCode::FAILURE;
-        }
-        let speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
-        for s in [&serial, &parallel] {
+        let mut serial_wall: Option<f64> = None;
+        let mut serial_sim: Option<u64> = None;
+        for &threads in &budgets {
+            let snap = measure(suite, threads, run);
+            let serial = *serial_wall.get_or_insert(snap.wall_ms);
+            match serial_sim {
+                None => serial_sim = Some(snap.sim_ns),
+                Some(expected) if expected != snap.sim_ns => {
+                    eprintln!(
+                        "perfsnap: {suite}: simulated time depends on the thread budget \
+                         ({expected} ns at {} thread(s) vs {} ns at {threads}) — \
+                         determinism violation",
+                        budgets.first().copied().unwrap_or(1),
+                        snap.sim_ns
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+            }
+            let speedup = serial / snap.wall_ms.max(1e-9);
             println!(
                 "{:<14} {:>8} {:>12.2} {:>16} {:>9}",
-                s.suite,
-                s.threads,
-                s.wall_ms,
-                s.sim_ns,
-                if s.threads == 1 { "-".to_string() } else { format!("{speedup:.2}x") }
+                snap.suite,
+                snap.threads,
+                snap.wall_ms,
+                snap.sim_ns,
+                if snap.threads == budgets.first().copied().unwrap_or(1) {
+                    "-".to_string()
+                } else {
+                    format!("{speedup:.2}x")
+                }
             );
+            snaps.push(snap);
         }
-        snaps.push(serial);
-        snaps.push(parallel);
     }
 
     let fields: Vec<(String, Json)> = snaps

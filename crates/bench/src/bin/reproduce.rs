@@ -120,6 +120,13 @@ fn main() {
         );
         println!(
             "{}",
+            ablation::format_kernel_grid(
+                "local-join kernel grid (every system x every kernel)",
+                &ablation::kernel_grid(s, args.seed)
+            )
+        );
+        println!(
+            "{}",
             ablation::format_rows(
                 "broadcast vs partition join (SpatialSpark)",
                 &ablation::broadcast_join(s, args.seed)

@@ -5,8 +5,11 @@
 //! * the [`microbench`]-based benches under `benches/` cover the same
 //!   experiments plus the ablations DESIGN.md lists (access model, geometry
 //!   engine, local join algorithm, broadcast vs partition join, sample
-//!   rate, partitioner).
+//!   rate, partitioner);
+//! * [`baseline`] parses the checked-in `BENCH_*.json` snapshots back
+//!   (duplicate-key rejecting), for `perfsnap --check` and the perf tests.
 
+pub mod baseline;
 pub mod microbench;
 
 use sjc_cluster::ClusterConfig;

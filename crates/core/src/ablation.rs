@@ -14,6 +14,7 @@ use crate::common::{LocalJoinAlgo, PartitionerKind};
 use crate::experiment::Workload;
 use crate::framework::{DistributedSpatialJoin, JoinInput, JoinPredicate};
 use crate::hadoopgis::HadoopGis;
+use crate::lde::LdeEngine;
 use crate::spatialhadoop::SpatialHadoop;
 use crate::spatialspark::SpatialSpark;
 
@@ -102,17 +103,111 @@ pub fn access_model(scale: f64, seed: u64) -> Vec<AblationRow> {
     ]
 }
 
-/// The three local-join algorithms inside SpatialHadoop (§II.C).
+/// The paper's three local-join algorithms (§II.C) plus the repo's striped
+/// SoA sweep, inside SpatialHadoop.
 pub fn local_join_algo(scale: f64, seed: u64) -> Vec<AblationRow> {
     let (l, r) = Workload::edge01_linearwater01().prepare(scale, seed);
     let cluster = ws();
-    [LocalJoinAlgo::PlaneSweep, LocalJoinAlgo::SyncRTree, LocalJoinAlgo::IndexedNestedLoop]
-        .into_iter()
-        .map(|algo| {
-            let sys = SpatialHadoop { local_algo: algo, ..SpatialHadoop::default() };
-            AblationRow::run(format!("{algo:?}"), &sys, &cluster, &l, &r)
-        })
-        .collect()
+    [
+        LocalJoinAlgo::StripeSweep,
+        LocalJoinAlgo::PlaneSweep,
+        LocalJoinAlgo::SyncRTree,
+        LocalJoinAlgo::IndexedNestedLoop,
+    ]
+    .into_iter()
+    .map(|algo| {
+        let sys = SpatialHadoop { local_algo: algo, ..SpatialHadoop::default() };
+        AblationRow::run(format!("{algo:?}"), &sys, &cluster, &l, &r)
+    })
+    .collect()
+}
+
+/// One cell of the system × kernel ablation grid.
+#[derive(Debug, Clone)]
+pub struct KernelGridRow {
+    pub system: &'static str,
+    pub kernel: LocalJoinAlgo,
+    /// End-to-end simulated seconds, or the failure kind.
+    pub outcome: Result<f64, String>,
+}
+
+impl KernelGridRow {
+    pub fn seconds(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().copied()
+    }
+}
+
+/// Every system × every local-join kernel: the kernel-selection seam
+/// exercised end-to-end, with the kernel as an explicit report column.
+///
+/// Within one system, `StripeSweep` must tie `PlaneSweep` to the simulated
+/// nanosecond — the striped kernel reports the sweep's canonical
+/// `JoinStats`, so only host wall time may differ (the tests pin this).
+/// The R-tree kernels genuinely change simulated time because their
+/// traversal counts are charged.
+pub fn kernel_grid(scale: f64, seed: u64) -> Vec<KernelGridRow> {
+    let (l, r) = Workload::taxi1m_nycb().prepare(scale, seed);
+    let cluster = ws();
+    const KERNELS: [LocalJoinAlgo; 4] = [
+        LocalJoinAlgo::StripeSweep,
+        LocalJoinAlgo::PlaneSweep,
+        LocalJoinAlgo::SyncRTree,
+        LocalJoinAlgo::IndexedNestedLoop,
+    ];
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let sys = SpatialHadoop { local_algo: kernel, ..SpatialHadoop::default() };
+        rows.push(run_kernel_cell("SpatialHadoop", kernel, &sys, &cluster, &l, &r));
+    }
+    for kernel in KERNELS {
+        let sys = HadoopGis { local_algo: kernel, ..HadoopGis::default() };
+        rows.push(run_kernel_cell("HadoopGIS", kernel, &sys, &cluster, &l, &r));
+    }
+    for kernel in KERNELS {
+        let sys = SpatialSpark { local_algo: kernel, ..SpatialSpark::default() };
+        rows.push(run_kernel_cell("SpatialSpark", kernel, &sys, &cluster, &l, &r));
+    }
+    for kernel in KERNELS {
+        let sys = LdeEngine { local_algo: kernel, ..LdeEngine::default() };
+        rows.push(run_kernel_cell("LDE-MC+", kernel, &sys, &cluster, &l, &r));
+    }
+    rows
+}
+
+fn run_kernel_cell(
+    system: &'static str,
+    kernel: LocalJoinAlgo,
+    sys: &dyn DistributedSpatialJoin,
+    cluster: &Cluster,
+    left: &JoinInput,
+    right: &JoinInput,
+) -> KernelGridRow {
+    let outcome = sys
+        .run(cluster, left, right, JoinPredicate::Intersects)
+        .map(|o| o.trace.total_seconds())
+        .map_err(|e| e.kind().to_string());
+    KernelGridRow { system, kernel, outcome }
+}
+
+/// Formats the kernel grid as an aligned table with a kernel column.
+pub fn format_kernel_grid(title: &str, rows: &[KernelGridRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {title} ---");
+    let _ = writeln!(out, "  {:<16} {:<20} {:>11}", "system", "kernel", "simulated");
+    for row in rows {
+        let kernel = format!("{:?}", row.kernel);
+        match &row.outcome {
+            Ok(s) => {
+                let _ = writeln!(out, "  {:<16} {:<20} {:>9.1} s", row.system, kernel, s);
+            }
+            Err(e) => {
+                let _ =
+                    writeln!(out, "  {:<16} {:<20} {:>11}", row.system, kernel, format!("({e})"));
+            }
+        }
+    }
+    out
 }
 
 /// Partition-based vs broadcast-based SpatialSpark (§II.B — the comparison
@@ -251,10 +346,35 @@ mod tests {
     #[test]
     fn local_join_algorithms_all_complete() {
         let rows = local_join_algo(SCALE, SEED);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.seconds().is_some(), "{} failed", r.label);
         }
+        // Cost-neutral kernel swap: the striped kernel reports the sweep's
+        // canonical JoinStats, so simulated time ties to the bit.
+        assert_eq!(rows[0].seconds(), rows[1].seconds(), "StripeSweep must tie PlaneSweep");
+    }
+
+    #[test]
+    fn kernel_grid_covers_all_systems_and_ties_sweep_kernels() {
+        let rows = kernel_grid(SCALE, SEED);
+        assert_eq!(rows.len(), 16, "4 systems x 4 kernels");
+        for system in ["SpatialHadoop", "HadoopGIS", "SpatialSpark", "LDE-MC+"] {
+            let cell = |kernel: LocalJoinAlgo| {
+                rows.iter()
+                    .find(|r| r.system == system && r.kernel == kernel)
+                    .and_then(|r| r.seconds())
+                    .unwrap_or_else(|| panic!("{system} {kernel:?} failed"))
+            };
+            assert_eq!(
+                cell(LocalJoinAlgo::StripeSweep),
+                cell(LocalJoinAlgo::PlaneSweep),
+                "{system}: StripeSweep must be simulated-cost-neutral vs PlaneSweep"
+            );
+        }
+        let table = format_kernel_grid("kernel grid", &rows);
+        assert!(table.contains("kernel"), "report has a kernel column");
+        assert!(table.contains("StripeSweep"));
     }
 
     #[test]

@@ -2,20 +2,26 @@
 
 use sjc_geom::{GeometryEngine, Mbr};
 use sjc_index::entry::IndexEntry;
-use sjc_index::join::{indexed_nested_loop, plane_sweep, sync_rtree, CandidatePairs};
+use sjc_index::join::{indexed_nested_loop, plane_sweep, stripe_sweep, sync_rtree, CandidatePairs};
 
 use crate::framework::{GeoRecord, JoinPredicate};
 
-/// Which local (per-partition) join algorithm a system runs — §II.C of the
-/// paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which local (per-partition) join algorithm a system runs — the paper's
+/// three filter algorithms (§II.C) plus the repo's cache-conscious default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LocalJoinAlgo {
     /// Build an R-tree on one side, probe with the other (SpatialSpark).
     IndexedNestedLoop,
-    /// Sort by min-x and sweep (SpatialHadoop's default).
+    /// Sort by min-x and sweep (SpatialHadoop's default in the paper).
     PlaneSweep,
     /// Synchronized traversal of two R-trees (SpatialHadoop's alternative).
     SyncRTree,
+    /// Striped SoA forward sweep (`sjc_index::join::stripe_sweep`): the
+    /// default host kernel. Produces the plane sweep's exact pair set and
+    /// exact `JoinStats` (canonical-cost accounting), so swapping it for
+    /// `PlaneSweep` changes host wall time but never simulated time.
+    #[default]
+    StripeSweep,
 }
 
 /// Cost ledger of one local join execution.
@@ -65,6 +71,7 @@ pub fn local_join(
         LocalJoinAlgo::IndexedNestedLoop => indexed_nested_loop(&l_entries, &r_entries),
         LocalJoinAlgo::PlaneSweep => plane_sweep(&l_entries, &r_entries),
         LocalJoinAlgo::SyncRTree => sync_rtree(&l_entries, &r_entries),
+        LocalJoinAlgo::StripeSweep => stripe_sweep(&l_entries, &r_entries),
     };
     cost.candidates = pairs.len() as u64;
     cost.filter_ns = stats.filter_tests * engine.filter_cost_ns()
@@ -114,7 +121,7 @@ pub fn direct_join(
 ) -> Vec<(u64, u64)> {
     let l: Vec<&GeoRecord> = left.iter().collect();
     let r: Vec<&GeoRecord> = right.iter().collect();
-    local_join(engine, predicate, LocalJoinAlgo::PlaneSweep, &l, &r, |_, _| true).0
+    local_join(engine, predicate, LocalJoinAlgo::default(), &l, &r, |_, _| true).0
 }
 
 /// Which spatial partitioner family a system derives from its sample —
@@ -196,16 +203,20 @@ mod tests {
             (0..30).map(|i| line(i, &[(i as f64 + 5.0, 0.0), (i as f64, 5.0)])).collect();
         let l: Vec<&GeoRecord> = left.iter().collect();
         let r: Vec<&GeoRecord> = right.iter().collect();
-        let mut results: Vec<Vec<(u64, u64)>> =
-            [LocalJoinAlgo::IndexedNestedLoop, LocalJoinAlgo::PlaneSweep, LocalJoinAlgo::SyncRTree]
-                .iter()
-                .map(|&algo| {
-                    let (mut pairs, _) =
-                        local_join(&engine, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
-                    pairs.sort_unstable();
-                    pairs
-                })
-                .collect();
+        let mut results: Vec<Vec<(u64, u64)>> = [
+            LocalJoinAlgo::IndexedNestedLoop,
+            LocalJoinAlgo::PlaneSweep,
+            LocalJoinAlgo::SyncRTree,
+            LocalJoinAlgo::StripeSweep,
+        ]
+        .iter()
+        .map(|&algo| {
+            let (mut pairs, _) =
+                local_join(&engine, JoinPredicate::Intersects, algo, &l, &r, |_, _| true);
+            pairs.sort_unstable();
+            pairs
+        })
+        .collect();
         let first = results.remove(0);
         assert!(!first.is_empty());
         for other in results {

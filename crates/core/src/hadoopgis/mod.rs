@@ -44,7 +44,10 @@ use crate::framework::{DistributedSpatialJoin, GeoRecord, JoinInput, JoinOutput,
 pub struct HadoopGis {
     /// Target partition count of the sample-derived partitioning.
     pub partitions: usize,
-    /// Local join algorithm inside the reducers.
+    /// Local join algorithm inside the reducers. Stays on the paper's
+    /// indexed nested loop (§II.C): its charged cost depends on real
+    /// R-tree traversal counts, which the analytic stripe-sweep accounting
+    /// cannot reproduce. `StripeSweep` is selectable via the ablation grid.
     pub local_algo: LocalJoinAlgo,
     /// Geometry library cost profile (GEOS for the real system; the
     /// `ablation_geometry_engine` bench swaps in JTS).

@@ -38,7 +38,9 @@ use crate::framework::{DistributedSpatialJoin, GeoRecord, JoinInput, JoinOutput,
 pub struct LdeEngine {
     /// Target spatial partition count.
     pub partitions: usize,
-    /// Local join algorithm for the filter step.
+    /// Local join algorithm for the filter step (the modeled system probes
+    /// per-partition R-trees, so the default stays `IndexedNestedLoop`;
+    /// `StripeSweep` is selectable for ablations).
     pub local_algo: LocalJoinAlgo,
 }
 

@@ -41,7 +41,9 @@ use crate::framework::{DistributedSpatialJoin, JoinInput, JoinOutput, JoinPredic
 #[derive(Debug, Clone)]
 pub struct SpatialHadoop {
     /// Local join algorithm (§II.C offers plane sweep and synchronized
-    /// R-tree traversal; plane sweep is the default).
+    /// R-tree traversal). Defaults to the striped SoA sweep kernel, which
+    /// computes the plane sweep's exact pair set and `JoinStats` faster on
+    /// the host; the paper's algorithms stay selectable for the ablation.
     pub local_algo: LocalJoinAlgo,
     /// Systematic sample rate for partition derivation.
     pub sample_rate: f64,
@@ -65,7 +67,7 @@ pub struct SpatialHadoop {
 impl Default for SpatialHadoop {
     fn default() -> Self {
         SpatialHadoop {
-            local_algo: LocalJoinAlgo::PlaneSweep,
+            local_algo: LocalJoinAlgo::default(),
             sample_rate: 0.01,
             // SpatialHadoop sizes partitions toward HDFS blocks; 128 cells
             // approximates the block count of the full datasets.
@@ -284,6 +286,10 @@ impl DistributedSpatialJoin for SpatialHadoop {
                 stats: Default::default(),
             }
         } else {
+            // Deliberately the classic sweep, not `stripe_sweep`: the pair
+            // *order* here becomes the task order fed to the wave
+            // scheduler, so switching kernels would reorder tasks and move
+            // the simulated clock. The lists are tiny (one entry per cell).
             plane_sweep(&a_entries, &b_entries)
         };
         let mut gstage = StageTrace::new(

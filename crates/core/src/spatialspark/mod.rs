@@ -46,7 +46,9 @@ pub struct SpatialSpark {
     pub partitions: usize,
     /// Use the broadcast-based join instead of the partition-based one.
     pub broadcast_join: bool,
-    /// Local join algorithm (indexed nested loop is the paper's choice).
+    /// Local join algorithm (indexed nested loop is the paper's choice;
+    /// kept as the default so the simulated R-tree traversal costs match
+    /// the modeled system — `StripeSweep` is selectable for ablations).
     pub local_algo: LocalJoinAlgo,
     /// Geometry library cost profile (JTS for the real system).
     pub engine: EngineKind,

@@ -11,18 +11,29 @@
 //! * [`sync_rtree`] — synchronized traversal of two R-trees
 //!   (SpatialHadoop's alternative) .
 //!
-//! All three return identical pair sets; tests cross-validate them against
-//! [`brute_force`]. Each also reports [`JoinStats`] so the cluster simulator
-//! can charge index traversal and comparison costs.
+//! On top of the paper's algorithms, [`stripe_sweep`] is the repo's own
+//! cache-conscious kernel: a struct-of-arrays ([`SoaBatch`]) forward sweep
+//! over skew-aware y-stripes with reference-point de-duplication. It
+//! returns the sweep's exact pair set *and* the sweep's exact [`JoinStats`]
+//! (canonical-cost accounting), so it serves as the default host kernel
+//! without moving simulated time.
+//!
+//! All kernels return identical pair sets; tests cross-validate them
+//! against [`brute_force`]. Each also reports [`JoinStats`] so the cluster
+//! simulator can charge index traversal and comparison costs.
 
 mod indexed_nested_loop;
 mod knn_join;
 mod plane_sweep;
+mod soa;
+mod stripe_sweep;
 mod sync_rtree;
 
 pub use indexed_nested_loop::indexed_nested_loop;
 pub use knn_join::knn_join;
 pub use plane_sweep::plane_sweep;
+pub use soa::SoaBatch;
+pub use stripe_sweep::stripe_sweep;
 pub use sync_rtree::sync_rtree;
 
 use crate::entry::IndexEntry;
@@ -123,6 +134,7 @@ mod tests {
             );
             assert_eq!(plane_sweep(&left, &right).sorted_pairs(), expected, "sweep seed {seed}");
             assert_eq!(sync_rtree(&left, &right).sorted_pairs(), expected, "sync seed {seed}");
+            assert_eq!(stripe_sweep(&left, &right).sorted_pairs(), expected, "stripe seed {seed}");
         }
     }
 
@@ -133,6 +145,7 @@ mod tests {
             assert!(indexed_nested_loop(l, r).pairs.is_empty());
             assert!(plane_sweep(l, r).pairs.is_empty());
             assert!(sync_rtree(l, r).pairs.is_empty());
+            assert!(stripe_sweep(l, r).pairs.is_empty());
         }
     }
 

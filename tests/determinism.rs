@@ -81,6 +81,44 @@ fn results_are_identical_across_thread_budgets() {
 }
 
 #[test]
+fn stripe_sweep_kernel_is_identical_at_1_and_8_threads() {
+    // The default local-join kernel fans its stripes out through
+    // `sjc_par::par_map_flat`; the order-preserving merge must make the
+    // emitted pair sequence — not just the set — and the reported JoinStats
+    // bit-identical at any thread budget.
+    let mut rng = sjc_data::rng::StdRng::seed_from_u64(0xD17E);
+    let mut entries = |n: usize| -> Vec<sjc_index::entry::IndexEntry> {
+        (0..n)
+            .map(|i| {
+                let x = rng.gen::<f64>() * 500.0;
+                let y = rng.gen::<f64>() * 500.0;
+                sjc_index::entry::IndexEntry::new(
+                    i as u64,
+                    sjc_geom::Mbr::new(
+                        x,
+                        y,
+                        x + rng.gen::<f64>() * 4.0,
+                        y + rng.gen::<f64>() * 4.0,
+                    ),
+                )
+            })
+            .collect()
+    };
+    let left = entries(9_000);
+    let right = entries(4_500);
+    let run = |threads: usize| {
+        sjc_par::set_global_threads(threads);
+        let out = sjc_index::join::stripe_sweep(&left, &right);
+        sjc_par::set_global_threads(0);
+        out
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.pairs, parallel.pairs, "exact pair order, not just the set");
+    assert_eq!(serial.stats, parallel.stats, "identical JoinStats");
+}
+
+#[test]
 fn faulted_runs_are_bit_stable() {
     // Fault draws are stateless hashes of (seed, stage, task, attempt):
     // re-running the same plan must replay the exact same failure history.

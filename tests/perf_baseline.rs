@@ -1,37 +1,65 @@
 //! Tier-1 smoke test against the checked-in perf snapshot.
 //!
 //! `BENCH_baseline.json` records, among wall-clock numbers that vary by
-//! host, one number that must not vary at all: the summed simulated
-//! nanoseconds of the `systems_e2e` suite. Re-deriving it here pins two
-//! invariants at once — the cost model's output is bit-stable across
-//! machines and commits, and the fault subsystem's zero-fault path really
-//! is the identity (the grid runs through `Cluster::with_faults(…,
-//! FaultPlan::none())` since the fault PR). If a PR changes this number on
-//! purpose, regenerate the snapshot:
+//! host, numbers that must not vary at all: the simulated nanoseconds of
+//! each suite, identical at every recorded thread budget. Re-deriving the
+//! `systems_e2e` figure here pins two invariants at once — the cost model's
+//! output is bit-stable across machines and commits, and the fault
+//! subsystem's zero-fault path really is the identity (the grid runs
+//! through `Cluster::with_faults(…, FaultPlan::none())` since the fault
+//! PR). If a PR changes this number on purpose, regenerate the snapshot:
 //! `cargo run --release -p sjc-bench --bin perfsnap`.
+//!
+//! The snapshot is read through `sjc_bench::baseline`, which rejects
+//! duplicate object keys — the old text-scanning reader silently took the
+//! first of two `local_join@1` rows a single-core host used to emit.
 
 use std::path::Path;
 
-/// Extracts `"sim_ns": <digits>` following the `"{suite}@1"` key.
-fn baseline_sim_ns(snapshot: &str, suite: &str) -> Option<u64> {
-    let at = snapshot.find(&format!("\"{suite}@1\""))?;
-    let tail = &snapshot[at..];
-    let v = tail.find("\"sim_ns\":")?;
-    let digits: String = tail[v + "\"sim_ns\":".len()..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
+use sjc_bench::baseline::Baseline;
+
+fn checked_in_baseline() -> Baseline {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let snapshot = std::fs::read_to_string(root.join("BENCH_baseline.json"))
+        .expect("BENCH_baseline.json is checked in at the repo root");
+    Baseline::parse(&snapshot).expect("BENCH_baseline.json parses (no duplicate keys)")
+}
+
+#[test]
+fn snapshot_records_the_fixed_thread_ladder() {
+    let baseline = checked_in_baseline();
+    for suite in ["local_join", "data_gen", "systems_e2e"] {
+        for threads in [1, 4, 8] {
+            assert!(
+                baseline.row(suite, threads).is_some(),
+                "BENCH_baseline.json lacks the `{suite}@{threads}` row — regenerate \
+                 with `cargo run --release -p sjc-bench --bin perfsnap`"
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_ns_is_thread_count_independent_in_the_snapshot() {
+    let baseline = checked_in_baseline();
+    for suite in ["local_join", "data_gen", "systems_e2e"] {
+        let rows = baseline.suite(suite);
+        let first = rows.first().expect("suite has rows");
+        for row in &rows {
+            assert_eq!(
+                row.sim_ns, first.sim_ns,
+                "`{suite}` sim_ns differs between @{} and @{} in BENCH_baseline.json — \
+                 the snapshot was produced by a thread-dependent simulation",
+                first.threads, row.threads
+            );
+        }
+    }
 }
 
 #[test]
 fn zero_fault_systems_e2e_matches_checked_in_baseline() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let snapshot = std::fs::read_to_string(root.join("BENCH_baseline.json"))
-        .expect("BENCH_baseline.json is checked in at the repo root");
-    let expected =
-        baseline_sim_ns(&snapshot, "systems_e2e").expect("snapshot has a systems_e2e@1 sim_ns");
+    let baseline = checked_in_baseline();
+    let expected = baseline.row("systems_e2e", 1).expect("snapshot has a systems_e2e@1 row").sim_ns;
 
     // Same recipe as perfsnap's systems_e2e suite: the full Table-2 grid at
     // its snapshot scale/seed, summed over successful cells.
