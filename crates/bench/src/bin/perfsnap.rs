@@ -108,30 +108,50 @@ fn run_systems_e2e() -> u64 {
     grid.table2().iter().filter_map(|c| c.outcome.as_ref().ok()).map(|s| s.trace.total_ns()).sum()
 }
 
+/// Provisioning-delay base for the sweep's checkpoint axis: 4 s spins a
+/// replacement up within even the Spark system's ~10 s faulted run, so the
+/// axis exercises elastic re-scheduling for every system (the 30 s default
+/// models EC2 instance launch and lands after the short runs finish).
+const SWEEP_PROVISION_NS: u64 = 4_000_000_000;
+
 /// The fault sweep behind `BENCH_faults.json`: each system's makespan on
 /// EC2-8 under the none / light / heavy fault presets, heavy plus a node
 /// crash at 40% of that system's own fault-free runtime (mirroring
-/// `examples/fault_tolerance.rs`). Inputs stay at multiplier 1 so HadoopGIS
-/// survives — its full-scale pipe break is Table 2's story, not a fault
-/// outcome. Everything here is simulated time: bit-stable across hosts and
-/// thread budgets, so the file is directly diffable between machines.
+/// `examples/fault_tolerance.rs`), then the heavy plan again with durable
+/// checkpoints every 2 waves / every wave plus elastic replacement
+/// provisioning. Inputs stay at multiplier 1 so HadoopGIS survives — its
+/// full-scale pipe break is Table 2's story, not a fault outcome.
+/// Everything here is simulated time: bit-stable across hosts and thread
+/// budgets, so the file is directly diffable between machines.
 fn run_fault_sweep() -> Json {
     let (mut left, mut right) = Workload::taxi1m_nycb().prepare(SCALE, SEED);
     left.multiplier = 1.0;
     right.multiplier = 1.0;
     let config = ClusterConfig::ec2(8);
     let mut rows: Vec<(String, Json)> = Vec::new();
-    println!("{:<16} {:>16} {:>16} {:>16}", "fault sweep", "none_ns", "light_ns", "heavy_ns");
+    println!(
+        "{:<16} {:>16} {:>16} {:>16} {:>16} {:>16}",
+        "fault sweep", "none_ns", "light_ns", "heavy_ns", "heavy_ckpt2_ns", "heavy_ckpt1_ns"
+    );
     for sys in SystemKind::all() {
         let base = sys
             .instance()
             .run(&Cluster::new(config.clone()), &left, &right, JoinPredicate::Intersects)
             .map(|o| o.trace.total_ns())
             .unwrap_or(0);
-        let plans: [(&str, FaultPlan); 3] = [
+        let heavy = || FaultPlan::heavy(7, &config).crash_at(2, base * 2 / 5);
+        let plans: [(&str, FaultPlan); 5] = [
             ("none", FaultPlan::none()),
             ("light", FaultPlan::light(7, &config)),
-            ("heavy", FaultPlan::heavy(7, &config).crash_at(2, base * 2 / 5)),
+            ("heavy", heavy()),
+            (
+                "heavy_ckpt2",
+                heavy().with_checkpoints(2, 3).with_elastic_provisioning(SWEEP_PROVISION_NS),
+            ),
+            (
+                "heavy_ckpt1",
+                heavy().with_checkpoints(1, 3).with_elastic_provisioning(SWEEP_PROVISION_NS),
+            ),
         ];
         let mut fields: Vec<(String, Json)> = Vec::new();
         let mut printed: Vec<String> = Vec::new();
@@ -227,10 +247,45 @@ fn check_snapshots(out_path: &str, faults_path: &str) -> ExitCode {
     };
     // The fault sweep's schema varies per system (failed systems carry
     // `*_failed` strings instead of `*_sim_ns`), so the generic parser —
-    // which still rejects duplicate keys — is the right level of checking.
-    if let Err(e) = baseline::parse(&faults_text) {
-        eprintln!("perfsnap --check: {faults_path}: {e}");
+    // which still rejects duplicate keys — does the JSON-level checking,
+    // and the axis coverage is validated on top: every system row must
+    // answer every sweep axis one way or the other.
+    let faults_doc = match baseline::parse(&faults_text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perfsnap --check: {faults_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline::Value::Obj(systems) = &faults_doc else {
+        eprintln!("perfsnap --check: {faults_path}: root must be an object of system rows");
         return ExitCode::FAILURE;
+    };
+    if systems.is_empty() {
+        eprintln!("perfsnap --check: {faults_path} holds no system rows");
+        return ExitCode::FAILURE;
+    }
+    for (system, row) in systems {
+        for axis in ["none", "light", "heavy", "heavy_ckpt2", "heavy_ckpt1"] {
+            let answered = row.get(&format!("{axis}_sim_ns")).is_some()
+                || row.get(&format!("{axis}_failed")).is_some();
+            if !answered {
+                eprintln!(
+                    "perfsnap --check: {faults_path}: `{system}` lacks both \
+                     `{axis}_sim_ns` and `{axis}_failed` — sweep axis missing"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if row.get("heavy_sim_ns").is_some()
+            && (row.get("heavy_recovery_events").is_none() || row.get("heavy_wasted_ns").is_none())
+        {
+            eprintln!(
+                "perfsnap --check: {faults_path}: `{system}` survived the heavy plan but \
+                 lacks its recovery-ledger summary fields"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     println!(
         "perfsnap --check: {out_path} ({} rows) and {faults_path} parse cleanly",

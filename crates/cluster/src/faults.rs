@@ -49,6 +49,20 @@ pub const RETRY_BACKOFF_BASE_NS: SimNs = 500_000_000;
 /// has burned.
 pub const MAX_RETRY_BACKOFF_NS: SimNs = 8_000_000_000;
 
+/// Default replacement-node provisioning delay: the order of time a cloud
+/// substrate takes to spin up and enroll a fresh worker after a node dies
+/// (EC2 instance launch + daemon registration — tens of seconds).
+pub const DEFAULT_PROVISION_DELAY_NS: SimNs = 30_000_000_000;
+
+/// Hard cap on the jittered provisioning delay: however large a base the
+/// plan configures, a replacement node is never more than this long behind
+/// its predecessor's crash.
+pub const MAX_PROVISION_DELAY_NS: SimNs = 180_000_000_000;
+
+/// Default HDFS replication factor for checkpoint files (matches
+/// [`crate::hdfs::DEFAULT_REPLICATION`]).
+pub const DEFAULT_CHECKPOINT_REPLICATION: u32 = 3;
+
 /// One scheduled node crash.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeCrash {
@@ -56,6 +70,57 @@ pub struct NodeCrash {
     /// Absolute simulated time of the crash (same clock as
     /// `RunTrace::total_ns` accumulation).
     pub at_ns: SimNs,
+}
+
+/// One scheduled graceful decommission: the node stops accepting task
+/// launches at `at_ns`, already-running tasks drain to completion, and no
+/// data is lost (the operator re-balanced replicas before pulling the
+/// node). The controlled counterpart of a [`NodeCrash`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDecommission {
+    pub node: u32,
+    /// Absolute simulated time after which the node launches nothing new.
+    pub at_ns: SimNs,
+}
+
+/// Checkpointing policy: how often completed stage/wave output is persisted
+/// to HDFS, and at what replication. Checkpoints bound recovery work —
+/// Spark's lineage recompute truncates at the last durable checkpoint, and
+/// Hadoop's completed-map re-runs become remote re-reads of the persisted
+/// map output — at the price of the checkpoint writes themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every this many completed stages/waves. `0` disables
+    /// checkpointing entirely (interval = ∞), which is bit-identical to the
+    /// pre-checkpoint behaviour.
+    pub interval_stages: u32,
+    /// HDFS replication factor of checkpoint files; the write cost scales
+    /// with it (the replication pipeline streams every copy).
+    pub replication: u32,
+}
+
+impl CheckpointPolicy {
+    /// The identity policy: never checkpoint (interval = ∞).
+    pub fn disabled() -> Self {
+        CheckpointPolicy { interval_stages: 0, replication: DEFAULT_CHECKPOINT_REPLICATION }
+    }
+
+    /// Checkpoint every `interval_stages` completed stages at the default
+    /// replication.
+    pub fn every(interval_stages: u32) -> Self {
+        CheckpointPolicy { interval_stages, replication: DEFAULT_CHECKPOINT_REPLICATION }
+    }
+
+    /// Whether this policy ever writes a checkpoint.
+    pub fn enabled(&self) -> bool {
+        self.interval_stages > 0
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::disabled()
+    }
 }
 
 /// The deterministic fault schedule for one simulated run.
@@ -79,6 +144,16 @@ pub struct FaultPlan {
     pub retry_backoff_base_ns: SimNs,
     /// Scheduled crashes, in schedule order.
     pub crashes: Vec<NodeCrash>,
+    /// Scheduled graceful decommissions, in schedule order.
+    pub decommissions: Vec<NodeDecommission>,
+    /// Checkpointing policy (disabled by default).
+    pub checkpoint: CheckpointPolicy,
+    /// Base of the jittered replacement-node provisioning delay. `0`
+    /// disables elasticity: crashed nodes stay dead for the rest of the
+    /// run (the pre-elasticity behaviour). When positive, every crashed
+    /// node gets a replacement whose slots come online
+    /// [`Self::provision_delay_ns`] after the crash.
+    pub provision_delay_base_ns: SimNs,
 }
 
 impl Default for FaultPlan {
@@ -125,13 +200,17 @@ impl FaultPlan {
             straggler_slowdown: 1.0,
             retry_backoff_base_ns: RETRY_BACKOFF_BASE_NS,
             crashes: Vec::new(),
+            decommissions: Vec::new(),
+            checkpoint: CheckpointPolicy::disabled(),
+            provision_delay_base_ns: 0,
         }
     }
 
     /// An empty plan bound to a cluster; compose faults with the builder
     /// methods ([`Self::crash_at`], [`Self::with_crashes`],
     /// [`Self::with_disk_errors`], [`Self::with_stragglers`],
-    /// [`Self::with_retry_backoff`]).
+    /// [`Self::with_retry_backoff`], [`Self::with_checkpoints`],
+    /// [`Self::with_elastic_provisioning`], [`Self::decommission_at`]).
     pub fn seeded(seed: u64, config: &ClusterConfig) -> Self {
         FaultPlan {
             seed,
@@ -141,6 +220,9 @@ impl FaultPlan {
             straggler_slowdown: 1.0,
             retry_backoff_base_ns: RETRY_BACKOFF_BASE_NS,
             crashes: Vec::new(),
+            decommissions: Vec::new(),
+            checkpoint: CheckpointPolicy::disabled(),
+            provision_delay_base_ns: 0,
         }
     }
 
@@ -193,10 +275,44 @@ impl FaultPlan {
         self
     }
 
-    /// True iff this plan can never inject a fault. The fast path every
-    /// engine takes before touching fault machinery.
+    /// Sets the checkpointing policy: persist completed stage/wave output
+    /// every `interval_stages` stages at `replication` copies. Interval `0`
+    /// keeps checkpointing disabled (the bit-identical default).
+    pub fn with_checkpoints(mut self, interval_stages: u32, replication: u32) -> Self {
+        self.checkpoint = CheckpointPolicy { interval_stages, replication: replication.max(1) };
+        self
+    }
+
+    /// Enables elastic re-scheduling: crashed nodes are replaced by fresh
+    /// ones whose slots come online a jittered provisioning delay (based on
+    /// `base_ns`, capped at [`MAX_PROVISION_DELAY_NS`]) after the crash.
+    /// `0` disables elasticity.
+    pub fn with_elastic_provisioning(mut self, base_ns: SimNs) -> Self {
+        self.provision_delay_base_ns = base_ns;
+        self
+    }
+
+    /// Schedules a graceful decommission of `node` at absolute simulated
+    /// `at_ns`: from then on the node launches no new tasks, but running
+    /// tasks drain and no replicas or map output are lost.
+    pub fn decommission_at(mut self, node: u32, at_ns: SimNs) -> Self {
+        let node = if self.nodes > 0 { node % self.nodes } else { node };
+        self.decommissions.push(NodeDecommission { node, at_ns });
+        self
+    }
+
+    /// True iff this plan can never inject a fault *and* never charges any
+    /// fault-subsystem cost. The fast path every engine takes before
+    /// touching fault machinery. An enabled checkpoint policy costs time
+    /// even in a fault-free run (the writes themselves), and a scheduled
+    /// decommission reshapes capacity, so both force the event path; a bare
+    /// provisioning delay does not (no crashes → no replacements).
     pub fn is_none(&self) -> bool {
-        self.crashes.is_empty() && self.disk_error_rate <= 0.0 && self.straggler_rate <= 0.0
+        self.crashes.is_empty()
+            && self.decommissions.is_empty()
+            && self.disk_error_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && !self.checkpoint.enabled()
     }
 
     /// Earliest crash time of `node`, if any is scheduled.
@@ -276,6 +392,36 @@ impl FaultPlan {
                 ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
         );
         cap / 2 + h % (cap / 2 + 1)
+    }
+
+    /// Provisioning delay of the replacement for crashed `node`: how long
+    /// after the crash the fresh node's slots come online. Bounded jitter in
+    /// `[cap/2, cap]` where `cap = min(provision_delay_base_ns,`
+    /// [`MAX_PROVISION_DELAY_NS`]`)` — same stateless SplitMix64 discipline
+    /// as every other fault draw, keyed on `(seed, node)`, so elastic
+    /// schedules stay bit-identical across host thread counts. `0` when
+    /// elasticity is disabled.
+    pub fn provision_delay_ns(&self, node: u32) -> SimNs {
+        if self.provision_delay_base_ns == 0 {
+            return 0;
+        }
+        let cap = self.provision_delay_base_ns.min(MAX_PROVISION_DELAY_NS);
+        let h = mix64(self.seed ^ (node as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25) ^ 0xE1A5);
+        cap / 2 + h % (cap / 2 + 1)
+    }
+
+    /// Absolute time the replacement for crashed `node` comes online, if
+    /// elasticity is enabled and `node` is scheduled to crash.
+    pub fn replacement_ready_ns(&self, node: u32) -> Option<SimNs> {
+        if self.provision_delay_base_ns == 0 {
+            return None;
+        }
+        self.crash_ns(node).map(|c| c.saturating_add(self.provision_delay_ns(node)))
+    }
+
+    /// Earliest decommission time of `node`, if any is scheduled.
+    pub fn decommission_ns(&self, node: u32) -> Option<SimNs> {
+        self.decommissions.iter().filter(|d| d.node == node).map(|d| d.at_ns).min()
     }
 }
 
@@ -380,6 +526,67 @@ mod tests {
         // Base 0 disables backoff entirely.
         let off = p.with_retry_backoff(0);
         assert_eq!(off.retry_backoff_ns(7, 3, 2), 0);
+    }
+
+    #[test]
+    fn checkpoint_policy_enable_and_identity() {
+        let p = FaultPlan::none();
+        assert!(!p.checkpoint.enabled());
+        assert!(p.is_none());
+        // Interval 0 keeps the plan on the identity fast path.
+        let q = FaultPlan::seeded(1, &ec2()).with_checkpoints(0, 3);
+        assert!(q.is_none());
+        // A finite interval forces the event path: writes cost time even
+        // with no faults scheduled.
+        let r = FaultPlan::seeded(1, &ec2()).with_checkpoints(2, 3);
+        assert!(r.checkpoint.enabled());
+        assert!(!r.is_none());
+        assert_eq!(r.checkpoint.replication, 3);
+        // Replication is clamped to at least 1.
+        assert_eq!(FaultPlan::none().with_checkpoints(1, 0).checkpoint.replication, 1);
+        assert_eq!(CheckpointPolicy::every(2).interval_stages, 2);
+        assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::disabled());
+    }
+
+    #[test]
+    fn provision_delay_is_jittered_bounded_and_pure() {
+        let p = FaultPlan::seeded(23, &ec2())
+            .crash_at(3, 1_000)
+            .with_elastic_provisioning(DEFAULT_PROVISION_DELAY_NS);
+        let cap = DEFAULT_PROVISION_DELAY_NS;
+        for node in 0..10u32 {
+            let d = p.provision_delay_ns(node);
+            assert!(d >= cap / 2 && d <= cap, "node {node}: {d} outside [{}, {cap}]", cap / 2);
+            assert_eq!(d, p.provision_delay_ns(node), "same draw twice");
+        }
+        // Jitter decorrelates nodes.
+        let draws: Vec<SimNs> = (0..10).map(|n| p.provision_delay_ns(n)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "jitter is flat: {draws:?}");
+        // The base never exceeds the hard ceiling.
+        let big = p.clone().with_elastic_provisioning(SimNs::MAX);
+        assert!(big.provision_delay_ns(0) <= MAX_PROVISION_DELAY_NS);
+        // Replacement readiness = crash + delay, only for crashed nodes.
+        assert_eq!(p.replacement_ready_ns(3), Some(1_000 + p.provision_delay_ns(3)));
+        assert_eq!(p.replacement_ready_ns(4), None);
+        // Elasticity off: no delay, no replacement, still is_none-compatible.
+        let off = FaultPlan::seeded(23, &ec2()).with_elastic_provisioning(0);
+        assert_eq!(off.provision_delay_ns(3), 0);
+        assert!(off.is_none());
+        // A bare provisioning delay (no crashes) stays on the fast path.
+        let idle = FaultPlan::seeded(23, &ec2()).with_elastic_provisioning(1_000);
+        assert!(idle.is_none());
+        assert_eq!(idle.replacement_ready_ns(3), None);
+    }
+
+    #[test]
+    fn decommission_schedule_queries() {
+        let p = FaultPlan::seeded(9, &ec2()).decommission_at(2, 500).decommission_at(2, 300);
+        assert_eq!(p.decommission_ns(2), Some(300));
+        assert_eq!(p.decommission_ns(3), None);
+        // Decommissions reshape capacity, so they leave the fast path…
+        assert!(!p.is_none());
+        // …but never count as *dead*: no replicas or map output are lost.
+        assert!(p.dead_nodes_at(u64::MAX).is_empty());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use config::{ClusterConfig, NodeSpec};
 pub use cost::CostModel;
 pub use error::SimError;
 pub use faults::{
-    FaultPlan, MAX_RETRY_BACKOFF_NS, MAX_STAGE_RESUBMITS, MAX_TASK_ATTEMPTS, RETRY_BACKOFF_BASE_NS,
+    CheckpointPolicy, FaultPlan, DEFAULT_CHECKPOINT_REPLICATION, DEFAULT_PROVISION_DELAY_NS,
+    MAX_PROVISION_DELAY_NS, MAX_RETRY_BACKOFF_NS, MAX_STAGE_RESUBMITS, MAX_TASK_ATTEMPTS,
+    RETRY_BACKOFF_BASE_NS,
 };
 pub use hdfs::SimHdfs;
 pub use metrics::{RecoveryEvent, RecoveryKind, RunTrace, StageKind, StageTrace};

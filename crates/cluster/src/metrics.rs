@@ -64,10 +64,29 @@ pub enum RecoveryKind {
     MapRerun { tasks: u64 },
     /// An HDFS read fell over from dead primaries to surviving replicas.
     ReplicaFailover { blocks: u64 },
-    /// Spark recomputed lost partitions from lineage.
-    PartitionRecompute { partitions: u64, lineage_depth: u32 },
-    /// Spark resubmitted a stage after executor loss.
-    StageResubmit { attempt: u32 },
+    /// Spark resubmitted a stage after executor loss and recomputed the
+    /// lost partitions from lineage. One event carries the whole action:
+    /// `partitions` lost partitions were rebuilt by replaying
+    /// `lineage_depth` narrow stages each (already truncated at the last
+    /// durable checkpoint, if any), and the event's `wasted_ns` is the full
+    /// recompute cost. Earlier versions split this into a costed
+    /// `PartitionRecompute` plus a zero-cost `StageResubmit`, which
+    /// double-listed the same action in the recovery ledger.
+    StageResubmit { attempt: u32, partitions: u64, lineage_depth: u32 },
+    /// A checkpoint of completed stage/wave output was written to HDFS;
+    /// `wasted_ns` is the write's critical-path cost (the insurance
+    /// premium), `bytes` the logical (pre-replication) checkpoint size.
+    CheckpointWrite { bytes: u64 },
+    /// Recovery was satisfied by re-reading checkpointed output instead of
+    /// re-executing the work that produced it; `bytes` is the amount
+    /// re-read (also metered in `StageTrace::bytes_reread`).
+    CheckpointRestore { bytes: u64 },
+    /// A replacement node came online `delay_ns` after `node` crashed and
+    /// actually ran work (elastic re-scheduling regained the capacity).
+    NodeReplaced { node: u32, delay_ns: SimNs },
+    /// `node` was gracefully decommissioned: it launched nothing new after
+    /// its drain point, running tasks completed, and no data was lost.
+    Decommission { node: u32 },
 }
 
 /// A recovery event: what happened, in which stage, and what it cost.

@@ -101,12 +101,16 @@ fn scaled(base: SimNs, factor: f64) -> SimNs {
 /// lazily discarded for good; slots alive at `free` but dead by `ready`
 /// (a retry of a task the crash itself killed) are kept for tasks with
 /// earlier ready times. `last_dead` remembers the most recent casualty for
-/// error reporting.
+/// error reporting. A gracefully decommissioned node launches nothing at or
+/// after its drain point: such slots are likewise discarded for good (the
+/// drained node is recorded in `drained`), or kept for earlier-ready tasks
+/// when only this attempt's `ready` pushes the launch past the drain.
 fn pop_live(
     heap: &mut BinaryHeap<Reverse<(SimNs, u32)>>,
     slots_per_node: u32,
     plan: &FaultPlan,
     last_dead: &mut u32,
+    drained: &mut Vec<u32>,
     ready: SimNs,
 ) -> Option<(SimNs, u32)> {
     let mut stash: Vec<(SimNs, u32)> = Vec::new();
@@ -119,10 +123,17 @@ fn pop_live(
                 *last_dead = node;
                 stash.push((free, sid));
             }
-            _ => {
-                found = Some((free, sid));
-                break;
-            }
+            _ => match plan.decommission_ns(node) {
+                Some(d) if d <= free => {
+                    *last_dead = node;
+                    drained.push(node);
+                }
+                Some(d) if d <= free.max(ready) => stash.push((free, sid)),
+                _ => {
+                    found = Some((free, sid));
+                    break;
+                }
+            },
         }
     }
     heap.extend(stash.into_iter().map(Reverse));
@@ -146,7 +157,17 @@ fn pop_live(
 ///   next free slot and the first finisher wins (loser charged as waste);
 /// * **map-output loss** (`rerun_on_crash`) — tasks that completed on a
 ///   node that later died within this wave re-run on surviving slots
-///   (Hadoop re-executes completed maps whose host died before shuffle).
+///   (Hadoop re-executes completed maps whose host died before shuffle);
+/// * **elastic re-scheduling** — when the plan enables provisioning
+///   ([`FaultPlan::with_elastic_provisioning`]), every crashed node gets a
+///   replacement whose slots come online a jittered
+///   [`FaultPlan::provision_delay_ns`] after the crash; replacements never
+///   crash themselves, and each one that actually runs work emits
+///   [`RecoveryKind::NodeReplaced`];
+/// * **graceful decommission** — a node past its
+///   [`FaultPlan::decommission_ns`] drain point launches nothing new;
+///   running tasks complete, no output is lost, and the drained node emits
+///   [`RecoveryKind::Decommission`].
 ///
 /// With `FaultPlan::none()` this degenerates to exactly `lpt_makespan`
 /// (asserted by tests); callers still branch on `is_none()` so the
@@ -175,7 +196,31 @@ pub fn faulty_makespan(
     // is a pure function of the inputs.
     let mut heap: BinaryHeap<Reverse<(SimNs, u32)>> =
         (0..nodes * slots_per_node).map(|sid| Reverse((start_ns, sid))).collect();
+
+    // Elastic re-scheduling: the k-th distinct crashed node's replacement
+    // gets node id `nodes + k` (so `crash_ns`/`decommission_ns` — which only
+    // ever name original nodes — answer None: replacements never die), with
+    // slots coming online after the jittered provisioning delay.
+    let mut crashed_nodes: Vec<u32> = Vec::new();
+    if plan.provision_delay_base_ns > 0 {
+        crashed_nodes = plan.crashes.iter().map(|c| c.node).filter(|&n| n < nodes).collect();
+        crashed_nodes.sort_unstable();
+        crashed_nodes.dedup();
+        for (k, &n) in crashed_nodes.iter().enumerate() {
+            if let Some(ready) = plan.replacement_ready_ns(n) {
+                let base_sid = (nodes + k as u32) * slots_per_node;
+                for j in 0..slots_per_node {
+                    heap.push(Reverse((ready.max(start_ns), base_sid + j)));
+                }
+            }
+        }
+    }
+    // Which replacements actually launched an attempt (index into
+    // `crashed_nodes`); only those count as regained capacity.
+    let mut replacement_used: Vec<bool> = vec![false; crashed_nodes.len()];
+
     let mut last_dead: u32 = 0;
+    let mut drained: Vec<u32> = Vec::new();
     let mut end = start_ns;
     // Events are recorded stage-less inside the wave loop (hot path: one
     // entry per retry/speculation) and materialized with the stage name
@@ -192,8 +237,14 @@ pub fn faulty_makespan(
         // Kills still terminate: each one permanently removes a slot, so
         // the pool drains to NodeLost.
         loop {
-            let (free, sid) = match pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready)
-            {
+            let (free, sid) = match pop_live(
+                &mut heap,
+                slots_per_node,
+                plan,
+                &mut last_dead,
+                &mut drained,
+                ready,
+            ) {
                 Some(s) => s,
                 None => {
                     // sjc-lint: allow(hot-alloc) — cold error return: allocates once, then the run is over
@@ -201,6 +252,9 @@ pub fn faulty_makespan(
                 }
             };
             let node = sid / slots_per_node;
+            if let Some(used) = replacement_used.get_mut(node.wrapping_sub(nodes) as usize) {
+                *used = true;
+            }
             let launch = free.max(ready);
             attempt += 1;
             out.attempts += 1;
@@ -253,9 +307,14 @@ pub fn faulty_makespan(
             let mut primary_free = fin;
             if factor >= SPECULATION_THRESHOLD {
                 if let Some((b_free, b_sid)) =
-                    pop_live(&mut heap, slots_per_node, plan, &mut last_dead, ready)
+                    pop_live(&mut heap, slots_per_node, plan, &mut last_dead, &mut drained, ready)
                 {
                     let b_node = b_sid / slots_per_node;
+                    if let Some(used) =
+                        replacement_used.get_mut(b_node.wrapping_sub(nodes) as usize)
+                    {
+                        *used = true;
+                    }
                     let b_dur = scaled(base, plan.straggler_factor(tag, b_sid as u64));
                     let b_launch = b_free.max(ready);
                     let b_fin = b_launch + b_dur;
@@ -297,6 +356,20 @@ pub fn faulty_makespan(
         }
     }
 
+    // Elasticity and drain bookkeeping, appended in node order after the
+    // per-task events so the ledger stays a pure function of the inputs.
+    for (k, &orig) in crashed_nodes.iter().enumerate() {
+        if replacement_used.get(k).copied().unwrap_or(false) {
+            let delay_ns = plan.provision_delay_ns(orig);
+            wave_events.push((RecoveryKind::NodeReplaced { node: orig, delay_ns }, 0));
+        }
+    }
+    drained.sort_unstable();
+    drained.dedup();
+    for &node in &drained {
+        wave_events.push((RecoveryKind::Decommission { node }, 0));
+    }
+
     // Materialize the wave's events: the stage name is attached here, once
     // per event, outside the hot loop above.
     out.events = wave_events
@@ -321,7 +394,14 @@ pub fn faulty_makespan(
             }
         }
         if !rerun.is_empty() {
-            let survivors = (nodes as usize - dead.len()) * slots_per_node as usize;
+            // Replacement nodes online by the end of the wave count as
+            // survivors: elastic re-scheduling regains the lost capacity
+            // for the re-run wave.
+            let replacements = crashed_nodes
+                .iter()
+                .filter(|&&n| plan.replacement_ready_ns(n).is_some_and(|r| r <= end))
+                .count();
+            let survivors = (nodes as usize - dead.len() + replacements) * slots_per_node as usize;
             if survivors == 0 {
                 return Err(SimError::NodeLost { stage: stage.to_string(), node: last_dead });
             }
@@ -545,5 +625,59 @@ mod tests {
         let a = faulty_makespan(&tasks, 8, 4, &p, "map", 123, true).unwrap();
         let b = faulty_makespan(&tasks, 8, 4, &p, "map", 123, true).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn elastic_replacement_regains_lost_capacity() {
+        // Node 0 (2 of 8 slots) dies early in a long wave. Without
+        // elasticity the remaining 6 slots carry the rest of the run; with a
+        // provisioning delay much shorter than the wave, the replacement's
+        // slots absorb work and the makespan strictly improves.
+        let tasks = vec![1_000u64; 64];
+        let dead = plan().crash_at(0, 500);
+        let elastic = dead.clone().with_elastic_provisioning(1_000);
+        let s_dead = faulty_makespan(&tasks, 2, 4, &dead, "map", 0, false).unwrap();
+        let s_el = faulty_makespan(&tasks, 2, 4, &elastic, "map", 0, false).unwrap();
+        assert!(
+            s_el.makespan < s_dead.makespan,
+            "replacement capacity must shorten the wave: {} >= {}",
+            s_el.makespan,
+            s_dead.makespan
+        );
+        assert!(
+            s_el.task_nodes.iter().any(|&n| n >= 4),
+            "some task must finish on the replacement node: {:?}",
+            s_el.task_nodes
+        );
+        let replaced = s_el.events.iter().any(
+            |e| matches!(e.kind, RecoveryKind::NodeReplaced { node: 0, delay_ns } if delay_ns > 0),
+        );
+        assert!(replaced, "events: {:?}", s_el.events);
+        // An idle replacement (delay past the wave) emits no event and
+        // changes nothing.
+        let late = dead.clone().with_elastic_provisioning(crate::faults::MAX_PROVISION_DELAY_NS);
+        let s_late = faulty_makespan(&tasks, 2, 4, &late, "map", 0, false).unwrap();
+        assert_eq!(s_late.makespan, s_dead.makespan);
+        assert!(!s_late.events.iter().any(|e| matches!(e.kind, RecoveryKind::NodeReplaced { .. })));
+    }
+
+    #[test]
+    fn decommission_drains_without_killing_or_losing_data() {
+        // Node 3 drains at t=1500: tasks already running complete (no
+        // NodeCrash, no waste), but nothing new launches there afterwards.
+        let tasks = vec![1_000u64; 24];
+        let p = plan().decommission_at(3, 1_500);
+        let s = faulty_makespan(&tasks, 2, 4, &p, "map", 0, true).unwrap();
+        let baseline = faulty_makespan(&tasks, 2, 4, &FaultPlan::none(), "map", 0, true).unwrap();
+        assert!(s.makespan > baseline.makespan, "lost capacity costs wall time");
+        assert_eq!(s.wasted_ns, 0, "a drain wastes no work");
+        assert_eq!(s.attempts, tasks.len() as u64, "no retries, no re-runs");
+        assert!(s.events.iter().any(|e| matches!(e.kind, RecoveryKind::Decommission { node: 3 })));
+        assert!(
+            !s.events.iter().any(|e| matches!(e.kind, RecoveryKind::MapRerun { .. })),
+            "drained output is not lost"
+        );
+        // Work that completed on node 3 before the drain keeps its output.
+        assert!(s.task_nodes.contains(&3), "the node worked before draining");
     }
 }

@@ -265,10 +265,18 @@ pub fn recovery_string(traces: &[RunTrace]) -> String {
         let mut crashes = 0u64;
         let mut killed = 0u64;
         let mut reruns = 0u64;
-        let mut recomputes = 0u64;
-        let mut recompute_parts = 0u64;
         let mut resubmits = 0u64;
+        let mut resubmit_parts = 0u64;
+        let mut resubmit_ns = 0u64;
+        let mut max_depth = 0u32;
         let mut failovers = 0u64;
+        let mut ckpt_writes = 0u64;
+        let mut ckpt_written = 0u64;
+        let mut ckpt_restores = 0u64;
+        let mut ckpt_restored = 0u64;
+        let mut replaced = 0u64;
+        let mut replace_ns = 0u64;
+        let mut drained = 0u64;
         for e in &trace.recovery {
             match e.kind {
                 RecoveryKind::TaskRetry { .. } => {
@@ -281,12 +289,26 @@ pub fn recovery_string(traces: &[RunTrace]) -> String {
                     killed += tasks_killed;
                 }
                 RecoveryKind::MapRerun { tasks } => reruns += tasks,
-                RecoveryKind::PartitionRecompute { partitions, .. } => {
-                    recomputes += 1;
-                    recompute_parts += partitions;
+                RecoveryKind::StageResubmit { partitions, lineage_depth, .. } => {
+                    resubmits += 1;
+                    resubmit_parts += partitions;
+                    resubmit_ns += e.wasted_ns;
+                    max_depth = max_depth.max(lineage_depth);
                 }
-                RecoveryKind::StageResubmit { .. } => resubmits += 1,
                 RecoveryKind::ReplicaFailover { .. } => failovers += 1,
+                RecoveryKind::CheckpointWrite { bytes } => {
+                    ckpt_writes += 1;
+                    ckpt_written += bytes;
+                }
+                RecoveryKind::CheckpointRestore { bytes } => {
+                    ckpt_restores += 1;
+                    ckpt_restored += bytes;
+                }
+                RecoveryKind::NodeReplaced { delay_ns, .. } => {
+                    replaced += 1;
+                    replace_ns += delay_ns;
+                }
+                RecoveryKind::Decommission { .. } => drained += 1,
             }
         }
         let _ = writeln!(
@@ -297,15 +319,34 @@ pub fn recovery_string(traces: &[RunTrace]) -> String {
         let _ = writeln!(out, "  speculative backups   {speculations:>6}");
         let _ = writeln!(out, "  crash kills           {crashes:>6}   ({killed} tasks killed)");
         let _ = writeln!(out, "  completed-map re-runs {reruns:>6}");
+        // One line per resubmit burst: the partition recompute IS the
+        // resubmission cost, so the ledger never double-lists them.
         let _ = writeln!(
             out,
-            "  lineage recomputes    {recomputes:>6}   ({recompute_parts} partitions), {resubmits} stage resubmits"
+            "  stage resubmits       {resubmits:>6}   ({resubmit_parts} partitions to lineage depth {max_depth}, {:.1}s recomputed)",
+            resubmit_ns as f64 / 1e9
         );
         let _ = writeln!(
             out,
             "  replica failovers     {failovers:>6}   ({} reread)",
             human_bytes(trace.total_bytes_reread())
         );
+        if ckpt_writes > 0 || ckpt_restores > 0 {
+            let _ = writeln!(
+                out,
+                "  checkpoints           {ckpt_writes:>6}   ({} written, {ckpt_restores} restores / {} reread)",
+                human_bytes(ckpt_written),
+                human_bytes(ckpt_restored)
+            );
+        }
+        if replaced > 0 || drained > 0 {
+            let _ = writeln!(
+                out,
+                "  elastic reschedules   {:>6}   ({replaced} nodes replaced after {:.1}s avg provision, {drained} drained)",
+                replaced + drained,
+                if replaced > 0 { replace_ns as f64 / 1e9 / replaced as f64 } else { 0.0 }
+            );
+        }
         let event_waste: u64 = trace.recovery.iter().map(|e| e.wasted_ns).sum();
         let _ = writeln!(
             out,
@@ -616,17 +657,29 @@ mod tests {
             },
             RecoveryEvent {
                 stage: "s".into(),
-                kind: RecoveryKind::PartitionRecompute { partitions: 8, lineage_depth: 2 },
+                kind: RecoveryKind::StageResubmit { attempt: 1, partitions: 8, lineage_depth: 2 },
                 wasted_ns: 500_000_000,
+            },
+            RecoveryEvent {
+                stage: "s".into(),
+                kind: RecoveryKind::CheckpointWrite { bytes: 4096 },
+                wasted_ns: 100_000_000,
+            },
+            RecoveryEvent {
+                stage: "s".into(),
+                kind: RecoveryKind::NodeReplaced { node: 1, delay_ns: 30_000_000_000 },
+                wasted_ns: 0,
             },
         ]);
         let s = recovery_string(&[clean, hit]);
         assert!(s.contains("no faults injected"), "{s}");
         assert!(s.contains("task retries               1"), "{s}");
         assert!(s.contains("4 tasks killed"), "{s}");
-        assert!(s.contains("8 partitions"), "{s}");
-        assert!(s.contains("3.5s wasted work"), "{s}");
-        assert!(s.contains("3 recovery events"), "{s}");
+        assert!(s.contains("8 partitions to lineage depth 2, 0.5s recomputed"), "{s}");
+        assert!(s.contains("4.0 KB written"), "{s}");
+        assert!(s.contains("1 nodes replaced after 30.0s avg provision"), "{s}");
+        assert!(s.contains("3.6s wasted work"), "{s}");
+        assert!(s.contains("5 recovery events"), "{s}");
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //!
 //! Two halves:
 //!
-//! 1. **Variant liveness**: every variant of `SimError` (the workspace's
-//!    failure vocabulary, `crates/cluster/src/error.rs`) must be
-//!    *constructed* by non-test library code and *handled* (matched or
-//!    rendered) somewhere. A variant nobody constructs is a hole in the
-//!    failure model — the paper's "-" table cells claim specific failure
-//!    modes, and a vocabulary entry that can never occur misrepresents
-//!    what the simulation can express.
+//! 1. **Variant liveness**: every variant of each audited vocabulary enum
+//!    (`SimError`, the workspace's failure vocabulary, and `RecoveryKind`,
+//!    the recovery-ledger vocabulary) must be *constructed* by non-test
+//!    library code and *handled* (matched or rendered) somewhere. A variant
+//!    nobody constructs is a hole in the failure model — the paper's "-"
+//!    table cells claim specific failure modes, and a vocabulary entry that
+//!    can never occur misrepresents what the simulation can express.
 //! 2. **No silent discards**: library code must not throw a `Result` away
 //!    with `let _ = …` or a trailing `.ok();`. The one systematic carve-out
 //!    is `let _ = write!/writeln!(…)` — `fmt::Write` into an in-memory
@@ -19,9 +19,13 @@ use crate::items::FileModel;
 use crate::lexer::TokKind;
 use crate::{Rule, Severity, Violation, PANIC_FREE_CRATES};
 
-/// Where the failure vocabulary lives, relative to the scanned root.
-const ERROR_ENUM_FILE: &str = "crates/cluster/src/error.rs";
-const ERROR_ENUM_NAME: &str = "SimError";
+/// The audited vocabulary enums: (declaring file relative to the scanned
+/// root, enum name). Every variant of each must be constructed by non-test
+/// library code and handled (matched or rendered) somewhere.
+const AUDITED_ENUMS: &[(&str, &str)] = &[
+    ("crates/cluster/src/error.rs", "SimError"),
+    ("crates/cluster/src/metrics.rs", "RecoveryKind"),
+];
 
 #[derive(Debug)]
 struct Variant {
@@ -34,17 +38,19 @@ struct Variant {
 
 pub fn run(models: &[FileModel]) -> Vec<Violation> {
     let mut out = Vec::new();
-    out.extend(variant_liveness(models));
+    for (file, name) in AUDITED_ENUMS {
+        out.extend(variant_liveness(models, file, name));
+    }
     out.extend(discards(models));
     out
 }
 
-/// Parses the variant list out of `enum SimError { … }`.
-fn parse_variants(m: &FileModel) -> Vec<Variant> {
+/// Parses the variant list out of `enum <name> { … }`.
+fn parse_variants(m: &FileModel, enum_name: &str) -> Vec<Variant> {
     let toks = &m.toks;
     let mut variants = Vec::new();
     let Some(enum_at) = (0..toks.len()).find(|&i| {
-        toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(ERROR_ENUM_NAME))
+        toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(enum_name))
     }) else {
         return variants;
     };
@@ -107,11 +113,11 @@ fn skip_balanced(m: &FileModel, open: usize) -> usize {
     toks.len()
 }
 
-fn variant_liveness(models: &[FileModel]) -> Vec<Violation> {
-    let Some(enum_model) = models.iter().find(|m| m.rel_path == ERROR_ENUM_FILE) else {
-        return Vec::new(); // no failure vocabulary in this tree
+fn variant_liveness(models: &[FileModel], enum_file: &str, enum_name: &str) -> Vec<Violation> {
+    let Some(enum_model) = models.iter().find(|m| m.rel_path == enum_file) else {
+        return Vec::new(); // no such vocabulary in this tree
     };
-    let mut variants = parse_variants(enum_model);
+    let mut variants = parse_variants(enum_model, enum_name);
     if variants.is_empty() {
         return Vec::new();
     }
@@ -130,8 +136,7 @@ fn variant_liveness(models: &[FileModel]) -> Vec<Violation> {
             .collect();
 
         for i in 0..toks.len() {
-            if !toks[i].is_ident(ERROR_ENUM_NAME) || !toks.get(i + 1).is_some_and(|t| t.is_op("::"))
-            {
+            if !toks[i].is_ident(enum_name) || !toks.get(i + 1).is_some_and(|t| t.is_op("::")) {
                 continue;
             }
             let Some(name_tok) = toks.get(i + 2) else { continue };
@@ -163,10 +168,10 @@ fn variant_liveness(models: &[FileModel]) -> Vec<Violation> {
         if !v.handled {
             out.push(Violation::new(
                 Rule::ErrorFlow,
-                ERROR_ENUM_FILE,
+                enum_file,
                 v.line,
                 format!(
-                    "`{ERROR_ENUM_NAME}::{}` is never matched or rendered — every failure mode \
+                    "`{enum_name}::{}` is never matched or rendered — every failure mode \
                      must be handled somewhere (a match arm, kind(), or Display)",
                     v.name
                 ),
@@ -181,11 +186,11 @@ fn variant_liveness(models: &[FileModel]) -> Vec<Violation> {
             out.push(
                 Violation::new(
                     Rule::ErrorFlow,
-                    ERROR_ENUM_FILE,
+                    enum_file,
                     v.line,
                     format!(
                         "dead variant: no library code constructs \
-                         `{ERROR_ENUM_NAME}::{}`{extra} — a failure mode that cannot occur \
+                         `{enum_name}::{}`{extra} — a failure mode that cannot occur \
                          misstates the failure model; construct it or delete it",
                         v.name
                     ),
@@ -328,6 +333,16 @@ mod tests {
             ("crates/cluster/src/lib.rs", "pub fn f() -> SimError { SimError::Orphan(1) }\n"),
         ]);
         assert!(vs.iter().any(|v| v.message.contains("never matched or rendered")), "{vs:?}");
+    }
+
+    #[test]
+    fn recovery_kind_vocabulary_is_audited_too() {
+        let metrics_src = "pub enum RecoveryKind {\n    Retry { attempt: u32 },\n    Ghost { node: u32 },\n}\npub fn retry(attempt: u32) -> RecoveryKind {\n    RecoveryKind::Retry { attempt }\n}\npub fn label(k: &RecoveryKind) -> &'static str {\n    match k {\n        RecoveryKind::Retry { .. } => \"retry\",\n        RecoveryKind::Ghost { .. } => \"ghost\",\n    }\n}\n";
+        let vs = analyze(&[("crates/cluster/src/metrics.rs", metrics_src)]);
+        let dead: Vec<_> = vs.iter().filter(|v| v.message.contains("dead variant")).collect();
+        assert_eq!(dead.len(), 1, "{vs:?}");
+        assert!(dead[0].message.contains("RecoveryKind::Ghost"), "{vs:?}");
+        assert_eq!(dead[0].path, "crates/cluster/src/metrics.rs");
     }
 
     #[test]

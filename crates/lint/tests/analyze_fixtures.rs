@@ -104,6 +104,11 @@ fn error_flow_bad_names_the_phantom_variant_at_its_declaration() {
         vs.iter().any(|v| v.path == "crates/cluster/src/error.rs" && v.message.contains("Phantom")),
         "{vs:?}"
     );
+    // The recovery-ledger vocabulary is audited with the same rule.
+    assert!(
+        vs.iter().any(|v| v.path == "crates/cluster/src/metrics.rs" && v.message.contains("Ghost")),
+        "{vs:?}"
+    );
     // Both discard shapes are reported in lib.rs.
     let discards: Vec<_> = vs.iter().filter(|v| v.path == "crates/cluster/src/lib.rs").collect();
     assert_eq!(discards.len(), 2, "{vs:?}");

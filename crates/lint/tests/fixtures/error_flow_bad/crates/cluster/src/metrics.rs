@@ -1,0 +1,17 @@
+//! Fixture: a recovery-ledger vocabulary with a variant nothing constructs.
+
+pub enum RecoveryKind {
+    Retry { attempt: u32 },
+    Ghost { node: u32 },
+}
+
+pub fn retry(attempt: u32) -> RecoveryKind {
+    RecoveryKind::Retry { attempt }
+}
+
+pub fn label(k: &RecoveryKind) -> &'static str {
+    match k {
+        RecoveryKind::Retry { .. } => "retry",
+        RecoveryKind::Ghost { .. } => "ghost",
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every recovery kind is constructed and rendered.
+
+pub enum RecoveryKind {
+    Retry { attempt: u32 },
+    Ghost { node: u32 },
+}
+
+pub fn retry(attempt: u32) -> RecoveryKind {
+    RecoveryKind::Retry { attempt }
+}
+
+pub fn ghost(node: u32) -> RecoveryKind {
+    RecoveryKind::Ghost { node }
+}
+
+pub fn label(k: &RecoveryKind) -> &'static str {
+    match k {
+        RecoveryKind::Retry { .. } => "retry",
+        RecoveryKind::Ghost { .. } => "ghost",
+    }
+}

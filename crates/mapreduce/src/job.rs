@@ -526,8 +526,12 @@ impl<'a> MapReduceJob<'a> {
         // Map wave. Under faults the full-scale task list runs through the
         // event scheduler with `rerun_on_crash`: a completed map task whose
         // host dies before the shuffle re-executes (its output is gone).
+        // With an enabled checkpoint policy the spilled map output is
+        // persisted to HDFS instead, so those re-runs are unnecessary —
+        // `rerun_on_crash` turns off and the loss becomes a remote re-read.
+        let rerun_lost_maps = !plan.checkpoint.enabled();
         let mut map_sched: Option<TaskSchedule> = None;
-        let map_makespan = match cfg.map_scale {
+        let mut map_makespan = match cfg.map_scale {
             ScaleMode::MoreTasks => {
                 if plan.is_none() {
                     replicated_makespan(&map_durations, slots, cfg.multiplier)
@@ -541,7 +545,7 @@ impl<'a> MapReduceJob<'a> {
                         &plan,
                         &format!("{}/map", cfg.name),
                         start,
-                        true,
+                        rerun_lost_maps,
                     )?;
                     let m = s.makespan;
                     map_sched = Some(s);
@@ -561,7 +565,7 @@ impl<'a> MapReduceJob<'a> {
                         &plan,
                         &format!("{}/map", cfg.name),
                         start,
-                        true,
+                        rerun_lost_maps,
                     )?;
                     let m = s.makespan;
                     map_sched = Some(s);
@@ -569,6 +573,47 @@ impl<'a> MapReduceJob<'a> {
                 }
             }
         };
+
+        // Checkpointed map output: the write streams the full-scale spill
+        // through the HDFS replication pipeline on the critical path, and
+        // nodes that died within the map window cost a remote re-read of
+        // their share of the checkpoint instead of re-executing their maps.
+        let mut ckpt_events: Vec<RecoveryEvent> = Vec::new();
+        let mut ckpt_written: u64 = 0;
+        let mut ckpt_reread: u64 = 0;
+        if !plan.is_none() && plan.checkpoint.enabled() {
+            let full_shuffle = (stats.shuffle_bytes as f64 * cfg.multiplier) as u64;
+            if full_shuffle > 0 {
+                let repl = plan.checkpoint.replication.max(1) as u64;
+                let write_ns = c.io_ns(
+                    full_shuffle.saturating_mul(repl) / (slots as u64).max(1),
+                    self.hdfs_write_bw(),
+                );
+                map_makespan += write_ns;
+                ckpt_written = full_shuffle;
+                ckpt_events.push(RecoveryEvent {
+                    stage: cfg.name.clone(),
+                    kind: RecoveryKind::CheckpointWrite { bytes: full_shuffle },
+                    wasted_ns: write_ns,
+                });
+                let dead_before = plan.dead_nodes_at(start);
+                let dead_after = plan.dead_nodes_at(start + map_makespan);
+                let newly = dead_after.iter().filter(|n| !dead_before.contains(n)).count();
+                if newly > 0 {
+                    let live = nodes.saturating_sub(dead_after.len() as u32).max(1);
+                    let reread = (full_shuffle as f64 * newly as f64 / nodes as f64) as u64;
+                    let live_slots = (live as u64 * node.cores as u64).max(1);
+                    let extra = c.io_ns(reread / live_slots, node.slot_net_bw());
+                    map_makespan += extra;
+                    ckpt_reread = reread;
+                    ckpt_events.push(RecoveryEvent {
+                        stage: cfg.name.clone(),
+                        kind: RecoveryKind::CheckpointRestore { bytes: reread },
+                        wasted_ns: extra,
+                    });
+                }
+            }
+        }
 
         // ---- shuffle + reduce phase ----
         // Each group is one spatial partition: fixed count, data grows with
@@ -642,6 +687,11 @@ impl<'a> MapReduceJob<'a> {
         self.hdfs.total_bytes_read += trace.hdfs_bytes_read;
         trace.tasks = ((stats.map_tasks as f64) * cfg.multiplier) as u64 + stats.reduce_tasks;
 
+        if ckpt_written > 0 {
+            trace.hdfs_bytes_written += ckpt_written;
+            self.hdfs.total_bytes_written += ckpt_written;
+        }
+
         let mut recovery = Vec::new();
         for s in [map_sched, reduce_sched].into_iter().flatten() {
             trace.attempts += s.attempts;
@@ -649,11 +699,12 @@ impl<'a> MapReduceJob<'a> {
             trace.wasted_ns += s.wasted_ns;
             recovery.extend(s.events);
         }
+        recovery.extend(ckpt_events);
         if !plan.is_none() {
             let (extra, reread, ev) =
                 self.failover_penalty(&cfg.name, start, trace.hdfs_bytes_read);
             trace.sim_ns += extra;
-            trace.bytes_reread = reread;
+            trace.bytes_reread = reread + ckpt_reread;
             recovery.extend(ev);
         }
 
@@ -864,5 +915,75 @@ mod tests {
         assert!(!hit.recovery.is_empty(), "recovery actions are logged");
         assert!(hit.trace.bytes_reread > 0, "dead node forces remote re-reads");
         assert_eq!(base.trace.attempts, 0, "zero-fault path does not meter attempts");
+    }
+
+    #[test]
+    fn checkpointed_map_output_turns_reruns_into_rereads() {
+        let config = ClusterConfig::ec2(4);
+        // Map-heavy, shuffle-light: big text inputs, 8-byte emissions. The
+        // run is dominated by the map wave, so a crash at 60% of the
+        // data-dependent time lands mid-map with plenty of completed tasks.
+        let run = |plan: Option<FaultPlan>| {
+            let cluster = match plan {
+                Some(p) => Cluster::with_faults(config.clone(), p),
+                None => Cluster::new(config.clone()),
+            };
+            let mut hdfs = SimHdfs::new(4);
+            let mut engine = MapReduceJob::new(&cluster, &mut hdfs);
+            let words: Vec<u64> = (0..4000).map(|i| i % 97).collect();
+            let tasks = block_splits(&words, 4096.0, 256 << 10);
+            let cfg = JobConfig::new("wc", Phase::DistributedJoin, 4.0).write_output(false);
+            engine
+                .map_reduce(
+                    &cfg,
+                    tasks,
+                    |w, em| em.emit(*w, 1u64, 8),
+                    |k, vs, em| em.emit((*k, vs.len() as u64), 8),
+                )
+                .unwrap()
+        };
+        let base = run(None);
+        let startup = Cluster::new(config.clone()).cost.hadoop_job_startup_ns;
+        let crash_ns = startup + (base.trace.sim_ns - startup) * 3 / 5;
+        let crash = FaultPlan::seeded(7, &config).crash_at(2, crash_ns);
+
+        let rerun = run(Some(crash.clone()));
+        assert!(
+            rerun.recovery.iter().any(|e| matches!(e.kind, RecoveryKind::MapRerun { .. })),
+            "without a checkpoint, completed maps on the dead host re-execute: {:?}",
+            rerun.recovery
+        );
+
+        let ckpt = run(Some(crash.with_checkpoints(1, 3)));
+        assert!(
+            !ckpt.recovery.iter().any(|e| matches!(e.kind, RecoveryKind::MapRerun { .. })),
+            "checkpointed map output never re-executes: {:?}",
+            ckpt.recovery
+        );
+        assert!(ckpt
+            .recovery
+            .iter()
+            .any(|e| matches!(e.kind, RecoveryKind::CheckpointWrite { bytes } if bytes > 0)));
+        assert!(
+            ckpt.recovery
+                .iter()
+                .any(|e| matches!(e.kind, RecoveryKind::CheckpointRestore { bytes } if bytes > 0)),
+            "the dead host's share comes back as a re-read: {:?}",
+            ckpt.recovery
+        );
+        assert!(ckpt.trace.bytes_reread > 0);
+        assert!(ckpt.trace.hdfs_bytes_written > 0, "the checkpoint is metered through HDFS");
+        // Re-reading a light shuffle beats re-running heavy maps.
+        assert!(
+            ckpt.trace.sim_ns < rerun.trace.sim_ns,
+            "checkpointing must win on a map-heavy job: {} >= {}",
+            ckpt.trace.sim_ns,
+            rerun.trace.sim_ns
+        );
+        let mut a = base.output.clone();
+        let mut b = ckpt.output.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "recovery path never changes results");
     }
 }

@@ -17,6 +17,13 @@ pub struct SparkContext<'a> {
     /// Default number of partitions for loaded datasets (Spark uses
     /// 2–3 × total cores).
     pub default_parallelism: usize,
+    /// Completed stages since the last durable checkpoint — drives the
+    /// plan's checkpoint cadence and bounds lineage replay depth.
+    stages_since_checkpoint: u32,
+    /// Whether any checkpoint has been written this run.
+    checkpointed: bool,
+    /// Logical (pre-replication) bytes of the last durable checkpoint.
+    checkpoint_bytes: u64,
 }
 
 impl<'a> SparkContext<'a> {
@@ -25,6 +32,9 @@ impl<'a> SparkContext<'a> {
             cluster,
             trace: RunTrace::new("spark"),
             default_parallelism: cluster.total_slots() * 2,
+            stages_since_checkpoint: 0,
+            checkpointed: false,
+            checkpoint_bytes: 0,
         }
     }
 
@@ -89,7 +99,14 @@ impl<'a> SparkContext<'a> {
     /// cached parent partitions that lived on it; unlike Hadoop (which
     /// re-runs one task), Spark recomputes those partitions through their
     /// **lineage** — the resubmitted wave costs `lineage_depth ×` the lost
-    /// partitions' work, bounded by [`MAX_STAGE_RESUBMITS`].
+    /// partitions' work, bounded by [`MAX_STAGE_RESUBMITS`]. When the plan's
+    /// [`sjc_cluster::CheckpointPolicy`] is enabled, lineage replay
+    /// truncates at the last durable checkpoint (at most
+    /// `stages_since_checkpoint + 1` stages deep, the lost partitions'
+    /// checkpointed parents re-read over the network), and `resident_bytes`
+    /// — the stage's materialized output footprint — is what a checkpoint
+    /// write at this stage persists.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn close_stage(
         &mut self,
         name: &str,
@@ -98,6 +115,7 @@ impl<'a> SparkContext<'a> {
         hdfs_read: u64,
         shuffle_bytes: u64,
         lineage_depth: u32,
+        resident_bytes: u64,
     ) -> Result<SimNs, SimError> {
         let cost = self.cluster.cost.clone();
         let with_overhead: Vec<SimNs> =
@@ -150,8 +168,14 @@ impl<'a> SparkContext<'a> {
                 break;
             }
             // Cached partitions live round-robin across nodes; the ones on
-            // the fresh casualties recompute through their whole lineage.
-            let depth = lineage_depth.max(1);
+            // the fresh casualties recompute through their lineage — at
+            // most back to the last durable checkpoint.
+            let full_depth = lineage_depth.max(1);
+            let depth = if self.checkpointed {
+                full_depth.min(self.stages_since_checkpoint + 1)
+            } else {
+                full_depth
+            };
             // sjc-lint: allow(hot-alloc) — crash-recovery bookkeeping: the lost set becomes the next resubmission's work list (≤ MAX_STAGE_RESUBMITS rounds)
             let lost: Vec<SimNs> = pending_ns
                 .iter()
@@ -172,21 +196,37 @@ impl<'a> SparkContext<'a> {
             }
             let lost_work: SimNs = lost.iter().sum();
             st.wasted_ns += lost_work;
+            // One event carries the whole resubmission: the attempt, the
+            // lost partitions, the (checkpoint-truncated) replay depth, and
+            // the full recompute cost as its wasted_ns.
             events.push(RecoveryEvent {
                 // sjc-lint: allow(hot-alloc) — crash-recovery event: one per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
                 stage: name.to_string(),
-                kind: RecoveryKind::PartitionRecompute {
+                kind: RecoveryKind::StageResubmit {
+                    attempt: resubmit,
                     partitions: lost.len() as u64,
                     lineage_depth: depth,
                 },
                 wasted_ns: lost_work,
             });
-            events.push(RecoveryEvent {
-                // sjc-lint: allow(hot-alloc) — crash-recovery event: one per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
-                stage: name.to_string(),
-                kind: RecoveryKind::StageResubmit { attempt: resubmit },
-                wasted_ns: 0,
-            });
+            // Truncated replay starts from checkpointed parents: the lost
+            // partitions' share of the checkpoint comes back over the NIC.
+            if depth < full_depth && self.checkpoint_bytes > 0 {
+                let node = &self.cluster.config.node;
+                let live = nodes.saturating_sub(dead_after.len() as u32).max(1);
+                let reread = (self.checkpoint_bytes as f64 * lost.len() as f64
+                    / pending_ns.len().max(1) as f64) as u64;
+                let live_slots = (live as u64 * cores as u64).max(1);
+                let extra = cost.io_ns(reread / live_slots, node.slot_net_bw());
+                makespan += extra;
+                st.bytes_reread += reread;
+                events.push(RecoveryEvent {
+                    // sjc-lint: allow(hot-alloc) — crash-recovery event: one per stage resubmission (≤ MAX_STAGE_RESUBMITS), not per task
+                    stage: name.to_string(),
+                    kind: RecoveryKind::CheckpointRestore { bytes: reread },
+                    wasted_ns: extra,
+                });
+            }
             work = lost;
         }
 
@@ -208,6 +248,39 @@ impl<'a> SparkContext<'a> {
                 },
                 wasted_ns: extra,
             });
+        }
+
+        // Checkpoint cadence: every `interval_stages` completed stages the
+        // stage's resident output is persisted to HDFS through the
+        // replication pipeline. The write is the insurance premium — it
+        // costs critical-path time even when no fault ever fires.
+        if plan.checkpoint.enabled() {
+            if self.stages_since_checkpoint + 1 >= plan.checkpoint.interval_stages {
+                if resident_bytes > 0 {
+                    let node = &self.cluster.config.node;
+                    let write_bw = if nodes > 1 {
+                        node.slot_disk_write_bw().min(node.slot_net_bw() / 2.0)
+                    } else {
+                        node.slot_disk_write_bw()
+                    };
+                    let replicated =
+                        resident_bytes.saturating_mul(plan.checkpoint.replication.max(1) as u64);
+                    let slots = (nodes as u64 * cores as u64).max(1);
+                    let write_ns = cost.io_ns(replicated / slots, write_bw);
+                    makespan += write_ns;
+                    st.hdfs_bytes_written += resident_bytes;
+                    events.push(RecoveryEvent {
+                        stage: name.to_string(),
+                        kind: RecoveryKind::CheckpointWrite { bytes: resident_bytes },
+                        wasted_ns: write_ns,
+                    });
+                }
+                self.checkpointed = true;
+                self.checkpoint_bytes = resident_bytes;
+                self.stages_since_checkpoint = 0;
+            } else {
+                self.stages_since_checkpoint += 1;
+            }
         }
 
         let total = cost.spark_job_startup_ns + makespan;
@@ -250,7 +323,8 @@ mod tests {
     fn close_stage_emits_trace() {
         let cluster = Cluster::new(ClusterConfig::workstation());
         let mut ctx = SparkContext::new(&cluster);
-        let ns = ctx.close_stage("s1", Phase::DistributedJoin, &[1000, 2000], 77, 88, 1).unwrap();
+        let ns =
+            ctx.close_stage("s1", Phase::DistributedJoin, &[1000, 2000], 77, 88, 1, 0).unwrap();
         assert!(ns >= 2000);
         assert_eq!(ctx.trace.stages.len(), 1);
         assert_eq!(ctx.trace.stages[0].hdfs_bytes_read, 77);
@@ -268,23 +342,118 @@ mod tests {
         let pending = vec![1_000_000u64; 32];
         let run = |cluster: &Cluster, depth: u32| {
             let mut ctx = SparkContext::new(cluster);
-            let ns =
-                ctx.close_stage("s", Phase::DistributedJoin, &pending, 1 << 20, 0, depth).unwrap();
+            let ns = ctx
+                .close_stage("s", Phase::DistributedJoin, &pending, 1 << 20, 0, depth, 0)
+                .unwrap();
             (ns, ctx.trace)
         };
         let (base, t0) = run(&clean, 1);
         assert!(t0.recovery.is_empty(), "no faults, no recovery log");
         let (hit, t1) = run(&faulted, 1);
         assert!(hit > base, "the crash costs simulated time");
-        assert!(
-            t1.recovery.iter().any(|e| matches!(e.kind, RecoveryKind::PartitionRecompute { .. })),
-            "lost cached partitions recompute via lineage: {:?}",
-            t1.recovery
-        );
+        // The resubmission is one event carrying both the lost partitions
+        // and the recompute cost — never a zero-cost marker.
+        let resubmits: Vec<_> = t1
+            .recovery
+            .iter()
+            .filter(|e| matches!(e.kind, RecoveryKind::StageResubmit { .. }))
+            .collect();
+        assert!(!resubmits.is_empty(), "lost cached partitions resubmit: {:?}", t1.recovery);
+        for e in &resubmits {
+            assert!(e.wasted_ns > 0, "the resubmit event carries the recompute cost: {e:?}");
+            if let RecoveryKind::StageResubmit { partitions, lineage_depth, .. } = e.kind {
+                assert!(partitions > 0);
+                assert_eq!(lineage_depth, 1);
+            }
+        }
         assert!(t1.total_wasted_ns() > 0);
         // A longer narrow-op chain makes the same crash strictly costlier —
         // the Hadoop-vs-Spark recovery asymmetry the fault model exists for.
         let (deep, _) = run(&faulted, 5);
         assert!(deep > hit, "lineage depth scales recovery cost");
+    }
+
+    #[test]
+    fn a_durable_checkpoint_truncates_lineage_replay() {
+        let config = ClusterConfig::ec2(4);
+        let startup = CostModel::default().spark_job_startup_ns;
+        let pending = vec![10_000_000_000u64; 32];
+        let resident: u64 = 64 << 20;
+
+        // Find where stage 1 ends fault-free, then schedule the crash well
+        // inside stage 2's window (margins dwarf the checkpoint write).
+        let clean = Cluster::new(config.clone());
+        let stage1_end = {
+            let mut ctx = SparkContext::new(&clean);
+            ctx.close_stage("s1", Phase::DistributedJoin, &pending, 0, 0, 1, resident).unwrap();
+            ctx.trace.total_ns()
+        };
+        let crash_at = stage1_end + startup + 5_000_000_000;
+
+        let run = |ckpt_interval: u32| {
+            let mut plan = FaultPlan::seeded(1, &config).crash_at(2, crash_at);
+            if ckpt_interval > 0 {
+                plan = plan.with_checkpoints(ckpt_interval, 3);
+            }
+            let cluster = Cluster::with_faults(config.clone(), plan);
+            let mut ctx = SparkContext::new(&cluster);
+            ctx.close_stage("s1", Phase::DistributedJoin, &pending, 0, 0, 1, resident).unwrap();
+            ctx.close_stage("s2", Phase::DistributedJoin, &pending, 0, 0, 5, resident).unwrap();
+            ctx.trace
+        };
+
+        let lineage = run(0);
+        let ckpt = run(1);
+
+        let depth_of = |t: &sjc_cluster::RunTrace| {
+            t.recovery
+                .iter()
+                .find_map(|e| match e.kind {
+                    RecoveryKind::StageResubmit { lineage_depth, .. } => Some(lineage_depth),
+                    _ => None,
+                })
+                .expect("a resubmit happened")
+        };
+        // Without a checkpoint the crash replays the full 5-deep chain;
+        // with one taken after every stage it replays only this stage.
+        assert_eq!(depth_of(&lineage), 5);
+        assert_eq!(depth_of(&ckpt), 1);
+        assert!(
+            ckpt.recovery.iter().any(|e| matches!(e.kind, RecoveryKind::CheckpointWrite { .. })),
+            "the premium is metered: {:?}",
+            ckpt.recovery
+        );
+        assert!(
+            ckpt.recovery
+                .iter()
+                .any(|e| matches!(e.kind, RecoveryKind::CheckpointRestore { bytes } if bytes > 0)),
+            "truncated replay re-reads checkpointed parents: {:?}",
+            ckpt.recovery
+        );
+        // Checkpointed recovery is strictly cheaper end to end: replaying 1
+        // stage instead of 5 dwarfs the write premium.
+        assert!(
+            ckpt.total_ns() < lineage.total_ns(),
+            "checkpointing must win here: {} >= {}",
+            ckpt.total_ns(),
+            lineage.total_ns()
+        );
+        assert!(ckpt.total_wasted_ns() < lineage.total_wasted_ns());
+    }
+
+    #[test]
+    fn disabled_checkpoint_interval_is_bit_identical() {
+        // Interval 0 (= ∞) must not even change the code path taken.
+        let config = ClusterConfig::ec2(4);
+        let plan = FaultPlan::seeded(3, &config).crash_at(1, 2_000_000_000);
+        let base = Cluster::with_faults(config.clone(), plan.clone());
+        let inf = Cluster::with_faults(config, plan.with_checkpoints(0, 3));
+        let pending = vec![5_000_000u64; 48];
+        let run = |cluster: &Cluster| {
+            let mut ctx = SparkContext::new(cluster);
+            ctx.close_stage("s", Phase::DistributedJoin, &pending, 1 << 22, 9, 3, 1 << 26).unwrap();
+            (ctx.trace.total_ns(), ctx.trace.recovery.len())
+        };
+        assert_eq!(run(&base), run(&inf));
     }
 }

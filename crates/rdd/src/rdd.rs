@@ -213,7 +213,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
                 as SimNs;
         }
         let hdfs = std::mem::take(&mut self.pending_hdfs_read);
-        ctx.close_stage(name, phase, &pending, hdfs, 0, self.lineage_depth)?;
+        ctx.close_stage(name, phase, &pending, hdfs, 0, self.lineage_depth, self.mem_full_total())?;
 
         let threshold = (fraction * u64::MAX as f64) as u64;
         let offsets = record_offsets(&self.parts);
@@ -251,6 +251,7 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             self.pending_hdfs_read,
             0,
             self.lineage_depth,
+            self.mem_full_total(),
         )?;
         Ok(n)
     }
@@ -278,7 +279,16 @@ impl<T: SparkRecord + Clone> Rdd<T> {
         phase: Phase,
     ) -> Result<Vec<T>, SimError> {
         let pending = self.pending_ns.clone();
-        ctx.close_stage(name, phase, &pending, self.pending_hdfs_read, 0, self.lineage_depth)?;
+        let resident = self.mem_full_total();
+        ctx.close_stage(
+            name,
+            phase,
+            &pending,
+            self.pending_hdfs_read,
+            0,
+            self.lineage_depth,
+            resident,
+        )?;
         Ok(self.parts.into_iter().flatten().collect())
     }
 }

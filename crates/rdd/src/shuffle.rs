@@ -145,6 +145,7 @@ where
             self.pending_hdfs_read,
             shuffle_bytes,
             self.lineage_depth,
+            mem_full.iter().sum(),
         )?;
 
         // A shuffle materializes its output; recompute scope restarts here.
@@ -264,6 +265,7 @@ where
             self.pending_hdfs_read,
             shuffle_bytes,
             self.lineage_depth,
+            shuffle_bytes,
         )?;
 
         Ok(Rdd {
@@ -381,6 +383,7 @@ where
             hdfs,
             shuffle_bytes,
             self.lineage_depth.max(other.lineage_depth),
+            mem_full.iter().sum(),
         )?;
 
         Ok(Rdd {

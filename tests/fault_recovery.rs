@@ -14,7 +14,9 @@
 use std::collections::BTreeMap;
 
 use sjc_cluster::scheduler::faulty_makespan;
-use sjc_cluster::{Cluster, ClusterConfig, FaultPlan, RecoveryKind, RunTrace, SimNs};
+use sjc_cluster::{
+    Cluster, ClusterConfig, FaultPlan, RecoveryKind, RunTrace, SimNs, DEFAULT_PROVISION_DELAY_NS,
+};
 use sjc_core::experiment::{SystemKind, Workload};
 use sjc_core::framework::{JoinInput, JoinPredicate};
 use sjc_testkit::cases;
@@ -227,6 +229,224 @@ fn retry_backoff_shifts_attempt_histograms_and_costs_time() {
     );
     // And the backed-off schedule is still a pure function of its inputs.
     assert_eq!(run(&with), run(&with));
+}
+
+#[test]
+fn checkpoint_interval_infinity_degenerates_bit_identically() {
+    // Interval 0 means "never checkpoint" — the plan must behave exactly
+    // like today's lineage-only recovery, stage row for stage row, both
+    // with and without faults.
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    for sys in SystemKind::all() {
+        let base = sys
+            .instance()
+            .run(&Cluster::new(config.clone()), &l, &r, JoinPredicate::Intersects)
+            .expect("fault-free baseline succeeds");
+        let disabled_only = FaultPlan::seeded(7, &config).with_checkpoints(0, 3);
+        assert!(disabled_only.is_none(), "a disabled checkpoint policy must keep the fast path");
+        let heavy = FaultPlan::heavy(7, &config).crash_at(2, base.trace.total_ns() * 2 / 5);
+        let lineage = sys
+            .instance()
+            .run(
+                &Cluster::with_faults(config.clone(), heavy.clone()),
+                &l,
+                &r,
+                JoinPredicate::Intersects,
+            )
+            .expect("heavy plan at multiplier 1 completes");
+        let infinite = sys
+            .instance()
+            .run(
+                &Cluster::with_faults(config.clone(), heavy.with_checkpoints(0, 3)),
+                &l,
+                &r,
+                JoinPredicate::Intersects,
+            )
+            .expect("heavy plan at multiplier 1 completes");
+        assert_eq!(
+            stage_rows(&lineage.trace),
+            stage_rows(&infinite.trace),
+            "{}: interval-∞ checkpoints must not perturb a single stage number",
+            sys.paper_name()
+        );
+        assert_eq!(lineage.trace.total_ns(), infinite.trace.total_ns());
+        assert_eq!(lineage.trace.recovery, infinite.trace.recovery);
+        assert_eq!(lineage.sorted_pairs(), infinite.sorted_pairs());
+    }
+}
+
+#[test]
+fn checkpointed_recovery_cost_never_exceeds_lineage_only_proptest() {
+    // Property: for the Spark system, the *recovery* cost of a faulted run
+    // (its total minus a fault-free run under the same write policy, so the
+    // checkpoint-write premium cancels) never exceeds the lineage-only
+    // recovery cost of the same seed and plan. Truncating the replay depth
+    // and re-reading the durable copy can only cheapen recovery.
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    let sys = SystemKind::SpatialSpark;
+    let run = |plan: FaultPlan| {
+        sys.instance()
+            .run(&Cluster::with_faults(config.clone(), plan), &l, &r, JoinPredicate::Intersects)
+            .expect("plan completes at multiplier 1")
+            .trace
+            .total_ns()
+    };
+    let base = run(FaultPlan::none());
+    // Checkpoint writes are seed-invariant (no fault draws fire), so the
+    // fault-free-with-writes baseline depends only on the interval.
+    let ckpt_base: Vec<u64> =
+        (1..4).map(|iv| run(FaultPlan::seeded(0, &config).with_checkpoints(iv, 3))).collect();
+    cases(0xC4E9_0217, 10, |rng| {
+        let interval = rng.u32_in(1..4);
+        let plan = FaultPlan::heavy(rng.next_u64(), &config)
+            .crash_at(rng.u32_in(0..8), base * rng.u64_in(10..90) / 100);
+        let lineage_recovery = run(plan.clone()) - base;
+        let ckpt_total = run(plan.clone().with_checkpoints(interval, 3));
+        let ckpt_recovery = ckpt_total.saturating_sub(ckpt_base[interval as usize - 1]);
+        assert!(
+            ckpt_recovery <= lineage_recovery,
+            "checkpointed recovery ({ckpt_recovery} ns) must not exceed lineage-only \
+             recovery ({lineage_recovery} ns) under {plan:?} interval {interval}"
+        );
+    });
+}
+
+#[test]
+fn heavy_checkpointed_spark_strictly_improves_and_replacements_regain_capacity() {
+    // The acceptance pin: under the heavy preset with a finite checkpoint
+    // interval, the Spark system strictly beats lineage-only recovery, and
+    // elastic replacement provisioning wins back the crashed node's slots.
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    let sys = SystemKind::SpatialSpark;
+    let run = |plan: FaultPlan| {
+        sys.instance()
+            .run(&Cluster::with_faults(config.clone(), plan), &l, &r, JoinPredicate::Intersects)
+            .expect("heavy plan at multiplier 1 completes")
+    };
+    let base = run(FaultPlan::none()).trace.total_ns();
+    // Crash node 2 late enough that a completed stage's partitions are
+    // resident on it: the resubmit then replays real lineage.
+    let heavy = FaultPlan::heavy(7, &config).crash_at(2, base * 7 / 10);
+    let lineage = run(heavy.clone());
+    let ckpt = run(heavy.clone().with_checkpoints(2, 3));
+    let resub_depth = |t: &RunTrace| {
+        t.recovery
+            .iter()
+            .filter_map(|e| match e.kind {
+                RecoveryKind::StageResubmit { lineage_depth, .. } => Some(lineage_depth),
+                _ => None,
+            })
+            .max()
+    };
+    assert!(resub_depth(&lineage.trace).is_some(), "the heavy crash forces a stage resubmit");
+    assert!(
+        resub_depth(&ckpt.trace) <= resub_depth(&lineage.trace),
+        "a durable checkpoint can only truncate the replay depth"
+    );
+    assert!(ckpt
+        .trace
+        .recovery
+        .iter()
+        .any(|e| matches!(e.kind, RecoveryKind::CheckpointWrite { .. })));
+    assert!(
+        ckpt.trace.total_ns() < lineage.trace.total_ns(),
+        "finite checkpoint interval must strictly beat lineage-only under the heavy preset: \
+         {} >= {}",
+        ckpt.trace.total_ns(),
+        lineage.trace.total_ns()
+    );
+
+    // Elastic re-scheduling: a replacement node provisioned within the run
+    // regains the crashed node's slots and shrinks the makespan further.
+    let elastic = run(heavy.with_checkpoints(2, 3).with_elastic_provisioning(4_000_000_000));
+    assert!(
+        elastic
+            .trace
+            .recovery
+            .iter()
+            .any(|e| matches!(e.kind, RecoveryKind::NodeReplaced { node: 2, .. })),
+        "the replacement for the crashed node must be visible in the ledger"
+    );
+    assert!(
+        elastic.trace.total_ns() < ckpt.trace.total_ns(),
+        "regained slot capacity must shrink the run: {} >= {}",
+        elastic.trace.total_ns(),
+        ckpt.trace.total_ns()
+    );
+    assert_eq!(lineage.sorted_pairs(), elastic.sorted_pairs());
+
+    // The Hadoop-family systems regain capacity at the default provisioning
+    // delay (their runs are long enough for a 15-30 s spin-up to land).
+    let sh = SystemKind::SpatialHadoop;
+    let sh_run = |plan: FaultPlan| {
+        sh.instance()
+            .run(&Cluster::with_faults(config.clone(), plan), &l, &r, JoinPredicate::Intersects)
+            .expect("heavy plan at multiplier 1 completes")
+    };
+    let sh_base = sh_run(FaultPlan::none()).trace.total_ns();
+    let sh_heavy = FaultPlan::heavy(7, &config).crash_at(2, sh_base * 2 / 5);
+    let dead = sh_run(sh_heavy.clone());
+    let replaced = sh_run(sh_heavy.with_elastic_provisioning(DEFAULT_PROVISION_DELAY_NS));
+    assert!(replaced
+        .trace
+        .recovery
+        .iter()
+        .any(|e| matches!(e.kind, RecoveryKind::NodeReplaced { node: 2, .. })));
+    assert!(
+        replaced.trace.total_ns() < dead.trace.total_ns(),
+        "a mid-run replacement must shrink SpatialHadoop's makespan: {} >= {}",
+        replaced.trace.total_ns(),
+        dead.trace.total_ns()
+    );
+    assert_eq!(dead.sorted_pairs(), replaced.sorted_pairs());
+}
+
+#[test]
+fn decommission_drains_gracefully_at_system_level() {
+    // A graceful decommission re-balances work off the node without killing
+    // attempts or losing data: no wasted work, identical results, and the
+    // drain is visible in the ledger.
+    let (l, r) = workload();
+    let config = ClusterConfig::ec2(8);
+    for sys in SystemKind::all() {
+        let clean = sys
+            .instance()
+            .run(&Cluster::new(config.clone()), &l, &r, JoinPredicate::Intersects)
+            .expect("fault-free baseline succeeds");
+        let plan = FaultPlan::seeded(7, &config).decommission_at(3, clean.trace.total_ns() * 2 / 5);
+        let drained = sys
+            .instance()
+            .run(&Cluster::with_faults(config.clone(), plan), &l, &r, JoinPredicate::Intersects)
+            .expect("a decommission is never fatal");
+        let name = sys.paper_name();
+        assert!(
+            drained
+                .trace
+                .recovery
+                .iter()
+                .any(|e| matches!(e.kind, RecoveryKind::Decommission { node: 3 })),
+            "{name}: the drain must be visible in the ledger"
+        );
+        assert!(
+            !drained.trace.recovery.iter().any(|e| matches!(
+                e.kind,
+                RecoveryKind::MapRerun { .. } | RecoveryKind::StageResubmit { .. }
+            )),
+            "{name}: a graceful drain loses no data and re-runs nothing"
+        );
+        assert!(
+            drained.trace.total_ns() >= clean.trace.total_ns(),
+            "{name}: losing capacity never speeds a run up"
+        );
+        assert_eq!(
+            clean.sorted_pairs(),
+            drained.sorted_pairs(),
+            "{name}: a drain must not change the join result"
+        );
+    }
 }
 
 #[test]
