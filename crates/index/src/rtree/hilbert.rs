@@ -103,11 +103,11 @@ impl RTree {
                             mbr.expand(&nodes[id.0].mbr());
                             id
                         })
-                        .collect();
+                        .collect(); // sjc-lint: allow(hot-alloc) — materializes the inner node's child list; the allocation is the tree being built, not a temp
                     nodes.push(Node::Inner { mbr, children });
                     NodeId(nodes.len() - 1)
                 })
-                .collect();
+                .collect(); // sjc-lint: allow(hot-alloc) — materializes the next tree level; one Vec per level is the output structure
         }
         let tree = RTree { root: level.first().copied().unwrap_or(NodeId(0)), nodes, len };
         #[cfg(feature = "sanitize")]

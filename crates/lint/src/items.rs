@@ -13,6 +13,16 @@ use std::collections::BTreeSet;
 
 use crate::lexer::{lex, Tok, TokKind};
 
+/// Item visibility, as far as a token walk can see it. `pub(crate)` /
+/// `pub(super)` / `pub(in …)` are all [`Vis::Restricted`]: narrower than the
+/// crate boundary, so not public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    Private,
+    Restricted,
+    Pub,
+}
+
 /// One `fn` item: its name, the 1-based line of the `fn` token, the token
 /// range of its body (exclusive of the braces' indices is not guaranteed —
 /// the range covers `{ … }` inclusive), and whether it is test code.
@@ -20,6 +30,13 @@ use crate::lexer::{lex, Tok, TokKind};
 pub struct FnItem {
     pub name: String,
     pub line: usize,
+    /// Token index of the function's name in the file's stream — the anchor
+    /// the summary layer parses the signature (params, `->` return) from.
+    pub name_tok: usize,
+    /// Declared visibility. A `pub fn` inside a private module still reads
+    /// as [`Vis::Pub`] — over-approximating "public API" only widens the
+    /// guarantee the interprocedural passes enforce.
+    pub vis: Vis,
     /// Token index range `[open_brace, close_brace]` of the body, or `None`
     /// for bodiless declarations (trait methods, `extern` items).
     pub body: Option<(usize, usize)>,
@@ -147,7 +164,14 @@ impl FileModel {
                     pending_test_attr = false;
                     pending_cfg_test = false;
                     let (body, next) = fn_body_extent(&toks, i + 2);
-                    fns.push(FnItem { name: name_tok.text.clone(), line: t.line, body, in_test });
+                    fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        line: t.line,
+                        name_tok: i + 1,
+                        vis: vis_before(&toks, i),
+                        body,
+                        in_test,
+                    });
                     // Continue *inside* the body so nested fns, test-region
                     // braces, and `use` decls in bodies are still seen. Only
                     // the signature is skipped.
@@ -186,6 +210,55 @@ impl FileModel {
         // nested deeper.
         self.fns.iter().rfind(|f| f.body.is_some_and(|(s, e)| s <= i && i <= e))
     }
+}
+
+/// The visibility of the `fn` at token index `fn_idx`, read from the tokens
+/// before it. Qualifiers between the visibility and the keyword (`pub const
+/// fn`, `pub unsafe extern "C" fn`) are skipped.
+fn vis_before(toks: &[Tok], fn_idx: usize) -> Vis {
+    let mut j = fn_idx;
+    while j > 0 {
+        let t = &toks[j - 1];
+        let qualifier = t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.kind == TokKind::Str;
+        if !qualifier {
+            break;
+        }
+        j -= 1;
+    }
+    if j == 0 {
+        return Vis::Private;
+    }
+    if toks[j - 1].is_ident("pub") {
+        return Vis::Pub;
+    }
+    if toks[j - 1].is_op(")") {
+        // `pub(crate)` / `pub(super)` / `pub(in …)`: walk back over the
+        // parenthesized restriction to the `pub` that owns it.
+        let mut k = j - 1;
+        let mut depth = 0i64;
+        loop {
+            if toks[k].is_op(")") {
+                depth += 1;
+            } else if toks[k].is_op("(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return Vis::Private;
+            }
+            k -= 1;
+        }
+        if k > 0 && toks[k - 1].is_ident("pub") {
+            return Vis::Restricted;
+        }
+    }
+    Vis::Private
 }
 
 /// True when `w` starts an attribute `#[name…` or `#![name…`.
@@ -324,5 +397,25 @@ mod tests {
         let src = "#[derive(Debug, Clone)]\npub struct S;\nfn f() {}\n";
         let m = FileModel::build("crates/cluster/src/x.rs", src);
         assert_eq!(m.fns.len(), 1);
+    }
+
+    #[test]
+    fn visibility_is_read_through_fn_qualifiers() {
+        let src = "pub fn a() {}\npub(crate) fn b() {}\npub(in crate::m) fn c() {}\nfn d() {}\npub const unsafe fn e() {}\npub unsafe extern \"C\" fn g() {}\n";
+        let m = FileModel::build("crates/cluster/src/x.rs", src);
+        let vis = |n: &str| m.fns.iter().find(|f| f.name == n).unwrap().vis;
+        assert_eq!(vis("a"), Vis::Pub);
+        assert_eq!(vis("b"), Vis::Restricted);
+        assert_eq!(vis("c"), Vis::Restricted);
+        assert_eq!(vis("d"), Vis::Private);
+        assert_eq!(vis("e"), Vis::Pub);
+        assert_eq!(vis("g"), Vis::Pub);
+    }
+
+    #[test]
+    fn name_tok_points_at_the_fn_name() {
+        let m =
+            FileModel::build("crates/cluster/src/x.rs", "pub fn scan_ns(n: u64) -> u64 { n }\n");
+        assert_eq!(m.toks[m.fns[0].name_tok].text, "scan_ns");
     }
 }

@@ -18,13 +18,19 @@
 //! mask a regression in another (−1 here, +1 there, net zero); the ratchet
 //! compares every `(rule, file)` cell independently, so any per-file
 //! increase fails even when the totals balance out.
+//!
+//! Schema 3 adds the interprocedural rules (`panic-path`,
+//! `interproc-unit-flow`, `cache-purity`, `stale-suppression`) to the
+//! baseline's zero-cell vocabulary, and report violations may carry a
+//! `related` array — one `{path, line, note}` entry per hop of the call
+//! chain behind an interprocedural finding.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use crate::{Severity, Violation};
 
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Escapes `s` as a JSON string body.
 fn escape(s: &str) -> String {
@@ -63,14 +69,33 @@ pub fn report(violations: &[Violation]) -> String {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
+        let related = if v.related.is_empty() {
+            String::new()
+        } else {
+            let hops = v
+                .related
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"path\": \"{}\", \"line\": {}, \"note\": \"{}\"}}",
+                        escape(&r.path),
+                        r.line,
+                        escape(&r.note)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(", \"related\": [{hops}]")
+        };
         let _ = writeln!(
             out,
-            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}",
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"{}}}{}",
             v.rule.name(),
             sev,
             escape(&v.path),
             v.line,
             escape(&v.message),
+            related,
             comma
         );
     }

@@ -35,6 +35,10 @@
 //! | `hot-alloc` | hot-path functions (`sjc-analyze`) | per-iteration allocation (`clone()`, `to_string()`, `collect()`, `format!`, `vec!`, `Box::new`, …) inside a loop of any function reachable — through the crate-topology-gated call graph — from an `sjc_par` entry-point closure or a `crates/bench` kernel; pre-size with `with_capacity` outside the loop or reuse a buffer (`clear()` + refill) |
 //! | `loop-invariant-call` | hot-path functions (`sjc-analyze`, **warning**) | a call inside a hot loop whose arguments are all loop-invariant — every iteration recomputes the same value; hoist the call above the loop |
 //! | `unit-flow` | whole workspace (`sjc-analyze`) | `+`/`-` arithmetic mixing differently-united bindings (`*_ns` vs `*_bytes` vs `*_count`), tracked through `let` chains, and non-nanosecond values assigned into `*_ns` sinks — `*`/`/` are exempt as unit conversions |
+//! | `panic-path` | `pub` fns of the simulation crates (`sjc-analyze`) | a public API function that *transitively* reaches a panic site (`.unwrap()`, `panic!`, slice indexing, literal-zero divisor) through the call graph — the diagnostic carries the full call chain; audited `allow(no-panic-in-lib)`/`allow(panic-path)` sites are trusted |
+//! | `interproc-unit-flow` | whole workspace (`sjc-analyze`) | a call whose summarized return unit mixes with a differently-united operand, flows into a `*_ns` sink, or lands in a parameter declared with a different unit — the cross-function gap the intra-procedural `unit-flow` cannot see |
+//! | `cache-purity` | fns reachable from memoized seams (`sjc-analyze`) | a function reachable from `generate_cached`/other memoized entry points whose body reads the clock/entropy or mutates a static — the cache key must fully determine the cached value; the seam's own bookkeeping file is exempt |
+//! | `stale-suppression` | whole workspace (**warning**) | an audited `allow(<rule>)` comment whose rule no longer fires on the covered span (audits consumed by the panic-path summaries stay live) — suppressions are part of the audit trail and must not rot |
 //!
 //! ## Suppression
 //!
@@ -62,6 +66,7 @@ pub mod json;
 pub mod lexer;
 pub mod passes;
 pub mod sarif;
+pub mod summaries;
 
 pub use passes::analyze_workspace;
 
@@ -125,11 +130,15 @@ pub enum Rule {
     HotAlloc,
     LoopInvariantCall,
     UnitFlow,
+    PanicPath,
+    InterprocUnitFlow,
+    CachePurity,
+    StaleSuppression,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 16] = [
         Rule::NoNondeterminism,
         Rule::NoPanicInLib,
         Rule::FloatHygiene,
@@ -142,6 +151,10 @@ impl Rule {
         Rule::HotAlloc,
         Rule::LoopInvariantCall,
         Rule::UnitFlow,
+        Rule::PanicPath,
+        Rule::InterprocUnitFlow,
+        Rule::CachePurity,
+        Rule::StaleSuppression,
     ];
 
     pub fn name(self) -> &'static str {
@@ -158,6 +171,10 @@ impl Rule {
             Rule::HotAlloc => "hot-alloc",
             Rule::LoopInvariantCall => "loop-invariant-call",
             Rule::UnitFlow => "unit-flow",
+            Rule::PanicPath => "panic-path",
+            Rule::InterprocUnitFlow => "interproc-unit-flow",
+            Rule::CachePurity => "cache-purity",
+            Rule::StaleSuppression => "stale-suppression",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -183,6 +200,10 @@ impl Rule {
             Rule::HotAlloc => "No per-iteration allocation in hot-path loops",
             Rule::LoopInvariantCall => "Hoist loop-invariant calls out of hot loops",
             Rule::UnitFlow => "No unit-mixing arithmetic reaching sim_ns/metrics sinks",
+            Rule::PanicPath => "Public simulation API never transitively reaches a panic site",
+            Rule::InterprocUnitFlow => "Call return and argument units match across functions",
+            Rule::CachePurity => "Everything reachable from a memoized seam is pure",
+            Rule::StaleSuppression => "Suppressions whose rule no longer fires are removed",
             Rule::BadSuppression => "Suppressions name a known rule and carry a reason",
         }
     }
@@ -190,7 +211,7 @@ impl Rule {
     /// The severity a finding of this rule carries by default.
     pub fn default_severity(self) -> Severity {
         match self {
-            Rule::LoopInvariantCall => Severity::Warning,
+            Rule::LoopInvariantCall | Rule::StaleSuppression => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -226,6 +247,15 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A secondary location attached to a finding — one hop of a call chain, in
+/// source order from the reported function down to the offending site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    pub path: String,
+    pub line: usize,
+    pub note: String,
+}
+
 /// One finding: rule, severity, location (workspace-relative path, 1-based
 /// line) and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,10 +265,13 @@ pub struct Violation {
     pub path: String,
     pub line: usize,
     pub message: String,
+    /// Chain-of-calls context for interprocedural findings; empty for the
+    /// single-site rules.
+    pub related: Vec<Related>,
 }
 
 impl Violation {
-    /// A new finding at the default severity ([`Severity::Error`]).
+    /// A new finding at the rule's [`Rule::default_severity`].
     pub fn new(
         rule: Rule,
         path: impl Into<String>,
@@ -247,15 +280,21 @@ impl Violation {
     ) -> Violation {
         Violation {
             rule,
-            severity: Severity::Error,
+            severity: rule.default_severity(),
             path: path.into(),
             line,
             message: message.into(),
+            related: Vec::new(),
         }
     }
 
     pub fn with_severity(mut self, severity: Severity) -> Violation {
         self.severity = severity;
+        self
+    }
+
+    pub fn with_related(mut self, related: Vec<Related>) -> Violation {
+        self.related = related;
         self
     }
 }
@@ -657,10 +696,15 @@ pub(crate) struct Allow {
 const ALLOW_MARKER: &str = "sjc-lint: allow(";
 
 /// Parses an allow marker from a string-stripped (but comment-preserving)
-/// line. The marker must appear inside a `//` comment.
+/// line. The marker must appear inside a plain `//` comment — doc comments
+/// (`///`, `//!`) are documentation, so a syntax example in one neither
+/// suppresses anything nor counts as a stale waiver.
 fn parse_allow(commented_line: &str, code_line: &str) -> Option<Allow> {
     let comment_at = commented_line.find("//")?;
     let comment = &commented_line[comment_at..];
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
     let at = comment.find(ALLOW_MARKER)?;
     let rest = &comment[at + ALLOW_MARKER.len()..];
     let close = rest.find(')')?;
@@ -736,6 +780,19 @@ pub(crate) fn is_suppressed(
 /// with `/` separators (e.g. `crates/geom/src/mbr.rs`); it determines which
 /// rules apply.
 pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
+    let allows = allows_for(source);
+    let starts = stmt_starts(source);
+    let mut out = check_file_raw(rel_path, source);
+    out.retain(|v| {
+        v.rule == Rule::BadSuppression || !is_suppressed(&allows, &starts, v.rule, v.line)
+    });
+    out
+}
+
+/// [`check_file`] *before* suppression filtering. The `stale-suppression`
+/// pass needs the raw findings: an allow comment is live exactly when a raw
+/// finding it covers exists, which the filtered view cannot tell.
+pub(crate) fn check_file_raw(rel_path: &str, source: &str) -> Vec<Violation> {
     let mut class = classify(rel_path);
     let stripped = strip_noncode(source);
     let code_lines: Vec<&str> = stripped.lines().collect();
@@ -771,10 +828,6 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
             }
         }
     }
-
-    let starts = stmt_starts(source);
-    let suppressed =
-        |rule: Rule, i: usize| -> bool { is_suppressed(&allows, &starts, rule, i + 1) };
 
     // Which rules apply to this file's non-test code?
     let sim = SIM_CRATES.contains(&class.krate);
@@ -840,7 +893,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
                     break;
                 }
                 retry_loops.pop();
-                if is_retry && !has_bound && !suppressed(Rule::BoundedRetry, hdr) {
+                if is_retry && !has_bound {
                     out.push(Violation::new(
                         Rule::BoundedRetry,
                         rel_path,
@@ -859,7 +912,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
                     pending_loop = None;
                     if depth > depth_at_start {
                         retry_loops.push((hdr, depth_at_start, is_retry, has_bound));
-                    } else if is_retry && !has_bound && !suppressed(Rule::BoundedRetry, hdr) {
+                    } else if is_retry && !has_bound {
                         // The body opened *and* closed on this line.
                         out.push(Violation::new(
                             Rule::BoundedRetry,
@@ -881,7 +934,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
                 } else if code.contains('{') {
                     // One-line loop: `for attempt in 0..n { g(attempt) }` —
                     // the region opens and closes within this line.
-                    if retryish && !bound && !suppressed(Rule::BoundedRetry, i) {
+                    if retryish && !bound {
                         out.push(Violation::new(
                             Rule::BoundedRetry,
                             rel_path,
@@ -895,11 +948,8 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
             }
         }
 
-        let mut emit = |rule: Rule, message: String| {
-            if !suppressed(rule, i) {
-                out.push(Violation::new(rule, rel_path, i + 1, message));
-            }
-        };
+        let mut emit =
+            |rule: Rule, message: String| out.push(Violation::new(rule, rel_path, i + 1, message));
 
         if sim && !in_test {
             for tok in CLOCK_TOKENS {
@@ -1069,10 +1119,19 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
 /// the cross-file `sjc-analyze` passes ([`analyze_workspace`]), merged and
 /// sorted. This is what the CLI and the tier-1 gate run.
 pub fn check_all(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(check_all_timed(root)?.0)
+}
+
+/// [`check_all`] plus per-stage wall times — the `--timings` flag.
+pub fn check_all_timed(root: &Path) -> io::Result<(Vec<Violation>, Vec<passes::PassTiming>)> {
+    let t = passes::stamp();
     let mut out = check_workspace(root)?;
-    out.extend(analyze_workspace(root)?);
+    let mut timings = vec![passes::PassTiming { name: "line-rules", wall: t.elapsed() }];
+    let (vs, ts) = passes::analyze_workspace_timed(root)?;
+    out.extend(vs);
+    timings.extend(ts);
     out.sort_by(|a, b| (&a.path, a.line, a.rule.name()).cmp(&(&b.path, b.line, b.rule.name())));
-    Ok(out)
+    Ok((out, timings))
 }
 
 #[cfg(test)]
@@ -1266,6 +1325,21 @@ mod tests {
         let src = "let x = v[0]; // sjc-lint: allow(no-such-rule) — whatever\n";
         let vs = check_file("crates/geom/src/lib.rs", src);
         assert!(vs.iter().any(|v| v.rule == Rule::BadSuppression));
+    }
+
+    #[test]
+    fn doc_comments_are_not_suppressions() {
+        // A syntax example in a doc comment is documentation: it neither
+        // suppresses the line below nor parses as an (inevitably stale)
+        // waiver.
+        for doc in [
+            "/// sjc-lint: allow(no-panic-in-lib) — example from the rule table\nlet x = v[0];\n",
+            "//! sjc-lint: allow(no-panic-in-lib) — example from the rule table\nlet x = v[0];\n",
+        ] {
+            assert!(allows_for(doc).iter().all(Option::is_none), "{doc:?}");
+            let vs = check_file("crates/geom/src/lib.rs", doc);
+            assert!(vs.iter().any(|v| v.rule == Rule::NoPanicInLib), "{doc:?} -> {vs:?}");
+        }
     }
 
     #[test]

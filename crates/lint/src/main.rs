@@ -34,14 +34,17 @@ fn usage() {
          \x20 --baseline <path>         enforce the count ratchet against a checked-in\n\
          \x20                           baseline: per-rule per-file counts may only decrease\n\
          \x20 --write-baseline <path>   write the current counts as the new baseline\n\
+         \x20 --timings                 print per-pass wall times to stderr\n\
          \x20 --rules                   list the rule names and exit\n\n\
          Scans ROOT (default `.`) with the line rules (no-nondeterminism,\n\
          no-panic-in-lib, float-hygiene, bench-isolation, serial-hot-loop,\n\
-         bounded-retry) and the cross-file analyzer passes (entropy-taint,\n\
+         bounded-retry), the cross-file analyzer passes (entropy-taint,\n\
          par-closure-race, error-flow, hot-alloc, loop-invariant-call,\n\
-         unit-flow). Without --baseline the exit code fails on errors only;\n\
-         warnings ride the report and the ratchet. Suppress a finding inline\n\
-         with `// sjc-lint: allow(<rule>) — <reason>`."
+         unit-flow), and the interprocedural passes (panic-path,\n\
+         interproc-unit-flow, cache-purity, stale-suppression). Without\n\
+         --baseline the exit code fails on errors only; warnings ride the\n\
+         report and the ratchet. Suppress a finding inline with\n\
+         `// sjc-lint: allow(<rule>) — <reason>`."
     );
 }
 
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut timings = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,6 +84,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--timings" => timings = true,
             "--write-baseline" => match args.next() {
                 Some(p) => write_baseline = Some(PathBuf::from(p)),
                 None => {
@@ -95,13 +100,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let violations = match sjc_lint::check_all(&root) {
+    let (violations, pass_timings) = match sjc_lint::check_all_timed(&root) {
         Ok(vs) => vs,
         Err(e) => {
             eprintln!("sjc-lint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if timings {
+        for t in &pass_timings {
+            eprintln!("sjc-lint: timing {:>20}  {:>9.3} ms", t.name, t.wall.as_secs_f64() * 1e3);
+        }
+        let total: f64 = pass_timings.iter().map(|t| t.wall.as_secs_f64()).sum();
+        eprintln!("sjc-lint: timing {:>20}  {:>9.3} ms", "total", total * 1e3);
+    }
     let counts = json::Counts::from_violations(&violations);
 
     if let Some(path) = write_baseline {
@@ -115,7 +127,16 @@ fn main() -> ExitCode {
 
     match format {
         Format::Json => print!("{}", json::report(&violations)),
-        Format::Sarif => print!("{}", sarif::report(&violations)),
+        Format::Sarif => {
+            // Self-validate before emitting: CI uploads this document to
+            // code scanning, and a malformed report fails there silently.
+            let report = sarif::report(&violations);
+            if let Err(e) = sarif::validate(&report) {
+                eprintln!("sjc-lint: generated SARIF failed self-validation: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{report}");
+        }
         Format::Text => {
             for v in &violations {
                 println!("{}: {v}", v.severity);

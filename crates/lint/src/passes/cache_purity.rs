@@ -1,0 +1,196 @@
+//! Cache-purity pass: memoized seams only reach pure functions.
+//!
+//! PR 2's process-wide dataset cache (`generate_cached` in
+//! `crates/data/src/cache.rs`) returns the stored value on a key hit — so
+//! whatever computed that value must be a pure function of the key, or two
+//! runs (one warm, one cold) diverge and the determinism pin breaks. This
+//! pass walks forward from every memoized entry point (a non-test function
+//! whose name contains `cached` or `memo`) over the call graph and flags
+//! every reached function whose impurity is **direct** (its own body reads
+//! the clock/entropy or mutates a static — see [`crate::summaries`]).
+//!
+//! Two deliberate scope cuts:
+//!
+//! * the seam's own file is exempt — the cache bookkeeping itself
+//!   (`CACHE.get_or_init`, hit/miss counters, lock recovery) is impure by
+//!   construction and audited by the cache's unit tests;
+//! * only *directly* impure functions are reported, at their declaration —
+//!   reporting every transitively-impure hop would turn one root cause into
+//!   a cascade. The related locations carry the seam → function chain.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::items::FileModel;
+use crate::summaries::{Cause, Summaries};
+use crate::{Related, Rule, Violation};
+
+/// True when `name` marks a memoized entry point.
+fn is_memo_seam(name: &str) -> bool {
+    name.contains("cached") || name.contains("memo")
+}
+
+pub fn run(models: &[FileModel], graph: &CallGraph, sums: &Summaries) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (seed, &(fi, gi)) in graph.fns.iter().enumerate() {
+        let m = &models[fi];
+        let f = &m.fns[gi];
+        if m.harness || f.in_test || !is_memo_seam(&f.name) {
+            continue;
+        }
+        check_seam(models, graph, sums, seed, &mut out);
+    }
+    out
+}
+
+fn check_seam(
+    models: &[FileModel],
+    graph: &CallGraph,
+    sums: &Summaries,
+    seed: usize,
+    out: &mut Vec<Violation>,
+) {
+    let (sfi, sgi) = graph.fns[seed];
+    let seam_file = &models[sfi].rel_path;
+    let seam_name = &models[sfi].fns[sgi].name;
+
+    // Level-synchronous BFS with stable-key parent selection, so the
+    // reported chain does not depend on file visit order.
+    let stable_key = |f: usize| {
+        let (fi, gi) = graph.fns[f];
+        (&models[fi].rel_path, models[fi].fns[gi].line, &models[fi].fns[gi].name)
+    };
+    let n = graph.fns.len();
+    // parent[f] = (caller, call line) on a shortest seam→f path.
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[seed] = true;
+    let mut level = vec![seed];
+    let mut order: Vec<usize> = Vec::new();
+    while !level.is_empty() {
+        let mut next = BTreeSet::new();
+        for &v in &level {
+            for e in &graph.edges[v] {
+                if !seen[e.callee] {
+                    next.insert(e.callee);
+                }
+            }
+        }
+        for &f in &next {
+            let best = level
+                .iter()
+                .flat_map(|&v| graph.edges[v].iter().filter(|e| e.callee == f).map(move |e| (v, e)))
+                .min_by_key(|&(v, e)| (stable_key(v), e.line, e.tok))
+                .map(|(v, e)| (v, e.line));
+            parent[f] = best;
+            seen[f] = true;
+        }
+        level = next.into_iter().collect();
+        order.extend(&level);
+    }
+
+    for &f in &order {
+        let (fi, gi) = graph.fns[f];
+        let m = &models[fi];
+        if m.rel_path == *seam_file {
+            continue; // the seam's own bookkeeping file
+        }
+        let item = &m.fns[gi];
+        if item.in_test {
+            continue;
+        }
+        let Some(Cause::Direct { what, line }) = &sums.impure[f] else { continue };
+
+        // Chain: seam → … → f, by parent links (each strictly closer to the
+        // seam), then the offending site inside f.
+        let mut hops = Vec::new();
+        let mut cur = f;
+        while let Some((caller, call_line)) = parent[cur] {
+            let (cfi, cgi) = graph.fns[cur];
+            hops.push(Related {
+                path: models[graph.fns[caller].0].rel_path.clone(),
+                line: call_line,
+                note: format!("calls `{}`", models[cfi].fns[cgi].name),
+            });
+            cur = caller;
+        }
+        hops.reverse();
+        hops.push(Related { path: m.rel_path.clone(), line: *line, note: what.clone() });
+
+        out.push(
+            Violation::new(
+                Rule::CachePurity,
+                &m.rel_path,
+                item.line,
+                format!(
+                    "`{}` is reachable from the memoized seam `{seam_name}` but is not \
+                     pure: {what} (line {line}) — the cache key must fully determine \
+                     the cached value",
+                    item.name
+                ),
+            )
+            .with_related(hops),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn check(files: &[(&str, &str)]) -> Vec<Violation> {
+        let models: Vec<FileModel> = files.iter().map(|(p, s)| FileModel::build(p, s)).collect();
+        let graph = callgraph::build(&models);
+        let sums = Summaries::compute(&models, &graph);
+        run(&models, &graph, &sums)
+    }
+
+    #[test]
+    fn impure_fn_reached_from_seam_is_reported_with_chain() {
+        let vs = check(&[
+            (
+                "crates/data/src/cache.rs",
+                "pub fn generate_cached(k: u64) -> u64 {\n    HITS.fetch_add(1, Ordering::Relaxed);\n    build(k)\n}\n",
+            ),
+            (
+                "crates/data/src/catalog.rs",
+                "pub fn build(k: u64) -> u64 { stamp(k) }\nfn stamp(k: u64) -> u64 { k ^ Instant::now() }\n",
+            ),
+        ]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        let v = &vs[0];
+        assert_eq!(v.path, "crates/data/src/catalog.rs");
+        assert!(v.message.contains("`stamp`") && v.message.contains("generate_cached"), "{v:?}");
+        // Chain: seam's call to build, build's call to stamp, the site.
+        assert_eq!(v.related.len(), 3, "{v:?}");
+        assert!(v.related[2].note.contains("Instant::now"), "{v:?}");
+    }
+
+    #[test]
+    fn seam_file_bookkeeping_is_exempt_and_pure_trees_are_clean() {
+        let vs = check(&[
+            (
+                "crates/data/src/cache.rs",
+                "pub fn generate_cached(k: u64) -> u64 {\n    MISSES.fetch_add(1, Ordering::Relaxed);\n    build(k)\n}\n",
+            ),
+            ("crates/data/src/catalog.rs", "pub fn build(k: u64) -> u64 { k.wrapping_mul(3) }\n"),
+        ]);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn transitively_impure_hops_are_not_cascaded() {
+        // Only `stamp` (directly impure) is reported, not `build` (impure
+        // via `stamp`).
+        let vs = check(&[
+            ("crates/data/src/cache.rs", "pub fn generate_cached(k: u64) -> u64 { build(k) }\n"),
+            (
+                "crates/data/src/catalog.rs",
+                "pub fn build(k: u64) -> u64 { stamp(k) }\nfn stamp(k: u64) -> u64 { COUNTER.fetch_add(1, Ordering::Relaxed) }\n",
+            ),
+        ]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("`stamp`"), "{vs:?}");
+    }
+}

@@ -26,8 +26,9 @@ const QUALIFIED_SOURCES: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", 
 const BARE_SOURCES: &[&str] = &["thread_rng", "from_entropy"];
 
 /// Scans a token range for a direct entropy-source mention; returns a label
-/// for the first one found.
-fn direct_source(toks: &[Tok], start: usize, end: usize) -> Option<String> {
+/// and the 1-based line of the first one found. Shared with the purity half
+/// of the summary layer, which treats any clock/entropy read as impure.
+pub(crate) fn direct_source(toks: &[Tok], start: usize, end: usize) -> Option<(String, usize)> {
     let hi = end.min(toks.len().saturating_sub(1));
     for i in start..=hi {
         if toks[i].kind != TokKind::Ident {
@@ -38,11 +39,11 @@ fn direct_source(toks: &[Tok], start: usize, end: usize) -> Option<String> {
                 && toks.get(i + 1).is_some_and(|t| t.is_op("::"))
                 && toks.get(i + 2).is_some_and(|t| t.is_ident(n))
             {
-                return Some(format!("{q}::{n}"));
+                return Some((format!("{q}::{n}"), toks[i].line));
             }
         }
         if BARE_SOURCES.contains(&toks[i].text.as_str()) {
-            return Some(toks[i].text.clone());
+            return Some((toks[i].text.clone(), toks[i].line));
         }
     }
     None
@@ -56,7 +57,7 @@ pub fn run(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
     for (id, &(fi, gi)) in graph.fns.iter().enumerate() {
         let f = &models[fi].fns[gi];
         if let Some((s, e)) = f.body {
-            if let Some(label) = direct_source(&models[fi].toks, s, e) {
+            if let Some((label, _)) = direct_source(&models[fi].toks, s, e) {
                 taint[id] = Some((String::new(), label));
                 work.push(id);
             }
@@ -65,8 +66,8 @@ pub fn run(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
     // Propagate backwards: build reverse edges once, then fixpoint.
     let mut callers: Vec<Vec<(usize, String)>> = vec![Vec::new(); graph.fns.len()];
     for (caller, edges) in graph.edges.iter().enumerate() {
-        for (callee, via) in edges {
-            callers[*callee].push((caller, via.clone()));
+        for e in edges {
+            callers[e.callee].push((caller, e.via.clone()));
         }
     }
     while let Some(id) = work.pop() {

@@ -12,6 +12,9 @@
 //! 2. **`crates/bench` functions** — everything the bench harness calls is
 //!    by definition inside a measured region (bench bodies themselves are
 //!    never *flagged*; they only seed traversal into the library crates).
+//!    The crate's `src/bin/` CLI drivers are excluded: `reproduce` and
+//!    `perfsnap` print tables and write JSON *after* the simulated runs —
+//!    nothing they call sits inside a timed region.
 //!
 //! From those roots the set closes forward over the crate-topology-gated
 //! call graph, the same edges the entropy pass trusts. The closure bodies
@@ -42,11 +45,13 @@ pub(crate) fn compute(models: &[FileModel], graph: &CallGraph) -> HotSet {
     let mut closure_ranges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); models.len()];
 
     // Root 2: bench functions (including bench harness files — the bench
-    // crate *is* the measured-region driver).
+    // crate *is* the measured-region driver), except the `src/bin/` CLI
+    // drivers, which only format and print already-computed results.
     let mut id_of: BTreeMap<(usize, usize), FnId> = BTreeMap::new();
     for (id, &(fi, gi)) in graph.fns.iter().enumerate() {
         id_of.insert((fi, gi), id);
-        if models[fi].krate == "bench" && !hot[id] {
+        let m = &models[fi];
+        if m.krate == "bench" && !m.rel_path.contains("/src/bin/") && !hot[id] {
             hot[id] = true;
             work.push(id);
         }
@@ -81,10 +86,10 @@ pub(crate) fn compute(models: &[FileModel], graph: &CallGraph) -> HotSet {
                         .rposition(|f| f.body.is_some_and(|(s, e)| s <= i && i <= e))
                         .and_then(|gi| id_of.get(&(mi, gi)).copied());
                     if let Some(caller) = caller {
-                        for (callee, via) in &graph.edges[caller] {
-                            if names.iter().any(|n| n == via) && !hot[*callee] {
-                                hot[*callee] = true;
-                                work.push(*callee);
+                        for e in &graph.edges[caller] {
+                            if names.contains(&e.via) && !hot[e.callee] {
+                                hot[e.callee] = true;
+                                work.push(e.callee);
                             }
                         }
                     }
@@ -99,10 +104,10 @@ pub(crate) fn compute(models: &[FileModel], graph: &CallGraph) -> HotSet {
 
     // Forward closure: anything a hot function calls is hot.
     while let Some(id) = work.pop() {
-        for (callee, _) in &graph.edges[id] {
-            if !hot[*callee] {
-                hot[*callee] = true;
-                work.push(*callee);
+        for e in &graph.edges[id] {
+            if !hot[e.callee] {
+                hot[e.callee] = true;
+                work.push(e.callee);
             }
         }
     }

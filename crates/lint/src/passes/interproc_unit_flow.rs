@@ -1,0 +1,410 @@
+//! Interprocedural unit flow: call returns and arguments keep their units.
+//!
+//! The intra-procedural `unit-flow` pass stops at call boundaries — a call
+//! expression carries a unit only when its *name* is unit-suffixed. This
+//! pass closes the gap with the summarized signatures
+//! ([`crate::summaries`]): a call's return unit comes from the callee's
+//! `ret_unit` fact, a parameter's expected unit from its `param_units`
+//! entry, and three shapes are flagged:
+//!
+//! * the returned value mixed (`+`/`-`/`+=`/`-=`) with an operand of a
+//!   *different known* unit;
+//! * the returned value flowing into a `*_ns` sink with no converting
+//!   `*`/`/` in the expression;
+//! * an argument whose unit differs from the parameter's declared unit.
+//!
+//! Calls whose own name declares a unit (`payload_bytes()`) are left to the
+//! intra-procedural pass — it already sees them, and double-reporting would
+//! make every finding two findings. Ambiguous calls (several resolved
+//! callees with disagreeing summaries) carry no fact: the under-
+//! approximation direction the whole crate follows.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::dataflow::{self, Flow};
+use crate::items::FileModel;
+use crate::lexer::{Tok, TokKind};
+use crate::passes::unit_flow::{apply_binding, unit_at, unit_of_name, Unit};
+use crate::summaries::Summaries;
+use crate::{cfg, Related, Rule, Violation};
+
+/// Per-call-site facts a caller's walk needs, keyed by the name token.
+struct CallFact {
+    /// Agreed return unit across all resolved callees.
+    ret: Option<Unit>,
+    /// Agreed per-position parameter facts: `(param name, unit)`.
+    params: Vec<(Option<String>, Option<Unit>)>,
+    /// Display name of the call.
+    name: String,
+    /// Declaration site of one resolved callee (stable-key minimal), for
+    /// the related location.
+    decl: (String, usize),
+}
+
+pub fn run(models: &[FileModel], graph: &CallGraph, sums: &Summaries) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, &(fi, gi)) in graph.fns.iter().enumerate() {
+        let m = &models[fi];
+        let f = &m.fns[gi];
+        if m.harness || f.in_test {
+            continue;
+        }
+        let Some((s, e)) = f.body else { continue };
+        let facts = call_facts(models, graph, sums, id);
+        if facts.is_empty() {
+            continue;
+        }
+        check_body(m, s, e, &facts, &mut out);
+    }
+    out
+}
+
+/// Builds the call-site fact table for one caller: only calls whose name
+/// does not itself declare a unit, and whose resolved callees agree.
+fn call_facts(
+    models: &[FileModel],
+    graph: &CallGraph,
+    sums: &Summaries,
+    id: usize,
+) -> BTreeMap<usize, CallFact> {
+    let mut by_tok: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for e in &graph.edges[id] {
+        by_tok.entry(e.tok).or_default().push(e.callee);
+    }
+    let mut out = BTreeMap::new();
+    for (tok, callees) in by_tok {
+        let (c0fi, c0gi) = graph.fns[callees[0]];
+        let name = models[c0fi].fns[c0gi].name.clone();
+        if unit_of_name(&name).is_some() {
+            continue; // the intra-procedural pass owns unit-named calls
+        }
+        let ret = agreed(callees.iter().map(|&c| sums.ret_unit[c]));
+        let max_params = callees.iter().map(|&c| sums.params[c].len()).max().unwrap_or(0);
+        let params: Vec<(Option<String>, Option<Unit>)> = (0..max_params)
+            .map(|p| {
+                let unit =
+                    agreed(callees.iter().map(|&c| sums.params[c].get(p).and_then(|pa| pa.unit)));
+                let pname = sums.params[callees[0]].get(p).and_then(|pa| pa.name.clone());
+                (pname, unit)
+            })
+            .collect();
+        if ret.is_none() && params.iter().all(|(_, u)| u.is_none()) {
+            continue;
+        }
+        let decl_of = |c: usize| {
+            let (dfi, dgi) = graph.fns[c];
+            (models[dfi].rel_path.clone(), models[dfi].fns[dgi].line)
+        };
+        let decl = callees.iter().map(|&c| decl_of(c)).min().unwrap_or_default();
+        out.insert(tok, CallFact { ret, params, name, decl });
+    }
+    out
+}
+
+/// The single unit all items agree on, or `None` on any unknown/conflict.
+fn agreed(units: impl Iterator<Item = Option<Unit>>) -> Option<Unit> {
+    let mut acc: Option<Unit> = None;
+    for u in units {
+        match (u, acc) {
+            (None, _) => return None,
+            (Some(u), None) => acc = Some(u),
+            (Some(u), Some(a)) if u != a => return None,
+            _ => {}
+        }
+    }
+    acc
+}
+
+fn check_body(
+    m: &FileModel,
+    start: usize,
+    end: usize,
+    facts: &BTreeMap<usize, CallFact>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &m.toks;
+    let end = end.min(toks.len().saturating_sub(1));
+    let bindings = dataflow::let_bindings(toks, start, end);
+    let mut next_binding = 0usize;
+    let mut flow: Flow<Unit> = Flow::new();
+
+    let mut k = start;
+    while k <= end {
+        while next_binding < bindings.len() && bindings[next_binding].rhs.1 < k {
+            apply_binding(toks, &bindings[next_binding], &mut flow);
+            next_binding += 1;
+        }
+        let Some(fact) = facts.get(&k) else {
+            k += 1;
+            continue;
+        };
+        let line = toks[k].line;
+        let Some(close) = cfg::matching(toks, k + 1, "(", ")") else {
+            k += 1;
+            continue;
+        };
+
+        // Return unit mixed with a neighboring operand:
+        // `<ident> ± call(…)` and `call(…) ± <ident>`.
+        if let Some(ret) = fact.ret {
+            let path_start = path_start(toks, k);
+            let before_op = (path_start >= 2 && is_mix_op(&toks[path_start - 1]))
+                .then(|| (path_start - 2, &toks[path_start - 1]));
+            let after_op = toks.get(close + 1).filter(|t| is_mix_op(t)).map(|t| (close + 2, t));
+            for (operand, op) in before_op.into_iter().chain(after_op) {
+                let Some(other) = toks.get(operand).filter(|t| t.kind == TokKind::Ident) else {
+                    continue;
+                };
+                if let Some(u) = unit_at(toks, operand, &flow) {
+                    if u != ret {
+                        out.push(mix_violation(m, line, fact, ret, &other.text, u, &op.text));
+                    }
+                }
+            }
+
+            // Non-ns return flowing into a `*_ns` sink: `x_ns = … call(…) …`
+            // with no converting `*`/`/` on either side of the call.
+            if ret != Unit::Ns && !converted_after(toks, close, end) {
+                if let Some(sink) = ns_sink_of(toks, start, k) {
+                    out.push(
+                        Violation::new(
+                            Rule::InterprocUnitFlow,
+                            &m.rel_path,
+                            line,
+                            format!(
+                                "`{}(…)` returns {} and flows into `{}` — a nanosecond sink \
+                                 must receive nanoseconds; convert with an explicit rate first",
+                                fact.name,
+                                ret.name(),
+                                sink
+                            ),
+                        )
+                        .with_related(vec![decl_related(fact, ret)]),
+                    );
+                }
+            }
+        }
+
+        // Argument positions: a single-ident argument with a known unit must
+        // match the parameter's declared unit.
+        for (p, arg) in single_ident_args(toks, k + 1, close).into_iter().enumerate() {
+            let Some((arg_tok, arg_name)) = arg else { continue };
+            let Some((pname, Some(want))) = fact.params.get(p).cloned() else { continue };
+            let Some(have) = unit_at(toks, arg_tok, &flow) else { continue };
+            if have != want {
+                let pname = pname.unwrap_or_else(|| format!("#{p}"));
+                out.push(
+                    Violation::new(
+                        Rule::InterprocUnitFlow,
+                        &m.rel_path,
+                        line,
+                        format!(
+                            "`{arg_name}` ({}) is passed to parameter `{pname}` ({}) of \
+                             `{}` — convert with an explicit rate first",
+                            have.name(),
+                            want.name(),
+                            fact.name
+                        ),
+                    )
+                    .with_related(vec![Related {
+                        path: fact.decl.0.clone(),
+                        line: fact.decl.1,
+                        note: format!("`{}` declares `{pname}` as {}", fact.name, want.name()),
+                    }]),
+                );
+            }
+        }
+        // Step token-by-token (not past `close`) so calls nested inside the
+        // arguments are checked too.
+        k += 1;
+    }
+}
+
+fn mix_violation(
+    m: &FileModel,
+    line: usize,
+    fact: &CallFact,
+    ret: Unit,
+    other: &str,
+    other_unit: Unit,
+    op: &str,
+) -> Violation {
+    Violation::new(
+        Rule::InterprocUnitFlow,
+        &m.rel_path,
+        line,
+        format!(
+            "`{}(…)` returns {} but is combined with `{other}` ({}) via `{op}` — \
+             different units never add; convert explicitly (multiply by a rate) first",
+            fact.name,
+            ret.name(),
+            other_unit.name()
+        ),
+    )
+    .with_related(vec![decl_related(fact, ret)])
+}
+
+fn decl_related(fact: &CallFact, ret: Unit) -> Related {
+    Related {
+        path: fact.decl.0.clone(),
+        line: fact.decl.1,
+        note: format!("`{}` returns {} (summarized here)", fact.name, ret.name()),
+    }
+}
+
+fn is_mix_op(t: &Tok) -> bool {
+    t.kind == TokKind::Op && matches!(t.text.as_str(), "+" | "-" | "+=" | "-=")
+}
+
+/// First token of the (possibly qualified) path ending at the call name
+/// token `k`: `sjc_x::m::f` → the `sjc_x` index.
+fn path_start(toks: &[Tok], k: usize) -> usize {
+    let mut i = k;
+    while i >= 2 && toks[i - 1].is_op("::") && toks[i - 2].kind == TokKind::Ident {
+        i -= 2;
+    }
+    i
+}
+
+/// When the statement containing the call at `k` assigns into a `*_ns`
+/// sink with no converting `*`/`/` before the call, the sink's name.
+/// Scans backwards from the call's path start to the statement boundary.
+fn ns_sink_of(toks: &[Tok], start: usize, k: usize) -> Option<String> {
+    let mut i = path_start(toks, k);
+    while i > start {
+        i -= 1;
+        let t = &toks[i];
+        if t.is_op(";") || t.is_op("{") || t.is_op("}") || t.is_op(",") || t.is_op("(") {
+            return None;
+        }
+        if t.is_op("*") || t.is_op("/") {
+            return None; // conversion between sink and call
+        }
+        if (t.is_op("=") || t.is_op(":")) && i > start && toks[i - 1].kind == TokKind::Ident {
+            let name = &toks[i - 1].text;
+            return (unit_of_name(name) == Some(Unit::Ns)).then(|| name.clone());
+        }
+    }
+    None
+}
+
+/// True when a depth-0 `*`/`/` follows the call before its statement ends —
+/// the returned value is rescaled before reaching any sink.
+fn converted_after(toks: &[Tok], close: usize, end: usize) -> bool {
+    let mut depth = 0i64;
+    for t in toks.iter().take(end + 1).skip(close + 1) {
+        if t.is_op("(") || t.is_op("[") || t.is_op("{") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") || t.is_op("}") {
+            if depth == 0 {
+                return false; // the call was itself an argument; stop at its caller's `)`
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_op(";") {
+                return false;
+            }
+            if t.is_op("*") || t.is_op("/") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Arguments of the call spanning `(open, close)`, positionally: `Some((token
+/// index, name))` for arguments that are a single bare identifier, `None`
+/// for anything more structured (those carry no checkable unit).
+fn single_ident_args(toks: &[Tok], open: usize, close: usize) -> Vec<Option<(usize, String)>> {
+    let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        if t.is_op("(") || t.is_op("[") || t.is_op("{") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") || t.is_op("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_op(",") {
+            args.push(Vec::new());
+            continue;
+        }
+        args.last_mut().expect("args starts non-empty").push(k);
+    }
+    args.into_iter()
+        .map(|idxs| match idxs.as_slice() {
+            [one] if toks[*one].kind == TokKind::Ident => Some((*one, toks[*one].text.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn check(files: &[(&str, &str)]) -> Vec<Violation> {
+        let models: Vec<FileModel> = files.iter().map(|(p, s)| FileModel::build(p, s)).collect();
+        let graph = callgraph::build(&models);
+        let sums = Summaries::compute(&models, &graph);
+        run(&models, &graph, &sums)
+    }
+
+    #[test]
+    fn returned_unit_mixing_fires_across_functions() {
+        let vs = check(&[(
+            "crates/core/src/x.rs",
+            "pub fn total(task_ns: u64, n: u64) -> u64 { task_ns + moved(n) }\nfn moved(n: u64) -> u64 {\n    let out_bytes = n;\n    out_bytes\n}\n",
+        )]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("`moved(…)` returns bytes"), "{vs:?}");
+        assert!(vs[0].related[0].note.contains("summarized here"), "{vs:?}");
+    }
+
+    #[test]
+    fn returned_unit_into_ns_sink_fires() {
+        let vs = check(&[(
+            "crates/core/src/x.rs",
+            "pub fn record(r: &mut R, n: u64) {\n    r.sim_ns = step(n);\n}\nfn step(n: u64) -> u64 {\n    let got_bytes = n;\n    got_bytes\n}\n",
+        )]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("sim_ns"), "{vs:?}");
+    }
+
+    #[test]
+    fn argument_unit_mismatch_fires() {
+        let vs = check(&[(
+            "crates/core/src/x.rs",
+            "pub fn drive(read_bytes: u64) -> u64 { scale(read_bytes) }\nfn scale(cost_ns: u64) -> u64 { cost_ns }\n",
+        )]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("parameter `cost_ns`"), "{vs:?}");
+    }
+
+    #[test]
+    fn conversions_and_agreeing_units_are_clean() {
+        for ok in [
+            // Converted before the sink.
+            "pub fn record(r: &mut R, n: u64, ns_per_byte: u64) {\n    r.sim_ns = step(n) * ns_per_byte;\n}\nfn step(n: u64) -> u64 {\n    let got_bytes = n;\n    got_bytes\n}\n",
+            // Same units agree.
+            "pub fn total(task_ns: u64, n: u64) -> u64 { task_ns + step(n) }\nfn step(n: u64) -> u64 {\n    let more_ns = n;\n    more_ns\n}\n",
+            // Unknown callee unit carries no fact.
+            "pub fn total(task_ns: u64, n: u64) -> u64 { task_ns + plain(n) }\nfn plain(n: u64) -> u64 { n }\n",
+            // Unit-named calls belong to the intra-procedural pass.
+            "pub fn total(task_ns: u64) -> u64 { task_ns + other_ns() }\nfn other_ns() -> u64 { 1 }\n",
+        ] {
+            assert!(check(&[("crates/core/src/x.rs", ok)]).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn unit_named_call_is_not_double_reported() {
+        // The intra pass flags `task_ns + other_bytes()` by name alone; this
+        // pass must stay silent on it.
+        let vs = check(&[(
+            "crates/core/src/x.rs",
+            "pub fn total(task_ns: u64) -> u64 { task_ns + other_bytes() }\nfn other_bytes() -> u64 { 1 }\n",
+        )]);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+}

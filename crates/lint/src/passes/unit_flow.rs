@@ -25,15 +25,15 @@ use crate::lexer::{Tok, TokKind};
 use crate::{Rule, Violation};
 
 /// The units the simulation's identifiers encode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Unit {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
     Ns,
     Bytes,
     Count,
 }
 
 impl Unit {
-    fn name(self) -> &'static str {
+    pub fn name(self) -> &'static str {
         match self {
             Unit::Ns => "ns",
             Unit::Bytes => "bytes",
@@ -44,7 +44,7 @@ impl Unit {
 
 /// The unit an identifier's *name* declares, from its last `_`-segment.
 /// `per`-containing names are rates and carry no unit.
-pub(crate) fn unit_of_name(name: &str) -> Option<Unit> {
+pub fn unit_of_name(name: &str) -> Option<Unit> {
     if name.split('_').any(|seg| seg == "per") {
         return None;
     }
@@ -76,7 +76,7 @@ pub fn run(models: &[FileModel]) -> Vec<Violation> {
 /// The unit of the identifier at token `k`, resolved name-first, then
 /// through the flow facts. Field chains use the field's own name (`e.
 /// wasted_ns` is nanoseconds regardless of what `e` is).
-fn unit_at(toks: &[Tok], k: usize, flow: &Flow<Unit>) -> Option<Unit> {
+pub(crate) fn unit_at(toks: &[Tok], k: usize, flow: &Flow<Unit>) -> Option<Unit> {
     let t = &toks[k];
     if t.kind != TokKind::Ident {
         return None;
@@ -206,7 +206,7 @@ fn offending_rhs(
 /// its name-declared unit if it has one, else the unit the initializer
 /// propagates — a single known unit among its top-level operands, with
 /// `*`/`/` (conversions) clearing the fact.
-fn apply_binding(toks: &[Tok], b: &LetBinding, flow: &mut Flow<Unit>) {
+pub(crate) fn apply_binding(toks: &[Tok], b: &LetBinding, flow: &mut Flow<Unit>) {
     if b.names.len() != 1 {
         // Tuple patterns: positional matching is more machinery than the
         // workspace needs; unmodeled bindings just carry no fact.

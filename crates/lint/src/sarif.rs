@@ -86,18 +86,42 @@ pub fn report(violations: &[Violation]) -> String {
     for (i, v) in violations.iter().enumerate() {
         let comma = if i + 1 < m { "," } else { "" };
         let idx = rules.iter().position(|r| *r == v.rule).unwrap_or(0);
+        // Interprocedural findings carry their call chain as SARIF
+        // relatedLocations — one hop per entry, rendered by code-scanning
+        // UIs as clickable steps under the result.
+        let related = if v.related.is_empty() {
+            String::new()
+        } else {
+            let hops = v
+                .related
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \
+                         \"{}\"}}, \"region\": {{\"startLine\": {}}}}}, \"message\": \
+                         {{\"text\": \"{}\"}}}}",
+                        escape(&r.path),
+                        r.line.max(1),
+                        escape(&r.note)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(", \"relatedLocations\": [{hops}]")
+        };
         let _ = writeln!(
             out,
             "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": \
-             {}}}}}}}]}}{}",
+             {}}}}}}}]{}}}{}",
             v.rule.name(),
             idx,
             level(v.severity),
             escape(&v.message),
             escape(&v.path),
             v.line.max(1),
+            related,
             comma
         );
     }
@@ -158,27 +182,51 @@ pub fn validate(text: &str) -> Result<(), String> {
                 .and_then(Value::as_array)
                 .ok_or(format!("sarif: result {i} has no locations"))?;
             for loc in locs {
-                let phys = loc
-                    .get("physicalLocation")
-                    .ok_or(format!("sarif: result {i} location lacks physicalLocation"))?;
-                if phys
-                    .get("artifactLocation")
-                    .and_then(|a| a.get("uri"))
-                    .and_then(Value::as_str)
-                    .is_none()
-                {
-                    return Err(format!("sarif: result {i} has no artifactLocation.uri"));
-                }
-                let line = phys
-                    .get("region")
-                    .and_then(|r| r.get("startLine"))
-                    .and_then(Value::as_num)
-                    .ok_or(format!("sarif: result {i} has no region.startLine"))?;
-                if line == 0 {
-                    return Err(format!("sarif: result {i} startLine must be 1-based"));
+                check_physical(loc, i)?;
+            }
+            // relatedLocations are optional, but when present each hop must
+            // carry the same physical-location shape plus a message.text
+            // note (the chain step description).
+            if let Some(related) = res.get("relatedLocations") {
+                let hops = related
+                    .as_array()
+                    .ok_or(format!("sarif: result {i} relatedLocations must be an array"))?;
+                for hop in hops {
+                    check_physical(hop, i)?;
+                    if hop
+                        .get("message")
+                        .and_then(|m| m.get("text"))
+                        .and_then(Value::as_str)
+                        .is_none()
+                    {
+                        return Err(format!(
+                            "sarif: result {i} relatedLocation has no message.text"
+                        ));
+                    }
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// One location object (a `locations` entry or a `relatedLocations` hop):
+/// must hold a `physicalLocation` with an `artifactLocation.uri` and a
+/// 1-based `region.startLine`.
+fn check_physical(loc: &Value, i: usize) -> Result<(), String> {
+    let phys = loc
+        .get("physicalLocation")
+        .ok_or(format!("sarif: result {i} location lacks physicalLocation"))?;
+    if phys.get("artifactLocation").and_then(|a| a.get("uri")).and_then(Value::as_str).is_none() {
+        return Err(format!("sarif: result {i} has no artifactLocation.uri"));
+    }
+    let line = phys
+        .get("region")
+        .and_then(|r| r.get("startLine"))
+        .and_then(Value::as_num)
+        .ok_or(format!("sarif: result {i} has no region.startLine"))?;
+    if line == 0 {
+        return Err(format!("sarif: result {i} startLine must be 1-based"));
     }
     Ok(())
 }
@@ -225,6 +273,37 @@ mod tests {
         let tampered = text.replace(&format!("\"ruleIndex\": {idx},"), "\"ruleIndex\": 0,");
         assert_ne!(text, tampered, "expected a result row to tamper with");
         assert!(validate(&tampered).is_err(), "tampered index must fail");
+    }
+
+    #[test]
+    fn related_locations_are_emitted_and_validated() {
+        let vs = [v(Rule::PanicPath, 4).with_related(vec![
+            crate::Related {
+                path: "crates/par/src/lib.rs".to_string(),
+                line: 168,
+                note: "calls `helper`".to_string(),
+            },
+            crate::Related {
+                path: "crates/par/src/lib.rs".to_string(),
+                line: 171,
+                note: ".unwrap()".to_string(),
+            },
+        ])];
+        let text = report(&vs);
+        validate(&text).unwrap();
+        let doc = parse_value(&text).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_array).unwrap();
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        let hops = results[0].get("relatedLocations").and_then(Value::as_array).unwrap();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(
+            hops[1].get("message").and_then(|m| m.get("text")).and_then(Value::as_str),
+            Some(".unwrap()")
+        );
+        // A zero startLine in a hop must fail the self-check.
+        let tampered = text.replace("\"startLine\": 171", "\"startLine\": 0");
+        assert_ne!(text, tampered);
+        assert!(validate(&tampered).is_err());
     }
 
     #[test]

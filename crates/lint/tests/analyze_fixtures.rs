@@ -27,6 +27,14 @@ fn each_pass_has_a_firing_and_a_clean_fixture() {
         ("loop_invariant_ok", None),
         ("unit_flow_bad", Some(Rule::UnitFlow)),
         ("unit_flow_ok", None),
+        ("panic_path_bad", Some(Rule::PanicPath)),
+        ("panic_path_ok", None),
+        ("interproc_unit_flow_bad", Some(Rule::InterprocUnitFlow)),
+        ("interproc_unit_flow_ok", None),
+        ("cache_purity_bad", Some(Rule::CachePurity)),
+        ("cache_purity_ok", None),
+        ("stale_suppression_bad", Some(Rule::StaleSuppression)),
+        ("stale_suppression_ok", None),
     ];
     for (name, expected) in table {
         let vs = analyze_workspace(&fixture(name))
@@ -95,6 +103,65 @@ fn entropy_bad_reports_both_halves_of_the_pass() {
     // The source in crates/data is not itself a sim-crate violation — the
     // bench-isolation line rule owns that site.
     assert!(!vs.iter().any(|v| v.path.starts_with("crates/data")), "{vs:?}");
+}
+
+#[test]
+fn panic_path_bad_reports_the_full_chain_as_related_locations() {
+    let vs = analyze_workspace(&fixture("panic_path_bad")).unwrap();
+    // The violation anchors at the pub API in the sim crate, not at the
+    // panic site in sjc_par (which no-panic-in-lib does not cover).
+    let v = vs.iter().find(|v| v.path == "crates/core/src/join.rs").unwrap();
+    assert!(v.message.contains("run_join") && v.message.contains("par_map_budget"), "{v:?}");
+    assert!(v.message.contains(".unwrap"), "{v:?}");
+    // One related location per hop: the call into sjc_par, then the site.
+    assert_eq!(v.related.len(), 2, "{v:?}");
+    assert_eq!(v.related[1].path, "crates/par/src/lib.rs");
+    assert_eq!(v.related[1].line, 4, "{v:?}");
+}
+
+#[test]
+fn panic_path_ok_consumed_audit_survives_stale_suppression() {
+    // The audited allow(panic-path) in the ok tree matches no surviving
+    // finding; only the consumed-audit carve-out keeps it from being
+    // reported stale. An empty scan proves both halves at once.
+    let vs = analyze_workspace(&fixture("panic_path_ok")).unwrap();
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn interproc_unit_flow_bad_fires_all_three_shapes() {
+    let vs = analyze_workspace(&fixture("interproc_unit_flow_bad")).unwrap();
+    // Return mixed with a differently-united operand…
+    assert!(vs.iter().any(|v| v.message.contains("`moved(…)` returns bytes")), "{vs:?}");
+    // …return flowing into an ns sink unconverted…
+    assert!(vs.iter().any(|v| v.message.contains("sim_ns")), "{vs:?}");
+    // …and an argument/parameter unit mismatch.
+    assert!(vs.iter().any(|v| v.message.contains("parameter `cost_ns`")), "{vs:?}");
+    // Every finding points back at the summarized declaration.
+    assert!(vs.iter().all(|v| !v.related.is_empty()), "{vs:?}");
+}
+
+#[test]
+fn cache_purity_bad_blames_the_directly_impure_fn_with_the_seam_chain() {
+    let vs = analyze_workspace(&fixture("cache_purity_bad")).unwrap();
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    let v = &vs[0];
+    // `stamp` is directly impure; `build` (impure only via `stamp`) is not
+    // cascaded into a second finding.
+    assert_eq!(v.path, "crates/data/src/catalog.rs");
+    assert!(v.message.contains("`stamp`") && v.message.contains("generate_cached"), "{v:?}");
+    // Chain: seam calls build, build calls stamp, then the mutation site.
+    assert_eq!(v.related.len(), 3, "{v:?}");
+    assert!(v.related[2].note.contains("fetch_add"), "{v:?}");
+}
+
+#[test]
+fn stale_suppression_findings_are_warnings_that_name_the_dead_rule() {
+    let vs = analyze_workspace(&fixture("stale_suppression_bad")).unwrap();
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].severity, sjc_lint::Severity::Warning, "{vs:?}");
+    assert!(vs[0].message.contains("allow(no-panic-in-lib)"), "{vs:?}");
+    assert_eq!(vs[0].line, 6, "{vs:?}");
 }
 
 #[test]

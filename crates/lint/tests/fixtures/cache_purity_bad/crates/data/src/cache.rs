@@ -1,0 +1,7 @@
+//! Fixture: a memoized seam whose value computation is not a pure function
+//! of the key — the impurity sits one crate-internal hop away, in a file
+//! the seam-file exemption does not cover.
+
+pub fn generate_cached(k: u64) -> u64 {
+    build(k)
+}

@@ -1,0 +1,10 @@
+//! Fixture: the reached computation mutates a process-wide counter, so a
+//! warm run and a cold run of the cache diverge.
+
+pub fn build(k: u64) -> u64 {
+    stamp(k)
+}
+
+fn stamp(k: u64) -> u64 {
+    k ^ COUNTER.fetch_add(1, Ordering::Relaxed)
+}

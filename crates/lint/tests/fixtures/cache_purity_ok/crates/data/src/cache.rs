@@ -1,0 +1,7 @@
+//! Fixture: the seam's own bookkeeping (hit counters) is exempt, and the
+//! reached computation is a pure function of the key.
+
+pub fn generate_cached(k: u64) -> u64 {
+    HITS.fetch_add(1, Ordering::Relaxed);
+    build(k)
+}

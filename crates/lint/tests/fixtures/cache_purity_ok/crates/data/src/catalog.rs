@@ -1,0 +1,5 @@
+//! Fixture: pure value computation — the cache key fully determines it.
+
+pub fn build(k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,29 @@
+//! Fixture: the clean counterparts — a converting rate between the call
+//! and the nanosecond sink, agreeing units on both sides of a `+`, and an
+//! argument already in the parameter's unit.
+
+pub fn converted_sink(row: &mut Row, n: u64, ns_per_byte: u64) {
+    row.sim_ns = step(n) * ns_per_byte;
+}
+
+pub fn agreeing_total(task_ns: u64, n: u64) -> u64 {
+    task_ns + delay(n)
+}
+
+pub fn right_argument(cost_ns: u64) -> u64 {
+    scale(cost_ns)
+}
+
+fn step(n: u64) -> u64 {
+    let got_bytes = n;
+    got_bytes
+}
+
+fn delay(n: u64) -> u64 {
+    let more_ns = n;
+    more_ns
+}
+
+fn scale(cost_ns: u64) -> u64 {
+    cost_ns
+}

@@ -1,0 +1,9 @@
+//! Fixture: a `pub` simulation API that reaches a panic site two hops away
+//! — the site lives in `sjc_par`, a crate the `no-panic-in-lib` line rule
+//! does not cover, so only the interprocedural pass can see the chain.
+
+use sjc_par::par_map_budget;
+
+pub fn run_join(parts: &[u64]) -> u64 {
+    par_map_budget(parts)
+}

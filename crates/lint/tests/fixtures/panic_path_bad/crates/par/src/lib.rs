@@ -1,0 +1,6 @@
+//! Fixture: runtime helper with an unaudited unwrap.
+
+pub fn par_map_budget(parts: &[u64]) -> u64 {
+    let first = parts.iter().next().unwrap();
+    *first
+}

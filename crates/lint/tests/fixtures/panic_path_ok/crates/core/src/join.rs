@@ -1,0 +1,10 @@
+//! Fixture: the same two-hop chain as `panic_path_bad`, but the panic site
+//! carries an audited `allow(panic-path)` — the summary layer trusts it, so
+//! no chain starts there, and the consumed audit keeps the allow comment
+//! alive under the stale-suppression pass.
+
+use sjc_par::par_map_budget;
+
+pub fn run_join(parts: &[u64]) -> u64 {
+    par_map_budget(parts)
+}

@@ -1,0 +1,7 @@
+//! Fixture: runtime helper whose unwrap is an audited invariant.
+
+pub fn par_map_budget(parts: &[u64]) -> u64 {
+    // sjc-lint: allow(panic-path) — the driver never dispatches zero chunks, so `parts` is non-empty
+    let first = parts.iter().next().unwrap();
+    *first
+}

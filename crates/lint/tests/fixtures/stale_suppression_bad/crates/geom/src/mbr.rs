@@ -1,0 +1,8 @@
+//! Fixture: an audited waiver whose finding is gone — the indexing it once
+//! audited was rewritten into saturating arithmetic, so the comment now
+//! covers nothing and would silently waive a future regression.
+
+pub fn area(w: u64, h: u64) -> u64 {
+    // sjc-lint: allow(no-panic-in-lib) — index bounded by the caller's loop
+    w.saturating_mul(h)
+}

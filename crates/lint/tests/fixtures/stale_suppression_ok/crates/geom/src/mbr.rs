@@ -1,0 +1,8 @@
+//! Fixture: a live waiver — the indexing it audits is still there, so the
+//! allow suppresses a real pre-suppression finding (and the summary layer
+//! consumes it as an audited panic site).
+
+pub fn first(xs: &[u64]) -> u64 {
+    // sjc-lint: allow(no-panic-in-lib) — callers split non-empty partitions, so `xs` has an element
+    xs[0]
+}

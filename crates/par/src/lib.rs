@@ -165,6 +165,7 @@ pub fn par_map_budget<T: Sync, U: Send>(
             });
         }
     });
+    // sjc-lint: allow(panic-path) — chunk claiming fills every slot; an empty one is a runtime bug this expect should surface loudly
     slots.into_iter().map(|s| s.expect("chunk claiming covers every index exactly once")).collect()
 }
 
@@ -207,6 +208,7 @@ pub fn par_map_flat_budget<T: Sync, U: Send>(
                 }
                 let end = (start + chunk).min(n);
                 let mut buf = Vec::new();
+                // sjc-lint: allow(panic-path) — start < n guarded above and end is clamped to n, so the range is in bounds
                 for item in &items[start..end] {
                     f(item, &mut buf);
                 }
@@ -220,6 +222,7 @@ pub fn par_map_flat_budget<T: Sync, U: Send>(
     });
     let mut flat = Vec::new();
     for buf in bufs {
+        // sjc-lint: allow(panic-path) — chunk claiming fills every buffer; an empty one is a runtime bug this expect should surface loudly
         flat.extend(buf.expect("chunk claiming covers every chunk exactly once"));
     }
     flat
@@ -256,6 +259,7 @@ pub fn par_sort_by_budget<T: Sync>(
             let cmp = &cmp;
             let v: &[T] = v;
             s.spawn(move || {
+                // sjc-lint: allow(panic-path) — `idx` holds the permutation 0..n, always in bounds for `v`
                 piece.sort_by(|&a, &b| cmp(&v[a as usize], &v[b as usize]));
             });
         }
@@ -302,7 +306,9 @@ fn merge_round<T: Sync>(
             let (head, tail) = rest.split_at_mut(end - start);
             rest = tail;
             let mid = (start + width).min(n);
+            // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
             let a = &src[start..mid];
+            // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
             let b = &src[mid..end];
             s.spawn(move || merge_runs(v, a, b, head, cmp));
             start = end;
@@ -320,17 +326,22 @@ fn merge_runs<T>(
 ) {
     let (mut i, mut j, mut k) = (0, 0, 0);
     while i < a.len() && j < b.len() {
+        // sjc-lint: allow(panic-path) — i/j are loop-bounded and a/b hold indices of the permutation 0..v.len()
         if cmp(&v[a[i] as usize], &v[b[j] as usize]) != CmpOrdering::Greater {
+            // sjc-lint: allow(panic-path) — k = i + j < a.len() + b.len() = out.len()
             out[k] = a[i];
             i += 1;
         } else {
+            // sjc-lint: allow(panic-path) — k = i + j < a.len() + b.len() = out.len()
             out[k] = b[j];
             j += 1;
         }
         k += 1;
     }
+    // sjc-lint: allow(panic-path) — k + remaining tail lengths equals out.len() exactly
     out[k..k + a.len() - i].copy_from_slice(&a[i..]);
     k += a.len() - i;
+    // sjc-lint: allow(panic-path) — k + remaining tail lengths equals out.len() exactly
     out[k..k + b.len() - j].copy_from_slice(&b[j..]);
 }
 

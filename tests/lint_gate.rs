@@ -15,8 +15,11 @@
 //!    may only decrease, and the baseline documents every rule.
 
 use std::path::Path;
+use std::time::Duration;
 
-use sjc_lint::{check_all, check_file, check_workspace, json, sarif, Rule, Violation};
+use sjc_lint::{
+    check_all, check_all_timed, check_file, check_workspace, json, sarif, Rule, Violation,
+};
 
 /// The gate: `cargo test -q` fails if any workspace source regresses under
 /// the line rules **or** the `sjc-analyze` passes.
@@ -80,6 +83,60 @@ fn ratchet_rejects_a_per_file_increase_even_at_flat_totals() {
     assert_eq!(fresh.total, baseline.total, "the move keeps totals flat");
     let err = fresh.ratchet_against(&baseline).expect_err("per-file cell must be enforced");
     assert!(err.contains("crates/b/src/y.rs"), "error names the regressed file: {err}");
+}
+
+/// The analyzer's own perf gate: the full two-layer scan (the same one
+/// `--timings` instruments) must stay comfortably interactive, or the
+/// checker stops being something contributors run before every commit. The
+/// budget is generous — an order of magnitude above today's wall time — so
+/// it only trips on genuine blowups (an accidentally quadratic pass, a
+/// fixpoint that stops converging), not on CI jitter.
+#[test]
+fn full_scan_fits_the_wall_budget_and_names_every_stage() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (violations, timings) = check_all_timed(root).expect("workspace scan must succeed");
+    assert!(violations.is_empty(), "{violations:?}");
+    // Every pipeline stage reports a timing, so a silently skipped pass
+    // cannot hide behind a fast total.
+    for stage in [
+        "line-rules",
+        "model+callgraph",
+        "summaries",
+        "entropy",
+        "par-closure",
+        "error-flow",
+        "hot-alloc",
+        "loop-invariant",
+        "unit-flow",
+        "panic-path",
+        "interproc-unit-flow",
+        "cache-purity",
+        "stale-suppression",
+    ] {
+        assert!(
+            timings.iter().any(|t| t.name == stage),
+            "stage {stage:?} missing from timings: {:?}",
+            timings.iter().map(|t| t.name).collect::<Vec<_>>()
+        );
+    }
+    let total: Duration = timings.iter().map(|t| t.wall).sum();
+    assert!(total < Duration::from_secs(20), "scan took {total:?}, budget is 20s");
+}
+
+/// Every rule the checker enforces is documented in the README's rule
+/// table — a rule cannot land without telling contributors what it checks.
+#[test]
+fn every_rule_is_documented_in_the_readme_table() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("README.md")).expect("README.md at the root");
+    for rule in Rule::ALL {
+        assert!(
+            text.contains(&format!("| `{}` |", rule.name())),
+            "README.md rule table is missing `{}`",
+            rule.name()
+        );
+    }
+    assert!(text.contains(&format!("| `{}` |", Rule::BadSuppression.name())));
 }
 
 /// `--format sarif` on the live workspace scan must produce a report the
