@@ -10,9 +10,9 @@
 //! `sjc_lint::json::Counts::parse` already rejects for the lint baseline.
 //!
 //! [`Baseline`] layers the `{"<suite>@<threads>": {wall_ms, sim_ns,
-//! threads}}` schema of `BENCH_baseline.json` on top of the generic
-//! [`parse`]; `BENCH_faults.json` has a looser per-system schema and is
-//! checked with [`parse`] alone (see `perfsnap --check`).
+//! threads, phase_ms}}` schema of `BENCH_baseline.json` on top of the
+//! generic [`parse`]; `BENCH_faults.json` has a looser per-system schema and
+//! is checked with [`parse`] alone (see `perfsnap --check`).
 
 use std::fmt;
 
@@ -292,6 +292,10 @@ pub struct BaselineRow {
     pub threads: u64,
     pub wall_ms: f64,
     pub sim_ns: u64,
+    /// Named per-phase wall times in file order. Empty when the row predates
+    /// the phase breakdown; `perfsnap --check` requires them on the
+    /// checked-in snapshot.
+    pub phase_ms: Vec<(String, f64)>,
 }
 
 /// The typed view of `BENCH_baseline.json`.
@@ -304,7 +308,10 @@ impl Baseline {
     /// Parses and schema-checks a snapshot: a single object whose keys are
     /// `<suite>@<threads>` (unique — [`parse`] enforces that) and whose
     /// values carry a numeric `wall_ms`, an integer `sim_ns`, and a
-    /// `threads` field that must agree with the key suffix.
+    /// `threads` field that must agree with the key suffix. A `phase_ms`
+    /// field, when present, must be an object of finite non-negative
+    /// wall-time numbers (phase names are unique — [`parse`] rejects
+    /// duplicates at every level).
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = parse(text).map_err(|e| e.to_string())?;
         let Value::Obj(fields) = doc else {
@@ -335,7 +342,20 @@ impl Baseline {
                     "row `{key}` disagrees with its own threads field ({row_threads})"
                 ));
             }
-            rows.push(BaselineRow { suite: suite.to_string(), threads, wall_ms, sim_ns });
+            let mut phase_ms = Vec::new();
+            if let Some(phases) = row.get("phase_ms") {
+                let Value::Obj(entries) = phases else {
+                    return Err(format!("row `{key}` has a non-object phase_ms"));
+                };
+                for (phase, ms) in entries {
+                    let ms =
+                        ms.as_f64().filter(|m| m.is_finite() && *m >= 0.0).ok_or_else(|| {
+                            format!("row `{key}` phase `{phase}` is not a non-negative wall time")
+                        })?;
+                    phase_ms.push((phase.clone(), ms));
+                }
+            }
+            rows.push(BaselineRow { suite: suite.to_string(), threads, wall_ms, sim_ns, phase_ms });
         }
         Ok(Baseline { rows })
     }
@@ -358,7 +378,8 @@ mod tests {
     #[test]
     fn parses_the_snapshot_shape() {
         let text = r#"{
-  "local_join@1": {"wall_ms": 98.55, "sim_ns": 0, "threads": 1},
+  "local_join@1": {"wall_ms": 98.55, "sim_ns": 0, "threads": 1,
+                   "phase_ms": {"input_gen": 12.5, "sweep": 86.0}},
   "local_join@4": {"wall_ms": 30.01, "sim_ns": 0, "threads": 4},
   "systems_e2e@1": {"wall_ms": 1044.0, "sim_ns": 34905411317743, "threads": 1}
 }"#;
@@ -367,6 +388,27 @@ mod tests {
         assert_eq!(b.row("local_join", 4).map(|r| r.wall_ms), Some(30.01));
         assert_eq!(b.row("systems_e2e", 1).map(|r| r.sim_ns), Some(34905411317743));
         assert_eq!(b.suite("local_join").len(), 2);
+        let phases = &b.row("local_join", 1).expect("row").phase_ms;
+        assert_eq!(
+            phases.as_slice(),
+            &[("input_gen".to_string(), 12.5), ("sweep".to_string(), 86.0)]
+        );
+        assert!(b.row("local_join", 4).expect("row").phase_ms.is_empty(), "phase_ms is optional");
+    }
+
+    #[test]
+    fn rejects_malformed_phase_breakdowns() {
+        let non_object = r#"{"a@1": {"wall_ms": 1, "sim_ns": 0, "threads": 1, "phase_ms": [1]}}"#;
+        let err = Baseline::parse(non_object).expect_err("array phase_ms");
+        assert!(err.contains("non-object phase_ms"), "{err}");
+        let negative =
+            r#"{"a@1": {"wall_ms": 1, "sim_ns": 0, "threads": 1, "phase_ms": {"gen": -3.0}}}"#;
+        let err = Baseline::parse(negative).expect_err("negative phase wall time");
+        assert!(err.contains("phase `gen`"), "{err}");
+        let dup = r#"{"a@1": {"wall_ms": 1, "sim_ns": 0, "threads": 1,
+                              "phase_ms": {"gen": 1.0, "gen": 2.0}}}"#;
+        let err = Baseline::parse(dup).expect_err("duplicate phase name");
+        assert!(err.contains("duplicate object key `gen`"), "{err}");
     }
 
     #[test]

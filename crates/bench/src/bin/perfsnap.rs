@@ -3,7 +3,9 @@
 //! Runs the `local_join`, `data_gen` and `systems_e2e` workloads at a fixed
 //! ladder of thread budgets — `@1`, `@4`, `@8`, plus `--threads N` if given
 //! — and writes `BENCH_baseline.json` at the repo root mapping each
-//! `<suite>@<threads>` cell to `{wall_ms, sim_ns, threads}`. The ladder is
+//! `<suite>@<threads>` cell to `{wall_ms, sim_ns, threads, phase_ms}`,
+//! where `phase_ms` is a named per-phase wall-time breakdown of the best
+//! repetition (e.g. `input_gen` vs `sweep` for `local_join`). The ladder is
 //! fixed rather than "serial + hardware" so the snapshot keys are unique on
 //! any host: on a single-core machine the old scheme produced
 //! `local_join@1` twice and the last copy silently won. Two invariants are
@@ -22,8 +24,12 @@
 //!
 //! `--check` skips all timing and re-parses the two checked-in snapshots
 //! with [`sjc_bench::baseline`] (which rejects duplicate keys at every
-//! object level), verifying the schema and the thread-independence of
-//! `sim_ns` — cheap enough for CI on any hardware.
+//! object level), verifying the schema — including the `phase_ms`
+//! breakdown, which must exist on every row and name the same phases at
+//! every thread budget — and the thread-independence of `sim_ns`. It also
+//! *reports* each suite's @8/@1 wall ratio without gating on it: wall-clock
+//! scaling depends on the snapshot host's core count, so it would flake as
+//! a hard CI check. All of this is cheap enough for CI on any hardware.
 //!
 //! ```text
 //! cargo run --release -p sjc-bench --bin perfsnap            # write BENCH_baseline.json + BENCH_faults.json
@@ -55,12 +61,30 @@ const SEED: u64 = 20150701;
 /// same (and unique) regardless of the host's core count.
 const BUDGETS: [usize; 3] = [1, 4, 8];
 
-/// One measured run of a suite.
+/// One measured run of a suite. `phase_ms` is the named wall-time
+/// breakdown of the best (recorded) repetition — where inside the suite
+/// the wall clock actually went, so a scaling regression points at a
+/// phase, not just a suite.
 struct Snap {
     suite: &'static str,
     threads: usize,
     wall_ms: f64,
     sim_ns: u64,
+    phase_ms: Vec<(&'static str, f64)>,
+}
+
+/// What a suite runner produces: the summed simulated nanoseconds (0 for
+/// host-only suites) plus its named phase wall times.
+type SuiteRun = (u64, Vec<(&'static str, f64)>);
+
+/// Times one named phase of a suite run. Phase timing lives here in
+/// `crates/bench` because the bench-isolation lint keeps `Instant::now`
+/// out of every library crate.
+fn timed<T>(phases: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    phases.push((name, start.elapsed().as_secs_f64() * 1e3));
+    out
 }
 
 fn random_entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry> {
@@ -79,33 +103,60 @@ fn random_entries(n: usize, seed: u64, extent: f64, side: f64) -> Vec<IndexEntry
 
 /// The `local_join` suite: the default striped-sweep kernel at partition
 /// scale. Host-only work — no simulation — so `sim_ns` is 0 by definition.
-fn run_local_join() -> u64 {
-    let left = random_entries(60_000, 21, 1000.0, 3.0);
-    let right = random_entries(30_000, 22, 1000.0, 3.0);
-    let mut acc = 0usize;
-    for _ in 0..3 {
-        acc += stripe_sweep(black_box(&left), black_box(&right)).pairs.len();
-    }
-    black_box(acc);
-    0
+fn run_local_join() -> SuiteRun {
+    let mut phases = Vec::new();
+    let (left, right) = timed(&mut phases, "input_gen", || {
+        (random_entries(60_000, 21, 1000.0, 3.0), random_entries(30_000, 22, 1000.0, 3.0))
+    });
+    timed(&mut phases, "sweep", || {
+        let mut acc = 0usize;
+        for _ in 0..3 {
+            acc += stripe_sweep(black_box(&left), black_box(&right)).pairs.len();
+        }
+        black_box(acc);
+    });
+    (0, phases)
 }
 
 /// The `data_gen` suite: the two-phase parallel generators, uncached (the
 /// cache would hide the work being measured). Host-only; `sim_ns` is 0.
-fn run_data_gen() -> u64 {
-    for id in [DatasetId::Taxi1m, DatasetId::Edges01, DatasetId::Linearwater01] {
-        let ds = ScaledDataset::generate(id, SCALE, SEED ^ 0x5AD);
-        black_box(ds.geoms.len());
+fn run_data_gen() -> SuiteRun {
+    let mut phases = Vec::new();
+    let ids: [(&'static str, DatasetId); 3] = [
+        ("taxi1m", DatasetId::Taxi1m),
+        ("edges01", DatasetId::Edges01),
+        ("linearwater01", DatasetId::Linearwater01),
+    ];
+    for (name, id) in ids {
+        timed(&mut phases, name, || {
+            let ds = ScaledDataset::generate(id, SCALE, SEED ^ 0x5AD);
+            black_box(ds.geoms.len());
+        });
     }
-    0
+    (0, phases)
 }
 
 /// The `systems_e2e` suite: the full Table-2 grid. Returns the summed
 /// simulated nanoseconds of every successful cell — the value that must not
-/// depend on the thread budget.
-fn run_systems_e2e() -> u64 {
+/// depend on the thread budget. The `prepare` phase runs the two workloads'
+/// input generation up front (normally cache-warm after the first rep) so
+/// the `grid` phase isolates partition + simulate + local-join work.
+fn run_systems_e2e() -> SuiteRun {
+    let mut phases = Vec::new();
+    timed(&mut phases, "prepare", || {
+        for w in [Workload::taxi_nycb(), Workload::edge_linearwater()] {
+            black_box(w.prepare(SCALE, SEED));
+        }
+    });
     let grid = ExperimentGrid { scale: SCALE, seed: SEED };
-    grid.table2().iter().filter_map(|c| c.outcome.as_ref().ok()).map(|s| s.trace.total_ns()).sum()
+    let sim_ns = timed(&mut phases, "grid", || {
+        grid.table2()
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .map(|s| s.trace.total_ns())
+            .sum()
+    });
+    (sim_ns, phases)
 }
 
 /// Provisioning-delay base for the sweep's checkpoint axis: 4 s spins a
@@ -187,17 +238,40 @@ fn run_fault_sweep() -> Json {
 /// same way the microbench harness's min column does.
 const REPS: usize = 3;
 
-fn measure(suite: &'static str, threads: usize, run: fn() -> u64) -> Snap {
-    sjc_par::set_global_threads(threads);
-    let mut wall_ms = f64::INFINITY;
-    let mut sim_ns = 0u64;
+/// Measures one suite across the whole thread ladder with *interleaved*
+/// reps: each round runs every budget once, so slow host drift (cgroup
+/// throttling, thermal clamps, a neighbor stealing the core) hits all
+/// rungs alike instead of systematically penalizing whichever budget
+/// happens to run last. Per budget the best wall time is kept, along
+/// with that rep's phase breakdown so the phases add up to (roughly)
+/// the recorded wall, not to some average of reps.
+fn measure_ladder(suite: &'static str, budgets: &[usize], run: fn() -> SuiteRun) -> Vec<Snap> {
+    let mut snaps: Vec<Snap> = budgets
+        .iter()
+        .map(|&threads| Snap {
+            suite,
+            threads,
+            wall_ms: f64::INFINITY,
+            sim_ns: 0,
+            phase_ms: Vec::new(),
+        })
+        .collect();
     for _ in 0..REPS {
-        let start = Instant::now();
-        sim_ns = run();
-        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        for snap in snaps.iter_mut() {
+            sjc_par::set_global_threads(snap.threads);
+            let start = Instant::now();
+            let (sim, phases) = run();
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            eprintln!("  rep {}@{}: {wall:.2} ms", suite, snap.threads);
+            snap.sim_ns = sim;
+            if wall < snap.wall_ms {
+                snap.wall_ms = wall;
+                snap.phase_ms = phases;
+            }
+        }
     }
     sjc_par::set_global_threads(0);
-    Snap { suite, threads, wall_ms, sim_ns }
+    snaps
 }
 
 /// `--check`: re-parse the checked-in snapshots without timing anything.
@@ -236,6 +310,45 @@ fn check_snapshots(out_path: &str, faults_path: &str) -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            // Every row must carry the phase breakdown, and every thread
+            // budget must decompose the suite into the same phases — the
+            // rows are otherwise not comparable.
+            let names = |r: &baseline::BaselineRow| {
+                r.phase_ms.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+            };
+            let expected = names(first);
+            if expected.is_empty() {
+                eprintln!(
+                    "perfsnap --check: {out_path}: `{suite}@{}` lacks its phase_ms \
+                     breakdown — regenerate the snapshot with this perfsnap",
+                    first.threads
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(odd) = rows.iter().find(|r| names(r) != expected) {
+                eprintln!(
+                    "perfsnap --check: {out_path}: `{suite}@{}` phases {:?} differ from \
+                     `{suite}@{}`'s {:?}",
+                    odd.threads,
+                    names(odd),
+                    first.threads,
+                    expected
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // Scaling report, not a gate: the @8/@1 wall ratio says whether the
+        // extra threads paid on the snapshot host. A ratio near 1.0 is the
+        // honest answer on a single-core machine, so CI never hard-fails on
+        // it — regressions show up as the ratio drifting above 1.0.
+        if let (Some(serial), Some(wide)) = (snapshot.row(suite, 1), snapshot.row(suite, 8)) {
+            let ratio = wide.wall_ms / serial.wall_ms.max(1e-9);
+            let verdict = if ratio <= 1.0 { "scales" } else { "overhead" };
+            println!(
+                "perfsnap --check: {suite}: @8/@1 wall ratio {ratio:.3} \
+                 ({:.2} ms / {:.2} ms) — {verdict}",
+                wide.wall_ms, serial.wall_ms
+            );
         }
     }
     let faults_text = match std::fs::read_to_string(faults_path) {
@@ -322,12 +435,14 @@ fn main() -> ExitCode {
                      Runs local_join / data_gen / systems_e2e at 1, 4 and 8 threads\n\
                      (plus N if --threads is given), checks the simulated numbers\n\
                      are thread-count independent, and writes\n\
-                     {{suite@threads: {{wall_ms, sim_ns, threads}}}} to PATH\n\
+                     {{suite@threads: {{wall_ms, sim_ns, threads, phase_ms}}}} to PATH\n\
                      (default BENCH_baseline.json). Then runs the per-system\n\
                      none/light/heavy fault sweep and writes its simulated\n\
                      makespans to the faults path (default BENCH_faults.json).\n\n\
                      --check re-parses both checked-in files (rejecting duplicate\n\
-                     keys and schema drift) without timing anything."
+                     keys, schema drift, and rows missing their phase_ms\n\
+                     breakdown) and reports — without failing on — each suite's\n\
+                     @8/@1 wall ratio, all without timing anything."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -346,7 +461,7 @@ fn main() -> ExitCode {
     budgets.sort_unstable();
     budgets.dedup();
 
-    type Suite = (&'static str, fn() -> u64);
+    type Suite = (&'static str, fn() -> SuiteRun);
     let suites: [Suite; 3] = [
         ("local_join", run_local_join),
         ("data_gen", run_data_gen),
@@ -369,18 +484,18 @@ fn main() -> ExitCode {
     for (suite, run) in suites {
         let mut serial_wall: Option<f64> = None;
         let mut serial_sim: Option<u64> = None;
-        for &threads in &budgets {
-            let snap = measure(suite, threads, run);
+        for snap in measure_ladder(suite, &budgets, run) {
             let serial = *serial_wall.get_or_insert(snap.wall_ms);
             match serial_sim {
                 None => serial_sim = Some(snap.sim_ns),
                 Some(expected) if expected != snap.sim_ns => {
                     eprintln!(
                         "perfsnap: {suite}: simulated time depends on the thread budget \
-                         ({expected} ns at {} thread(s) vs {} ns at {threads}) — \
+                         ({expected} ns at {} thread(s) vs {} ns at {}) — \
                          determinism violation",
                         budgets.first().copied().unwrap_or(1),
-                        snap.sim_ns
+                        snap.sim_ns,
+                        snap.threads
                     );
                     return ExitCode::FAILURE;
                 }
@@ -406,12 +521,18 @@ fn main() -> ExitCode {
     let fields: Vec<(String, Json)> = snaps
         .iter()
         .map(|s| {
+            let phases: Vec<(String, Json)> = s
+                .phase_ms
+                .iter()
+                .map(|(name, ms)| (name.to_string(), Json::Float((ms * 100.0).round() / 100.0)))
+                .collect();
             (
                 format!("{}@{}", s.suite, s.threads),
                 Json::obj(vec![
                     ("wall_ms", Json::Float((s.wall_ms * 100.0).round() / 100.0)),
                     ("sim_ns", Json::Int(s.sim_ns)),
                     ("threads", Json::Int(s.threads as u64)),
+                    ("phase_ms", Json::Obj(phases)),
                 ]),
             )
         })

@@ -19,14 +19,17 @@ pub fn lpt_makespan(tasks: &[SimNs], slots: usize) -> SimNs {
     if tasks.is_empty() {
         return 0;
     }
-    let mut sorted: Vec<SimNs> = tasks.to_vec();
+    // Scratch-recycled sort buffer: every wave (and every faulted re-run
+    // wave) calls this, so the copy reuses the previous call's capacity.
+    let mut sorted: Vec<SimNs> = sjc_par::scratch::take_vec();
+    sorted.extend_from_slice(tasks);
     sorted.sort_unstable_by_key(|&t| Reverse(t));
 
     // Min-heap of slot finish times.
     let mut heap: BinaryHeap<Reverse<SimNs>> = (0..slots).map(|_| Reverse(0)).collect();
     #[cfg(feature = "sanitize")]
     let mut last_start: SimNs = 0;
-    for t in sorted {
+    for &t in &sorted {
         // `slots > 0` is asserted above, so the heap is never empty; peek_mut
         // updates the least-loaded slot in place (and re-sifts on drop).
         if let Some(mut slot) = heap.peek_mut() {
@@ -44,6 +47,7 @@ pub fn lpt_makespan(tasks: &[SimNs], slots: usize) -> SimNs {
             slot.0 += t;
         }
     }
+    sjc_par::scratch::put_vec(sorted);
     heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
 }
 
@@ -113,7 +117,9 @@ fn pop_live(
     drained: &mut Vec<u32>,
     ready: SimNs,
 ) -> Option<(SimNs, u32)> {
-    let mut stash: Vec<(SimNs, u32)> = Vec::new();
+    // Called once per attempt (the wave loop's hottest edge): the stash
+    // buffer comes from the scratch arena instead of a per-call allocation.
+    let mut stash: Vec<(SimNs, u32)> = sjc_par::scratch::take_vec();
     let mut found = None;
     while let Some(Reverse((free, sid))) = heap.pop() {
         let node = sid / slots_per_node;
@@ -136,7 +142,8 @@ fn pop_live(
             },
         }
     }
-    heap.extend(stash.into_iter().map(Reverse));
+    heap.extend(stash.drain(..).map(Reverse));
+    sjc_par::scratch::put_vec(stash);
     found
 }
 
@@ -189,7 +196,9 @@ pub fn faulty_makespan(
     let tag = stage_tag(stage);
 
     // LPT order: longest first, input index breaks ties deterministically.
-    let mut order: Vec<(SimNs, usize)> = tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    // The per-wave order buffer is scratch-recycled across waves.
+    let mut order: Vec<(SimNs, usize)> = sjc_par::scratch::take_vec();
+    order.extend(tasks.iter().enumerate().map(|(i, &t)| (t, i)));
     order.sort_unstable_by_key(|&(t, i)| (Reverse(t), i));
 
     // Min-heap of (free time, slot id); slot id breaks ties so the schedule
@@ -220,12 +229,15 @@ pub fn faulty_makespan(
     let mut replacement_used: Vec<bool> = vec![false; crashed_nodes.len()];
 
     let mut last_dead: u32 = 0;
-    let mut drained: Vec<u32> = Vec::new();
+    // Per-wave vectors are scratch-recycled: the fault-sweep experiments run
+    // thousands of waves, each of which used to allocate these afresh. An
+    // early error return skips the `put` — the buffer then just drops.
+    let mut drained: Vec<u32> = sjc_par::scratch::take_vec();
     let mut end = start_ns;
     // Events are recorded stage-less inside the wave loop (hot path: one
     // entry per retry/speculation) and materialized with the stage name
     // once, after the loop — the wave loop itself never allocates strings.
-    let mut wave_events: Vec<(RecoveryKind, SimNs)> = Vec::new();
+    let mut wave_events: Vec<(RecoveryKind, SimNs)> = sjc_par::scratch::take_vec();
 
     for &(base, idx) in &order {
         let mut attempt: u32 = 0;
@@ -373,16 +385,19 @@ pub fn faulty_makespan(
     // Materialize the wave's events: the stage name is attached here, once
     // per event, outside the hot loop above.
     out.events = wave_events
-        .into_iter()
+        .drain(..)
         .map(|(kind, wasted_ns)| RecoveryEvent { stage: stage.to_string(), kind, wasted_ns })
         .collect();
+    sjc_par::scratch::put_vec(wave_events);
+    sjc_par::scratch::put_vec(drained);
+    sjc_par::scratch::put_vec(order);
 
     // Map-output loss: a node that died within this wave takes the outputs
     // of every task it had already completed with it; those tasks re-run as
     // one extra LPT wave on the surviving slots.
     if rerun_on_crash {
         let dead = plan.dead_nodes_at(end);
-        let mut rerun: Vec<SimNs> = Vec::new();
+        let mut rerun: Vec<SimNs> = sjc_par::scratch::take_vec();
         let mut rerun_wasted: SimNs = 0;
         // A task's winning node can only be in `dead` if it completed before
         // the crash (the crash check above kills in-flight attempts), so
@@ -415,6 +430,7 @@ pub fn faulty_makespan(
             });
             end += extra;
         }
+        sjc_par::scratch::put_vec(rerun);
     }
 
     out.makespan = end - start_ns;

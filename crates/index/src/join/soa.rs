@@ -40,12 +40,16 @@ impl SoaBatch {
         // the comparator breaks key ties by original position, which is a
         // total order, so the unique sorted sequence equals what a stable
         // by-key sort of the records gives — at a third of the bytes moved.
-        let mut order: Vec<(f64, usize)> =
-            entries.iter().enumerate().map(|(i, e)| (e.mbr.min_x, i)).collect();
+        // The staging permutation is scratch-recycled: a local join builds
+        // two batches per cell, so its capacity is reused cell after cell.
+        let mut order: Vec<(f64, usize)> = sjc_par::scratch::take_vec();
+        order.extend(entries.iter().enumerate().map(|(i, e)| (e.mbr.min_x, i)));
         // Total order → stable and unstable sorts agree, so the serial path
         // can take the allocation-free unstable sort without changing the
-        // result at any thread budget.
-        if sjc_par::Budget::resolve().threads() == 1 {
+        // result at any thread budget. Gate on the *effective* budget: an
+        // ambient 8 on a single-core host still runs serially, and paying
+        // the merge sort's staging buffers there shows up on every cell.
+        if sjc_par::Budget::resolve().effective_threads() == 1 {
             order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         } else {
             sjc_par::par_sort_by(&mut order, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -60,6 +64,7 @@ impl SoaBatch {
                 batch.id.push(e.id);
             }
         }
+        sjc_par::scratch::put_vec(order);
         batch
     }
 

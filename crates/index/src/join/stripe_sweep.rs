@@ -127,7 +127,15 @@ pub(crate) fn striped_pairs(l: &SoaBatch, r: &SoaBatch, stripes: usize) -> Vec<(
             last: idx + 1 == count,
         })
         .collect();
-    sjc_par::par_map_flat(&tasks, |t, out| sweep_stripe(t, out))
+    // Skew-aware dispatch: equi-depth cuts balance stripe *populations*, but
+    // tall replicated rectangles can still concentrate work in a few stripes.
+    // LPT ordering by population keeps one fat stripe off the critical tail;
+    // the pair output is bit-identical to unweighted dispatch by contract.
+    sjc_par::par_map_flat_weighted(
+        &tasks,
+        |t| (t.l.len() + t.r.len()) as u64,
+        |t, out| sweep_stripe(t, out),
+    )
 }
 
 /// Exact comparison count of the canonical serial forward sweep.
@@ -228,9 +236,13 @@ fn stripe_cuts(l: &SoaBatch, r: &SoaBatch, stripes: usize) -> Vec<f64> {
 fn build_stripes(b: &SoaBatch, cuts: &[f64]) -> Vec<SoaBatch> {
     let stripes = cuts.len() + 1;
     // Pass 1: each rectangle's stripe span (first..=last crossed) and the
-    // per-stripe populations, so segment columns allocate exactly once.
-    let mut span: Vec<(u32, u32)> = Vec::with_capacity(b.len());
-    let mut counts: Vec<usize> = vec![0; stripes];
+    // per-stripe populations, so segment columns allocate exactly once. The
+    // staging vectors come from the scratch arena: a local join runs this
+    // once per cell per side, and the spans/counts of the previous cell have
+    // exactly the capacity the next one needs.
+    let mut span: Vec<(u32, u32)> = sjc_par::scratch::take_vec();
+    let mut counts: Vec<usize> = sjc_par::scratch::take_vec();
+    counts.resize(stripes, 0);
     for (&ylo, &yhi) in b.ylo.iter().zip(&b.yhi) {
         let s0 = cuts.partition_point(|&c| c <= ylo);
         let s1 = cuts.partition_point(|&c| c <= yhi);
@@ -252,6 +264,8 @@ fn build_stripes(b: &SoaBatch, cuts: &[f64]) -> Vec<SoaBatch> {
             seg.id.push(id);
         }
     }
+    sjc_par::scratch::put_vec(span);
+    sjc_par::scratch::put_vec(counts);
     out
 }
 

@@ -38,6 +38,7 @@
 //! | `panic-path` | `pub` fns of the simulation crates (`sjc-analyze`) | a public API function that *transitively* reaches a panic site (`.unwrap()`, `panic!`, slice indexing, literal-zero divisor) through the call graph — the diagnostic carries the full call chain; audited `allow(no-panic-in-lib)`/`allow(panic-path)` sites are trusted |
 //! | `interproc-unit-flow` | whole workspace (`sjc-analyze`) | a call whose summarized return unit mixes with a differently-united operand, flows into a `*_ns` sink, or lands in a parameter declared with a different unit — the cross-function gap the intra-procedural `unit-flow` cannot see |
 //! | `cache-purity` | fns reachable from memoized seams (`sjc-analyze`) | a function reachable from `generate_cached`/other memoized entry points whose body reads the clock/entropy or mutates a static — the cache key must fully determine the cached value; the seam's own bookkeeping file is exempt |
+//! | `scoped-spawn-in-hot-path` | everything except `crates/par` (`sjc-analyze`) | direct `std::thread::scope`/`std::thread::spawn` calls — per-call thread spawning is exactly the negative-scaling overhead the persistent pool removed; dispatch through the `sjc_par` entry points instead |
 //! | `stale-suppression` | whole workspace (**warning**) | an audited `allow(<rule>)` comment whose rule no longer fires on the covered span (audits consumed by the panic-path summaries stay live) — suppressions are part of the audit trail and must not rot |
 //!
 //! ## Suppression
@@ -133,12 +134,13 @@ pub enum Rule {
     PanicPath,
     InterprocUnitFlow,
     CachePurity,
+    ScopedSpawnInHotPath,
     StaleSuppression,
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::NoNondeterminism,
         Rule::NoPanicInLib,
         Rule::FloatHygiene,
@@ -154,6 +156,7 @@ impl Rule {
         Rule::PanicPath,
         Rule::InterprocUnitFlow,
         Rule::CachePurity,
+        Rule::ScopedSpawnInHotPath,
         Rule::StaleSuppression,
     ];
 
@@ -174,6 +177,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::InterprocUnitFlow => "interproc-unit-flow",
             Rule::CachePurity => "cache-purity",
+            Rule::ScopedSpawnInHotPath => "scoped-spawn-in-hot-path",
             Rule::StaleSuppression => "stale-suppression",
             Rule::BadSuppression => "bad-suppression",
         }
@@ -203,6 +207,7 @@ impl Rule {
             Rule::PanicPath => "Public simulation API never transitively reaches a panic site",
             Rule::InterprocUnitFlow => "Call return and argument units match across functions",
             Rule::CachePurity => "Everything reachable from a memoized seam is pure",
+            Rule::ScopedSpawnInHotPath => "Thread spawning goes through the sjc_par pool",
             Rule::StaleSuppression => "Suppressions whose rule no longer fires are removed",
             Rule::BadSuppression => "Suppressions name a known rule and carry a reason",
         }
@@ -1031,7 +1036,10 @@ pub(crate) fn check_file_raw(rel_path: &str, source: &str) -> Vec<Violation> {
 
 /// Recursively collects `.rs` files under `dir` (if it exists). Directories
 /// named `fixtures` are skipped: they hold deliberately-bad inputs for the
-/// analyzer's own tests, not workspace code.
+/// analyzer's own tests, not workspace code. Directories named `target` are
+/// skipped too: cargo build artifacts (expanded sources, vendored build
+/// scripts) are not workspace code, and walking a warm multi-gigabyte
+/// `target/` would alone blow the gate's 20 s wall budget.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -1041,7 +1049,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "fixtures") {
+            if path.file_name().is_some_and(|n| n == "fixtures" || n == "target") {
                 continue;
             }
             collect_rs(&path, out)?;

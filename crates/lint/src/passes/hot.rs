@@ -15,6 +15,14 @@
 //!    The crate's `src/bin/` CLI drivers are excluded: `reproduce` and
 //!    `perfsnap` print tables and write JSON *after* the simulated runs —
 //!    nothing they call sits inside a timed region.
+//! 3. **Scratch-arena callers** — a function that checks buffers out of
+//!    `sjc_par::scratch` (`take_vec`/`put_vec`/`with_vec`) is reusing
+//!    allocations precisely because it sits on a hot path, so it seeds the
+//!    set like a par-closure callee. The same exclusions as root 2 apply —
+//!    bench CLI drivers, plus anything under a `target/` directory (build
+//!    artifacts are not workspace code, and walking them would blow the
+//!    lint gate's 20 s budget) — and `crates/par` itself is exempt: the
+//!    arena's internals are not users of it.
 //!
 //! From those roots the set closes forward over the crate-topology-gated
 //! call graph, the same edges the entropy pass trusts. The closure bodies
@@ -102,6 +110,34 @@ pub(crate) fn compute(models: &[FileModel], graph: &CallGraph) -> HotSet {
         }
     }
 
+    // Root 3: functions whose bodies check buffers out of the sjc_par
+    // scratch arena. Same exclusions as root 2 (bench CLI drivers, target/
+    // artifacts); the arena's own crate is exempt.
+    for (id, &(fi, gi)) in graph.fns.iter().enumerate() {
+        let m = &models[fi];
+        if hot[id]
+            || m.krate == "par"
+            || m.rel_path.contains("/src/bin/")
+            || m.rel_path.contains("target/")
+        {
+            continue;
+        }
+        let Some((bs, be)) = m.fns[gi].body else { continue };
+        let toks = &m.toks;
+        let uses_scratch = (bs..=be.min(toks.len().saturating_sub(1))).any(|k| {
+            k >= 2
+                && toks[k].kind == crate::lexer::TokKind::Ident
+                && matches!(toks[k].text.as_str(), "take_vec" | "put_vec" | "with_vec")
+                && toks[k - 1].is_op("::")
+                && toks[k - 2].is_ident("scratch")
+                && !m.in_test_at(k)
+        });
+        if uses_scratch {
+            hot[id] = true;
+            work.push(id);
+        }
+    }
+
     // Forward closure: anything a hot function calls is hot.
     while let Some(id) = work.pop() {
         for e in &graph.edges[id] {
@@ -144,6 +180,27 @@ mod tests {
         assert!(!names.contains(&"cold".to_string()), "{names:?}");
         // The driver itself is not hot — only what the closure dispatches.
         assert!(!names.contains(&"drive".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn scratch_arena_callers_seed_the_hot_set_with_the_driver_exclusions() {
+        // A library function checking buffers out of the arena is hot, and
+        // so is everything it calls…
+        let src = "pub fn build(n: usize) -> Vec<u64> {\n    let mut buf: Vec<u64> = sjc_par::scratch::take_vec();\n    fill(&mut buf, n);\n    let out = buf.clone();\n    sjc_par::scratch::put_vec(buf);\n    out\n}\nfn fill(buf: &mut Vec<u64>, n: usize) { buf.extend(0..n as u64); }\nfn cold() -> u64 { 3 }\n";
+        let names = hot_names(&[("crates/index/src/stripes.rs", src)]);
+        assert!(names.contains(&"build".to_string()), "{names:?}");
+        assert!(names.contains(&"fill".to_string()), "{names:?}");
+        assert!(!names.contains(&"cold".to_string()), "{names:?}");
+        // …but the same code in a bench CLI driver or a target/ artifact
+        // seeds nothing, and the arena's own crate is exempt.
+        for excluded in [
+            "crates/bench/src/bin/perfsnap.rs",
+            "target/debug/build/x.rs",
+            "crates/par/src/scratch.rs",
+        ] {
+            let names = hot_names(&[(excluded, src)]);
+            assert!(!names.contains(&"fill".to_string()), "{excluded}: {names:?}");
+        }
     }
 
     #[test]

@@ -38,6 +38,9 @@
 //!   different unit or flow into a differently-united sink or parameter;
 //! * [`cache_purity`] — everything reachable from a memoized seam
 //!   (`generate_cached` and friends) must be a pure function of its inputs;
+//! * [`scoped_spawn`] — no direct `std::thread::scope`/`spawn` outside
+//!   `crates/par`: thread dispatch goes through the persistent pool's
+//!   entry points, not per-call scoped spawns;
 //! * [`stale_suppression`] — audited allow comments must still cover a
 //!   finding (warning: delete or re-justify dead waivers).
 //!
@@ -54,6 +57,7 @@ pub mod interproc_unit_flow;
 pub mod loop_invariant;
 pub mod panic_path;
 pub mod par_closure;
+pub mod scoped_spawn;
 pub mod stale_suppression;
 pub mod unit_flow;
 
@@ -144,6 +148,8 @@ pub(crate) fn analyze_files(files: &[(String, String)]) -> (Vec<Violation>, Vec<
     out.extend(timed("interproc-unit-flow", interproc_unit_flow::run(&models, &graph, &sums), t));
     let t = stamp();
     out.extend(timed("cache-purity", cache_purity::run(&models, &graph, &sums), t));
+    let t = stamp();
+    out.extend(timed("scoped-spawn", scoped_spawn::run(&models), t));
 
     // Stale-suppression compares every allow against the *pre-suppression*
     // findings of both layers, so it runs after every other pass and before

@@ -1,0 +1,122 @@
+//! Scoped-spawn pass.
+//!
+//! The persistent worker pool in `crates/par` exists because spawning a
+//! fresh set of scoped threads per parallel call is exactly the overhead
+//! that made every workload scale *negatively* with threads (see DESIGN.md
+//! §16). This pass keeps that fix from eroding: outside `crates/par` —
+//! the one place allowed to own OS threads — any direct
+//! `std::thread::scope` or `std::thread::spawn` call is an error. Hot-path
+//! code dispatches through the `sjc_par` entry points (`par_map`, `join`,
+//! …), which amortize thread startup across the process and preserve the
+//! deterministic chunk→result ordering the 1-vs-8-thread bit-identity
+//! tests pin.
+//!
+//! Test code is exempt: a test may spawn a thread to exercise blocking or
+//! cross-thread behavior without being a hot path. Matching is token-based
+//! on the `thread :: scope` / `thread :: spawn` path shape (optionally
+//! `std ::`-qualified), so `rayon::scope`-style identifiers in strings or
+//! comments, a local method named `spawn`, and `tracing::span!` never
+//! fire.
+
+use crate::items::FileModel;
+use crate::lexer::TokKind;
+use crate::{Rule, Violation};
+
+pub fn run(models: &[FileModel]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in models {
+        // The pool's own workers are the sanctioned spawn site; harness
+        // code (tests/, benches/) may spawn freely.
+        if m.harness || m.krate == "par" {
+            continue;
+        }
+        let toks = &m.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !(t.text == "scope" || t.text == "spawn")
+                || !toks.get(i + 1).is_some_and(|n| n.is_op("("))
+            {
+                continue;
+            }
+            // Require the `thread::` qualifier: a bare or differently
+            // qualified `scope`/`spawn` is some other API. `std::thread::`
+            // and an imported `thread` module both count; `my::thread::`
+            // would too, which errs in the loud direction for a module
+            // deliberately named like the std one.
+            let threaded = i >= 2 && toks[i - 1].is_op("::") && toks[i - 2].is_ident("thread");
+            if !threaded || m.in_test_at(i) {
+                continue;
+            }
+            out.push(Violation::new(
+                Rule::ScopedSpawnInHotPath,
+                &m.rel_path,
+                t.line,
+                format!(
+                    "direct `thread::{}(…)` outside crates/par — per-call thread spawning is \
+                     the spawn-per-dispatch overhead the persistent pool removed; route the \
+                     work through an sjc_par entry point (par_map/par_sort_by/join) so it \
+                     reuses the pool's parked workers",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(path: &str, src: &str) -> Vec<Violation> {
+        run(&[FileModel::build(path, src)])
+    }
+
+    #[test]
+    fn scope_and_spawn_fire_outside_par() {
+        for bad in [
+            "pub fn f(parts: &[u64]) {\n    std::thread::scope(|s| {\n        s.spawn(|| work(parts));\n    });\n}\n",
+            "use std::thread;\npub fn f() {\n    let h = thread::spawn(|| 1u64);\n}\n",
+        ] {
+            let vs = analyze("crates/index/src/x.rs", bad);
+            assert!(
+                vs.iter().any(|v| v.rule == Rule::ScopedSpawnInHotPath),
+                "{bad:?} -> {vs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_pool_crate_and_test_code_are_exempt() {
+        let src = "pub fn grow() {\n    std::thread::Builder::new().spawn(run_worker);\n    std::thread::scope(|s| s.spawn(f));\n}\n";
+        assert!(analyze("crates/par/src/pool.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        std::thread::spawn(|| 1u64);\n    }\n}\n";
+        assert!(analyze("crates/index/src/x.rs", test_src).is_empty());
+        assert!(analyze("crates/index/tests/threads.rs", "fn t() { std::thread::spawn(f); }\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn unrelated_scope_and_spawn_identifiers_do_not_fire() {
+        for ok in [
+            "pub fn f(p: &Path) -> PathBuf { p.join(\"x\") }\n",
+            "pub fn f(s: &Scheduler) { s.spawn(task); }\n", // method, no thread::
+            "pub fn f() { let scope = lexical_scope(); g(scope); }\n",
+            "pub fn f() { pool::scope(run); }\n", // differently qualified
+        ] {
+            assert!(analyze("crates/cluster/src/x.rs", ok).is_empty(), "{ok:?}");
+        }
+    }
+
+    #[test]
+    fn suppression_is_honored_via_the_shared_filter() {
+        // The pass emits raw findings; the shared allow filter in
+        // analyze_files drops audited ones. Here we only check the finding
+        // anchors at the call line so a line-level allow can cover it.
+        let src = "pub fn f() {\n    std::thread::spawn(work);\n}\n";
+        let vs = analyze("crates/rdd/src/x.rs", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].line, 2, "{vs:?}");
+    }
+}

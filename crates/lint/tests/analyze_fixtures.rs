@@ -33,6 +33,8 @@ fn each_pass_has_a_firing_and_a_clean_fixture() {
         ("interproc_unit_flow_ok", None),
         ("cache_purity_bad", Some(Rule::CachePurity)),
         ("cache_purity_ok", None),
+        ("scoped_spawn_bad", Some(Rule::ScopedSpawnInHotPath)),
+        ("scoped_spawn_ok", None),
         ("stale_suppression_bad", Some(Rule::StaleSuppression)),
         ("stale_suppression_ok", None),
     ];
@@ -153,6 +155,17 @@ fn cache_purity_bad_blames_the_directly_impure_fn_with_the_seam_chain() {
     // Chain: seam calls build, build calls stamp, then the mutation site.
     assert_eq!(v.related.len(), 3, "{v:?}");
     assert!(v.related[2].note.contains("fetch_add"), "{v:?}");
+}
+
+#[test]
+fn scoped_spawn_bad_flags_both_the_scope_and_the_spawn() {
+    let vs = analyze_workspace(&fixture("scoped_spawn_bad")).unwrap();
+    assert!(vs.iter().any(|v| v.message.contains("thread::scope")), "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("thread::spawn")), "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.severity == sjc_lint::Severity::Error),
+        "scoped-spawn findings are errors: {vs:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,25 @@
+//! Fixture: a hot-path kernel spawning its own scoped threads instead of
+//! dispatching through the persistent pool in sjc_par — the
+//! spawn-per-call overhead that made every workload scale negatively.
+
+pub fn sweep(parts: &[Vec<u64>]) -> u64 {
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        for p in parts {
+            s.spawn(|| chunk(p));
+        }
+    });
+    total += parts.len() as u64;
+    total
+}
+
+fn chunk(p: &[u64]) -> u64 {
+    p.len() as u64
+}
+
+pub fn prefetch() -> bool {
+    let warmup = std::thread::spawn(warm);
+    warmup.join().is_ok()
+}
+
+fn warm() {}

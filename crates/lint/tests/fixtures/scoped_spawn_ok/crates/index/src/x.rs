@@ -1,0 +1,13 @@
+//! Fixture: hot-path dispatch through the sjc_par pool entry points, and a
+//! test spawning a thread to exercise blocking behavior — both clean.
+
+pub fn sweep(parts: &[Vec<u64>]) -> Vec<u64> {
+    sjc_par::par_map(parts, |p| p.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    fn drives_blocking() {
+        std::thread::spawn(|| super::sweep(&[]));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the pool crate is the sanctioned owner of OS threads — its
+//! scoped spawns are the implementation the rest of the workspace is
+//! required to go through.
+
+pub fn run(work: &(dyn Fn() + Sync)) {
+    std::thread::scope(|s| {
+        s.spawn(|| work());
+    });
+}

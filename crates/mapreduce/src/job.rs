@@ -299,13 +299,20 @@ impl<'a> MapReduceJob<'a> {
         let mut durations: Vec<SimNs> = Vec::with_capacity(tasks.len());
         let mut stats = JobStats { map_tasks: tasks.len() as u64, ..JobStats::default() };
 
-        let ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&tasks, |task| {
-            let mut em = ReduceEmitter::new();
-            for rec in &task.records {
-                map(rec, &mut em);
-            }
-            em
-        });
+        // Skew-aware dispatch: process fat tasks first (LPT by record count)
+        // so one oversized partition cannot serialize the host-parallel tail;
+        // results still land in task order, so nothing downstream changes.
+        let ems: Vec<ReduceEmitter<O>> = sjc_par::par_map_weighted(
+            &tasks,
+            |task| task.records.len() as u64,
+            |task| {
+                let mut em = ReduceEmitter::new();
+                for rec in &task.records {
+                    map(rec, &mut em);
+                }
+                em
+            },
+        );
 
         // sjc-lint: allow(serial-hot-loop) — cost merge in task order; the map closures already ran in parallel above
         for (task, em) in tasks.iter().zip(ems) {
@@ -496,16 +503,22 @@ impl<'a> MapReduceJob<'a> {
         // Group by key with byte accounting: BTreeMap gives deterministic
         // group order (Hadoop's shuffle sorts keys).
         let mut groups: BTreeMap<K, (Vec<V>, u64)> = BTreeMap::new();
-        let ems: Vec<MapEmitter<K, V>> = sjc_par::par_map(&tasks, |task| {
-            let mut em = MapEmitter::new();
-            for rec in &task.records {
-                map(rec, &mut em);
-            }
-            match combiner {
-                Some(comb) => comb(em),
-                None => em,
-            }
-        });
+        // LPT dispatch by record count: see `map_only` — processing order
+        // changes, the task-order results do not.
+        let ems: Vec<MapEmitter<K, V>> = sjc_par::par_map_weighted(
+            &tasks,
+            |task| task.records.len() as u64,
+            |task| {
+                let mut em = MapEmitter::new();
+                for rec in &task.records {
+                    map(rec, &mut em);
+                }
+                match combiner {
+                    Some(comb) => comb(em),
+                    None => em,
+                }
+            },
+        );
         // sjc-lint: allow(serial-hot-loop) — shuffle grouping must append values in task order; map closures already ran in parallel above
         for (task, em) in tasks.iter().zip(ems) {
             stats.records_in += task.records.len() as u64;
@@ -624,11 +637,19 @@ impl<'a> MapReduceJob<'a> {
         let mut output = Vec::new();
         let remote_fraction = if nodes > 1 { (nodes - 1) as f64 / nodes as f64 } else { 0.0 };
         let group_list: Vec<(&K, &(Vec<V>, u64))> = groups.iter().collect();
-        let reduce_ems: Vec<ReduceEmitter<O>> = sjc_par::par_map(&group_list, |&(k, (vs, _))| {
-            let mut em = ReduceEmitter::new();
-            reduce(k, vs, &mut em);
-            em
-        });
+        // Reduce groups are the spatial cells — the skew hazard the LPT
+        // schedule exists for: one fat NYC-census cell dispatched last would
+        // serialize the whole tail. Weight by group size; output order
+        // (sorted key order) is unchanged by contract.
+        let reduce_ems: Vec<ReduceEmitter<O>> = sjc_par::par_map_weighted(
+            &group_list,
+            |(_, (vs, _))| vs.len() as u64,
+            |&(k, (vs, _))| {
+                let mut em = ReduceEmitter::new();
+                reduce(k, vs, &mut em);
+                em
+            },
+        );
         // sjc-lint: allow(serial-hot-loop) — output and durations merge in sorted key order; reduce closures already ran in parallel above
         for ((_, (vs, bytes)), em) in group_list.into_iter().zip(reduce_ems) {
             stats.records_out += em.out.len() as u64;

@@ -14,6 +14,11 @@
 //! * [`par_map_flat`] is an order-preserving flat-map: each chunk appends into
 //!   its own buffer and the buffers are concatenated in chunk order, so the
 //!   output equals the serial flat-map byte for byte.
+//! * [`par_map_weighted`] / [`par_map_flat_weighted`] are the same maps with
+//!   **skew-aware (LPT) dispatch**: items are *processed* in descending
+//!   estimated-cost order ([`lpt_order`]) so one fat cell cannot serialize the
+//!   tail, but results are still *written* to their input-order slots — the
+//!   output is bit-identical to the unweighted variant.
 //! * [`par_sort_by`] is a **stable** parallel merge sort (ties keep their
 //!   original relative order, merges prefer the left run). A stable sort has a
 //!   unique answer, so the result is identical to `slice::sort_by` for every
@@ -28,21 +33,34 @@
 //! * [`join`] runs two closures concurrently and returns both results in
 //!   argument order.
 //!
+//! Execution happens on a **lazily-initialized persistent worker pool**
+//! ([`pool`]): workers are spawned once and parked between calls, so a
+//! parallel call costs a condvar wake instead of a thread spawn/join. How a
+//! call is split — or whether it runs serially — is decided by the pure
+//! chunk planner in [`plan`] (cost-aware chunk sizing, a serial fast path
+//! below a work threshold, and an oversubscription guard that caps *ambient*
+//! budgets at the hardware parallelism). Hot paths reuse buffers through the
+//! thread-local [`scratch`] arena instead of reallocating per call.
+//!
 //! Thread budget resolution (first match wins): explicit
 //! [`set_global_threads`] override → `SJC_PAR_THREADS` env var →
 //! `std::thread::available_parallelism()`. A budget of 1 short-circuits to
 //! plain serial execution, which tests use to force determinism comparisons.
+//! Ambient budgets above the core count are capped by the planner
+//! ([`Budget::effective_threads`]); [`Budget::explicit`] is honored verbatim
+//! so tests can drive the pool oversubscribed.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Minimum chunk a worker claims at once — large enough to amortize the
-/// atomic claim and keep adjacent workers off each other's cache lines.
-const MIN_CHUNK: usize = 64;
+mod pool;
 
-/// Below this many items the spawn cost dwarfs the work; run serially.
-/// (Purely a wall-clock heuristic — results are identical either way.)
-const SPAWN_MIN: usize = 2 * MIN_CHUNK;
+pub mod plan;
+pub mod scratch;
+
+/// Minimum chunk the parallel sort hands one worker — large enough to
+/// amortize the claim and the merge bookkeeping.
+const MIN_SORT_CHUNK: usize = 64;
 
 /// Fixed fold-chunk width for [`par_reduce`]. Must not depend on the thread
 /// count: the reduction tree's shape is what makes accumulator results
@@ -68,6 +86,10 @@ pub fn set_global_threads(n: usize) {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
     threads: usize,
+    /// Ambient budgets (resolved from the override / env / hardware) are
+    /// capped at the hardware parallelism by [`Budget::effective_threads`];
+    /// explicit budgets are not, so tests can oversubscribe deliberately.
+    capped: bool,
 }
 
 impl Budget {
@@ -76,26 +98,40 @@ impl Budget {
     pub fn resolve() -> Budget {
         let over = GLOBAL_THREADS.load(Ordering::SeqCst);
         if over > 0 {
-            return Budget { threads: over };
+            return Budget { threads: over, capped: true };
         }
         if let Some(n) = std::env::var("SJC_PAR_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
         {
-            return Budget { threads: n };
+            return Budget { threads: n, capped: true };
         }
-        Budget { threads: hardware_threads() }
+        Budget { threads: hardware_threads(), capped: true }
     }
 
     /// An explicit budget of exactly `n` threads (`n` is clamped to ≥ 1).
+    /// Never capped to the hardware parallelism.
     pub fn explicit(n: usize) -> Budget {
-        Budget { threads: n.max(1) }
+        Budget { threads: n.max(1), capped: false }
     }
 
-    /// Number of worker threads this budget allows.
+    /// Number of worker threads this budget allows, as requested.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The thread count the planner actually schedules for: ambient budgets
+    /// are capped at [`hardware_threads`] — running more CPU-bound threads
+    /// than cores only adds context-switch overhead (the negative scaling
+    /// the pre-pool baseline measured) — while explicit budgets pass
+    /// through untouched.
+    pub fn effective_threads(&self) -> usize {
+        if self.capped {
+            self.threads.min(hardware_threads())
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -116,10 +152,26 @@ struct PaddedCursor(AtomicUsize);
 struct SendSlots<U>(*mut U);
 unsafe impl<U: Send> Sync for SendSlots<U> {}
 
-fn chunk_size(n: usize, threads: usize) -> usize {
-    // ~8 chunks per worker gives the tail enough stealable slack without
-    // re-introducing per-item claim traffic.
-    (n / (threads * 8)).max(MIN_CHUNK)
+/// Claims task indices `0..n_tasks` from a shared cursor across the caller
+/// and up to `helpers` pool workers. `task` must be safe to run for
+/// distinct indices concurrently; every index runs exactly once.
+fn run_indexed(helpers: usize, n_tasks: usize, task: impl Fn(usize) + Sync) {
+    let helpers = helpers.min(n_tasks.saturating_sub(1));
+    if helpers == 0 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let work = || loop {
+        let i = cursor.0.fetch_add(1, Ordering::Relaxed);
+        if i >= n_tasks {
+            break;
+        }
+        task(i);
+    };
+    pool::run(helpers, &work);
 }
 
 /// Order-preserving parallel map: returns `f` applied to every item, in input
@@ -134,98 +186,253 @@ pub fn par_map_budget<T: Sync, U: Send>(
     items: &[T],
     f: impl Fn(&T) -> U + Sync,
 ) -> Vec<U> {
+    par_map_cost(budget, items, plan::DEFAULT_ITEM_COST, f)
+}
+
+/// [`par_map_budget`] with an explicit per-item cost weight for the planner.
+fn par_map_cost<T: Sync, U: Send>(
+    budget: Budget,
+    items: &[T],
+    cost: u32,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
     let n = items.len();
-    let threads = budget.threads().min(n.div_ceil(MIN_CHUNK)).max(1);
-    if threads == 1 || n < SPAWN_MIN {
+    let p = plan::plan_weighted(n, budget, cost);
+    if p.is_serial() || pool::on_worker() {
         return items.iter().map(f).collect();
     }
-    let chunk = chunk_size(n, threads);
+    let chunk = p.chunk;
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let cursor = PaddedCursor(AtomicUsize::new(0));
     let out = SendSlots(slots.as_mut_ptr());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let out = &out;
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move || loop {
-                let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+    let work = || {
+        // Capture the whole wrapper, not its raw-pointer field (edition-2021
+        // closures capture disjoint fields by default, which would sidestep
+        // the `Sync` impl on `SendSlots`).
+        let out = &out;
+        loop {
+            let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                // SAFETY: `i` lies inside this participant's exclusively
+                // claimed range; no other thread writes slot `i`.
+                unsafe {
+                    *out.0.add(i) = Some(f(item));
                 }
-                let end = (start + chunk).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    // SAFETY: `i` lies inside this worker's exclusively
-                    // claimed range; no other thread writes slot `i`.
-                    unsafe {
-                        *out.0.add(i) = Some(f(item));
-                    }
-                }
-            });
+            }
         }
-    });
+    };
+    pool::run(p.helpers, &work);
     // sjc-lint: allow(panic-path) — chunk claiming fills every slot; an empty one is a runtime bug this expect should surface loudly
     slots.into_iter().map(|s| s.expect("chunk claiming covers every index exactly once")).collect()
 }
 
 /// Order-preserving parallel flat-map: `f` appends any number of outputs per
 /// item into the provided buffer; buffers are concatenated in input order.
-pub fn par_map_flat<T: Sync, U: Send>(items: &[T], f: impl Fn(&T, &mut Vec<U>) + Sync) -> Vec<U> {
+pub fn par_map_flat<T: Sync, U: Send + 'static>(
+    items: &[T],
+    f: impl Fn(&T, &mut Vec<U>) + Sync,
+) -> Vec<U> {
     par_map_flat_budget(Budget::resolve(), items, f)
 }
 
 /// [`par_map_flat`] with an explicit thread budget.
-pub fn par_map_flat_budget<T: Sync, U: Send>(
+pub fn par_map_flat_budget<T: Sync, U: Send + 'static>(
     budget: Budget,
     items: &[T],
     f: impl Fn(&T, &mut Vec<U>) + Sync,
 ) -> Vec<U> {
     let n = items.len();
-    let threads = budget.threads().min(n.div_ceil(MIN_CHUNK)).max(1);
-    if threads == 1 || n < SPAWN_MIN {
+    let p = plan::plan(n, budget);
+    if p.is_serial() || pool::on_worker() {
         let mut out = Vec::new();
         for item in items {
             f(item, &mut out);
         }
         return out;
     }
-    let chunk = chunk_size(n, threads);
+    let chunk = p.chunk;
     let n_chunks = n.div_ceil(chunk);
     let mut bufs: Vec<Option<Vec<U>>> = Vec::with_capacity(n_chunks);
     bufs.resize_with(n_chunks, || None);
     let cursor = PaddedCursor(AtomicUsize::new(0));
     let out = SendSlots(bufs.as_mut_ptr());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let out = &out;
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move || loop {
-                let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                let mut buf = Vec::new();
-                // sjc-lint: allow(panic-path) — start < n guarded above and end is clamped to n, so the range is in bounds
-                for item in &items[start..end] {
-                    f(item, &mut buf);
-                }
-                // SAFETY: chunk index `start / chunk` is unique to this
-                // claimed range; no other thread writes this buffer slot.
-                unsafe {
-                    *out.0.add(start / chunk) = Some(buf);
-                }
-            });
+    let work = || {
+        let out = &out; // capture the wrapper, not its raw-pointer field
+        loop {
+            let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            // The chunk buffer comes from the participant's scratch arena, so
+            // repeated flat-map calls reuse capacity instead of reallocating.
+            let mut buf = scratch::take_vec();
+            // sjc-lint: allow(panic-path) — start < n guarded above and end is clamped to n, so the range is in bounds
+            for item in &items[start..end] {
+                f(item, &mut buf);
+            }
+            // SAFETY: chunk index `start / chunk` is unique to this claimed
+            // range; no other thread writes this buffer slot.
+            unsafe {
+                *out.0.add(start / chunk) = Some(buf);
+            }
         }
-    });
-    let mut flat = Vec::new();
+    };
+    pool::run(p.helpers, &work);
+    concat_buffers(bufs)
+}
+
+/// Concatenates per-chunk buffers in slot order, recycling the emptied
+/// buffers through the scratch arena.
+fn concat_buffers<U: 'static>(bufs: Vec<Option<Vec<U>>>) -> Vec<U> {
+    let total: usize = bufs.iter().map(|b| b.as_ref().map_or(0, Vec::len)).sum();
+    let mut flat = Vec::with_capacity(total);
     for buf in bufs {
         // sjc-lint: allow(panic-path) — chunk claiming fills every buffer; an empty one is a runtime bug this expect should surface loudly
-        flat.extend(buf.expect("chunk claiming covers every chunk exactly once"));
+        let mut buf = buf.expect("chunk claiming covers every chunk exactly once");
+        flat.append(&mut buf);
+        scratch::put_vec(buf);
     }
     flat
+}
+
+/// Stable longest-processing-time-first schedule: the indices of `weights`
+/// sorted by descending weight, ties broken by ascending index. The result
+/// is always a permutation of `0..weights.len()`; the weighted primitives
+/// *process* items in this order while *writing* results to input-order
+/// slots, so skew-aware scheduling never changes an output.
+pub fn lpt_order(weights: &[u64]) -> Vec<u32> {
+    let mut order: Vec<u32> = Vec::with_capacity(weights.len());
+    lpt_sort(weights, &mut order);
+    order
+}
+
+/// [`lpt_order`] into a caller-provided (scratch) buffer.
+fn lpt_sort(weights: &[u64], order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..weights.len() as u32);
+    // sjc-lint: allow(panic-path) — `order` holds exactly the indices 0..weights.len()
+    order.sort_by(|&a, &b| weights[b as usize].cmp(&weights[a as usize]).then(a.cmp(&b)));
+}
+
+/// [`par_map`] with skew-aware dispatch: `weight` estimates each item's
+/// relative cost, and items are processed heaviest-first (greedy LPT — with
+/// dynamic claiming, descending-cost processing order *is* the
+/// longest-processing-time-first assignment). The output is bit-identical
+/// to [`par_map`]: only the processing order changes.
+pub fn par_map_weighted<T: Sync, U: Send>(
+    items: &[T],
+    weight: impl Fn(&T) -> u64,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    par_map_weighted_budget(Budget::resolve(), items, weight, f)
+}
+
+/// [`par_map_weighted`] with an explicit thread budget.
+pub fn par_map_weighted_budget<T: Sync, U: Send>(
+    budget: Budget,
+    items: &[T],
+    weight: impl Fn(&T) -> u64,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let p = plan::plan_weighted(n, budget, plan::COARSE_ITEM_COST);
+    if p.is_serial() || pool::on_worker() || n > u32::MAX as usize {
+        return items.iter().map(f).collect();
+    }
+    let mut weights: Vec<u64> = scratch::take_vec();
+    weights.extend(items.iter().map(&weight));
+    let mut order: Vec<u32> = scratch::take_vec();
+    lpt_sort(&weights, &mut order);
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let out = SendSlots(slots.as_mut_ptr());
+    let order_ref: &[u32] = &order;
+    let work = || {
+        let out = &out; // capture the wrapper, not its raw-pointer field
+        loop {
+            let k = cursor.0.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = order_ref.get(k) else { break };
+            let i = slot as usize;
+            let Some(item) = items.get(i) else { break };
+            // SAFETY: `order` is a permutation, so slot `i` is claimed by
+            // exactly one participant.
+            unsafe {
+                *out.0.add(i) = Some(f(item));
+            }
+        }
+    };
+    pool::run(p.helpers, &work);
+    scratch::put_vec(weights);
+    scratch::put_vec(order);
+    // sjc-lint: allow(panic-path) — the LPT order is a permutation, so every slot is filled exactly once
+    slots.into_iter().map(|s| s.expect("LPT claiming covers every index exactly once")).collect()
+}
+
+/// [`par_map_flat`] with skew-aware (LPT) dispatch: per-item output buffers
+/// are filled heaviest-first and concatenated in input order, so the output
+/// is bit-identical to the unweighted flat-map.
+pub fn par_map_flat_weighted<T: Sync, U: Send + 'static>(
+    items: &[T],
+    weight: impl Fn(&T) -> u64,
+    f: impl Fn(&T, &mut Vec<U>) + Sync,
+) -> Vec<U> {
+    par_map_flat_weighted_budget(Budget::resolve(), items, weight, f)
+}
+
+/// [`par_map_flat_weighted`] with an explicit thread budget.
+pub fn par_map_flat_weighted_budget<T: Sync, U: Send + 'static>(
+    budget: Budget,
+    items: &[T],
+    weight: impl Fn(&T) -> u64,
+    f: impl Fn(&T, &mut Vec<U>) + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let p = plan::plan_weighted(n, budget, plan::COARSE_ITEM_COST);
+    if p.is_serial() || pool::on_worker() || n > u32::MAX as usize {
+        let mut out = Vec::new();
+        for item in items {
+            f(item, &mut out);
+        }
+        return out;
+    }
+    let mut weights: Vec<u64> = scratch::take_vec();
+    weights.extend(items.iter().map(&weight));
+    let mut order: Vec<u32> = scratch::take_vec();
+    lpt_sort(&weights, &mut order);
+
+    let mut bufs: Vec<Option<Vec<U>>> = Vec::with_capacity(n);
+    bufs.resize_with(n, || None);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let out = SendSlots(bufs.as_mut_ptr());
+    let order_ref: &[u32] = &order;
+    let work = || {
+        let out = &out; // capture the wrapper, not its raw-pointer field
+        loop {
+            let k = cursor.0.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = order_ref.get(k) else { break };
+            let i = slot as usize;
+            let Some(item) = items.get(i) else { break };
+            let mut buf = scratch::take_vec();
+            f(item, &mut buf);
+            // SAFETY: `order` is a permutation, so buffer slot `i` is claimed
+            // by exactly one participant.
+            unsafe {
+                *out.0.add(i) = Some(buf);
+            }
+        }
+    };
+    pool::run(p.helpers, &work);
+    scratch::put_vec(weights);
+    scratch::put_vec(order);
+    concat_buffers(bufs)
 }
 
 /// Stable parallel merge sort: identical output to `slice::sort_by` (which is
@@ -241,52 +448,65 @@ pub fn par_sort_by_budget<T: Sync>(
     cmp: impl Fn(&T, &T) -> CmpOrdering + Sync,
 ) {
     let n = v.len();
-    let threads = budget.threads();
-    if threads == 1 || n < SORT_MIN || n > u32::MAX as usize {
+    let threads = budget.effective_threads();
+    if threads == 1 || n < SORT_MIN || n > u32::MAX as usize || pool::on_worker() {
         v.sort_by(cmp);
         return;
     }
     // Sort a permutation (u32 indices are cheap to merge), then apply it.
     // Stability: chunk sorts use std's stable sort, and merges prefer the
     // left (earlier-index) run on ties, so the permutation equals the one a
-    // serial stable sort would produce.
-    let mut idx: Vec<u32> = (0..n as u32).collect();
-    let mut buf: Vec<u32> = vec![0; n];
-    let chunk = n.div_ceil(threads).max(MIN_CHUNK);
+    // serial stable sort would produce. The index and merge buffers come
+    // from the scratch arena — repeated sorts reuse their capacity.
+    let mut idx: Vec<u32> = scratch::take_vec();
+    idx.extend(0..n as u32);
+    let mut buf: Vec<u32> = scratch::take_vec();
+    buf.resize(n, 0);
+    let chunk = n.div_ceil(threads).max(MIN_SORT_CHUNK);
 
-    std::thread::scope(|s| {
-        for piece in idx.chunks_mut(chunk) {
-            let cmp = &cmp;
-            let v: &[T] = v;
-            s.spawn(move || {
-                // sjc-lint: allow(panic-path) — `idx` holds the permutation 0..n, always in bounds for `v`
-                piece.sort_by(|&a, &b| cmp(&v[a as usize], &v[b as usize]));
-            });
-        }
-    });
-
-    let mut width = chunk;
-    let mut src = &mut idx;
-    let mut dst = &mut buf;
-    while width < n {
-        merge_round(v, src, dst, width, &cmp);
-        std::mem::swap(&mut src, &mut dst);
-        width *= 2;
+    {
+        let n_chunks = n.div_ceil(chunk);
+        let base = SendSlots(idx.as_mut_ptr());
+        let vr: &[T] = v;
+        run_indexed(threads - 1, n_chunks, |ci| {
+            let base = &base; // capture the wrapper, not its raw-pointer field
+            let start = ci * chunk;
+            let len = chunk.min(n - start);
+            // SAFETY: chunk `ci` is claimed exactly once and the chunks are
+            // disjoint sub-ranges of `idx`.
+            let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+            // sjc-lint: allow(panic-path) — `idx` holds the permutation 0..n, always in bounds for `v`
+            piece.sort_by(|&a, &b| cmp(&vr[a as usize], &vr[b as usize]));
+        });
     }
-    let perm: &[u32] = src;
 
-    // Apply the permutation by moving every element exactly once.
-    let mut moved: Vec<T> = Vec::with_capacity(n);
-    // SAFETY: `perm` is a permutation of 0..n (built from `(0..n).collect()`
-    // and only reordered), so each element is read exactly once, then the
-    // whole block is moved back and `moved` is emptied without dropping.
-    unsafe {
-        for &i in perm {
-            moved.push(std::ptr::read(v.as_ptr().add(i as usize)));
+    {
+        let mut width = chunk;
+        let mut src = &mut idx;
+        let mut dst = &mut buf;
+        while width < n {
+            merge_round(v, src, dst, width, &cmp, threads - 1);
+            std::mem::swap(&mut src, &mut dst);
+            width *= 2;
         }
-        std::ptr::copy_nonoverlapping(moved.as_ptr(), v.as_mut_ptr(), n);
-        moved.set_len(0);
+        let perm: &[u32] = src;
+
+        // Apply the permutation by moving every element exactly once.
+        let mut moved: Vec<T> = Vec::with_capacity(n);
+        // SAFETY: `perm` is a permutation of 0..n (built from
+        // `(0..n).collect()` and only reordered), so each element is read
+        // exactly once, then the whole block is moved back and `moved` is
+        // emptied without dropping.
+        unsafe {
+            for &i in perm {
+                moved.push(std::ptr::read(v.as_ptr().add(i as usize)));
+            }
+            std::ptr::copy_nonoverlapping(moved.as_ptr(), v.as_mut_ptr(), n);
+            moved.set_len(0);
+        }
     }
+    scratch::put_vec(idx);
+    scratch::put_vec(buf);
 }
 
 /// One parallel round of pairwise run merges from `src` into `dst`.
@@ -296,23 +516,24 @@ fn merge_round<T: Sync>(
     dst: &mut [u32],
     width: usize,
     cmp: &(impl Fn(&T, &T) -> CmpOrdering + Sync),
+    helpers: usize,
 ) {
     let n = src.len();
-    std::thread::scope(|s| {
-        let mut rest = dst;
-        let mut start = 0;
-        while start < n {
-            let end = (start + 2 * width).min(n);
-            let (head, tail) = rest.split_at_mut(end - start);
-            rest = tail;
-            let mid = (start + width).min(n);
-            // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
-            let a = &src[start..mid];
-            // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
-            let b = &src[mid..end];
-            s.spawn(move || merge_runs(v, a, b, head, cmp));
-            start = end;
-        }
+    let n_merges = n.div_ceil(2 * width);
+    let base = SendSlots(dst.as_mut_ptr());
+    run_indexed(helpers, n_merges, |mi| {
+        let base = &base; // capture the wrapper, not its raw-pointer field
+        let start = mi * 2 * width;
+        let end = (start + 2 * width).min(n);
+        let mid = (start + width).min(n);
+        // SAFETY: merge `mi` is claimed exactly once and `start..end` ranges
+        // are disjoint sub-ranges of `dst`.
+        let out = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+        // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
+        let a = &src[start..mid];
+        // sjc-lint: allow(panic-path) — start ≤ mid ≤ end ≤ n = src.len() by the min() clamps above
+        let b = &src[mid..end];
+        merge_runs(v, a, b, out, cmp);
     });
 }
 
@@ -367,7 +588,9 @@ pub fn par_reduce_budget<T: Sync, A: Send>(
     combine: impl Fn(A, A) -> A,
 ) -> A {
     let chunks: Vec<&[T]> = items.chunks(REDUCE_CHUNK).collect();
-    let partials = par_map_budget(budget, &chunks, |c| c.iter().fold(identity(), &fold));
+    // Each fold chunk is REDUCE_CHUNK items of real work: coarse tasks.
+    let partials =
+        par_map_cost(budget, &chunks, plan::COARSE_ITEM_COST, |c| c.iter().fold(identity(), &fold));
     partials.into_iter().fold(identity(), combine)
 }
 
@@ -391,34 +614,23 @@ pub fn par_chunks_mut_budget<T: Send>(
     let n = v.len();
     let chunk = chunk.max(1);
     let num_chunks = n.div_ceil(chunk);
-    let threads = budget.threads().min(num_chunks).max(1);
-    if threads == 1 || num_chunks <= 1 {
+    let threads = budget.effective_threads();
+    if threads == 1 || num_chunks <= 1 || pool::on_worker() {
         for (i, c) in v.chunks_mut(chunk).enumerate() {
             f(i, c);
         }
         return;
     }
     let base = SendSlots(v.as_mut_ptr());
-    let cursor = PaddedCursor(AtomicUsize::new(0));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let base = &base;
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move || loop {
-                let i = cursor.0.fetch_add(1, Ordering::Relaxed);
-                if i >= num_chunks {
-                    break;
-                }
-                let start = i * chunk;
-                let len = chunk.min(n - start);
-                // SAFETY: chunk index `i` is claimed by exactly one worker
-                // and chunks are disjoint sub-ranges of `v`, so this &mut
-                // slice never aliases another worker's.
-                let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
-                f(i, piece);
-            });
-        }
+    run_indexed(threads - 1, num_chunks, |i| {
+        let base = &base; // capture the wrapper, not its raw-pointer field
+        let start = i * chunk;
+        let len = chunk.min(n - start);
+        // SAFETY: chunk index `i` is claimed by exactly one participant
+        // and chunks are disjoint sub-ranges of `v`, so this &mut slice
+        // never aliases another's.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+        f(i, piece);
     });
 }
 
@@ -437,18 +649,46 @@ pub fn join_budget<A: Send, B: Send>(
     fa: impl FnOnce() -> A + Send,
     fb: impl FnOnce() -> B + Send,
 ) -> (A, B) {
-    if budget.threads() == 1 {
+    if budget.effective_threads() == 1 || pool::on_worker() {
         return (fa(), fb());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let a = fa();
-        let b = match hb.join() {
-            Ok(b) => b,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (a, b)
-    })
+    // Both halves are claimed from a two-slot cursor, so the caller and at
+    // most one pool helper split them; with no free helper the caller just
+    // runs both. The result slots are written by whichever participant
+    // claimed each half — argument order is restored on return.
+    use std::sync::Mutex;
+    let fa_slot = Mutex::new(Some(fa));
+    let fb_slot = Mutex::new(Some(fb));
+    let ra: Mutex<Option<A>> = Mutex::new(None);
+    let rb: Mutex<Option<B>> = Mutex::new(None);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let work = || loop {
+        match cursor.0.fetch_add(1, Ordering::Relaxed) {
+            0 => {
+                let taken = fa_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                if let Some(fa) = taken {
+                    let a = fa();
+                    *ra.lock().unwrap_or_else(|e| e.into_inner()) = Some(a);
+                }
+            }
+            1 => {
+                let taken = fb_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                if let Some(fb) = taken {
+                    let b = fb();
+                    *rb.lock().unwrap_or_else(|e| e.into_inner()) = Some(b);
+                }
+            }
+            _ => break,
+        }
+    };
+    pool::run(1, &work);
+    let a = ra.into_inner().unwrap_or_else(|e| e.into_inner());
+    let b = rb.into_inner().unwrap_or_else(|e| e.into_inner());
+    match (a, b) {
+        (Some(a), Some(b)) => (a, b),
+        // sjc-lint: allow(panic-path) — both halves were claimed and ran (pool::run returned without re-raising), so both slots are filled
+        _ => unreachable!("join halves always run exactly once"),
+    }
 }
 
 #[cfg(test)]
@@ -457,7 +697,12 @@ mod tests {
     use sjc_testkit::cases;
 
     fn budgets() -> Vec<Budget> {
-        vec![Budget::explicit(1), Budget::explicit(2), Budget::explicit(hardware_threads())]
+        vec![
+            Budget::explicit(1),
+            Budget::explicit(2),
+            Budget::explicit(8),
+            Budget::explicit(hardware_threads()),
+        ]
     }
 
     #[test]
@@ -489,6 +734,61 @@ mod tests {
             for b in budgets() {
                 let par = par_map_flat_budget(b, &items, expand);
                 assert_eq!(par, serial, "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn weighted_maps_match_their_unweighted_siblings_bit_for_bit() {
+        cases(0x5eed7, 30, |rng| {
+            let items = rng.vec_u64(0..u64::MAX, 0..3000);
+            let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(17)).collect();
+            let mut serial_flat = Vec::new();
+            for &x in &items {
+                for k in 0..(x % 3) {
+                    serial_flat.push(x ^ k);
+                }
+            }
+            for b in budgets() {
+                // Skewed weights: the item value itself, so heavy and light
+                // items interleave arbitrarily.
+                let par =
+                    par_map_weighted_budget(b, &items, |&x| x % 1000, |&x| x.wrapping_mul(17));
+                assert_eq!(par, serial, "budget {b:?}");
+                let flat = par_map_flat_weighted_budget(
+                    b,
+                    &items,
+                    |&x| x % 1000,
+                    |&x, out| {
+                        for k in 0..(x % 3) {
+                            out.push(x ^ k);
+                        }
+                    },
+                );
+                assert_eq!(flat, serial_flat, "budget {b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn lpt_order_is_a_descending_permutation() {
+        cases(0x5eed8, 60, |rng| {
+            let weights = rng.vec_u64(0..1000, 0..2000);
+            let order = lpt_order(&weights);
+            // A permutation: every index exactly once.
+            let mut seen = vec![false; weights.len()];
+            for &i in &order {
+                assert!(!seen[i as usize], "index {i} scheduled twice");
+                seen[i as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "some index never scheduled");
+            // Non-increasing weights, ties in ascending index order.
+            for pair in order.windows(2) {
+                let (a, b) = (pair[0] as usize, pair[1] as usize);
+                assert!(
+                    weights[a] > weights[b] || (weights[a] == weights[b] && pair[0] < pair[1]),
+                    "not an LPT order at {pair:?}"
+                );
             }
         });
     }
@@ -571,10 +871,26 @@ mod tests {
     }
 
     #[test]
+    fn nested_parallel_calls_run_serially_on_workers_and_stay_correct() {
+        // The experiment driver nests par_map inside join closures; with a
+        // persistent pool this must neither deadlock nor change results.
+        let outer: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = outer.iter().map(|&x| (0..2000).map(|k| x + k).sum()).collect();
+        for b in budgets() {
+            let got = par_map_cost(b, &outer, plan::COARSE_ITEM_COST, |&x| {
+                let inner: Vec<u64> = (0..2000).map(|k| x + k).collect();
+                par_reduce_budget(b, &inner, || 0u64, |a, &v| a + v, |a, c| a + c)
+            });
+            assert_eq!(got, expected, "budget {b:?}");
+        }
+    }
+
+    #[test]
     fn empty_and_tiny_inputs() {
         let empty: Vec<u64> = Vec::new();
         assert!(par_map_budget(Budget::explicit(8), &empty, |&x| x).is_empty());
         assert!(par_map_flat_budget(Budget::explicit(8), &empty, |&x, o| o.push(x)).is_empty());
+        assert!(par_map_weighted_budget(Budget::explicit(8), &empty, |_| 1, |&x| x).is_empty());
         let mut one = vec![42u64];
         par_sort_by_budget(Budget::explicit(8), &mut one, |a, b| a.cmp(b));
         assert_eq!(one, vec![42]);
@@ -585,9 +901,21 @@ mod tests {
     }
 
     #[test]
-    fn budget_resolution_prefers_global_override() {
+    fn budget_resolution_prefers_global_override_and_caps_ambient_budgets() {
+        // One test owns the process-global override: splitting these
+        // assertions across tests would race under the parallel harness.
         set_global_threads(3);
-        assert_eq!(Budget::resolve().threads(), 3);
+        let resolved = Budget::resolve();
         set_global_threads(0);
+        assert_eq!(resolved.threads(), 3);
+        // Ambient budgets above the core count are capped by the planner;
+        // the requested count itself is preserved for reporting.
+        assert_eq!(resolved.effective_threads(), 3.min(hardware_threads()));
+        let over = hardware_threads() + 7;
+        set_global_threads(over);
+        let ambient = Budget::resolve();
+        set_global_threads(0);
+        assert_eq!(ambient.threads(), over);
+        assert_eq!(ambient.effective_threads(), hardware_threads());
     }
 }

@@ -162,15 +162,21 @@ impl<T: SparkRecord + Clone> Rdd<T> {
             .enumerate()
             .map(|(i, (src, old))| (i, src, old))
             .collect();
-        let results: Vec<(Vec<U>, SimNs, u64)> = sjc_par::par_map(&indexed, |(i, src, old)| {
-            let mut extra: SimNs = 0;
-            let out = op(*i, src, &mut extra);
-            let ns = cost.spark_records_ns(src.len() as u64) + extra;
-            let ns = (ns as f64 * cpu_scale) as u64;
-            let pending = old + (ns as f64 * mult) as SimNs;
-            let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
-            (out, pending, (mem as f64 * mult) as u64)
-        });
+        // LPT dispatch: fat partitions first, so skewed spatial partitioning
+        // cannot serialize the tail; partition-order results are unchanged.
+        let results: Vec<(Vec<U>, SimNs, u64)> = sjc_par::par_map_weighted(
+            &indexed,
+            |(_, src, _)| src.len() as u64,
+            |(i, src, old)| {
+                let mut extra: SimNs = 0;
+                let out = op(*i, src, &mut extra);
+                let ns = cost.spark_records_ns(src.len() as u64) + extra;
+                let ns = (ns as f64 * cpu_scale) as u64;
+                let pending = old + (ns as f64 * mult) as SimNs;
+                let mem: u64 = out.iter().map(|r| r.mem_bytes(cost)).sum();
+                (out, pending, (mem as f64 * mult) as u64)
+            },
+        );
         let mut parts = Vec::with_capacity(results.len());
         let mut pending = Vec::with_capacity(results.len());
         let mut mem_full = Vec::with_capacity(results.len());

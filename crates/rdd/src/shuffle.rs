@@ -29,15 +29,21 @@ where
     K: Ord + Clone + Send + Sync,
     V: Clone + Send + Sync,
 {
-    let locals: Vec<BTreeMap<K, Vec<V>>> = sjc_par::par_map(parts, |part| {
-        let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for rec in part {
-            let (k, v) = kv(rec);
-            // sjc-lint: allow(hot-alloc) — the shuffle map owns its keys/values: the clone materializes the build side itself
-            local.entry(k.clone()).or_default().push(v.clone());
-        }
-        local
-    });
+    // LPT by partition size: skewed build sides schedule their fat
+    // partitions first; partition-order merging below is unchanged.
+    let locals: Vec<BTreeMap<K, Vec<V>>> = sjc_par::par_map_weighted(
+        parts,
+        |part| part.len() as u64,
+        |part| {
+            let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for rec in part {
+                let (k, v) = kv(rec);
+                // sjc-lint: allow(hot-alloc) — the shuffle map owns its keys/values: the clone materializes the build side itself
+                local.entry(k.clone()).or_default().push(v.clone());
+            }
+            local
+        },
+    );
     let mut merged: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for local in locals {
         for (k, vs) in local {
@@ -334,19 +340,28 @@ where
         // order is identical to the serial nested loop.
         type KeyBatch<K, A, B> = Option<(usize, Vec<(K, (A, B))>)>;
         let left_list: Vec<(&K, &Vec<A>)> = left.iter().collect();
-        let produced: Vec<KeyBatch<K, A, B>> = sjc_par::par_map(&left_list, |&(k, avs)| {
-            right.get(k).map(|bvs| {
-                let idx = (hash_of(k) % p as u64) as usize;
-                let mut out = Vec::with_capacity(avs.len() * bvs.len());
-                for a in avs {
-                    for b in bvs {
-                        // sjc-lint: allow(hot-alloc) — join output pairs own their records: the clones materialize the cross product itself
-                        out.push((k.clone(), (a.clone(), b.clone())));
+        // Cross products are quadratic in the per-key value counts — the
+        // canonical skew hazard. LPT by the output cardinality keeps one hot
+        // key off the tail; key-order scatter below is unchanged.
+        let produced: Vec<KeyBatch<K, A, B>> = sjc_par::par_map_weighted(
+            &left_list,
+            |(k, avs)| {
+                (avs.len() as u64).saturating_mul(right.get(k).map_or(0, |bvs| bvs.len() as u64))
+            },
+            |&(k, avs)| {
+                right.get(k).map(|bvs| {
+                    let idx = (hash_of(k) % p as u64) as usize;
+                    let mut out = Vec::with_capacity(avs.len() * bvs.len());
+                    for a in avs {
+                        for b in bvs {
+                            // sjc-lint: allow(hot-alloc) — join output pairs own their records: the clones materialize the cross product itself
+                            out.push((k.clone(), (a.clone(), b.clone())));
+                        }
                     }
-                }
-                (idx, out)
-            })
-        });
+                    (idx, out)
+                })
+            },
+        );
         let mut parts: Vec<Vec<(K, (A, B))>> = (0..p).map(|_| Vec::new()).collect();
         for (idx, recs) in produced.into_iter().flatten() {
             // sjc-lint: allow(no-panic-in-lib) — idx = hash % p < p = parts.len()

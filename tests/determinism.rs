@@ -140,6 +140,48 @@ fn faulted_runs_are_bit_stable() {
 }
 
 #[test]
+fn faulted_e2e_is_identical_at_1_and_8_threads() {
+    // The persistent-pool counterpart of `faulted_runs_are_bit_stable`:
+    // fault injection, recovery re-scheduling and checkpoint replay must
+    // not leak the host thread budget either. Run every system under a
+    // light fault plan plus a mid-run node crash, serially and with seven
+    // pool helpers, and demand identical traces, recovery ledgers, pair
+    // sets and simulated time.
+    let run_all = |threads: usize| {
+        sjc_par::set_global_threads(threads);
+        let (l, r) = Workload::taxi1m_nycb().prepare(3e-4, 2718);
+        let cfg = ClusterConfig::ec2(10);
+        let out: Vec<_> = sjc_core::experiment::SystemKind::all()
+            .iter()
+            .map(|sys| {
+                let plan = sjc_cluster::FaultPlan::light(11, &cfg).crash_at(3, 40_000_000_000);
+                let cluster = Cluster::with_faults(cfg.clone(), plan);
+                match sys.instance().run(&cluster, &l, &r, JoinPredicate::Intersects) {
+                    Ok(o) => {
+                        let stage: Vec<(u64, u64, u64)> = o
+                            .trace
+                            .stages
+                            .iter()
+                            .map(|s| (s.sim_ns, s.attempts, s.wasted_ns))
+                            .collect();
+                        Ok((o.trace.total_ns(), stage, o.trace.recovery.clone(), o.sorted_pairs()))
+                    }
+                    Err(e) => Err(format!("{e:?}")),
+                }
+            })
+            .collect();
+        sjc_par::set_global_threads(0);
+        out
+    };
+    let serial = run_all(1);
+    let parallel = run_all(8);
+    assert_eq!(
+        serial, parallel,
+        "faulted traces, recovery ledgers and pair sets must not depend on the thread budget"
+    );
+}
+
+#[test]
 fn different_seeds_give_different_data_same_shape() {
     let a = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 1);
     let b = sjc_data::ScaledDataset::generate(sjc_data::DatasetId::Taxi, 2e-4, 2);

@@ -111,6 +111,7 @@ fn full_scan_fits_the_wall_budget_and_names_every_stage() {
         "panic-path",
         "interproc-unit-flow",
         "cache-purity",
+        "scoped-spawn",
         "stale-suppression",
     ] {
         assert!(

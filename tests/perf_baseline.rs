@@ -57,6 +57,45 @@ fn sim_ns_is_thread_count_independent_in_the_snapshot() {
 }
 
 #[test]
+fn extra_threads_do_not_cost_wall_time_in_the_snapshot() {
+    // Before the persistent pool, every suite scaled *negatively* (spawn
+    // overhead on each parallel call); the regenerated snapshot must show
+    // @8 at or below @1 on the hot suites. This pins the snapshot host's
+    // recorded numbers, not this machine's — wall-clock is only comparable
+    // within one perfsnap run.
+    let baseline = checked_in_baseline();
+    for suite in ["local_join", "systems_e2e"] {
+        let serial = baseline.row(suite, 1).expect("@1 row").wall_ms;
+        let wide = baseline.row(suite, 8).expect("@8 row").wall_ms;
+        assert!(
+            wide < serial,
+            "`{suite}` got slower with threads in BENCH_baseline.json ({wide} ms @8 vs \
+             {serial} ms @1) — the pool regressed; regenerate with \
+             `cargo run --release -p sjc-bench --bin perfsnap`"
+        );
+    }
+}
+
+#[test]
+fn every_snapshot_row_carries_its_phase_breakdown() {
+    // The per-phase wall times are what make a scaling regression
+    // diagnosable; a snapshot written by an older perfsnap would silently
+    // drop them (the parser treats phase_ms as optional for old files).
+    let baseline = checked_in_baseline();
+    for row in &baseline.rows {
+        assert!(
+            !row.phase_ms.is_empty(),
+            "`{}@{}` lacks its phase_ms breakdown — regenerate the snapshot",
+            row.suite,
+            row.threads
+        );
+        for (phase, ms) in &row.phase_ms {
+            assert!(ms.is_finite() && *ms >= 0.0, "{}@{} phase `{phase}`", row.suite, row.threads);
+        }
+    }
+}
+
+#[test]
 fn zero_fault_systems_e2e_matches_checked_in_baseline() {
     let baseline = checked_in_baseline();
     let expected = baseline.row("systems_e2e", 1).expect("snapshot has a systems_e2e@1 row").sim_ns;
